@@ -1,0 +1,67 @@
+// Ablation A3: the two-price rounded LP (Algorithm 3) vs the exact
+// pseudo-polynomial DP (Theorem 6) for fixed-budget pricing.
+//
+// Checks: the E[W] gap never exceeds the Theorem-8 bound, is tiny in
+// relative terms, and the LP is orders of magnitude faster.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+#include "choice/acceptance.h"
+#include "pricing/budget.h"
+#include "util/table.h"
+
+using namespace crowdprice;
+
+int main() {
+  std::cout << "=== Ablation: budget LP (Alg. 3) vs exact DP (Thm. 6) ===\n\n";
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  Table table({"N", "B (cents)", "E[W] LP", "E[W] exact", "gap", "Thm-8 bound",
+               "LP us", "DP ms"});
+  bool within = true, tiny = true;
+  double worst_speedup = 1e18;
+  for (int n : {50, 100, 200}) {
+    for (int budget : {n * 8, n * 12, n * 13, n * 20}) {
+      pricing::StaticPriceAssignment lp;
+      BENCH_ASSIGN(lp, pricing::SolveBudgetLp(n, budget, acceptance, 50));
+      // Time the LP over repeated solves (a single call is microseconds and
+      // too noisy to compare).
+      const auto t0 = std::chrono::steady_clock::now();
+      constexpr int kLpReps = 200;
+      for (int rep = 0; rep < kLpReps; ++rep) {
+        auto again = pricing::SolveBudgetLp(n, budget, acceptance, 50);
+        bench::DieOnError(again.status(), "LP repeat");
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      pricing::StaticPriceAssignment dp;
+      BENCH_ASSIGN(dp, pricing::SolveBudgetExactDp(n, budget, acceptance, 50));
+      const auto t2 = std::chrono::steady_clock::now();
+      const double gap =
+          lp.expected_worker_arrivals - dp.expected_worker_arrivals;
+      double bound;
+      BENCH_ASSIGN(bound, pricing::LpRoundingGapBound(lp, acceptance));
+      within = within && gap <= bound + 1e-9 && gap >= -1e-9;
+      tiny = tiny && gap <= 0.02 * dp.expected_worker_arrivals;
+      const double lp_us =
+          std::chrono::duration<double, std::micro>(t1 - t0).count() / kLpReps;
+      const double dp_ms =
+          std::chrono::duration<double, std::milli>(t2 - t1).count();
+      worst_speedup = std::min(worst_speedup, dp_ms * 1000.0 / lp_us);
+      bench::DieOnError(
+          table.AddRow({StringF("%d", n), StringF("%d", budget),
+                        StringF("%.0f", lp.expected_worker_arrivals),
+                        StringF("%.0f", dp.expected_worker_arrivals),
+                        StringF("%.2f", gap), StringF("%.2f", bound),
+                        StringF("%.0f", lp_us), StringF("%.1f", dp_ms)}),
+          "row");
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  bench::Check(within, "LP-vs-exact gap always within the Theorem-8 bound");
+  bench::Check(tiny, "LP rounding loses at most 2% of E[W] on every instance");
+  bench::Check(worst_speedup > 10.0,
+               "the hull LP is >= 10x faster than the exact DP everywhere");
+  return bench::Finish();
+}

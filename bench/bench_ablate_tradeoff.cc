@@ -1,0 +1,73 @@
+// Ablation A4 (§6): the cost/latency tradeoff frontier.
+//
+// Sweeps the latency weight alpha for both §6 formulations and prints the
+// resulting frontier (price, expected cost/task, expected latency/task).
+// Checks the frontier's shape: price and cost rise with alpha, latency
+// falls, and the two formulations agree in the small-rate limit.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "choice/acceptance.h"
+#include "pricing/tradeoff.h"
+#include "util/table.h"
+
+using namespace crowdprice;
+
+int main() {
+  std::cout << "=== Ablation: cost/latency tradeoff frontier (§6) ===\n\n";
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  const double mean_rate = 5083.0;  // workers/hour
+
+  Table table({"alpha (c/h)", "price (c)", "latency/task (h)",
+               "cost+alpha*latency"});
+  std::vector<int> prices;
+  std::vector<double> latencies;
+  for (double alpha : {1.0, 5.0, 25.0, 125.0, 625.0, 3125.0}) {
+    pricing::TradeoffSolution sol;
+    BENCH_ASSIGN(sol, pricing::SolveWorkerArrivalTradeoff(mean_rate, acceptance,
+                                                          alpha, 50));
+    prices.push_back(sol.price_cents);
+    latencies.push_back(sol.expected_latency_per_task);
+    bench::DieOnError(
+        table.AddRow({StringF("%.0f", alpha), StringF("%d", sol.price_cents),
+                      StringF("%.3f", sol.expected_latency_per_task),
+                      StringF("%.2f", sol.objective_per_task)}),
+        "row");
+  }
+  std::cout << "Worker-arrival formulation:\n";
+  table.Print(std::cout);
+  std::cout << "\n";
+
+  bool price_up = true, latency_down = true;
+  for (size_t i = 1; i < prices.size(); ++i) {
+    price_up = price_up && prices[i] >= prices[i - 1];
+    latency_down = latency_down && latencies[i] <= latencies[i - 1] + 1e-12;
+  }
+  bench::Check(price_up, "optimal price is monotone in the latency weight");
+  bench::Check(latency_down, "expected latency falls as alpha grows");
+  bench::Check(prices.front() < prices.back(),
+               "the frontier spans a non-trivial price range");
+
+  // Fixed-rate formulation at matching small per-interval rates.
+  Table table2({"alpha (c/interval)", "price (c)", "intervals/task"});
+  bool agree = true;
+  for (double alpha : {0.001, 0.01, 0.1}) {
+    pricing::TradeoffSolution fixed;
+    BENCH_ASSIGN(fixed, pricing::SolveFixedRateTradeoff(0.05, acceptance, alpha, 50));
+    pricing::TradeoffSolution arrival;
+    BENCH_ASSIGN(arrival,
+                 pricing::SolveWorkerArrivalTradeoff(0.05, acceptance, alpha, 50));
+    agree = agree && fixed.price_cents == arrival.price_cents;
+    bench::DieOnError(
+        table2.AddRow({StringF("%.3f", alpha), StringF("%d", fixed.price_cents),
+                       StringF("%.0f", fixed.expected_latency_per_task)}),
+        "row");
+  }
+  std::cout << "Fixed-rate formulation (small-rate regime):\n";
+  table2.Print(std::cout);
+  bench::Check(agree,
+               "fixed-rate and worker-arrival formulations pick the same "
+               "price in the small-rate limit");
+  return bench::Finish();
+}

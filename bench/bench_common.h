@@ -1,0 +1,69 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every bench binary reproduces one table or figure of the paper. The
+// harness prints (a) the same rows/series the paper reports and (b) a
+// CHECK line per qualitative claim: the *shape* of the result (who wins,
+// rough factors, crossovers) is asserted; absolute numbers depend on the
+// synthetic marketplace and are reported for inspection only.
+
+#ifndef CROWDPRICE_BENCH_BENCH_COMMON_H_
+#define CROWDPRICE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "arrival/trace.h"
+#include "util/macros.h"
+#include "util/status.h"
+#include "util/stringf.h"
+
+namespace crowdprice::bench {
+
+inline int g_checks_failed = 0;
+
+/// Prints "CHECK PASS/FAIL: <claim>" and tracks failures for the exit code.
+inline void Check(bool ok, const std::string& claim) {
+  std::cout << (ok ? "CHECK PASS: " : "CHECK FAIL: ") << claim << "\n";
+  if (!ok) ++g_checks_failed;
+}
+
+/// Exit code for main(): 0 when every Check passed.
+inline int Finish() {
+  if (g_checks_failed > 0) {
+    std::cout << "\n" << g_checks_failed << " check(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "\nall checks passed\n";
+  return 0;
+}
+
+/// Aborts the bench with a readable message on unexpected Status failures.
+inline void DieOnError(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << "FATAL during " << what << ": " << status.ToString() << "\n";
+    std::exit(2);
+  }
+}
+
+#define BENCH_ASSIGN(lhs, rexpr)                                   \
+  auto CP_CONCAT(bench_result_, __LINE__) = (rexpr);               \
+  ::crowdprice::bench::DieOnError(                                 \
+      CP_CONCAT(bench_result_, __LINE__).status(), #rexpr);        \
+  lhs = std::move(CP_CONCAT(bench_result_, __LINE__)).value()
+
+/// The synthetic marketplace used throughout the experiment suite: a 4-week
+/// mturk-like trace calibrated so that a 24 h, 200-task campaign has a
+/// theoretical minimum price c0 ~ 12 cents (matching §5.2.1).
+inline arrival::SyntheticTraceConfig PaperMarketConfig() {
+  arrival::SyntheticTraceConfig config;
+  config.num_weeks = 4;
+  config.bucket_minutes = 20;
+  config.base_rate_per_hour = 5083.0;
+  return config;
+}
+
+}  // namespace crowdprice::bench
+
+#endif  // CROWDPRICE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,125 @@
+// Figure 9 (§5.2.4): robustness to a mis-estimated acceptance function.
+// The policy is trained on the Eq. 13 defaults but the *true* market has a
+// perturbed s, b, or M. Left column: expected remaining tasks (dynamic vs
+// fixed prices 12..16). Right column: the dynamic policy's realized average
+// reward, showing how it self-corrects by repricing.
+//
+// Paper claims: the dynamic policy still finishes essentially everything
+// under every perturbation, while fixed prices fail outright on adverse
+// ones; the dynamic average reward rises exactly when the market toughens.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "choice/acceptance.h"
+#include "pricing/fixed_price.h"
+#include "pricing/penalty_search.h"
+#include "pricing/policy_eval.h"
+#include "util/table.h"
+
+using namespace crowdprice;
+
+namespace {
+
+constexpr int kTasks = 200;
+constexpr int kIntervals = 72;
+constexpr int kMaxPrice = 50;
+
+struct Scenario {
+  std::string label;
+  choice::LogitAcceptance truth;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 9: robustness to p(c) estimation error ===\n\n";
+  const std::vector<double> lambdas(kIntervals, 122000.0 / kIntervals);
+  auto believed = choice::LogitAcceptance::Paper2014();
+  pricing::ActionSet actions = [&] {
+    auto r = pricing::ActionSet::FromPriceGrid(kMaxPrice, believed);
+    bench::DieOnError(r.status(), "actions");
+    return std::move(r).value();
+  }();
+
+  // Train once on the believed model.
+  pricing::DeadlineProblem problem;
+  problem.num_tasks = kTasks;
+  problem.num_intervals = kIntervals;
+  BENCH_ASSIGN(pricing::BoundSolveResult trained,
+               pricing::SolveForExpectedRemaining(problem, lambdas, actions, 0.2));
+
+  auto make = [](double s, double b, double m) {
+    auto r = choice::LogitAcceptance::Create(s, b, m);
+    bench::DieOnError(r.status(), "acceptance");
+    return std::move(r).value();
+  };
+  std::vector<Scenario> scenarios;
+  for (double s : {11.0, 13.0, 15.0, 17.0, 19.0}) {
+    scenarios.push_back({StringF("s=%.0f", s), make(s, -0.39, 2000.0)});
+  }
+  for (double b : {-0.8, -0.6, -0.39, -0.2, 0.0}) {
+    scenarios.push_back({StringF("b=%.2f", b), make(15.0, b, 2000.0)});
+  }
+  for (double m : {1000.0, 1500.0, 2000.0, 2500.0, 3000.0}) {
+    scenarios.push_back({StringF("M=%.0f", m), make(15.0, -0.39, m)});
+  }
+  // A deliberately extreme stress case (market twice as competitive as
+  // believed); reported separately from the main robustness check.
+  scenarios.push_back({"M=4000 (stress)", make(15.0, -0.39, 4000.0)});
+
+  Table table({"true model", "dyn E[rem]", "dyn avg reward", "fix12 E[rem]",
+               "fix14 E[rem]", "fix16 E[rem]"});
+  bool dynamic_always_finishes = true;
+  bool fixed_fails_somewhere = false;
+  bool dynamic_dominates = true;
+  double dyn_easy_reward = 0.0, dyn_hard_reward = 0.0;
+  for (const Scenario& sc : scenarios) {
+    const bool stress = sc.label.find("stress") != std::string::npos;
+    pricing::PolicyEvaluation dyn;
+    BENCH_ASSIGN(dyn,
+                 pricing::EvaluatePolicyUnderMarket(trained.plan, lambdas, sc.truth));
+    double fixed_rem[3];
+    const int fixed_prices[3] = {12, 14, 16};
+    for (int i = 0; i < 3; ++i) {
+      pricing::FixedPriceSolution sol;
+      BENCH_ASSIGN(sol, pricing::EvaluateFixedPrice(fixed_prices[i], kTasks,
+                                                    lambdas, sc.truth));
+      fixed_rem[i] = sol.expected_remaining;
+    }
+    if (!stress) {
+      dynamic_always_finishes =
+          dynamic_always_finishes && dyn.expected_remaining < 0.02 * kTasks;
+    }
+    fixed_fails_somewhere = fixed_fails_somewhere || fixed_rem[0] > 20.0;
+    dynamic_dominates =
+        dynamic_dominates &&
+        (fixed_rem[0] < 0.5 ||
+         dyn.expected_remaining < fixed_rem[0] / 5.0 + 0.5);
+    if (sc.label == "M=1000") dyn_easy_reward = dyn.average_reward_per_task;
+    if (sc.label == "M=3000") dyn_hard_reward = dyn.average_reward_per_task;
+    bench::DieOnError(
+        table.AddRow({sc.label, StringF("%.3f", dyn.expected_remaining),
+                      StringF("%.2f", dyn.average_reward_per_task),
+                      StringF("%.1f", fixed_rem[0]), StringF("%.1f", fixed_rem[1]),
+                      StringF("%.1f", fixed_rem[2])}),
+        "row");
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+
+  bench::Check(dynamic_always_finishes,
+               "dynamic policy keeps E[remaining] < 2% of the batch under "
+               "every paper-range mis-estimation (paper: 'returns 0 "
+               "remaining tasks with very high probability')");
+  bench::Check(fixed_fails_somewhere,
+               "some fixed price leaves a large fraction unfinished under "
+               "adverse mis-estimation (paper: 'completely fails')");
+  bench::Check(dynamic_dominates,
+               "whenever fixed-12 struggles, the dynamic policy is >= 5x "
+               "better -- including the 2x stress case");
+  bench::Check(dyn_hard_reward > dyn_easy_reward,
+               "dynamic policy automatically raises its average reward when "
+               "the true market is tougher (Fig. 9 right column)");
+  return bench::Finish();
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) of the computational kernels: Poisson
+// machinery, the DP solvers, the budget hull LP, and the marketplace
+// simulator's event loop.
+
+#include <benchmark/benchmark.h>
+
+#include "arrival/rate_function.h"
+#include "choice/acceptance.h"
+#include "market/controller.h"
+#include "market/simulator.h"
+#include "pricing/budget.h"
+#include "pricing/deadline_dp.h"
+#include "pricing/policy_eval.h"
+#include "stats/convex_hull.h"
+#include "stats/poisson.h"
+#include "util/rng.h"
+
+namespace crowdprice {
+namespace {
+
+void BM_PoissonPmf(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0));
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::PoissonPmf(k++ % 100, lambda));
+  }
+}
+BENCHMARK(BM_PoissonPmf)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_MakeTruncatedPoisson(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto tp = stats::MakeTruncatedPoisson(lambda, 1e-9);
+    benchmark::DoNotOptimize(tp);
+  }
+}
+BENCHMARK(BM_MakeTruncatedPoisson)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_SamplePoisson(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0)) / 10.0;
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SamplePoisson(rng, lambda));
+  }
+}
+BENCHMARK(BM_SamplePoisson)->Arg(5)->Arg(95)->Arg(105)->Arg(5000);
+
+void BM_SimpleDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  auto actions = pricing::ActionSet::FromPriceGrid(50, acceptance).value();
+  pricing::DeadlineProblem problem;
+  problem.num_tasks = n;
+  problem.num_intervals = 24;
+  problem.penalty_cents = 200.0;
+  const std::vector<double> lambdas(24, 610.0 * n / 200.0);
+  for (auto _ : state) {
+    auto plan = pricing::SolveSimpleDp(problem, lambdas, actions);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_SimpleDp)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_ImprovedDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  auto actions = pricing::ActionSet::FromPriceGrid(50, acceptance).value();
+  pricing::DeadlineProblem problem;
+  problem.num_tasks = n;
+  problem.num_intervals = 24;
+  problem.penalty_cents = 200.0;
+  const std::vector<double> lambdas(24, 610.0 * n / 200.0);
+  for (auto _ : state) {
+    auto plan = pricing::SolveImprovedDp(problem, lambdas, actions);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ImprovedDp)->Arg(50)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluatePolicy(benchmark::State& state) {
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  auto actions = pricing::ActionSet::FromPriceGrid(50, acceptance).value();
+  pricing::DeadlineProblem problem;
+  problem.num_tasks = 200;
+  problem.num_intervals = 72;
+  problem.penalty_cents = 500.0;
+  const std::vector<double> lambdas(72, 122000.0 / 72.0);
+  auto plan = pricing::SolveImprovedDp(problem, lambdas, actions).value();
+  for (auto _ : state) {
+    auto eval = pricing::EvaluatePolicyNominal(plan);
+    benchmark::DoNotOptimize(eval);
+  }
+}
+BENCHMARK(BM_EvaluatePolicy)->Unit(benchmark::kMillisecond);
+
+void BM_BudgetLp(benchmark::State& state) {
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  for (auto _ : state) {
+    auto sol = pricing::SolveBudgetLp(200, 2500.0, acceptance, 50);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_BudgetLp);
+
+void BM_BudgetExactDp(benchmark::State& state) {
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  for (auto _ : state) {
+    auto sol = pricing::SolveBudgetExactDp(200, 2500, acceptance, 50);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_BudgetExactDp)->Unit(benchmark::kMillisecond);
+
+void BM_LowerConvexHull(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<stats::Point2> points;
+  for (int i = 0; i < state.range(0); ++i) {
+    points.push_back({rng.NextDouble() * 100.0, rng.NextDouble() * 100.0});
+  }
+  for (auto _ : state) {
+    auto hull = stats::LowerConvexHull(points);
+    benchmark::DoNotOptimize(hull);
+  }
+}
+BENCHMARK(BM_LowerConvexHull)->Arg(64)->Arg(1024);
+
+void BM_MarketSimulation(benchmark::State& state) {
+  auto rate = arrival::PiecewiseConstantRate::Constant(5000.0, 24.0).value();
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  market::SimulatorConfig config;
+  config.total_tasks = 200;
+  config.horizon_hours = 24.0;
+  config.decision_interval_hours = 1.0;
+  Rng rng(3);
+  for (auto _ : state) {
+    market::FixedOfferController controller(market::Offer{14.0, 1});
+    Rng child = rng.Fork();
+    auto result = market::RunSimulation(config, rate, acceptance, controller, child);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MarketSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_NhppSampling(benchmark::State& state) {
+  auto rate = arrival::PiecewiseConstantRate::Constant(5000.0, 24.0).value();
+  Rng rng(5);
+  for (auto _ : state) {
+    auto times = arrival::SampleArrivalTimes(rate, 0.0, 24.0, rng);
+    benchmark::DoNotOptimize(times);
+  }
+}
+BENCHMARK(BM_NhppSampling)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crowdprice
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Table 2 + Eq. 13 derivation (§5.1.2): regress log(workload/hour) on
+// wage/sec per task type over a synthetic marketplace snapshot, then convert
+// the Data-Collection row into the logit acceptance parameters.
+//
+// Paper: linear coefficients ~748 (categorization) and ~809 (data
+// collection) -- "approximately the same"; biases 3.66 vs 6.28 -- data
+// collection clearly preferred; conversion yields Eq. 13 (s ~ 15, b ~ -0.39,
+// M = 2000).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "choice/calibration.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace crowdprice;
+
+int main() {
+  std::cout << "=== Table 2: least-squares workload regression by task type ===\n\n";
+  Rng rng(20140827);
+  choice::SnapshotConfig config;
+  config.num_groups = 100;
+  config.linear_coefficient = 780.0;  // ground truth between the paper's 748/809
+  config.type_bias = {3.66, 6.28};
+  std::vector<choice::TaskGroupObservation> snapshot;
+  BENCH_ASSIGN(snapshot, choice::GenerateMarketplaceSnapshot(config, rng));
+  std::vector<choice::WorkloadRegressionRow> rows;
+  BENCH_ASSIGN(rows, choice::WorkloadRegression(snapshot));
+
+  const char* names[] = {"Categorization", "Data Collection"};
+  const double paper_coef[] = {748.0, 809.0};
+  const double paper_bias[] = {3.66, 6.28};
+  Table table({"task type", "linear coef (ours)", "bias (ours)",
+               "linear coef (paper)", "bias (paper)", "r^2"});
+  for (const auto& row : rows) {
+    const size_t k = static_cast<size_t>(row.task_type);
+    bench::DieOnError(
+        table.AddRow({names[k], StringF("%.0f", row.fit.slope),
+                      StringF("%.2f", row.fit.intercept),
+                      StringF("%.0f", paper_coef[k]),
+                      StringF("%.2f", paper_bias[k]),
+                      StringF("%.3f", row.fit.r_squared)}),
+        "table row");
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+
+  bench::Check(std::fabs(rows[0].fit.slope - rows[1].fit.slope) <
+                   0.25 * rows[0].fit.slope,
+               "linear coefficients approximately equal across task types");
+  bench::Check(rows[1].fit.intercept > rows[0].fit.intercept + 1.5,
+               "data-collection bias clearly above categorization (worker "
+               "preference)");
+  bench::Check(rows[0].fit.r_squared > 0.7 && rows[1].fit.r_squared > 0.7,
+               "both regressions explain most variance");
+
+  std::cout << "\n--- Eq. 13 derivation from the Data Collection row ---\n";
+  choice::LogitAcceptance fitted = choice::LogitAcceptance::Paper2014();
+  {
+    const auto& dc = rows[1];
+    auto derived = choice::DeriveLogitFromWorkloadRegression(
+        dc.fit.slope, dc.fit.intercept, /*task_seconds=*/120.0,
+        /*total_tasks_per_hour=*/6000.0, /*m=*/2000.0);
+    bench::DieOnError(derived.status(), "Eq. 13 derivation");
+    fitted = derived.value();
+  }
+  std::cout << StringF("derived: s = %.2f, b = %.3f, M = %.0f   (paper Eq. 13: "
+                       "s = 15, b = -0.39, M = 2000)\n",
+                       fitted.s(), fitted.b(), fitted.m());
+  bench::Check(std::fabs(fitted.s() - 15.0) < 3.0,
+               "derived reward scale s within ~20% of Eq. 13");
+  bench::Check(std::fabs(fitted.b() + 0.39) < 0.6,
+               "derived bias b near Eq. 13's -0.39");
+
+  Table pvals({"c (cents)", "p(c) derived", "p(c) Eq.13"});
+  auto eq13 = choice::LogitAcceptance::Paper2014();
+  bool close = true;
+  for (int c = 0; c <= 30; c += 5) {
+    const double ours = fitted.ProbabilityAt(c);
+    const double ref = eq13.ProbabilityAt(c);
+    close = close && std::fabs(ours - ref) < 0.5 * ref + 1e-5;
+    bench::DieOnError(pvals.AddRow({StringF("%d", c), StringF("%.5f", ours),
+                                    StringF("%.5f", ref)}),
+                      "pvals row");
+  }
+  std::cout << "\n";
+  pvals.Print(std::cout);
+  bench::Check(close, "derived p(c) tracks Eq. 13 within 50% over c in [0,30]");
+  return bench::Finish();
+}

@@ -1,0 +1,114 @@
+// Fixed-budget dataset labeling with the static two-price strategy (§4).
+//
+// Scenario: a research group needs 1,000 image pairs labeled for an entity
+// resolution benchmark. The grant line item is fixed ($150); there is no
+// hard deadline, but the group wants the expected wait minimized and an
+// honest picture of the completion-time spread before committing.
+//
+// The example sizes the optimal static price split with Algorithm 3,
+// cross-checks it against the exact pseudo-polynomial DP (Theorem 6),
+// predicts E[T] from the worker-arrival identity E[W] = sum 1/p(c_i)
+// (Theorem 5), then validates the prediction by simulation.
+
+#include <iostream>
+
+#include "crowdprice.h"
+
+using namespace crowdprice;
+
+int main() {
+  constexpr int kTasks = 1000;
+  constexpr double kBudgetCents = 15000.0;  // $150
+  constexpr int kMaxPrice = 60;
+
+  const choice::LogitAcceptance acceptance = choice::LogitAcceptance::Paper2014();
+
+  // ---- Plan: two-price hull solution + exact cross-check ---------------
+  auto lp = pricing::SolveBudgetLp(kTasks, kBudgetCents, acceptance, kMaxPrice);
+  if (!lp.ok()) {
+    std::cerr << lp.status() << "\n";
+    return 1;
+  }
+  std::cout << "Algorithm 3 static assignment for $"
+            << StringF("%.0f", kBudgetCents / 100.0) << ":\n";
+  for (const auto& alloc : lp->allocations) {
+    std::cout << StringF("  %4lld tasks at %d cents\n",
+                         static_cast<long long>(alloc.count), alloc.price_cents);
+  }
+  std::cout << StringF("committed budget: $%.2f of $%.2f\n",
+                       lp->total_cost_cents / 100.0, kBudgetCents / 100.0);
+
+  auto exact = pricing::SolveBudgetExactDp(kTasks, static_cast<int>(kBudgetCents),
+                                           acceptance, kMaxPrice);
+  if (exact.ok()) {
+    std::cout << StringF(
+        "hull-LP E[W] = %.0f worker arrivals; exact DP = %.0f (gap %.2f, "
+        "Theorem-8 bound %.2f)\n",
+        lp->expected_worker_arrivals, exact->expected_worker_arrivals,
+        lp->expected_worker_arrivals - exact->expected_worker_arrivals,
+        pricing::LpRoundingGapBound(*lp, acceptance).value_or(-1.0));
+  }
+
+  // ---- Predict latency --------------------------------------------------
+  arrival::SyntheticTraceConfig market;
+  market.base_rate_per_hour = 5083.0;
+  auto rate = arrival::SyntheticTraceGenerator::TrueRate(market);
+  if (!rate.ok()) {
+    std::cerr << rate.status() << "\n";
+    return 1;
+  }
+  const double mean_rate = rate->MeanRate();
+  auto predicted = lp->ExpectedLatencyHours(mean_rate);
+  if (!predicted.ok()) {
+    std::cerr << predicted.status() << "\n";
+    return 1;
+  }
+  std::cout << StringF("\npredicted completion: %.1f hours (%.1f days)\n",
+                       *predicted, *predicted / 24.0);
+
+  // ---- Validate by simulation -------------------------------------------
+  market::SimulatorConfig sim;
+  sim.total_tasks = kTasks;
+  sim.horizon_hours = *predicted * 6.0;  // ample headroom; stops when done
+  sim.decision_interval_hours = 1.0;
+  sim.decide_on_every_assignment = true;  // exact tier-exhaustion semantics
+  sim.service_minutes_per_task = 2.0;
+
+  Rng rng(7);
+  std::vector<double> completion_hours;
+  const int kReplicates = 60;
+  for (int rep = 0; rep < kReplicates; ++rep) {
+    std::vector<market::StaticTierController::Tier> tiers;
+    for (const auto& alloc : lp->allocations) {
+      tiers.push_back({static_cast<double>(alloc.price_cents), alloc.count});
+    }
+    auto controller = market::StaticTierController::Create(tiers);
+    if (!controller.ok()) {
+      std::cerr << controller.status() << "\n";
+      return 1;
+    }
+    Rng child = rng.Fork();
+    auto run = market::RunSimulation(sim, *rate, acceptance, *controller, child);
+    if (!run.ok()) {
+      std::cerr << run.status() << "\n";
+      return 1;
+    }
+    if (!run->finished) {
+      std::cerr << "replicate " << rep << " did not finish\n";
+      return 1;
+    }
+    completion_hours.push_back(run->completion_time_hours);
+  }
+
+  stats::RunningStats summary;
+  for (double h : completion_hours) summary.Add(h);
+  auto p10 = stats::Percentile(completion_hours, 0.10);
+  auto p90 = stats::Percentile(completion_hours, 0.90);
+  std::cout << StringF(
+      "simulated %d campaigns: mean %.1f h, p10 %.1f h, p90 %.1f h\n",
+      kReplicates, summary.mean(), p10.value_or(-1.0), p90.value_or(-1.0));
+  std::cout << "\nNote the spread: the budget-optimal static strategy"
+               " minimizes the *expected* wait;\nif you need an upper bound"
+               " on time, use the deadline solver instead.\n";
+  return 0;
+}

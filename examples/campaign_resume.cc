@@ -1,0 +1,119 @@
+// Solve once, persist, and resume a campaign after a controller restart.
+//
+// Production pattern: the MDP solve runs in a batch job; the host that
+// actually talks to the marketplace only loads the policy table and looks
+// up prices. If that host restarts mid-campaign, it reloads the same plan
+// and continues from the observed remaining-task count -- the policy is a
+// function of (remaining, time), so no other state needs recovering.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "crowdprice.h"
+
+using namespace crowdprice;
+
+int main() {
+  const std::string plan_path = "/tmp/crowdprice_campaign.plan";
+
+  // ---- Batch job: solve and persist -------------------------------------
+  {
+    auto acceptance = choice::LogitAcceptance::Paper2014();
+    auto actions = pricing::ActionSet::FromPriceGrid(50, acceptance);
+    if (!actions.ok()) {
+      std::cerr << actions.status() << "\n";
+      return 1;
+    }
+    pricing::DeadlineProblem problem;
+    problem.num_tasks = 300;
+    problem.num_intervals = 48;
+    std::vector<double> lambdas(48, 3800.0);
+    auto solved =
+        pricing::SolveForExpectedRemaining(problem, lambdas, *actions, 0.25);
+    if (!solved.ok()) {
+      std::cerr << solved.status() << "\n";
+      return 1;
+    }
+    std::ofstream out(plan_path);
+    out << pricing::SerializePlan(solved->plan);
+    if (!out.good()) {
+      std::cerr << "failed to write " << plan_path << "\n";
+      return 1;
+    }
+    std::cout << StringF(
+        "solved and persisted: N=300, 48 intervals, expected cost %.0f c, "
+        "E[remaining] %.3f\n",
+        solved->evaluation.expected_cost_cents,
+        solved->evaluation.expected_remaining);
+  }
+
+  // ---- Controller host: load and drive -----------------------------------
+  std::ifstream in(plan_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto plan = pricing::DeserializePlan(buffer.str());
+  if (!plan.ok()) {
+    std::cerr << "reload failed: " << plan.status() << "\n";
+    return 1;
+  }
+  std::cout << "reloaded plan from " << plan_path << "\n";
+
+  // Simulate the first half of the campaign, "crash", reload (above), and
+  // finish the second half with a fresh controller instance.
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  auto rate = arrival::PiecewiseConstantRate::Constant(3800.0 * 48.0 / 24.0, 24.0);
+  if (!rate.ok()) {
+    std::cerr << rate.status() << "\n";
+    return 1;
+  }
+  // The plan's 48 intervals span a 24 h campaign: 30-minute decisions.
+  const double horizon = 24.0;
+
+  // First half: intervals 0..23.
+  int64_t remaining = plan->num_tasks();
+  double paid = 0.0;
+  Rng rng(2026);
+  std::vector<double> probs;
+  for (const auto& a : plan->actions().actions()) probs.push_back(a.acceptance);
+  for (int t = 0; t < 24 && remaining > 0; ++t) {
+    auto action = plan->ActionAt(static_cast<int>(remaining), t);
+    if (!action.ok()) {
+      std::cerr << action.status() << "\n";
+      return 1;
+    }
+    const double mu = plan->interval_lambdas()[static_cast<size_t>(t)] *
+                      action->acceptance;
+    const int done = std::min<int64_t>(stats::SamplePoisson(rng, mu), remaining);
+    paid += done * action->cost_per_task_cents;
+    remaining -= done;
+  }
+  std::cout << StringF(
+      "midnight restart: %lld tasks remain, %.0f cents paid so far\n",
+      static_cast<long long>(remaining), paid);
+
+  // "Restart": a brand-new controller built from the reloaded plan picks up
+  // at wall-clock hour 12 with the observed remaining count.
+  auto controller = pricing::PlanController::Create(&*plan, horizon);
+  if (!controller.ok()) {
+    std::cerr << controller.status() << "\n";
+    return 1;
+  }
+  for (int t = 24; t < 48 && remaining > 0; ++t) {
+    auto offer = controller->Decide(t * horizon / 48.0, remaining);
+    if (!offer.ok()) {
+      std::cerr << offer.status() << "\n";
+      return 1;
+    }
+    const double p = acceptance.ProbabilityAt(offer->per_task_reward_cents);
+    const double mu = plan->interval_lambdas()[static_cast<size_t>(t)] * p;
+    const int done = std::min<int64_t>(stats::SamplePoisson(rng, mu), remaining);
+    paid += done * offer->per_task_reward_cents;
+    remaining -= done;
+  }
+  std::cout << StringF(
+      "campaign end: %lld unfinished, total paid %.0f cents (avg %.2f c/task)\n",
+      static_cast<long long>(remaining), paid,
+      paid / static_cast<double>(plan->num_tasks() - remaining));
+  return remaining == 0 ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Two task types racing one deadline (§6, "Multiple Task Types").
+//
+// Scenario: a product launch needs 15 screenshots categorized AND 15
+// descriptions proofread by end of day. Both batches come from the same
+// requester, post to the same marketplace, and *compete for the same
+// workers*: raising the categorization reward siphons workers away from
+// proofreading. The joint MDP prices both types per interval, trading them
+// off against each other; this example prints the joint policy surface and
+// contrasts it with naive independent pricing.
+
+#include <iostream>
+
+#include "crowdprice.h"
+
+using namespace crowdprice;
+
+int main() {
+  // Joint conditional-logit acceptance: categorization (type 1) is less
+  // intrinsically attractive (higher bias) than proofreading (type 2).
+  auto joint_r = pricing::JointLogitAcceptance::Create(
+      /*s1=*/10.0, /*b1=*/1.6, /*s2=*/10.0, /*b2=*/1.0, /*m=*/250.0);
+  if (!joint_r.ok()) {
+    std::cerr << joint_r.status() << "\n";
+    return 1;
+  }
+  const pricing::JointLogitAcceptance& joint = *joint_r;
+
+  pricing::MultiTypeProblem problem;
+  problem.num_tasks_1 = 15;
+  problem.num_tasks_2 = 15;
+  problem.num_intervals = 8;   // hourly decisions over an 8-hour workday
+  problem.penalty_1_cents = 200.0;
+  problem.penalty_2_cents = 150.0;  // proofreading misses are less costly
+  problem.max_price_cents = 30;
+  problem.price_stride = 2;
+
+  const std::vector<double> lambdas(8, 80.0);  // 80 workers/hour see the posts
+  auto plan_r = pricing::SolveMultiType(problem, lambdas, joint);
+  if (!plan_r.ok()) {
+    std::cerr << plan_r.status() << "\n";
+    return 1;
+  }
+  const pricing::MultiTypePlan& plan = *plan_r;
+
+  std::cout << StringF("expected total objective: %.0f cents\n\n",
+                       plan.TotalObjective());
+
+  // Policy surface at the start of the day: how the categorization price
+  // depends on BOTH backlogs.
+  std::cout << "categorization price (c1) at t=0, by remaining counts:\n";
+  std::cout << "        n2=1  n2=5  n2=10  n2=15\n";
+  for (int n1 : {1, 5, 10, 15}) {
+    std::cout << StringF("  n1=%-3d", n1);
+    for (int n2 : {1, 5, 10, 15}) {
+      auto prices = plan.PricesAt(n1, n2, 0);
+      if (!prices.ok()) {
+        std::cerr << prices.status() << "\n";
+        return 1;
+      }
+      std::cout << StringF(" %4d ", prices->first);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nproofreading price (c2) at t=0:\n";
+  std::cout << "        n2=1  n2=5  n2=10  n2=15\n";
+  for (int n1 : {1, 5, 10, 15}) {
+    std::cout << StringF("  n1=%-3d", n1);
+    for (int n2 : {1, 5, 10, 15}) {
+      auto prices = plan.PricesAt(n1, n2, 0);
+      if (!prices.ok()) {
+        std::cerr << prices.status() << "\n";
+        return 1;
+      }
+      std::cout << StringF(" %4d ", prices->second);
+    }
+    std::cout << "\n";
+  }
+
+  // How the same state prices up as the deadline nears.
+  std::cout << "\nprices at (n1=10, n2=10) across the day:\n";
+  for (int t = 0; t < problem.num_intervals; ++t) {
+    auto prices = plan.PricesAt(10, 10, t);
+    if (!prices.ok()) {
+      std::cerr << prices.status() << "\n";
+      return 1;
+    }
+    std::cout << StringF("  hour %d: categorize %2d c, proofread %2d c\n", t,
+                         prices->first, prices->second);
+  }
+
+  // Contrast: independent single-type planning underestimates cost because
+  // each planner pretends the other batch does not compete.
+  auto naive = [&](double bias, double penalty) -> double {
+    auto acc = choice::LogitAcceptance::Create(10.0, bias, 250.0 + 1.0);
+    if (!acc.ok()) return -1.0;
+    pricing::DeadlineProblem sp;
+    sp.num_tasks = 15;
+    sp.num_intervals = 8;
+    sp.penalty_cents = penalty;
+    auto actions = pricing::ActionSet::FromPriceGrid(30, *acc);
+    if (!actions.ok()) return -1.0;
+    auto solved = pricing::SolveImprovedDp(sp, lambdas, *actions);
+    return solved.ok() ? solved->TotalObjective() : -1.0;
+  };
+  const double naive_total = naive(1.6, 200.0) + naive(1.0, 150.0);
+  std::cout << StringF(
+      "\nnaive independent planning predicts %.0f cents -- optimistic by "
+      "%.0f%% because it ignores that the two batches compete for workers.\n",
+      naive_total,
+      (plan.TotalObjective() / naive_total - 1.0) * 100.0);
+  return 0;
+}

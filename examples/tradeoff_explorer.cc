@@ -1,0 +1,79 @@
+// Cost/latency tradeoff explorer (§6: neither deadline nor budget fixed).
+//
+// Scenario: a data team runs a steady stream of transcription micro-tasks.
+// Each hour a task spends unfinished delays a downstream model refresh,
+// which the team values at some cents per task-hour. This tool sweeps that
+// valuation (alpha) and prints the full frontier -- what the per-task price
+// should be, what each task will cost, and how long it will take -- so the
+// team can pick its operating point.
+
+#include <iostream>
+
+#include "crowdprice.h"
+
+using namespace crowdprice;
+
+int main() {
+  const choice::LogitAcceptance acceptance = choice::LogitAcceptance::Paper2014();
+  constexpr double kMeanRatePerHour = 5083.0;
+  constexpr int kMaxPrice = 60;
+
+  Table frontier({"alpha (c per task-hour)", "price (c)", "hours/task",
+                  "cost+delay (c/task)"});
+  std::cout << "Cost/latency frontier (worker-arrival model, lambda-bar = "
+            << StringF("%.0f", kMeanRatePerHour) << "/h):\n\n";
+  for (double alpha : {0.5, 2.0, 8.0, 32.0, 128.0, 512.0, 2048.0}) {
+    auto sol = pricing::SolveWorkerArrivalTradeoff(kMeanRatePerHour, acceptance,
+                                                   alpha, kMaxPrice);
+    if (!sol.ok()) {
+      std::cerr << sol.status() << "\n";
+      return 1;
+    }
+    (void)frontier.AddRow({StringF("%.1f", alpha),
+                           StringF("%d", sol->price_cents),
+                           StringF("%.3f", sol->expected_latency_per_task),
+                           StringF("%.2f", sol->objective_per_task)});
+  }
+  frontier.Print(std::cout);
+
+  // Zoom into one operating point and show the whole objective curve, so
+  // the flatness around the optimum is visible (useful when the team wants
+  // a "round" price near the optimum).
+  const double alpha = 32.0;
+  auto sol = pricing::SolveWorkerArrivalTradeoff(kMeanRatePerHour, acceptance,
+                                                 alpha, kMaxPrice);
+  if (!sol.ok()) {
+    std::cerr << sol.status() << "\n";
+    return 1;
+  }
+  std::cout << StringF(
+      "\nobjective curve at alpha = %.0f (optimum %d cents marked *):\n",
+      alpha, sol->price_cents);
+  for (int c = 0; c <= kMaxPrice; c += 4) {
+    const double v = sol->objective_curve[static_cast<size_t>(c)];
+    std::cout << StringF("  c=%2d  %8.2f %s\n", c, v,
+                         c == sol->price_cents ? "*" : "");
+  }
+
+  // The same question under the fixed-rate MDP discretization (§6's first
+  // formulation). Its premise is at most one completion per interval, so
+  // the interval must be short: 10 seconds keeps lambda * p(c) below ~0.7
+  // across the whole price grid here.
+  std::cout << "\nfixed-rate formulation (10-second decision intervals):\n";
+  const double intervals_per_hour = 360.0;
+  const double lambda_per_interval = kMeanRatePerHour / intervals_per_hour;
+  for (double alpha_hour : {0.5, 32.0, 512.0}) {
+    auto fr = pricing::SolveFixedRateTradeoff(
+        lambda_per_interval, acceptance, alpha_hour / intervals_per_hour,
+        kMaxPrice);
+    if (!fr.ok()) {
+      std::cerr << fr.status() << "\n";
+      return 1;
+    }
+    std::cout << StringF(
+        "  alpha = %5.1f c/task-hour -> price %2d c, %5.2f hours/task\n",
+        alpha_hour, fr->price_cents,
+        fr->expected_latency_per_task / intervals_per_hour);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "arrival/estimator.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::arrival {
+
+namespace {
+
+Status ValidateTrace(const ArrivalTrace& trace) {
+  if (trace.counts.empty()) {
+    return Status::InvalidArgument("trace has no buckets");
+  }
+  if (!(trace.bucket_width_hours > 0.0)) {
+    return Status::InvalidArgument(
+        StringF("trace bucket width must be > 0; got %g", trace.bucket_width_hours));
+  }
+  for (size_t i = 0; i < trace.counts.size(); ++i) {
+    if (trace.counts[i] < 0) {
+      return Status::InvalidArgument(
+          StringF("trace bucket %zu has negative count %lld", i,
+                  static_cast<long long>(trace.counts[i])));
+    }
+  }
+  return Status::OK();
+}
+
+// Buckets per 24 hours; errors if a day is not a whole number of buckets.
+Result<int> BucketsPerDay(const ArrivalTrace& trace) {
+  const double per_day = 24.0 / trace.bucket_width_hours;
+  const int rounded = static_cast<int>(std::lround(per_day));
+  if (std::fabs(per_day - rounded) > 1e-9 || rounded < 1) {
+    return Status::InvalidArgument(
+        StringF("bucket width %g h does not divide a day", trace.bucket_width_hours));
+  }
+  return rounded;
+}
+
+}  // namespace
+
+Result<PiecewiseConstantRate> EstimateRate(const ArrivalTrace& trace) {
+  CP_RETURN_IF_ERROR(ValidateTrace(trace));
+  std::vector<double> rates(trace.counts.size());
+  for (size_t i = 0; i < trace.counts.size(); ++i) {
+    rates[i] = static_cast<double>(trace.counts[i]) / trace.bucket_width_hours;
+  }
+  return PiecewiseConstantRate::Create(std::move(rates), trace.bucket_width_hours);
+}
+
+Result<PiecewiseConstantRate> EstimateWeeklyProfile(const ArrivalTrace& trace) {
+  CP_RETURN_IF_ERROR(ValidateTrace(trace));
+  CP_ASSIGN_OR_RETURN(int per_day, BucketsPerDay(trace));
+  const size_t per_week = static_cast<size_t>(per_day) * 7;
+  if (trace.counts.size() % per_week != 0) {
+    return Status::InvalidArgument(
+        StringF("trace has %zu buckets; not a whole number of weeks (%zu/week)",
+                trace.counts.size(), per_week));
+  }
+  const size_t weeks = trace.counts.size() / per_week;
+  std::vector<double> rates(per_week, 0.0);
+  for (size_t w = 0; w < weeks; ++w) {
+    for (size_t b = 0; b < per_week; ++b) {
+      rates[b] += static_cast<double>(trace.counts[w * per_week + b]);
+    }
+  }
+  for (double& r : rates) {
+    r /= static_cast<double>(weeks) * trace.bucket_width_hours;
+  }
+  return PiecewiseConstantRate::Create(std::move(rates), trace.bucket_width_hours);
+}
+
+Result<PiecewiseConstantRate> DayRate(const ArrivalTrace& trace, int day_index) {
+  CP_RETURN_IF_ERROR(ValidateTrace(trace));
+  CP_ASSIGN_OR_RETURN(int per_day, BucketsPerDay(trace));
+  const size_t start = static_cast<size_t>(day_index) * static_cast<size_t>(per_day);
+  if (day_index < 0 || start + static_cast<size_t>(per_day) > trace.counts.size()) {
+    return Status::OutOfRange(
+        StringF("day %d out of range for trace of %zu buckets", day_index,
+                trace.counts.size()));
+  }
+  std::vector<double> rates(static_cast<size_t>(per_day));
+  for (size_t i = 0; i < rates.size(); ++i) {
+    rates[i] = static_cast<double>(trace.counts[start + i]) / trace.bucket_width_hours;
+  }
+  return PiecewiseConstantRate::Create(std::move(rates), trace.bucket_width_hours);
+}
+
+Result<PiecewiseConstantRate> AverageDayRate(const ArrivalTrace& trace,
+                                             const std::vector<int>& day_indices) {
+  if (day_indices.empty()) {
+    return Status::InvalidArgument("AverageDayRate needs at least one day");
+  }
+  std::vector<double> rates;
+  for (int day : day_indices) {
+    CP_ASSIGN_OR_RETURN(PiecewiseConstantRate day_rate, DayRate(trace, day));
+    if (rates.empty()) {
+      rates = day_rate.rates();
+    } else {
+      for (size_t i = 0; i < rates.size(); ++i) rates[i] += day_rate.rates()[i];
+    }
+  }
+  for (double& r : rates) r /= static_cast<double>(day_indices.size());
+  return PiecewiseConstantRate::Create(std::move(rates), trace.bucket_width_hours);
+}
+
+}  // namespace crowdprice::arrival

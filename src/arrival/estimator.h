@@ -1,0 +1,41 @@
+// Rate estimation from arrival traces.
+//
+// The paper assumes lambda(t) is learned from historical traces (Faridani et
+// al.'s technique); the pricing algorithms then treat it as known. For the
+// robustness experiments (Fig. 10) the protocol is: train the rate on some
+// days, price with it, and evaluate against the held-out day's realized
+// rate. These estimators implement that protocol.
+
+#ifndef CROWDPRICE_ARRIVAL_ESTIMATOR_H_
+#define CROWDPRICE_ARRIVAL_ESTIMATOR_H_
+
+#include <vector>
+
+#include "arrival/rate_function.h"
+#include "arrival/trace.h"
+#include "util/result.h"
+
+namespace crowdprice::arrival {
+
+/// Maximum-likelihood piecewise-constant estimate: rate in each bucket is
+/// count / width. Requires a non-empty trace.
+Result<PiecewiseConstantRate> EstimateRate(const ArrivalTrace& trace);
+
+/// Averages the trace across its weeks into one weekly profile: bucket b of
+/// the result is the mean of buckets {b, b + W, b + 2W, ...} where W is one
+/// week of buckets. Trace must span a whole number of weeks >= 1.
+Result<PiecewiseConstantRate> EstimateWeeklyProfile(const ArrivalTrace& trace);
+
+/// Extracts the one-day rate (24 h) realized on 0-based `day_index` of the
+/// trace.
+Result<PiecewiseConstantRate> DayRate(const ArrivalTrace& trace, int day_index);
+
+/// Averages the realized rates of the given days (each 24 h) into a single
+/// one-day training profile; the Fig. 10 protocol uses the mean of the three
+/// non-test days. Day list must be non-empty and in range.
+Result<PiecewiseConstantRate> AverageDayRate(const ArrivalTrace& trace,
+                                             const std::vector<int>& day_indices);
+
+}  // namespace crowdprice::arrival
+
+#endif  // CROWDPRICE_ARRIVAL_ESTIMATOR_H_

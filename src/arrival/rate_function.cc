@@ -1,0 +1,145 @@
+#include "arrival/rate_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::arrival {
+
+Result<PiecewiseConstantRate> PiecewiseConstantRate::Create(
+    std::vector<double> rates_per_hour, double bucket_width_hours) {
+  if (rates_per_hour.empty()) {
+    return Status::InvalidArgument("rate function needs at least one bucket");
+  }
+  if (!(bucket_width_hours > 0.0) || !std::isfinite(bucket_width_hours)) {
+    return Status::InvalidArgument(
+        StringF("bucket width must be positive and finite; got %g", bucket_width_hours));
+  }
+  for (size_t i = 0; i < rates_per_hour.size(); ++i) {
+    if (!(rates_per_hour[i] >= 0.0) || !std::isfinite(rates_per_hour[i])) {
+      return Status::InvalidArgument(
+          StringF("rate bucket %zu is %g; rates must be finite and >= 0", i,
+                  rates_per_hour[i]));
+    }
+  }
+  return PiecewiseConstantRate(std::move(rates_per_hour), bucket_width_hours);
+}
+
+Result<PiecewiseConstantRate> PiecewiseConstantRate::Constant(
+    double rate_per_hour, double span_hours) {
+  if (!(span_hours > 0.0)) {
+    return Status::InvalidArgument(StringF("span must be > 0; got %g", span_hours));
+  }
+  return Create({rate_per_hour}, span_hours);
+}
+
+double PiecewiseConstantRate::At(double t_hours) const {
+  const double span = span_hours();
+  double t = std::fmod(t_hours, span);
+  if (t < 0.0) t += span;
+  size_t idx = static_cast<size_t>(t / bucket_width_);
+  if (idx >= rates_.size()) idx = rates_.size() - 1;  // fmod edge rounding
+  return rates_[idx];
+}
+
+Result<double> PiecewiseConstantRate::Integrate(double a_hours,
+                                                double b_hours) const {
+  if (!(a_hours >= 0.0) || !(b_hours >= a_hours) || !std::isfinite(b_hours)) {
+    return Status::InvalidArgument(
+        StringF("Integrate needs 0 <= a <= b finite; got [%g, %g]", a_hours, b_hours));
+  }
+  // Walk bucket boundaries from a to b, accumulating rate * overlap.
+  double total = 0.0;
+  double t = a_hours;
+  while (t < b_hours) {
+    // Next bucket boundary strictly after t (in the periodic extension).
+    const double next_edge =
+        (std::floor(t / bucket_width_ + 1e-12) + 1.0) * bucket_width_;
+    const double seg_end = std::min(next_edge, b_hours);
+    total += At(t) * (seg_end - t);
+    if (seg_end <= t) {  // Defensive: avoid infinite loop on rounding.
+      return Status::NumericError("Integrate made no progress (width underflow?)");
+    }
+    t = seg_end;
+  }
+  return total;
+}
+
+Result<std::vector<double>> PiecewiseConstantRate::IntervalMeans(
+    double horizon_hours, int num_intervals) const {
+  if (num_intervals < 1) {
+    return Status::InvalidArgument("num_intervals must be >= 1");
+  }
+  if (!(horizon_hours > 0.0)) {
+    return Status::InvalidArgument(StringF("horizon must be > 0; got %g", horizon_hours));
+  }
+  std::vector<double> means(static_cast<size_t>(num_intervals));
+  const double width = horizon_hours / num_intervals;
+  for (int i = 0; i < num_intervals; ++i) {
+    CP_ASSIGN_OR_RETURN(means[static_cast<size_t>(i)],
+                        Integrate(width * i, width * (i + 1)));
+  }
+  return means;
+}
+
+double PiecewiseConstantRate::MeanRate() const {
+  double sum = 0.0;
+  for (double r : rates_) sum += r;
+  return sum / static_cast<double>(rates_.size());
+}
+
+Result<PiecewiseConstantRate> PiecewiseConstantRate::Window(
+    double start_hours, double duration_hours) const {
+  if (!(start_hours >= 0.0) || !(duration_hours > 0.0)) {
+    return Status::InvalidArgument(
+        StringF("Window needs start >= 0 and duration > 0; got start=%g dur=%g",
+                start_hours, duration_hours));
+  }
+  const size_t first = static_cast<size_t>(std::floor(start_hours / bucket_width_ + 1e-12));
+  const size_t count = static_cast<size_t>(
+      std::ceil(duration_hours / bucket_width_ - 1e-12));
+  std::vector<double> rates(std::max<size_t>(count, 1));
+  for (size_t i = 0; i < rates.size(); ++i) {
+    rates[i] = rates_[(first + i) % rates_.size()];
+  }
+  return Create(std::move(rates), bucket_width_);
+}
+
+Result<PiecewiseConstantRate> PiecewiseConstantRate::Scaled(double factor) const {
+  if (!(factor >= 0.0) || !std::isfinite(factor)) {
+    return Status::InvalidArgument(StringF("scale factor must be >= 0; got %g", factor));
+  }
+  std::vector<double> rates = rates_;
+  for (double& r : rates) r *= factor;
+  return Create(std::move(rates), bucket_width_);
+}
+
+Result<std::vector<double>> SampleArrivalTimes(const PiecewiseConstantRate& rate,
+                                               double t0_hours, double t1_hours,
+                                               Rng& rng) {
+  if (!(t0_hours >= 0.0) || !(t1_hours >= t0_hours)) {
+    return Status::InvalidArgument(
+        StringF("SampleArrivalTimes needs 0 <= t0 <= t1; got [%g, %g]", t0_hours,
+                t1_hours));
+  }
+  std::vector<double> times;
+  double t = t0_hours;
+  const double width = rate.bucket_width_hours();
+  while (t < t1_hours) {
+    const double next_edge = (std::floor(t / width + 1e-12) + 1.0) * width;
+    const double seg_end = std::min(next_edge, t1_hours);
+    const double mean = rate.At(t) * (seg_end - t);
+    const int count = stats::SamplePoisson(rng, mean);
+    for (int i = 0; i < count; ++i) {
+      times.push_back(t + rng.NextDouble() * (seg_end - t));
+    }
+    t = seg_end;
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+}  // namespace crowdprice::arrival

@@ -1,0 +1,82 @@
+// Worker-arrival rate functions for the Non-Homogeneous Poisson Process.
+//
+// The paper (following Faridani et al.) models marketplace worker arrivals
+// as an NHPP with a periodic rate lambda(t), estimated from mturk-tracker
+// data as piecewise-constant on 20-minute buckets. This module provides the
+// piecewise-constant representation, exact integration Lambda(a, b) (needed
+// for the per-interval Poisson means of Eq. 4), and exact NHPP sampling.
+//
+// Time is measured in hours throughout the library.
+
+#ifndef CROWDPRICE_ARRIVAL_RATE_FUNCTION_H_
+#define CROWDPRICE_ARRIVAL_RATE_FUNCTION_H_
+
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::arrival {
+
+/// lambda(t): piecewise-constant, periodically extended beyond its span.
+/// Bucket i covers [i*w, (i+1)*w) hours where w = bucket_width_hours.
+class PiecewiseConstantRate {
+ public:
+  /// Validates and builds. Requires a non-empty rate vector of finite,
+  /// non-negative values (workers/hour) and a positive bucket width.
+  static Result<PiecewiseConstantRate> Create(std::vector<double> rates_per_hour,
+                                              double bucket_width_hours);
+
+  /// Constant rate convenience constructor (one bucket of the given width).
+  static Result<PiecewiseConstantRate> Constant(double rate_per_hour,
+                                                double span_hours);
+
+  /// lambda(t) in workers/hour; t may be any finite value >= 0 (periodic
+  /// extension past the span).
+  double At(double t_hours) const;
+
+  /// Exact integral Lambda(a, b) = \int_a^b lambda(t) dt, the expected
+  /// number of arrivals in [a, b]. Requires 0 <= a <= b.
+  Result<double> Integrate(double a_hours, double b_hours) const;
+
+  /// Expected arrivals in each of `num_intervals` equal slices of
+  /// [0, horizon]: the lambda_t of paper Eq. (4).
+  Result<std::vector<double>> IntervalMeans(double horizon_hours,
+                                            int num_intervals) const;
+
+  /// Time-average rate over one period (workers/hour); the paper's
+  /// lambda-bar of §4.2.2.
+  double MeanRate() const;
+
+  /// A new rate function equal to this one on [start, start + duration),
+  /// re-based to begin at time 0. Boundaries snap to bucket edges, so start
+  /// and duration should be multiples of the bucket width; otherwise the
+  /// covering buckets are used. duration must be > 0.
+  Result<PiecewiseConstantRate> Window(double start_hours,
+                                       double duration_hours) const;
+
+  /// A copy with every bucket multiplied by `factor` (>= 0).
+  Result<PiecewiseConstantRate> Scaled(double factor) const;
+
+  double bucket_width_hours() const { return bucket_width_; }
+  double span_hours() const { return bucket_width_ * static_cast<double>(rates_.size()); }
+  const std::vector<double>& rates() const { return rates_; }
+
+ private:
+  PiecewiseConstantRate(std::vector<double> rates, double width)
+      : rates_(std::move(rates)), bucket_width_(width) {}
+
+  std::vector<double> rates_;
+  double bucket_width_ = 0.0;
+};
+
+/// Samples the arrival times (hours, sorted ascending) of an NHPP with the
+/// given rate on [t0, t1]. Exact: per piecewise-constant bucket, draws a
+/// Poisson count and scatters the points uniformly. Requires 0 <= t0 <= t1.
+Result<std::vector<double>> SampleArrivalTimes(const PiecewiseConstantRate& rate,
+                                               double t0_hours, double t1_hours,
+                                               Rng& rng);
+
+}  // namespace crowdprice::arrival
+
+#endif  // CROWDPRICE_ARRIVAL_RATE_FUNCTION_H_

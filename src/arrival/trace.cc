@@ -1,0 +1,100 @@
+#include "arrival/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::arrival {
+
+int64_t ArrivalTrace::total() const {
+  int64_t sum = 0;
+  for (int64_t c : counts) sum += c;
+  return sum;
+}
+
+Result<ArrivalTrace> ArrivalTrace::Rebucket(int group) const {
+  if (group < 1) return Status::InvalidArgument("Rebucket needs group >= 1");
+  ArrivalTrace out;
+  out.bucket_width_hours = bucket_width_hours * group;
+  out.counts.reserve((counts.size() + group - 1) / group);
+  for (size_t i = 0; i < counts.size(); i += static_cast<size_t>(group)) {
+    int64_t sum = 0;
+    for (size_t j = i; j < std::min(counts.size(), i + static_cast<size_t>(group)); ++j) {
+      sum += counts[j];
+    }
+    out.counts.push_back(sum);
+  }
+  return out;
+}
+
+namespace {
+
+Status ValidateConfig(const SyntheticTraceConfig& c) {
+  if (c.num_weeks < 1) return Status::InvalidArgument("num_weeks must be >= 1");
+  if (c.bucket_minutes < 1 || c.bucket_minutes > 24 * 60) {
+    return Status::InvalidArgument(
+        StringF("bucket_minutes must be in [1, 1440]; got %d", c.bucket_minutes));
+  }
+  if (!(c.base_rate_per_hour > 0.0)) {
+    return Status::InvalidArgument("base_rate_per_hour must be > 0");
+  }
+  if (!(c.diurnal_amplitude >= 0.0 && c.diurnal_amplitude < 1.0)) {
+    return Status::InvalidArgument("diurnal_amplitude must be in [0, 1)");
+  }
+  if (!(c.weekend_factor > 0.0)) {
+    return Status::InvalidArgument("weekend_factor must be > 0");
+  }
+  if (!(c.weekly_wobble >= 0.0 && c.weekly_wobble < 1.0)) {
+    return Status::InvalidArgument("weekly_wobble must be in [0, 1)");
+  }
+  if (!(c.special_day_factor > 0.0)) {
+    return Status::InvalidArgument("special_day_factor must be > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PiecewiseConstantRate> SyntheticTraceGenerator::TrueRate(
+    const SyntheticTraceConfig& config) {
+  CP_RETURN_IF_ERROR(ValidateConfig(config));
+  const double width_hours = static_cast<double>(config.bucket_minutes) / 60.0;
+  const int buckets_per_day = static_cast<int>(std::lround(24.0 / width_hours));
+  const int total_buckets = buckets_per_day * 7 * config.num_weeks;
+  std::vector<double> rates(static_cast<size_t>(total_buckets));
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  for (int i = 0; i < total_buckets; ++i) {
+    const double t_mid = (static_cast<double>(i) + 0.5) * width_hours;  // hours
+    const double hour_of_day = std::fmod(t_mid, 24.0);
+    const int day = static_cast<int>(t_mid / 24.0);
+    const int day_of_week = day % 7;
+    double rate = config.base_rate_per_hour;
+    rate *= 1.0 + config.diurnal_amplitude *
+                      std::cos(kTwoPi * (hour_of_day - config.diurnal_peak_hour) / 24.0);
+    if (day_of_week >= 5) rate *= config.weekend_factor;
+    rate *= 1.0 + config.weekly_wobble *
+                      std::sin(kTwoPi * t_mid / (7.0 * 24.0));
+    if (day == config.special_day) rate *= config.special_day_factor;
+    rates[static_cast<size_t>(i)] = rate;
+  }
+  return PiecewiseConstantRate::Create(std::move(rates), width_hours);
+}
+
+Result<ArrivalTrace> SyntheticTraceGenerator::Generate(
+    const SyntheticTraceConfig& config, Rng& rng) {
+  CP_ASSIGN_OR_RETURN(PiecewiseConstantRate rate, TrueRate(config));
+  ArrivalTrace trace;
+  trace.bucket_width_hours = rate.bucket_width_hours();
+  trace.counts.reserve(rate.rates().size());
+  for (double r : rate.rates()) {
+    trace.counts.push_back(
+        stats::SamplePoisson(rng, r * rate.bucket_width_hours()));
+  }
+  return trace;
+}
+
+}  // namespace crowdprice::arrival

@@ -1,0 +1,74 @@
+// Arrival traces and the synthetic mturk-tracker substitute.
+//
+// The paper calibrates lambda(t) from mturk-tracker.com snapshots: counts of
+// tasks completed in 20-minute buckets over 1/1/2014 - 1/28/2014 (Fig. 1),
+// exhibiting a weekly-periodic pattern with diurnal swings. We do not have
+// that dataset, so SyntheticTraceGenerator produces a statistically
+// equivalent trace: a deterministic weekly-periodic rate profile (diurnal
+// sinusoid, weekday/weekend modulation) calibrated to the paper's scale
+// (~6000 task completions/hour marketplace-wide), with bucket counts drawn
+// from the corresponding Poisson law, plus an optional "special day" rate
+// anomaly to replicate the New-Year's-Day deviation of Fig. 10(c).
+
+#ifndef CROWDPRICE_ARRIVAL_TRACE_H_
+#define CROWDPRICE_ARRIVAL_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arrival/rate_function.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::arrival {
+
+/// Observed (or synthesized) counts of arrivals per fixed-width bucket.
+struct ArrivalTrace {
+  double bucket_width_hours = 0.0;
+  std::vector<int64_t> counts;
+
+  double span_hours() const {
+    return bucket_width_hours * static_cast<double>(counts.size());
+  }
+  int64_t total() const;
+  /// Sums counts into coarser buckets of `group` original buckets each
+  /// (e.g. 20-minute buckets -> 6-hour buckets for Fig. 1). The tail bucket
+  /// may be partial. Requires group >= 1.
+  Result<ArrivalTrace> Rebucket(int group) const;
+};
+
+/// Configuration of the synthetic weekly marketplace profile.
+struct SyntheticTraceConfig {
+  int num_weeks = 4;
+  int bucket_minutes = 20;
+  /// Mean marketplace arrival rate (workers/hour); the paper's data implies
+  /// roughly 5000-6000 completions/hour on Mechanical Turk in Jan 2014.
+  double base_rate_per_hour = 5500.0;
+  /// Relative amplitude of the 24h sinusoid (0 = flat days).
+  double diurnal_amplitude = 0.35;
+  /// Hour-of-day (0-24) at which the diurnal peak occurs.
+  double diurnal_peak_hour = 14.0;
+  /// Multiplier applied on Saturday/Sunday (days 5 and 6 of each week).
+  double weekend_factor = 0.75;
+  /// Relative amplitude of a slow weekly wobble (captures week-scale drift).
+  double weekly_wobble = 0.08;
+  /// Day index (0-based from trace start) whose rate is multiplied by
+  /// special_day_factor, emulating an anomalous holiday; -1 disables.
+  int special_day = -1;
+  double special_day_factor = 0.55;
+};
+
+/// Deterministic weekly-periodic rate profile plus one Poisson realization.
+class SyntheticTraceGenerator {
+ public:
+  /// Builds the ground-truth rate function lambda(t) implied by `config`
+  /// (piecewise constant on the configured buckets, spanning all weeks).
+  static Result<PiecewiseConstantRate> TrueRate(const SyntheticTraceConfig& config);
+
+  /// Draws one Poisson realization of bucket counts from TrueRate(config).
+  static Result<ArrivalTrace> Generate(const SyntheticTraceConfig& config, Rng& rng);
+};
+
+}  // namespace crowdprice::arrival
+
+#endif  // CROWDPRICE_ARRIVAL_TRACE_H_

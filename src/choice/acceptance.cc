@@ -1,0 +1,105 @@
+#include "choice/acceptance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stringf.h"
+
+namespace crowdprice::choice {
+
+Result<LogitAcceptance> LogitAcceptance::Create(double s, double b, double m) {
+  if (!(s > 0.0) || !std::isfinite(s)) {
+    return Status::InvalidArgument(StringF("LogitAcceptance: s must be > 0; got %g", s));
+  }
+  if (!(m > 0.0) || !std::isfinite(m)) {
+    return Status::InvalidArgument(StringF("LogitAcceptance: m must be > 0; got %g", m));
+  }
+  if (!std::isfinite(b)) {
+    return Status::InvalidArgument(StringF("LogitAcceptance: b must be finite; got %g", b));
+  }
+  return LogitAcceptance(s, b, m);
+}
+
+LogitAcceptance LogitAcceptance::Paper2014() {
+  // Eq. 13: exponent c/15 + 0.39, i.e. b = -0.39 in the Eq. 3 convention.
+  return LogitAcceptance(15.0, -0.39, 2000.0);
+}
+
+double LogitAcceptance::ProbabilityAt(double reward_cents) const {
+  const double z = reward_cents / s_ - b_;
+  // Stable in both tails: for large z compute via the complementary form.
+  if (z > 0.0) {
+    const double e = m_ * std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (e + m_);
+}
+
+Result<int> LogitAcceptance::MinRewardForProbability(double target,
+                                                     int max_reward) const {
+  if (!(target > 0.0 && target <= 1.0)) {
+    return Status::InvalidArgument(
+        StringF("target probability must be in (0, 1]; got %g", target));
+  }
+  if (max_reward < 0) {
+    return Status::InvalidArgument("max_reward must be >= 0");
+  }
+  // p is strictly increasing in c; binary search over the integer grid.
+  if (ProbabilityAt(static_cast<double>(max_reward)) < target) {
+    return Status::OutOfRange(
+        StringF("p(%d) = %g < target %g", max_reward,
+                ProbabilityAt(static_cast<double>(max_reward)), target));
+  }
+  int lo = 0, hi = max_reward;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (ProbabilityAt(static_cast<double>(mid)) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Result<TabulatedAcceptance> TabulatedAcceptance::Create(
+    std::vector<double> rewards, std::vector<double> probs) {
+  if (rewards.empty() || rewards.size() != probs.size()) {
+    return Status::InvalidArgument(
+        StringF("TabulatedAcceptance: %zu rewards vs %zu probs (need equal, >= 1)",
+                rewards.size(), probs.size()));
+  }
+  for (size_t i = 0; i < rewards.size(); ++i) {
+    if (!std::isfinite(rewards[i])) {
+      return Status::InvalidArgument("TabulatedAcceptance: non-finite reward");
+    }
+    if (!(probs[i] >= 0.0 && probs[i] <= 1.0)) {
+      return Status::InvalidArgument(
+          StringF("TabulatedAcceptance: p[%zu] = %g outside [0, 1]", i, probs[i]));
+    }
+    if (i > 0) {
+      if (!(rewards[i] > rewards[i - 1])) {
+        return Status::InvalidArgument(
+            "TabulatedAcceptance: rewards must be strictly increasing");
+      }
+      if (probs[i] < probs[i - 1]) {
+        return Status::InvalidArgument(
+            "TabulatedAcceptance: probabilities must be non-decreasing");
+      }
+    }
+  }
+  return TabulatedAcceptance(std::move(rewards), std::move(probs));
+}
+
+double TabulatedAcceptance::ProbabilityAt(double reward_cents) const {
+  if (reward_cents <= rewards_.front()) return probs_.front();
+  if (reward_cents >= rewards_.back()) return probs_.back();
+  const auto it = std::upper_bound(rewards_.begin(), rewards_.end(), reward_cents);
+  const size_t hi = static_cast<size_t>(it - rewards_.begin());
+  const size_t lo = hi - 1;
+  const double frac = (reward_cents - rewards_[lo]) / (rewards_[hi] - rewards_[lo]);
+  return probs_[lo] + frac * (probs_[hi] - probs_[lo]);
+}
+
+}  // namespace crowdprice::choice

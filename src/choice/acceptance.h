@@ -1,0 +1,85 @@
+// Task-acceptance probability functions p(c).
+//
+// p(c) is the probability that a worker who arrives at the marketplace picks
+// our task when its reward is c cents (paper §2.2). The paper's parametric
+// form (Eq. 3, derived from the Conditional Logit Model) is
+//
+//   p(c) = exp(c/s - b) / (exp(c/s - b) + M),
+//
+// with s the reward scale, b the task bias, and M the aggregated
+// attractiveness of all competing tasks. §5.1.2 calibrates this on
+// mturk-tracker data to Eq. 13: s = 15, b = -0.39, M = 2000.
+
+#ifndef CROWDPRICE_CHOICE_ACCEPTANCE_H_
+#define CROWDPRICE_CHOICE_ACCEPTANCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowdprice::choice {
+
+/// Interface: maps a per-task reward (cents, may be fractional for bundled
+/// HITs) to the probability that an arriving worker accepts the task.
+class AcceptanceFunction {
+ public:
+  virtual ~AcceptanceFunction() = default;
+
+  /// p(c) in [0, 1]. Must be non-decreasing in c for the pricing algorithms'
+  /// monotone-search speed-ups to be sound; implementations document whether
+  /// they guarantee this.
+  virtual double ProbabilityAt(double reward_cents) const = 0;
+};
+
+/// The paper's logit form (Eq. 3). Strictly increasing in c.
+class LogitAcceptance final : public AcceptanceFunction {
+ public:
+  /// Requires s > 0 and m > 0 (finite); b may be any finite real.
+  static Result<LogitAcceptance> Create(double s, double b, double m);
+
+  /// The Eq. 13 calibration from the paper's mturk-tracker analysis:
+  /// p(c) = exp(c/15 + 0.39) / (exp(c/15 + 0.39) + 2000).
+  static LogitAcceptance Paper2014();
+
+  double ProbabilityAt(double reward_cents) const override;
+
+  double s() const { return s_; }
+  double b() const { return b_; }
+  double m() const { return m_; }
+
+  /// Smallest integer reward c >= 0 with p(c) >= target, or an OutOfRange
+  /// error if no c <= max_reward reaches it. Used for the theoretical
+  /// minimum price c0 of §5.2.1.
+  Result<int> MinRewardForProbability(double target, int max_reward) const;
+
+ private:
+  LogitAcceptance(double s, double b, double m) : s_(s), b_(b), m_(m) {}
+  double s_;
+  double b_;
+  double m_;
+};
+
+/// Piecewise-linear interpolation through measured (reward, p) samples;
+/// clamps outside the sample range. Used when acceptance has been estimated
+/// empirically per price point (e.g. per HIT group size in the live
+/// experiments, §5.4). Monotonicity is validated at construction.
+class TabulatedAcceptance final : public AcceptanceFunction {
+ public:
+  /// `rewards` must be strictly increasing, `probs` in [0,1] and
+  /// non-decreasing, equal non-zero lengths.
+  static Result<TabulatedAcceptance> Create(std::vector<double> rewards,
+                                            std::vector<double> probs);
+
+  double ProbabilityAt(double reward_cents) const override;
+
+ private:
+  TabulatedAcceptance(std::vector<double> rewards, std::vector<double> probs)
+      : rewards_(std::move(rewards)), probs_(std::move(probs)) {}
+  std::vector<double> rewards_;
+  std::vector<double> probs_;
+};
+
+}  // namespace crowdprice::choice
+
+#endif  // CROWDPRICE_CHOICE_ACCEPTANCE_H_

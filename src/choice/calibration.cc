@@ -1,0 +1,95 @@
+#include "choice/calibration.h"
+
+#include <cmath>
+#include <map>
+
+#include "stats/distributions.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::choice {
+
+Result<std::vector<TaskGroupObservation>> GenerateMarketplaceSnapshot(
+    const SnapshotConfig& config, Rng& rng) {
+  if (config.num_groups < 2) {
+    return Status::InvalidArgument("snapshot needs >= 2 groups");
+  }
+  if (config.type_bias.empty()) {
+    return Status::InvalidArgument("snapshot needs >= 1 task type");
+  }
+  if (!(config.wage_min > 0.0) || !(config.wage_max > config.wage_min)) {
+    return Status::InvalidArgument(
+        StringF("need 0 < wage_min < wage_max; got [%g, %g]", config.wage_min,
+                config.wage_max));
+  }
+  if (!(config.noise_sd >= 0.0)) {
+    return Status::InvalidArgument("noise_sd must be >= 0");
+  }
+  std::vector<TaskGroupObservation> out;
+  out.reserve(static_cast<size_t>(config.num_groups));
+  const size_t num_types = config.type_bias.size();
+  for (int i = 0; i < config.num_groups; ++i) {
+    TaskGroupObservation obs;
+    obs.task_type = static_cast<int>(static_cast<size_t>(i) % num_types);
+    obs.wage_per_second =
+        config.wage_min + rng.NextDouble() * (config.wage_max - config.wage_min);
+    const double log_workload =
+        config.linear_coefficient * obs.wage_per_second +
+        config.type_bias[static_cast<size_t>(obs.task_type)] +
+        stats::SampleNormal(rng, 0.0, config.noise_sd);
+    obs.workload_per_hour = std::exp(log_workload);
+    out.push_back(obs);
+  }
+  return out;
+}
+
+Result<std::vector<WorkloadRegressionRow>> WorkloadRegression(
+    const std::vector<TaskGroupObservation>& snapshot) {
+  if (snapshot.empty()) {
+    return Status::InvalidArgument("WorkloadRegression: empty snapshot");
+  }
+  std::map<int, std::pair<std::vector<double>, std::vector<double>>> by_type;
+  for (const auto& obs : snapshot) {
+    if (!(obs.workload_per_hour > 0.0)) {
+      return Status::InvalidArgument(
+          StringF("workload_per_hour must be > 0 to take logs; got %g",
+                  obs.workload_per_hour));
+    }
+    auto& [xs, ys] = by_type[obs.task_type];
+    xs.push_back(obs.wage_per_second);
+    ys.push_back(std::log(obs.workload_per_hour));
+  }
+  std::vector<WorkloadRegressionRow> rows;
+  for (auto& [type, data] : by_type) {
+    WorkloadRegressionRow row;
+    row.task_type = type;
+    CP_ASSIGN_OR_RETURN(row.fit, stats::FitLinear(data.first, data.second));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Result<LogitAcceptance> DeriveLogitFromWorkloadRegression(
+    double linear_coefficient, double bias, double task_seconds,
+    double total_tasks_per_hour, double m) {
+  if (!(linear_coefficient > 0.0)) {
+    return Status::InvalidArgument("linear_coefficient must be > 0");
+  }
+  if (!(task_seconds > 0.0)) {
+    return Status::InvalidArgument("task_seconds must be > 0");
+  }
+  if (!(total_tasks_per_hour > 0.0)) {
+    return Status::InvalidArgument("total_tasks_per_hour must be > 0");
+  }
+  // Paper §5.1.2: workload/hour = exp(alpha * (c/100) / task_sec + bias)
+  //                            = total * p(c) * task_sec.
+  // Matching to the small-p regime of Eq. 3 (p ~ exp(c/s - b)/M):
+  //   c/s = alpha * c / (100 * task_sec)        => s = 100*task_sec/alpha
+  //   -b - ln M = bias - ln(total * task_sec)   => b = -(bias - ln(total*task_sec) + ln M)
+  const double s = 100.0 * task_seconds / linear_coefficient;
+  const double b =
+      -(bias - std::log(total_tasks_per_hour * task_seconds) + std::log(m));
+  return LogitAcceptance::Create(s, b, m);
+}
+
+}  // namespace crowdprice::choice

@@ -1,0 +1,98 @@
+#include "choice/utility_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "util/stringf.h"
+
+namespace crowdprice::choice {
+
+Result<MarketUtilitySimulator> MarketUtilitySimulator::Create(
+    const UtilityMarketConfig& config, Rng& rng) {
+  if (config.num_tasks < 2) {
+    return Status::InvalidArgument("utility market needs >= 2 tasks");
+  }
+  if (!(config.reward_scale > 0.0)) {
+    return Status::InvalidArgument("reward_scale must be > 0");
+  }
+  if (!(config.sigma_max >= 0.0) || !(config.competitor_mu_sd >= 0.0)) {
+    return Status::InvalidArgument("noise scales must be >= 0");
+  }
+  const size_t competitors = static_cast<size_t>(config.num_tasks) - 1;
+  std::vector<double> mus(competitors);
+  std::vector<double> sigmas(competitors);
+  for (size_t i = 0; i < competitors; ++i) {
+    mus[i] = stats::SampleNormal(rng, 0.0, config.competitor_mu_sd);
+    sigmas[i] = rng.NextDouble() * config.sigma_max;
+  }
+  const double sigma_ours = rng.NextDouble() * config.sigma_max;
+  return MarketUtilitySimulator(config, std::move(mus), std::move(sigmas),
+                                sigma_ours);
+}
+
+Result<double> MarketUtilitySimulator::EstimateAcceptance(double reward,
+                                                          int trials,
+                                                          Rng& rng) const {
+  if (trials < 1) return Status::InvalidArgument("trials must be >= 1");
+  const double mu_ours =
+      reward / config_.reward_scale + config_.utility_offset;
+  int wins = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const double ours = stats::SampleNormal(rng, mu_ours, sigma_ours_);
+    bool best = true;
+    for (size_t i = 0; i < competitor_mus_.size(); ++i) {
+      const double u =
+          stats::SampleNormal(rng, competitor_mus_[i], competitor_sigmas_[i]);
+      if (u >= ours) {
+        best = false;
+        break;
+      }
+    }
+    if (best) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(trials);
+}
+
+Result<std::vector<double>> MultinomialLogitProbabilities(
+    const std::vector<double>& mean_utilities) {
+  if (mean_utilities.empty()) {
+    return Status::InvalidArgument("MultinomialLogitProbabilities: empty input");
+  }
+  const double vmax =
+      *std::max_element(mean_utilities.begin(), mean_utilities.end());
+  double denom = 0.0;
+  std::vector<double> out(mean_utilities.size());
+  for (size_t i = 0; i < mean_utilities.size(); ++i) {
+    out[i] = std::exp(mean_utilities[i] - vmax);
+    denom += out[i];
+  }
+  for (double& p : out) p /= denom;
+  return out;
+}
+
+Result<double> SimulateGumbelChoice(const std::vector<double>& mean_utilities,
+                                    size_t target, int trials, Rng& rng) {
+  if (target >= mean_utilities.size()) {
+    return Status::OutOfRange(
+        StringF("target %zu out of range (%zu tasks)", target,
+                mean_utilities.size()));
+  }
+  if (trials < 1) return Status::InvalidArgument("trials must be >= 1");
+  int wins = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    size_t argmax = 0;
+    double best = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < mean_utilities.size(); ++i) {
+      const double u = mean_utilities[i] + stats::SampleGumbel(rng);
+      if (u > best) {
+        best = u;
+        argmax = i;
+      }
+    }
+    if (argmax == target) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(trials);
+}
+
+}  // namespace crowdprice::choice

@@ -1,0 +1,74 @@
+// Utility-theoretic choice simulation (paper §5.1.1).
+//
+// Workers choose the marketplace task maximizing their perceived utility.
+// The paper validates the logit acceptance form by simulating a marketplace
+// of 100 tasks with Normal utility noise and checking that the simulated
+// acceptance probability of the target task follows Eq. (2). We implement
+// the same protocol, plus a Gumbel-noise variant for which the Multinomial
+// Logit choice probability is exact (McFadden), used as an analytic
+// cross-check.
+
+#ifndef CROWDPRICE_CHOICE_UTILITY_MODEL_H_
+#define CROWDPRICE_CHOICE_UTILITY_MODEL_H_
+
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::choice {
+
+/// §5.1.1 experiment settings.
+struct UtilityMarketConfig {
+  /// Total marketplace tasks including ours (paper: 100).
+  int num_tasks = 100;
+  /// Our task's mean utility is reward / reward_scale + utility_offset
+  /// (paper: c/50 - 1).
+  double reward_scale = 50.0;
+  double utility_offset = -1.0;
+  /// Competing task mean utilities are drawn from N(0, competitor_mu_sd^2)
+  /// and their noise scales from U[0, sigma_max] (paper: 1 and 1).
+  double competitor_mu_sd = 1.0;
+  double sigma_max = 1.0;
+};
+
+/// Simulates worker choice with Normal utility noise.
+class MarketUtilitySimulator {
+ public:
+  /// Draws the fixed marketplace (competitor means and noise scales) once;
+  /// subsequent estimates share it, as in the paper's figure.
+  static Result<MarketUtilitySimulator> Create(const UtilityMarketConfig& config,
+                                               Rng& rng);
+
+  /// Monte-Carlo estimate of p(c): the fraction of `trials` in which our
+  /// task (utility ~ N(c/scale + offset, sigma_1^2)) attains the strictly
+  /// highest utility. trials must be >= 1.
+  Result<double> EstimateAcceptance(double reward, int trials, Rng& rng) const;
+
+ private:
+  MarketUtilitySimulator(UtilityMarketConfig config, std::vector<double> mus,
+                         std::vector<double> sigmas, double sigma_ours)
+      : config_(config), competitor_mus_(std::move(mus)),
+        competitor_sigmas_(std::move(sigmas)), sigma_ours_(sigma_ours) {}
+
+  UtilityMarketConfig config_;
+  std::vector<double> competitor_mus_;
+  std::vector<double> competitor_sigmas_;
+  double sigma_ours_;
+};
+
+/// Exact Multinomial-Logit choice probabilities for utilities
+/// U_i = v_i + Gumbel noise: Pr[i wins] = exp(v_i) / sum_j exp(v_j)
+/// (computed with max-shift for stability). Errors on empty input.
+Result<std::vector<double>> MultinomialLogitProbabilities(
+    const std::vector<double>& mean_utilities);
+
+/// Monte-Carlo version of the same choice with explicit Gumbel draws;
+/// converges to MultinomialLogitProbabilities. Returns the win frequency of
+/// index `target`. trials >= 1, target in range.
+Result<double> SimulateGumbelChoice(const std::vector<double>& mean_utilities,
+                                    size_t target, int trials, Rng& rng);
+
+}  // namespace crowdprice::choice
+
+#endif  // CROWDPRICE_CHOICE_UTILITY_MODEL_H_

@@ -1,0 +1,105 @@
+#include "market/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stringf.h"
+
+namespace crowdprice::market {
+
+Result<Offer> FixedOfferController::Decide(double /*now_hours*/,
+                                           int64_t /*remaining_tasks*/) {
+  return offer_;
+}
+
+Result<ScheduleController> ScheduleController::Create(std::vector<Offer> schedule,
+                                                      double interval_hours) {
+  if (schedule.empty()) {
+    return Status::InvalidArgument("ScheduleController needs >= 1 interval");
+  }
+  if (!(interval_hours > 0.0)) {
+    return Status::InvalidArgument(
+        StringF("interval must be > 0; got %g", interval_hours));
+  }
+  for (const Offer& o : schedule) {
+    if (o.group_size < 1 || !(o.per_task_reward_cents >= 0.0)) {
+      return Status::InvalidArgument("schedule contains an invalid offer");
+    }
+  }
+  return ScheduleController(std::move(schedule), interval_hours);
+}
+
+Result<Offer> ScheduleController::Decide(double now_hours,
+                                         int64_t /*remaining_tasks*/) {
+  if (now_hours < 0.0) {
+    return Status::InvalidArgument("Decide called with negative time");
+  }
+  size_t idx = static_cast<size_t>(now_hours / interval_hours_);
+  idx = std::min(idx, schedule_.size() - 1);
+  return schedule_[idx];
+}
+
+Result<SemiStaticController> SemiStaticController::Create(
+    std::vector<double> prices_cents) {
+  if (prices_cents.empty()) {
+    return Status::InvalidArgument("SemiStaticController needs >= 1 price");
+  }
+  for (double c : prices_cents) {
+    if (!(c >= 0.0) || !std::isfinite(c)) {
+      return Status::InvalidArgument(StringF("invalid price %g in sequence", c));
+    }
+  }
+  return SemiStaticController(std::move(prices_cents));
+}
+
+Result<Offer> SemiStaticController::Decide(double /*now_hours*/,
+                                           int64_t remaining_tasks) {
+  const int64_t total = static_cast<int64_t>(prices_.size());
+  if (remaining_tasks <= 0 || remaining_tasks > total) {
+    return Status::OutOfRange(
+        StringF("remaining_tasks %lld outside (0, %lld]",
+                static_cast<long long>(remaining_tasks),
+                static_cast<long long>(total)));
+  }
+  const int64_t completed = total - remaining_tasks;
+  return Offer{prices_[static_cast<size_t>(completed)], 1};
+}
+
+Result<StaticTierController> StaticTierController::Create(std::vector<Tier> tiers) {
+  if (tiers.empty()) {
+    return Status::InvalidArgument("StaticTierController needs >= 1 tier");
+  }
+  for (const Tier& t : tiers) {
+    if (t.count <= 0 || !(t.price_cents >= 0.0) || !std::isfinite(t.price_cents)) {
+      return Status::InvalidArgument("tier has invalid price or count");
+    }
+  }
+  std::sort(tiers.begin(), tiers.end(), [](const Tier& a, const Tier& b) {
+    return a.price_cents > b.price_cents;
+  });
+  StaticTierController ctl(std::move(tiers));
+  for (const Tier& t : ctl.tiers_) ctl.total_ += t.count;
+  return ctl;
+}
+
+Result<Offer> StaticTierController::Decide(double /*now_hours*/,
+                                           int64_t remaining_tasks) {
+  if (remaining_tasks <= 0 || remaining_tasks > total_) {
+    return Status::OutOfRange(
+        StringF("remaining_tasks %lld outside (0, %lld]",
+                static_cast<long long>(remaining_tasks),
+                static_cast<long long>(total_)));
+  }
+  // The first (highest-priced) tasks are taken first: with `taken` tasks
+  // gone, the active tier is the one containing task index `taken`.
+  int64_t taken = total_ - remaining_tasks;
+  for (const Tier& t : tiers_) {
+    if (taken < t.count) {
+      return Offer{t.price_cents, 1};
+    }
+    taken -= t.count;
+  }
+  return Status::Internal("tier walk exhausted (bug)");
+}
+
+}  // namespace crowdprice::market

@@ -1,0 +1,99 @@
+// Pricing controllers: the decision-making side of a simulated campaign.
+//
+// The simulator consults a controller at every decision epoch (and, when
+// configured, on every worker arrival) for the offer to post. Controllers
+// range from the trivial fixed offer (the Faridani baseline posts one price
+// up-front) to MDP policy tables (pricing/controller.h) and the descending
+// price tiers of the fixed-budget static strategy.
+
+#ifndef CROWDPRICE_MARKET_CONTROLLER_H_
+#define CROWDPRICE_MARKET_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "market/types.h"
+#include "util/result.h"
+
+namespace crowdprice::market {
+
+/// Interface consulted by the simulator for the offer currently in force.
+class PricingController {
+ public:
+  virtual ~PricingController() = default;
+
+  /// Returns the offer to post from `now_hours` onward, given the number of
+  /// tasks not yet assigned to any worker. `remaining_tasks` is > 0.
+  virtual Result<Offer> Decide(double now_hours, int64_t remaining_tasks) = 0;
+};
+
+/// Posts one constant offer forever (static/fixed pricing).
+class FixedOfferController final : public PricingController {
+ public:
+  explicit FixedOfferController(Offer offer) : offer_(offer) {}
+  Result<Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+
+ private:
+  Offer offer_;
+};
+
+/// Plays a pre-computed per-interval schedule: offer[i] is in force on
+/// [i*interval, (i+1)*interval); the last entry persists beyond the end.
+class ScheduleController final : public PricingController {
+ public:
+  /// Requires a non-empty schedule and interval > 0.
+  static Result<ScheduleController> Create(std::vector<Offer> schedule,
+                                           double interval_hours);
+  Result<Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+
+ private:
+  ScheduleController(std::vector<Offer> schedule, double interval_hours)
+      : schedule_(std::move(schedule)), interval_hours_(interval_hours) {}
+  std::vector<Offer> schedule_;
+  double interval_hours_;
+};
+
+/// A semi-static pricing strategy (§4.2.3, Definition 2): a price sequence
+/// c_1, ..., c_N fixed up-front; all remaining tasks carry price c_{k+1}
+/// after k tasks have been picked up. Unlike the static strategy the
+/// sequence need not be monotone -- Theorem 5 shows E[worker arrivals] is
+/// order-invariant, which the tests verify by simulation. Use with
+/// decide_on_every_assignment so repricing happens exactly per pickup.
+class SemiStaticController final : public PricingController {
+ public:
+  /// One price per task, all finite and >= 0; the sequence length fixes N.
+  static Result<SemiStaticController> Create(std::vector<double> prices_cents);
+
+  Result<Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+
+ private:
+  explicit SemiStaticController(std::vector<double> prices)
+      : prices_(std::move(prices)) {}
+  std::vector<double> prices_;
+};
+
+/// The fixed-budget static strategy (§4.1): every task gets an up-front
+/// price; since workers always take the highest-priced task available, the
+/// effective offer is the price of the highest non-exhausted tier. Tiers
+/// are given as (price, count) and served in descending price order.
+class StaticTierController final : public PricingController {
+ public:
+  struct Tier {
+    double price_cents = 0.0;
+    int64_t count = 0;
+  };
+
+  /// Requires tiers non-empty, counts > 0. Sorts descending by price.
+  static Result<StaticTierController> Create(std::vector<Tier> tiers);
+  Result<Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+
+ private:
+  explicit StaticTierController(std::vector<Tier> tiers)
+      : tiers_(std::move(tiers)) {}
+  std::vector<Tier> tiers_;
+  int64_t total_ = 0;
+};
+
+}  // namespace crowdprice::market
+
+#endif  // CROWDPRICE_MARKET_CONTROLLER_H_

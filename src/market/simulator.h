@@ -1,0 +1,108 @@
+// Event-driven crowdsourcing marketplace simulator.
+//
+// Implements the generative model the paper assumes (§2) and the behaviours
+// its live experiments observe (§5.4):
+//   * workers arrive by an NHPP with rate lambda(t);
+//   * an arriving worker accepts the posted offer with probability
+//     p(per-task reward) given by the true acceptance function;
+//   * on acceptance the worker takes one HIT (group_size tasks, fewer at the
+//     tail), finishes it after service_minutes_per_task per task, and is
+//     paid reward * tasks;
+//   * optionally, a worker who finishes a HIT takes another with a
+//     price-dependent retention probability (the §5.4.3 observation that
+//     higher pay keeps workers on the task type, Fig. 15);
+//   * optionally, each worker has a latent Beta-distributed accuracy and
+//     answers each task correctly with that probability (Figs. 13-14).
+//
+// The controller is consulted at fixed decision epochs and (optionally) on
+// every state change, so both interval-based MDP policies and the
+// tier-exhaustion semantics of static budget pricing are exact.
+
+#ifndef CROWDPRICE_MARKET_SIMULATOR_H_
+#define CROWDPRICE_MARKET_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "arrival/rate_function.h"
+#include "choice/acceptance.h"
+#include "market/controller.h"
+#include "market/types.h"
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::market {
+
+/// Price-dependent probability that a worker, having just completed a HIT,
+/// immediately takes another one: rho(c) = max_rate * c / (c + half_price).
+/// max_rate = 0 disables retention (every arrival is a single pickup, the
+/// paper's base model).
+struct RetentionModel {
+  double max_rate = 0.0;
+  double half_price_cents = 1.0;
+
+  double ProbabilityAt(double per_task_reward_cents) const {
+    if (max_rate <= 0.0 || per_task_reward_cents <= 0.0) return 0.0;
+    return max_rate * per_task_reward_cents /
+           (per_task_reward_cents + half_price_cents);
+  }
+};
+
+/// Latent per-worker answer accuracy ~ Beta(alpha, beta). enabled = false
+/// records no answers.
+struct AccuracyModel {
+  bool enabled = false;
+  double beta_alpha = 30.0;  ///< Mean ~0.91 with beta_beta = 3.
+  double beta_beta = 3.0;
+};
+
+struct SimulatorConfig {
+  int64_t total_tasks = 0;
+  double horizon_hours = 0.0;
+  /// Controller consultation period. Must divide the horizon reasonably;
+  /// the simulator consults at t = 0, d, 2d, ...
+  double decision_interval_hours = 1.0;
+  /// Also re-consult the controller after every assignment (needed for
+  /// tier-based static pricing where the offer changes mid-interval).
+  bool decide_on_every_assignment = false;
+  /// Minutes of worker time per task; service delays completion timestamps.
+  double service_minutes_per_task = 2.0;
+  RetentionModel retention;
+  AccuracyModel accuracy;
+
+  Status Validate() const;
+};
+
+/// Runs one campaign. The rate and acceptance function describe the *true*
+/// marketplace; any mis-estimation experiment plans with one model and
+/// simulates with another. Deterministic given the Rng stream.
+Result<SimulationResult> RunSimulation(const SimulatorConfig& config,
+                                       const arrival::PiecewiseConstantRate& rate,
+                                       const choice::AcceptanceFunction& acceptance,
+                                       PricingController& controller, Rng& rng);
+
+/// Convenience: runs `replicates` campaigns with independent Rng forks and
+/// a fresh controller from `controller_factory` each time.
+template <typename ControllerFactory>
+Result<std::vector<SimulationResult>> RunReplicates(
+    const SimulatorConfig& config, const arrival::PiecewiseConstantRate& rate,
+    const choice::AcceptanceFunction& acceptance,
+    ControllerFactory&& controller_factory, int replicates, Rng& rng) {
+  if (replicates < 1) {
+    return Status::InvalidArgument("replicates must be >= 1");
+  }
+  std::vector<SimulationResult> results;
+  results.reserve(static_cast<size_t>(replicates));
+  for (int i = 0; i < replicates; ++i) {
+    Rng child = rng.Fork();
+    auto controller = controller_factory();
+    CP_ASSIGN_OR_RETURN(SimulationResult res,
+                        RunSimulation(config, rate, acceptance, *controller, child));
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+}  // namespace crowdprice::market
+
+#endif  // CROWDPRICE_MARKET_SIMULATOR_H_

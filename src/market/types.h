@@ -1,0 +1,79 @@
+// Plain data types shared by the marketplace simulator.
+
+#ifndef CROWDPRICE_MARKET_TYPES_H_
+#define CROWDPRICE_MARKET_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowdprice::market {
+
+/// The offer in force at some moment: what a worker who arrives sees.
+///
+/// In the plain experiments each HIT is a single task and the knob is its
+/// reward. In the live-experiment replica (§5.4) the HIT price is fixed at
+/// 2 cents and the knob is how many tasks are bundled per HIT, so the
+/// per-task reward is implicit (2 / group_size cents).
+struct Offer {
+  /// Reward per task, cents (fractional allowed for bundled HITs).
+  double per_task_reward_cents = 0.0;
+  /// Tasks bundled into one HIT; a worker who accepts completes up to this
+  /// many tasks (fewer if the batch is nearly done).
+  int group_size = 1;
+};
+
+/// One HIT completion.
+struct CompletionEvent {
+  double time_hours = 0.0;  ///< When the worker finished the HIT.
+  int tasks = 0;            ///< Tasks completed in this HIT.
+  double cost_cents = 0.0;  ///< Reward paid out for this HIT.
+  int group_size = 1;       ///< Offer group size at assignment.
+};
+
+/// Aggregate record of one worker who accepted at least one HIT.
+struct WorkerRecord {
+  double first_accept_hours = 0.0;
+  int hits = 0;
+  int tasks = 0;
+  int correct = 0;          ///< Correct answers (0 if accuracy disabled).
+  double true_accuracy = 0.0;  ///< The worker's latent accuracy draw.
+};
+
+/// Outcome of one simulated campaign.
+struct SimulationResult {
+  double total_cost_cents = 0.0;
+  int64_t tasks_assigned = 0;
+  /// Tasks completed no later than the horizon.
+  int64_t tasks_completed_by_horizon = 0;
+  /// Tasks never assigned by the horizon.
+  int64_t tasks_unassigned = 0;
+  /// Time the last task completed; horizon if the batch did not finish.
+  double completion_time_hours = 0.0;
+  bool finished = false;
+  int64_t worker_arrivals = 0;
+  std::vector<CompletionEvent> events;
+  std::vector<WorkerRecord> workers;
+
+  /// Tasks completed in each `bucket_hours`-wide slice of [0, span). Events
+  /// beyond span are ignored. Requires bucket_hours > 0, span > 0.
+  Result<std::vector<int64_t>> CompletionsPerBucket(double bucket_hours,
+                                                    double span_hours) const {
+    if (!(bucket_hours > 0.0) || !(span_hours > 0.0)) {
+      return Status::InvalidArgument("bucket and span must be > 0");
+    }
+    const auto buckets =
+        static_cast<size_t>(span_hours / bucket_hours + 0.999999);
+    std::vector<int64_t> out(buckets, 0);
+    for (const auto& ev : events) {
+      if (ev.time_hours >= span_hours || ev.time_hours < 0.0) continue;
+      out[static_cast<size_t>(ev.time_hours / bucket_hours)] += ev.tasks;
+    }
+    return out;
+  }
+};
+
+}  // namespace crowdprice::market
+
+#endif  // CROWDPRICE_MARKET_TYPES_H_

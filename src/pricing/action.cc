@@ -1,0 +1,82 @@
+#include "pricing/action.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+ActionSet::ActionSet(std::vector<PricingAction> actions)
+    : actions_(std::move(actions)) {
+  for (const PricingAction& a : actions_) {
+    uniform_unit_bundle_ = uniform_unit_bundle_ && a.bundle == 1;
+    max_cost_ = std::max(max_cost_, a.cost_per_task_cents);
+  }
+}
+
+namespace {
+
+Status ValidateAction(const PricingAction& a, size_t index) {
+  if (!(a.cost_per_task_cents >= 0.0) || !std::isfinite(a.cost_per_task_cents)) {
+    return Status::InvalidArgument(
+        StringF("action %zu: cost %g must be finite and >= 0", index,
+                a.cost_per_task_cents));
+  }
+  if (a.bundle < 1) {
+    return Status::InvalidArgument(
+        StringF("action %zu: bundle %d must be >= 1", index, a.bundle));
+  }
+  if (!(a.acceptance >= 0.0 && a.acceptance <= 1.0)) {
+    return Status::InvalidArgument(
+        StringF("action %zu: acceptance %g outside [0, 1]", index, a.acceptance));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ActionSet> ActionSet::FromPriceGrid(
+    int max_price_cents, const choice::AcceptanceFunction& acceptance) {
+  if (max_price_cents < 0) {
+    return Status::InvalidArgument(
+        StringF("max_price_cents must be >= 0; got %d", max_price_cents));
+  }
+  std::vector<PricingAction> actions;
+  actions.reserve(static_cast<size_t>(max_price_cents) + 1);
+  double prev_p = -1.0;
+  for (int c = 0; c <= max_price_cents; ++c) {
+    PricingAction a;
+    a.cost_per_task_cents = static_cast<double>(c);
+    a.bundle = 1;
+    a.acceptance = acceptance.ProbabilityAt(static_cast<double>(c));
+    CP_RETURN_IF_ERROR(ValidateAction(a, static_cast<size_t>(c)));
+    if (a.acceptance < prev_p) {
+      return Status::InvalidArgument(
+          StringF("acceptance function is decreasing at c = %d (p dropped "
+                  "from %g to %g); pricing requires monotone p(c)",
+                  c, prev_p, a.acceptance));
+    }
+    prev_p = a.acceptance;
+    actions.push_back(a);
+  }
+  return ActionSet(std::move(actions));
+}
+
+Result<ActionSet> ActionSet::FromActions(std::vector<PricingAction> actions) {
+  if (actions.empty()) {
+    return Status::InvalidArgument("ActionSet needs at least one action");
+  }
+  for (size_t i = 0; i < actions.size(); ++i) {
+    CP_RETURN_IF_ERROR(ValidateAction(actions[i], i));
+  }
+  std::sort(actions.begin(), actions.end(),
+            [](const PricingAction& a, const PricingAction& b) {
+              if (a.acceptance != b.acceptance) return a.acceptance < b.acceptance;
+              return a.cost_per_task_cents < b.cost_per_task_cents;
+            });
+  return ActionSet(std::move(actions));
+}
+
+}  // namespace crowdprice::pricing

@@ -1,0 +1,65 @@
+// Action sets for the deadline MDP.
+//
+// The paper's action is an integer reward c in {0, ..., C} cents (Amazon's
+// minimum price unit, §3.1). The live experiments (§5.4) instead fix the
+// HIT price at 2 cents and vary the number of tasks bundled per HIT, which
+// is the same MDP with actions {group size g: per-task reward 2/g, g tasks
+// per completion}. ActionSet abstracts both.
+
+#ifndef CROWDPRICE_PRICING_ACTION_H_
+#define CROWDPRICE_PRICING_ACTION_H_
+
+#include <vector>
+
+#include "choice/acceptance.h"
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+/// One admissible decision at a state: post this offer for the interval.
+struct PricingAction {
+  /// Reward paid per completed *task*, cents (fractional for bundled HITs).
+  double cost_per_task_cents = 0.0;
+  /// Tasks completed per acceptance event (HIT bundle size).
+  int bundle = 1;
+  /// Probability that an arriving worker accepts one completion unit.
+  double acceptance = 0.0;
+};
+
+/// An ordered, validated list of actions. Index order is the order the
+/// monotone-search solver exploits (Conjecture 1 requires acceptance
+/// non-decreasing along the index).
+class ActionSet {
+ public:
+  /// The paper's integer price grid {0..max_price_cents} with p from the
+  /// acceptance function. Acceptance must be non-decreasing over the grid.
+  static Result<ActionSet> FromPriceGrid(int max_price_cents,
+                                         const choice::AcceptanceFunction& acceptance);
+
+  /// Arbitrary actions (e.g. HIT group sizes). Validates each action;
+  /// sorts by acceptance ascending.
+  static Result<ActionSet> FromActions(std::vector<PricingAction> actions);
+
+  const std::vector<PricingAction>& actions() const { return actions_; }
+  size_t size() const { return actions_.size(); }
+  const PricingAction& operator[](size_t i) const { return actions_[i]; }
+
+  /// True when every action is an unbundled (bundle == 1) price point, the
+  /// setting in which the paper states Conjecture 1; the monotone
+  /// divide-and-conquer solver requires this.
+  bool uniform_unit_bundle() const { return uniform_unit_bundle_; }
+
+  /// Largest per-task cost among actions (the C of Theorem 1).
+  double max_cost() const { return max_cost_; }
+
+ private:
+  explicit ActionSet(std::vector<PricingAction> actions);
+
+  std::vector<PricingAction> actions_;
+  bool uniform_unit_bundle_ = true;
+  double max_cost_ = 0.0;
+};
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_ACTION_H_

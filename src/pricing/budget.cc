@@ -1,0 +1,241 @@
+#include "pricing/budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "stats/convex_hull.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+Result<double> StaticPriceAssignment::ExpectedLatencyHours(
+    double mean_rate_per_hour) const {
+  if (!(mean_rate_per_hour > 0.0)) {
+    return Status::InvalidArgument(
+        StringF("mean rate must be > 0; got %g", mean_rate_per_hour));
+  }
+  return expected_worker_arrivals / mean_rate_per_hour;
+}
+
+Result<double> SemiStaticExpectedWorkers(
+    const std::vector<double>& prices_cents,
+    const choice::AcceptanceFunction& acceptance) {
+  if (prices_cents.empty()) {
+    return Status::InvalidArgument("price list must be non-empty");
+  }
+  double total = 0.0;
+  for (double c : prices_cents) {
+    const double p = acceptance.ProbabilityAt(c);
+    if (!(p > 0.0)) {
+      return Status::FailedPrecondition(
+          StringF("p(%g) = %g: a zero-acceptance price never completes", c, p));
+    }
+    total += 1.0 / p;
+  }
+  return total;
+}
+
+namespace {
+
+Status ValidateBudgetArgs(int64_t num_tasks, double budget_cents,
+                          int max_price_cents) {
+  if (num_tasks < 1) {
+    return Status::InvalidArgument(
+        StringF("num_tasks must be >= 1; got %lld",
+                static_cast<long long>(num_tasks)));
+  }
+  if (!(budget_cents >= 0.0) || !std::isfinite(budget_cents)) {
+    return Status::InvalidArgument(
+        StringF("budget must be finite, >= 0; got %g", budget_cents));
+  }
+  if (max_price_cents < 0) {
+    return Status::InvalidArgument("max_price_cents must be >= 0");
+  }
+  return Status::OK();
+}
+
+// The usable price grid: (c, p(c)) for all grid prices with p(c) > 0.
+struct GridPoint {
+  int price;
+  double p;
+};
+
+Result<std::vector<GridPoint>> UsableGrid(
+    const choice::AcceptanceFunction& acceptance, int max_price_cents) {
+  std::vector<GridPoint> grid;
+  for (int c = 0; c <= max_price_cents; ++c) {
+    const double p = acceptance.ProbabilityAt(static_cast<double>(c));
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::NumericError(StringF("p(%d) = %g outside [0, 1]", c, p));
+    }
+    if (p > 0.0) grid.push_back({c, p});
+  }
+  if (grid.empty()) {
+    return Status::FailedPrecondition(
+        "every grid price has zero acceptance probability");
+  }
+  return grid;
+}
+
+void FinalizeAssignment(StaticPriceAssignment* out,
+                        const std::vector<GridPoint>& grid) {
+  std::map<int, double> p_of;
+  for (const GridPoint& g : grid) p_of[g.price] = g.p;
+  std::sort(out->allocations.begin(), out->allocations.end(),
+            [](const PriceAllocation& a, const PriceAllocation& b) {
+              return a.price_cents > b.price_cents;
+            });
+  out->expected_worker_arrivals = 0.0;
+  out->total_cost_cents = 0.0;
+  for (const PriceAllocation& a : out->allocations) {
+    out->expected_worker_arrivals +=
+        static_cast<double>(a.count) / p_of.at(a.price_cents);
+    out->total_cost_cents +=
+        static_cast<double>(a.count) * static_cast<double>(a.price_cents);
+  }
+}
+
+}  // namespace
+
+Result<StaticPriceAssignment> SolveBudgetLp(
+    int64_t num_tasks, double budget_cents,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents) {
+  CP_RETURN_IF_ERROR(ValidateBudgetArgs(num_tasks, budget_cents, max_price_cents));
+  CP_ASSIGN_OR_RETURN(std::vector<GridPoint> grid,
+                      UsableGrid(acceptance, max_price_cents));
+
+  // Lower convex hull of (c, 1/p(c)) — Theorem 7's candidate vertex set.
+  std::vector<stats::Point2> points;
+  points.reserve(grid.size());
+  for (const GridPoint& g : grid) {
+    points.push_back({static_cast<double>(g.price), 1.0 / g.p});
+  }
+  CP_ASSIGN_OR_RETURN(std::vector<size_t> hull_idx,
+                      stats::LowerConvexHullIndices(points));
+
+  const double ratio = budget_cents / static_cast<double>(num_tasks);
+  StaticPriceAssignment out;
+
+  if (ratio < points[hull_idx.front()].x) {
+    return Status::FailedPrecondition(
+        StringF("budget %.0f cents cannot cover %lld tasks at the cheapest "
+                "usable price %d",
+                budget_cents, static_cast<long long>(num_tasks),
+                grid[hull_idx.front()].price));
+  }
+  if (ratio >= points[hull_idx.back()].x) {
+    // Budget affords the highest hull price (maximum p) for every task.
+    out.allocations.push_back({grid[hull_idx.back()].price, num_tasks});
+    FinalizeAssignment(&out, grid);
+    return out;
+  }
+  // Bracket B/N between consecutive hull vertices: c1 <= B/N < c2.
+  size_t k = 0;
+  while (k + 1 < hull_idx.size() && points[hull_idx[k + 1]].x <= ratio) ++k;
+  const int c1 = grid[hull_idx[k]].price;
+  const int c2 = grid[hull_idx[k + 1]].price;
+  // Algorithm 3: n1 = ceil((c2 N - B) / (c2 - c1)); the ceiling keeps the
+  // committed budget within B.
+  const double n1_real =
+      (static_cast<double>(c2) * static_cast<double>(num_tasks) - budget_cents) /
+      static_cast<double>(c2 - c1);
+  int64_t n1 = static_cast<int64_t>(std::ceil(n1_real - 1e-9));
+  n1 = std::clamp<int64_t>(n1, 0, num_tasks);
+  const int64_t n2 = num_tasks - n1;
+  if (n1 > 0) out.allocations.push_back({c1, n1});
+  if (n2 > 0) out.allocations.push_back({c2, n2});
+  FinalizeAssignment(&out, grid);
+  return out;
+}
+
+Result<StaticPriceAssignment> SolveBudgetExactDp(
+    int num_tasks, int budget_cents,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents) {
+  CP_RETURN_IF_ERROR(ValidateBudgetArgs(num_tasks,
+                                        static_cast<double>(budget_cents),
+                                        max_price_cents));
+  CP_ASSIGN_OR_RETURN(std::vector<GridPoint> grid,
+                      UsableGrid(acceptance, max_price_cents));
+  // Guard against accidental huge allocations: the DP table is
+  // (N+1) x (B+1); beyond ~10^8 cells the LP solver is the right tool.
+  const int64_t cells = static_cast<int64_t>(num_tasks + 1) *
+                        static_cast<int64_t>(budget_cents + 1);
+  if (cells > 100'000'000) {
+    return Status::InvalidArgument(
+        StringF("exact DP table would have %lld cells; use SolveBudgetLp",
+                static_cast<long long>(cells)));
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t width = static_cast<size_t>(budget_cents) + 1;
+  std::vector<double> prev(width, 0.0);  // dp[0][b] = 0
+  std::vector<double> cur(width, kInf);
+  // choice[i][b]: price chosen for the i-th task at budget b (-1 = none).
+  std::vector<int16_t> choices(static_cast<size_t>(num_tasks) * width, -1);
+
+  for (int i = 1; i <= num_tasks; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    int16_t* choice_row = &choices[static_cast<size_t>(i - 1) * width];
+    for (int b = 0; b <= budget_cents; ++b) {
+      double best = kInf;
+      int best_c = -1;
+      for (const GridPoint& g : grid) {
+        if (g.price > b) break;  // grid is ascending in price
+        const double cand = prev[static_cast<size_t>(b - g.price)] + 1.0 / g.p;
+        if (cand < best) {
+          best = cand;
+          best_c = g.price;
+        }
+      }
+      cur[static_cast<size_t>(b)] = best;
+      choice_row[static_cast<size_t>(b)] = static_cast<int16_t>(best_c);
+    }
+    prev.swap(cur);
+  }
+  if (!std::isfinite(prev[width - 1])) {
+    return Status::FailedPrecondition(
+        StringF("budget %d cents cannot cover %d tasks at any usable price",
+                budget_cents, num_tasks));
+  }
+  // Walk the choices back to reconstruct the price multiset.
+  std::map<int, int64_t> counts;
+  int b = budget_cents;
+  for (int i = num_tasks; i >= 1; --i) {
+    const int c = choices[static_cast<size_t>(i - 1) * width + static_cast<size_t>(b)];
+    if (c < 0) return Status::Internal("exact DP reconstruction failed");
+    ++counts[c];
+    b -= c;
+  }
+  StaticPriceAssignment out;
+  for (const auto& [price, count] : counts) {
+    out.allocations.push_back({price, count});
+  }
+  FinalizeAssignment(&out, grid);
+  return out;
+}
+
+Result<double> LpRoundingGapBound(const StaticPriceAssignment& lp_solution,
+                                  const choice::AcceptanceFunction& acceptance) {
+  if (lp_solution.allocations.empty()) {
+    return Status::InvalidArgument("empty assignment");
+  }
+  if (lp_solution.allocations.size() == 1) return 0.0;
+  if (lp_solution.allocations.size() > 2) {
+    return Status::InvalidArgument(
+        "Theorem 8 applies to the two-price LP solution");
+  }
+  // allocations are sorted descending by price: [c2, c1].
+  const double c2 = static_cast<double>(lp_solution.allocations[0].price_cents);
+  const double c1 = static_cast<double>(lp_solution.allocations[1].price_cents);
+  const double p1 = acceptance.ProbabilityAt(c1);
+  const double p2 = acceptance.ProbabilityAt(c2);
+  if (!(p1 > 0.0) || !(p2 > 0.0)) {
+    return Status::FailedPrecondition("zero acceptance at an assigned price");
+  }
+  return 1.0 / p1 - 1.0 / p2;
+}
+
+}  // namespace crowdprice::pricing

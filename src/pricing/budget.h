@@ -1,0 +1,71 @@
+// Fixed-budget pricing (paper §4).
+//
+// Static pricing is near-optimal for minimizing expected completion time
+// under a budget (Theorems 3-5): the expected number of worker arrivals of
+// any (semi-)static price multiset {c_i} is E[W] = sum_i 1/p(c_i), and
+// expected latency is E[T] ~= E[W] / lambda-bar. Minimizing E[W] subject to
+// sum c_i <= B is an integer program; this module provides
+//   * SolveBudgetLp — Algorithm 3: the rounded-LP solution, which by
+//     Theorem 7 uses at most two prices, both vertices of the lower convex
+//     hull of (c, 1/p(c)), bracketing B/N;
+//   * SolveBudgetExactDp — the Theorem 6 pseudo-polynomial exact DP, used
+//     to measure the rounding gap (Theorem 8 bounds it by
+//     1/p(c1) - 1/p(c2)).
+
+#ifndef CROWDPRICE_PRICING_BUDGET_H_
+#define CROWDPRICE_PRICING_BUDGET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "choice/acceptance.h"
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+/// `count` tasks priced at `price_cents` each.
+struct PriceAllocation {
+  int price_cents = 0;
+  int64_t count = 0;
+};
+
+/// A static price assignment plus its predicted performance.
+struct StaticPriceAssignment {
+  /// Descending by price (the order tiers are consumed in).
+  std::vector<PriceAllocation> allocations;
+  /// E[W] = sum over tasks of 1/p(c_i) (Theorem 5).
+  double expected_worker_arrivals = 0.0;
+  /// Total committed budget sum c_i, cents.
+  double total_cost_cents = 0.0;
+
+  /// E[T] = E[W] / mean_rate (§4.2.2 linearity). mean_rate in workers/hour.
+  Result<double> ExpectedLatencyHours(double mean_rate_per_hour) const;
+};
+
+/// E[W] of an arbitrary price multiset (Theorem 5); errors if any p(c) == 0.
+Result<double> SemiStaticExpectedWorkers(
+    const std::vector<double>& prices_cents,
+    const choice::AcceptanceFunction& acceptance);
+
+/// Algorithm 3. Requires num_tasks >= 1, budget >= 0; prices range over
+/// {0..max_price_cents}. Errors if the budget cannot cover N tasks at the
+/// cheapest usable (p > 0) price, or if every grid price has p == 0.
+Result<StaticPriceAssignment> SolveBudgetLp(
+    int64_t num_tasks, double budget_cents,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents);
+
+/// Theorem 6 exact DP over (tasks, integer budget): O(N * B * C) time.
+/// budget_cents is floored to an integer. Intended for moderate sizes (the
+/// LP solver handles production scale).
+Result<StaticPriceAssignment> SolveBudgetExactDp(
+    int num_tasks, int budget_cents,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents);
+
+/// Theorem 8's bound on the LP-vs-optimal E[W] gap for the two hull prices
+/// used by `lp_solution` (0 if it uses a single price).
+Result<double> LpRoundingGapBound(const StaticPriceAssignment& lp_solution,
+                                  const choice::AcceptanceFunction& acceptance);
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_BUDGET_H_

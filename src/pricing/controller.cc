@@ -1,0 +1,42 @@
+#include "pricing/controller.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+Result<PlanController> PlanController::Create(const DeadlinePlan* plan,
+                                              double horizon_hours) {
+  if (plan == nullptr) {
+    return Status::InvalidArgument("plan must not be null");
+  }
+  if (!(horizon_hours > 0.0)) {
+    return Status::InvalidArgument(
+        StringF("horizon_hours must be > 0; got %g", horizon_hours));
+  }
+  return PlanController(plan, horizon_hours / plan->num_intervals());
+}
+
+Result<market::Offer> PlanController::Decide(double now_hours,
+                                             int64_t remaining_tasks) {
+  if (remaining_tasks <= 0) {
+    return Status::InvalidArgument("Decide called with no remaining tasks");
+  }
+  // Decision epochs land exactly on interval boundaries; nudge the division
+  // so accumulated floating-point error cannot map an epoch to the previous
+  // interval (which would, in particular, suppress the final interval's
+  // price spike).
+  int t = static_cast<int>(now_hours / interval_hours_ + 1e-9);
+  t = std::clamp(t, 0, plan_->num_intervals() - 1);
+  // A lucky campaign can be further along than the plan anticipated (fewer
+  // tasks) -- that is in range. More tasks than N cannot happen, but clamp
+  // defensively for robustness against caller misuse.
+  const int n = static_cast<int>(
+      std::min<int64_t>(remaining_tasks, plan_->num_tasks()));
+  CP_ASSIGN_OR_RETURN(PricingAction action, plan_->ActionAt(n, t));
+  return market::Offer{action.cost_per_task_cents, action.bundle};
+}
+
+}  // namespace crowdprice::pricing

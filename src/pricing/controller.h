@@ -1,0 +1,34 @@
+// Adapters that drive the marketplace simulator with solved plans.
+
+#ifndef CROWDPRICE_PRICING_CONTROLLER_H_
+#define CROWDPRICE_PRICING_CONTROLLER_H_
+
+#include "market/controller.h"
+#include "pricing/plan.h"
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+/// Plays a DeadlinePlan as a marketplace controller: at decision time
+/// `now`, looks up the plan's action at (remaining tasks, current interval).
+/// The plan must outlive the controller.
+class PlanController final : public market::PricingController {
+ public:
+  /// horizon_hours is the campaign deadline the plan was solved for; the
+  /// interval width is horizon / plan.num_intervals().
+  static Result<PlanController> Create(const DeadlinePlan* plan,
+                                       double horizon_hours);
+
+  Result<market::Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+
+ private:
+  PlanController(const DeadlinePlan* plan, double interval_hours)
+      : plan_(plan), interval_hours_(interval_hours) {}
+
+  const DeadlinePlan* plan_;
+  double interval_hours_;
+};
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_CONTROLLER_H_

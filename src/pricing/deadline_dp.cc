@@ -1,0 +1,210 @@
+#include "pricing/deadline_dp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+namespace {
+
+Status ValidateInputs(const DeadlineProblem& problem,
+                      const std::vector<double>& interval_lambdas,
+                      const ActionSet& actions) {
+  CP_RETURN_IF_ERROR(problem.Validate());
+  if (interval_lambdas.size() != static_cast<size_t>(problem.num_intervals)) {
+    return Status::InvalidArgument(
+        StringF("interval_lambdas has %zu entries; problem has %d intervals",
+                interval_lambdas.size(), problem.num_intervals));
+  }
+  for (size_t t = 0; t < interval_lambdas.size(); ++t) {
+    if (!(interval_lambdas[t] >= 0.0) || !std::isfinite(interval_lambdas[t])) {
+      return Status::InvalidArgument(
+          StringF("interval_lambdas[%zu] = %g must be finite and >= 0", t,
+                  interval_lambdas[t]));
+    }
+  }
+  if (actions.size() == 0) {
+    return Status::InvalidArgument("empty action set");
+  }
+  return Status::OK();
+}
+
+// All per-interval precomputation shared by both solvers: one truncated
+// Poisson table per action at the interval's rate.
+class IntervalTables {
+ public:
+  static Result<IntervalTables> Build(double lambda_t, const ActionSet& actions,
+                                      double epsilon) {
+    IntervalTables out;
+    out.tables_.reserve(actions.size());
+    for (const PricingAction& a : actions.actions()) {
+      CP_ASSIGN_OR_RETURN(
+          stats::TruncatedPoisson tp,
+          stats::MakeTruncatedPoisson(lambda_t * a.acceptance, epsilon));
+      out.tables_.push_back(std::move(tp));
+    }
+    return out;
+  }
+
+  const stats::TruncatedPoisson& at(size_t action) const { return tables_[action]; }
+
+ private:
+  std::vector<stats::TruncatedPoisson> tables_;
+};
+
+// Evaluates the expected cost of playing action `a` at state (n, t):
+// completions k arrive Pois-distributed; k completions finish
+// d = min(n, k * bundle) tasks at cost_per_task * d, transitioning to
+// (n - d, t + 1). Terms beyond the truncation point (and any k with
+// d == n) lump into "all n finished this interval".
+double EvaluateAction(int n, const PricingAction& a,
+                      const stats::TruncatedPoisson& tp,
+                      const double* opt_next) {
+  const double c = a.cost_per_task_cents;
+  double cost = 0.0;
+  double cum = 0.0;
+  const int table_size = static_cast<int>(tp.pmf.size());
+  // Largest completion count with d = k * bundle < n.
+  for (int k = 0; k < table_size; ++k) {
+    const long long d_ll = static_cast<long long>(k) * a.bundle;
+    if (d_ll >= n) break;
+    const int d = static_cast<int>(d_ll);
+    const double p = tp.pmf[static_cast<size_t>(k)];
+    cost += p * (c * d + opt_next[n - d]);
+    cum += p;
+  }
+  // Remaining mass: the batch completes within this interval; pay for all n
+  // tasks, Opt(0, t+1) = 0.
+  cost += (1.0 - cum) * c * n;
+  return cost;
+}
+
+struct BestAction {
+  int index = -1;
+  double cost = 0.0;
+};
+
+// Scans actions [a_lo, a_hi] for the cheapest at state (n, t). Ties go to
+// the lowest index (lowest price).
+BestAction FindOptimalForState(int n, const ActionSet& actions,
+                               const IntervalTables& tables, int a_lo, int a_hi,
+                               const double* opt_next, int64_t* evals) {
+  BestAction best;
+  for (int a = a_lo; a <= a_hi; ++a) {
+    const double cost = EvaluateAction(n, actions[static_cast<size_t>(a)],
+                                       tables.at(static_cast<size_t>(a)), opt_next);
+    ++*evals;
+    if (best.index < 0 || cost < best.cost) {
+      best.index = a;
+      best.cost = cost;
+    }
+  }
+  return best;
+}
+
+// Algorithm 2's FindOptimalPriceForTime: divide-and-conquer over n in
+// [n_lo, n_hi] with the price bracket [a_lo, a_hi]. `cap` optionally caps
+// each state's upper bound by Price(n, t+1) (time monotonicity).
+void SolveRangeMonotone(int n_lo, int n_hi, int a_lo, int a_hi,
+                        const ActionSet& actions, const IntervalTables& tables,
+                        const double* opt_next, const int32_t* cap_row,
+                        DeadlinePlan* plan, int t, int64_t* evals) {
+  if (n_lo > n_hi) return;
+  const int m = n_lo + (n_hi - n_lo) / 2;
+  int hi = a_hi;
+  if (cap_row != nullptr && cap_row[m] >= 0) {
+    hi = std::min(hi, static_cast<int>(cap_row[m]));
+  }
+  hi = std::max(hi, a_lo);  // Defensive: never let the cap empty the range.
+  const BestAction best =
+      FindOptimalForState(m, actions, tables, a_lo, hi, opt_next, evals);
+  plan->SetActionIndex(m, t, best.index);
+  plan->SetOpt(m, t, best.cost);
+  SolveRangeMonotone(n_lo, m - 1, a_lo, best.index, actions, tables, opt_next,
+                     cap_row, plan, t, evals);
+  SolveRangeMonotone(m + 1, n_hi, best.index, a_hi, actions, tables, opt_next,
+                     cap_row, plan, t, evals);
+}
+
+enum class Mode { kSimple, kImproved };
+
+Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
+                           const std::vector<double>& interval_lambdas,
+                           const ActionSet& actions, Mode mode,
+                           const DpOptions& options) {
+  CP_RETURN_IF_ERROR(ValidateInputs(problem, interval_lambdas, actions));
+  if (mode == Mode::kImproved && !actions.uniform_unit_bundle()) {
+    return Status::FailedPrecondition(
+        "monotone price search (Algorithm 2) requires a unit-bundle action "
+        "set; use SolveSimpleDp for bundled actions");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  DeadlinePlan plan(problem, actions, interval_lambdas);
+  const int num_actions = static_cast<int>(actions.size());
+  const int nt = problem.num_intervals;
+  const int num_tasks = problem.num_tasks;
+  int64_t evals = 0;
+
+  // opt_next[n] = Opt(n, t+1); updated as we sweep t backwards.
+  std::vector<double> opt_next(static_cast<size_t>(num_tasks) + 1);
+  for (int n = 0; n <= num_tasks; ++n) {
+    opt_next[static_cast<size_t>(n)] = plan.OptUnchecked(n, nt);
+  }
+  // Previous layer's action indices, for time-monotonicity pruning.
+  std::vector<int32_t> next_actions(static_cast<size_t>(num_tasks) + 1, -1);
+
+  for (int t = nt - 1; t >= 0; --t) {
+    CP_ASSIGN_OR_RETURN(
+        IntervalTables tables,
+        IntervalTables::Build(interval_lambdas[static_cast<size_t>(t)], actions,
+                              problem.truncation_epsilon));
+    // Opt(0, t) stays 0 (initialized by the plan constructor).
+    if (mode == Mode::kSimple || !options.monotone_price_search) {
+      for (int n = 1; n <= num_tasks; ++n) {
+        const BestAction best = FindOptimalForState(
+            n, actions, tables, 0, num_actions - 1, opt_next.data(), &evals);
+        plan.SetActionIndex(n, t, best.index);
+        plan.SetOpt(n, t, best.cost);
+      }
+    } else {
+      const int32_t* cap_row =
+          options.time_monotonicity_pruning && t < nt - 1 ? next_actions.data()
+                                                          : nullptr;
+      SolveRangeMonotone(1, num_tasks, 0, num_actions - 1, actions, tables,
+                         opt_next.data(), cap_row, &plan, t, &evals);
+    }
+    for (int n = 0; n <= num_tasks; ++n) {
+      opt_next[static_cast<size_t>(n)] = plan.OptUnchecked(n, t);
+      next_actions[static_cast<size_t>(n)] =
+          n >= 1 ? plan.ActionIndexUnchecked(n, t) : -1;
+    }
+  }
+
+  plan.action_evaluations = evals;
+  plan.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return plan;
+}
+
+}  // namespace
+
+Result<DeadlinePlan> SolveSimpleDp(const DeadlineProblem& problem,
+                                   const std::vector<double>& interval_lambdas,
+                                   const ActionSet& actions) {
+  return Solve(problem, interval_lambdas, actions, Mode::kSimple, DpOptions{});
+}
+
+Result<DeadlinePlan> SolveImprovedDp(const DeadlineProblem& problem,
+                                     const std::vector<double>& interval_lambdas,
+                                     const ActionSet& actions,
+                                     const DpOptions& options) {
+  return Solve(problem, interval_lambdas, actions, Mode::kImproved, options);
+}
+
+}  // namespace crowdprice::pricing

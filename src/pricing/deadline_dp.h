@@ -1,0 +1,57 @@
+// Fixed-deadline dynamic pricing via MDP dynamic programming (paper §3).
+//
+// SolveSimpleDp is Algorithm 1: for each interval t (backwards) and each
+// remaining count n, scan every action and evaluate
+//
+//   Opt(n,t) = min_c  sum_s Pois(s | lambda_t p(c)) [s c + Opt(n-s, t+1)]
+//            + Pr[Pois >= n] * n c,
+//
+// with the Poisson sum truncated at the epsilon tail point s0 (§3.2,
+// Theorem 1 bounds the induced error).
+//
+// SolveImprovedDp is Algorithm 2: assuming Conjecture 1 (the optimal price
+// is non-decreasing in n for fixed t — verified empirically by our property
+// tests, as in the paper), the per-interval price search is organized as a
+// divide-and-conquer over n, shrinking each state's price range to the
+// bracket established by already-solved states. Complexity drops from
+// O(NT * N^2 * C) to O(NT * N * (N + C log N)).
+//
+// An optional further pruning uses the price monotonicity in t for fixed n
+// (§3.2 last paragraph): Price(n, t) <= Price(n, t+1), so the layer at t+1
+// caps each state's search range from above.
+
+#ifndef CROWDPRICE_PRICING_DEADLINE_DP_H_
+#define CROWDPRICE_PRICING_DEADLINE_DP_H_
+
+#include <vector>
+
+#include "pricing/plan.h"
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+struct DpOptions {
+  /// Use the Algorithm 2 divide-and-conquer price search (requires a
+  /// unit-bundle action set; errors otherwise).
+  bool monotone_price_search = true;
+  /// Additionally cap each state's search range by Price(n, t+1).
+  bool time_monotonicity_pruning = false;
+};
+
+/// Algorithm 1. Supports any ActionSet (including bundled HIT actions).
+/// interval_lambdas must have problem.num_intervals entries, each finite
+/// and >= 0.
+Result<DeadlinePlan> SolveSimpleDp(const DeadlineProblem& problem,
+                                   const std::vector<double>& interval_lambdas,
+                                   const ActionSet& actions);
+
+/// Algorithm 2 (+ optional time-monotonicity pruning). Produces the same
+/// tables as SolveSimpleDp whenever Conjecture 1 holds.
+Result<DeadlinePlan> SolveImprovedDp(const DeadlineProblem& problem,
+                                     const std::vector<double>& interval_lambdas,
+                                     const ActionSet& actions,
+                                     const DpOptions& options = {});
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_DEADLINE_DP_H_

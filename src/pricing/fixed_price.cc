@@ -1,0 +1,233 @@
+#include "pricing/fixed_price.h"
+
+#include <cmath>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+namespace {
+
+Status ValidateCommon(int num_tasks, const std::vector<double>& interval_lambdas,
+                      int max_price_cents) {
+  if (num_tasks < 1) {
+    return Status::InvalidArgument(StringF("num_tasks must be >= 1; got %d", num_tasks));
+  }
+  if (interval_lambdas.empty()) {
+    return Status::InvalidArgument("interval_lambdas must be non-empty");
+  }
+  for (double lam : interval_lambdas) {
+    if (!(lam >= 0.0) || !std::isfinite(lam)) {
+      return Status::InvalidArgument("interval_lambdas entries must be finite, >= 0");
+    }
+  }
+  if (max_price_cents < 0) {
+    return Status::InvalidArgument("max_price_cents must be >= 0");
+  }
+  return Status::OK();
+}
+
+double TotalLambda(const std::vector<double>& interval_lambdas) {
+  double sum = 0.0;
+  for (double lam : interval_lambdas) sum += lam;
+  return sum;
+}
+
+// Generic monotone binary search: finds the smallest integer price in
+// [0, max_price] satisfying `ok(price)`; OutOfRange if none does.
+template <typename Predicate>
+Result<int> SearchSmallestPrice(int max_price, Predicate&& ok) {
+  CP_ASSIGN_OR_RETURN(bool top_ok, ok(max_price));
+  if (!top_ok) {
+    return Status::OutOfRange(
+        StringF("no price <= %d cents satisfies the completion criterion; "
+                "raise the price ceiling or relax the target",
+                max_price));
+  }
+  int lo = 0, hi = max_price;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    CP_ASSIGN_OR_RETURN(bool mid_ok, ok(mid));
+    if (mid_ok) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<FixedPriceSolution> EvaluateFixedPrice(
+    int price_cents, int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, double epsilon) {
+  CP_RETURN_IF_ERROR(ValidateCommon(num_tasks, interval_lambdas, price_cents));
+  const double p = acceptance.ProbabilityAt(static_cast<double>(price_cents));
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::NumericError(
+        StringF("acceptance p(%d) = %g outside [0, 1]", price_cents, p));
+  }
+  const double rate = TotalLambda(interval_lambdas) * p;
+  FixedPriceSolution sol;
+  sol.price_cents = price_cents;
+  // E[remaining] = sum_{k=0}^{N-1} (N - k) pmf(k); cheap because only the
+  // first N pmf terms matter.
+  CP_ASSIGN_OR_RETURN(stats::TruncatedPoisson tp,
+                      stats::MakeTruncatedPoisson(rate, epsilon));
+  double expected_remaining = 0.0;
+  for (int k = 0; k < num_tasks && k < static_cast<int>(tp.pmf.size()); ++k) {
+    expected_remaining +=
+        static_cast<double>(num_tasks - k) * tp.pmf[static_cast<size_t>(k)];
+  }
+  sol.expected_remaining = expected_remaining;
+  CP_ASSIGN_OR_RETURN(sol.prob_finish, stats::PoissonSf(num_tasks, rate));
+  sol.expected_cost_cents =
+      static_cast<double>(price_cents) *
+      (static_cast<double>(num_tasks) - expected_remaining);
+  return sol;
+}
+
+Result<FixedPriceSolution> SolveFixedForExpectedCompletion(
+    int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents) {
+  CP_RETURN_IF_ERROR(ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
+  const double total = TotalLambda(interval_lambdas);
+  CP_ASSIGN_OR_RETURN(
+      int price, SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
+        return total * acceptance.ProbabilityAt(static_cast<double>(c)) >=
+               static_cast<double>(num_tasks);
+      }));
+  return EvaluateFixedPrice(price, num_tasks, interval_lambdas, acceptance);
+}
+
+Result<FixedPriceSolution> SolveFixedForQuantile(
+    int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents,
+    double confidence) {
+  CP_RETURN_IF_ERROR(ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument(
+        StringF("confidence must be in (0, 1); got %g", confidence));
+  }
+  const double total = TotalLambda(interval_lambdas);
+  CP_ASSIGN_OR_RETURN(
+      int price, SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
+        const double rate =
+            total * acceptance.ProbabilityAt(static_cast<double>(c));
+        CP_ASSIGN_OR_RETURN(double sf, stats::PoissonSf(num_tasks, rate));
+        return sf >= confidence;
+      }));
+  return EvaluateFixedPrice(price, num_tasks, interval_lambdas, acceptance);
+}
+
+Result<FixedPriceSolution> SolveFixedForExpectedRemaining(
+    int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents,
+    double bound) {
+  CP_RETURN_IF_ERROR(ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
+  if (!(bound >= 0.0)) {
+    return Status::InvalidArgument(StringF("bound must be >= 0; got %g", bound));
+  }
+  CP_ASSIGN_OR_RETURN(
+      int price, SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
+        CP_ASSIGN_OR_RETURN(
+            FixedPriceSolution sol,
+            EvaluateFixedPrice(c, num_tasks, interval_lambdas, acceptance));
+        return sol.expected_remaining <= bound;
+      }));
+  return EvaluateFixedPrice(price, num_tasks, interval_lambdas, acceptance);
+}
+
+Result<double> ExpectedFinishTimeHours(int num_tasks,
+                                       const arrival::PiecewiseConstantRate& rate,
+                                       double acceptance_probability,
+                                       double tail_epsilon) {
+  if (num_tasks < 1) {
+    return Status::InvalidArgument("num_tasks must be >= 1");
+  }
+  if (!(acceptance_probability >= 0.0 && acceptance_probability <= 1.0)) {
+    return Status::InvalidArgument(
+        StringF("acceptance probability %g outside [0, 1]", acceptance_probability));
+  }
+  if (!(tail_epsilon > 0.0 && tail_epsilon < 1.0)) {
+    return Status::InvalidArgument("tail_epsilon must be in (0, 1)");
+  }
+  const double per_period =
+      rate.MeanRate() * rate.span_hours() * acceptance_probability;
+  if (!(per_period > 0.0)) {
+    return Status::FailedPrecondition(
+        "zero long-run completion rate: the batch never finishes");
+  }
+  // E[T_N] = integral of Pr[N(t) < N] dt; N(t) ~ Pois(Lambda(0,t) * p).
+  // Trapezoid on the rate's bucket boundaries; Pr is decreasing in t, so
+  // once it drops below tail_epsilon for a full period the remaining tail
+  // contributes O(epsilon * period / (1 - decay)) ~ negligible.
+  const double step = rate.bucket_width_hours();
+  double t = 0.0;
+  double cumulative = 0.0;  // Lambda(0, t) * p
+  double expected = 0.0;
+  double prev_pr = 1.0;
+  double below_for = 0.0;
+  const double max_hours = 20000.0 * rate.span_hours();
+  while (t < max_hours) {
+    const double seg = step;
+    cumulative += rate.At(t) * seg * acceptance_probability;
+    t += seg;
+    CP_ASSIGN_OR_RETURN(double pr, stats::PoissonCdf(num_tasks - 1, cumulative));
+    expected += 0.5 * (prev_pr + pr) * seg;
+    prev_pr = pr;
+    if (pr < tail_epsilon) {
+      below_for += seg;
+      if (below_for >= rate.span_hours()) return expected;
+    } else {
+      below_for = 0.0;
+    }
+  }
+  return Status::NumericError(
+      StringF("expected finish time did not converge within %g hours", max_hours));
+}
+
+Result<FixedPriceSolution> SolveFixedForExpectedFinishTime(
+    int num_tasks, const arrival::PiecewiseConstantRate& rate,
+    double deadline_hours, const choice::AcceptanceFunction& acceptance,
+    int max_price_cents) {
+  if (num_tasks < 1) {
+    return Status::InvalidArgument("num_tasks must be >= 1");
+  }
+  if (!(deadline_hours > 0.0)) {
+    return Status::InvalidArgument("deadline_hours must be > 0");
+  }
+  if (max_price_cents < 0) {
+    return Status::InvalidArgument("max_price_cents must be >= 0");
+  }
+  CP_ASSIGN_OR_RETURN(
+      int price, SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
+        const double p = acceptance.ProbabilityAt(static_cast<double>(c));
+        if (!(p > 0.0)) return false;
+        CP_ASSIGN_OR_RETURN(double finish,
+                            ExpectedFinishTimeHours(num_tasks, rate, p));
+        return finish <= deadline_hours;
+      }));
+  CP_ASSIGN_OR_RETURN(double total, rate.Integrate(0.0, deadline_hours));
+  return EvaluateFixedPrice(price, num_tasks, {total}, acceptance);
+}
+
+Result<int> TheoreticalMinimumPrice(int num_tasks,
+                                    const std::vector<double>& interval_lambdas,
+                                    const choice::AcceptanceFunction& acceptance,
+                                    int max_price_cents) {
+  CP_RETURN_IF_ERROR(ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
+  const double total = TotalLambda(interval_lambdas);
+  if (!(total > 0.0)) {
+    return Status::FailedPrecondition("no worker arrivals over the horizon");
+  }
+  const double target = static_cast<double>(num_tasks) / total;
+  return SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
+    return acceptance.ProbabilityAt(static_cast<double>(c)) >= target;
+  });
+}
+
+}  // namespace crowdprice::pricing

@@ -1,0 +1,83 @@
+// The fixed-price baseline (Faridani et al. [17], as used in paper §5.2).
+//
+// A single reward c is chosen up-front by binary search and never changed.
+// Three completion criteria are supported:
+//   * expected-completion (the original scheme): smallest c with
+//     E[# completions over the horizon] >= N;
+//   * quantile: smallest c with Pr[Pois(Lambda p(c)) >= N] >= confidence
+//     (the 99.9% criterion of §5.2.2);
+//   * expected-remaining: smallest c with E[max(N - X, 0)] <= bound (used
+//     to match thresholds against the dynamic policy in Fig. 7a).
+
+#ifndef CROWDPRICE_PRICING_FIXED_PRICE_H_
+#define CROWDPRICE_PRICING_FIXED_PRICE_H_
+
+#include <vector>
+
+#include "arrival/rate_function.h"
+#include "choice/acceptance.h"
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+struct FixedPriceSolution {
+  int price_cents = 0;
+  /// E[# tasks unsolved at the deadline] at this price.
+  double expected_remaining = 0.0;
+  /// Pr[all N tasks complete by the deadline].
+  double prob_finish = 0.0;
+  /// price * E[# completed]: expected total payout, cents.
+  double expected_cost_cents = 0.0;
+};
+
+/// Diagnostics of a candidate fixed price (used by all solvers and by the
+/// robustness benches to evaluate a price under a *different* true model).
+Result<FixedPriceSolution> EvaluateFixedPrice(
+    int price_cents, int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, double epsilon = 1e-12);
+
+/// Smallest price with E[completions] >= N (Faridani's criterion).
+Result<FixedPriceSolution> SolveFixedForExpectedCompletion(
+    int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents);
+
+/// Smallest price with Pr[finish] >= confidence (in (0, 1)).
+Result<FixedPriceSolution> SolveFixedForQuantile(
+    int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents,
+    double confidence);
+
+/// Smallest price with E[remaining] <= bound (>= 0).
+Result<FixedPriceSolution> SolveFixedForExpectedRemaining(
+    int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents,
+    double bound);
+
+/// §5.2.1's theoretical lower bound c0 on any strategy's average reward:
+/// the smallest c with p(c) >= N / Lambda(0, T).
+Result<int> TheoreticalMinimumPrice(int num_tasks,
+                                    const std::vector<double>& interval_lambdas,
+                                    const choice::AcceptanceFunction& acceptance,
+                                    int max_price_cents);
+
+/// Expected time (hours) until the num_tasks-th completion at a fixed
+/// price, under the (periodically extended) rate function: E[T_N] with
+/// T_N = inf{t : N(t) >= N} for the thinned NHPP. Computed by integrating
+/// Pr[N(t) < N] over time; `tail_epsilon` bounds the ignored tail mass.
+/// Errors when the long-run completion rate is zero.
+Result<double> ExpectedFinishTimeHours(int num_tasks,
+                                       const arrival::PiecewiseConstantRate& rate,
+                                       double acceptance_probability,
+                                       double tail_epsilon = 1e-9);
+
+/// Faridani et al.'s original scheme: the smallest fixed price whose
+/// *expected completion time* of the whole batch is within the deadline.
+/// (The quantile criterion above is the strengthened form used in §5.2.)
+Result<FixedPriceSolution> SolveFixedForExpectedFinishTime(
+    int num_tasks, const arrival::PiecewiseConstantRate& rate,
+    double deadline_hours, const choice::AcceptanceFunction& acceptance,
+    int max_price_cents);
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_FIXED_PRICE_H_

@@ -1,0 +1,224 @@
+#include "pricing/multitype.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+Result<JointLogitAcceptance> JointLogitAcceptance::Create(double s1, double b1,
+                                                          double s2, double b2,
+                                                          double m) {
+  if (!(s1 > 0.0) || !(s2 > 0.0)) {
+    return Status::InvalidArgument("joint logit scales must be > 0");
+  }
+  if (!(m > 0.0)) {
+    return Status::InvalidArgument("joint logit m must be > 0");
+  }
+  if (!std::isfinite(b1) || !std::isfinite(b2)) {
+    return Status::InvalidArgument("joint logit biases must be finite");
+  }
+  return JointLogitAcceptance(s1, b1, s2, b2, m);
+}
+
+std::pair<double, double> JointLogitAcceptance::ProbabilitiesAt(
+    double c1_cents, double c2_cents) const {
+  const double z1 = c1_cents / s1_ - b1_;
+  const double z2 = c2_cents / s2_ - b2_;
+  // Shift by the max exponent for stability; ln(m) joins the competition.
+  const double zm = std::log(m_);
+  const double shift = std::max({z1, z2, zm});
+  const double e1 = std::exp(z1 - shift);
+  const double e2 = std::exp(z2 - shift);
+  const double em = std::exp(zm - shift);
+  const double denom = e1 + e2 + em;
+  return {e1 / denom, e2 / denom};
+}
+
+Status MultiTypeProblem::Validate() const {
+  if (num_tasks_1 < 0 || num_tasks_2 < 0 || num_tasks_1 + num_tasks_2 < 1) {
+    return Status::InvalidArgument("need n1, n2 >= 0 with n1 + n2 >= 1");
+  }
+  if (num_intervals < 1) {
+    return Status::InvalidArgument("num_intervals must be >= 1");
+  }
+  if (!(penalty_1_cents >= 0.0) || !(penalty_2_cents >= 0.0)) {
+    return Status::InvalidArgument("penalties must be >= 0");
+  }
+  if (max_price_cents < 0 || max_price_cents >= 4096) {
+    return Status::InvalidArgument("max_price_cents must be in [0, 4095]");
+  }
+  if (price_stride < 1) {
+    return Status::InvalidArgument("price_stride must be >= 1");
+  }
+  if (!(truncation_epsilon > 0.0 && truncation_epsilon < 1.0)) {
+    return Status::InvalidArgument("truncation_epsilon must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+MultiTypePlan::MultiTypePlan(MultiTypeProblem problem,
+                             std::vector<double> interval_lambdas)
+    : problem_(problem), interval_lambdas_(std::move(interval_lambdas)) {
+  const size_t states = static_cast<size_t>(problem_.num_tasks_1 + 1) *
+                        static_cast<size_t>(problem_.num_tasks_2 + 1);
+  opt_.assign(states * static_cast<size_t>(problem_.num_intervals + 1), 0.0);
+  policy_.assign(states * static_cast<size_t>(problem_.num_intervals), -1);
+  for (int n1 = 0; n1 <= problem_.num_tasks_1; ++n1) {
+    for (int n2 = 0; n2 <= problem_.num_tasks_2; ++n2) {
+      opt_[StateIndex(n1, n2, problem_.num_intervals)] =
+          n1 * problem_.penalty_1_cents + n2 * problem_.penalty_2_cents;
+    }
+  }
+}
+
+size_t MultiTypePlan::StateIndex(int n1, int n2, int t) const {
+  const size_t n2_span = static_cast<size_t>(problem_.num_tasks_2) + 1;
+  const size_t t_span = static_cast<size_t>(problem_.num_intervals) + 1;
+  return ((static_cast<size_t>(n1) * n2_span) + static_cast<size_t>(n2)) * t_span +
+         static_cast<size_t>(t);
+}
+
+size_t MultiTypePlan::PolicyIndex(int n1, int n2, int t) const {
+  const size_t n2_span = static_cast<size_t>(problem_.num_tasks_2) + 1;
+  const size_t t_span = static_cast<size_t>(problem_.num_intervals);
+  return ((static_cast<size_t>(n1) * n2_span) + static_cast<size_t>(n2)) * t_span +
+         static_cast<size_t>(t);
+}
+
+Result<std::pair<int, int>> MultiTypePlan::PricesAt(int n1, int n2, int t) const {
+  if (n1 < 0 || n1 > problem_.num_tasks_1 || n2 < 0 || n2 > problem_.num_tasks_2) {
+    return Status::OutOfRange("state out of range");
+  }
+  if (t < 0 || t >= problem_.num_intervals) {
+    return Status::OutOfRange("t out of range");
+  }
+  if (n1 + n2 == 0) {
+    return Status::InvalidArgument("no action at the completed state");
+  }
+  const int32_t packed = policy_[PolicyIndex(n1, n2, t)];
+  if (packed < 0) {
+    return Status::FailedPrecondition("state was never solved");
+  }
+  return std::pair<int, int>(packed / 4096, packed % 4096);
+}
+
+Result<double> MultiTypePlan::OptAt(int n1, int n2, int t) const {
+  if (n1 < 0 || n1 > problem_.num_tasks_1 || n2 < 0 || n2 > problem_.num_tasks_2) {
+    return Status::OutOfRange("state out of range");
+  }
+  if (t < 0 || t > problem_.num_intervals) {
+    return Status::OutOfRange("t out of range");
+  }
+  return opt_[StateIndex(n1, n2, t)];
+}
+
+double MultiTypePlan::TotalObjective() const {
+  return opt_[StateIndex(problem_.num_tasks_1, problem_.num_tasks_2, 0)];
+}
+
+namespace {
+
+// Distribution over completed-task counts d in {0..n} for one type, with the
+// Poisson tail (and counts beyond n) lumped into d = n.
+void CollapseTail(const stats::TruncatedPoisson& tp, int n,
+                  std::vector<double>* out) {
+  out->assign(static_cast<size_t>(n) + 1, 0.0);
+  double cum = 0.0;
+  for (int k = 0; k < static_cast<int>(tp.pmf.size()) && k < n; ++k) {
+    (*out)[static_cast<size_t>(k)] = tp.pmf[static_cast<size_t>(k)];
+    cum += tp.pmf[static_cast<size_t>(k)];
+  }
+  (*out)[static_cast<size_t>(n)] = std::max(0.0, 1.0 - cum);
+}
+
+}  // namespace
+
+Result<MultiTypePlan> SolveMultiType(const MultiTypeProblem& problem,
+                                     const std::vector<double>& interval_lambdas,
+                                     const JointLogitAcceptance& acceptance) {
+  CP_RETURN_IF_ERROR(problem.Validate());
+  if (interval_lambdas.size() != static_cast<size_t>(problem.num_intervals)) {
+    return Status::InvalidArgument(
+        StringF("interval_lambdas has %zu entries; problem has %d intervals",
+                interval_lambdas.size(), problem.num_intervals));
+  }
+  MultiTypePlan plan(problem, interval_lambdas);
+
+  // Strided price grid.
+  std::vector<int> grid;
+  for (int c = 0; c <= problem.max_price_cents; c += problem.price_stride) {
+    grid.push_back(c);
+  }
+
+  const int num_tasks_1 = problem.num_tasks_1;
+  const int num_tasks_2 = problem.num_tasks_2;
+  std::vector<double> d1_dist, d2_dist;
+
+  for (int t = problem.num_intervals - 1; t >= 0; --t) {
+    const double lambda_t = interval_lambdas[static_cast<size_t>(t)];
+    if (!(lambda_t >= 0.0) || !std::isfinite(lambda_t)) {
+      return Status::InvalidArgument(
+          StringF("interval_lambdas[%d] = %g invalid", t, lambda_t));
+    }
+    // Truncated tables per price pair.
+    struct PairTables {
+      double p1, p2;
+      stats::TruncatedPoisson tp1, tp2;
+    };
+    std::vector<PairTables> tables(grid.size() * grid.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+      for (size_t j = 0; j < grid.size(); ++j) {
+        auto [p1, p2] = acceptance.ProbabilitiesAt(
+            static_cast<double>(grid[i]), static_cast<double>(grid[j]));
+        PairTables& pt = tables[i * grid.size() + j];
+        pt.p1 = p1;
+        pt.p2 = p2;
+        CP_ASSIGN_OR_RETURN(pt.tp1, stats::MakeTruncatedPoisson(
+                                        lambda_t * p1, problem.truncation_epsilon));
+        CP_ASSIGN_OR_RETURN(pt.tp2, stats::MakeTruncatedPoisson(
+                                        lambda_t * p2, problem.truncation_epsilon));
+      }
+    }
+    for (int n1 = 0; n1 <= num_tasks_1; ++n1) {
+      for (int n2 = 0; n2 <= num_tasks_2; ++n2) {
+        if (n1 + n2 == 0) continue;
+        double best = std::numeric_limits<double>::infinity();
+        int32_t best_packed = -1;
+        for (size_t i = 0; i < grid.size(); ++i) {
+          for (size_t j = 0; j < grid.size(); ++j) {
+            const PairTables& pt = tables[i * grid.size() + j];
+            CollapseTail(pt.tp1, n1, &d1_dist);
+            CollapseTail(pt.tp2, n2, &d2_dist);
+            double cost = 0.0;
+            for (int d1 = 0; d1 <= n1; ++d1) {
+              const double q1 = d1_dist[static_cast<size_t>(d1)];
+              if (q1 <= 0.0) continue;
+              for (int d2 = 0; d2 <= n2; ++d2) {
+                const double q2 = d2_dist[static_cast<size_t>(d2)];
+                if (q2 <= 0.0) continue;
+                cost += q1 * q2 *
+                        (static_cast<double>(grid[i]) * d1 +
+                         static_cast<double>(grid[j]) * d2 +
+                         plan.opt()[plan.StateIndex(n1 - d1, n2 - d2, t + 1)]);
+              }
+            }
+            if (cost < best) {
+              best = cost;
+              best_packed = static_cast<int32_t>(grid[i] * 4096 + grid[j]);
+            }
+          }
+        }
+        plan.opt()[plan.StateIndex(n1, n2, t)] = best;
+        plan.policy()[plan.PolicyIndex(n1, n2, t)] = best_packed;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace crowdprice::pricing

@@ -1,0 +1,89 @@
+// Multiple task types (paper §6, "Multiple Task Types").
+//
+// The state generalizes to a vector (n_1, ..., n_k, t). We implement the
+// two-type case with a joint conditional-logit acceptance: both of our task
+// types compete for the same arriving worker, so
+//
+//   p_i(c_1, c_2) = exp(z_i) / (exp(z_1) + exp(z_2) + M),  z_i = c_i/s_i - b_i.
+//
+// By Poisson splitting, per interval the completion counts of the two types
+// are independent Poissons with means lambda_t * p_i. The DP optimizes the
+// pair (c_1, c_2) per state; complexity O(NT * N1 * N2 * C^2 * s0^2), so a
+// price-grid stride knob is provided for coarse solves.
+
+#ifndef CROWDPRICE_PRICING_MULTITYPE_H_
+#define CROWDPRICE_PRICING_MULTITYPE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+/// Joint two-type conditional-logit acceptance.
+class JointLogitAcceptance {
+ public:
+  /// Requires s1, s2 > 0, m > 0.
+  static Result<JointLogitAcceptance> Create(double s1, double b1, double s2,
+                                             double b2, double m);
+
+  /// (p_1, p_2) at the given price pair.
+  std::pair<double, double> ProbabilitiesAt(double c1_cents, double c2_cents) const;
+
+ private:
+  JointLogitAcceptance(double s1, double b1, double s2, double b2, double m)
+      : s1_(s1), b1_(b1), s2_(s2), b2_(b2), m_(m) {}
+  double s1_, b1_, s2_, b2_, m_;
+};
+
+struct MultiTypeProblem {
+  int num_tasks_1 = 0;
+  int num_tasks_2 = 0;
+  int num_intervals = 0;
+  double penalty_1_cents = 0.0;
+  double penalty_2_cents = 0.0;
+  int max_price_cents = 0;
+  /// Consider prices {0, stride, 2*stride, ...} only.
+  int price_stride = 1;
+  double truncation_epsilon = 1e-9;
+
+  Status Validate() const;
+};
+
+/// Solved joint policy: optimal price pair and cost-to-go per state.
+class MultiTypePlan {
+ public:
+  MultiTypePlan(MultiTypeProblem problem, std::vector<double> interval_lambdas);
+
+  const MultiTypeProblem& problem() const { return problem_; }
+
+  /// Optimal (price_1, price_2) at state (n1, n2, t); requires n1 + n2 > 0.
+  Result<std::pair<int, int>> PricesAt(int n1, int n2, int t) const;
+  /// Cost-to-go at (n1, n2, t), t up to num_intervals (terminal).
+  Result<double> OptAt(int n1, int n2, int t) const;
+  double TotalObjective() const;
+
+  // Solver-facing unchecked access.
+  size_t StateIndex(int n1, int n2, int t) const;
+  size_t PolicyIndex(int n1, int n2, int t) const;
+  std::vector<double>& opt() { return opt_; }
+  std::vector<int32_t>& policy() { return policy_; }  ///< packed c1 * 4096 + c2
+  const std::vector<double>& opt() const { return opt_; }
+
+ private:
+  MultiTypeProblem problem_;
+  std::vector<double> interval_lambdas_;
+  std::vector<double> opt_;
+  std::vector<int32_t> policy_;
+};
+
+/// Backward-induction solve (the §6 DP over the vector state space).
+Result<MultiTypePlan> SolveMultiType(const MultiTypeProblem& problem,
+                                     const std::vector<double>& interval_lambdas,
+                                     const JointLogitAcceptance& acceptance);
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_MULTITYPE_H_

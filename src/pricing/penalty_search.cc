@@ -1,0 +1,88 @@
+#include "pricing/penalty_search.h"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+namespace {
+
+struct Attempt {
+  DeadlinePlan plan;
+  PolicyEvaluation eval;
+  double penalty;
+};
+
+Result<Attempt> TryPenalty(const DeadlineProblem& base,
+                           const std::vector<double>& lambdas,
+                           const ActionSet& actions, double penalty,
+                           const DpOptions& dp_options) {
+  DeadlineProblem problem = base;
+  problem.penalty_cents = penalty;
+  CP_ASSIGN_OR_RETURN(DeadlinePlan plan,
+                      SolveImprovedDp(problem, lambdas, actions, dp_options));
+  CP_ASSIGN_OR_RETURN(PolicyEvaluation eval, EvaluatePolicyNominal(plan));
+  return Attempt{std::move(plan), std::move(eval), penalty};
+}
+
+}  // namespace
+
+Result<BoundSolveResult> SolveForExpectedRemaining(
+    const DeadlineProblem& problem, const std::vector<double>& interval_lambdas,
+    const ActionSet& actions, double bound, const BoundSolveOptions& options) {
+  if (!(bound >= 0.0) || !std::isfinite(bound)) {
+    return Status::InvalidArgument(StringF("bound must be finite, >= 0; got %g", bound));
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (!(options.initial_penalty > 0.0)) {
+    return Status::InvalidArgument("initial_penalty must be > 0");
+  }
+  int solves = 0;
+  // Bracket: grow the penalty until the bound is met.
+  double hi = options.initial_penalty;
+  std::optional<Attempt> feasible;
+  while (true) {
+    CP_ASSIGN_OR_RETURN(
+        Attempt attempt,
+        TryPenalty(problem, interval_lambdas, actions, hi, options.dp_options));
+    ++solves;
+    if (attempt.eval.expected_remaining <= bound) {
+      feasible = std::move(attempt);
+      break;
+    }
+    hi *= 4.0;
+    if (hi > options.max_penalty) {
+      return Status::FailedPrecondition(
+          StringF("bound %g unreachable: even penalty %g leaves E[remaining] "
+                  "= %g (price ceiling or worker supply too low)",
+                  bound, hi / 4.0, attempt.eval.expected_remaining));
+    }
+  }
+  // Bisect [lo, hi]: lo infeasible (or zero), hi feasible.
+  double lo = hi > options.initial_penalty ? hi / 4.0 : 0.0;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // resolution exhausted
+    CP_ASSIGN_OR_RETURN(
+        Attempt attempt,
+        TryPenalty(problem, interval_lambdas, actions, mid, options.dp_options));
+    ++solves;
+    if (attempt.eval.expected_remaining <= bound) {
+      hi = mid;
+      feasible = std::move(attempt);
+    } else {
+      lo = mid;
+    }
+  }
+  BoundSolveResult result{std::move(feasible->plan), std::move(feasible->eval),
+                          feasible->penalty, solves};
+  return result;
+}
+
+}  // namespace crowdprice::pricing

@@ -1,0 +1,47 @@
+// Penalty <-> bound duality (paper §3.3, Theorem 2).
+//
+// The MDP optimizes E[cost] + Penalty * E[remaining]. Users usually want
+// the dual form: minimize E[cost] subject to E[remaining] <= Bound. By
+// Theorem 2 the two coincide for a suitable Penalty, found here by binary
+// search (E[remaining] is non-increasing in Penalty).
+
+#ifndef CROWDPRICE_PRICING_PENALTY_SEARCH_H_
+#define CROWDPRICE_PRICING_PENALTY_SEARCH_H_
+
+#include <vector>
+
+#include "pricing/deadline_dp.h"
+#include "pricing/policy_eval.h"
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+struct BoundSolveOptions {
+  /// Bisection iterations after bracketing (each is one DP solve).
+  int max_iterations = 24;
+  /// Initial upper bracket for Penalty; grows geometrically if needed.
+  double initial_penalty = 100.0;
+  /// Growth cap: give up if Penalty exceeds this without meeting the bound.
+  double max_penalty = 1e9;
+  DpOptions dp_options;
+};
+
+struct BoundSolveResult {
+  DeadlinePlan plan;
+  PolicyEvaluation evaluation;
+  double penalty_used = 0.0;
+  int dp_solves = 0;
+};
+
+/// Finds the smallest penalty (within bisection resolution) whose optimal
+/// policy satisfies E[remaining] <= bound, and returns that policy. The
+/// problem's penalty_cents field is ignored (overwritten by the search).
+/// bound must be >= 0; an unreachable bound yields FailedPrecondition.
+Result<BoundSolveResult> SolveForExpectedRemaining(
+    const DeadlineProblem& problem, const std::vector<double>& interval_lambdas,
+    const ActionSet& actions, double bound,
+    const BoundSolveOptions& options = {});
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_PENALTY_SEARCH_H_

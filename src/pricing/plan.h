@@ -1,0 +1,73 @@
+// DeadlinePlan: the solved MDP policy and value tables.
+
+#ifndef CROWDPRICE_PRICING_PLAN_H_
+#define CROWDPRICE_PRICING_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pricing/action.h"
+#include "pricing/problem.h"
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+/// Output of a deadline-DP solve: for every state (n, t) the optimal action
+/// index Price(n, t) and the optimal cost-to-go Opt(n, t) (paper §3.1).
+class DeadlinePlan {
+ public:
+  DeadlinePlan(DeadlineProblem problem, ActionSet actions,
+               std::vector<double> interval_lambdas);
+
+  const DeadlineProblem& problem() const { return problem_; }
+  const ActionSet& actions() const { return actions_; }
+  /// lambda_t for t = 0..NT-1.
+  const std::vector<double>& interval_lambdas() const { return interval_lambdas_; }
+
+  int num_tasks() const { return problem_.num_tasks; }
+  int num_intervals() const { return problem_.num_intervals; }
+
+  /// Optimal action index at state (n, t); n in [1, N], t in [0, NT).
+  Result<int> ActionIndexAt(int n, int t) const;
+  /// Optimal action at state (n, t).
+  Result<PricingAction> ActionAt(int n, int t) const;
+  /// Per-task reward (cents) of the optimal action at (n, t): the paper's
+  /// Price(n, t).
+  Result<double> PriceAt(int n, int t) const;
+  /// Expected cost-to-go Opt(n, t); n in [0, N], t in [0, NT].
+  Result<double> OptAt(int n, int t) const;
+
+  /// Expected total objective starting from the full batch.
+  double TotalObjective() const;
+
+  // --- Solver-facing mutable access (rows are contiguous in t). ---
+  void SetActionIndex(int n, int t, int action);
+  void SetOpt(int n, int t, double value);
+  double OptUnchecked(int n, int t) const {
+    return opt_[static_cast<size_t>(n) * (static_cast<size_t>(num_intervals()) + 1) +
+                static_cast<size_t>(t)];
+  }
+  int ActionIndexUnchecked(int n, int t) const {
+    return action_idx_[static_cast<size_t>(n) * static_cast<size_t>(num_intervals()) +
+                       static_cast<size_t>(t)];
+  }
+
+  // --- Diagnostics ---
+  double solve_seconds = 0.0;
+  int64_t action_evaluations = 0;  ///< Calls to the state-action evaluator.
+
+ private:
+  Status CheckState(int n, int t, bool terminal_ok) const;
+
+  DeadlineProblem problem_;
+  ActionSet actions_;
+  std::vector<double> interval_lambdas_;
+  /// opt_[n * (NT+1) + t], n in [0, N], t in [0, NT].
+  std::vector<double> opt_;
+  /// action_idx_[n * NT + t], n in [0, N] (row 0 unused), t in [0, NT).
+  std::vector<int32_t> action_idx_;
+};
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_PLAN_H_

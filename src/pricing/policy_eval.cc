@@ -1,0 +1,168 @@
+#include "pricing/policy_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+namespace {
+
+Status ValidateEvalInputs(const DeadlinePlan& plan,
+                          const std::vector<double>& true_lambdas,
+                          const std::vector<double>& true_probs) {
+  if (true_lambdas.size() != static_cast<size_t>(plan.num_intervals())) {
+    return Status::InvalidArgument(
+        StringF("true_lambdas has %zu entries; plan has %d intervals",
+                true_lambdas.size(), plan.num_intervals()));
+  }
+  if (true_probs.size() != plan.actions().size()) {
+    return Status::InvalidArgument(
+        StringF("true_probs has %zu entries; plan has %zu actions",
+                true_probs.size(), plan.actions().size()));
+  }
+  for (double lam : true_lambdas) {
+    if (!(lam >= 0.0) || !std::isfinite(lam)) {
+      return Status::InvalidArgument("true_lambdas entries must be finite, >= 0");
+    }
+  }
+  for (double p : true_probs) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("true_probs entries must be in [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PolicyEvaluation> EvaluatePolicy(const DeadlinePlan& plan,
+                                        const std::vector<double>& true_lambdas,
+                                        const std::vector<double>& true_probs) {
+  CP_RETURN_IF_ERROR(ValidateEvalInputs(plan, true_lambdas, true_probs));
+  const int num_tasks = plan.num_tasks();
+  const int nt = plan.num_intervals();
+  const double epsilon = plan.problem().truncation_epsilon;
+
+  std::vector<double> dist(static_cast<size_t>(num_tasks) + 1, 0.0);
+  dist[static_cast<size_t>(num_tasks)] = 1.0;
+  std::vector<double> next(static_cast<size_t>(num_tasks) + 1, 0.0);
+  double expected_cost = 0.0;
+
+  // Per interval, cache the truncated table per distinct action index used.
+  std::vector<int> table_of_action(plan.actions().size());
+  for (int t = 0; t < nt; ++t) {
+    std::fill(next.begin(), next.end(), 0.0);
+    next[0] += dist[0];
+    std::vector<stats::TruncatedPoisson> tables;
+    std::fill(table_of_action.begin(), table_of_action.end(), -1);
+    for (int n = 1; n <= num_tasks; ++n) {
+      const double mass = dist[static_cast<size_t>(n)];
+      if (mass <= 0.0) continue;
+      const int a_idx = plan.ActionIndexUnchecked(n, t);
+      if (a_idx < 0) {
+        return Status::FailedPrecondition(
+            StringF("plan has no action at (n=%d, t=%d)", n, t));
+      }
+      if (table_of_action[static_cast<size_t>(a_idx)] < 0) {
+        CP_ASSIGN_OR_RETURN(
+            stats::TruncatedPoisson tp,
+            stats::MakeTruncatedPoisson(
+                true_lambdas[static_cast<size_t>(t)] *
+                    true_probs[static_cast<size_t>(a_idx)],
+                epsilon));
+        table_of_action[static_cast<size_t>(a_idx)] =
+            static_cast<int>(tables.size());
+        tables.push_back(std::move(tp));
+      }
+      const stats::TruncatedPoisson& tp =
+          tables[static_cast<size_t>(table_of_action[static_cast<size_t>(a_idx)])];
+      const PricingAction& action = plan.actions()[static_cast<size_t>(a_idx)];
+      const double c = action.cost_per_task_cents;
+      double cum = 0.0;
+      for (int k = 0; k < static_cast<int>(tp.pmf.size()); ++k) {
+        const long long d_ll = static_cast<long long>(k) * action.bundle;
+        if (d_ll >= n) break;
+        const int d = static_cast<int>(d_ll);
+        const double p = tp.pmf[static_cast<size_t>(k)];
+        next[static_cast<size_t>(n - d)] += mass * p;
+        expected_cost += mass * p * c * d;
+        cum += p;
+      }
+      const double finish_mass = std::max(0.0, 1.0 - cum);
+      next[0] += mass * finish_mass;
+      expected_cost += mass * finish_mass * c * n;
+    }
+    dist.swap(next);
+  }
+
+  PolicyEvaluation eval;
+  eval.expected_cost_cents = expected_cost;
+  eval.remaining_distribution = dist;
+  double expected_remaining = 0.0;
+  double expected_penalty = 0.0;
+  for (int n = 0; n <= num_tasks; ++n) {
+    expected_remaining += static_cast<double>(n) * dist[static_cast<size_t>(n)];
+    expected_penalty += plan.problem().TerminalPenalty(n) * dist[static_cast<size_t>(n)];
+  }
+  eval.expected_remaining = expected_remaining;
+  eval.prob_unfinished = std::clamp(1.0 - dist[0], 0.0, 1.0);
+  const double expected_completed =
+      static_cast<double>(num_tasks) - expected_remaining;
+  eval.average_reward_per_task =
+      expected_completed > 0.0 ? expected_cost / expected_completed : 0.0;
+  eval.expected_objective = expected_cost + expected_penalty;
+  return eval;
+}
+
+Result<PolicyEvaluation> EvaluatePolicyUnderMarket(
+    const DeadlinePlan& plan, const std::vector<double>& true_lambdas,
+    const choice::AcceptanceFunction& true_acceptance) {
+  std::vector<double> probs;
+  probs.reserve(plan.actions().size());
+  for (const PricingAction& a : plan.actions().actions()) {
+    probs.push_back(true_acceptance.ProbabilityAt(a.cost_per_task_cents));
+  }
+  return EvaluatePolicy(plan, true_lambdas, probs);
+}
+
+Result<PolicyEvaluation> EvaluatePolicyNominal(const DeadlinePlan& plan) {
+  std::vector<double> probs;
+  probs.reserve(plan.actions().size());
+  for (const PricingAction& a : plan.actions().actions()) {
+    probs.push_back(a.acceptance);
+  }
+  return EvaluatePolicy(plan, plan.interval_lambdas(), probs);
+}
+
+Result<PolicyTrajectory> SimulatePolicyOnce(const DeadlinePlan& plan,
+                                            const std::vector<double>& true_lambdas,
+                                            const std::vector<double>& true_probs,
+                                            Rng& rng) {
+  CP_RETURN_IF_ERROR(ValidateEvalInputs(plan, true_lambdas, true_probs));
+  PolicyTrajectory traj;
+  int n = plan.num_tasks();
+  for (int t = 0; t < plan.num_intervals() && n > 0; ++t) {
+    const int a_idx = plan.ActionIndexUnchecked(n, t);
+    if (a_idx < 0) {
+      return Status::FailedPrecondition(
+          StringF("plan has no action at (n=%d, t=%d)", n, t));
+    }
+    const PricingAction& action = plan.actions()[static_cast<size_t>(a_idx)];
+    traj.prices.push_back(action.cost_per_task_cents);
+    const double rate = true_lambdas[static_cast<size_t>(t)] *
+                        true_probs[static_cast<size_t>(a_idx)];
+    const int completions = stats::SamplePoisson(rng, rate);
+    const int done = static_cast<int>(std::min<long long>(
+        static_cast<long long>(completions) * action.bundle, n));
+    traj.cost_cents += action.cost_per_task_cents * done;
+    n -= done;
+  }
+  traj.remaining = n;
+  return traj;
+}
+
+}  // namespace crowdprice::pricing

@@ -1,0 +1,76 @@
+// Exact and Monte-Carlo evaluation of a solved pricing policy.
+//
+// The DP's own Opt(N, 0) already gives the expected objective *under the
+// planning model*. These evaluators answer two further questions:
+//   1. What are the expected cost, expected remaining tasks, completion
+//      probability and the full remaining-task distribution of a policy —
+//      possibly under a marketplace whose true p(c) or lambda(t) differs
+//      from the one the policy was trained on (Figs. 9-10)?
+//   2. What does one random campaign trajectory look like (for Monte-Carlo
+//      validation of the exact pass and for simulation-backed experiments)?
+//
+// The exact evaluator propagates the full distribution over remaining tasks
+// forward through the chain, O(NT * N * s0).
+
+#ifndef CROWDPRICE_PRICING_POLICY_EVAL_H_
+#define CROWDPRICE_PRICING_POLICY_EVAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "choice/acceptance.h"
+#include "pricing/plan.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::pricing {
+
+struct PolicyEvaluation {
+  /// Expected transition cost (rewards paid), cents.
+  double expected_cost_cents = 0.0;
+  /// E[# tasks unsolved at the deadline].
+  double expected_remaining = 0.0;
+  /// Pr[at least one task unsolved at the deadline].
+  double prob_unfinished = 0.0;
+  /// Full distribution of remaining tasks at the deadline (index = n).
+  std::vector<double> remaining_distribution;
+  /// expected_cost / E[# completed]: the paper's "average task reward".
+  double average_reward_per_task = 0.0;
+  /// expected_cost + expected terminal penalty: the MDP objective.
+  double expected_objective = 0.0;
+};
+
+/// Evaluates `plan` exactly, with the true acceptance probability of each
+/// action given by true_probs[action index] and true per-interval worker
+/// means `true_lambdas` (same length as the plan's intervals). Pass the
+/// plan's own action acceptances / lambdas to evaluate under the planning
+/// model.
+Result<PolicyEvaluation> EvaluatePolicy(const DeadlinePlan& plan,
+                                        const std::vector<double>& true_lambdas,
+                                        const std::vector<double>& true_probs);
+
+/// Convenience: true probabilities from an acceptance function applied to
+/// each action's per-task cost (unit-bundle action sets).
+Result<PolicyEvaluation> EvaluatePolicyUnderMarket(
+    const DeadlinePlan& plan, const std::vector<double>& true_lambdas,
+    const choice::AcceptanceFunction& true_acceptance);
+
+/// Evaluates under the planning model itself (sanity: expected_objective
+/// matches plan.TotalObjective() up to truncation error).
+Result<PolicyEvaluation> EvaluatePolicyNominal(const DeadlinePlan& plan);
+
+/// One Monte-Carlo trajectory of the interval process.
+struct PolicyTrajectory {
+  double cost_cents = 0.0;
+  int remaining = 0;
+  /// Price posted in each interval (diagnostic; Fig. 9 right column).
+  std::vector<double> prices;
+};
+Result<PolicyTrajectory> SimulatePolicyOnce(const DeadlinePlan& plan,
+                                            const std::vector<double>& true_lambdas,
+                                            const std::vector<double>& true_probs,
+                                            Rng& rng);
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_POLICY_EVAL_H_

@@ -1,0 +1,340 @@
+#include "pricing/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+Result<double> PosteriorProbability(double prior, double accuracy, int no_count,
+                                    int yes_count) {
+  if (!(prior > 0.0 && prior < 1.0)) {
+    return Status::InvalidArgument(StringF("prior must be in (0, 1); got %g", prior));
+  }
+  if (!(accuracy > 0.5 && accuracy < 1.0)) {
+    return Status::InvalidArgument(
+        StringF("accuracy must be in (0.5, 1); got %g", accuracy));
+  }
+  if (no_count < 0 || yes_count < 0) {
+    return Status::InvalidArgument("answer counts must be >= 0");
+  }
+  // Work in log space; Yes answers support label 1, No answers label 0.
+  const double log_acc = std::log(accuracy);
+  const double log_err = std::log(1.0 - accuracy);
+  const double log_one = std::log(prior) + yes_count * log_acc + no_count * log_err;
+  const double log_zero =
+      std::log(1.0 - prior) + yes_count * log_err + no_count * log_acc;
+  const double shift = std::max(log_one, log_zero);
+  const double w1 = std::exp(log_one - shift);
+  const double w0 = std::exp(log_zero - shift);
+  return w1 / (w1 + w0);
+}
+
+QualityStrategy::QualityStrategy(int max_questions,
+                                 std::vector<QcDecision> decisions)
+    : max_questions_(max_questions), decisions_(std::move(decisions)) {
+  ComputeWorstCase();
+}
+
+size_t QualityStrategy::Index(int no_count, int yes_count) const {
+  const int s = no_count + yes_count;
+  return static_cast<size_t>(s) * (static_cast<size_t>(s) + 1) / 2 +
+         static_cast<size_t>(no_count);
+}
+
+void QualityStrategy::ComputeWorstCase() {
+  worst_case_.assign(decisions_.size(), 0);
+  // Sweep answer sums from the cap downwards; terminal rows have wc = 0.
+  for (int s = max_questions_ - 1; s >= 0; --s) {
+    for (int x = 0; x <= s; ++x) {
+      const int y = s - x;
+      if (decisions_[Index(x, y)] != QcDecision::kContinue) continue;
+      const int wc_no = worst_case_[Index(x + 1, y)];
+      const int wc_yes = worst_case_[Index(x, y + 1)];
+      worst_case_[Index(x, y)] = 1 + std::max(wc_no, wc_yes);
+    }
+  }
+}
+
+Result<QualityStrategy> QualityStrategy::MajorityVote(int max_questions) {
+  if (max_questions < 1 || max_questions % 2 == 0) {
+    return Status::InvalidArgument(
+        StringF("majority vote needs odd max_questions >= 1; got %d",
+                max_questions));
+  }
+  const int majority = (max_questions + 1) / 2;
+  const size_t total = static_cast<size_t>(max_questions + 1) *
+                       static_cast<size_t>(max_questions + 2) / 2;
+  std::vector<QcDecision> decisions(total, QcDecision::kContinue);
+  for (int s = 0; s <= max_questions; ++s) {
+    for (int x = 0; x <= s; ++x) {
+      const int y = s - x;
+      const size_t idx = static_cast<size_t>(s) * (static_cast<size_t>(s) + 1) / 2 +
+                         static_cast<size_t>(x);
+      if (y >= majority) {
+        decisions[idx] = QcDecision::kPass;
+      } else if (x >= majority) {
+        decisions[idx] = QcDecision::kFail;
+      }
+    }
+  }
+  return QualityStrategy(max_questions, std::move(decisions));
+}
+
+Result<QualityStrategy> QualityStrategy::PosteriorThreshold(
+    int max_questions, double prior, double accuracy, double pass_threshold,
+    double fail_threshold) {
+  if (max_questions < 1) {
+    return Status::InvalidArgument("max_questions must be >= 1");
+  }
+  if (!(fail_threshold > 0.0 && fail_threshold < pass_threshold &&
+        pass_threshold < 1.0)) {
+    return Status::InvalidArgument(
+        StringF("need 0 < fail (%g) < pass (%g) < 1", fail_threshold,
+                pass_threshold));
+  }
+  const size_t total = static_cast<size_t>(max_questions + 1) *
+                       static_cast<size_t>(max_questions + 2) / 2;
+  std::vector<QcDecision> decisions(total, QcDecision::kContinue);
+  for (int s = 0; s <= max_questions; ++s) {
+    for (int x = 0; x <= s; ++x) {
+      const int y = s - x;
+      CP_ASSIGN_OR_RETURN(double post,
+                          PosteriorProbability(prior, accuracy, x, y));
+      const size_t idx = static_cast<size_t>(s) * (static_cast<size_t>(s) + 1) / 2 +
+                         static_cast<size_t>(x);
+      if (s == max_questions) {
+        decisions[idx] = post >= 0.5 ? QcDecision::kPass : QcDecision::kFail;
+      } else if (post >= pass_threshold) {
+        decisions[idx] = QcDecision::kPass;
+      } else if (post <= fail_threshold) {
+        decisions[idx] = QcDecision::kFail;
+      }
+    }
+  }
+  return QualityStrategy(max_questions, std::move(decisions));
+}
+
+Result<QcDecision> QualityStrategy::DecisionAt(int no_count, int yes_count) const {
+  if (no_count < 0 || yes_count < 0 || no_count + yes_count > max_questions_) {
+    return Status::OutOfRange(
+        StringF("(%d, %d) outside the strategy grid (cap %d)", no_count,
+                yes_count, max_questions_));
+  }
+  return decisions_[Index(no_count, yes_count)];
+}
+
+Result<int> QualityStrategy::WorstCaseAdditionalQuestions(int no_count,
+                                                          int yes_count) const {
+  if (no_count < 0 || yes_count < 0 || no_count + yes_count > max_questions_) {
+    return Status::OutOfRange(
+        StringF("(%d, %d) outside the strategy grid (cap %d)", no_count,
+                yes_count, max_questions_));
+  }
+  return worst_case_[Index(no_count, yes_count)];
+}
+
+Result<double> QualityStrategy::ExpectedQuestions(double p_yes) const {
+  if (!(p_yes >= 0.0 && p_yes <= 1.0)) {
+    return Status::InvalidArgument(StringF("p_yes must be in [0, 1]; got %g", p_yes));
+  }
+  // reach(x, y): probability of arriving at (x, y) with the strategy still
+  // undecided. Each visit to a Continue point consumes one more answer.
+  std::vector<double> reach(decisions_.size(), 0.0);
+  reach[Index(0, 0)] = 1.0;
+  double expected = 0.0;
+  for (int s = 0; s < max_questions_; ++s) {
+    for (int x = 0; x <= s; ++x) {
+      const int y = s - x;
+      const double r = reach[Index(x, y)];
+      if (r <= 0.0) continue;
+      if (decisions_[Index(x, y)] != QcDecision::kContinue) continue;
+      expected += r;
+      reach[Index(x + 1, y)] += r * (1.0 - p_yes);
+      reach[Index(x, y + 1)] += r * p_yes;
+    }
+  }
+  return expected;
+}
+
+size_t PosteriorIntervalCompression::Index(int no_count, int yes_count) const {
+  const int s = no_count + yes_count;
+  return static_cast<size_t>(s) * (static_cast<size_t>(s) + 1) / 2 +
+         static_cast<size_t>(no_count);
+}
+
+Result<PosteriorIntervalCompression> PosteriorIntervalCompression::Create(
+    const QualityStrategy& strategy, double prior, double accuracy, double a) {
+  if (!(a > 0.0 && a <= 1.0)) {
+    return Status::InvalidArgument(
+        StringF("interval width a must be in (0, 1]; got %g", a));
+  }
+  const int max_q = strategy.max_questions();
+  const int num_buckets = static_cast<int>(std::ceil(1.0 / a));
+  const size_t total_points = static_cast<size_t>(max_q + 1) *
+                              static_cast<size_t>(max_q + 2) / 2;
+  std::vector<int> bucket_of(total_points, -1);
+  // Representative per bucket: the below-cap point whose posterior is
+  // closest to the bucket midpoint (the paper treats every point of an
+  // interval as having the midpoint posterior). Cap points -- whose
+  // decisions are count-forced rather than posterior-driven -- only
+  // represent buckets no below-cap point maps to.
+  struct Candidate {
+    double distance = 1e300;
+    QcDecision decision = QcDecision::kContinue;
+    bool present = false;
+  };
+  std::vector<Candidate> noncap(static_cast<size_t>(num_buckets));
+  std::vector<Candidate> cap(static_cast<size_t>(num_buckets));
+
+  int num_points = 0;
+  for (int s = 0; s <= max_q; ++s) {
+    for (int x = 0; x <= s; ++x) {
+      const int y = s - x;
+      ++num_points;
+      CP_ASSIGN_OR_RETURN(double post, PosteriorProbability(prior, accuracy, x, y));
+      int bucket = static_cast<int>(post / a);
+      bucket = std::min(bucket, num_buckets - 1);
+      const size_t point_idx =
+          static_cast<size_t>(s) * (static_cast<size_t>(s) + 1) / 2 +
+          static_cast<size_t>(x);
+      bucket_of[point_idx] = bucket;
+      CP_ASSIGN_OR_RETURN(QcDecision decision, strategy.DecisionAt(x, y));
+      const double midpoint = (bucket + 0.5) * a;
+      const double distance = std::fabs(post - midpoint);
+      Candidate& slot =
+          s == max_q ? cap[static_cast<size_t>(bucket)]
+                     : noncap[static_cast<size_t>(bucket)];
+      if (!slot.present || distance < slot.distance) {
+        slot.present = true;
+        slot.distance = distance;
+        slot.decision = decision;
+      }
+    }
+  }
+  std::vector<QcDecision> decision_of_bucket(static_cast<size_t>(num_buckets),
+                                             QcDecision::kContinue);
+  int distinct = 0;
+  for (int b = 0; b < num_buckets; ++b) {
+    const Candidate& pick = noncap[static_cast<size_t>(b)].present
+                                ? noncap[static_cast<size_t>(b)]
+                                : cap[static_cast<size_t>(b)];
+    if (pick.present) {
+      decision_of_bucket[static_cast<size_t>(b)] = pick.decision;
+      ++distinct;
+    }
+  }
+  return PosteriorIntervalCompression(a, max_q, std::move(bucket_of),
+                                      std::move(decision_of_bucket), distinct,
+                                      num_points);
+}
+
+Result<int> PosteriorIntervalCompression::BucketOf(int no_count,
+                                                   int yes_count) const {
+  if (no_count < 0 || yes_count < 0 || no_count + yes_count > max_questions_) {
+    return Status::OutOfRange(
+        StringF("(%d, %d) outside the strategy grid (cap %d)", no_count,
+                yes_count, max_questions_));
+  }
+  return bucket_of_[Index(no_count, yes_count)];
+}
+
+Result<QcDecision> PosteriorIntervalCompression::CompressedDecisionAt(
+    int no_count, int yes_count) const {
+  CP_ASSIGN_OR_RETURN(int bucket, BucketOf(no_count, yes_count));
+  return decision_of_bucket_[static_cast<size_t>(bucket)];
+}
+
+Result<QualitySimResult> SimulateQualityPricing(
+    const DeadlinePlan& plan, const QualityStrategy& strategy, int num_items,
+    double prior, double accuracy,
+    const std::vector<double>& interval_lambdas,
+    const std::vector<double>& price_acceptance, Rng& rng) {
+  if (num_items < 1) {
+    return Status::InvalidArgument("num_items must be >= 1");
+  }
+  if (!(prior > 0.0 && prior < 1.0) || !(accuracy > 0.5 && accuracy < 1.0)) {
+    return Status::InvalidArgument("prior in (0,1) and accuracy in (0.5,1) required");
+  }
+  CP_ASSIGN_OR_RETURN(int wc0, strategy.WorstCaseAdditionalQuestions(0, 0));
+  const long long virtual_n = static_cast<long long>(num_items) * wc0;
+  if (plan.num_tasks() != static_cast<int>(virtual_n)) {
+    return Status::FailedPrecondition(
+        StringF("plan solved for N = %d but num_items * wc(0,0) = %lld; "
+                "re-solve the deadline DP with the virtual question count",
+                plan.num_tasks(), virtual_n));
+  }
+  if (interval_lambdas.size() != static_cast<size_t>(plan.num_intervals())) {
+    return Status::InvalidArgument("interval_lambdas/plan interval mismatch");
+  }
+  if (price_acceptance.size() != plan.actions().size()) {
+    return Status::InvalidArgument("price_acceptance/action-set size mismatch");
+  }
+
+  struct Item {
+    int no = 0;
+    int yes = 0;
+    bool label = false;
+    int wc = 0;
+  };
+  std::vector<Item> items(static_cast<size_t>(num_items));
+  std::vector<int> undecided;
+  undecided.reserve(items.size());
+  long long n_prime = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].label = rng.Bernoulli(prior);
+    items[i].wc = wc0;
+    n_prime += wc0;
+    undecided.push_back(static_cast<int>(i));
+  }
+
+  QualitySimResult result;
+  for (int t = 0; t < plan.num_intervals() && !undecided.empty(); ++t) {
+    const int state_n =
+        static_cast<int>(std::min<long long>(n_prime, plan.num_tasks()));
+    if (state_n <= 0) break;
+    const int a_idx = plan.ActionIndexUnchecked(state_n, t);
+    if (a_idx < 0) {
+      return Status::FailedPrecondition("plan state unsolved");
+    }
+    const PricingAction& action = plan.actions()[static_cast<size_t>(a_idx)];
+    const double rate = interval_lambdas[static_cast<size_t>(t)] *
+                        price_acceptance[static_cast<size_t>(a_idx)];
+    const int answers = stats::SamplePoisson(rng, rate);
+    for (int k = 0; k < answers && !undecided.empty(); ++k) {
+      const size_t pick =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(undecided.size()) - 1));
+      Item& item = items[static_cast<size_t>(undecided[pick])];
+      const bool correct = rng.Bernoulli(accuracy);
+      const bool answer_yes = item.label == correct;
+      if (answer_yes) {
+        item.yes += 1;
+      } else {
+        item.no += 1;
+      }
+      result.answers_collected += 1;
+      result.cost_cents += action.cost_per_task_cents;
+      CP_ASSIGN_OR_RETURN(QcDecision decision,
+                          strategy.DecisionAt(item.no, item.yes));
+      CP_ASSIGN_OR_RETURN(int new_wc,
+                          strategy.WorstCaseAdditionalQuestions(item.no, item.yes));
+      n_prime += new_wc - item.wc;
+      item.wc = new_wc;
+      if (decision != QcDecision::kContinue) {
+        result.items_decided += 1;
+        const bool decided_pass = decision == QcDecision::kPass;
+        if (decided_pass == item.label) result.correct_decisions += 1;
+        n_prime -= item.wc;  // wc should already be 0 at terminal points
+        std::swap(undecided[pick], undecided.back());
+        undecided.pop_back();
+      }
+    }
+  }
+  result.items_undecided = static_cast<int>(undecided.size());
+  return result;
+}
+
+}  // namespace crowdprice::pricing

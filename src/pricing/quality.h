@@ -1,0 +1,149 @@
+// Quality-control strategies and their integration with deadline pricing
+// (paper §6, "Incorporating Quality Control for Filtering Tasks").
+//
+// A quality-control (QC) strategy for binary filtering tasks is a triangular
+// grid over answer-count points (x = #No, y = #Yes) with a decision at each
+// point: keep asking, or stop and declare Pass/Fail (the CrowdScreen [37]
+// representation). Pricing integrates via the paper's conservative
+// approximation: track, for the current multiset of per-task QC points, the
+// worst-case number of additional answers N' = sum_i wc(P(i)), and play the
+// deadline policy computed for N'_max = N * wc(0,0) virtual "questions",
+// looking up the price at state (N', t).
+
+#ifndef CROWDPRICE_PRICING_QUALITY_H_
+#define CROWDPRICE_PRICING_QUALITY_H_
+
+#include <vector>
+
+#include "pricing/plan.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::pricing {
+
+enum class QcDecision {
+  kContinue,
+  kPass,
+  kFail,
+};
+
+/// Posterior probability that the item satisfies the filter (is a "1")
+/// given `prior`, per-answer worker accuracy `accuracy` in (0.5, 1), and an
+/// observed (no_count, yes_count).
+Result<double> PosteriorProbability(double prior, double accuracy, int no_count,
+                                    int yes_count);
+
+/// A triangular QC strategy grid with x + y <= max_questions.
+class QualityStrategy {
+ public:
+  /// Majority vote over up to `max_questions` (odd, >= 1) answers, stopping
+  /// early once one side holds a strict majority of max_questions.
+  static Result<QualityStrategy> MajorityVote(int max_questions);
+
+  /// Threshold strategy: keep asking while the posterior lies strictly
+  /// between fail_threshold and pass_threshold and fewer than max_questions
+  /// answers were collected; at the question cap, decide by posterior >= 0.5.
+  /// Requires 0 < fail_threshold < pass_threshold < 1 and accuracy in
+  /// (0.5, 1).
+  static Result<QualityStrategy> PosteriorThreshold(int max_questions,
+                                                    double prior, double accuracy,
+                                                    double pass_threshold,
+                                                    double fail_threshold);
+
+  int max_questions() const { return max_questions_; }
+
+  /// Decision at (no_count, yes_count); both >= 0, sum <= max_questions.
+  Result<QcDecision> DecisionAt(int no_count, int yes_count) const;
+
+  /// Worst-case additional answers needed from (no_count, yes_count) before
+  /// the strategy necessarily reaches a terminal decision (the paper's
+  /// conservative question count). 0 at terminal points.
+  Result<int> WorstCaseAdditionalQuestions(int no_count, int yes_count) const;
+
+  /// Expected number of answers consumed from (0,0) for an item whose
+  /// per-answer Pr[Yes] is `p_yes`.
+  Result<double> ExpectedQuestions(double p_yes) const;
+
+ private:
+  QualityStrategy(int max_questions, std::vector<QcDecision> decisions);
+  size_t Index(int no_count, int yes_count) const;
+  void ComputeWorstCase();
+
+  int max_questions_ = 0;
+  /// Row-major over (x, y) with x + y <= max_questions.
+  std::vector<QcDecision> decisions_;
+  std::vector<int> worst_case_;
+};
+
+/// The §6 "Representing Using Posterior Probabilities" approximation
+/// (technique 1): quality-control points (x, y) are identified with the
+/// posterior-probability interval [i*a, (i+1)*a) they fall into, collapsing
+/// the k-point strategy state to at most 1/a buckets. As a -> 0 the
+/// interval representation recovers the exact point strategy (asymptotic
+/// argument of [36] / continuous-state MDP discretization); the tests
+/// verify both the convergence and the compression ratio.
+class PosteriorIntervalCompression {
+ public:
+  /// Builds the compression for a strategy over items with the given prior
+  /// and worker accuracy, using intervals of width `a` (0 < a <= 1).
+  static Result<PosteriorIntervalCompression> Create(
+      const QualityStrategy& strategy, double prior, double accuracy, double a);
+
+  /// The interval bucket (0-based) that point (no, yes) maps to.
+  Result<int> BucketOf(int no_count, int yes_count) const;
+
+  /// Decision of the compressed representation at (no, yes): the decision
+  /// the strategy takes at the *representative* (midpoint-posterior) state
+  /// of the point's bucket. Matching the exact strategy's decision at every
+  /// point is the a -> 0 convergence property.
+  Result<QcDecision> CompressedDecisionAt(int no_count, int yes_count) const;
+
+  /// Number of distinct buckets actually used by the strategy's points
+  /// (<= ceil(1/a)); the pricing state space scales with this instead of
+  /// with the point count.
+  int distinct_buckets() const { return distinct_buckets_; }
+  /// Number of grid points in the underlying strategy.
+  int num_points() const { return num_points_; }
+
+ private:
+  PosteriorIntervalCompression(double a, int max_questions,
+                               std::vector<int> bucket_of,
+                               std::vector<QcDecision> decision_of_bucket,
+                               int distinct_buckets, int num_points)
+      : a_(a), max_questions_(max_questions), bucket_of_(std::move(bucket_of)),
+        decision_of_bucket_(std::move(decision_of_bucket)),
+        distinct_buckets_(distinct_buckets), num_points_(num_points) {}
+  size_t Index(int no_count, int yes_count) const;
+
+  double a_;
+  int max_questions_;
+  std::vector<int> bucket_of_;
+  std::vector<QcDecision> decision_of_bucket_;
+  int distinct_buckets_;
+  int num_points_;
+};
+
+/// Result of a quality-aware pricing campaign simulation.
+struct QualitySimResult {
+  int items_decided = 0;
+  int items_undecided = 0;
+  int correct_decisions = 0;
+  int answers_collected = 0;
+  double cost_cents = 0.0;
+};
+
+/// Simulates the §6 integration: `plan` must be solved for
+/// N = num_items * wc(0,0) virtual questions and the same interval count.
+/// Per interval, Pois(lambda_t p(c)) answers arrive, are assigned to random
+/// undecided items, and each is correct with `accuracy`; the price follows
+/// plan.PriceAt(min(N', N), t) where N' is the current worst-case remaining
+/// question count. Items' true labels are Bernoulli(prior).
+Result<QualitySimResult> SimulateQualityPricing(
+    const DeadlinePlan& plan, const QualityStrategy& strategy, int num_items,
+    double prior, double accuracy,
+    const std::vector<double>& interval_lambdas,
+    const std::vector<double>& price_acceptance, Rng& rng);
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_QUALITY_H_

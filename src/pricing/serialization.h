@@ -1,0 +1,29 @@
+// Plan serialization: persist a solved DeadlinePlan and reload it later.
+//
+// Production campaigns solve once (possibly on a beefier machine) and then
+// run the policy table on a controller host for hours; the table must
+// survive process restarts. The format is a versioned, line-oriented text
+// format with hex-float encoding for bit-exact round trips.
+
+#ifndef CROWDPRICE_PRICING_SERIALIZATION_H_
+#define CROWDPRICE_PRICING_SERIALIZATION_H_
+
+#include <string>
+
+#include "pricing/plan.h"
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+/// Serializes the full plan (problem spec, action set, interval lambdas,
+/// policy and value tables) to a self-contained string.
+std::string SerializePlan(const DeadlinePlan& plan);
+
+/// Parses a string produced by SerializePlan. Bit-exact: every price,
+/// probability and value round-trips. Rejects unknown versions, truncated
+/// input, and inconsistent dimensions.
+Result<DeadlinePlan> DeserializePlan(const std::string& text);
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_SERIALIZATION_H_

@@ -1,0 +1,105 @@
+#include "pricing/tradeoff.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::pricing {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Status ValidateArgs(double alpha, int max_price_cents) {
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument(StringF("alpha must be finite, >= 0; got %g", alpha));
+  }
+  if (max_price_cents < 0) {
+    return Status::InvalidArgument("max_price_cents must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<TradeoffSolution> Minimize(const std::vector<double>& objective,
+                                  const std::vector<double>& latency) {
+  TradeoffSolution sol;
+  sol.objective_curve = objective;
+  sol.objective_per_task = kInf;
+  for (size_t c = 0; c < objective.size(); ++c) {
+    if (objective[c] < sol.objective_per_task) {
+      sol.objective_per_task = objective[c];
+      sol.price_cents = static_cast<int>(c);
+      sol.expected_latency_per_task = latency[c];
+    }
+  }
+  if (!std::isfinite(sol.objective_per_task)) {
+    return Status::FailedPrecondition(
+        "every grid price has zero completion probability");
+  }
+  return sol;
+}
+
+}  // namespace
+
+Result<TradeoffSolution> SolveFixedRateTradeoff(
+    double lambda_per_interval, const choice::AcceptanceFunction& acceptance,
+    double alpha_cents_per_interval, int max_price_cents,
+    double two_completion_tolerance) {
+  CP_RETURN_IF_ERROR(ValidateArgs(alpha_cents_per_interval, max_price_cents));
+  if (!(lambda_per_interval > 0.0) || !std::isfinite(lambda_per_interval)) {
+    return Status::InvalidArgument(
+        StringF("lambda_per_interval must be > 0; got %g", lambda_per_interval));
+  }
+  if (!(two_completion_tolerance > 0.0 && two_completion_tolerance <= 1.0)) {
+    return Status::InvalidArgument("two_completion_tolerance must be in (0, 1]");
+  }
+  std::vector<double> objective(static_cast<size_t>(max_price_cents) + 1, kInf);
+  std::vector<double> latency(static_cast<size_t>(max_price_cents) + 1, kInf);
+  for (int c = 0; c <= max_price_cents; ++c) {
+    const double p = acceptance.ProbabilityAt(static_cast<double>(c));
+    const double mu = lambda_per_interval * p;
+    if (!(mu > 0.0)) continue;
+    // Model premise: at most one completion per interval. Enforce that the
+    // two-or-more mass is tolerably small at this price.
+    CP_ASSIGN_OR_RETURN(double two_plus, stats::PoissonSf(2, mu));
+    if (two_plus > two_completion_tolerance) {
+      return Status::FailedPrecondition(
+          StringF("lambda*p = %g at c = %d makes Pr[>=2 completions/interval] "
+                  "= %g > %g; shrink the interval",
+                  mu, c, two_plus, two_completion_tolerance));
+    }
+    const double q = stats::PoissonPmf(1, mu);  // Pr[exactly one completion]
+    if (!(q > 0.0)) continue;
+    objective[static_cast<size_t>(c)] =
+        static_cast<double>(c) + alpha_cents_per_interval / q;
+    latency[static_cast<size_t>(c)] = 1.0 / q;  // intervals per task
+  }
+  return Minimize(objective, latency);
+}
+
+Result<TradeoffSolution> SolveWorkerArrivalTradeoff(
+    double mean_rate_per_hour, const choice::AcceptanceFunction& acceptance,
+    double alpha_cents_per_hour, int max_price_cents) {
+  CP_RETURN_IF_ERROR(ValidateArgs(alpha_cents_per_hour, max_price_cents));
+  if (!(mean_rate_per_hour > 0.0) || !std::isfinite(mean_rate_per_hour)) {
+    return Status::InvalidArgument(
+        StringF("mean_rate_per_hour must be > 0; got %g", mean_rate_per_hour));
+  }
+  std::vector<double> objective(static_cast<size_t>(max_price_cents) + 1, kInf);
+  std::vector<double> latency(static_cast<size_t>(max_price_cents) + 1, kInf);
+  for (int c = 0; c <= max_price_cents; ++c) {
+    const double p = acceptance.ProbabilityAt(static_cast<double>(c));
+    if (!(p > 0.0)) continue;
+    // Expected arrivals per completion is 1/p; hours per arrival 1/rate.
+    const double hours_per_task = 1.0 / (mean_rate_per_hour * p);
+    objective[static_cast<size_t>(c)] =
+        static_cast<double>(c) + alpha_cents_per_hour * hours_per_task;
+    latency[static_cast<size_t>(c)] = hours_per_task;
+  }
+  return Minimize(objective, latency);
+}
+
+}  // namespace crowdprice::pricing

@@ -1,0 +1,59 @@
+// Cost/latency tradeoff MDPs (paper §6, "Optimizing Tradeoff between
+// Deadline and Budget").
+//
+// With neither a deadline nor a budget, minimize Q = E[cost] + alpha *
+// E[latency]. Two formulations, both with per-task decoupled optima:
+//
+//   Fixed rate (lambda(t) = lambda): states are just n; transitions fire per
+//   unit time interval with Pr[one completion] = Pois(1 | lambda p(c)), so
+//   Opt(n) = Opt(n-1) + min_c [ c + alpha / Pois(1 | lambda p(c)) ].
+//
+//   Worker-arrival (relaxed linearity, E[T] = E[W]/lambda-bar): transitions
+//   fire per arrival with Pr[completion] = p(c), so
+//   Opt(n) = Opt(n-1) + min_c [ c + (alpha / lambda-bar) / p(c) ].
+//
+// Both are O(N C); since the per-task increment is state-independent the
+// optimal price is a single constant, which the solvers also expose as the
+// full objective curve for the tradeoff-frontier benches.
+
+#ifndef CROWDPRICE_PRICING_TRADEOFF_H_
+#define CROWDPRICE_PRICING_TRADEOFF_H_
+
+#include <vector>
+
+#include "choice/acceptance.h"
+#include "util/result.h"
+
+namespace crowdprice::pricing {
+
+struct TradeoffSolution {
+  int price_cents = 0;
+  /// The minimized per-task increment c* + alpha * (latency term).
+  double objective_per_task = 0.0;
+  /// Expected latency contribution per task, in the model's time unit
+  /// (intervals for fixed-rate, hours for worker-arrival).
+  double expected_latency_per_task = 0.0;
+  /// objective evaluated at every grid price (index = cents); infinite
+  /// where the completion probability is zero.
+  std::vector<double> objective_curve;
+};
+
+/// Fixed-rate formulation. lambda_per_interval is the expected arrivals per
+/// (small) decision interval; alpha is the cost (cents) of one interval of
+/// latency. The model premise requires lambda * p small (at most one
+/// completion per interval); validated with a warning threshold of p1 such
+/// that Pr[>= 2 completions] stays below `two_completion_tolerance`.
+Result<TradeoffSolution> SolveFixedRateTradeoff(
+    double lambda_per_interval, const choice::AcceptanceFunction& acceptance,
+    double alpha_cents_per_interval, int max_price_cents,
+    double two_completion_tolerance = 0.25);
+
+/// Worker-arrival formulation. mean_rate_per_hour is lambda-bar; alpha is
+/// the cost (cents) of one hour of latency.
+Result<TradeoffSolution> SolveWorkerArrivalTradeoff(
+    double mean_rate_per_hour, const choice::AcceptanceFunction& acceptance,
+    double alpha_cents_per_hour, int max_price_cents);
+
+}  // namespace crowdprice::pricing
+
+#endif  // CROWDPRICE_PRICING_TRADEOFF_H_

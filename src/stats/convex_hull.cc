@@ -1,0 +1,63 @@
+#include "stats/convex_hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace crowdprice::stats {
+
+namespace {
+
+// Cross product of (b - a) x (c - a); <= 0 means c is clockwise of / on the
+// a->b ray, i.e. b is not below the a->c chord.
+double Cross(const Point2& a, const Point2& b, const Point2& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+Status Validate(const std::vector<Point2>& points) {
+  if (points.empty()) {
+    return Status::InvalidArgument("LowerConvexHull of empty point set");
+  }
+  for (const auto& p : points) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return Status::InvalidArgument("LowerConvexHull: non-finite coordinate");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> LowerConvexHullIndices(
+    const std::vector<Point2>& points) {
+  CP_RETURN_IF_ERROR(Validate(points));
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (points[a].x != points[b].x) return points[a].x < points[b].x;
+    return points[a].y < points[b].y;
+  });
+  std::vector<size_t> hull;
+  for (size_t idx : order) {
+    // For duplicate x, keep only the first (lowest-y) point.
+    if (!hull.empty() && points[hull.back()].x == points[idx].x) continue;
+    while (hull.size() >= 2 &&
+           Cross(points[hull[hull.size() - 2]], points[hull.back()],
+                 points[idx]) <= 0.0) {
+      hull.pop_back();
+    }
+    hull.push_back(idx);
+  }
+  return hull;
+}
+
+Result<std::vector<Point2>> LowerConvexHull(std::vector<Point2> points) {
+  CP_ASSIGN_OR_RETURN(std::vector<size_t> idx, LowerConvexHullIndices(points));
+  std::vector<Point2> out;
+  out.reserve(idx.size());
+  for (size_t i : idx) out.push_back(points[i]);
+  return out;
+}
+
+}  // namespace crowdprice::stats

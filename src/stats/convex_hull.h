@@ -1,0 +1,34 @@
+// Lower convex hull on the (reward, 1/p(reward)) plane.
+//
+// Theorem 7 of the paper shows the optimal fixed-budget LP solution puts
+// mass on at most two prices, both vertices of the lower convex hull of the
+// points (c, 1/p(c)). Algorithm 3 therefore needs exactly this hull.
+
+#ifndef CROWDPRICE_STATS_CONVEX_HULL_H_
+#define CROWDPRICE_STATS_CONVEX_HULL_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowdprice::stats {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Returns the vertices of the lower convex hull of `points` in increasing
+/// x order (Andrew's monotone chain, lower half only). Input need not be
+/// sorted; duplicate x keeps only the lowest y. Collinear interior points
+/// are dropped. Requires a non-empty input with finite coordinates.
+Result<std::vector<Point2>> LowerConvexHull(std::vector<Point2> points);
+
+/// Indices into the original `points` vector of the lower-hull vertices, in
+/// increasing x order. Same contract as LowerConvexHull.
+Result<std::vector<size_t>> LowerConvexHullIndices(
+    const std::vector<Point2>& points);
+
+}  // namespace crowdprice::stats
+
+#endif  // CROWDPRICE_STATS_CONVEX_HULL_H_

@@ -1,0 +1,100 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stringf.h"
+
+namespace crowdprice::stats {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Result<double> Percentile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Percentile of empty sample");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument(StringF("quantile must be in [0,1]; got %g", q));
+  }
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Result<std::vector<EcdfPoint>> Ecdf(std::vector<double> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Ecdf of empty sample");
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<EcdfPoint> out;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Emit a point only at the last occurrence of each distinct value.
+    if (i + 1 == values.size() || values[i + 1] != values[i]) {
+      out.push_back({values[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> Histogram(const std::vector<double>& values,
+                                       double lo, double hi, int bins) {
+  if (bins < 1) return Status::InvalidArgument("Histogram needs bins >= 1");
+  if (!(lo < hi)) {
+    return Status::InvalidArgument(StringF("Histogram needs lo < hi; got [%g, %g]", lo, hi));
+  }
+  std::vector<int64_t> counts(static_cast<size_t>(bins), 0);
+  const double width = (hi - lo) / bins;
+  for (double v : values) {
+    int idx = static_cast<int>(std::floor((v - lo) / width));
+    idx = std::clamp(idx, 0, bins - 1);
+    ++counts[static_cast<size_t>(idx)];
+  }
+  return counts;
+}
+
+}  // namespace crowdprice::stats

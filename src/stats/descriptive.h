@@ -1,0 +1,59 @@
+// Descriptive statistics used by the experiment harnesses: streaming
+// mean/variance (Welford), percentiles, empirical CDFs and histograms.
+
+#ifndef CROWDPRICE_STATS_DESCRIPTIVE_H_
+#define CROWDPRICE_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowdprice::stats {
+
+/// Streaming accumulator for count/mean/variance/min/max using Welford's
+/// algorithm (numerically stable).
+class RunningStats {
+ public:
+  void Add(double x);
+  /// Merges another accumulator (parallel reduction); exact.
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Standard error of the mean; 0 when count < 2.
+  double stderr_mean() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-quantile (q in [0,1]) with linear interpolation between order
+/// statistics (type-7, the numpy default). Errors on empty input.
+Result<double> Percentile(std::vector<double> values, double q);
+
+/// Empirical CDF: for each of the sorted unique thresholds returns
+/// (value, fraction <= value). Errors on empty input.
+struct EcdfPoint {
+  double value;
+  double fraction;
+};
+Result<std::vector<EcdfPoint>> Ecdf(std::vector<double> values);
+
+/// Equal-width histogram over [lo, hi] with `bins` bins; values outside are
+/// clamped to the edge bins. Errors unless bins >= 1 and lo < hi.
+Result<std::vector<int64_t>> Histogram(const std::vector<double>& values,
+                                       double lo, double hi, int bins);
+
+}  // namespace crowdprice::stats
+
+#endif  // CROWDPRICE_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,106 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+namespace crowdprice::stats {
+
+double SampleStandardNormal(Rng& rng) {
+  // Marsaglia polar method. Discards the second variate to keep the sampler
+  // stateless (simpler reproducibility story across Fork()/Jump()).
+  while (true) {
+    const double u = 2.0 * rng.NextDouble() - 1.0;
+    const double v = 2.0 * rng.NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double SampleNormal(Rng& rng, double mean, double stddev) {
+  return mean + stddev * SampleStandardNormal(rng);
+}
+
+double SampleGumbel(Rng& rng) {
+  // Inversion of F(x) = exp(-exp(-x)). Guard against u == 0.
+  double u = rng.NextDouble();
+  while (u <= 0.0) u = rng.NextDouble();
+  return -std::log(-std::log(u));
+}
+
+double SampleGumbel(Rng& rng, double mu, double beta) {
+  return mu + beta * SampleGumbel(rng);
+}
+
+double SampleExponential(Rng& rng, double rate) {
+  double u = rng.NextDouble();
+  while (u <= 0.0) u = rng.NextDouble();
+  return -std::log(u) / rate;
+}
+
+double SampleGamma(Rng& rng, double shape, double scale) {
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+    const double g = SampleGamma(rng, shape + 1.0, 1.0);
+    double u = rng.NextDouble();
+    while (u <= 0.0) u = rng.NextDouble();
+    return scale * g * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x;
+    double v;
+    do {
+      x = SampleStandardNormal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double SampleBeta(Rng& rng, double alpha, double beta) {
+  const double x = SampleGamma(rng, alpha, 1.0);
+  const double y = SampleGamma(rng, beta, 1.0);
+  return x / (x + y);
+}
+
+int SampleBinomial(Rng& rng, int n, double p) {
+  if (n <= 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Symmetry: sample the rarer outcome.
+  if (p > 0.5) return n - SampleBinomial(rng, n, 1.0 - p);
+  if (static_cast<double>(n) * p < 12.0) {
+    // BG algorithm: jump between successes with geometric gaps.
+    int count = 0;
+    int pos = -1;
+    while (true) {
+      pos += SampleGeometric(rng, p) + 1;
+      if (pos >= n) return count;
+      ++count;
+    }
+  }
+  int count = 0;
+  for (int i = 0; i < n; ++i) count += rng.Bernoulli(p) ? 1 : 0;
+  return count;
+}
+
+int SampleGeometric(Rng& rng, double p) {
+  if (p >= 1.0) return 0;
+  double u = rng.NextDouble();
+  while (u <= 0.0) u = rng.NextDouble();
+  return static_cast<int>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double GumbelCdf(double x) { return std::exp(-std::exp(-x)); }
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace crowdprice::stats

@@ -1,0 +1,57 @@
+// Samplers for the continuous/discrete distributions the marketplace model
+// needs: Normal and Gumbel (conditional-logit utilities, paper §2.2/§5.1.1),
+// Exponential (NHPP inter-arrival times), Gamma/Beta (worker accuracy
+// populations), Binomial (thinning), Geometric (semi-static worker counts,
+// Theorem 5).
+//
+// All samplers consume only Rng bits, so sequences are identical on every
+// platform.
+
+#ifndef CROWDPRICE_STATS_DISTRIBUTIONS_H_
+#define CROWDPRICE_STATS_DISTRIBUTIONS_H_
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::stats {
+
+/// Standard normal via Marsaglia's polar method.
+double SampleStandardNormal(Rng& rng);
+
+/// Normal(mean, stddev). stddev must be >= 0.
+double SampleNormal(Rng& rng, double mean, double stddev);
+
+/// Standard Gumbel (location 0, scale 1): -ln(-ln U). This is the error
+/// distribution of the Conditional Logit Model (McFadden).
+double SampleGumbel(Rng& rng);
+
+/// Gumbel(location mu, scale beta), beta > 0.
+double SampleGumbel(Rng& rng, double mu, double beta);
+
+/// Exponential with the given rate (> 0), via inversion.
+double SampleExponential(Rng& rng, double rate);
+
+/// Gamma(shape, scale), shape > 0, scale > 0. Marsaglia-Tsang squeeze for
+/// shape >= 1; boosted for shape < 1.
+double SampleGamma(Rng& rng, double shape, double scale);
+
+/// Beta(alpha, beta), both > 0, via two Gamma draws.
+double SampleBeta(Rng& rng, double alpha, double beta);
+
+/// Binomial(n, p), n >= 0. Uses BG (geometric waiting) when n*p is small
+/// and per-trial Bernoulli otherwise; exact in distribution.
+int SampleBinomial(Rng& rng, int n, double p);
+
+/// Geometric: number of failures before the first success, success
+/// probability p in (0, 1]. Pr[X = k] = (1-p)^k p.
+int SampleGeometric(Rng& rng, double p);
+
+/// Gumbel (standard) cumulative distribution function.
+double GumbelCdf(double x);
+
+/// Standard normal cdf via erfc.
+double NormalCdf(double x);
+
+}  // namespace crowdprice::stats
+
+#endif  // CROWDPRICE_STATS_DISTRIBUTIONS_H_

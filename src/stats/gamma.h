@@ -1,0 +1,28 @@
+// Log-gamma and regularized incomplete gamma functions.
+//
+// These underpin the Poisson pmf/cdf: Pr[Pois(lambda) <= k] = Q(k+1, lambda),
+// where Q is the upper regularized incomplete gamma function.
+
+#ifndef CROWDPRICE_STATS_GAMMA_H_
+#define CROWDPRICE_STATS_GAMMA_H_
+
+#include "util/result.h"
+
+namespace crowdprice::stats {
+
+/// ln(Gamma(x)) for x > 0.
+double LogGamma(double x);
+
+/// ln(k!) for k >= 0; uses a small cached table for k < 256.
+double LogFactorial(int k);
+
+/// Lower regularized incomplete gamma P(a, x) = gamma(a,x)/Gamma(a),
+/// for a > 0, x >= 0. Accurate to ~1e-13 relative.
+Result<double> RegularizedGammaP(double a, double x);
+
+/// Upper regularized incomplete gamma Q(a, x) = 1 - P(a, x).
+Result<double> RegularizedGammaQ(double a, double x);
+
+}  // namespace crowdprice::stats
+
+#endif  // CROWDPRICE_STATS_GAMMA_H_

@@ -1,0 +1,81 @@
+#include "stats/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::stats {
+
+Result<LinearFit> FitLinear(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument(
+        StringF("FitLinear: %zu xs vs %zu ys", xs.size(), ys.size()));
+  }
+  const size_t n = xs.size();
+  if (n < 2) {
+    return Status::InvalidArgument("FitLinear needs at least 2 points");
+  }
+  double mean_x = 0.0, mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    return Status::InvalidArgument("FitLinear: x values are all identical");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.n = static_cast<int64_t>(n);
+  if (syy > 0.0) {
+    const double ss_res = syy - fit.slope * sxy;
+    fit.r_squared = std::clamp(1.0 - ss_res / syy, 0.0, 1.0);
+  } else {
+    fit.r_squared = 1.0;  // Constant y exactly reproduced by slope ~ 0.
+  }
+  return fit;
+}
+
+Result<LogitFitParams> FitLogitAcceptance(const std::vector<double>& rewards,
+                                          const std::vector<double>& probs,
+                                          double fixed_m, double p_floor) {
+  if (!(fixed_m > 0.0)) {
+    return Status::InvalidArgument(StringF("fixed_m must be > 0; got %g", fixed_m));
+  }
+  if (!(p_floor > 0.0 && p_floor < 0.5)) {
+    return Status::InvalidArgument(StringF("p_floor must be in (0, 0.5); got %g", p_floor));
+  }
+  std::vector<double> logits;
+  logits.reserve(probs.size());
+  for (double p : probs) {
+    const double clamped = std::clamp(p, p_floor, 1.0 - p_floor);
+    logits.push_back(std::log(clamped / (1.0 - clamped)));
+  }
+  CP_ASSIGN_OR_RETURN(LinearFit fit, FitLinear(rewards, logits));
+  if (fit.slope <= 0.0) {
+    return Status::NumericError(
+        StringF("acceptance data is not increasing in reward (slope %g)", fit.slope));
+  }
+  LogitFitParams out;
+  out.s = 1.0 / fit.slope;
+  // logit p = c/s - b - ln M  =>  intercept = -b - ln M.
+  out.b = -fit.intercept - std::log(fixed_m);
+  out.m = fixed_m;
+  out.r_squared = fit.r_squared;
+  return out;
+}
+
+}  // namespace crowdprice::stats

@@ -1,0 +1,53 @@
+// Least-squares and logit-linear regression.
+//
+// Used to (a) reproduce Table 2 (wage/sec vs log workload/hour OLS per task
+// type) and (b) calibrate the logit acceptance function from observed
+// (reward, acceptance-probability) samples (paper Eq. 3: logit p(c) is
+// linear in c, so the 2-parameter fit reduces to OLS on logits).
+
+#ifndef CROWDPRICE_STATS_REGRESSION_H_
+#define CROWDPRICE_STATS_REGRESSION_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowdprice::stats {
+
+/// y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 when perfectly linear).
+  double r_squared = 0.0;
+  int64_t n = 0;
+};
+
+/// Ordinary least squares on (x_i, y_i). Requires >= 2 points and non-zero
+/// x variance.
+Result<LinearFit> FitLinear(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+/// Parameters of the paper's logit acceptance model (Eq. 3):
+///   p(c) = exp(c/s - b) / (exp(c/s - b) + M)
+/// Equivalently logit p(c) = c/s - b - ln M, i.e. linear in c. Only the
+/// combination b + ln M is identifiable from (c, p) data, so the fit fixes
+/// M and solves for s and b.
+struct LogitFitParams {
+  double s = 1.0;       ///< Reward scale (cents per logit unit).
+  double b = 0.0;       ///< Task bias given the fixed M below.
+  double m = 1.0;       ///< The fixed marketplace competition constant.
+  double r_squared = 0.0;
+};
+
+/// Fits s and b by OLS on logit(p) with M held at `fixed_m`. Points with
+/// p <= 0 or p >= 1 are clamped into (p_floor, 1 - p_floor) before taking
+/// logits. Requires >= 2 points with distinct rewards.
+Result<LogitFitParams> FitLogitAcceptance(const std::vector<double>& rewards,
+                                          const std::vector<double>& probs,
+                                          double fixed_m,
+                                          double p_floor = 1e-9);
+
+}  // namespace crowdprice::stats
+
+#endif  // CROWDPRICE_STATS_REGRESSION_H_

@@ -1,0 +1,30 @@
+// Error-propagation macros for Status/Result code, in the Arrow style.
+
+#ifndef CROWDPRICE_UTIL_MACROS_H_
+#define CROWDPRICE_UTIL_MACROS_H_
+
+#include "util/result.h"
+#include "util/status.h"
+
+#define CP_CONCAT_IMPL(x, y) x##y
+#define CP_CONCAT(x, y) CP_CONCAT_IMPL(x, y)
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define CP_RETURN_IF_ERROR(expr)                      \
+  do {                                                \
+    ::crowdprice::Status cp_status_ = (expr);         \
+    if (!cp_status_.ok()) return cp_status_;          \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T> expression); on success assigns the value
+/// to `lhs`, otherwise returns the error status from the enclosing function.
+#define CP_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  CP_ASSIGN_OR_RETURN_IMPL(CP_CONCAT(cp_result_, __LINE__), lhs, rexpr)
+
+#define CP_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                             \
+  if (!result_name.ok()) return result_name.status();     \
+  lhs = std::move(result_name).value()
+
+#endif  // CROWDPRICE_UTIL_MACROS_H_

@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, the companion to Status for functions that
+// produce a value on success. Mirrors arrow::Result.
+
+#ifndef CROWDPRICE_UTIL_RESULT_H_
+#define CROWDPRICE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace crowdprice {
+
+/// Holds either a successfully computed T or the Status explaining why the
+/// computation failed. Construction from a value yields ok(); construction
+/// from a non-OK Status yields an error. Constructing from an OK Status is a
+/// programming error (there would be no value) and is converted to an
+/// Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Success result.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Accessors require ok(); checked by assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace crowdprice
+
+#endif  // CROWDPRICE_UTIL_RESULT_H_

@@ -1,0 +1,97 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Modeled on the Arrow/RocksDB idiom: functions that can fail return a
+// Status (or Result<T>, see result.h) instead of throwing. A Status is
+// either OK or carries an error code plus a human-readable message.
+
+#ifndef CROWDPRICE_UTIL_STATUS_H_
+#define CROWDPRICE_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace crowdprice {
+
+/// Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  /// The caller supplied an argument outside the function's domain.
+  kInvalidArgument = 1,
+  /// A computed or requested index/value fell outside a valid range.
+  kOutOfRange = 2,
+  /// The object is not in a state where the operation is permitted.
+  kFailedPrecondition = 3,
+  /// The requested entity does not exist.
+  kNotFound = 4,
+  /// An invariant the implementation relies on was violated (a bug).
+  kInternal = 5,
+  /// The feature is declared but not implemented.
+  kUnimplemented = 6,
+  /// A numeric routine failed to converge or produced non-finite values.
+  kNumericError = 7,
+};
+
+/// Returns a stable, upper-case-free name for a code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// An OK-or-error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Named constructors for each error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status Internal(std::string msg);
+  static Status Unimplemented(std::string msg);
+  static Status NumericError(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// Empty string when OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsNumericError() const { return code() == StatusCode::kNumericError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Equality compares code and message.
+  friend bool operator==(const Status& a, const Status& b);
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; keeps the common success path allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace crowdprice
+
+#endif  // CROWDPRICE_UTIL_STATUS_H_

@@ -1,0 +1,15 @@
+// printf-style std::string formatting (libstdc++ 12 lacks <format>).
+
+#ifndef CROWDPRICE_UTIL_STRINGF_H_
+#define CROWDPRICE_UTIL_STRINGF_H_
+
+#include <string>
+
+namespace crowdprice {
+
+/// Returns the printf-formatted string. Formatting errors yield "".
+std::string StringF(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace crowdprice
+
+#endif  // CROWDPRICE_UTIL_STRINGF_H_

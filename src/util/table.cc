@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/stringf.h"
+
+namespace crowdprice {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+Status Table::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StringF("row has %zu cells, table has %zu columns", cells.size(),
+                columns_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return Status::OK();
+}
+
+Status Table::AddNumericRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(StringF("%.*f", precision, v));
+  return AddRow(std::move(formatted));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << "  " << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size(), ' ');
+      }
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::WriteCsv(std::ostream& os) const {
+  auto write_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      write_cell(row[i]);
+    }
+    os << "\n";
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace crowdprice

@@ -1,0 +1,45 @@
+// Aligned text tables and CSV output for benchmark harnesses.
+//
+// Every bench binary reproduces one table/figure of the paper; this helper
+// renders the rows exactly once in a shared style so outputs are comparable.
+
+#ifndef CROWDPRICE_UTIL_TABLE_H_
+#define CROWDPRICE_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdprice {
+
+/// Accumulates string rows under named columns and renders them either as an
+/// aligned monospace table or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends one row; must have exactly as many cells as there are columns.
+  Status AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `%.*f`.
+  Status AddNumericRow(const std::vector<double>& cells, int precision = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Writes an aligned table with a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing comma/quote/newline quoted).
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crowdprice
+
+#endif  // CROWDPRICE_UTIL_TABLE_H_

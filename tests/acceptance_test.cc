@@ -1,0 +1,112 @@
+#include "choice/acceptance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace crowdprice::choice {
+namespace {
+
+TEST(LogitAcceptanceTest, CreateValidation) {
+  EXPECT_TRUE(LogitAcceptance::Create(0.0, 0.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(LogitAcceptance::Create(-1.0, 0.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(LogitAcceptance::Create(1.0, 0.0, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(LogitAcceptance::Create(1.0, std::nan(""), 1.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(LogitAcceptance::Create(15.0, -0.39, 2000.0).ok());
+}
+
+TEST(LogitAcceptanceTest, MatchesClosedForm) {
+  auto f = LogitAcceptance::Create(10.0, 2.0, 100.0).value();
+  for (double c : {0.0, 5.0, 20.0, 60.0}) {
+    const double z = c / 10.0 - 2.0;
+    const double expected = std::exp(z) / (std::exp(z) + 100.0);
+    EXPECT_NEAR(f.ProbabilityAt(c), expected, 1e-12) << "c = " << c;
+  }
+}
+
+TEST(LogitAcceptanceTest, Paper2014MatchesEq13) {
+  // Eq. 13: p(c) = exp(c/15 + 0.39) / (exp(c/15 + 0.39) + 2000).
+  auto f = LogitAcceptance::Paper2014();
+  for (double c : {0.0, 12.0, 16.0, 50.0}) {
+    const double z = c / 15.0 + 0.39;
+    const double expected = std::exp(z) / (std::exp(z) + 2000.0);
+    EXPECT_NEAR(f.ProbabilityAt(c), expected, 1e-12) << "c = " << c;
+  }
+  // Sanity: the paper's c0 ~ 12 for N=200 over ~122k arrivals => p ~ 0.00164.
+  EXPECT_NEAR(f.ProbabilityAt(12.0), 0.00164, 0.0002);
+}
+
+TEST(LogitAcceptanceTest, StrictlyIncreasingAndBounded) {
+  auto f = LogitAcceptance::Paper2014();
+  double prev = -1.0;
+  for (double c = 0.0; c <= 500.0; c += 1.0) {
+    const double p = f.ProbabilityAt(c);
+    ASSERT_GT(p, prev);
+    ASSERT_GT(p, 0.0);
+    ASSERT_LT(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(LogitAcceptanceTest, ExtremeTailsStable) {
+  auto f = LogitAcceptance::Create(1.0, 0.0, 10.0).value();
+  EXPECT_NEAR(f.ProbabilityAt(1000.0), 1.0, 1e-12);
+  EXPECT_GE(f.ProbabilityAt(-1000.0), 0.0);
+  EXPECT_LT(f.ProbabilityAt(-1000.0), 1e-12);
+}
+
+TEST(LogitAcceptanceTest, MinRewardForProbability) {
+  auto f = LogitAcceptance::Paper2014();
+  auto c = f.MinRewardForProbability(0.0016, 100);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GE(f.ProbabilityAt(static_cast<double>(c.value())), 0.0016);
+  if (c.value() > 0) {
+    EXPECT_LT(f.ProbabilityAt(static_cast<double>(c.value() - 1)), 0.0016);
+  }
+}
+
+TEST(LogitAcceptanceTest, MinRewardUnreachable) {
+  auto f = LogitAcceptance::Paper2014();
+  EXPECT_TRUE(f.MinRewardForProbability(0.99, 20).status().IsOutOfRange());
+  EXPECT_TRUE(f.MinRewardForProbability(0.0, 20).status().IsInvalidArgument());
+  EXPECT_TRUE(f.MinRewardForProbability(1.5, 20).status().IsInvalidArgument());
+}
+
+TEST(TabulatedAcceptanceTest, Validation) {
+  EXPECT_TRUE(TabulatedAcceptance::Create({}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      TabulatedAcceptance::Create({1.0}, {0.5, 0.6}).status().IsInvalidArgument());
+  EXPECT_TRUE(TabulatedAcceptance::Create({1.0, 1.0}, {0.1, 0.2})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(TabulatedAcceptance::Create({2.0, 1.0}, {0.1, 0.2})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(TabulatedAcceptance::Create({1.0, 2.0}, {0.2, 0.1})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(TabulatedAcceptance::Create({1.0, 2.0}, {0.1, 1.2})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TabulatedAcceptanceTest, InterpolatesAndClamps) {
+  auto f = TabulatedAcceptance::Create({10.0, 20.0, 40.0}, {0.1, 0.3, 0.5}).value();
+  EXPECT_DOUBLE_EQ(f.ProbabilityAt(5.0), 0.1);    // clamp low
+  EXPECT_DOUBLE_EQ(f.ProbabilityAt(10.0), 0.1);
+  EXPECT_DOUBLE_EQ(f.ProbabilityAt(15.0), 0.2);   // midpoint
+  EXPECT_DOUBLE_EQ(f.ProbabilityAt(30.0), 0.4);
+  EXPECT_DOUBLE_EQ(f.ProbabilityAt(40.0), 0.5);
+  EXPECT_DOUBLE_EQ(f.ProbabilityAt(99.0), 0.5);   // clamp high
+}
+
+TEST(TabulatedAcceptanceTest, SinglePointIsConstant) {
+  auto f = TabulatedAcceptance::Create({5.0}, {0.25}).value();
+  EXPECT_DOUBLE_EQ(f.ProbabilityAt(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.ProbabilityAt(100.0), 0.25);
+}
+
+}  // namespace
+}  // namespace crowdprice::choice

@@ -1,0 +1,120 @@
+#include "choice/calibration.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace crowdprice::choice {
+namespace {
+
+TEST(SnapshotGeneratorTest, Validation) {
+  Rng rng(1);
+  SnapshotConfig config;
+  config.num_groups = 1;
+  EXPECT_TRUE(GenerateMarketplaceSnapshot(config, rng).status().IsInvalidArgument());
+  config = SnapshotConfig{};
+  config.type_bias.clear();
+  EXPECT_TRUE(GenerateMarketplaceSnapshot(config, rng).status().IsInvalidArgument());
+  config = SnapshotConfig{};
+  config.wage_min = 0.0;
+  EXPECT_TRUE(GenerateMarketplaceSnapshot(config, rng).status().IsInvalidArgument());
+}
+
+TEST(SnapshotGeneratorTest, ProducesConfiguredGroups) {
+  Rng rng(2);
+  SnapshotConfig config;
+  config.num_groups = 100;
+  auto snapshot = GenerateMarketplaceSnapshot(config, rng).value();
+  ASSERT_EQ(snapshot.size(), 100u);
+  int types[2] = {0, 0};
+  for (const auto& obs : snapshot) {
+    ASSERT_GE(obs.task_type, 0);
+    ASSERT_LE(obs.task_type, 1);
+    ASSERT_GE(obs.wage_per_second, config.wage_min);
+    ASSERT_LE(obs.wage_per_second, config.wage_max);
+    ASSERT_GT(obs.workload_per_hour, 0.0);
+    ++types[obs.task_type];
+  }
+  EXPECT_EQ(types[0], 50);
+  EXPECT_EQ(types[1], 50);
+}
+
+TEST(WorkloadRegressionTest, EmptyErrors) {
+  EXPECT_TRUE(WorkloadRegression({}).status().IsInvalidArgument());
+}
+
+TEST(WorkloadRegressionTest, NonPositiveWorkloadErrors) {
+  TaskGroupObservation obs;
+  obs.workload_per_hour = 0.0;
+  EXPECT_TRUE(WorkloadRegression({obs, obs}).status().IsInvalidArgument());
+}
+
+TEST(WorkloadRegressionTest, RecoversTable2Structure) {
+  // The paper's Table 2: shared linear coefficient (~748 / ~809), distinct
+  // biases (3.66 categorization vs 6.28 data collection).
+  Rng rng(3);
+  SnapshotConfig config;
+  config.num_groups = 100;
+  config.linear_coefficient = 780.0;
+  config.type_bias = {3.66, 6.28};
+  config.noise_sd = 0.35;
+  auto snapshot = GenerateMarketplaceSnapshot(config, rng).value();
+  auto rows = WorkloadRegression(snapshot).value();
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_NEAR(row.fit.slope, 780.0, 120.0) << "type " << row.task_type;
+    EXPECT_NEAR(row.fit.intercept,
+                config.type_bias[static_cast<size_t>(row.task_type)], 0.35)
+        << "type " << row.task_type;
+  }
+  // The two types' linear coefficients should be statistically similar and
+  // the data-collection bias clearly higher (workers prefer those tasks).
+  EXPECT_GT(rows[1].fit.intercept, rows[0].fit.intercept + 1.0);
+}
+
+TEST(DeriveLogitTest, Validation) {
+  EXPECT_TRUE(DeriveLogitFromWorkloadRegression(0.0, 6.28, 120.0, 6000.0, 2000.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DeriveLogitFromWorkloadRegression(809.0, 6.28, 0.0, 6000.0, 2000.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DeriveLogitFromWorkloadRegression(809.0, 6.28, 120.0, 0.0, 2000.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DeriveLogitTest, ReproducesEq13FromPaperNumbers) {
+  // alpha = 809, bias = 6.28, 120-second tasks, ~6000 completions/hour
+  // marketplace-wide, M = 2000  ==>  Eq. 13: s ~ 15, b ~ -0.39.
+  auto f =
+      DeriveLogitFromWorkloadRegression(809.0, 6.28, 120.0, 6000.0, 2000.0).value();
+  EXPECT_NEAR(f.s(), 14.83, 0.05);
+  EXPECT_NEAR(f.b(), -0.393, 0.01);
+  EXPECT_DOUBLE_EQ(f.m(), 2000.0);
+  // Value check against Eq. 13 at c = 15 cents.
+  const double z = 15.0 / 15.0 + 0.39;
+  EXPECT_NEAR(f.ProbabilityAt(15.0), std::exp(z) / (std::exp(z) + 2000.0), 2e-4);
+}
+
+TEST(DeriveLogitTest, EndToEndFromSyntheticSnapshot) {
+  // Full §5.1.2 pipeline: snapshot -> regression -> Eq. 3 parameters.
+  Rng rng(4);
+  SnapshotConfig config;
+  config.linear_coefficient = 809.0;
+  config.type_bias = {3.66, 6.28};
+  auto snapshot = GenerateMarketplaceSnapshot(config, rng).value();
+  auto rows = WorkloadRegression(snapshot).value();
+  const auto& dc = rows[1];  // data collection
+  auto f = DeriveLogitFromWorkloadRegression(dc.fit.slope, dc.fit.intercept,
+                                             120.0, 6000.0, 2000.0)
+               .value();
+  // Recovered parameters should be near the ideal Eq. 13 values.
+  EXPECT_NEAR(f.s(), 14.83, 2.5);
+  EXPECT_NEAR(f.b(), -0.39, 0.45);
+}
+
+}  // namespace
+}  // namespace crowdprice::choice

@@ -1,0 +1,125 @@
+#include "stats/convex_hull.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace crowdprice::stats {
+namespace {
+
+TEST(LowerConvexHullTest, EmptyErrors) {
+  EXPECT_TRUE(LowerConvexHull({}).status().IsInvalidArgument());
+}
+
+TEST(LowerConvexHullTest, NonFiniteErrors) {
+  EXPECT_TRUE(LowerConvexHull({{0.0, std::nan("")}}).status().IsInvalidArgument());
+  EXPECT_TRUE(LowerConvexHull({{INFINITY, 0.0}}).status().IsInvalidArgument());
+}
+
+TEST(LowerConvexHullTest, SinglePoint) {
+  auto hull = LowerConvexHull({{1.0, 2.0}});
+  ASSERT_TRUE(hull.ok());
+  ASSERT_EQ(hull->size(), 1u);
+  EXPECT_DOUBLE_EQ((*hull)[0].x, 1.0);
+}
+
+TEST(LowerConvexHullTest, TwoPoints) {
+  auto hull = LowerConvexHull({{2.0, 1.0}, {0.0, 5.0}});
+  ASSERT_TRUE(hull.ok());
+  ASSERT_EQ(hull->size(), 2u);
+  EXPECT_DOUBLE_EQ((*hull)[0].x, 0.0);
+  EXPECT_DOUBLE_EQ((*hull)[1].x, 2.0);
+}
+
+TEST(LowerConvexHullTest, DropsInteriorPoint) {
+  // (1, 10) lies above the chord from (0,0) to (2,0).
+  auto hull = LowerConvexHull({{0.0, 0.0}, {1.0, 10.0}, {2.0, 0.0}});
+  ASSERT_TRUE(hull.ok());
+  ASSERT_EQ(hull->size(), 2u);
+}
+
+TEST(LowerConvexHullTest, KeepsPointBelowChord) {
+  auto hull = LowerConvexHull({{0.0, 0.0}, {1.0, -5.0}, {2.0, 0.0}});
+  ASSERT_TRUE(hull.ok());
+  ASSERT_EQ(hull->size(), 3u);
+  EXPECT_DOUBLE_EQ((*hull)[1].y, -5.0);
+}
+
+TEST(LowerConvexHullTest, CollinearInteriorDropped) {
+  auto hull = LowerConvexHull({{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}});
+  ASSERT_TRUE(hull.ok());
+  ASSERT_EQ(hull->size(), 2u);
+}
+
+TEST(LowerConvexHullTest, DuplicateXKeepsLowestY) {
+  auto hull = LowerConvexHull({{1.0, 5.0}, {1.0, 2.0}, {0.0, 0.0}, {2.0, 0.0}});
+  ASSERT_TRUE(hull.ok());
+  for (const auto& p : *hull) {
+    if (p.x == 1.0) {
+      FAIL() << "interior duplicate-x point should have been dropped";
+    }
+  }
+}
+
+TEST(LowerConvexHullTest, ConvexDecreasingCurveKeptEntirely) {
+  // 1/p(c) for increasing p is convex decreasing here: all points on hull.
+  std::vector<Point2> pts;
+  for (int c = 0; c <= 10; ++c) {
+    pts.push_back({static_cast<double>(c), std::exp(-0.3 * c) * 100.0});
+  }
+  auto hull = LowerConvexHull(pts);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_EQ(hull->size(), pts.size());
+}
+
+TEST(LowerConvexHullTest, IndicesMatchPoints) {
+  std::vector<Point2> pts{{3.0, 1.0}, {0.0, 4.0}, {1.0, 0.5}, {2.0, 3.0}};
+  auto idx = LowerConvexHullIndices(pts);
+  auto hull = LowerConvexHull(pts);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE(hull.ok());
+  ASSERT_EQ(idx->size(), hull->size());
+  for (size_t i = 0; i < idx->size(); ++i) {
+    EXPECT_DOUBLE_EQ(pts[(*idx)[i]].x, (*hull)[i].x);
+    EXPECT_DOUBLE_EQ(pts[(*idx)[i]].y, (*hull)[i].y);
+  }
+}
+
+// Property: every input point lies on or above the hull's piecewise-linear
+// interpolation, and hull vertices are increasing in x.
+TEST(LowerConvexHullTest, RandomPointsPropertyCheck) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point2> pts;
+    const int n = static_cast<int>(rng.UniformInt(3, 60));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.NextDouble() * 100.0, rng.NextDouble() * 100.0});
+    }
+    auto hull_r = LowerConvexHull(pts);
+    ASSERT_TRUE(hull_r.ok());
+    const auto& hull = *hull_r;
+    for (size_t i = 1; i < hull.size(); ++i) {
+      ASSERT_GT(hull[i].x, hull[i - 1].x);
+    }
+    auto hull_y = [&](double x) {
+      if (x <= hull.front().x) return hull.front().y;
+      if (x >= hull.back().x) return hull.back().y;
+      for (size_t i = 1; i < hull.size(); ++i) {
+        if (x <= hull[i].x) {
+          const double f = (x - hull[i - 1].x) / (hull[i].x - hull[i - 1].x);
+          return hull[i - 1].y + f * (hull[i].y - hull[i - 1].y);
+        }
+      }
+      return hull.back().y;
+    };
+    for (const auto& p : pts) {
+      if (p.x < hull.front().x || p.x > hull.back().x) continue;
+      ASSERT_GE(p.y, hull_y(p.x) - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdprice::stats

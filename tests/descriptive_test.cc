@@ -1,0 +1,140 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace crowdprice::stats {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    all.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.mean();
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStatsTest, NumericalStabilityLargeOffset) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25025, 0.001);
+}
+
+TEST(PercentileTest, EmptyErrors) {
+  EXPECT_TRUE(Percentile({}, 0.5).status().IsInvalidArgument());
+}
+
+TEST(PercentileTest, BadQuantileErrors) {
+  EXPECT_TRUE(Percentile({1.0}, -0.1).status().IsInvalidArgument());
+  EXPECT_TRUE(Percentile({1.0}, 1.1).status().IsInvalidArgument());
+}
+
+TEST(PercentileTest, MinMedianMax) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5).value(), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0).value(), 5.0);
+}
+
+TEST(PercentileTest, LinearInterpolation) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25).value(), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.75).value(), 7.5);
+}
+
+TEST(EcdfTest, EmptyErrors) {
+  EXPECT_TRUE(Ecdf({}).status().IsInvalidArgument());
+}
+
+TEST(EcdfTest, DistinctValues) {
+  auto e = Ecdf({3.0, 1.0, 2.0});
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->size(), 3u);
+  EXPECT_DOUBLE_EQ((*e)[0].value, 1.0);
+  EXPECT_NEAR((*e)[0].fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ((*e)[2].value, 3.0);
+  EXPECT_DOUBLE_EQ((*e)[2].fraction, 1.0);
+}
+
+TEST(EcdfTest, DuplicatesCollapse) {
+  auto e = Ecdf({1.0, 1.0, 2.0, 2.0, 2.0});
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->size(), 2u);
+  EXPECT_DOUBLE_EQ((*e)[0].fraction, 0.4);
+  EXPECT_DOUBLE_EQ((*e)[1].fraction, 1.0);
+}
+
+TEST(HistogramTest, Validation) {
+  EXPECT_TRUE(Histogram({1.0}, 0.0, 1.0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(Histogram({1.0}, 1.0, 1.0, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(Histogram({1.0}, 2.0, 1.0, 5).status().IsInvalidArgument());
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  auto h = Histogram({-1.0, 0.1, 0.5, 0.9, 2.0}, 0.0, 1.0, 2);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->size(), 2u);
+  EXPECT_EQ((*h)[0], 2);  // -1.0 clamped in, 0.1
+  EXPECT_EQ((*h)[1], 3);  // 0.5, 0.9, 2.0 clamped in
+}
+
+TEST(HistogramTest, TotalPreserved) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i % 10));
+  auto h = Histogram(v, 0.0, 10.0, 10);
+  ASSERT_TRUE(h.ok());
+  int64_t total = 0;
+  for (int64_t c : *h) total += c;
+  EXPECT_EQ(total, 1000);
+}
+
+}  // namespace
+}  // namespace crowdprice::stats

@@ -1,0 +1,195 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace crowdprice::stats {
+namespace {
+
+constexpr int kSamples = 120000;
+
+TEST(NormalSamplerTest, StandardMoments) {
+  Rng rng(1);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleStandardNormal(rng));
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.03);
+}
+
+TEST(NormalSamplerTest, ShiftAndScale) {
+  Rng rng(2);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleNormal(rng, 5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(NormalSamplerTest, TailFractionMatchesCdf) {
+  Rng rng(3);
+  int beyond = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (SampleStandardNormal(rng) > 1.0) ++beyond;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond) / kSamples, 1.0 - NormalCdf(1.0), 0.01);
+}
+
+TEST(GumbelSamplerTest, Moments) {
+  // Standard Gumbel: mean = Euler-Mascheroni, var = pi^2/6.
+  Rng rng(4);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleGumbel(rng));
+  EXPECT_NEAR(s.mean(), 0.5772156649, 0.02);
+  EXPECT_NEAR(s.variance(), M_PI * M_PI / 6.0, 0.05);
+}
+
+TEST(GumbelSamplerTest, LocationScale) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleGumbel(rng, 3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0 + 2.0 * 0.5772156649, 0.05);
+}
+
+TEST(GumbelCdfTest, KnownValues) {
+  EXPECT_NEAR(GumbelCdf(0.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(GumbelCdf(5.0), std::exp(-std::exp(-5.0)), 1e-12);
+  EXPECT_LT(GumbelCdf(-3.0), 1e-8);
+}
+
+TEST(ExponentialSamplerTest, MeanIsInverseRate) {
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleExponential(rng, 4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(ExponentialSamplerTest, MemorylessTailFraction) {
+  Rng rng(7);
+  int beyond = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (SampleExponential(rng, 1.0) > 2.0) ++beyond;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond) / kSamples, std::exp(-2.0), 0.01);
+}
+
+class GammaSamplerTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GammaSamplerTest, Moments) {
+  const auto [shape, scale] = GetParam();
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleGamma(rng, shape, scale));
+  EXPECT_NEAR(s.mean(), shape * scale, 0.05 * shape * scale + 0.01);
+  EXPECT_NEAR(s.variance(), shape * scale * scale,
+              0.12 * shape * scale * scale + 0.01);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeScaleGrid, GammaSamplerTest,
+    ::testing::Combine(::testing::Values(0.3, 0.9, 1.0, 2.5, 30.0),
+                       ::testing::Values(0.5, 2.0)));
+
+class BetaSamplerTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BetaSamplerTest, MomentsAndSupport) {
+  const auto [a, b] = GetParam();
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = SampleBeta(rng, a, b);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    s.Add(x);
+  }
+  const double mean = a / (a + b);
+  const double var = a * b / ((a + b) * (a + b) * (a + b + 1.0));
+  EXPECT_NEAR(s.mean(), mean, 0.01);
+  EXPECT_NEAR(s.variance(), var, 0.1 * var + 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBetaGrid, BetaSamplerTest,
+    ::testing::Combine(::testing::Values(0.5, 2.0, 30.0),
+                       ::testing::Values(0.5, 3.0)));
+
+TEST(BinomialSamplerTest, EdgeCases) {
+  Rng rng(10);
+  EXPECT_EQ(SampleBinomial(rng, 0, 0.5), 0);
+  EXPECT_EQ(SampleBinomial(rng, 10, 0.0), 0);
+  EXPECT_EQ(SampleBinomial(rng, 10, 1.0), 10);
+  EXPECT_EQ(SampleBinomial(rng, -3, 0.5), 0);
+}
+
+class BinomialSamplerTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BinomialSamplerTest, Moments) {
+  const auto [n, p] = GetParam();
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) {
+    const int k = SampleBinomial(rng, n, p);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, n);
+    s.Add(static_cast<double>(k));
+  }
+  EXPECT_NEAR(s.mean(), n * p, 0.03 * n * p + 0.02);
+  EXPECT_NEAR(s.variance(), n * p * (1 - p), 0.08 * n * p * (1 - p) + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NPGrid, BinomialSamplerTest,
+    ::testing::Combine(::testing::Values(1, 7, 50, 300),
+                       ::testing::Values(0.02, 0.3, 0.5, 0.9)));
+
+TEST(GeometricSamplerTest, PIsOneAlwaysZero) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleGeometric(rng, 1.0), 0);
+}
+
+TEST(GeometricSamplerTest, MeanMatchesFailureCount) {
+  // E[failures before success] = (1-p)/p.
+  Rng rng(13);
+  for (double p : {0.1, 0.33, 0.8}) {
+    RunningStats s;
+    for (int i = 0; i < kSamples; ++i) {
+      s.Add(static_cast<double>(SampleGeometric(rng, p)));
+    }
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(s.mean(), expected, 0.04 * expected + 0.01) << "p = " << p;
+  }
+}
+
+TEST(GeometricSamplerTest, PmfMatches) {
+  Rng rng(14);
+  const double p = 0.4;
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const int k = SampleGeometric(rng, p);
+    if (k < 10) ++counts[static_cast<size_t>(k)];
+  }
+  for (int k = 0; k < 6; ++k) {
+    const double expect = n * std::pow(1.0 - p, k) * p;
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(k)]), expect,
+                6.0 * std::sqrt(expect))
+        << "k = " << k;
+  }
+}
+
+TEST(NormalCdfTest, SymmetryAndKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.0) + NormalCdf(1.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace crowdprice::stats

@@ -1,0 +1,125 @@
+#include "arrival/estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arrival/trace.h"
+#include "util/rng.h"
+
+namespace crowdprice::arrival {
+namespace {
+
+ArrivalTrace MakeTrace(std::vector<int64_t> counts, double width) {
+  ArrivalTrace trace;
+  trace.bucket_width_hours = width;
+  trace.counts = std::move(counts);
+  return trace;
+}
+
+TEST(EstimateRateTest, Validation) {
+  EXPECT_TRUE(EstimateRate(MakeTrace({}, 1.0)).status().IsInvalidArgument());
+  EXPECT_TRUE(EstimateRate(MakeTrace({1}, 0.0)).status().IsInvalidArgument());
+  EXPECT_TRUE(EstimateRate(MakeTrace({-1}, 1.0)).status().IsInvalidArgument());
+}
+
+TEST(EstimateRateTest, CountsOverWidth) {
+  auto rate = EstimateRate(MakeTrace({10, 20}, 0.5)).value();
+  EXPECT_DOUBLE_EQ(rate.At(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(rate.At(0.5), 40.0);
+}
+
+TEST(EstimateWeeklyProfileTest, RequiresWholeWeeks) {
+  // 25 hourly buckets is not a whole number of weeks.
+  std::vector<int64_t> counts(25, 1);
+  EXPECT_TRUE(EstimateWeeklyProfile(MakeTrace(std::move(counts), 1.0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EstimateWeeklyProfileTest, AveragesAcrossWeeks) {
+  // Two weeks of hourly buckets: week 1 all 10s, week 2 all 30s.
+  std::vector<int64_t> counts;
+  counts.insert(counts.end(), 7 * 24, 10);
+  counts.insert(counts.end(), 7 * 24, 30);
+  auto profile = EstimateWeeklyProfile(MakeTrace(std::move(counts), 1.0)).value();
+  ASSERT_EQ(profile.rates().size(), static_cast<size_t>(7 * 24));
+  EXPECT_DOUBLE_EQ(profile.rates()[0], 20.0);
+  EXPECT_DOUBLE_EQ(profile.rates()[100], 20.0);
+}
+
+TEST(EstimateWeeklyProfileTest, RecoversTrueProfile) {
+  SyntheticTraceConfig config;
+  config.num_weeks = 4;
+  config.bucket_minutes = 60;
+  config.base_rate_per_hour = 3000.0;
+  Rng rng(42);
+  auto true_rate = SyntheticTraceGenerator::TrueRate(config).value();
+  auto trace = SyntheticTraceGenerator::Generate(config, rng).value();
+  auto profile = EstimateWeeklyProfile(trace).value();
+  // Each weekly bucket averages 4 Poisson draws around the week-1 truth
+  // (weekly wobble makes weeks differ slightly; use a loose relative bound).
+  for (size_t b = 0; b < profile.rates().size(); b += 13) {
+    const double truth = true_rate.rates()[b];
+    EXPECT_NEAR(profile.rates()[b], truth, 0.15 * truth + 30.0) << "bucket " << b;
+  }
+}
+
+TEST(DayRateTest, ExtractsRequestedDay) {
+  std::vector<int64_t> counts;
+  for (int day = 0; day < 7; ++day) {
+    counts.insert(counts.end(), 24, day * 100);
+  }
+  auto trace = MakeTrace(std::move(counts), 1.0);
+  auto day3 = DayRate(trace, 3).value();
+  ASSERT_EQ(day3.rates().size(), 24u);
+  EXPECT_DOUBLE_EQ(day3.rates()[0], 300.0);
+  EXPECT_DOUBLE_EQ(day3.rates()[23], 300.0);
+  EXPECT_TRUE(DayRate(trace, 7).status().IsOutOfRange());
+  EXPECT_TRUE(DayRate(trace, -1).status().IsOutOfRange());
+}
+
+TEST(DayRateTest, RejectsNonDayDivisibleBuckets) {
+  auto trace = MakeTrace(std::vector<int64_t>(10, 1), 0.7);
+  EXPECT_TRUE(DayRate(trace, 0).status().IsInvalidArgument());
+}
+
+TEST(AverageDayRateTest, AveragesSelectedDays) {
+  std::vector<int64_t> counts;
+  for (int day = 0; day < 4; ++day) {
+    counts.insert(counts.end(), 24, (day + 1) * 100);
+  }
+  auto trace = MakeTrace(std::move(counts), 1.0);
+  auto avg = AverageDayRate(trace, {0, 2}).value();
+  ASSERT_EQ(avg.rates().size(), 24u);
+  EXPECT_DOUBLE_EQ(avg.rates()[5], 200.0);  // (100 + 300) / 2
+  EXPECT_TRUE(AverageDayRate(trace, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(AverageDayRate(trace, {9}).status().IsOutOfRange());
+}
+
+TEST(AverageDayRateTest, Fig10ProtocolTrainTestSplit) {
+  // Fig. 10 protocol: train on the average of 3 days, test on the 4th. The
+  // training rate should be within Poisson noise of the test day unless the
+  // test day is anomalous.
+  SyntheticTraceConfig config;
+  config.num_weeks = 1;
+  config.bucket_minutes = 20;
+  config.base_rate_per_hour = 5000.0;
+  config.weekend_factor = 1.0;  // keep days comparable
+  config.special_day = 2;       // inject the "1/1" anomaly on day 2
+  config.special_day_factor = 0.5;
+  Rng rng(7);
+  auto trace = SyntheticTraceGenerator::Generate(config, rng).value();
+  auto train = AverageDayRate(trace, {0, 1, 3}).value();
+  auto normal_day = DayRate(trace, 4).value();
+  auto anomalous_day = DayRate(trace, 2).value();
+  // Aggregate daily volume: train ~ normal day, train >> anomalous day.
+  const double train_total = train.Integrate(0.0, 24.0).value();
+  const double normal_total = normal_day.Integrate(0.0, 24.0).value();
+  const double anomaly_total = anomalous_day.Integrate(0.0, 24.0).value();
+  EXPECT_NEAR(train_total / normal_total, 1.0, 0.1);
+  EXPECT_LT(anomaly_total / train_total, 0.7);
+}
+
+}  // namespace
+}  // namespace crowdprice::arrival

@@ -1,0 +1,394 @@
+#include "market/simulator.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "arrival/rate_function.h"
+#include "choice/acceptance.h"
+#include "market/controller.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace crowdprice::market {
+namespace {
+
+arrival::PiecewiseConstantRate ConstantRate(double per_hour, double span = 24.0) {
+  return arrival::PiecewiseConstantRate::Constant(per_hour, span).value();
+}
+
+// Acceptance that is simply min(1, c / 100): easy to reason about.
+class LinearAcceptance final : public choice::AcceptanceFunction {
+ public:
+  double ProbabilityAt(double reward_cents) const override {
+    return std::clamp(reward_cents / 100.0, 0.0, 1.0);
+  }
+};
+
+SimulatorConfig BaseConfig(int64_t tasks = 100, double horizon = 10.0) {
+  SimulatorConfig config;
+  config.total_tasks = tasks;
+  config.horizon_hours = horizon;
+  config.decision_interval_hours = 1.0;
+  config.service_minutes_per_task = 0.0;
+  return config;
+}
+
+TEST(SimulatorConfigTest, Validation) {
+  SimulatorConfig c = BaseConfig();
+  c.total_tasks = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = BaseConfig();
+  c.horizon_hours = 0.0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = BaseConfig();
+  c.decision_interval_hours = 0.0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = BaseConfig();
+  c.retention.max_rate = 1.0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = BaseConfig();
+  c.accuracy.enabled = true;
+  c.accuracy.beta_alpha = 0.0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  EXPECT_TRUE(BaseConfig().Validate().ok());
+}
+
+TEST(RetentionModelTest, Shape) {
+  RetentionModel off;
+  EXPECT_DOUBLE_EQ(off.ProbabilityAt(50.0), 0.0);
+  RetentionModel on{0.8, 10.0};
+  EXPECT_DOUBLE_EQ(on.ProbabilityAt(0.0), 0.0);
+  EXPECT_NEAR(on.ProbabilityAt(10.0), 0.4, 1e-12);  // half-saturation
+  EXPECT_LT(on.ProbabilityAt(1000.0), 0.8);
+  EXPECT_GT(on.ProbabilityAt(1000.0), 0.75);
+}
+
+TEST(RunSimulationTest, CompletionsMatchThinnedProcess) {
+  // Rate 500/h over 10 h, p = 0.3: expected pickups 1500 >> 100 tasks, so
+  // the batch finishes; with p = 0.01, expected pickups = 50 < 100.
+  auto rate = ConstantRate(500.0);
+  LinearAcceptance acceptance;
+  Rng rng(1);
+  FixedOfferController rich(Offer{30.0, 1});
+  auto result = RunSimulation(BaseConfig(), rate, acceptance, rich, rng).value();
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.tasks_assigned, 100);
+  EXPECT_EQ(result.tasks_completed_by_horizon, 100);
+  EXPECT_DOUBLE_EQ(result.total_cost_cents, 100 * 30.0);
+
+  FixedOfferController poor(Offer{1.0, 1});
+  Rng rng2(2);
+  auto starved = RunSimulation(BaseConfig(), rate, acceptance, poor, rng2).value();
+  EXPECT_FALSE(starved.finished);
+  EXPECT_GT(starved.tasks_unassigned, 0);
+  EXPECT_NEAR(static_cast<double>(starved.tasks_assigned), 50.0, 25.0);
+}
+
+TEST(RunSimulationTest, DeterministicGivenSeed) {
+  auto rate = ConstantRate(300.0);
+  LinearAcceptance acceptance;
+  FixedOfferController c1(Offer{20.0, 1});
+  FixedOfferController c2(Offer{20.0, 1});
+  Rng a(7), b(7);
+  auto ra = RunSimulation(BaseConfig(), rate, acceptance, c1, a).value();
+  auto rb = RunSimulation(BaseConfig(), rate, acceptance, c2, b).value();
+  EXPECT_EQ(ra.tasks_assigned, rb.tasks_assigned);
+  EXPECT_DOUBLE_EQ(ra.total_cost_cents, rb.total_cost_cents);
+  EXPECT_EQ(ra.events.size(), rb.events.size());
+  EXPECT_EQ(ra.worker_arrivals, rb.worker_arrivals);
+}
+
+TEST(RunSimulationTest, ExpectedWorkerArrivalsMatchOneOverP) {
+  // Theorem 5 with a single price: E[W] = N / p(c).
+  auto rate = ConstantRate(2000.0, 24.0);
+  LinearAcceptance acceptance;  // p(20) = 0.2
+  SimulatorConfig config = BaseConfig(50, 500.0);
+  Rng rng(11);
+  stats::RunningStats arrivals;
+  for (int rep = 0; rep < 300; ++rep) {
+    FixedOfferController ctl(Offer{20.0, 1});
+    Rng child = rng.Fork();
+    auto res = RunSimulation(config, rate, acceptance, ctl, child).value();
+    ASSERT_TRUE(res.finished);
+    arrivals.Add(static_cast<double>(res.worker_arrivals));
+  }
+  EXPECT_NEAR(arrivals.mean(), 50.0 / 0.2, 5.0 * arrivals.stderr_mean() + 1.0);
+}
+
+TEST(RunSimulationTest, SemiStaticOrderInvariance) {
+  // Theorem 5: E[W] of a semi-static sequence does not depend on order.
+  // Simulate tiers in descending and (via a custom controller) ascending
+  // price order and compare mean worker arrivals.
+  auto rate = ConstantRate(2000.0, 24.0);
+  LinearAcceptance acceptance;
+  SimulatorConfig config = BaseConfig(40, 2000.0);
+  config.decide_on_every_assignment = true;
+
+  class AscendingTiers final : public PricingController {
+   public:
+    Result<Offer> Decide(double, int64_t remaining) override {
+      // First 20 tasks at 10 cents (p=0.1), then 20 at 40 cents (p=0.4).
+      const int64_t taken = 40 - remaining;
+      return Offer{taken < 20 ? 10.0 : 40.0, 1};
+    }
+  };
+
+  Rng rng(13);
+  stats::RunningStats asc_w, desc_w;
+  for (int rep = 0; rep < 250; ++rep) {
+    AscendingTiers asc;
+    Rng child = rng.Fork();
+    auto res = RunSimulation(config, rate, acceptance, asc, child).value();
+    ASSERT_TRUE(res.finished);
+    asc_w.Add(static_cast<double>(res.worker_arrivals));
+
+    auto desc = StaticTierController::Create(
+                    {{40.0, 20}, {10.0, 20}})
+                    .value();
+    Rng child2 = rng.Fork();
+    auto res2 = RunSimulation(config, rate, acceptance, desc, child2).value();
+    ASSERT_TRUE(res2.finished);
+    desc_w.Add(static_cast<double>(res2.worker_arrivals));
+  }
+  const double theory = 20.0 / 0.1 + 20.0 / 0.4;
+  EXPECT_NEAR(asc_w.mean(), theory, 5.0 * asc_w.stderr_mean() + 2.0);
+  EXPECT_NEAR(desc_w.mean(), theory, 5.0 * desc_w.stderr_mean() + 2.0);
+}
+
+TEST(RunSimulationTest, GroupSizeBundlesTasks) {
+  auto rate = ConstantRate(500.0);
+  LinearAcceptance acceptance;
+  FixedOfferController ctl(Offer{30.0, 7});
+  Rng rng(17);
+  SimulatorConfig config = BaseConfig(100);
+  auto result = RunSimulation(config, rate, acceptance, ctl, rng).value();
+  ASSERT_TRUE(result.finished);
+  for (const auto& ev : result.events) {
+    EXPECT_LE(ev.tasks, 7);
+    EXPECT_EQ(ev.group_size, 7);
+  }
+  // All full groups except possibly the tail: 100 = 14 * 7 + 2.
+  int full = 0, partial = 0;
+  for (const auto& ev : result.events) {
+    (ev.tasks == 7 ? full : partial) += 1;
+  }
+  EXPECT_EQ(full, 14);
+  EXPECT_EQ(partial, 1);
+}
+
+TEST(RunSimulationTest, ServiceTimeDelaysCompletion) {
+  auto rate = ConstantRate(500.0);
+  LinearAcceptance acceptance;
+  SimulatorConfig config = BaseConfig(50, 10.0);
+  config.service_minutes_per_task = 30.0;  // half hour per task
+  FixedOfferController ctl(Offer{50.0, 1});
+  Rng rng(19);
+  auto result = RunSimulation(config, rate, acceptance, ctl, rng).value();
+  for (const auto& ev : result.events) {
+    // Completion strictly after assignment (which is within the horizon).
+    EXPECT_GE(ev.time_hours, 0.5);
+  }
+}
+
+TEST(RunSimulationTest, RetentionIncreasesHitsPerWorker) {
+  auto rate = ConstantRate(200.0, 24.0);
+  LinearAcceptance acceptance;
+  SimulatorConfig sticky = BaseConfig(2000, 40.0);
+  sticky.retention.max_rate = 0.8;
+  sticky.retention.half_price_cents = 5.0;
+  FixedOfferController ctl(Offer{50.0, 1});
+  Rng rng(23);
+  auto result = RunSimulation(sticky, rate, acceptance, ctl, rng).value();
+  stats::RunningStats hits;
+  for (const auto& w : result.workers) hits.Add(static_cast<double>(w.hits));
+  // rho(50) = 0.8 * 50/55 ~ 0.727 => mean session length ~ 1/(1-rho) ~ 3.7.
+  EXPECT_GT(hits.mean(), 2.5);
+  EXPECT_LT(hits.mean(), 5.0);
+}
+
+TEST(RunSimulationTest, RetentionGrowsWithPrice) {
+  // Fig. 15's qualitative shape: higher price => more HITs per worker.
+  auto rate = ConstantRate(200.0, 24.0);
+  LinearAcceptance acceptance;
+  Rng rng(29);
+  double means[2] = {0.0, 0.0};
+  const double prices[2] = {10.0, 80.0};
+  for (int i = 0; i < 2; ++i) {
+    SimulatorConfig config = BaseConfig(3000, 48.0);
+    config.retention.max_rate = 0.85;
+    config.retention.half_price_cents = 20.0;
+    FixedOfferController ctl(Offer{prices[i], 1});
+    Rng child = rng.Fork();
+    auto result = RunSimulation(config, rate, acceptance, ctl, child).value();
+    stats::RunningStats hits;
+    for (const auto& w : result.workers) hits.Add(static_cast<double>(w.hits));
+    means[i] = hits.mean();
+  }
+  EXPECT_GT(means[1], means[0] * 1.5);
+}
+
+TEST(RunSimulationTest, AccuracyModelRecordsAnswers) {
+  auto rate = ConstantRate(500.0);
+  LinearAcceptance acceptance;
+  SimulatorConfig config = BaseConfig(500, 20.0);
+  config.accuracy.enabled = true;
+  config.accuracy.beta_alpha = 30.0;
+  config.accuracy.beta_beta = 3.0;
+  FixedOfferController ctl(Offer{40.0, 5});
+  Rng rng(31);
+  auto result = RunSimulation(config, rate, acceptance, ctl, rng).value();
+  ASSERT_TRUE(result.finished);
+  int64_t total_correct = 0, total_tasks = 0;
+  for (const auto& w : result.workers) {
+    EXPECT_GE(w.correct, 0);
+    EXPECT_LE(w.correct, w.tasks);
+    EXPECT_GT(w.true_accuracy, 0.0);
+    EXPECT_LT(w.true_accuracy, 1.0);
+    total_correct += w.correct;
+    total_tasks += w.tasks;
+  }
+  EXPECT_EQ(total_tasks, 500);
+  // Beta(30, 3) mean ~ 0.909.
+  EXPECT_NEAR(static_cast<double>(total_correct) / total_tasks, 0.909, 0.05);
+}
+
+TEST(RunSimulationTest, CompletionsPerBucket) {
+  auto rate = ConstantRate(500.0);
+  LinearAcceptance acceptance;
+  FixedOfferController ctl(Offer{30.0, 1});
+  Rng rng(37);
+  auto result = RunSimulation(BaseConfig(), rate, acceptance, ctl, rng).value();
+  auto buckets = result.CompletionsPerBucket(1.0, 10.0).value();
+  ASSERT_EQ(buckets.size(), 10u);
+  int64_t total = 0;
+  for (int64_t b : buckets) total += b;
+  EXPECT_EQ(total, result.tasks_completed_by_horizon);
+  EXPECT_TRUE(result.CompletionsPerBucket(0.0, 10.0).status().IsInvalidArgument());
+}
+
+TEST(RunSimulationTest, InvalidControllerOfferSurfaces) {
+  class BadController final : public PricingController {
+   public:
+    Result<Offer> Decide(double, int64_t) override { return Offer{-5.0, 1}; }
+  };
+  auto rate = ConstantRate(500.0);
+  LinearAcceptance acceptance;
+  BadController bad;
+  Rng rng(41);
+  EXPECT_TRUE(RunSimulation(BaseConfig(), rate, acceptance, bad, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RunReplicatesTest, ProducesIndependentRuns) {
+  auto rate = ConstantRate(500.0);
+  LinearAcceptance acceptance;
+  Rng rng(43);
+  auto results = RunReplicates(
+                     BaseConfig(), rate, acceptance,
+                     [] { return std::make_unique<FixedOfferController>(Offer{15.0, 1}); },
+                     20, rng)
+                     .value();
+  ASSERT_EQ(results.size(), 20u);
+  // Worker-arrival counts vary across independent replicates even when
+  // every replicate finishes the batch.
+  bool any_diff = false;
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].worker_arrivals != results[0].worker_arrivals) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+  Rng bad(1);
+  EXPECT_TRUE(RunReplicates(
+                  BaseConfig(), rate, acceptance,
+                  [] { return std::make_unique<FixedOfferController>(Offer{15.0, 1}); },
+                  0, bad)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RunSimulationTest, ZeroRateMarketAssignsNothing) {
+  auto rate = ConstantRate(0.0);
+  LinearAcceptance acceptance;
+  FixedOfferController ctl(Offer{50.0, 1});
+  Rng rng(53);
+  auto result = RunSimulation(BaseConfig(), rate, acceptance, ctl, rng).value();
+  EXPECT_EQ(result.tasks_assigned, 0);
+  EXPECT_EQ(result.worker_arrivals, 0);
+  EXPECT_FALSE(result.finished);
+  EXPECT_DOUBLE_EQ(result.completion_time_hours, 10.0);  // the horizon
+}
+
+TEST(RunSimulationTest, FineBucketRateStreamsCorrectly) {
+  // A rate function with many small buckets exercises the streaming loop's
+  // bucket walk; totals must match the coarse-bucket equivalent.
+  std::vector<double> fine(240, 500.0);  // 240 x 6-minute buckets = 24 h
+  auto fine_rate = arrival::PiecewiseConstantRate::Create(fine, 0.1).value();
+  auto coarse_rate = ConstantRate(500.0);
+  LinearAcceptance acceptance;
+  stats::RunningStats fine_n, coarse_n;
+  Rng rng(59);
+  for (int rep = 0; rep < 60; ++rep) {
+    FixedOfferController c1(Offer{2.0, 1});
+    Rng r1 = rng.Fork();
+    fine_n.Add(static_cast<double>(
+        RunSimulation(BaseConfig(1000, 10.0), fine_rate, acceptance, c1, r1)
+            .value()
+            .tasks_assigned));
+    FixedOfferController c2(Offer{2.0, 1});
+    Rng r2 = rng.Fork();
+    coarse_n.Add(static_cast<double>(
+        RunSimulation(BaseConfig(1000, 10.0), coarse_rate, acceptance, c2, r2)
+            .value()
+            .tasks_assigned));
+  }
+  EXPECT_NEAR(fine_n.mean(), coarse_n.mean(),
+              5.0 * (fine_n.stderr_mean() + coarse_n.stderr_mean()) + 1.0);
+}
+
+TEST(RunSimulationTest, EarlyExitDoesNotScanFullHorizon) {
+  // A 10,000-hour horizon with an instantly-completing batch must return
+  // quickly (the streaming loop stops at completion); this is a liveness
+  // guard rather than a timing assertion.
+  auto rate = ConstantRate(5000.0, 24.0);
+  LinearAcceptance acceptance;
+  SimulatorConfig config = BaseConfig(10, 10000.0);
+  FixedOfferController ctl(Offer{100.0, 1});
+  Rng rng(61);
+  auto result = RunSimulation(config, rate, acceptance, ctl, rng).value();
+  EXPECT_TRUE(result.finished);
+  EXPECT_LT(result.completion_time_hours, 1.0);
+}
+
+TEST(ControllerTest, ScheduleControllerPlaysIntervals) {
+  auto ctl = ScheduleController::Create({{10.0, 1}, {20.0, 1}, {30.0, 1}}, 2.0).value();
+  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 5).value().per_task_reward_cents, 10.0);
+  EXPECT_DOUBLE_EQ(ctl.Decide(1.99, 5).value().per_task_reward_cents, 10.0);
+  EXPECT_DOUBLE_EQ(ctl.Decide(2.0, 5).value().per_task_reward_cents, 20.0);
+  EXPECT_DOUBLE_EQ(ctl.Decide(4.5, 5).value().per_task_reward_cents, 30.0);
+  // Past the schedule end the last offer persists.
+  EXPECT_DOUBLE_EQ(ctl.Decide(99.0, 5).value().per_task_reward_cents, 30.0);
+  EXPECT_TRUE(ctl.Decide(-1.0, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(ScheduleController::Create({}, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(ScheduleController::Create({{10.0, 1}}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ScheduleController::Create({{10.0, 0}}, 1.0).status().IsInvalidArgument());
+}
+
+TEST(ControllerTest, StaticTierHighestFirst) {
+  auto ctl = StaticTierController::Create({{5.0, 3}, {9.0, 2}}).value();
+  // 5 tasks total; highest tier (9.0, 2 tasks) first.
+  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 5).value().per_task_reward_cents, 9.0);
+  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 4).value().per_task_reward_cents, 9.0);
+  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 3).value().per_task_reward_cents, 5.0);
+  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 1).value().per_task_reward_cents, 5.0);
+  EXPECT_TRUE(ctl.Decide(0.0, 0).status().IsOutOfRange());
+  EXPECT_TRUE(ctl.Decide(0.0, 6).status().IsOutOfRange());
+  EXPECT_TRUE(StaticTierController::Create({}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      StaticTierController::Create({{5.0, 0}}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdprice::market

@@ -1,0 +1,211 @@
+#include "pricing/multitype.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "pricing/deadline_dp.h"
+
+namespace crowdprice::pricing {
+namespace {
+
+JointLogitAcceptance SymmetricAcceptance() {
+  return JointLogitAcceptance::Create(10.0, 1.0, 10.0, 1.0, 200.0).value();
+}
+
+MultiTypeProblem SmallProblem() {
+  MultiTypeProblem p;
+  p.num_tasks_1 = 6;
+  p.num_tasks_2 = 6;
+  p.num_intervals = 4;
+  p.penalty_1_cents = 150.0;
+  p.penalty_2_cents = 150.0;
+  p.max_price_cents = 24;
+  p.price_stride = 4;
+  return p;
+}
+
+std::vector<double> Lambdas(int nt, double v) {
+  return std::vector<double>(static_cast<size_t>(nt), v);
+}
+
+TEST(JointLogitAcceptanceTest, Validation) {
+  EXPECT_TRUE(JointLogitAcceptance::Create(0.0, 0.0, 1.0, 0.0, 1.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(JointLogitAcceptance::Create(1.0, 0.0, -1.0, 0.0, 1.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(JointLogitAcceptance::Create(1.0, 0.0, 1.0, 0.0, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(JointLogitAcceptanceTest, ProbabilitiesWellFormed) {
+  auto acc = SymmetricAcceptance();
+  for (double c1 : {0.0, 10.0, 30.0}) {
+    for (double c2 : {0.0, 10.0, 30.0}) {
+      auto [p1, p2] = acc.ProbabilitiesAt(c1, c2);
+      EXPECT_GT(p1, 0.0);
+      EXPECT_GT(p2, 0.0);
+      EXPECT_LT(p1 + p2, 1.0);
+      if (c1 == c2) {
+        EXPECT_NEAR(p1, p2, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(JointLogitAcceptanceTest, SubstitutionEffect) {
+  // Raising our type-1 price draws workers away from type 2.
+  auto acc = SymmetricAcceptance();
+  auto [p1_lo, p2_lo] = acc.ProbabilitiesAt(10.0, 10.0);
+  auto [p1_hi, p2_hi] = acc.ProbabilitiesAt(20.0, 10.0);
+  EXPECT_GT(p1_hi, p1_lo);
+  EXPECT_LT(p2_hi, p2_lo);
+}
+
+TEST(JointLogitAcceptanceTest, MatchesClosedForm) {
+  auto acc = JointLogitAcceptance::Create(10.0, 0.5, 20.0, -0.5, 100.0).value();
+  const double c1 = 15.0, c2 = 8.0;
+  const double e1 = std::exp(c1 / 10.0 - 0.5);
+  const double e2 = std::exp(c2 / 20.0 + 0.5);
+  auto [p1, p2] = acc.ProbabilitiesAt(c1, c2);
+  EXPECT_NEAR(p1, e1 / (e1 + e2 + 100.0), 1e-12);
+  EXPECT_NEAR(p2, e2 / (e1 + e2 + 100.0), 1e-12);
+}
+
+TEST(MultiTypeProblemTest, Validation) {
+  MultiTypeProblem p = SmallProblem();
+  p.num_tasks_1 = 0;
+  p.num_tasks_2 = 0;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = SmallProblem();
+  p.price_stride = 0;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = SmallProblem();
+  p.max_price_cents = 4096;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  EXPECT_TRUE(SmallProblem().Validate().ok());
+}
+
+TEST(SolveMultiTypeTest, LambdaCountMismatchRejected) {
+  EXPECT_TRUE(SolveMultiType(SmallProblem(), Lambdas(3, 30.0),
+                             SymmetricAcceptance())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SolveMultiTypeTest, MoreWorkersNeverCostMore) {
+  auto sparse =
+      SolveMultiType(SmallProblem(), Lambdas(4, 20.0), SymmetricAcceptance())
+          .value();
+  auto busy =
+      SolveMultiType(SmallProblem(), Lambdas(4, 80.0), SymmetricAcceptance())
+          .value();
+  EXPECT_LE(busy.TotalObjective(), sparse.TotalObjective() + 1e-9);
+}
+
+TEST(SolveMultiTypeTest, TerminalPenalties) {
+  auto plan =
+      SolveMultiType(SmallProblem(), Lambdas(4, 30.0), SymmetricAcceptance())
+          .value();
+  EXPECT_DOUBLE_EQ(plan.OptAt(3, 2, 4).value(), 3 * 150.0 + 2 * 150.0);
+  EXPECT_DOUBLE_EQ(plan.OptAt(0, 0, 4).value(), 0.0);
+}
+
+TEST(SolveMultiTypeTest, ZeroLambdaGivesPurePenalty) {
+  auto plan =
+      SolveMultiType(SmallProblem(), Lambdas(4, 0.0), SymmetricAcceptance())
+          .value();
+  EXPECT_NEAR(plan.OptAt(4, 5, 0).value(), 4 * 150.0 + 5 * 150.0, 1e-9);
+}
+
+TEST(SolveMultiTypeTest, SymmetricProblemHasSymmetricSolution) {
+  auto plan =
+      SolveMultiType(SmallProblem(), Lambdas(4, 40.0), SymmetricAcceptance())
+          .value();
+  for (int n1 = 0; n1 <= 6; ++n1) {
+    for (int n2 = 0; n2 <= 6; ++n2) {
+      ASSERT_NEAR(plan.OptAt(n1, n2, 0).value(), plan.OptAt(n2, n1, 0).value(),
+                  1e-9)
+          << n1 << "," << n2;
+      if (n1 + n2 > 0) {
+        auto [c1, c2] = plan.PricesAt(n1, n2, 0).value();
+        auto [d1, d2] = plan.PricesAt(n2, n1, 0).value();
+        EXPECT_EQ(c1, d2);
+        EXPECT_EQ(c2, d1);
+      }
+    }
+  }
+}
+
+TEST(SolveMultiTypeTest, OptMonotoneInEachType) {
+  auto plan =
+      SolveMultiType(SmallProblem(), Lambdas(4, 40.0), SymmetricAcceptance())
+          .value();
+  for (int n1 = 1; n1 <= 6; ++n1) {
+    for (int n2 = 0; n2 <= 6; ++n2) {
+      EXPECT_LE(plan.OptAt(n1 - 1, n2, 0).value(),
+                plan.OptAt(n1, n2, 0).value() + 1e-9);
+    }
+  }
+}
+
+TEST(SolveMultiTypeTest, DegenerateSecondTypeMatchesSingleTypeDp) {
+  // With n2 = 0 the optimizer should keep c2 at the minimum (any type-2
+  // utility only steals workers), reducing to a single-type problem with
+  // competition M' = M + exp(-b2).
+  MultiTypeProblem p = SmallProblem();
+  p.num_tasks_2 = 0;
+  p.price_stride = 1;
+  p.max_price_cents = 20;
+  auto joint = SymmetricAcceptance();
+  auto plan = SolveMultiType(p, Lambdas(4, 40.0), joint).value();
+
+  DeadlineProblem single;
+  single.num_tasks = p.num_tasks_1;
+  single.num_intervals = p.num_intervals;
+  single.penalty_cents = p.penalty_1_cents;
+  const double m_eff = 200.0 + std::exp(-1.0 * 10.0 / 10.0 * 0.0 - 1.0);
+  // z2 at c2 = 0 is -b2 = -1, so e^{z2} = e^{-1}.
+  auto acc = choice::LogitAcceptance::Create(10.0, 1.0, m_eff).value();
+  auto actions = ActionSet::FromPriceGrid(20, acc).value();
+  auto single_plan = SolveSimpleDp(single, Lambdas(4, 40.0), actions).value();
+  for (int n = 1; n <= p.num_tasks_1; ++n) {
+    EXPECT_NEAR(plan.OptAt(n, 0, 0).value(), single_plan.OptAt(n, 0).value(),
+                0.02 * single_plan.OptAt(n, 0).value() + 0.5)
+        << "n = " << n;
+  }
+}
+
+TEST(MultiTypePlanTest, AccessorValidation) {
+  auto plan =
+      SolveMultiType(SmallProblem(), Lambdas(4, 30.0), SymmetricAcceptance())
+          .value();
+  EXPECT_TRUE(plan.OptAt(7, 0, 0).status().IsOutOfRange());
+  EXPECT_TRUE(plan.OptAt(0, 0, 5).status().IsOutOfRange());
+  EXPECT_TRUE(plan.PricesAt(0, 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(plan.PricesAt(1, 0, 4).status().IsOutOfRange());
+  EXPECT_TRUE(plan.PricesAt(1, 1, 0).ok());
+}
+
+TEST(SolveMultiTypeTest, PricesOnStrideGrid) {
+  auto plan =
+      SolveMultiType(SmallProblem(), Lambdas(4, 40.0), SymmetricAcceptance())
+          .value();
+  for (int n1 = 0; n1 <= 6; ++n1) {
+    for (int n2 = 0; n2 <= 6; ++n2) {
+      if (n1 + n2 == 0) continue;
+      auto [c1, c2] = plan.PricesAt(n1, n2, 1).value();
+      EXPECT_EQ(c1 % 4, 0);
+      EXPECT_EQ(c2 % 4, 0);
+      EXPECT_LE(c1, 24);
+      EXPECT_LE(c2, 24);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdprice::pricing

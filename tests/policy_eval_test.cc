@@ -1,0 +1,202 @@
+#include "pricing/policy_eval.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "pricing/deadline_dp.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace crowdprice::pricing {
+namespace {
+
+struct Fixture {
+  choice::LogitAcceptance acceptance = choice::LogitAcceptance::Paper2014();
+  ActionSet actions = ActionSet::FromPriceGrid(40, acceptance).value();
+  DeadlineProblem problem;
+  std::vector<double> lambdas;
+  DeadlinePlan plan;
+
+  static Fixture Make(int n = 25, int nt = 6, double lambda = 900.0,
+                      double penalty = 300.0) {
+    DeadlineProblem p;
+    p.num_tasks = n;
+    p.num_intervals = nt;
+    p.penalty_cents = penalty;
+    std::vector<double> lams(static_cast<size_t>(nt), lambda);
+    choice::LogitAcceptance acc = choice::LogitAcceptance::Paper2014();
+    ActionSet acts = ActionSet::FromPriceGrid(40, acc).value();
+    DeadlinePlan plan = SolveImprovedDp(p, lams, acts).value();
+    return Fixture{acc, acts, p, lams, std::move(plan)};
+  }
+};
+
+TEST(EvaluatePolicyTest, Validation) {
+  Fixture f = Fixture::Make();
+  std::vector<double> probs(f.actions.size(), 0.5);
+  EXPECT_TRUE(EvaluatePolicy(f.plan, {1.0}, probs).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EvaluatePolicy(f.plan, f.lambdas, {0.5}).status().IsInvalidArgument());
+  probs[3] = 1.5;
+  EXPECT_TRUE(
+      EvaluatePolicy(f.plan, f.lambdas, probs).status().IsInvalidArgument());
+}
+
+TEST(EvaluatePolicyTest, NominalObjectiveMatchesDp) {
+  Fixture f = Fixture::Make();
+  auto eval = EvaluatePolicyNominal(f.plan).value();
+  // The forward pass and the backward DP compute the same expectation
+  // (identical truncation law), so agreement is tight.
+  EXPECT_NEAR(eval.expected_objective, f.plan.TotalObjective(),
+              1e-6 * std::max(1.0, f.plan.TotalObjective()));
+}
+
+TEST(EvaluatePolicyTest, DistributionIsProper) {
+  Fixture f = Fixture::Make();
+  auto eval = EvaluatePolicyNominal(f.plan).value();
+  double mass = 0.0;
+  for (double d : eval.remaining_distribution) {
+    EXPECT_GE(d, -1e-12);
+    mass += d;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  EXPECT_GE(eval.prob_unfinished, 0.0);
+  EXPECT_LE(eval.prob_unfinished, 1.0);
+  EXPECT_GE(eval.expected_remaining, 0.0);
+  EXPECT_LE(eval.expected_remaining, f.problem.num_tasks);
+}
+
+TEST(EvaluatePolicyTest, MonteCarloAgreesWithExact) {
+  Fixture f = Fixture::Make();
+  auto eval = EvaluatePolicyNominal(f.plan).value();
+  std::vector<double> probs;
+  for (const auto& a : f.plan.actions().actions()) probs.push_back(a.acceptance);
+  Rng rng(2024);
+  stats::RunningStats cost, remaining;
+  for (int i = 0; i < 4000; ++i) {
+    auto traj = SimulatePolicyOnce(f.plan, f.lambdas, probs, rng).value();
+    cost.Add(traj.cost_cents);
+    remaining.Add(static_cast<double>(traj.remaining));
+  }
+  EXPECT_NEAR(cost.mean(), eval.expected_cost_cents,
+              5.0 * cost.stderr_mean() + 1e-6);
+  EXPECT_NEAR(remaining.mean(), eval.expected_remaining,
+              5.0 * remaining.stderr_mean() + 1e-6);
+}
+
+TEST(EvaluatePolicyTest, WeakerTrueMarketLeavesMoreRemaining) {
+  Fixture f = Fixture::Make();
+  auto nominal = EvaluatePolicyNominal(f.plan).value();
+  // True acceptance 40% lower than planned at every price.
+  std::vector<double> weak_probs;
+  for (const auto& a : f.plan.actions().actions()) {
+    weak_probs.push_back(a.acceptance * 0.6);
+  }
+  auto weak = EvaluatePolicy(f.plan, f.lambdas, weak_probs).value();
+  EXPECT_GT(weak.expected_remaining, nominal.expected_remaining);
+  // The dynamic policy pushes prices up to compensate, so the average
+  // realized reward per completed task should rise.
+  EXPECT_GE(weak.average_reward_per_task, nominal.average_reward_per_task - 1e-9);
+}
+
+TEST(EvaluatePolicyTest, StrongerTrueMarketCutsCost) {
+  Fixture f = Fixture::Make();
+  auto nominal = EvaluatePolicyNominal(f.plan).value();
+  std::vector<double> strong_probs;
+  for (const auto& a : f.plan.actions().actions()) {
+    strong_probs.push_back(std::min(1.0, a.acceptance * 1.8));
+  }
+  auto strong = EvaluatePolicy(f.plan, f.lambdas, strong_probs).value();
+  EXPECT_LT(strong.expected_remaining, nominal.expected_remaining + 1e-12);
+  EXPECT_LT(strong.expected_cost_cents, nominal.expected_cost_cents);
+}
+
+TEST(EvaluatePolicyTest, UnderMarketWrapperMatchesManualProbs) {
+  Fixture f = Fixture::Make();
+  auto via_wrapper =
+      EvaluatePolicyUnderMarket(f.plan, f.lambdas, f.acceptance).value();
+  std::vector<double> probs;
+  for (const auto& a : f.plan.actions().actions()) {
+    probs.push_back(f.acceptance.ProbabilityAt(a.cost_per_task_cents));
+  }
+  auto manual = EvaluatePolicy(f.plan, f.lambdas, probs).value();
+  EXPECT_DOUBLE_EQ(via_wrapper.expected_cost_cents, manual.expected_cost_cents);
+  EXPECT_DOUBLE_EQ(via_wrapper.expected_remaining, manual.expected_remaining);
+}
+
+TEST(SimulatePolicyOnceTest, DeterministicGivenSeed) {
+  Fixture f = Fixture::Make();
+  std::vector<double> probs;
+  for (const auto& a : f.plan.actions().actions()) probs.push_back(a.acceptance);
+  Rng a(9), b(9);
+  auto ta = SimulatePolicyOnce(f.plan, f.lambdas, probs, a).value();
+  auto tb = SimulatePolicyOnce(f.plan, f.lambdas, probs, b).value();
+  EXPECT_DOUBLE_EQ(ta.cost_cents, tb.cost_cents);
+  EXPECT_EQ(ta.remaining, tb.remaining);
+  ASSERT_EQ(ta.prices.size(), tb.prices.size());
+}
+
+TEST(SimulatePolicyOnceTest, PricePathStopsWhenDone) {
+  Fixture f = Fixture::Make(/*n=*/3, /*nt=*/8, /*lambda=*/5000.0);
+  std::vector<double> probs;
+  for (const auto& a : f.plan.actions().actions()) probs.push_back(a.acceptance);
+  Rng rng(31);
+  auto traj = SimulatePolicyOnce(f.plan, f.lambdas, probs, rng).value();
+  // With massive worker supply the batch finishes early; the recorded price
+  // path is then shorter than the horizon.
+  EXPECT_EQ(traj.remaining, 0);
+  EXPECT_LE(traj.prices.size(), static_cast<size_t>(f.problem.num_intervals));
+}
+
+struct EvalCase {
+  int num_tasks;
+  int num_intervals;
+  double lambda;
+  double penalty;
+};
+
+class PolicyEvalSweepTest : public ::testing::TestWithParam<EvalCase> {};
+
+TEST_P(PolicyEvalSweepTest, ForwardPassMatchesBackwardDp) {
+  // The forward distribution pass and the backward DP compute the same
+  // expectation under the same truncation law, for any instance.
+  const EvalCase c = GetParam();
+  auto acc = choice::LogitAcceptance::Paper2014();
+  auto actions = ActionSet::FromPriceGrid(40, acc).value();
+  DeadlineProblem p;
+  p.num_tasks = c.num_tasks;
+  p.num_intervals = c.num_intervals;
+  p.penalty_cents = c.penalty;
+  std::vector<double> lambdas(static_cast<size_t>(c.num_intervals), c.lambda);
+  auto plan = SolveImprovedDp(p, lambdas, actions).value();
+  auto eval = EvaluatePolicyNominal(plan).value();
+  EXPECT_NEAR(eval.expected_objective, plan.TotalObjective(),
+              1e-6 * std::max(1.0, plan.TotalObjective()));
+  // Average reward can never undercut the cheapest action or exceed the
+  // priciest one.
+  if (eval.expected_remaining < c.num_tasks - 0.5) {
+    EXPECT_GE(eval.average_reward_per_task, -1e-9);
+    EXPECT_LE(eval.average_reward_per_task, 40.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyEvalSweepTest,
+    ::testing::Values(EvalCase{1, 1, 10.0, 100.0}, EvalCase{5, 12, 80.0, 30.0},
+                      EvalCase{40, 6, 1200.0, 500.0},
+                      EvalCase{100, 10, 40.0, 2000.0},
+                      EvalCase{60, 24, 900.0, 250.0}));
+
+TEST(EvaluatePolicyTest, ZeroWorkerMarketLeavesEverything) {
+  Fixture f = Fixture::Make();
+  std::vector<double> zero_probs(f.plan.actions().size(), 0.0);
+  auto eval = EvaluatePolicy(f.plan, f.lambdas, zero_probs).value();
+  EXPECT_DOUBLE_EQ(eval.expected_cost_cents, 0.0);
+  EXPECT_NEAR(eval.expected_remaining, f.problem.num_tasks, 1e-9);
+  EXPECT_NEAR(eval.prob_unfinished, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace crowdprice::pricing

@@ -1,0 +1,277 @@
+#include "pricing/quality.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "pricing/deadline_dp.h"
+#include "util/rng.h"
+
+namespace crowdprice::pricing {
+namespace {
+
+TEST(PosteriorProbabilityTest, Validation) {
+  EXPECT_TRUE(PosteriorProbability(0.0, 0.8, 1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PosteriorProbability(1.0, 0.8, 1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PosteriorProbability(0.5, 0.5, 1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PosteriorProbability(0.5, 1.0, 1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PosteriorProbability(0.5, 0.8, -1, 0).status().IsInvalidArgument());
+}
+
+TEST(PosteriorProbabilityTest, SingleAnswer) {
+  // Uniform prior, one Yes from a 0.6-accurate worker => posterior 0.6.
+  EXPECT_NEAR(PosteriorProbability(0.5, 0.6, 0, 1).value(), 0.6, 1e-12);
+  EXPECT_NEAR(PosteriorProbability(0.5, 0.6, 1, 0).value(), 0.4, 1e-12);
+}
+
+TEST(PosteriorProbabilityTest, SymmetryAndCancellation) {
+  // Balanced evidence returns the prior.
+  EXPECT_NEAR(PosteriorProbability(0.3, 0.8, 2, 2).value(), 0.3, 1e-12);
+  // Swapping yes/no flips around the uniform prior.
+  const double p = PosteriorProbability(0.5, 0.75, 1, 4).value();
+  const double q = PosteriorProbability(0.5, 0.75, 4, 1).value();
+  EXPECT_NEAR(p + q, 1.0, 1e-12);
+}
+
+TEST(PosteriorProbabilityTest, ManyAnswersSaturate) {
+  EXPECT_GT(PosteriorProbability(0.5, 0.8, 0, 20).value(), 1.0 - 1e-9);
+  EXPECT_LT(PosteriorProbability(0.5, 0.8, 20, 0).value(), 1e-9);
+}
+
+TEST(MajorityVoteTest, Validation) {
+  EXPECT_TRUE(QualityStrategy::MajorityVote(0).status().IsInvalidArgument());
+  EXPECT_TRUE(QualityStrategy::MajorityVote(4).status().IsInvalidArgument());
+  EXPECT_TRUE(QualityStrategy::MajorityVote(-3).status().IsInvalidArgument());
+  EXPECT_TRUE(QualityStrategy::MajorityVote(3).ok());
+}
+
+TEST(MajorityVoteTest, DecisionsBestOfThree) {
+  auto s = QualityStrategy::MajorityVote(3).value();
+  EXPECT_EQ(s.DecisionAt(0, 0).value(), QcDecision::kContinue);
+  EXPECT_EQ(s.DecisionAt(1, 0).value(), QcDecision::kContinue);
+  EXPECT_EQ(s.DecisionAt(1, 1).value(), QcDecision::kContinue);
+  EXPECT_EQ(s.DecisionAt(0, 2).value(), QcDecision::kPass);
+  EXPECT_EQ(s.DecisionAt(2, 0).value(), QcDecision::kFail);
+  EXPECT_EQ(s.DecisionAt(1, 2).value(), QcDecision::kPass);
+  EXPECT_EQ(s.DecisionAt(2, 1).value(), QcDecision::kFail);
+  EXPECT_TRUE(s.DecisionAt(2, 2).status().IsOutOfRange());
+  EXPECT_TRUE(s.DecisionAt(-1, 0).status().IsOutOfRange());
+}
+
+TEST(MajorityVoteTest, WorstCaseCounts) {
+  auto s = QualityStrategy::MajorityVote(3).value();
+  EXPECT_EQ(s.WorstCaseAdditionalQuestions(0, 0).value(), 3);
+  EXPECT_EQ(s.WorstCaseAdditionalQuestions(1, 0).value(), 2);
+  EXPECT_EQ(s.WorstCaseAdditionalQuestions(1, 1).value(), 1);
+  EXPECT_EQ(s.WorstCaseAdditionalQuestions(0, 2).value(), 0);
+  auto s5 = QualityStrategy::MajorityVote(5).value();
+  EXPECT_EQ(s5.WorstCaseAdditionalQuestions(0, 0).value(), 5);
+  EXPECT_EQ(s5.WorstCaseAdditionalQuestions(2, 2).value(), 1);
+}
+
+TEST(MajorityVoteTest, ExpectedQuestionsBestOfThree) {
+  auto s = QualityStrategy::MajorityVote(3).value();
+  // Deterministic yes: (0,0)->(0,1)->(0,2): 2 questions.
+  EXPECT_NEAR(s.ExpectedQuestions(1.0).value(), 2.0, 1e-12);
+  EXPECT_NEAR(s.ExpectedQuestions(0.0).value(), 2.0, 1e-12);
+  // Fair coin: stop at 2 with prob 1/2, else 3 => 2.5.
+  EXPECT_NEAR(s.ExpectedQuestions(0.5).value(), 2.5, 1e-12);
+  EXPECT_TRUE(s.ExpectedQuestions(1.5).status().IsInvalidArgument());
+}
+
+TEST(PosteriorThresholdTest, Validation) {
+  EXPECT_TRUE(QualityStrategy::PosteriorThreshold(0, 0.5, 0.8, 0.9, 0.1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(QualityStrategy::PosteriorThreshold(5, 0.5, 0.8, 0.1, 0.9)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PosteriorThresholdTest, TerminatesAtCapAndThresholds) {
+  auto s = QualityStrategy::PosteriorThreshold(6, 0.5, 0.8, 0.95, 0.05).value();
+  // Everything at the cap is terminal.
+  for (int x = 0; x <= 6; ++x) {
+    EXPECT_NE(s.DecisionAt(x, 6 - x).value(), QcDecision::kContinue);
+  }
+  // Strong early evidence terminates before the cap: 3 yes, 0 no has
+  // posterior 0.8^3 / (0.8^3 + 0.2^3) ~ 0.985 > 0.95.
+  EXPECT_EQ(s.DecisionAt(0, 3).value(), QcDecision::kPass);
+  EXPECT_EQ(s.DecisionAt(3, 0).value(), QcDecision::kFail);
+  EXPECT_EQ(s.DecisionAt(0, 0).value(), QcDecision::kContinue);
+  EXPECT_EQ(s.WorstCaseAdditionalQuestions(0, 3).value(), 0);
+  EXPECT_GT(s.WorstCaseAdditionalQuestions(0, 0).value(), 0);
+}
+
+class MajorityVoteSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MajorityVoteSweepTest, StructuralInvariants) {
+  const int k = GetParam();
+  auto s = QualityStrategy::MajorityVote(k).value();
+  const int majority = (k + 1) / 2;
+  // Worst case from the origin is the full budget; expected questions can
+  // never exceed it and is at least the majority threshold.
+  EXPECT_EQ(s.WorstCaseAdditionalQuestions(0, 0).value(), k);
+  for (double p : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+    const double eq = s.ExpectedQuestions(p).value();
+    EXPECT_GE(eq, static_cast<double>(majority)) << "p = " << p;
+    EXPECT_LE(eq, static_cast<double>(k)) << "p = " << p;
+  }
+  // Deterministic answers stop at exactly the majority count.
+  EXPECT_NEAR(s.ExpectedQuestions(1.0).value(), majority, 1e-12);
+  // The fair coin maximizes dithering: expected questions peak at p = 0.5.
+  EXPECT_GE(s.ExpectedQuestions(0.5).value(),
+            s.ExpectedQuestions(0.9).value() - 1e-12);
+  // Every terminal decision is reachable and consistent: y >= majority is
+  // always a Pass, x >= majority always a Fail.
+  for (int x = 0; x <= k; ++x) {
+    for (int y = 0; x + y <= k; ++y) {
+      const QcDecision d = s.DecisionAt(x, y).value();
+      if (y >= majority) {
+        EXPECT_EQ(d, QcDecision::kPass) << x << "," << y;
+      } else if (x >= majority) {
+        EXPECT_EQ(d, QcDecision::kFail) << x << "," << y;
+      } else {
+        EXPECT_EQ(d, QcDecision::kContinue) << x << "," << y;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddBudgets, MajorityVoteSweepTest,
+                         ::testing::Values(1, 3, 5, 7, 9));
+
+TEST(PosteriorIntervalCompressionTest, Validation) {
+  auto s = QualityStrategy::MajorityVote(3).value();
+  EXPECT_TRUE(PosteriorIntervalCompression::Create(s, 0.5, 0.8, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PosteriorIntervalCompression::Create(s, 0.5, 0.8, 1.5)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PosteriorIntervalCompression::Create(s, 0.5, 0.8, 0.1).ok());
+}
+
+TEST(PosteriorIntervalCompressionTest, BucketsFollowPosteriors) {
+  auto s = QualityStrategy::MajorityVote(5).value();
+  auto comp = PosteriorIntervalCompression::Create(s, 0.5, 0.8, 0.1).value();
+  // Posterior depends only on yes - no; equal-difference points share a
+  // bucket.
+  EXPECT_EQ(comp.BucketOf(0, 1).value(), comp.BucketOf(1, 2).value());
+  EXPECT_EQ(comp.BucketOf(1, 0).value(), comp.BucketOf(2, 1).value());
+  // Strongly-positive evidence maps near the top bucket.
+  EXPECT_GT(comp.BucketOf(0, 5).value(), comp.BucketOf(0, 0).value());
+  EXPECT_LT(comp.BucketOf(5, 0).value(), comp.BucketOf(0, 0).value());
+  EXPECT_TRUE(comp.BucketOf(6, 0).status().IsOutOfRange());
+}
+
+TEST(PosteriorIntervalCompressionTest, CompressesStateSpace) {
+  // A 21-question strategy has 253 points but only ~43 distinct posterior
+  // values (differences -21..21); coarse intervals compress far below that.
+  auto s =
+      QualityStrategy::PosteriorThreshold(21, 0.5, 0.75, 0.95, 0.05).value();
+  auto comp = PosteriorIntervalCompression::Create(s, 0.5, 0.75, 0.05).value();
+  EXPECT_EQ(comp.num_points(), 253);
+  EXPECT_LE(comp.distinct_buckets(), 20);
+  EXPECT_GE(comp.distinct_buckets(), 3);
+}
+
+TEST(PosteriorIntervalCompressionTest, ConvergesToExactDecisionsBelowCap) {
+  // The §6 asymptotic claim: as a -> 0 the interval representation's
+  // decisions match the exact posterior-threshold strategy at every
+  // below-cap point.
+  auto s = QualityStrategy::PosteriorThreshold(9, 0.4, 0.8, 0.9, 0.08).value();
+  int mismatches_coarse = 0;
+  for (double a : {0.25, 0.01}) {
+    auto comp = PosteriorIntervalCompression::Create(s, 0.4, 0.8, a).value();
+    int mismatches = 0;
+    for (int sum = 0; sum < 9; ++sum) {
+      for (int x = 0; x <= sum; ++x) {
+        const int y = sum - x;
+        if (comp.CompressedDecisionAt(x, y).value() !=
+            s.DecisionAt(x, y).value()) {
+          ++mismatches;
+        }
+      }
+    }
+    if (a == 0.25) {
+      mismatches_coarse = mismatches;
+    } else {
+      EXPECT_EQ(mismatches, 0) << "fine intervals must be exact";
+      EXPECT_LE(mismatches, mismatches_coarse);
+    }
+  }
+}
+
+TEST(SimulateQualityPricingTest, PlanSizeMismatchRejected) {
+  auto acc = choice::LogitAcceptance::Paper2014();
+  auto actions = ActionSet::FromPriceGrid(30, acc).value();
+  auto strategy = QualityStrategy::MajorityVote(3).value();
+  DeadlineProblem p;
+  p.num_tasks = 10;  // should be num_items * wc(0,0) = 5 * 3 = 15
+  p.num_intervals = 4;
+  p.penalty_cents = 100.0;
+  auto lambdas = std::vector<double>(4, 100.0);
+  auto plan = SolveSimpleDp(p, lambdas, actions).value();
+  std::vector<double> probs;
+  for (const auto& a : plan.actions().actions()) probs.push_back(a.acceptance);
+  Rng rng(1);
+  auto result = SimulateQualityPricing(plan, strategy, 5, 0.5, 0.85, lambdas,
+                                       probs, rng);
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(SimulateQualityPricingTest, DecidesItemsWithGenerousSupply) {
+  auto acc = choice::LogitAcceptance::Paper2014();
+  auto actions = ActionSet::FromPriceGrid(30, acc).value();
+  auto strategy = QualityStrategy::MajorityVote(3).value();
+  const int items = 20;
+  DeadlineProblem p;
+  p.num_tasks = items * 3;
+  p.num_intervals = 8;
+  p.penalty_cents = 400.0;
+  // Enough workers to finish, but scarce enough that the zero price cannot
+  // (p(0) ~ 7.4e-4 gives ~2 answers/interval, far below the ~60 needed), so
+  // the policy must pay.
+  auto lambdas = std::vector<double>(8, 3000.0);
+  auto plan = SolveImprovedDp(p, lambdas, actions).value();
+  std::vector<double> probs;
+  for (const auto& a : plan.actions().actions()) probs.push_back(a.acceptance);
+  Rng rng(2);
+  auto result = SimulateQualityPricing(plan, strategy, items, 0.5, 0.9, lambdas,
+                                       probs, rng)
+                    .value();
+  EXPECT_EQ(result.items_decided + result.items_undecided, items);
+  EXPECT_GT(result.items_decided, items * 3 / 4);
+  // 0.9-accurate workers with best-of-3: per-item correctness ~ 0.972.
+  EXPECT_GT(static_cast<double>(result.correct_decisions) /
+                std::max(1, result.items_decided),
+            0.85);
+  // Majority-of-3 consumes 2 or 3 answers per decided item.
+  EXPECT_GE(result.answers_collected, result.items_decided * 2);
+  EXPECT_GT(result.cost_cents, 0.0);
+}
+
+TEST(SimulateQualityPricingTest, StarvedMarketLeavesUndecided) {
+  auto acc = choice::LogitAcceptance::Paper2014();
+  auto actions = ActionSet::FromPriceGrid(30, acc).value();
+  auto strategy = QualityStrategy::MajorityVote(3).value();
+  const int items = 20;
+  DeadlineProblem p;
+  p.num_tasks = items * 3;
+  p.num_intervals = 4;
+  p.penalty_cents = 50.0;
+  auto lambdas = std::vector<double>(4, 10.0);  // almost no workers
+  auto plan = SolveSimpleDp(p, lambdas, actions).value();
+  std::vector<double> probs;
+  for (const auto& a : plan.actions().actions()) probs.push_back(a.acceptance);
+  Rng rng(3);
+  auto result = SimulateQualityPricing(plan, strategy, items, 0.5, 0.9, lambdas,
+                                       probs, rng)
+                    .value();
+  EXPECT_GT(result.items_undecided, items / 2);
+}
+
+}  // namespace
+}  // namespace crowdprice::pricing

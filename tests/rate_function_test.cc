@@ -1,0 +1,170 @@
+#include "arrival/rate_function.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace crowdprice::arrival {
+namespace {
+
+TEST(RateFunctionTest, CreateValidation) {
+  EXPECT_TRUE(PiecewiseConstantRate::Create({}, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PiecewiseConstantRate::Create({1.0}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PiecewiseConstantRate::Create({1.0}, -1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PiecewiseConstantRate::Create({-1.0}, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(PiecewiseConstantRate::Create({std::nan("")}, 1.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PiecewiseConstantRate::Create({1.0, 2.0}, 0.5).ok());
+}
+
+TEST(RateFunctionTest, AtLooksUpBuckets) {
+  auto rate = PiecewiseConstantRate::Create({10.0, 20.0, 30.0}, 1.0).value();
+  EXPECT_DOUBLE_EQ(rate.At(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(rate.At(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(rate.At(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(rate.At(2.5), 30.0);
+}
+
+TEST(RateFunctionTest, PeriodicExtension) {
+  auto rate = PiecewiseConstantRate::Create({10.0, 20.0}, 1.0).value();
+  EXPECT_DOUBLE_EQ(rate.At(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(rate.At(3.5), 20.0);
+  EXPECT_DOUBLE_EQ(rate.At(100.25), 10.0);
+}
+
+TEST(RateFunctionTest, IntegrateWithinOneBucket) {
+  auto rate = PiecewiseConstantRate::Create({10.0, 20.0}, 1.0).value();
+  EXPECT_NEAR(rate.Integrate(0.25, 0.75).value(), 5.0, 1e-12);
+}
+
+TEST(RateFunctionTest, IntegrateAcrossBuckets) {
+  auto rate = PiecewiseConstantRate::Create({10.0, 20.0}, 1.0).value();
+  EXPECT_NEAR(rate.Integrate(0.5, 1.5).value(), 5.0 + 10.0, 1e-12);
+  EXPECT_NEAR(rate.Integrate(0.0, 2.0).value(), 30.0, 1e-12);
+}
+
+TEST(RateFunctionTest, IntegrateAcrossPeriods) {
+  auto rate = PiecewiseConstantRate::Create({10.0, 20.0}, 1.0).value();
+  EXPECT_NEAR(rate.Integrate(0.0, 6.0).value(), 90.0, 1e-10);
+  EXPECT_NEAR(rate.Integrate(1.5, 2.5).value(), 10.0 + 5.0, 1e-10);
+}
+
+TEST(RateFunctionTest, IntegrateValidation) {
+  auto rate = PiecewiseConstantRate::Constant(5.0, 1.0).value();
+  EXPECT_TRUE(rate.Integrate(-1.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(rate.Integrate(2.0, 1.0).status().IsInvalidArgument());
+  EXPECT_NEAR(rate.Integrate(1.0, 1.0).value(), 0.0, 1e-12);
+}
+
+TEST(RateFunctionTest, IntervalMeansSumToTotal) {
+  auto rate =
+      PiecewiseConstantRate::Create({100.0, 200.0, 50.0, 400.0}, 0.5).value();
+  auto means = rate.IntervalMeans(2.0, 8).value();
+  ASSERT_EQ(means.size(), 8u);
+  double sum = 0.0;
+  for (double m : means) sum += m;
+  EXPECT_NEAR(sum, rate.Integrate(0.0, 2.0).value(), 1e-9);
+}
+
+TEST(RateFunctionTest, IntervalMeansMisalignedBoundaries) {
+  // 3 intervals over a horizon that does not align with bucket edges.
+  auto rate = PiecewiseConstantRate::Create({60.0, 120.0}, 1.0).value();
+  auto means = rate.IntervalMeans(1.5, 3).value();
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_NEAR(means[0], 30.0, 1e-9);              // [0, 0.5): rate 60
+  EXPECT_NEAR(means[1], 30.0, 1e-9);              // [0.5, 1.0): rate 60
+  EXPECT_NEAR(means[2], 60.0, 1e-9);              // [1.0, 1.5): rate 120
+}
+
+TEST(RateFunctionTest, MeanRate) {
+  auto rate = PiecewiseConstantRate::Create({10.0, 30.0}, 2.0).value();
+  EXPECT_DOUBLE_EQ(rate.MeanRate(), 20.0);
+}
+
+TEST(RateFunctionTest, WindowExtractsSlice) {
+  auto rate = PiecewiseConstantRate::Create({1.0, 2.0, 3.0, 4.0}, 1.0).value();
+  auto window = rate.Window(1.0, 2.0).value();
+  ASSERT_EQ(window.rates().size(), 2u);
+  EXPECT_DOUBLE_EQ(window.rates()[0], 2.0);
+  EXPECT_DOUBLE_EQ(window.rates()[1], 3.0);
+  EXPECT_DOUBLE_EQ(window.At(0.0), 2.0);
+}
+
+TEST(RateFunctionTest, WindowWrapsPeriodically) {
+  auto rate = PiecewiseConstantRate::Create({1.0, 2.0}, 1.0).value();
+  auto window = rate.Window(1.0, 2.0).value();
+  ASSERT_EQ(window.rates().size(), 2u);
+  EXPECT_DOUBLE_EQ(window.rates()[0], 2.0);
+  EXPECT_DOUBLE_EQ(window.rates()[1], 1.0);
+}
+
+TEST(RateFunctionTest, ScaledMultiplies) {
+  auto rate = PiecewiseConstantRate::Create({10.0, 20.0}, 1.0).value();
+  auto scaled = rate.Scaled(0.5).value();
+  EXPECT_DOUBLE_EQ(scaled.At(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(scaled.At(1.0), 10.0);
+  EXPECT_TRUE(rate.Scaled(-1.0).status().IsInvalidArgument());
+}
+
+TEST(SampleArrivalTimesTest, Validation) {
+  auto rate = PiecewiseConstantRate::Constant(10.0, 1.0).value();
+  Rng rng(1);
+  EXPECT_TRUE(SampleArrivalTimes(rate, -1.0, 1.0, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(SampleArrivalTimes(rate, 2.0, 1.0, rng).status().IsInvalidArgument());
+}
+
+TEST(SampleArrivalTimesTest, EmptyWindow) {
+  auto rate = PiecewiseConstantRate::Constant(10.0, 1.0).value();
+  Rng rng(2);
+  auto times = SampleArrivalTimes(rate, 1.0, 1.0, rng).value();
+  EXPECT_TRUE(times.empty());
+}
+
+TEST(SampleArrivalTimesTest, CountMatchesIntegral) {
+  auto rate = PiecewiseConstantRate::Create({100.0, 300.0}, 1.0).value();
+  Rng rng(3);
+  stats::RunningStats counts;
+  for (int rep = 0; rep < 300; ++rep) {
+    auto times = SampleArrivalTimes(rate, 0.0, 2.0, rng).value();
+    counts.Add(static_cast<double>(times.size()));
+  }
+  EXPECT_NEAR(counts.mean(), 400.0, 4.0 * counts.stderr_mean() + 1.0);
+}
+
+TEST(SampleArrivalTimesTest, TimesSortedAndInRange) {
+  auto rate = PiecewiseConstantRate::Create({50.0, 150.0, 20.0}, 0.5).value();
+  Rng rng(4);
+  auto times = SampleArrivalTimes(rate, 0.25, 1.25, rng).value();
+  for (size_t i = 0; i < times.size(); ++i) {
+    ASSERT_GE(times[i], 0.25);
+    ASSERT_LT(times[i], 1.25);
+    if (i > 0) {
+      ASSERT_GE(times[i], times[i - 1]);
+    }
+  }
+}
+
+TEST(SampleArrivalTimesTest, NonHomogeneousDensity) {
+  // Second half has 3x the rate; roughly 3x the arrivals land there.
+  auto rate = PiecewiseConstantRate::Create({100.0, 300.0}, 1.0).value();
+  Rng rng(5);
+  int first = 0, second = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::vector<double> times =
+        SampleArrivalTimes(rate, 0.0, 2.0, rng).value();
+    for (double t : times) {
+      (t < 1.0 ? first : second) += 1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(second) / first, 3.0, 0.2);
+}
+
+}  // namespace
+}  // namespace crowdprice::arrival

@@ -1,0 +1,125 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.h"
+#include "util/rng.h"
+
+namespace crowdprice::stats {
+namespace {
+
+TEST(FitLinearTest, Validation) {
+  EXPECT_TRUE(FitLinear({1.0}, {1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(FitLinear({1.0, 2.0}, {1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(FitLinear({2.0, 2.0}, {1.0, 3.0}).status().IsInvalidArgument());
+}
+
+TEST(FitLinearTest, ExactLine) {
+  auto fit = FitLinear({0.0, 1.0, 2.0, 3.0}, {1.0, 3.0, 5.0, 7.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit->n, 4);
+}
+
+TEST(FitLinearTest, ConstantY) {
+  auto fit = FitLinear({0.0, 1.0, 2.0}, {4.0, 4.0, 4.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit->r_squared, 1.0);
+}
+
+TEST(FitLinearTest, RecoversSlopeUnderNoise) {
+  Rng rng(101);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    xs.push_back(x);
+    ys.push_back(3.0 * x - 2.0 + SampleNormal(rng, 0.0, 0.5));
+  }
+  auto fit = FitLinear(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 3.0, 0.02);
+  EXPECT_NEAR(fit->intercept, -2.0, 0.1);
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST(FitLinearTest, RSquaredDropsWithNoise) {
+  Rng rng(102);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.NextDouble();
+    xs.push_back(x);
+    ys.push_back(x + SampleNormal(rng, 0.0, 3.0));  // noise dominates
+  }
+  auto fit = FitLinear(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->r_squared, 0.1);
+}
+
+TEST(FitLogitAcceptanceTest, Validation) {
+  EXPECT_TRUE(
+      FitLogitAcceptance({1.0, 2.0}, {0.1, 0.2}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(FitLogitAcceptance({1.0, 2.0}, {0.1, 0.2}, 100.0, 0.7)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FitLogitAcceptanceTest, RecoversEq13Parameters) {
+  // Generate exact p(c) from the paper's Eq. 13 and re-fit.
+  const double s = 15.0, b = -0.39, m = 2000.0;
+  std::vector<double> rewards, probs;
+  for (int c = 0; c <= 50; c += 5) {
+    const double z = c / s - b;
+    rewards.push_back(static_cast<double>(c));
+    probs.push_back(std::exp(z) / (std::exp(z) + m));
+  }
+  auto fit = FitLogitAcceptance(rewards, probs, m);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->s, s, 0.02);
+  EXPECT_NEAR(fit->b, b, 0.01);
+  EXPECT_GT(fit->r_squared, 0.9999);
+}
+
+TEST(FitLogitAcceptanceTest, BAbsorbsDifferentM) {
+  // Fitting with a different fixed M shifts b by the log-ratio: only
+  // b + ln M is identifiable.
+  const double s = 10.0, b = 1.0, m_true = 500.0;
+  std::vector<double> rewards, probs;
+  for (int c = 0; c <= 40; c += 4) {
+    const double z = c / s - b;
+    rewards.push_back(static_cast<double>(c));
+    probs.push_back(std::exp(z) / (std::exp(z) + m_true));
+  }
+  auto fit = FitLogitAcceptance(rewards, probs, /*fixed_m=*/1000.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->s, s, 0.05);
+  EXPECT_NEAR(fit->b + std::log(1000.0), b + std::log(m_true), 0.02);
+}
+
+TEST(FitLogitAcceptanceTest, DecreasingDataRejected) {
+  auto fit = FitLogitAcceptance({0.0, 10.0, 20.0}, {0.3, 0.2, 0.1}, 100.0);
+  EXPECT_TRUE(fit.status().IsNumericError());
+}
+
+TEST(FitLogitAcceptanceTest, SmallPRegimeApproximation) {
+  // In the small-p regime logit(p) ~ ln(p) + p, so the exponential form the
+  // Table-2 derivation uses agrees with the logit fit.
+  const double s = 15.0, b = -0.39, m = 2000.0;
+  std::vector<double> rewards, probs;
+  for (int c = 0; c <= 30; c += 3) {
+    const double z = c / s - b;
+    rewards.push_back(static_cast<double>(c));
+    probs.push_back(std::exp(z) / m);  // pure exponential (small-p) form
+  }
+  auto fit = FitLogitAcceptance(rewards, probs, m);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->s, s, 0.25);
+}
+
+}  // namespace
+}  // namespace crowdprice::stats

@@ -1,0 +1,169 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crowdprice {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 17);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntSinglePoint) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(42, 42), 42);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(8, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(rng.UniformInt(0, 7))];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, 5 * std::sqrt(n / 8.0));
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // Child and parent should not emit the same next values.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (parent.NextUint64() != child.NextUint64()) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, ForkIsDeterministicGivenParentState) {
+  Rng p1(37);
+  Rng p2(37);
+  Rng c1 = p1.Fork();
+  Rng c2 = p2.Fork();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(c1.NextUint64(), c2.NextUint64());
+  }
+}
+
+TEST(RngTest, JumpChangesState) {
+  Rng a(41);
+  Rng b(41);
+  b.Jump();
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextUint64() != b.NextUint64()) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BitBalance) {
+  // Each of the 64 bit positions should be ~50% ones.
+  Rng rng(43);
+  const int n = 20000;
+  std::vector<int> ones(64, 0);
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.NextUint64();
+    for (int b = 0; b < 64; ++b) {
+      ones[static_cast<size_t>(b)] += static_cast<int>((v >> b) & 1);
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(ones[static_cast<size_t>(b)]), n / 2.0,
+                5 * std::sqrt(n / 4.0))
+        << "bit " << b;
+  }
+}
+
+TEST(RngTest, NextDoubleInclusiveRange) {
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDoubleInclusive();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace crowdprice

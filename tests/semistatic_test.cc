@@ -1,0 +1,149 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "arrival/rate_function.h"
+#include "choice/acceptance.h"
+#include "market/controller.h"
+#include "market/simulator.h"
+#include "pricing/budget.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace crowdprice::market {
+namespace {
+
+class LinearAcceptance final : public choice::AcceptanceFunction {
+ public:
+  double ProbabilityAt(double reward_cents) const override {
+    return std::clamp(reward_cents / 100.0, 0.0, 1.0);
+  }
+};
+
+TEST(SemiStaticControllerTest, Validation) {
+  EXPECT_TRUE(SemiStaticController::Create({}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      SemiStaticController::Create({10.0, -1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(SemiStaticController::Create({10.0, 20.0}).ok());
+}
+
+TEST(SemiStaticControllerTest, WalksSequenceByCompletionCount) {
+  auto ctl = SemiStaticController::Create({5.0, 9.0, 2.0}).value();
+  // 3 tasks total; the k-th pickup (0-based completed count) gets prices_[k].
+  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 3).value().per_task_reward_cents, 5.0);
+  EXPECT_DOUBLE_EQ(ctl.Decide(1.0, 2).value().per_task_reward_cents, 9.0);
+  EXPECT_DOUBLE_EQ(ctl.Decide(2.0, 1).value().per_task_reward_cents, 2.0);
+  EXPECT_TRUE(ctl.Decide(0.0, 0).status().IsOutOfRange());
+  EXPECT_TRUE(ctl.Decide(0.0, 4).status().IsOutOfRange());
+}
+
+// Theorem 5 by simulation: E[W] = sum 1/p(c_i), invariant under permutation
+// of the price sequence.
+TEST(SemiStaticControllerTest, Theorem5ExpectedWorkersOrderInvariant) {
+  auto rate = arrival::PiecewiseConstantRate::Constant(2000.0, 24.0).value();
+  LinearAcceptance acceptance;
+  SimulatorConfig config;
+  config.total_tasks = 30;
+  config.horizon_hours = 3000.0;
+  config.decision_interval_hours = 10.0;
+  config.decide_on_every_assignment = true;
+
+  // 10 tasks at 10c (p=.1), 10 at 25c (p=.25), 10 at 50c (p=.5).
+  std::vector<double> base;
+  for (int i = 0; i < 10; ++i) base.push_back(10.0);
+  for (int i = 0; i < 10; ++i) base.push_back(25.0);
+  for (int i = 0; i < 10; ++i) base.push_back(50.0);
+  const double theory = 10.0 / 0.1 + 10.0 / 0.25 + 10.0 / 0.5;  // 160
+
+  Rng rng(17);
+  for (int variant = 0; variant < 3; ++variant) {
+    std::vector<double> prices = base;
+    if (variant == 1) std::reverse(prices.begin(), prices.end());
+    if (variant == 2) {
+      // Interleave: a decidedly non-monotone order.
+      std::vector<double> mixed;
+      for (int i = 0; i < 10; ++i) {
+        mixed.push_back(prices[static_cast<size_t>(i)]);
+        mixed.push_back(prices[static_cast<size_t>(10 + i)]);
+        mixed.push_back(prices[static_cast<size_t>(20 + i)]);
+      }
+      prices = mixed;
+    }
+    stats::RunningStats arrivals;
+    for (int rep = 0; rep < 250; ++rep) {
+      auto ctl = SemiStaticController::Create(prices).value();
+      Rng child = rng.Fork();
+      auto result = RunSimulation(config, rate, acceptance, ctl, child).value();
+      ASSERT_TRUE(result.finished);
+      arrivals.Add(static_cast<double>(result.worker_arrivals));
+    }
+    EXPECT_NEAR(arrivals.mean(), theory, 5.0 * arrivals.stderr_mean() + 2.0)
+        << "variant " << variant;
+  }
+}
+
+// A static (descending) semi-static sequence is exactly the tier strategy.
+TEST(SemiStaticControllerTest, DescendingSequenceMatchesTiers) {
+  auto rate = arrival::PiecewiseConstantRate::Constant(2000.0, 24.0).value();
+  LinearAcceptance acceptance;
+  SimulatorConfig config;
+  config.total_tasks = 20;
+  config.horizon_hours = 2000.0;
+  config.decision_interval_hours = 10.0;
+  config.decide_on_every_assignment = true;
+
+  std::vector<double> descending;
+  for (int i = 0; i < 10; ++i) descending.push_back(40.0);
+  for (int i = 0; i < 10; ++i) descending.push_back(10.0);
+
+  Rng rng(19);
+  stats::RunningStats semi_w, tier_w;
+  for (int rep = 0; rep < 200; ++rep) {
+    auto semi = SemiStaticController::Create(descending).value();
+    Rng c1 = rng.Fork();
+    auto r1 = RunSimulation(config, rate, acceptance, semi, c1).value();
+    semi_w.Add(static_cast<double>(r1.worker_arrivals));
+
+    auto tiers = StaticTierController::Create({{40.0, 10}, {10.0, 10}}).value();
+    Rng c2 = rng.Fork();
+    auto r2 = RunSimulation(config, rate, acceptance, tiers, c2).value();
+    tier_w.Add(static_cast<double>(r2.worker_arrivals));
+  }
+  EXPECT_NEAR(semi_w.mean(), tier_w.mean(),
+              5.0 * (semi_w.stderr_mean() + tier_w.stderr_mean()) + 2.0);
+}
+
+// The LP solution played as a semi-static sequence matches its predicted
+// E[W] (ties §4.3 to Theorem 5).
+TEST(SemiStaticControllerTest, BudgetLpPredictionHolds) {
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  auto assignment = pricing::SolveBudgetLp(40, 500.0, acceptance, 50).value();
+  std::vector<double> prices;
+  for (const auto& alloc : assignment.allocations) {
+    for (int64_t i = 0; i < alloc.count; ++i) {
+      prices.push_back(static_cast<double>(alloc.price_cents));
+    }
+  }
+  ASSERT_EQ(prices.size(), 40u);
+
+  auto rate = arrival::PiecewiseConstantRate::Constant(5000.0, 24.0).value();
+  SimulatorConfig config;
+  config.total_tasks = 40;
+  config.horizon_hours = 24.0 * 40.0;
+  config.decision_interval_hours = 5.0;
+  config.decide_on_every_assignment = true;
+  Rng rng(23);
+  stats::RunningStats arrivals;
+  for (int rep = 0; rep < 120; ++rep) {
+    auto ctl = SemiStaticController::Create(prices).value();
+    Rng child = rng.Fork();
+    auto result = RunSimulation(config, rate, acceptance, ctl, child).value();
+    ASSERT_TRUE(result.finished);
+    arrivals.Add(static_cast<double>(result.worker_arrivals));
+  }
+  EXPECT_NEAR(arrivals.mean(), assignment.expected_worker_arrivals,
+              5.0 * arrivals.stderr_mean() + 10.0);
+}
+
+}  // namespace
+}  // namespace crowdprice::market

@@ -1,0 +1,183 @@
+#include "pricing/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "pricing/deadline_dp.h"
+#include "pricing/policy_eval.h"
+#include "util/rng.h"
+
+namespace crowdprice::pricing {
+namespace {
+
+DeadlinePlan SolveSample(int n = 15, int nt = 5, double alpha = 0.0) {
+  auto acc = choice::LogitAcceptance::Paper2014();
+  auto actions = ActionSet::FromPriceGrid(25, acc).value();
+  DeadlineProblem p;
+  p.num_tasks = n;
+  p.num_intervals = nt;
+  p.penalty_cents = 321.5;
+  p.extra_penalty_alpha = alpha;
+  p.truncation_epsilon = 1e-10;
+  std::vector<double> lambdas;
+  for (int t = 0; t < nt; ++t) lambdas.push_back(200.0 + 37.0 * t);
+  return SolveImprovedDp(p, lambdas, actions).value();
+}
+
+TEST(SerializationTest, RoundTripIsBitExact) {
+  const DeadlinePlan plan = SolveSample();
+  const std::string text = SerializePlan(plan);
+  auto restored = DeserializePlan(text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const DeadlineProblem& p = plan.problem();
+  EXPECT_EQ(restored->problem().num_tasks, p.num_tasks);
+  EXPECT_EQ(restored->problem().num_intervals, p.num_intervals);
+  EXPECT_DOUBLE_EQ(restored->problem().penalty_cents, p.penalty_cents);
+  EXPECT_DOUBLE_EQ(restored->problem().truncation_epsilon, p.truncation_epsilon);
+  ASSERT_EQ(restored->actions().size(), plan.actions().size());
+  for (size_t i = 0; i < plan.actions().size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored->actions()[i].cost_per_task_cents,
+                     plan.actions()[i].cost_per_task_cents);
+    EXPECT_DOUBLE_EQ(restored->actions()[i].acceptance,
+                     plan.actions()[i].acceptance);
+    EXPECT_EQ(restored->actions()[i].bundle, plan.actions()[i].bundle);
+  }
+  for (int n = 0; n <= p.num_tasks; ++n) {
+    for (int t = 0; t <= p.num_intervals; ++t) {
+      ASSERT_DOUBLE_EQ(restored->OptUnchecked(n, t), plan.OptUnchecked(n, t));
+    }
+  }
+  for (int n = 1; n <= p.num_tasks; ++n) {
+    for (int t = 0; t < p.num_intervals; ++t) {
+      ASSERT_EQ(restored->ActionIndexUnchecked(n, t),
+                plan.ActionIndexUnchecked(n, t));
+    }
+  }
+  ASSERT_EQ(restored->interval_lambdas().size(), plan.interval_lambdas().size());
+  for (size_t i = 0; i < plan.interval_lambdas().size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored->interval_lambdas()[i], plan.interval_lambdas()[i]);
+  }
+}
+
+TEST(SerializationTest, RestoredPlanEvaluatesIdentically) {
+  const DeadlinePlan plan = SolveSample(20, 6);
+  auto restored = DeserializePlan(SerializePlan(plan)).value();
+  auto e1 = EvaluatePolicyNominal(plan).value();
+  auto e2 = EvaluatePolicyNominal(restored).value();
+  EXPECT_DOUBLE_EQ(e1.expected_cost_cents, e2.expected_cost_cents);
+  EXPECT_DOUBLE_EQ(e1.expected_remaining, e2.expected_remaining);
+}
+
+TEST(SerializationTest, ExtendedPenaltySurvives) {
+  const DeadlinePlan plan = SolveSample(8, 3, /*alpha=*/2.5);
+  auto restored = DeserializePlan(SerializePlan(plan)).value();
+  EXPECT_DOUBLE_EQ(restored.problem().extra_penalty_alpha, 2.5);
+  EXPECT_DOUBLE_EQ(restored.problem().TerminalPenalty(2),
+                   plan.problem().TerminalPenalty(2));
+}
+
+TEST(SerializationTest, RejectsBadHeader) {
+  EXPECT_TRUE(DeserializePlan("not-a-plan\n").status().IsInvalidArgument());
+  EXPECT_TRUE(DeserializePlan("").status().IsInvalidArgument());
+  EXPECT_TRUE(DeserializePlan("crowdprice-plan v99\n").status().IsInvalidArgument());
+}
+
+TEST(SerializationTest, RejectsTruncation) {
+  const std::string text = SerializePlan(SolveSample());
+  // Chop the text at various points; every prefix must fail cleanly.
+  for (size_t frac = 1; frac <= 9; ++frac) {
+    const std::string prefix = text.substr(0, text.size() * frac / 10);
+    auto r = DeserializePlan(prefix);
+    EXPECT_FALSE(r.ok()) << "prefix fraction " << frac;
+  }
+}
+
+TEST(SerializationTest, RejectsCorruptedPolicyIndex) {
+  std::string text = SerializePlan(SolveSample());
+  // Replace the policy section's first row with an out-of-range index.
+  const size_t pos = text.find("policy\n");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t row_start = pos + 7;
+  const size_t row_end = text.find('\n', row_start);
+  std::string row = text.substr(row_start, row_end - row_start);
+  // 25-cent grid => 26 actions; 999 is out of range.
+  row.replace(0, row.find(' '), "999");
+  text = text.substr(0, row_start) + row + text.substr(row_end);
+  EXPECT_TRUE(DeserializePlan(text).status().IsInvalidArgument());
+}
+
+TEST(SerializationTest, RejectsGarbageNumbers) {
+  std::string text = SerializePlan(SolveSample());
+  const size_t pos = text.find("0x");  // first hex float
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 2, "zz");
+  EXPECT_FALSE(DeserializePlan(text).ok());
+}
+
+TEST(SerializationTest, RandomMutationsNeverCrash) {
+  // Fuzz-style robustness: flip bytes, truncate, and duplicate slices of a
+  // valid plan; the parser must return (ok or error) without crashing, and
+  // anything it accepts must be a structurally valid plan.
+  const std::string text = SerializePlan(SolveSample(10, 4));
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = text;
+    const int edits = static_cast<int>(rng.UniformInt(1, 8));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.UniformInt(0, 2)) {
+        case 0: {  // flip a byte
+          const size_t pos =
+              static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        }
+        case 1: {  // truncate
+          const size_t pos =
+              static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+          mutated.resize(pos);
+          break;
+        }
+        default: {  // duplicate a slice
+          if (mutated.size() < 4) break;
+          const size_t from =
+              static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 2));
+          const size_t len = static_cast<size_t>(
+              rng.UniformInt(1, static_cast<int64_t>(mutated.size() - from - 1)));
+          mutated.insert(from, mutated.substr(from, len));
+          break;
+        }
+      }
+      if (mutated.empty()) break;
+    }
+    auto result = DeserializePlan(mutated);
+    if (result.ok()) {
+      // Whatever parsed must be internally consistent enough to evaluate.
+      auto eval = EvaluatePolicyNominal(*result);
+      (void)eval;
+    }
+  }
+  SUCCEED();
+}
+
+TEST(SerializationTest, BundledActionsRoundTrip) {
+  std::vector<PricingAction> raw{{0.04, 50, 0.001}, {0.1, 20, 0.004},
+                                 {0.2, 10, 0.012}};
+  auto actions = ActionSet::FromActions(raw).value();
+  DeadlineProblem p;
+  p.num_tasks = 30;
+  p.num_intervals = 4;
+  p.penalty_cents = 5.0;
+  std::vector<double> lambdas(4, 400.0);
+  auto plan = SolveSimpleDp(p, lambdas, actions).value();
+  auto restored = DeserializePlan(SerializePlan(plan)).value();
+  for (int n = 1; n <= 30; ++n) {
+    for (int t = 0; t < 4; ++t) {
+      ASSERT_EQ(restored.ActionIndexUnchecked(n, t),
+                plan.ActionIndexUnchecked(n, t));
+    }
+  }
+  EXPECT_FALSE(restored.actions().uniform_unit_bundle());
+}
+
+}  // namespace
+}  // namespace crowdprice::pricing

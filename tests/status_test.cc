@@ -1,0 +1,161 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace crowdprice {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad n");
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsNotFound());
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("").IsFailedPrecondition());
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::Internal("").IsInternal());
+  EXPECT_TRUE(Status::Unimplemented("").IsUnimplemented());
+  EXPECT_TRUE(Status::NumericError("").IsNumericError());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("xyz").ToString(), "NotFound: xyz");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(StatusTest, AssignmentOverwrites) {
+  Status a = Status::Internal("boom");
+  Status b;
+  b = a;
+  EXPECT_TRUE(b.IsInternal());
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.IsInternal());  // deep copy, not aliasing
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, StreamOperatorUsesToString) {
+  std::ostringstream os;
+  os << Status::OutOfRange("n=5");
+  EXPECT_EQ(os.str(), "OutOfRange: n=5");
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status a = Status::Internal("boom");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace macro_helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  CP_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+Result<int> Double(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> Quadruple(int x) {
+  CP_ASSIGN_OR_RETURN(int doubled, Double(x));
+  CP_ASSIGN_OR_RETURN(int quadrupled, Double(doubled));
+  return quadrupled;
+}
+
+}  // namespace macro_helpers
+
+TEST(MacroTest, ReturnIfErrorPassesThrough) {
+  EXPECT_TRUE(macro_helpers::Chain(1).ok());
+  EXPECT_TRUE(macro_helpers::Chain(-1).IsInvalidArgument());
+}
+
+TEST(MacroTest, AssignOrReturnChains) {
+  Result<int> r = macro_helpers::Quadruple(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 12);
+  EXPECT_TRUE(macro_helpers::Quadruple(-3).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdprice

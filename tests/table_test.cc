@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/stringf.h"
+
+namespace crowdprice {
+namespace {
+
+TEST(StringFTest, BasicFormatting) {
+  EXPECT_EQ(StringF("n = %d", 42), "n = 42");
+  EXPECT_EQ(StringF("%.2f%%", 33.333), "33.33%");
+  EXPECT_EQ(StringF("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(StringF("empty"), "empty");
+}
+
+TEST(StringFTest, LongOutput) {
+  const std::string big(500, 'x');
+  EXPECT_EQ(StringF("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(TableTest, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_TRUE(t.AddRow({"1", "2"}).ok());
+  EXPECT_TRUE(t.AddRow({"1"}).IsInvalidArgument());
+  EXPECT_TRUE(t.AddRow({"1", "2", "3"}).IsInvalidArgument());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TableTest, NumericRows) {
+  Table t({"x", "y"});
+  ASSERT_TRUE(t.AddNumericRow({1.23456, 2.0}, 2).ok());
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_NE(os.str().find("2.00"), std::string::npos);
+}
+
+TEST(TableTest, PrintAligns) {
+  Table t({"name", "value"});
+  ASSERT_TRUE(t.AddRow({"tiny", "1"}).ok());
+  ASSERT_TRUE(t.AddRow({"a-much-longer-name", "2"}).ok());
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"a", "b"});
+  ASSERT_TRUE(t.AddRow({"plain", "with,comma"}).ok());
+  ASSERT_TRUE(t.AddRow({"with\"quote", "with\nnewline"}).ok());
+  std::ostringstream os;
+  t.WriteCsv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\nnewline\""), std::string::npos);
+}
+
+TEST(TableTest, CsvHeaderFirst) {
+  Table t({"col1", "col2"});
+  ASSERT_TRUE(t.AddRow({"x", "y"}).ok());
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str().substr(0, 10), "col1,col2\n");
+}
+
+}  // namespace
+}  // namespace crowdprice

@@ -1,0 +1,129 @@
+#include "arrival/trace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arrival/estimator.h"
+#include "util/rng.h"
+
+namespace crowdprice::arrival {
+namespace {
+
+SyntheticTraceConfig SmallConfig() {
+  SyntheticTraceConfig config;
+  config.num_weeks = 1;
+  config.bucket_minutes = 60;
+  config.base_rate_per_hour = 1000.0;
+  return config;
+}
+
+TEST(TraceTest, RebucketSums) {
+  ArrivalTrace trace;
+  trace.bucket_width_hours = 1.0;
+  trace.counts = {1, 2, 3, 4, 5};
+  auto coarse = trace.Rebucket(2).value();
+  EXPECT_DOUBLE_EQ(coarse.bucket_width_hours, 2.0);
+  ASSERT_EQ(coarse.counts.size(), 3u);
+  EXPECT_EQ(coarse.counts[0], 3);
+  EXPECT_EQ(coarse.counts[1], 7);
+  EXPECT_EQ(coarse.counts[2], 5);  // partial tail
+  EXPECT_EQ(coarse.total(), trace.total());
+  EXPECT_TRUE(trace.Rebucket(0).status().IsInvalidArgument());
+}
+
+TEST(SyntheticTraceTest, ConfigValidation) {
+  SyntheticTraceConfig bad = SmallConfig();
+  bad.num_weeks = 0;
+  EXPECT_TRUE(SyntheticTraceGenerator::TrueRate(bad).status().IsInvalidArgument());
+  bad = SmallConfig();
+  bad.base_rate_per_hour = 0.0;
+  EXPECT_TRUE(SyntheticTraceGenerator::TrueRate(bad).status().IsInvalidArgument());
+  bad = SmallConfig();
+  bad.diurnal_amplitude = 1.5;
+  EXPECT_TRUE(SyntheticTraceGenerator::TrueRate(bad).status().IsInvalidArgument());
+  bad = SmallConfig();
+  bad.bucket_minutes = 0;
+  EXPECT_TRUE(SyntheticTraceGenerator::TrueRate(bad).status().IsInvalidArgument());
+}
+
+TEST(SyntheticTraceTest, TrueRateSpansConfiguredWeeks) {
+  SyntheticTraceConfig config = SmallConfig();
+  config.num_weeks = 2;
+  auto rate = SyntheticTraceGenerator::TrueRate(config).value();
+  EXPECT_EQ(rate.rates().size(), 2u * 7u * 24u);
+  EXPECT_NEAR(rate.span_hours(), 2.0 * 7.0 * 24.0, 1e-9);
+}
+
+TEST(SyntheticTraceTest, WeekendFactorLowersWeekends) {
+  SyntheticTraceConfig config = SmallConfig();
+  config.diurnal_amplitude = 0.0;
+  config.weekly_wobble = 0.0;
+  config.weekend_factor = 0.5;
+  auto rate = SyntheticTraceGenerator::TrueRate(config).value();
+  // Hour 12 of day 0 (weekday) vs day 5 (weekend).
+  EXPECT_NEAR(rate.At(12.0) * 0.5, rate.At(5.0 * 24.0 + 12.0), 1e-9);
+}
+
+TEST(SyntheticTraceTest, DiurnalPeakAtConfiguredHour) {
+  SyntheticTraceConfig config = SmallConfig();
+  config.weekly_wobble = 0.0;
+  config.diurnal_peak_hour = 14.0;
+  auto rate = SyntheticTraceGenerator::TrueRate(config).value();
+  // Rate at the peak hour should exceed the rate 12h away.
+  EXPECT_GT(rate.At(14.0), rate.At(2.0));
+}
+
+TEST(SyntheticTraceTest, SpecialDayScalesThatDayOnly) {
+  SyntheticTraceConfig config = SmallConfig();
+  config.num_weeks = 1;
+  config.special_day = 2;
+  config.special_day_factor = 0.5;
+  SyntheticTraceConfig base = config;
+  base.special_day = -1;
+  auto with = SyntheticTraceGenerator::TrueRate(config).value();
+  auto without = SyntheticTraceGenerator::TrueRate(base).value();
+  EXPECT_NEAR(with.At(2.0 * 24.0 + 5.0), 0.5 * without.At(2.0 * 24.0 + 5.0), 1e-9);
+  EXPECT_NEAR(with.At(1.0 * 24.0 + 5.0), without.At(1.0 * 24.0 + 5.0), 1e-9);
+}
+
+TEST(SyntheticTraceTest, GeneratedCountsMatchRate) {
+  SyntheticTraceConfig config = SmallConfig();
+  Rng rng(10);
+  auto rate = SyntheticTraceGenerator::TrueRate(config).value();
+  auto trace = SyntheticTraceGenerator::Generate(config, rng).value();
+  ASSERT_EQ(trace.counts.size(), rate.rates().size());
+  // Total counts ~ integral of the rate (Poisson, sd = sqrt(mean)).
+  const double expected = rate.Integrate(0.0, rate.span_hours()).value();
+  EXPECT_NEAR(static_cast<double>(trace.total()), expected,
+              6.0 * std::sqrt(expected));
+}
+
+TEST(SyntheticTraceTest, WeeklyPeriodicityVisibleInTrace) {
+  // Correlation between week 1 and week 2 bucket counts should be strong.
+  SyntheticTraceConfig config;
+  config.num_weeks = 2;
+  config.bucket_minutes = 60;
+  config.base_rate_per_hour = 2000.0;
+  Rng rng(11);
+  auto trace = SyntheticTraceGenerator::Generate(config, rng).value();
+  const size_t week = 7 * 24;
+  double num = 0.0, da = 0.0, db = 0.0, ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < week; ++i) {
+    ma += static_cast<double>(trace.counts[i]);
+    mb += static_cast<double>(trace.counts[i + week]);
+  }
+  ma /= week;
+  mb /= week;
+  for (size_t i = 0; i < week; ++i) {
+    const double a = static_cast<double>(trace.counts[i]) - ma;
+    const double b = static_cast<double>(trace.counts[i + week]) - mb;
+    num += a * b;
+    da += a * a;
+    db += b * b;
+  }
+  EXPECT_GT(num / std::sqrt(da * db), 0.9);
+}
+
+}  // namespace
+}  // namespace crowdprice::arrival

@@ -1,0 +1,131 @@
+#include "pricing/tradeoff.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "stats/poisson.h"
+
+namespace crowdprice::pricing {
+namespace {
+
+choice::LogitAcceptance Paper() { return choice::LogitAcceptance::Paper2014(); }
+
+TEST(WorkerArrivalTradeoffTest, Validation) {
+  auto acc = Paper();
+  EXPECT_TRUE(
+      SolveWorkerArrivalTradeoff(0.0, acc, 1.0, 50).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      SolveWorkerArrivalTradeoff(100.0, acc, -1.0, 50).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      SolveWorkerArrivalTradeoff(100.0, acc, 1.0, -1).status().IsInvalidArgument());
+}
+
+TEST(WorkerArrivalTradeoffTest, MatchesBruteForce) {
+  auto acc = Paper();
+  const double rate = 5000.0, alpha = 100.0;
+  auto sol = SolveWorkerArrivalTradeoff(rate, acc, alpha, 50).value();
+  double best = std::numeric_limits<double>::infinity();
+  int best_c = -1;
+  for (int c = 0; c <= 50; ++c) {
+    const double obj = c + alpha / (rate * acc.ProbabilityAt(c));
+    if (obj < best) {
+      best = obj;
+      best_c = c;
+    }
+  }
+  EXPECT_EQ(sol.price_cents, best_c);
+  EXPECT_NEAR(sol.objective_per_task, best, 1e-9);
+}
+
+TEST(WorkerArrivalTradeoffTest, AlphaZeroPicksCheapest) {
+  auto acc = Paper();
+  auto sol = SolveWorkerArrivalTradeoff(5000.0, acc, 0.0, 50).value();
+  EXPECT_EQ(sol.price_cents, 0);
+  EXPECT_DOUBLE_EQ(sol.objective_per_task, 0.0);
+}
+
+TEST(WorkerArrivalTradeoffTest, PriceMonotoneInAlpha) {
+  auto acc = Paper();
+  int prev = -1;
+  for (double alpha : {0.0, 1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    auto sol = SolveWorkerArrivalTradeoff(5000.0, acc, alpha, 50).value();
+    EXPECT_GE(sol.price_cents, prev) << "alpha = " << alpha;
+    prev = sol.price_cents;
+  }
+}
+
+TEST(WorkerArrivalTradeoffTest, LatencyMonotoneDecreasingInAlpha) {
+  auto acc = Paper();
+  double prev = std::numeric_limits<double>::infinity();
+  for (double alpha : {1.0, 10.0, 100.0, 1000.0}) {
+    auto sol = SolveWorkerArrivalTradeoff(5000.0, acc, alpha, 50).value();
+    EXPECT_LE(sol.expected_latency_per_task, prev + 1e-12) << "alpha " << alpha;
+    prev = sol.expected_latency_per_task;
+  }
+}
+
+TEST(WorkerArrivalTradeoffTest, CurveExposedForAllPrices) {
+  auto acc = Paper();
+  auto sol = SolveWorkerArrivalTradeoff(5000.0, acc, 50.0, 30).value();
+  ASSERT_EQ(sol.objective_curve.size(), 31u);
+  // The curve's minimum is at the reported price.
+  for (double v : sol.objective_curve) {
+    EXPECT_GE(v, sol.objective_per_task - 1e-9);
+  }
+  EXPECT_NEAR(sol.objective_curve[static_cast<size_t>(sol.price_cents)],
+              sol.objective_per_task, 1e-12);
+}
+
+TEST(FixedRateTradeoffTest, Validation) {
+  auto acc = Paper();
+  EXPECT_TRUE(
+      SolveFixedRateTradeoff(0.0, acc, 1.0, 50).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      SolveFixedRateTradeoff(10.0, acc, 1.0, 50, 0.0).status().IsInvalidArgument());
+}
+
+TEST(FixedRateTradeoffTest, MatchesBruteForce) {
+  auto acc = Paper();
+  const double lambda = 50.0, alpha = 2.0;
+  auto sol = SolveFixedRateTradeoff(lambda, acc, alpha, 40).value();
+  double best = std::numeric_limits<double>::infinity();
+  int best_c = -1;
+  for (int c = 0; c <= 40; ++c) {
+    const double mu = lambda * acc.ProbabilityAt(c);
+    const double q = stats::PoissonPmf(1, mu);
+    if (q <= 0.0) continue;
+    const double obj = c + alpha / q;
+    if (obj < best) {
+      best = obj;
+      best_c = c;
+    }
+  }
+  EXPECT_EQ(sol.price_cents, best_c);
+  EXPECT_NEAR(sol.objective_per_task, best, 1e-9);
+}
+
+TEST(FixedRateTradeoffTest, PremiseViolationDetected) {
+  // Huge lambda: even moderate p makes two completions per interval likely.
+  auto acc = Paper();
+  EXPECT_TRUE(SolveFixedRateTradeoff(100000.0, acc, 1.0, 50, 0.05)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(FixedRateTradeoffTest, AgreesWithWorkerArrivalInSmallRateLimit) {
+  // As lambda -> 0, Pois(1 | lambda p) ~ lambda p, so the fixed-rate
+  // objective c + alpha / (lambda p) matches the worker-arrival form with
+  // alpha_hour = alpha / (interval length); both should then pick the same
+  // price.
+  auto acc = Paper();
+  const double lambda = 0.05;
+  auto fixed = SolveFixedRateTradeoff(lambda, acc, 0.01, 50).value();
+  auto arrival = SolveWorkerArrivalTradeoff(lambda, acc, 0.01, 50).value();
+  EXPECT_EQ(fixed.price_cents, arrival.price_cents);
+}
+
+}  // namespace
+}  // namespace crowdprice::pricing

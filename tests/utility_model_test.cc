@@ -1,0 +1,108 @@
+#include "choice/utility_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/regression.h"
+#include "util/rng.h"
+
+namespace crowdprice::choice {
+namespace {
+
+TEST(MultinomialLogitTest, EmptyErrors) {
+  EXPECT_TRUE(MultinomialLogitProbabilities({}).status().IsInvalidArgument());
+}
+
+TEST(MultinomialLogitTest, UniformForEqualUtilities) {
+  auto p = MultinomialLogitProbabilities({1.0, 1.0, 1.0, 1.0}).value();
+  for (double x : p) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(MultinomialLogitTest, ClosedFormTwoTasks) {
+  auto p = MultinomialLogitProbabilities({2.0, 0.0}).value();
+  EXPECT_NEAR(p[0], std::exp(2.0) / (std::exp(2.0) + 1.0), 1e-12);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(MultinomialLogitTest, StableForLargeUtilities) {
+  auto p = MultinomialLogitProbabilities({1000.0, 999.0}).value();
+  EXPECT_NEAR(p[0], std::exp(1.0) / (std::exp(1.0) + 1.0), 1e-9);
+}
+
+TEST(SimulateGumbelChoiceTest, Validation) {
+  Rng rng(1);
+  EXPECT_TRUE(SimulateGumbelChoice({1.0}, 3, 10, rng).status().IsOutOfRange());
+  EXPECT_TRUE(SimulateGumbelChoice({1.0}, 0, 0, rng).status().IsInvalidArgument());
+}
+
+TEST(SimulateGumbelChoiceTest, ConvergesToMnlFormula) {
+  // McFadden: with Gumbel noise, win probabilities are exactly MNL.
+  const std::vector<double> utils{0.5, 0.0, -0.7, 1.2};
+  auto exact = MultinomialLogitProbabilities(utils).value();
+  Rng rng(2);
+  for (size_t target = 0; target < utils.size(); ++target) {
+    const double freq = SimulateGumbelChoice(utils, target, 60000, rng).value();
+    EXPECT_NEAR(freq, exact[target], 0.01) << "target " << target;
+  }
+}
+
+TEST(MarketUtilitySimulatorTest, CreateValidation) {
+  Rng rng(3);
+  UtilityMarketConfig config;
+  config.num_tasks = 1;
+  EXPECT_TRUE(MarketUtilitySimulator::Create(config, rng).status().IsInvalidArgument());
+  config = UtilityMarketConfig{};
+  config.reward_scale = 0.0;
+  EXPECT_TRUE(MarketUtilitySimulator::Create(config, rng).status().IsInvalidArgument());
+}
+
+// A market where the acceptance transition happens inside c in [0, 100]:
+// our mean utility c/20 - 1 crosses the strongest competitor (~1.4 here)
+// around c ~ 50.
+UtilityMarketConfig StrongSignalConfig() {
+  UtilityMarketConfig config;
+  config.reward_scale = 20.0;
+  config.competitor_mu_sd = 0.5;
+  return config;
+}
+
+TEST(MarketUtilitySimulatorTest, AcceptanceIncreasesWithReward) {
+  Rng rng(4);
+  auto sim = MarketUtilitySimulator::Create(StrongSignalConfig(), rng).value();
+  Rng trial_rng(5);
+  const double p_low = sim.EstimateAcceptance(20.0, 20000, trial_rng).value();
+  const double p_mid = sim.EstimateAcceptance(60.0, 20000, trial_rng).value();
+  const double p_high = sim.EstimateAcceptance(100.0, 20000, trial_rng).value();
+  EXPECT_LT(p_low, p_mid);
+  EXPECT_LT(p_mid, p_high);
+}
+
+TEST(MarketUtilitySimulatorTest, Section511CurveFitsLogitForm) {
+  // The paper's Fig. 5 protocol: simulate p-hat(c) over a reward sweep and
+  // fit the logit form of Eq. 2; with Normal (not Gumbel) noise the fit is
+  // approximate but strong (the paper draws the same conclusion).
+  Rng rng(6);
+  auto sim = MarketUtilitySimulator::Create(StrongSignalConfig(), rng).value();
+  Rng trial_rng(7);
+  std::vector<double> rewards, probs;
+  for (double c = 20.0; c <= 100.0; c += 10.0) {
+    rewards.push_back(c);
+    probs.push_back(sim.EstimateAcceptance(c, 40000, trial_rng).value());
+  }
+  auto fit = stats::FitLogitAcceptance(rewards, probs, /*fixed_m=*/99.0);
+  ASSERT_TRUE(fit.ok());
+  // Normal noise is not exactly Gumbel, so the logit fit is good but not
+  // perfect (r^2 ~ 0.87 here); the exact-MNL case is covered by
+  // SimulateGumbelChoiceTest.ConvergesToMnlFormula.
+  EXPECT_GT(fit->r_squared, 0.8);
+}
+
+TEST(MarketUtilitySimulatorTest, TrialsValidation) {
+  Rng rng(8);
+  auto sim = MarketUtilitySimulator::Create(UtilityMarketConfig{}, rng).value();
+  EXPECT_TRUE(sim.EstimateAcceptance(10.0, 0, rng).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdprice::choice

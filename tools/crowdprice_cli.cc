@@ -1,0 +1,249 @@
+// crowdprice_cli: solve pricing problems from the command line.
+//
+//   crowdprice_cli deadline --tasks 200 --hours 24 --intervals 72
+//       --rate 5083 --max-price 50 --bound 0.5 [--out plan.txt]
+//   crowdprice_cli budget   --tasks 200 --budget 2500 --rate 5083
+//       --max-price 50
+//   crowdprice_cli tradeoff --alpha 32 --rate 5083 --max-price 60
+//
+// The acceptance model defaults to the paper's Eq. 13 logit
+// (s=15, b=-0.39, M=2000); override with --accept-s/--accept-b/--accept-m.
+// Exit code 0 on success, 1 on user error, 2 on solver failure.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crowdprice.h"
+
+using namespace crowdprice;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+
+  double Num(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+  }
+
+  std::string Str(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  crowdprice_cli deadline --tasks N --hours T [--intervals NT]\n"
+      "      [--rate workers_per_hour] [--max-price C] [--bound E]\n"
+      "      [--penalty P] [--out plan.txt]\n"
+      "  crowdprice_cli budget --tasks N --budget CENTS\n"
+      "      [--rate workers_per_hour] [--max-price C]\n"
+      "  crowdprice_cli tradeoff --alpha CENTS_PER_HOUR\n"
+      "      [--rate workers_per_hour] [--max-price C]\n"
+      "common acceptance overrides: --accept-s --accept-b --accept-m\n";
+  return 1;
+}
+
+Result<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) {
+      return Status::InvalidArgument(StringF("unexpected token '%s'", flag.c_str()));
+    }
+    flag = flag.substr(2);
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument(StringF("flag --%s needs a value", flag.c_str()));
+    }
+    args.flags[flag] = argv[++i];
+  }
+  return args;
+}
+
+Result<choice::LogitAcceptance> Acceptance(const Args& args) {
+  return choice::LogitAcceptance::Create(args.Num("accept-s", 15.0),
+                                         args.Num("accept-b", -0.39),
+                                         args.Num("accept-m", 2000.0));
+}
+
+int RunDeadline(const Args& args) {
+  const int tasks = static_cast<int>(args.Num("tasks", 0));
+  const double hours = args.Num("hours", 0.0);
+  const int intervals =
+      static_cast<int>(args.Num("intervals", std::max(1.0, hours * 3.0)));
+  const double rate = args.Num("rate", 5083.0);
+  const int max_price = static_cast<int>(args.Num("max-price", 50));
+  if (tasks < 1 || hours <= 0.0) {
+    std::cerr << "deadline requires --tasks >= 1 and --hours > 0\n";
+    return 1;
+  }
+  auto acceptance = Acceptance(args);
+  if (!acceptance.ok()) {
+    std::cerr << acceptance.status() << "\n";
+    return 1;
+  }
+  auto actions = pricing::ActionSet::FromPriceGrid(max_price, *acceptance);
+  if (!actions.ok()) {
+    std::cerr << actions.status() << "\n";
+    return 2;
+  }
+  std::vector<double> lambdas(static_cast<size_t>(intervals),
+                              rate * hours / intervals);
+  pricing::DeadlineProblem problem;
+  problem.num_tasks = tasks;
+  problem.num_intervals = intervals;
+
+  Result<pricing::BoundSolveResult> solved = Status::OK();
+  if (args.Has("penalty")) {
+    problem.penalty_cents = args.Num("penalty", 0.0);
+    auto plan = pricing::SolveImprovedDp(problem, lambdas, *actions);
+    if (!plan.ok()) {
+      std::cerr << plan.status() << "\n";
+      return 2;
+    }
+    auto eval = pricing::EvaluatePolicyNominal(*plan);
+    if (!eval.ok()) {
+      std::cerr << eval.status() << "\n";
+      return 2;
+    }
+    solved = pricing::BoundSolveResult{std::move(plan).value(),
+                                       std::move(eval).value(),
+                                       problem.penalty_cents, 1};
+  } else {
+    solved = pricing::SolveForExpectedRemaining(problem, lambdas, *actions,
+                                                args.Num("bound", 0.5));
+  }
+  if (!solved.ok()) {
+    std::cerr << solved.status() << "\n";
+    return 2;
+  }
+
+  std::cout << StringF("opening price:        %.0f cents\n",
+                       solved->plan.PriceAt(tasks, 0).value_or(-1));
+  std::cout << StringF("expected total cost:  %.0f cents\n",
+                       solved->evaluation.expected_cost_cents);
+  std::cout << StringF("avg reward per task:  %.2f cents\n",
+                       solved->evaluation.average_reward_per_task);
+  std::cout << StringF("E[unfinished]:        %.3f of %d\n",
+                       solved->evaluation.expected_remaining, tasks);
+  std::cout << StringF("Pr[all done]:         %.4f\n",
+                       1.0 - solved->evaluation.prob_unfinished);
+  std::cout << StringF("penalty used:         %.1f cents/task\n",
+                       solved->penalty_used);
+
+  Table schedule({"interval", "price @ full backlog", "price @ half",
+                  "price @ 10% left"});
+  for (int t = 0; t < intervals; t += std::max(1, intervals / 8)) {
+    (void)schedule.AddRow(
+        {StringF("%d", t),
+         StringF("%.0f", solved->plan.PriceAt(tasks, t).value_or(-1)),
+         StringF("%.0f",
+                 solved->plan.PriceAt(std::max(1, tasks / 2), t).value_or(-1)),
+         StringF("%.0f",
+                 solved->plan.PriceAt(std::max(1, tasks / 10), t).value_or(-1))});
+  }
+  std::cout << "\n";
+  schedule.Print(std::cout);
+
+  if (args.Has("out")) {
+    std::ofstream out(args.Str("out", ""));
+    out << pricing::SerializePlan(solved->plan);
+    if (!out.good()) {
+      std::cerr << "failed to write " << args.Str("out", "") << "\n";
+      return 2;
+    }
+    std::cout << "\nplan written to " << args.Str("out", "") << "\n";
+  }
+  return 0;
+}
+
+int RunBudget(const Args& args) {
+  const int64_t tasks = static_cast<int64_t>(args.Num("tasks", 0));
+  const double budget = args.Num("budget", -1.0);
+  const double rate = args.Num("rate", 5083.0);
+  const int max_price = static_cast<int>(args.Num("max-price", 50));
+  if (tasks < 1 || budget < 0.0) {
+    std::cerr << "budget requires --tasks >= 1 and --budget >= 0 (cents)\n";
+    return 1;
+  }
+  auto acceptance = Acceptance(args);
+  if (!acceptance.ok()) {
+    std::cerr << acceptance.status() << "\n";
+    return 1;
+  }
+  auto assignment = pricing::SolveBudgetLp(tasks, budget, *acceptance, max_price);
+  if (!assignment.ok()) {
+    std::cerr << assignment.status() << "\n";
+    return 2;
+  }
+  std::cout << "static price assignment (Algorithm 3):\n";
+  for (const auto& alloc : assignment->allocations) {
+    std::cout << StringF("  %lld tasks at %d cents\n",
+                         static_cast<long long>(alloc.count), alloc.price_cents);
+  }
+  std::cout << StringF("committed budget:     %.0f of %.0f cents\n",
+                       assignment->total_cost_cents, budget);
+  std::cout << StringF("E[worker arrivals]:   %.0f\n",
+                       assignment->expected_worker_arrivals);
+  auto latency = assignment->ExpectedLatencyHours(rate);
+  if (latency.ok()) {
+    std::cout << StringF("E[completion time]:   %.1f hours at %.0f workers/hour\n",
+                         *latency, rate);
+  }
+  return 0;
+}
+
+int RunTradeoff(const Args& args) {
+  const double alpha = args.Num("alpha", -1.0);
+  const double rate = args.Num("rate", 5083.0);
+  const int max_price = static_cast<int>(args.Num("max-price", 60));
+  if (alpha < 0.0) {
+    std::cerr << "tradeoff requires --alpha >= 0 (cents per task-hour)\n";
+    return 1;
+  }
+  auto acceptance = Acceptance(args);
+  if (!acceptance.ok()) {
+    std::cerr << acceptance.status() << "\n";
+    return 1;
+  }
+  auto sol = pricing::SolveWorkerArrivalTradeoff(rate, *acceptance, alpha,
+                                                 max_price);
+  if (!sol.ok()) {
+    std::cerr << sol.status() << "\n";
+    return 2;
+  }
+  std::cout << StringF("optimal price:        %d cents\n", sol->price_cents);
+  std::cout << StringF("E[latency per task]:  %.3f hours\n",
+                       sol->expected_latency_per_task);
+  std::cout << StringF("cost + alpha*latency: %.2f cents/task\n",
+                       sol->objective_per_task);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    return Usage();
+  }
+  if (args->command == "deadline") return RunDeadline(*args);
+  if (args->command == "budget") return RunBudget(*args);
+  if (args->command == "tradeoff") return RunTradeoff(*args);
+  std::cerr << "unknown command '" << args->command << "'\n";
+  return Usage();
+}
