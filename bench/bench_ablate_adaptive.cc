@@ -57,13 +57,14 @@ int main() {
   problem.num_intervals = kIntervals;
 
   // Static plan trained on the forecast; oracle trained on the truth.
-  BENCH_ASSIGN(pricing::BoundSolveResult trained,
-               pricing::SolveForExpectedRemaining(problem, believed, actions, 0.2));
-  BENCH_ASSIGN(
-      pricing::BoundSolveResult oracle,
-      pricing::SolveForExpectedRemaining(problem, truth_lambdas, actions, 0.2));
+  const engine::PolicyArtifact trained = bench::SolveOrDie(
+      bench::MakeBoundedDeadlineSpec(problem, believed, actions, 0.2),
+      "trained static plan");
+  const engine::PolicyArtifact oracle = bench::SolveOrDie(
+      bench::MakeBoundedDeadlineSpec(problem, truth_lambdas, actions, 0.2),
+      "oracle plan");
   pricing::DeadlineProblem adaptive_problem = problem;
-  adaptive_problem.penalty_cents = trained.penalty_used;
+  adaptive_problem.penalty_cents = trained.penalty_used();
 
   arrival::PiecewiseConstantRate holiday = [&] {
     auto r = arrival::PiecewiseConstantRate::Constant(
@@ -100,30 +101,30 @@ int main() {
         Rng child = rng.Fork();
         market::SimulationResult result;
         if (mode == 0) {
-          pricing::PlanController ctl = [&] {
-            auto r = pricing::PlanController::Create(&trained.plan, kHorizon);
-            bench::DieOnError(r.status(), "static ctl");
-            return std::move(r).value();
-          }();
+          std::unique_ptr<market::PricingController> ctl;
+          BENCH_ASSIGN(ctl, trained.MakeController(kHorizon));
           BENCH_ASSIGN(result,
-                       market::RunSimulation(sim, rate, acceptance, ctl, child));
+                       market::RunSimulation(sim, rate, acceptance, *ctl, child));
         } else if (mode == 1) {
+          engine::AdaptiveSpec adaptive_spec;
+          adaptive_spec.problem = adaptive_problem;
+          adaptive_spec.believed_lambdas = believed;
+          adaptive_spec.actions = actions;
+          adaptive_spec.horizon_hours = kHorizon;
+          const engine::PolicyArtifact adaptive_art =
+              bench::SolveOrDie(adaptive_spec, "adaptive policy");
           pricing::AdaptiveRateController ctl = [&] {
-            auto r = pricing::AdaptiveRateController::Create(
-                adaptive_problem, believed, actions, kHorizon);
+            auto r = adaptive_art.MakeAdaptiveController();
             bench::DieOnError(r.status(), "adaptive ctl");
             return std::move(r).value();
           }();
           BENCH_ASSIGN(result,
                        market::RunSimulation(sim, rate, acceptance, ctl, child));
         } else {
-          pricing::PlanController ctl = [&] {
-            auto r = pricing::PlanController::Create(&oracle.plan, kHorizon);
-            bench::DieOnError(r.status(), "oracle ctl");
-            return std::move(r).value();
-          }();
+          std::unique_ptr<market::PricingController> ctl;
+          BENCH_ASSIGN(ctl, oracle.MakeController(kHorizon));
           BENCH_ASSIGN(result,
-                       market::RunSimulation(sim, rate, acceptance, ctl, child));
+                       market::RunSimulation(sim, rate, acceptance, *ctl, child));
         }
         rem.Add(static_cast<double>(kTasks - result.tasks_assigned));
         cost.Add(result.total_cost_cents);

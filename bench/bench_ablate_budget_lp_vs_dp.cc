@@ -23,19 +23,23 @@ int main() {
   double worst_speedup = 1e18;
   for (int n : {50, 100, 200}) {
     for (int budget : {n * 8, n * 12, n * 13, n * 20}) {
-      pricing::StaticPriceAssignment lp;
-      BENCH_ASSIGN(lp, pricing::SolveBudgetLp(n, budget, acceptance, 50));
+      const engine::PolicySpec lp_spec =
+          bench::MakeBudgetSpec(n, budget, &acceptance, 50);
+      const engine::PolicySpec dp_spec = bench::MakeBudgetSpec(
+          n, budget, &acceptance, 50, engine::BudgetStaticSpec::Method::kExactDp);
+      pricing::StaticPriceAssignment lp =
+          **bench::SolveOrDie(lp_spec, "LP").budget_assignment();
       // Time the LP over repeated solves (a single call is microseconds and
       // too noisy to compare).
       const auto t0 = std::chrono::steady_clock::now();
       constexpr int kLpReps = 200;
       for (int rep = 0; rep < kLpReps; ++rep) {
-        auto again = pricing::SolveBudgetLp(n, budget, acceptance, 50);
+        auto again = engine::Solve(lp_spec);
         bench::DieOnError(again.status(), "LP repeat");
       }
       const auto t1 = std::chrono::steady_clock::now();
-      pricing::StaticPriceAssignment dp;
-      BENCH_ASSIGN(dp, pricing::SolveBudgetExactDp(n, budget, acceptance, 50));
+      pricing::StaticPriceAssignment dp =
+          **bench::SolveOrDie(dp_spec, "exact DP").budget_assignment();
       const auto t2 = std::chrono::steady_clock::now();
       const double gap =
           lp.expected_worker_arrivals - dp.expected_worker_arrivals;

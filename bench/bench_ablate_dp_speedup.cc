@@ -34,23 +34,20 @@ int main() {
     problem.num_intervals = 24;
     problem.penalty_cents = 200.0;
     const std::vector<double> lambdas(24, 610.0 * n / 200.0);
-    pricing::DeadlinePlan simple = [&] {
-      auto r = pricing::SolveSimpleDp(problem, lambdas, actions);
-      bench::DieOnError(r.status(), "simple");
-      return std::move(r).value();
-    }();
-    pricing::DeadlinePlan improved = [&] {
-      auto r = pricing::SolveImprovedDp(problem, lambdas, actions);
-      bench::DieOnError(r.status(), "improved");
-      return std::move(r).value();
-    }();
-    pricing::DpOptions pruned_opts;
-    pruned_opts.time_monotonicity_pruning = true;
-    pricing::DeadlinePlan pruned = [&] {
-      auto r = pricing::SolveImprovedDp(problem, lambdas, actions, pruned_opts);
-      bench::DieOnError(r.status(), "pruned");
-      return std::move(r).value();
-    }();
+    const engine::PolicyArtifact simple_art = bench::SolveOrDie(
+        bench::MakeDeadlineSpec(problem, lambdas, actions,
+                                engine::DeadlineDpSpec::Algorithm::kSimple),
+        "simple");
+    const engine::PolicyArtifact improved_art = bench::SolveOrDie(
+        bench::MakeDeadlineSpec(problem, lambdas, actions), "improved");
+    engine::DeadlineDpSpec pruned_spec =
+        bench::MakeDeadlineSpec(problem, lambdas, actions);
+    pruned_spec.dp_options.time_monotonicity_pruning = true;
+    const engine::PolicyArtifact pruned_art =
+        bench::SolveOrDie(pruned_spec, "pruned");
+    const pricing::DeadlinePlan& simple = **simple_art.deadline_plan();
+    const pricing::DeadlinePlan& improved = **improved_art.deadline_plan();
+    const pricing::DeadlinePlan& pruned = **pruned_art.deadline_plan();
     bool equal = true;
     for (int t = 0; t < problem.num_intervals && equal; ++t) {
       for (int i = 1; i <= n; ++i) {
@@ -88,5 +85,13 @@ int main() {
                "N = 800");
   bench::Check(speedup_last > speedup_first,
                "the advantage of Algorithm 2 grows with N");
+
+  (void)bench::BenchRecord("ablate_dp_speedup")
+      .Param("N_max", sizes[4])
+      .Param("T", 24)
+      .Param("max_price", 50)
+      .Metric("alg2_eval_speedup_at_nmax", speedup_last)
+      .Label("policy_source", "engine::Solve")
+      .Write();
   return bench::Finish();
 }

@@ -27,25 +27,24 @@ int main() {
   std::cout << "=== Ablation: §6 extensions ===\n\n";
 
   // ---- Multi-type joint vs independent planning ------------------------
-  pricing::JointLogitAcceptance joint = [&] {
-    auto r = pricing::JointLogitAcceptance::Create(10.0, 1.0, 10.0, 1.5, 300.0);
-    bench::DieOnError(r.status(), "joint acceptance");
-    return std::move(r).value();
-  }();
-  pricing::MultiTypeProblem problem;
-  problem.num_tasks_1 = 10;
-  problem.num_tasks_2 = 10;
-  problem.num_intervals = 6;
-  problem.penalty_1_cents = 120.0;
-  problem.penalty_2_cents = 120.0;
-  problem.max_price_cents = 30;
-  problem.price_stride = 2;
+  engine::MultiTypeSpec joint_spec;
+  joint_spec.s1 = 10.0;
+  joint_spec.b1 = 1.0;
+  joint_spec.s2 = 10.0;
+  joint_spec.b2 = 1.5;
+  joint_spec.m = 300.0;
+  joint_spec.problem.num_tasks_1 = 10;
+  joint_spec.problem.num_tasks_2 = 10;
+  joint_spec.problem.num_intervals = 6;
+  joint_spec.problem.penalty_1_cents = 120.0;
+  joint_spec.problem.penalty_2_cents = 120.0;
+  joint_spec.problem.max_price_cents = 30;
+  joint_spec.problem.price_stride = 2;
   const std::vector<double> lambdas(6, 60.0);
-  pricing::MultiTypePlan plan = [&] {
-    auto r = pricing::SolveMultiType(problem, lambdas, joint);
-    bench::DieOnError(r.status(), "joint solve");
-    return std::move(r).value();
-  }();
+  joint_spec.interval_lambdas = lambdas;
+  const engine::PolicyArtifact joint_art =
+      bench::SolveOrDie(joint_spec, "joint solve");
+  const pricing::MultiTypePlan& plan = **joint_art.multitype_plan();
   std::cout << StringF("joint 2-type objective Opt(10,10,0) = %.1f cents\n",
                        plan.TotalObjective());
 
@@ -63,9 +62,9 @@ int main() {
     sp.penalty_cents = 120.0;
     auto actions = pricing::ActionSet::FromPriceGrid(30, acc.value());
     bench::DieOnError(actions.status(), "actions");
-    auto r = pricing::SolveImprovedDp(sp, lambdas, actions.value());
-    bench::DieOnError(r.status(), "single solve");
-    return r.value().TotalObjective();
+    const engine::PolicyArtifact art = bench::SolveOrDie(
+        bench::MakeDeadlineSpec(sp, lambdas, actions.value()), "single solve");
+    return (*art.deadline_plan())->TotalObjective();
   };
   const double naive_sum = single(1.0) + single(1.5);
   std::cout << StringF("sum of naive single-type objectives = %.1f cents "
@@ -112,11 +111,9 @@ int main() {
     qp.num_intervals = 10;
     qp.penalty_cents = 400.0;
     const std::vector<double> qlambdas(10, 9000.0 * k / 3.0);
-    pricing::DeadlinePlan qplan = [&] {
-      auto r = pricing::SolveImprovedDp(qp, qlambdas, actions);
-      bench::DieOnError(r.status(), "qc plan");
-      return std::move(r).value();
-    }();
+    const engine::PolicyArtifact qplan_art = bench::SolveOrDie(
+        bench::MakeDeadlineSpec(qp, qlambdas, actions), "qc plan");
+    const pricing::DeadlinePlan& qplan = **qplan_art.deadline_plan();
     std::vector<double> probs;
     for (const auto& a : qplan.actions().actions()) probs.push_back(a.acceptance);
     Rng rng(55 + k);

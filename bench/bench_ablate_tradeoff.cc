@@ -19,14 +19,27 @@ int main() {
   auto acceptance = choice::LogitAcceptance::Paper2014();
   const double mean_rate = 5083.0;  // workers/hour
 
+  auto solve_tradeoff = [&](engine::TradeoffSpec::Model model, double rate,
+                            double alpha) {
+    engine::TradeoffSpec spec;
+    spec.model = model;
+    spec.rate = rate;
+    spec.acceptance = &acceptance;
+    spec.alpha = alpha;
+    spec.max_price_cents = 50;
+    engine::PolicyArtifact art = bench::SolveOrDie(spec, "tradeoff solve");
+    auto sol = art.tradeoff();
+    bench::DieOnError(sol.status(), "tradeoff payload");
+    return **sol;
+  };
+
   Table table({"alpha (c/h)", "price (c)", "latency/task (h)",
                "cost+alpha*latency"});
   std::vector<int> prices;
   std::vector<double> latencies;
   for (double alpha : {1.0, 5.0, 25.0, 125.0, 625.0, 3125.0}) {
-    pricing::TradeoffSolution sol;
-    BENCH_ASSIGN(sol, pricing::SolveWorkerArrivalTradeoff(mean_rate, acceptance,
-                                                          alpha, 50));
+    const pricing::TradeoffSolution sol = solve_tradeoff(
+        engine::TradeoffSpec::Model::kWorkerArrival, mean_rate, alpha);
     prices.push_back(sol.price_cents);
     latencies.push_back(sol.expected_latency_per_task);
     bench::DieOnError(
@@ -53,11 +66,10 @@ int main() {
   Table table2({"alpha (c/interval)", "price (c)", "intervals/task"});
   bool agree = true;
   for (double alpha : {0.001, 0.01, 0.1}) {
-    pricing::TradeoffSolution fixed;
-    BENCH_ASSIGN(fixed, pricing::SolveFixedRateTradeoff(0.05, acceptance, alpha, 50));
-    pricing::TradeoffSolution arrival;
-    BENCH_ASSIGN(arrival,
-                 pricing::SolveWorkerArrivalTradeoff(0.05, acceptance, alpha, 50));
+    const pricing::TradeoffSolution fixed =
+        solve_tradeoff(engine::TradeoffSpec::Model::kFixedRate, 0.05, alpha);
+    const pricing::TradeoffSolution arrival = solve_tradeoff(
+        engine::TradeoffSpec::Model::kWorkerArrival, 0.05, alpha);
     agree = agree && fixed.price_cents == arrival.price_cents;
     bench::DieOnError(
         table2.AddRow({StringF("%.3f", alpha), StringF("%d", fixed.price_cents),

@@ -31,9 +31,11 @@ int main() {
     problem.num_intervals = kIntervals;
     problem.penalty_cents = 500.0;
     problem.truncation_epsilon = epsilon;
-    auto r = pricing::SolveImprovedDp(problem, lambdas, actions);
-    bench::DieOnError(r.status(), "solve");
-    return std::move(r).value();
+    engine::PolicyArtifact artifact = bench::SolveOrDie(
+        bench::MakeDeadlineSpec(problem, lambdas, actions), "solve");
+    auto plan = artifact.deadline_plan();
+    bench::DieOnError(plan.status(), "plan");
+    return **plan;
   };
 
   const pricing::DeadlinePlan reference = solve(1e-14);

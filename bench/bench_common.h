@@ -5,16 +5,26 @@
 // CHECK line per qualitative claim: the *shape* of the result (who wins,
 // rough factors, crossovers) is asserted; absolute numbers depend on the
 // synthetic marketplace and are reported for inspection only.
+//
+// Policies are obtained exclusively through engine::Solve (SolveOrDie plus
+// the Make*Spec builders below); benches never call the pricing solvers
+// directly. Performance-relevant benches additionally persist a
+// machine-readable BENCH_<name>.json record (BenchRecord) so successive
+// PRs can regress against a perf trajectory.
 
 #ifndef CROWDPRICE_BENCH_BENCH_COMMON_H_
 #define CROWDPRICE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "arrival/trace.h"
+#include "engine/engine.h"
 #include "util/macros.h"
 #include "util/status.h"
 #include "util/stringf.h"
@@ -63,6 +73,160 @@ inline arrival::SyntheticTraceConfig PaperMarketConfig() {
   config.base_rate_per_hour = 5083.0;
   return config;
 }
+
+// ---------------------------------------------------------------------------
+// Engine shortcuts
+// ---------------------------------------------------------------------------
+
+/// engine::Solve or abort with a readable message.
+inline engine::PolicyArtifact SolveOrDie(const engine::PolicySpec& spec,
+                                         const char* what) {
+  auto artifact = engine::Engine::Solve(spec);
+  DieOnError(artifact.status(), what);
+  return std::move(artifact).value();
+}
+
+/// Fixed-penalty deadline spec (penalty lives in problem.penalty_cents).
+inline engine::DeadlineDpSpec MakeDeadlineSpec(
+    const pricing::DeadlineProblem& problem, std::vector<double> lambdas,
+    pricing::ActionSet actions,
+    engine::DeadlineDpSpec::Algorithm algorithm =
+        engine::DeadlineDpSpec::Algorithm::kImproved) {
+  engine::DeadlineDpSpec spec;
+  spec.problem = problem;
+  spec.interval_lambdas = std::move(lambdas);
+  spec.actions = std::move(actions);
+  spec.algorithm = algorithm;
+  return spec;
+}
+
+/// Deadline spec solved through the Theorem 2 penalty bisection.
+inline engine::DeadlineDpSpec MakeBoundedDeadlineSpec(
+    const pricing::DeadlineProblem& problem, std::vector<double> lambdas,
+    pricing::ActionSet actions, double expected_remaining_bound) {
+  engine::DeadlineDpSpec spec =
+      MakeDeadlineSpec(problem, std::move(lambdas), std::move(actions));
+  spec.expected_remaining_bound = expected_remaining_bound;
+  return spec;
+}
+
+/// Fixed-price baseline spec. `acceptance` is borrowed, not owned.
+inline engine::FixedPriceSpec MakeFixedPriceSpec(
+    int num_tasks, std::vector<double> lambdas,
+    const choice::AcceptanceFunction* acceptance, int max_price_cents,
+    engine::FixedPriceSpec::Criterion criterion, double threshold) {
+  engine::FixedPriceSpec spec;
+  spec.num_tasks = num_tasks;
+  spec.interval_lambdas = std::move(lambdas);
+  spec.acceptance = acceptance;
+  spec.max_price_cents = max_price_cents;
+  spec.criterion = criterion;
+  spec.threshold = threshold;
+  return spec;
+}
+
+/// Budget-static spec. `acceptance` is borrowed, not owned.
+inline engine::BudgetStaticSpec MakeBudgetSpec(
+    int64_t num_tasks, double budget_cents,
+    const choice::AcceptanceFunction* acceptance, int max_price_cents,
+    engine::BudgetStaticSpec::Method method =
+        engine::BudgetStaticSpec::Method::kLp) {
+  engine::BudgetStaticSpec spec;
+  spec.num_tasks = num_tasks;
+  spec.budget_cents = budget_cents;
+  spec.acceptance = acceptance;
+  spec.max_price_cents = max_price_cents;
+  spec.method = method;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench records
+// ---------------------------------------------------------------------------
+
+/// One benchmark measurement, persisted as BENCH_<name>.json so future PRs
+/// have a perf trajectory to regress against. Numbers only (params like
+/// N/T/epsilon, metrics like wall seconds / state evaluations) plus string
+/// labels (solver name, mode).
+class BenchRecord {
+ public:
+  explicit BenchRecord(std::string name) : name_(std::move(name)) {}
+
+  BenchRecord& Param(const std::string& key, double value) {
+    params_.emplace_back(key, value);
+    return *this;
+  }
+  BenchRecord& Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+    return *this;
+  }
+  BenchRecord& Label(const std::string& key, std::string value) {
+    labels_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  /// Serializes to one JSON object (stable key order: insertion order).
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += StringF("  \"bench\": \"%s\",\n", Escaped(name_).c_str());
+    out += "  \"params\": {" + Numbers(params_) + "},\n";
+    out += "  \"metrics\": {" + Numbers(metrics_) + "},\n";
+    out += "  \"labels\": {";
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StringF("\"%s\": \"%s\"", Escaped(labels_[i].first).c_str(),
+                     Escaped(labels_[i].second).c_str());
+    }
+    out += "}\n}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into $BENCH_JSON_DIR (default: cwd).
+  Status Write() const {
+    const char* dir = std::getenv("BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir == nullptr || *dir == '\0' ? "." : dir) + "/BENCH_" +
+        name_ + ".json";
+    std::ofstream out(path);
+    out << ToJson();
+    if (!out.good()) {
+      return Status::Internal(StringF("failed to write %s", path.c_str()));
+    }
+    std::cout << "bench record written to " << path << "\n";
+    return Status::OK();
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  static std::string Numbers(
+      const std::vector<std::pair<std::string, double>>& entries) {
+    std::string out;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StringF("\"%s\": %.17g", Escaped(entries[i].first).c_str(),
+                     entries[i].second);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> params_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> labels_;
+};
 
 }  // namespace crowdprice::bench
 

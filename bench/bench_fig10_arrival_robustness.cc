@@ -64,21 +64,28 @@ int main() {
     pricing::DeadlineProblem problem;
     problem.num_tasks = kTasks;
     problem.num_intervals = kIntervals;
-    BENCH_ASSIGN(pricing::BoundSolveResult dyn_trained, pricing::SolveForExpectedRemaining(
-                                  problem, train_lambdas, actions, 0.2));
+    const engine::PolicyArtifact dyn_trained = bench::SolveOrDie(
+        bench::MakeBoundedDeadlineSpec(problem, train_lambdas, actions, 0.2),
+        "trained dynamic policy");
+    const pricing::DeadlinePlan& dyn_plan = **dyn_trained.deadline_plan();
+    const engine::PolicyArtifact fixed_art = bench::SolveOrDie(
+        bench::MakeFixedPriceSpec(kTasks, train_lambdas, &acceptance, 50,
+                                  engine::FixedPriceSpec::Criterion::kQuantile,
+                                  0.999),
+        "trained fixed policy");
     pricing::FixedPriceSolution fixed_trained;
-    BENCH_ASSIGN(fixed_trained,
-                 pricing::SolveFixedForQuantile(kTasks, train_lambdas, acceptance,
-                                                50, 0.999));
+    BENCH_ASSIGN(const pricing::FixedPriceSolution* fixed_ptr,
+                 fixed_art.fixed_price());
+    fixed_trained = *fixed_ptr;
 
     // Evaluate both under the realized test-day rates.
     std::vector<double> probs;
-    for (const auto& a : dyn_trained.plan.actions().actions()) {
+    for (const auto& a : dyn_plan.actions().actions()) {
       probs.push_back(a.acceptance);
     }
     pricing::PolicyEvaluation dyn_eval;
     BENCH_ASSIGN(dyn_eval,
-                 pricing::EvaluatePolicy(dyn_trained.plan, test_lambdas, probs));
+                 pricing::EvaluatePolicy(dyn_plan, test_lambdas, probs));
     pricing::FixedPriceSolution fixed_eval;
     BENCH_ASSIGN(fixed_eval,
                  pricing::EvaluateFixedPrice(fixed_trained.price_cents, kTasks,

@@ -23,8 +23,12 @@ using namespace crowdprice;
 int main() {
   std::cout << "=== Figure 11: fixed-budget completion time distribution ===\n\n";
   auto acceptance = choice::LogitAcceptance::Paper2014();
+  const engine::PolicyArtifact artifact = bench::SolveOrDie(
+      bench::MakeBudgetSpec(200, 2500.0, &acceptance, 50), "budget LP");
   pricing::StaticPriceAssignment assignment;
-  BENCH_ASSIGN(assignment, pricing::SolveBudgetLp(200, 2500.0, acceptance, 50));
+  BENCH_ASSIGN(const pricing::StaticPriceAssignment* assignment_ptr,
+               artifact.budget_assignment());
+  assignment = *assignment_ptr;
   std::cout << "static assignment (Algorithm 3):\n";
   for (const auto& alloc : assignment.allocations) {
     std::cout << StringF("  %lld tasks at %d cents\n",
@@ -51,19 +55,12 @@ int main() {
   std::vector<double> hours;
   const int kReplicates = 400;
   for (int rep = 0; rep < kReplicates; ++rep) {
-    std::vector<market::StaticTierController::Tier> tiers;
-    for (const auto& alloc : assignment.allocations) {
-      tiers.push_back({static_cast<double>(alloc.price_cents), alloc.count});
-    }
-    market::StaticTierController controller = [&] {
-      auto r = market::StaticTierController::Create(tiers);
-      bench::DieOnError(r.status(), "tier controller");
-      return std::move(r).value();
-    }();
+    std::unique_ptr<market::PricingController> controller;
+    BENCH_ASSIGN(controller, artifact.MakeController(sim.horizon_hours));
     Rng child = rng.Fork();
     market::SimulationResult result;
     BENCH_ASSIGN(result, market::RunSimulation(sim, true_rate, acceptance,
-                                               controller, child));
+                                               *controller, child));
     if (!result.finished) {
       std::cerr << "replicate did not finish within 4 days\n";
       return 2;
@@ -102,5 +99,14 @@ int main() {
                "guarantee, as the paper stresses)");
   bench::Check(summary.min() > 12.0,
                "even lucky runs take half a day at these prices");
+
+  (void)bench::BenchRecord("fig11_budget_completion")
+      .Param("N", 200)
+      .Param("budget_cents", 2500)
+      .Param("replicates", kReplicates)
+      .Metric("mean_completion_hours", summary.mean())
+      .Metric("predicted_hours", predicted)
+      .Label("policy_source", "engine::Solve")
+      .Write();
   return bench::Finish();
 }

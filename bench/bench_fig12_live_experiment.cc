@@ -157,24 +157,20 @@ int main() {
   // runs in. The realized campaign therefore finishes ahead of plan.
   const std::vector<double> lambdas(static_cast<size_t>(problem.num_intervals),
                                     full_rate.MeanRate());
-  pricing::DeadlinePlan plan = [&] {
-    auto r = pricing::SolveSimpleDp(problem, lambdas, actions);
-    bench::DieOnError(r.status(), "dynamic grouping DP");
-    return std::move(r).value();
-  }();
+  const engine::PolicyArtifact plan_art = bench::SolveOrDie(
+      bench::MakeDeadlineSpec(problem, lambdas, actions,
+                              engine::DeadlineDpSpec::Algorithm::kSimple),
+      "dynamic grouping DP");
 
   Table dyn_table({"trial", "hours to finish", "cost ($)"});
   stats::RunningStats finish_hours, dyn_cost;
   for (int trial = 0; trial < 5; ++trial) {
-    pricing::PlanController controller = [&] {
-      auto r = pricing::PlanController::Create(&plan, kHorizon);
-      bench::DieOnError(r.status(), "plan controller");
-      return std::move(r).value();
-    }();
+    std::unique_ptr<market::PricingController> controller;
+    BENCH_ASSIGN(controller, plan_art.MakeController(kHorizon));
     Rng child = rng.Fork();
     market::SimulationResult result;
     BENCH_ASSIGN(result, market::RunSimulation(LiveConfig(), rate, acceptance,
-                                               controller, child));
+                                               *controller, child));
     if (!result.finished) {
       std::cerr << "dynamic trial failed to finish\n";
       return 2;

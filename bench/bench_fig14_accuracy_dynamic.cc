@@ -53,11 +53,10 @@ int main() {
   problem.penalty_cents = 2.0;
   std::vector<double> lambdas;
   BENCH_ASSIGN(lambdas, rate.IntervalMeans(14.0, 14));
-  pricing::DeadlinePlan plan = [&] {
-    auto r = pricing::SolveSimpleDp(problem, lambdas, actions);
-    bench::DieOnError(r.status(), "DP");
-    return std::move(r).value();
-  }();
+  const engine::PolicyArtifact plan_art = bench::SolveOrDie(
+      bench::MakeDeadlineSpec(problem, lambdas, actions,
+                              engine::DeadlineDpSpec::Algorithm::kSimple),
+      "DP");
 
   market::SimulatorConfig config;
   config.total_tasks = 5000;
@@ -76,15 +75,12 @@ int main() {
   std::vector<double> trial_means;
   bool split_close = true;
   for (int trial = 1; trial <= 5; ++trial) {
-    pricing::PlanController controller = [&] {
-      auto r = pricing::PlanController::Create(&plan, 14.0);
-      bench::DieOnError(r.status(), "controller");
-      return std::move(r).value();
-    }();
+    std::unique_ptr<market::PricingController> controller;
+    BENCH_ASSIGN(controller, plan_art.MakeController(14.0));
     Rng child = rng.Fork();
     market::SimulationResult result;
     BENCH_ASSIGN(result,
-                 market::RunSimulation(config, rate, acceptance, controller, child));
+                 market::RunSimulation(config, rate, acceptance, *controller, child));
     // Per-worker accuracy, split by the (first) group size the worker saw.
     // Workers whose HITs were small groups vs large groups.
     stats::RunningStats overall, small_g, large_g;

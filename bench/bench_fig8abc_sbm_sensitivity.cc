@@ -38,15 +38,21 @@ Result<double> CostReduction(const choice::LogitAcceptance& acceptance,
   const double bound = 0.2;
   // Fixed first; the dynamic policy then matches the fixed strategy's
   // achieved E[remaining] so the two are directly comparable.
-  CP_ASSIGN_OR_RETURN(pricing::FixedPriceSolution fixed,
-                      pricing::SolveFixedForExpectedRemaining(
-                          kTasks, lambdas, acceptance, kMaxPrice, bound));
   CP_ASSIGN_OR_RETURN(
-      pricing::BoundSolveResult dyn,
-      pricing::SolveForExpectedRemaining(problem, lambdas, actions,
-                                         fixed.expected_remaining));
-  return (fixed.expected_cost_cents - dyn.evaluation.expected_cost_cents) /
-         fixed.expected_cost_cents;
+      engine::PolicyArtifact fixed_art,
+      engine::Solve(bench::MakeFixedPriceSpec(
+          kTasks, lambdas, &acceptance, kMaxPrice,
+          engine::FixedPriceSpec::Criterion::kExpectedRemaining, bound)));
+  CP_ASSIGN_OR_RETURN(const pricing::FixedPriceSolution* fixed,
+                      fixed_art.fixed_price());
+  CP_ASSIGN_OR_RETURN(
+      engine::PolicyArtifact dyn,
+      engine::Solve(bench::MakeBoundedDeadlineSpec(
+          problem, lambdas, std::move(actions), fixed->expected_remaining)));
+  CP_ASSIGN_OR_RETURN(const pricing::PolicyEvaluation* dyn_eval,
+                      dyn.deadline_evaluation());
+  return (fixed->expected_cost_cents - dyn_eval->expected_cost_cents) /
+         fixed->expected_cost_cents;
 }
 
 }  // namespace

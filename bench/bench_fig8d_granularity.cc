@@ -43,18 +43,23 @@ int main() {
     problem.num_tasks = 200;
     problem.num_intervals = intervals;
     const auto start = std::chrono::steady_clock::now();
-    BENCH_ASSIGN(pricing::BoundSolveResult solved,
-                 pricing::SolveForExpectedRemaining(problem, lambdas, actions, 0.5));
+    const engine::PolicyArtifact solved = bench::SolveOrDie(
+        bench::MakeBoundedDeadlineSpec(problem, lambdas, actions, 0.5),
+        "bounded deadline solve");
     const double ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count() /
-        solved.dp_solves;  // per-DP-solve time, comparable across NT
-    prices.push_back(solved.evaluation.average_reward_per_task);
+        solved.dp_solves();  // per-DP-solve time, comparable across NT
+    pricing::PolicyEvaluation eval;
+    BENCH_ASSIGN(const pricing::PolicyEvaluation* eval_ptr,
+                 solved.deadline_evaluation());
+    eval = *eval_ptr;
+    prices.push_back(eval.average_reward_per_task);
     times.push_back(ms);
     bench::DieOnError(
         table.AddRow({StringF("%d", m), StringF("%d", intervals),
-                      StringF("%.2f", solved.evaluation.average_reward_per_task),
+                      StringF("%.2f", eval.average_reward_per_task),
                       StringF("%.2f", ms)}),
         "row");
   }

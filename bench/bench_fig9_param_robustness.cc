@@ -46,8 +46,10 @@ int main() {
   pricing::DeadlineProblem problem;
   problem.num_tasks = kTasks;
   problem.num_intervals = kIntervals;
-  BENCH_ASSIGN(pricing::BoundSolveResult trained,
-               pricing::SolveForExpectedRemaining(problem, lambdas, actions, 0.2));
+  const engine::PolicyArtifact trained_art = bench::SolveOrDie(
+      bench::MakeBoundedDeadlineSpec(problem, lambdas, actions, 0.2),
+      "trained policy");
+  const pricing::DeadlinePlan& trained_plan = **trained_art.deadline_plan();
 
   auto make = [](double s, double b, double m) {
     auto r = choice::LogitAcceptance::Create(s, b, m);
@@ -77,8 +79,8 @@ int main() {
   for (const Scenario& sc : scenarios) {
     const bool stress = sc.label.find("stress") != std::string::npos;
     pricing::PolicyEvaluation dyn;
-    BENCH_ASSIGN(dyn,
-                 pricing::EvaluatePolicyUnderMarket(trained.plan, lambdas, sc.truth));
+    BENCH_ASSIGN(dyn, pricing::EvaluatePolicyUnderMarket(trained_plan, lambdas,
+                                                         sc.truth));
     double fixed_rem[3];
     const int fixed_prices[3] = {12, 14, 16};
     for (int i = 0; i < 3; ++i) {

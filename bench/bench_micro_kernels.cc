@@ -1,22 +1,45 @@
 // Microbenchmarks (google-benchmark) of the computational kernels: Poisson
-// machinery, the DP solvers, the budget hull LP, and the marketplace
-// simulator's event loop.
+// machinery, the DP solvers (serial and thread-pooled), the budget hull LP,
+// and the marketplace simulator's event loop. Policies come from
+// engine::Solve like every other harness.
+//
+// Before the google-benchmark suite runs, main() times one N=2000, T=24
+// deadline solve serial vs parallel, verifies the two plans are
+// bit-identical, and persists BENCH_micro_dp2000.json for the perf
+// trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "arrival/rate_function.h"
+#include "bench_common.h"
 #include "choice/acceptance.h"
 #include "market/controller.h"
 #include "market/simulator.h"
-#include "pricing/budget.h"
-#include "pricing/deadline_dp.h"
 #include "pricing/policy_eval.h"
 #include "stats/convex_hull.h"
 #include "stats/poisson.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace crowdprice {
 namespace {
+
+engine::DeadlineDpSpec DpSpec(int n, engine::DeadlineDpSpec::Algorithm algorithm,
+                              int num_threads) {
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  auto actions = pricing::ActionSet::FromPriceGrid(50, acceptance).value();
+  pricing::DeadlineProblem problem;
+  problem.num_tasks = n;
+  problem.num_intervals = 24;
+  problem.penalty_cents = 200.0;
+  const std::vector<double> lambdas(24, 610.0 * n / 200.0);
+  engine::DeadlineDpSpec spec =
+      bench::MakeDeadlineSpec(problem, lambdas, std::move(actions), algorithm);
+  spec.dp_options.num_threads = num_threads;
+  return spec;
+}
 
 void BM_PoissonPmf(benchmark::State& state) {
   const double lambda = static_cast<double>(state.range(0));
@@ -36,6 +59,21 @@ void BM_MakeTruncatedPoisson(benchmark::State& state) {
 }
 BENCHMARK(BM_MakeTruncatedPoisson)->Arg(5)->Arg(50)->Arg(500);
 
+void BM_TruncatedPoissonCache(benchmark::State& state) {
+  // The DP's access pattern: 51 rates queried once per layer, 24 layers.
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  for (auto _ : state) {
+    stats::TruncatedPoissonCache cache(1e-9);
+    for (int t = 0; t < 24; ++t) {
+      for (int c = 0; c <= 50; ++c) {
+        benchmark::DoNotOptimize(
+            cache.Get(6100.0 * acceptance.ProbabilityAt(c)));
+      }
+    }
+  }
+}
+BENCHMARK(BM_TruncatedPoissonCache)->Unit(benchmark::kMillisecond);
+
 void BM_SamplePoisson(benchmark::State& state) {
   const double lambda = static_cast<double>(state.range(0)) / 10.0;
   Rng rng(1);
@@ -46,36 +84,39 @@ void BM_SamplePoisson(benchmark::State& state) {
 BENCHMARK(BM_SamplePoisson)->Arg(5)->Arg(95)->Arg(105)->Arg(5000);
 
 void BM_SimpleDp(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto acceptance = choice::LogitAcceptance::Paper2014();
-  auto actions = pricing::ActionSet::FromPriceGrid(50, acceptance).value();
-  pricing::DeadlineProblem problem;
-  problem.num_tasks = n;
-  problem.num_intervals = 24;
-  problem.penalty_cents = 200.0;
-  const std::vector<double> lambdas(24, 610.0 * n / 200.0);
+  const engine::DeadlineDpSpec spec =
+      DpSpec(static_cast<int>(state.range(0)),
+             engine::DeadlineDpSpec::Algorithm::kSimple,
+             static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    auto plan = pricing::SolveSimpleDp(problem, lambdas, actions);
-    benchmark::DoNotOptimize(plan);
+    auto artifact = engine::Solve(spec);
+    benchmark::DoNotOptimize(artifact);
   }
 }
-BENCHMARK(BM_SimpleDp)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimpleDp)
+    ->Args({50, 1})
+    ->Args({200, 1})
+    ->Args({2000, 1})
+    ->Args({2000, 0})  // 0 = hardware_concurrency
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ImprovedDp(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto acceptance = choice::LogitAcceptance::Paper2014();
-  auto actions = pricing::ActionSet::FromPriceGrid(50, acceptance).value();
-  pricing::DeadlineProblem problem;
-  problem.num_tasks = n;
-  problem.num_intervals = 24;
-  problem.penalty_cents = 200.0;
-  const std::vector<double> lambdas(24, 610.0 * n / 200.0);
+  const engine::DeadlineDpSpec spec =
+      DpSpec(static_cast<int>(state.range(0)),
+             engine::DeadlineDpSpec::Algorithm::kImproved,
+             static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    auto plan = pricing::SolveImprovedDp(problem, lambdas, actions);
-    benchmark::DoNotOptimize(plan);
+    auto artifact = engine::Solve(spec);
+    benchmark::DoNotOptimize(artifact);
   }
 }
-BENCHMARK(BM_ImprovedDp)->Arg(50)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ImprovedDp)
+    ->Args({50, 1})
+    ->Args({200, 1})
+    ->Args({800, 1})
+    ->Args({2000, 1})
+    ->Args({2000, 0})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EvaluatePolicy(benchmark::State& state) {
   auto acceptance = choice::LogitAcceptance::Paper2014();
@@ -85,7 +126,9 @@ void BM_EvaluatePolicy(benchmark::State& state) {
   problem.num_intervals = 72;
   problem.penalty_cents = 500.0;
   const std::vector<double> lambdas(72, 122000.0 / 72.0);
-  auto plan = pricing::SolveImprovedDp(problem, lambdas, actions).value();
+  const engine::PolicyArtifact artifact = bench::SolveOrDie(
+      bench::MakeDeadlineSpec(problem, lambdas, std::move(actions)), "solve");
+  const pricing::DeadlinePlan& plan = **artifact.deadline_plan();
   for (auto _ : state) {
     auto eval = pricing::EvaluatePolicyNominal(plan);
     benchmark::DoNotOptimize(eval);
@@ -95,8 +138,10 @@ BENCHMARK(BM_EvaluatePolicy)->Unit(benchmark::kMillisecond);
 
 void BM_BudgetLp(benchmark::State& state) {
   auto acceptance = choice::LogitAcceptance::Paper2014();
+  const engine::PolicySpec spec =
+      bench::MakeBudgetSpec(200, 2500.0, &acceptance, 50);
   for (auto _ : state) {
-    auto sol = pricing::SolveBudgetLp(200, 2500.0, acceptance, 50);
+    auto sol = engine::Solve(spec);
     benchmark::DoNotOptimize(sol);
   }
 }
@@ -104,8 +149,10 @@ BENCHMARK(BM_BudgetLp);
 
 void BM_BudgetExactDp(benchmark::State& state) {
   auto acceptance = choice::LogitAcceptance::Paper2014();
+  const engine::PolicySpec spec = bench::MakeBudgetSpec(
+      200, 2500.0, &acceptance, 50, engine::BudgetStaticSpec::Method::kExactDp);
   for (auto _ : state) {
-    auto sol = pricing::SolveBudgetExactDp(200, 2500, acceptance, 50);
+    auto sol = engine::Solve(spec);
     benchmark::DoNotOptimize(sol);
   }
 }
@@ -151,7 +198,58 @@ void BM_NhppSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_NhppSampling)->Unit(benchmark::kMillisecond);
 
+// One headline measurement outside the google-benchmark loop: the N=2000
+// deadline solve, serial vs the shared thread pool, with a bit-identity
+// check between the two plans.
+void RunDp2000Headline() {
+  const int hw = ThreadPool::DefaultThreads();
+  const engine::PolicyArtifact serial = bench::SolveOrDie(
+      DpSpec(2000, engine::DeadlineDpSpec::Algorithm::kSimple, 1), "serial DP");
+  const engine::PolicyArtifact parallel = bench::SolveOrDie(
+      DpSpec(2000, engine::DeadlineDpSpec::Algorithm::kSimple, 0), "parallel DP");
+  const pricing::DeadlinePlan& a = **serial.deadline_plan();
+  const pricing::DeadlinePlan& b = **parallel.deadline_plan();
+  bool identical = true;
+  for (int t = 0; t < a.num_intervals() && identical; ++t) {
+    for (int n = 1; n <= a.num_tasks(); ++n) {
+      if (a.ActionIndexUnchecked(n, t) != b.ActionIndexUnchecked(n, t) ||
+          a.OptUnchecked(n, t) != b.OptUnchecked(n, t)) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  std::printf(
+      "DP N=2000 T=24: serial %.3fs, %d-thread %.3fs (%.2fx), plans %s; "
+      "poisson tables built %lld, reused %lld\n",
+      a.solve_seconds, b.threads_used, b.solve_seconds,
+      b.solve_seconds > 0 ? a.solve_seconds / b.solve_seconds : 0.0,
+      identical ? "bit-identical" : "DIFFERENT (BUG)",
+      static_cast<long long>(b.poisson_tables_built),
+      static_cast<long long>(b.poisson_table_reuses));
+  (void)bench::BenchRecord("micro_dp2000")
+      .Param("N", 2000)
+      .Param("T", 24)
+      .Param("max_price", 50)
+      .Param("hardware_threads", hw)
+      .Metric("serial_seconds", a.solve_seconds)
+      .Metric("parallel_seconds", b.solve_seconds)
+      .Metric("parallel_threads", b.threads_used)
+      .Metric("state_evaluations", static_cast<double>(a.action_evaluations))
+      .Metric("plans_identical", identical ? 1.0 : 0.0)
+      .Label("policy_source", "engine::Solve")
+      .Write();
+  if (!identical) std::exit(3);
+}
+
 }  // namespace
 }  // namespace crowdprice
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  crowdprice::RunDp2000Headline();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,29 +24,37 @@ int main() {
   const choice::LogitAcceptance acceptance = choice::LogitAcceptance::Paper2014();
 
   // ---- Plan: two-price hull solution + exact cross-check ---------------
-  auto lp = pricing::SolveBudgetLp(kTasks, kBudgetCents, acceptance, kMaxPrice);
-  if (!lp.ok()) {
-    std::cerr << lp.status() << "\n";
+  engine::BudgetStaticSpec lp_spec;
+  lp_spec.num_tasks = kTasks;
+  lp_spec.budget_cents = kBudgetCents;
+  lp_spec.acceptance = &acceptance;
+  lp_spec.max_price_cents = kMaxPrice;
+  auto lp_artifact = engine::Solve(lp_spec);
+  if (!lp_artifact.ok()) {
+    std::cerr << lp_artifact.status() << "\n";
     return 1;
   }
+  const pricing::StaticPriceAssignment& lp = **lp_artifact->budget_assignment();
   std::cout << "Algorithm 3 static assignment for $"
             << StringF("%.0f", kBudgetCents / 100.0) << ":\n";
-  for (const auto& alloc : lp->allocations) {
+  for (const auto& alloc : lp.allocations) {
     std::cout << StringF("  %4lld tasks at %d cents\n",
                          static_cast<long long>(alloc.count), alloc.price_cents);
   }
   std::cout << StringF("committed budget: $%.2f of $%.2f\n",
-                       lp->total_cost_cents / 100.0, kBudgetCents / 100.0);
+                       lp.total_cost_cents / 100.0, kBudgetCents / 100.0);
 
-  auto exact = pricing::SolveBudgetExactDp(kTasks, static_cast<int>(kBudgetCents),
-                                           acceptance, kMaxPrice);
+  engine::BudgetStaticSpec exact_spec = lp_spec;
+  exact_spec.method = engine::BudgetStaticSpec::Method::kExactDp;
+  auto exact = engine::Solve(exact_spec);
   if (exact.ok()) {
+    const pricing::StaticPriceAssignment& dp = **exact->budget_assignment();
     std::cout << StringF(
         "hull-LP E[W] = %.0f worker arrivals; exact DP = %.0f (gap %.2f, "
         "Theorem-8 bound %.2f)\n",
-        lp->expected_worker_arrivals, exact->expected_worker_arrivals,
-        lp->expected_worker_arrivals - exact->expected_worker_arrivals,
-        pricing::LpRoundingGapBound(*lp, acceptance).value_or(-1.0));
+        lp.expected_worker_arrivals, dp.expected_worker_arrivals,
+        lp.expected_worker_arrivals - dp.expected_worker_arrivals,
+        pricing::LpRoundingGapBound(lp, acceptance).value_or(-1.0));
   }
 
   // ---- Predict latency --------------------------------------------------
@@ -58,7 +66,7 @@ int main() {
     return 1;
   }
   const double mean_rate = rate->MeanRate();
-  auto predicted = lp->ExpectedLatencyHours(mean_rate);
+  auto predicted = lp.ExpectedLatencyHours(mean_rate);
   if (!predicted.ok()) {
     std::cerr << predicted.status() << "\n";
     return 1;
@@ -78,17 +86,13 @@ int main() {
   std::vector<double> completion_hours;
   const int kReplicates = 60;
   for (int rep = 0; rep < kReplicates; ++rep) {
-    std::vector<market::StaticTierController::Tier> tiers;
-    for (const auto& alloc : lp->allocations) {
-      tiers.push_back({static_cast<double>(alloc.price_cents), alloc.count});
-    }
-    auto controller = market::StaticTierController::Create(tiers);
+    auto controller = lp_artifact->MakeController(sim.horizon_hours);
     if (!controller.ok()) {
       std::cerr << controller.status() << "\n";
       return 1;
     }
     Rng child = rng.Fork();
-    auto run = market::RunSimulation(sim, *rate, acceptance, *controller, child);
+    auto run = market::RunSimulation(sim, *rate, acceptance, **controller, child);
     if (!run.ok()) {
       std::cerr << run.status() << "\n";
       return 1;

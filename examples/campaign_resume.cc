@@ -1,10 +1,11 @@
 // Solve once, persist, and resume a campaign after a controller restart.
 //
 // Production pattern: the MDP solve runs in a batch job; the host that
-// actually talks to the marketplace only loads the policy table and looks
-// up prices. If that host restarts mid-campaign, it reloads the same plan
-// and continues from the observed remaining-task count -- the policy is a
-// function of (remaining, time), so no other state needs recovering.
+// actually talks to the marketplace only loads the policy artifact and
+// looks up prices. If that host restarts mid-campaign, it reloads the same
+// artifact and continues from the observed remaining-task count -- the
+// policy is a function of (remaining, time), so no other state needs
+// recovering.
 
 #include <fstream>
 #include <iostream>
@@ -15,7 +16,7 @@
 using namespace crowdprice;
 
 int main() {
-  const std::string plan_path = "/tmp/crowdprice_campaign.plan";
+  const std::string artifact_path = "/tmp/crowdprice_campaign.artifact";
 
   // ---- Batch job: solve and persist -------------------------------------
   {
@@ -25,64 +26,73 @@ int main() {
       std::cerr << actions.status() << "\n";
       return 1;
     }
-    pricing::DeadlineProblem problem;
-    problem.num_tasks = 300;
-    problem.num_intervals = 48;
-    std::vector<double> lambdas(48, 3800.0);
-    auto solved =
-        pricing::SolveForExpectedRemaining(problem, lambdas, *actions, 0.25);
-    if (!solved.ok()) {
-      std::cerr << solved.status() << "\n";
+    engine::DeadlineDpSpec spec;
+    spec.problem.num_tasks = 300;
+    spec.problem.num_intervals = 48;
+    spec.interval_lambdas.assign(48, 3800.0);
+    spec.actions = std::move(actions).value();
+    spec.expected_remaining_bound = 0.25;
+    auto artifact = engine::Solve(spec);
+    if (!artifact.ok()) {
+      std::cerr << artifact.status() << "\n";
       return 1;
     }
-    std::ofstream out(plan_path);
-    out << pricing::SerializePlan(solved->plan);
+    auto serialized = artifact->Serialize();
+    if (!serialized.ok()) {
+      std::cerr << serialized.status() << "\n";
+      return 1;
+    }
+    std::ofstream out(artifact_path);
+    out << *serialized;
     if (!out.good()) {
-      std::cerr << "failed to write " << plan_path << "\n";
+      std::cerr << "failed to write " << artifact_path << "\n";
+      return 1;
+    }
+    auto eval = artifact->Evaluate();
+    if (!eval.ok()) {
+      std::cerr << eval.status() << "\n";
       return 1;
     }
     std::cout << StringF(
         "solved and persisted: N=300, 48 intervals, expected cost %.0f c, "
         "E[remaining] %.3f\n",
-        solved->evaluation.expected_cost_cents,
-        solved->evaluation.expected_remaining);
+        eval->expected_cost_cents, eval->expected_remaining);
   }
 
   // ---- Controller host: load and drive -----------------------------------
-  std::ifstream in(plan_path);
+  std::ifstream in(artifact_path);
   std::stringstream buffer;
   buffer << in.rdbuf();
-  auto plan = pricing::DeserializePlan(buffer.str());
-  if (!plan.ok()) {
-    std::cerr << "reload failed: " << plan.status() << "\n";
+  auto artifact = engine::PolicyArtifact::Deserialize(buffer.str());
+  if (!artifact.ok()) {
+    std::cerr << "reload failed: " << artifact.status() << "\n";
     return 1;
   }
-  std::cout << "reloaded plan from " << plan_path << "\n";
+  auto plan_ptr = artifact->deadline_plan();
+  if (!plan_ptr.ok()) {
+    std::cerr << plan_ptr.status() << "\n";
+    return 1;
+  }
+  const pricing::DeadlinePlan& plan = **plan_ptr;
+  std::cout << "reloaded artifact from " << artifact_path << "\n";
 
   // Simulate the first half of the campaign, "crash", reload (above), and
   // finish the second half with a fresh controller instance.
   auto acceptance = choice::LogitAcceptance::Paper2014();
-  auto rate = arrival::PiecewiseConstantRate::Constant(3800.0 * 48.0 / 24.0, 24.0);
-  if (!rate.ok()) {
-    std::cerr << rate.status() << "\n";
-    return 1;
-  }
   // The plan's 48 intervals span a 24 h campaign: 30-minute decisions.
   const double horizon = 24.0;
 
   // First half: intervals 0..23.
-  int64_t remaining = plan->num_tasks();
+  int64_t remaining = plan.num_tasks();
   double paid = 0.0;
   Rng rng(2026);
-  std::vector<double> probs;
-  for (const auto& a : plan->actions().actions()) probs.push_back(a.acceptance);
   for (int t = 0; t < 24 && remaining > 0; ++t) {
-    auto action = plan->ActionAt(static_cast<int>(remaining), t);
+    auto action = plan.ActionAt(static_cast<int>(remaining), t);
     if (!action.ok()) {
       std::cerr << action.status() << "\n";
       return 1;
     }
-    const double mu = plan->interval_lambdas()[static_cast<size_t>(t)] *
+    const double mu = plan.interval_lambdas()[static_cast<size_t>(t)] *
                       action->acceptance;
     const int done = std::min<int64_t>(stats::SamplePoisson(rng, mu), remaining);
     paid += done * action->cost_per_task_cents;
@@ -92,21 +102,21 @@ int main() {
       "midnight restart: %lld tasks remain, %.0f cents paid so far\n",
       static_cast<long long>(remaining), paid);
 
-  // "Restart": a brand-new controller built from the reloaded plan picks up
-  // at wall-clock hour 12 with the observed remaining count.
-  auto controller = pricing::PlanController::Create(&*plan, horizon);
+  // "Restart": a brand-new controller built from the reloaded artifact
+  // picks up at wall-clock hour 12 with the observed remaining count.
+  auto controller = artifact->MakeController(horizon);
   if (!controller.ok()) {
     std::cerr << controller.status() << "\n";
     return 1;
   }
   for (int t = 24; t < 48 && remaining > 0; ++t) {
-    auto offer = controller->Decide(t * horizon / 48.0, remaining);
+    auto offer = (*controller)->Decide(t * horizon / 48.0, remaining);
     if (!offer.ok()) {
       std::cerr << offer.status() << "\n";
       return 1;
     }
     const double p = acceptance.ProbabilityAt(offer->per_task_reward_cents);
-    const double mu = plan->interval_lambdas()[static_cast<size_t>(t)] * p;
+    const double mu = plan.interval_lambdas()[static_cast<size_t>(t)] * p;
     const int done = std::min<int64_t>(stats::SamplePoisson(rng, mu), remaining);
     paid += done * offer->per_task_reward_cents;
     remaining -= done;
@@ -114,6 +124,6 @@ int main() {
   std::cout << StringF(
       "campaign end: %lld unfinished, total paid %.0f cents (avg %.2f c/task)\n",
       static_cast<long long>(remaining), paid,
-      paid / static_cast<double>(plan->num_tasks() - remaining));
+      paid / static_cast<double>(plan.num_tasks() - remaining));
   return remaining == 0 ? 0 : 1;
 }

@@ -90,18 +90,26 @@ int main() {
     }
 
     // 2. Solve for this batch: at most 0.25 expected unreviewed images.
-    pricing::DeadlineProblem problem;
-    problem.num_tasks = batch;
-    problem.num_intervals = kIntervals;
-    auto solved = pricing::SolveForExpectedRemaining(problem, *lambdas,
-                                                     *actions_r, 0.25);
+    // Both desks are PolicySpecs solved by the same engine.
+    engine::DeadlineDpSpec dyn_spec;
+    dyn_spec.problem.num_tasks = batch;
+    dyn_spec.problem.num_intervals = kIntervals;
+    dyn_spec.interval_lambdas = *lambdas;
+    dyn_spec.actions = *actions_r;
+    dyn_spec.expected_remaining_bound = 0.25;
+    auto solved = engine::Solve(dyn_spec);
     if (!solved.ok()) {
       std::cerr << "night " << night << ": " << solved.status() << "\n";
       return 1;
     }
-    auto fixed = pricing::SolveFixedForExpectedRemaining(batch, *lambdas,
-                                                         acceptance, kMaxPrice,
-                                                         0.25);
+    engine::FixedPriceSpec fixed_spec;
+    fixed_spec.num_tasks = batch;
+    fixed_spec.interval_lambdas = *lambdas;
+    fixed_spec.acceptance = &acceptance;
+    fixed_spec.max_price_cents = kMaxPrice;
+    fixed_spec.criterion = engine::FixedPriceSpec::Criterion::kExpectedRemaining;
+    fixed_spec.threshold = 0.25;
+    auto fixed = engine::Solve(fixed_spec);
     if (!fixed.ok()) {
       std::cerr << "night " << night << ": " << fixed.status() << "\n";
       return 1;
@@ -120,19 +128,22 @@ int main() {
     sim.horizon_hours = kNightHours;
     sim.decision_interval_hours = kNightHours / kIntervals;
     sim.service_minutes_per_task = 1.5;
-    auto controller = pricing::PlanController::Create(&solved->plan, kNightHours);
+    auto controller = solved->MakeController(kNightHours);
     if (!controller.ok()) {
       std::cerr << controller.status() << "\n";
       return 1;
     }
+    auto fixed_controller = fixed->MakeController(kNightHours);
+    if (!fixed_controller.ok()) {
+      std::cerr << fixed_controller.status() << "\n";
+      return 1;
+    }
     Rng dyn_rng = rng.Fork();
     Rng fix_rng = dyn_rng;  // identical stream for a paired comparison
-    auto run = market::RunSimulation(sim, *live_rate, acceptance, *controller,
+    auto run = market::RunSimulation(sim, *live_rate, acceptance, **controller,
                                      dyn_rng);
-    market::FixedOfferController fixed_controller(
-        market::Offer{static_cast<double>(fixed->price_cents), 1});
     auto fixed_run = market::RunSimulation(sim, *live_rate, acceptance,
-                                           fixed_controller, fix_rng);
+                                           **fixed_controller, fix_rng);
     if (!run.ok() || !fixed_run.ok()) {
       std::cerr << run.status() << " / " << fixed_run.status() << "\n";
       return 1;

@@ -17,30 +17,29 @@ using namespace crowdprice;
 int main() {
   // Joint conditional-logit acceptance: categorization (type 1) is less
   // intrinsically attractive (higher bias) than proofreading (type 2).
-  auto joint_r = pricing::JointLogitAcceptance::Create(
-      /*s1=*/10.0, /*b1=*/1.6, /*s2=*/10.0, /*b2=*/1.0, /*m=*/250.0);
-  if (!joint_r.ok()) {
-    std::cerr << joint_r.status() << "\n";
-    return 1;
-  }
-  const pricing::JointLogitAcceptance& joint = *joint_r;
-
-  pricing::MultiTypeProblem problem;
-  problem.num_tasks_1 = 15;
-  problem.num_tasks_2 = 15;
-  problem.num_intervals = 8;   // hourly decisions over an 8-hour workday
-  problem.penalty_1_cents = 200.0;
-  problem.penalty_2_cents = 150.0;  // proofreading misses are less costly
-  problem.max_price_cents = 30;
-  problem.price_stride = 2;
+  engine::MultiTypeSpec spec;
+  spec.s1 = 10.0;
+  spec.b1 = 1.6;
+  spec.s2 = 10.0;
+  spec.b2 = 1.0;
+  spec.m = 250.0;
+  spec.problem.num_tasks_1 = 15;
+  spec.problem.num_tasks_2 = 15;
+  spec.problem.num_intervals = 8;   // hourly decisions over an 8-hour workday
+  spec.problem.penalty_1_cents = 200.0;
+  spec.problem.penalty_2_cents = 150.0;  // proofreading misses are less costly
+  spec.problem.max_price_cents = 30;
+  spec.problem.price_stride = 2;
 
   const std::vector<double> lambdas(8, 80.0);  // 80 workers/hour see the posts
-  auto plan_r = pricing::SolveMultiType(problem, lambdas, joint);
-  if (!plan_r.ok()) {
-    std::cerr << plan_r.status() << "\n";
+  spec.interval_lambdas = lambdas;
+  const pricing::MultiTypeProblem& problem = spec.problem;
+  auto artifact = engine::Solve(spec);
+  if (!artifact.ok()) {
+    std::cerr << artifact.status() << "\n";
     return 1;
   }
-  const pricing::MultiTypePlan& plan = *plan_r;
+  const pricing::MultiTypePlan& plan = **artifact->multitype_plan();
 
   std::cout << StringF("expected total objective: %.0f cents\n\n",
                        plan.TotalObjective());
@@ -93,14 +92,17 @@ int main() {
   auto naive = [&](double bias, double penalty) -> double {
     auto acc = choice::LogitAcceptance::Create(10.0, bias, 250.0 + 1.0);
     if (!acc.ok()) return -1.0;
-    pricing::DeadlineProblem sp;
-    sp.num_tasks = 15;
-    sp.num_intervals = 8;
-    sp.penalty_cents = penalty;
+    engine::DeadlineDpSpec single;
+    single.problem.num_tasks = 15;
+    single.problem.num_intervals = 8;
+    single.problem.penalty_cents = penalty;
+    single.interval_lambdas = lambdas;
     auto actions = pricing::ActionSet::FromPriceGrid(30, *acc);
     if (!actions.ok()) return -1.0;
-    auto solved = pricing::SolveImprovedDp(sp, lambdas, *actions);
-    return solved.ok() ? solved->TotalObjective() : -1.0;
+    single.actions = std::move(actions).value();
+    auto solved = engine::Solve(single);
+    if (!solved.ok()) return -1.0;
+    return (*solved->deadline_plan())->TotalObjective();
   };
   const double naive_total = naive(1.6, 200.0) + naive(1.0, 150.0);
   std::cout << StringF(

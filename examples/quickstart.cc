@@ -2,7 +2,8 @@
 //
 // This walks the minimal end-to-end flow:
 //   1. describe the marketplace (worker arrival rate + acceptance model);
-//   2. solve the deadline MDP for a dynamic pricing policy;
+//   2. describe the policy you want (a PolicySpec) and let the engine
+//      solve it into a PolicyArtifact;
 //   3. inspect the policy and its predicted performance;
 //   4. run one simulated campaign with the policy in the loop.
 //
@@ -30,12 +31,12 @@ int main() {
 
   // ---------------------------------------------------------------- 2.
   // 200 tasks, 24-hour deadline, repricing every 20 minutes, prices from
-  // the integer grid 0..50 cents. Ask for at most 0.5 expected unfinished
-  // tasks; the library finds the matching penalty (Theorem 2) and solves
+  // the integer grid 0..50 cents. Ask for at most 0.1 expected unfinished
+  // tasks; the engine finds the matching penalty (Theorem 2) and solves
   // the MDP with the monotone divide-and-conquer DP (Algorithm 2).
-  pricing::DeadlineProblem problem;
-  problem.num_tasks = 200;
-  problem.num_intervals = 72;
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = 200;
+  spec.problem.num_intervals = 72;
   const double horizon_hours = 24.0;
 
   auto actions = pricing::ActionSet::FromPriceGrid(50, acceptance);
@@ -43,28 +44,41 @@ int main() {
     std::cerr << actions.status() << "\n";
     return 1;
   }
-  auto lambdas = rate.IntervalMeans(horizon_hours, problem.num_intervals);
+  spec.actions = std::move(actions).value();
+  auto lambdas = rate.IntervalMeans(horizon_hours, spec.problem.num_intervals);
   if (!lambdas.ok()) {
     std::cerr << lambdas.status() << "\n";
     return 1;
   }
-  auto solved = pricing::SolveForExpectedRemaining(problem, *lambdas,
-                                                   *actions, /*bound=*/0.1);
-  if (!solved.ok()) {
-    std::cerr << solved.status() << "\n";
+  spec.interval_lambdas = std::move(lambdas).value();
+  spec.expected_remaining_bound = 0.1;
+
+  auto artifact = engine::Solve(spec);
+  if (!artifact.ok()) {
+    std::cerr << artifact.status() << "\n";
     return 1;
   }
 
   // ---------------------------------------------------------------- 3.
+  auto eval = artifact->Evaluate();
+  if (!eval.ok()) {
+    std::cerr << eval.status() << "\n";
+    return 1;
+  }
+  auto plan_ptr = artifact->deadline_plan();
+  if (!plan_ptr.ok()) {
+    std::cerr << plan_ptr.status() << "\n";
+    return 1;
+  }
+  const pricing::DeadlinePlan& plan = **plan_ptr;
   std::cout << "== plan ==\n";
   std::cout << StringF("expected cost:       %.0f cents\n",
-                       solved->evaluation.expected_cost_cents);
+                       eval->expected_cost_cents);
   std::cout << StringF("avg reward per task: %.2f cents\n",
-                       solved->evaluation.average_reward_per_task);
-  std::cout << StringF("E[unfinished tasks]: %.3f\n",
-                       solved->evaluation.expected_remaining);
+                       eval->average_reward_per_task);
+  std::cout << StringF("E[unfinished tasks]: %.3f\n", eval->expected_remaining);
   std::cout << StringF("Pr[all done]:        %.4f\n",
-                       1.0 - solved->evaluation.prob_unfinished);
+                       1.0 - eval->prob_unfinished);
 
   std::cout << "\nprice schedule (selected states):\n  ";
   for (int n : {200, 150, 100, 50, 10}) {
@@ -74,39 +88,46 @@ int main() {
   for (int t : {0, 24, 48, 71}) {
     std::cout << StringF("t=%2d: ", t);
     for (int n : {200, 150, 100, 50, 10}) {
-      std::cout << StringF("%3.0fc  ", solved->plan.PriceAt(n, t).value_or(-1));
+      std::cout << StringF("%3.0fc  ", plan.PriceAt(n, t).value_or(-1));
     }
     std::cout << "\n";
   }
 
   // For reference: the best any strategy could average (§5.2.1) and what a
-  // fixed price needs for a 99.9% finish guarantee.
-  auto c0 = pricing::TheoreticalMinimumPrice(problem.num_tasks, *lambdas,
-                                             acceptance, 50);
-  auto fixed = pricing::SolveFixedForQuantile(problem.num_tasks, *lambdas,
-                                              acceptance, 50, 0.999);
+  // fixed price needs for a 99.9% finish guarantee (another PolicySpec,
+  // same engine).
+  auto c0 = pricing::TheoreticalMinimumPrice(spec.problem.num_tasks,
+                                             spec.interval_lambdas, acceptance, 50);
+  engine::FixedPriceSpec fixed_spec;
+  fixed_spec.num_tasks = spec.problem.num_tasks;
+  fixed_spec.interval_lambdas = spec.interval_lambdas;
+  fixed_spec.acceptance = &acceptance;
+  fixed_spec.max_price_cents = 50;
+  fixed_spec.criterion = engine::FixedPriceSpec::Criterion::kQuantile;
+  fixed_spec.threshold = 0.999;
+  auto fixed = engine::Solve(fixed_spec);
   if (c0.ok() && fixed.ok()) {
     std::cout << StringF(
         "\ntheoretical floor c0 = %d cents; fixed price for 99.9%% = %d cents\n",
-        *c0, fixed->price_cents);
+        *c0, (*fixed->fixed_price())->price_cents);
   }
 
   // ---------------------------------------------------------------- 4.
   // One simulated campaign: the controller reads the remaining-task count
   // every 20 minutes and posts the policy's price.
   market::SimulatorConfig sim;
-  sim.total_tasks = problem.num_tasks;
+  sim.total_tasks = spec.problem.num_tasks;
   sim.horizon_hours = horizon_hours;
-  sim.decision_interval_hours = horizon_hours / problem.num_intervals;
+  sim.decision_interval_hours = horizon_hours / spec.problem.num_intervals;
   sim.service_minutes_per_task = 2.0;
 
-  auto controller = pricing::PlanController::Create(&solved->plan, horizon_hours);
+  auto controller = artifact->MakeController(horizon_hours);
   if (!controller.ok()) {
     std::cerr << controller.status() << "\n";
     return 1;
   }
   Rng rng(13);
-  auto run = market::RunSimulation(sim, rate, acceptance, *controller, rng);
+  auto run = market::RunSimulation(sim, rate, acceptance, **controller, rng);
   if (!run.ok()) {
     std::cerr << run.status() << "\n";
     return 1;

@@ -18,21 +18,34 @@ int main() {
   constexpr double kMeanRatePerHour = 5083.0;
   constexpr int kMaxPrice = 60;
 
+  // Every operating point is one TradeoffSpec solved by the engine.
+  auto solve_tradeoff = [&](engine::TradeoffSpec::Model model, double rate,
+                            double alpha) {
+    engine::TradeoffSpec spec;
+    spec.model = model;
+    spec.rate = rate;
+    spec.acceptance = &acceptance;
+    spec.alpha = alpha;
+    spec.max_price_cents = kMaxPrice;
+    return engine::Solve(spec);
+  };
+
   Table frontier({"alpha (c per task-hour)", "price (c)", "hours/task",
                   "cost+delay (c/task)"});
   std::cout << "Cost/latency frontier (worker-arrival model, lambda-bar = "
             << StringF("%.0f", kMeanRatePerHour) << "/h):\n\n";
   for (double alpha : {0.5, 2.0, 8.0, 32.0, 128.0, 512.0, 2048.0}) {
-    auto sol = pricing::SolveWorkerArrivalTradeoff(kMeanRatePerHour, acceptance,
-                                                   alpha, kMaxPrice);
-    if (!sol.ok()) {
-      std::cerr << sol.status() << "\n";
+    auto artifact = solve_tradeoff(engine::TradeoffSpec::Model::kWorkerArrival,
+                                   kMeanRatePerHour, alpha);
+    if (!artifact.ok()) {
+      std::cerr << artifact.status() << "\n";
       return 1;
     }
+    const pricing::TradeoffSolution& sol = **artifact->tradeoff();
     (void)frontier.AddRow({StringF("%.1f", alpha),
-                           StringF("%d", sol->price_cents),
-                           StringF("%.3f", sol->expected_latency_per_task),
-                           StringF("%.2f", sol->objective_per_task)});
+                           StringF("%d", sol.price_cents),
+                           StringF("%.3f", sol.expected_latency_per_task),
+                           StringF("%.2f", sol.objective_per_task)});
   }
   frontier.Print(std::cout);
 
@@ -40,19 +53,20 @@ int main() {
   // the flatness around the optimum is visible (useful when the team wants
   // a "round" price near the optimum).
   const double alpha = 32.0;
-  auto sol = pricing::SolveWorkerArrivalTradeoff(kMeanRatePerHour, acceptance,
-                                                 alpha, kMaxPrice);
-  if (!sol.ok()) {
-    std::cerr << sol.status() << "\n";
+  auto zoom = solve_tradeoff(engine::TradeoffSpec::Model::kWorkerArrival,
+                             kMeanRatePerHour, alpha);
+  if (!zoom.ok()) {
+    std::cerr << zoom.status() << "\n";
     return 1;
   }
+  const pricing::TradeoffSolution& sol = **zoom->tradeoff();
   std::cout << StringF(
       "\nobjective curve at alpha = %.0f (optimum %d cents marked *):\n",
-      alpha, sol->price_cents);
+      alpha, sol.price_cents);
   for (int c = 0; c <= kMaxPrice; c += 4) {
-    const double v = sol->objective_curve[static_cast<size_t>(c)];
+    const double v = sol.objective_curve[static_cast<size_t>(c)];
     std::cout << StringF("  c=%2d  %8.2f %s\n", c, v,
-                         c == sol->price_cents ? "*" : "");
+                         c == sol.price_cents ? "*" : "");
   }
 
   // The same question under the fixed-rate MDP discretization (§6's first
@@ -63,17 +77,18 @@ int main() {
   const double intervals_per_hour = 360.0;
   const double lambda_per_interval = kMeanRatePerHour / intervals_per_hour;
   for (double alpha_hour : {0.5, 32.0, 512.0}) {
-    auto fr = pricing::SolveFixedRateTradeoff(
-        lambda_per_interval, acceptance, alpha_hour / intervals_per_hour,
-        kMaxPrice);
+    auto fr = solve_tradeoff(engine::TradeoffSpec::Model::kFixedRate,
+                             lambda_per_interval,
+                             alpha_hour / intervals_per_hour);
     if (!fr.ok()) {
       std::cerr << fr.status() << "\n";
       return 1;
     }
+    const pricing::TradeoffSolution& frs = **fr->tradeoff();
     std::cout << StringF(
         "  alpha = %5.1f c/task-hour -> price %2d c, %5.2f hours/task\n",
-        alpha_hour, fr->price_cents,
-        fr->expected_latency_per_task / intervals_per_hour);
+        alpha_hour, frs.price_cents,
+        frs.expected_latency_per_task / intervals_per_hour);
   }
   return 0;
 }

@@ -17,6 +17,10 @@
 #include "choice/acceptance.h"      // IWYU pragma: export
 #include "choice/calibration.h"     // IWYU pragma: export
 #include "choice/utility_model.h"   // IWYU pragma: export
+#include "engine/engine.h"          // IWYU pragma: export
+#include "engine/policy_artifact.h" // IWYU pragma: export
+#include "engine/policy_spec.h"     // IWYU pragma: export
+#include "engine/solver_registry.h" // IWYU pragma: export
 #include "market/controller.h"      // IWYU pragma: export
 #include "market/simulator.h"       // IWYU pragma: export
 #include "market/types.h"           // IWYU pragma: export

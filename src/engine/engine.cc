@@ -1,0 +1,212 @@
+#include "engine/engine.h"
+
+#include <utility>
+
+#include "pricing/budget.h"
+#include "pricing/deadline_dp.h"
+#include "pricing/fixed_price.h"
+#include "pricing/multitype.h"
+#include "pricing/penalty_search.h"
+#include "pricing/policy_eval.h"
+#include "pricing/tradeoff.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::engine {
+
+namespace {
+
+Result<PolicyArtifact> SolveDeadline(const PolicySpec& spec) {
+  const auto& s = spec.get<DeadlineDpSpec>();
+  if (!s.actions.has_value()) {
+    return Status::InvalidArgument("DeadlineDpSpec.actions is required");
+  }
+  if (s.expected_remaining_bound.has_value()) {
+    // Theorem 2 penalty bisection; the inner solves honor the spec's
+    // algorithm choice (kSimple is required for bundled action sets).
+    pricing::BoundSolveOptions options = s.bound_options;
+    options.dp_options = s.dp_options;
+    options.use_simple_dp = s.algorithm == DeadlineDpSpec::Algorithm::kSimple;
+    CP_ASSIGN_OR_RETURN(
+        pricing::BoundSolveResult bound,
+        pricing::SolveForExpectedRemaining(s.problem, s.interval_lambdas,
+                                           *s.actions,
+                                           *s.expected_remaining_bound, options));
+    return PolicyArtifact(DeadlinePolicy{std::move(bound.plan),
+                                         bound.penalty_used, bound.dp_solves,
+                                         std::move(bound.evaluation)});
+  }
+  Result<pricing::DeadlinePlan> plan =
+      s.algorithm == DeadlineDpSpec::Algorithm::kSimple
+          ? pricing::SolveSimpleDp(s.problem, s.interval_lambdas, *s.actions,
+                                   s.dp_options)
+          : pricing::SolveImprovedDp(s.problem, s.interval_lambdas, *s.actions,
+                                     s.dp_options);
+  CP_RETURN_IF_ERROR(plan.status());
+  return PolicyArtifact(DeadlinePolicy{std::move(plan).value(),
+                                       s.problem.penalty_cents, 1,
+                                       std::nullopt});
+}
+
+Result<PolicyArtifact> SolveBudgetStatic(const PolicySpec& spec) {
+  const auto& s = spec.get<BudgetStaticSpec>();
+  if (s.acceptance == nullptr) {
+    return Status::InvalidArgument("BudgetStaticSpec.acceptance is required");
+  }
+  if (s.method == BudgetStaticSpec::Method::kExactDp) {
+    CP_ASSIGN_OR_RETURN(
+        pricing::StaticPriceAssignment assignment,
+        pricing::SolveBudgetExactDp(static_cast<int>(s.num_tasks),
+                                    static_cast<int>(s.budget_cents),
+                                    *s.acceptance, s.max_price_cents));
+    return PolicyArtifact(std::move(assignment));
+  }
+  CP_ASSIGN_OR_RETURN(pricing::StaticPriceAssignment assignment,
+                      pricing::SolveBudgetLp(s.num_tasks, s.budget_cents,
+                                             *s.acceptance, s.max_price_cents));
+  return PolicyArtifact(std::move(assignment));
+}
+
+Result<PolicyArtifact> SolveFixedPrice(const PolicySpec& spec) {
+  const auto& s = spec.get<FixedPriceSpec>();
+  if (s.acceptance == nullptr) {
+    return Status::InvalidArgument("FixedPriceSpec.acceptance is required");
+  }
+  Result<pricing::FixedPriceSolution> solution = Status::OK();
+  switch (s.criterion) {
+    case FixedPriceSpec::Criterion::kExpectedCompletion:
+      solution = pricing::SolveFixedForExpectedCompletion(
+          s.num_tasks, s.interval_lambdas, *s.acceptance, s.max_price_cents);
+      break;
+    case FixedPriceSpec::Criterion::kQuantile:
+      solution = pricing::SolveFixedForQuantile(s.num_tasks, s.interval_lambdas,
+                                                *s.acceptance, s.max_price_cents,
+                                                s.threshold);
+      break;
+    case FixedPriceSpec::Criterion::kExpectedRemaining:
+      solution = pricing::SolveFixedForExpectedRemaining(
+          s.num_tasks, s.interval_lambdas, *s.acceptance, s.max_price_cents,
+          s.threshold);
+      break;
+  }
+  CP_RETURN_IF_ERROR(solution.status());
+  return PolicyArtifact(std::move(solution).value());
+}
+
+Result<PolicyArtifact> SolveAdaptive(const PolicySpec& spec) {
+  const auto& s = spec.get<AdaptiveSpec>();
+  if (!s.actions.has_value()) {
+    return Status::InvalidArgument("AdaptiveSpec.actions is required");
+  }
+  // Validate eagerly so a bad spec fails at Solve time, not mid-campaign.
+  CP_RETURN_IF_ERROR(pricing::AdaptiveRateController::Create(
+                         s.problem, s.believed_lambdas, *s.actions,
+                         s.horizon_hours, s.options)
+                         .status());
+  return PolicyArtifact(AdaptivePolicy{s.problem, s.believed_lambdas,
+                                       *s.actions, s.horizon_hours, s.options});
+}
+
+Result<PolicyArtifact> SolveMultiTypeSpec(const PolicySpec& spec) {
+  const auto& s = spec.get<MultiTypeSpec>();
+  CP_ASSIGN_OR_RETURN(
+      pricing::JointLogitAcceptance joint,
+      pricing::JointLogitAcceptance::Create(s.s1, s.b1, s.s2, s.b2, s.m));
+  CP_ASSIGN_OR_RETURN(pricing::MultiTypePlan plan,
+                      pricing::SolveMultiType(s.problem, s.interval_lambdas,
+                                              joint));
+  return PolicyArtifact(std::move(plan));
+}
+
+Result<PolicyArtifact> SolveTradeoff(const PolicySpec& spec) {
+  const auto& s = spec.get<TradeoffSpec>();
+  if (s.acceptance == nullptr) {
+    return Status::InvalidArgument("TradeoffSpec.acceptance is required");
+  }
+  Result<pricing::TradeoffSolution> solution =
+      s.model == TradeoffSpec::Model::kFixedRate
+          ? pricing::SolveFixedRateTradeoff(s.rate, *s.acceptance, s.alpha,
+                                            s.max_price_cents,
+                                            s.two_completion_tolerance)
+          : pricing::SolveWorkerArrivalTradeoff(s.rate, *s.acceptance, s.alpha,
+                                                s.max_price_cents);
+  CP_RETURN_IF_ERROR(solution.status());
+  return PolicyArtifact(std::move(solution).value());
+}
+
+}  // namespace
+
+const char* KindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDeadlineDp: return "deadline-dp";
+    case PolicyKind::kBudgetStatic: return "budget-static";
+    case PolicyKind::kFixedPrice: return "fixed-price";
+    case PolicyKind::kAdaptive: return "adaptive";
+    case PolicyKind::kMultiType: return "multitype";
+    case PolicyKind::kTradeoff: return "tradeoff";
+  }
+  return "unknown";
+}
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    (void)r->Register(PolicyKind::kDeadlineDp, "deadline-dp/backward-induction",
+                      SolveDeadline);
+    (void)r->Register(PolicyKind::kBudgetStatic, "budget-static/hull-lp+exact-dp",
+                      SolveBudgetStatic);
+    (void)r->Register(PolicyKind::kFixedPrice, "fixed-price/binary-search",
+                      SolveFixedPrice);
+    (void)r->Register(PolicyKind::kAdaptive, "adaptive/rate-correction",
+                      SolveAdaptive);
+    (void)r->Register(PolicyKind::kMultiType, "multitype/joint-dp",
+                      SolveMultiTypeSpec);
+    (void)r->Register(PolicyKind::kTradeoff, "tradeoff/per-task-decoupled",
+                      SolveTradeoff);
+    return r;
+  }();
+  return *registry;
+}
+
+Status SolverRegistry::Register(PolicyKind kind, std::string name,
+                                SolverFn solver) {
+  if (!solver) {
+    return Status::InvalidArgument("cannot register a null solver");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  solvers_[kind] = Entry{std::move(name), std::move(solver)};
+  return Status::OK();
+}
+
+Result<SolverRegistry::SolverFn> SolverRegistry::Find(PolicyKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = solvers_.find(kind);
+  if (it == solvers_.end()) {
+    return Status::NotFound(
+        StringF("no solver registered for kind '%s'", KindName(kind)));
+  }
+  return it->second.solver;
+}
+
+std::vector<std::string> SolverRegistry::Describe() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& [kind, entry] : solvers_) {
+    out.push_back(StringF("%s -> %s", KindName(kind), entry.name.c_str()));
+  }
+  return out;
+}
+
+Result<PolicyArtifact> Engine::Solve(const SolverRegistry& registry,
+                                     const PolicySpec& spec) {
+  CP_ASSIGN_OR_RETURN(SolverRegistry::SolverFn solver,
+                      registry.Find(spec.kind()));
+  return solver(spec);
+}
+
+Result<PolicyArtifact> Engine::Solve(const PolicySpec& spec) {
+  return Solve(SolverRegistry::Global(), spec);
+}
+
+}  // namespace crowdprice::engine

@@ -1,0 +1,351 @@
+#include "engine/policy_artifact.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "pricing/controller.h"
+#include "pricing/serialization.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::engine {
+
+namespace {
+
+constexpr char kHeader[] = "crowdprice-artifact v1";
+
+// Hex-float formatting for lossless double round trips (same convention as
+// pricing/serialization).
+std::string Hex(double v) { return StringF("%a", v); }
+
+Result<double> ParseDouble(const std::string& token, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StringF("%s: bad number '%s'", what, token.c_str()));
+  }
+  return v;
+}
+
+Result<long> ParseInt(const std::string& token, const char* what) {
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StringF("%s: bad integer '%s'", what, token.c_str()));
+  }
+  return v;
+}
+
+Result<std::string> NextLine(std::istringstream& stream, const char* what) {
+  std::string line;
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument(StringF("artifact truncated: expected %s", what));
+  }
+  return line;
+}
+
+Result<std::vector<std::string>> Tokens(const std::string& line, size_t expected,
+                                        const char* what) {
+  std::istringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (ss >> token) tokens.push_back(token);
+  if (tokens.size() != expected) {
+    return Status::InvalidArgument(StringF("%s: expected %zu fields, found %zu",
+                                           what, expected, tokens.size()));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Status PolicyArtifact::WrongKind(const char* wanted) const {
+  return Status::FailedPrecondition(
+      StringF("artifact holds a %s policy; %s requested",
+              KindName(kind()), wanted));
+}
+
+Result<const pricing::DeadlinePlan*> PolicyArtifact::deadline_plan() const {
+  const auto* p = std::get_if<DeadlinePolicy>(&payload_);
+  if (p == nullptr) return WrongKind("deadline plan");
+  return &p->plan;
+}
+
+Result<const pricing::PolicyEvaluation*> PolicyArtifact::deadline_evaluation()
+    const {
+  const auto* p = std::get_if<DeadlinePolicy>(&payload_);
+  if (p == nullptr) return WrongKind("deadline evaluation");
+  if (!p->evaluation.has_value()) {
+    return Status::FailedPrecondition(
+        "no cached evaluation (solve without a bound; call Evaluate())");
+  }
+  return &*p->evaluation;
+}
+
+double PolicyArtifact::penalty_used() const {
+  const auto* p = std::get_if<DeadlinePolicy>(&payload_);
+  return p == nullptr ? 0.0 : p->penalty_used;
+}
+
+int PolicyArtifact::dp_solves() const {
+  const auto* p = std::get_if<DeadlinePolicy>(&payload_);
+  return p == nullptr ? 1 : p->dp_solves;
+}
+
+Result<const pricing::StaticPriceAssignment*> PolicyArtifact::budget_assignment()
+    const {
+  const auto* p = std::get_if<pricing::StaticPriceAssignment>(&payload_);
+  if (p == nullptr) return WrongKind("budget assignment");
+  return p;
+}
+
+Result<const pricing::FixedPriceSolution*> PolicyArtifact::fixed_price() const {
+  const auto* p = std::get_if<pricing::FixedPriceSolution>(&payload_);
+  if (p == nullptr) return WrongKind("fixed price");
+  return p;
+}
+
+Result<const pricing::MultiTypePlan*> PolicyArtifact::multitype_plan() const {
+  const auto* p = std::get_if<pricing::MultiTypePlan>(&payload_);
+  if (p == nullptr) return WrongKind("multitype plan");
+  return p;
+}
+
+Result<const pricing::TradeoffSolution*> PolicyArtifact::tradeoff() const {
+  const auto* p = std::get_if<pricing::TradeoffSolution>(&payload_);
+  if (p == nullptr) return WrongKind("tradeoff solution");
+  return p;
+}
+
+Result<std::unique_ptr<market::PricingController>> PolicyArtifact::MakeController(
+    double horizon_hours) const {
+  switch (kind()) {
+    case PolicyKind::kDeadlineDp: {
+      const DeadlinePolicy& p = std::get<DeadlinePolicy>(payload_);
+      CP_ASSIGN_OR_RETURN(
+          pricing::PlanController controller,
+          pricing::PlanController::Create(&p.plan, horizon_hours));
+      return std::unique_ptr<market::PricingController>(
+          std::make_unique<pricing::PlanController>(std::move(controller)));
+    }
+    case PolicyKind::kBudgetStatic: {
+      const auto& assignment = std::get<pricing::StaticPriceAssignment>(payload_);
+      std::vector<market::StaticTierController::Tier> tiers;
+      tiers.reserve(assignment.allocations.size());
+      for (const pricing::PriceAllocation& alloc : assignment.allocations) {
+        tiers.push_back({static_cast<double>(alloc.price_cents), alloc.count});
+      }
+      CP_ASSIGN_OR_RETURN(market::StaticTierController controller,
+                          market::StaticTierController::Create(std::move(tiers)));
+      return std::unique_ptr<market::PricingController>(
+          std::make_unique<market::StaticTierController>(std::move(controller)));
+    }
+    case PolicyKind::kFixedPrice: {
+      const auto& fixed = std::get<pricing::FixedPriceSolution>(payload_);
+      return std::unique_ptr<market::PricingController>(
+          std::make_unique<market::FixedOfferController>(
+              market::Offer{static_cast<double>(fixed.price_cents), 1}));
+    }
+    case PolicyKind::kAdaptive: {
+      CP_ASSIGN_OR_RETURN(pricing::AdaptiveRateController controller,
+                          MakeAdaptiveController());
+      return std::unique_ptr<market::PricingController>(
+          std::make_unique<pricing::AdaptiveRateController>(
+              std::move(controller)));
+    }
+    case PolicyKind::kMultiType:
+      return Status::Unimplemented(
+          "multitype policies post two concurrent offers; not representable "
+          "as a single-offer PricingController yet");
+    case PolicyKind::kTradeoff: {
+      const auto& sol = std::get<pricing::TradeoffSolution>(payload_);
+      return std::unique_ptr<market::PricingController>(
+          std::make_unique<market::FixedOfferController>(
+              market::Offer{static_cast<double>(sol.price_cents), 1}));
+    }
+  }
+  return Status::Internal("unknown artifact kind");
+}
+
+Result<pricing::AdaptiveRateController> PolicyArtifact::MakeAdaptiveController()
+    const {
+  const auto* p = std::get_if<AdaptivePolicy>(&payload_);
+  if (p == nullptr) return WrongKind("adaptive controller");
+  return pricing::AdaptiveRateController::Create(
+      p->problem, p->believed_lambdas, p->actions, p->horizon_hours, p->options);
+}
+
+Result<pricing::PolicyEvaluation> PolicyArtifact::Evaluate() const {
+  const auto* p = std::get_if<DeadlinePolicy>(&payload_);
+  if (p == nullptr) {
+    return Status::Unimplemented(
+        StringF("policy_eval scoring is defined for deadline plans; artifact "
+                "holds %s", KindName(kind())));
+  }
+  if (p->evaluation.has_value()) return *p->evaluation;
+  return pricing::EvaluatePolicyNominal(p->plan);
+}
+
+Result<std::string> PolicyArtifact::Serialize() const {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "kind " << KindName(kind()) << "\n";
+  switch (kind()) {
+    case PolicyKind::kDeadlineDp: {
+      const DeadlinePolicy& p = std::get<DeadlinePolicy>(payload_);
+      out << "deadline-meta " << Hex(p.penalty_used) << " " << p.dp_solves << "\n";
+      out << pricing::SerializePlan(p.plan);
+      return out.str();
+    }
+    case PolicyKind::kBudgetStatic: {
+      const auto& a = std::get<pricing::StaticPriceAssignment>(payload_);
+      out << "budget-meta " << a.allocations.size() << " "
+          << Hex(a.expected_worker_arrivals) << " " << Hex(a.total_cost_cents)
+          << "\n";
+      for (const pricing::PriceAllocation& alloc : a.allocations) {
+        out << alloc.price_cents << " " << alloc.count << "\n";
+      }
+      return out.str();
+    }
+    case PolicyKind::kFixedPrice: {
+      const auto& f = std::get<pricing::FixedPriceSolution>(payload_);
+      out << "fixed " << f.price_cents << " " << Hex(f.expected_remaining)
+          << " " << Hex(f.prob_finish) << " " << Hex(f.expected_cost_cents)
+          << "\n";
+      return out.str();
+    }
+    case PolicyKind::kTradeoff: {
+      const auto& s = std::get<pricing::TradeoffSolution>(payload_);
+      out << "tradeoff " << s.price_cents << " " << Hex(s.objective_per_task)
+          << " " << Hex(s.expected_latency_per_task) << " "
+          << s.objective_curve.size() << "\n";
+      for (size_t i = 0; i < s.objective_curve.size(); ++i) {
+        if (i > 0) out << " ";
+        out << Hex(s.objective_curve[i]);
+      }
+      if (!s.objective_curve.empty()) out << "\n";
+      return out.str();
+    }
+    case PolicyKind::kAdaptive:
+    case PolicyKind::kMultiType:
+      return Status::Unimplemented(
+          StringF("%s artifacts are not persistable", KindName(kind())));
+  }
+  return Status::Internal("unknown artifact kind");
+}
+
+Result<PolicyArtifact> PolicyArtifact::Deserialize(const std::string& text) {
+  std::istringstream stream(text);
+  CP_ASSIGN_OR_RETURN(std::string header, NextLine(stream, "header"));
+  if (header != kHeader) {
+    return Status::InvalidArgument(
+        StringF("unsupported artifact header '%s'", header.c_str()));
+  }
+  CP_ASSIGN_OR_RETURN(std::string kind_line, NextLine(stream, "kind line"));
+  CP_ASSIGN_OR_RETURN(auto ktokens, Tokens(kind_line, 2, "kind line"));
+  if (ktokens[0] != "kind") {
+    return Status::InvalidArgument("expected 'kind' line");
+  }
+  const std::string& kind_name = ktokens[1];
+
+  if (kind_name == KindName(PolicyKind::kDeadlineDp)) {
+    CP_ASSIGN_OR_RETURN(std::string meta, NextLine(stream, "deadline-meta"));
+    CP_ASSIGN_OR_RETURN(auto mtokens, Tokens(meta, 3, "deadline-meta"));
+    if (mtokens[0] != "deadline-meta") {
+      return Status::InvalidArgument("expected 'deadline-meta' line");
+    }
+    CP_ASSIGN_OR_RETURN(double penalty_used,
+                        ParseDouble(mtokens[1], "penalty_used"));
+    CP_ASSIGN_OR_RETURN(long solves, ParseInt(mtokens[2], "dp_solves"));
+    std::string rest((std::istreambuf_iterator<char>(stream)),
+                     std::istreambuf_iterator<char>());
+    CP_ASSIGN_OR_RETURN(pricing::DeadlinePlan plan,
+                        pricing::DeserializePlan(rest));
+    return PolicyArtifact(DeadlinePolicy{std::move(plan), penalty_used,
+                                         static_cast<int>(solves), std::nullopt});
+  }
+
+  if (kind_name == KindName(PolicyKind::kBudgetStatic)) {
+    CP_ASSIGN_OR_RETURN(std::string meta, NextLine(stream, "budget-meta"));
+    CP_ASSIGN_OR_RETURN(auto mtokens, Tokens(meta, 4, "budget-meta"));
+    if (mtokens[0] != "budget-meta") {
+      return Status::InvalidArgument("expected 'budget-meta' line");
+    }
+    CP_ASSIGN_OR_RETURN(long count, ParseInt(mtokens[1], "allocation count"));
+    if (count < 0 || count > (1 << 20)) {
+      return Status::InvalidArgument(
+          StringF("implausible allocation count %ld", count));
+    }
+    pricing::StaticPriceAssignment assignment;
+    CP_ASSIGN_OR_RETURN(assignment.expected_worker_arrivals,
+                        ParseDouble(mtokens[2], "expected workers"));
+    CP_ASSIGN_OR_RETURN(assignment.total_cost_cents,
+                        ParseDouble(mtokens[3], "total cost"));
+    for (long i = 0; i < count; ++i) {
+      CP_ASSIGN_OR_RETURN(std::string line, NextLine(stream, "allocation"));
+      CP_ASSIGN_OR_RETURN(auto tokens, Tokens(line, 2, "allocation"));
+      pricing::PriceAllocation alloc;
+      CP_ASSIGN_OR_RETURN(long price, ParseInt(tokens[0], "price"));
+      CP_ASSIGN_OR_RETURN(long task_count, ParseInt(tokens[1], "count"));
+      alloc.price_cents = static_cast<int>(price);
+      alloc.count = task_count;
+      assignment.allocations.push_back(alloc);
+    }
+    return PolicyArtifact(std::move(assignment));
+  }
+
+  if (kind_name == KindName(PolicyKind::kFixedPrice)) {
+    CP_ASSIGN_OR_RETURN(std::string line, NextLine(stream, "fixed line"));
+    CP_ASSIGN_OR_RETURN(auto tokens, Tokens(line, 5, "fixed line"));
+    if (tokens[0] != "fixed") {
+      return Status::InvalidArgument("expected 'fixed' line");
+    }
+    pricing::FixedPriceSolution fixed;
+    CP_ASSIGN_OR_RETURN(long price, ParseInt(tokens[1], "price"));
+    fixed.price_cents = static_cast<int>(price);
+    CP_ASSIGN_OR_RETURN(fixed.expected_remaining,
+                        ParseDouble(tokens[2], "expected remaining"));
+    CP_ASSIGN_OR_RETURN(fixed.prob_finish, ParseDouble(tokens[3], "prob finish"));
+    CP_ASSIGN_OR_RETURN(fixed.expected_cost_cents,
+                        ParseDouble(tokens[4], "expected cost"));
+    return PolicyArtifact(std::move(fixed));
+  }
+
+  if (kind_name == KindName(PolicyKind::kTradeoff)) {
+    CP_ASSIGN_OR_RETURN(std::string line, NextLine(stream, "tradeoff line"));
+    CP_ASSIGN_OR_RETURN(auto tokens, Tokens(line, 5, "tradeoff line"));
+    if (tokens[0] != "tradeoff") {
+      return Status::InvalidArgument("expected 'tradeoff' line");
+    }
+    pricing::TradeoffSolution sol;
+    CP_ASSIGN_OR_RETURN(long price, ParseInt(tokens[1], "price"));
+    sol.price_cents = static_cast<int>(price);
+    CP_ASSIGN_OR_RETURN(sol.objective_per_task,
+                        ParseDouble(tokens[2], "objective"));
+    CP_ASSIGN_OR_RETURN(sol.expected_latency_per_task,
+                        ParseDouble(tokens[3], "latency"));
+    CP_ASSIGN_OR_RETURN(long curve, ParseInt(tokens[4], "curve size"));
+    if (curve < 0 || curve > (1 << 20)) {
+      return Status::InvalidArgument(StringF("implausible curve size %ld", curve));
+    }
+    if (curve > 0) {
+      CP_ASSIGN_OR_RETURN(std::string curve_line, NextLine(stream, "curve"));
+      CP_ASSIGN_OR_RETURN(auto values,
+                          Tokens(curve_line, static_cast<size_t>(curve), "curve"));
+      sol.objective_curve.reserve(static_cast<size_t>(curve));
+      for (const std::string& v : values) {
+        CP_ASSIGN_OR_RETURN(double x, ParseDouble(v, "curve value"));
+        sol.objective_curve.push_back(x);
+      }
+    }
+    return PolicyArtifact(std::move(sol));
+  }
+
+  return Status::InvalidArgument(
+      StringF("unknown or non-persistable artifact kind '%s'", kind_name.c_str()));
+}
+
+}  // namespace crowdprice::engine

@@ -1,0 +1,55 @@
+// SolverRegistry: maps a PolicyKind to the function that solves it.
+//
+// The global registry comes pre-populated with the library's built-in
+// solvers (engine.cc); embedders can Register replacements -- e.g. a
+// GPU-backed deadline solver or a mock for tests -- and every caller that
+// goes through Engine::Solve picks them up.
+
+#ifndef CROWDPRICE_ENGINE_SOLVER_REGISTRY_H_
+#define CROWDPRICE_ENGINE_SOLVER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/policy_artifact.h"
+#include "engine/policy_spec.h"
+#include "util/result.h"
+
+namespace crowdprice::engine {
+
+class SolverRegistry {
+ public:
+  using SolverFn = std::function<Result<PolicyArtifact>(const PolicySpec&)>;
+
+  /// The process-wide registry, pre-populated with the built-in solvers.
+  static SolverRegistry& Global();
+
+  /// Fresh empty registry (for tests / embedders running side registries).
+  SolverRegistry() = default;
+
+  /// Installs `solver` for `kind`, replacing any previous entry. `name` is
+  /// a diagnostic label reported by Describe().
+  Status Register(PolicyKind kind, std::string name, SolverFn solver);
+
+  /// The solver registered for `kind`, or NotFound.
+  Result<SolverFn> Find(PolicyKind kind) const;
+
+  /// "kind -> solver name" lines for every registered solver.
+  std::vector<std::string> Describe() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    SolverFn solver;
+  };
+
+  mutable std::mutex mu_;
+  std::map<PolicyKind, Entry> solvers_;
+};
+
+}  // namespace crowdprice::engine
+
+#endif  // CROWDPRICE_ENGINE_SOLVER_REGISTRY_H_

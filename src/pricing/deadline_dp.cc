@@ -1,16 +1,23 @@
 #include "pricing/deadline_dp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 
 #include "stats/poisson.h"
 #include "util/macros.h"
 #include "util/stringf.h"
+#include "util/thread_pool.h"
 
 namespace crowdprice::pricing {
 
 namespace {
+
+// Below this many states a layer scan is not worth fanning out.
+constexpr int kParallelMinTasks = 256;
+// Smallest monotone n-range handed to a worker as one task.
+constexpr int kParallelMinRange = 32;
 
 Status ValidateInputs(const DeadlineProblem& problem,
                       const std::vector<double>& interval_lambdas,
@@ -34,27 +41,28 @@ Status ValidateInputs(const DeadlineProblem& problem,
   return Status::OK();
 }
 
-// All per-interval precomputation shared by both solvers: one truncated
-// Poisson table per action at the interval's rate.
+// Per-interval precomputation shared by both solvers: one truncated Poisson
+// table per action at the interval's rate. Tables are owned by the solve's
+// TruncatedPoissonCache, so intervals that repeat a rate (constant traces,
+// weekly periodicity, adaptive re-solves over the same profile) share them.
 class IntervalTables {
  public:
   static Result<IntervalTables> Build(double lambda_t, const ActionSet& actions,
-                                      double epsilon) {
+                                      stats::TruncatedPoissonCache* cache) {
     IntervalTables out;
     out.tables_.reserve(actions.size());
     for (const PricingAction& a : actions.actions()) {
-      CP_ASSIGN_OR_RETURN(
-          stats::TruncatedPoisson tp,
-          stats::MakeTruncatedPoisson(lambda_t * a.acceptance, epsilon));
-      out.tables_.push_back(std::move(tp));
+      CP_ASSIGN_OR_RETURN(const stats::TruncatedPoisson* tp,
+                          cache->Get(lambda_t * a.acceptance));
+      out.tables_.push_back(tp);
     }
     return out;
   }
 
-  const stats::TruncatedPoisson& at(size_t action) const { return tables_[action]; }
+  const stats::TruncatedPoisson& at(size_t action) const { return *tables_[action]; }
 
  private:
-  std::vector<stats::TruncatedPoisson> tables_;
+  std::vector<const stats::TruncatedPoisson*> tables_;
 };
 
 // Evaluates the expected cost of playing action `a` at state (n, t):
@@ -79,8 +87,10 @@ double EvaluateAction(int n, const PricingAction& a,
     cum += p;
   }
   // Remaining mass: the batch completes within this interval; pay for all n
-  // tasks, Opt(0, t+1) = 0.
-  cost += (1.0 - cum) * c * n;
+  // tasks, Opt(0, t+1) = 0. Clamped at 0 because the accumulated pmf can
+  // round a hair above 1, and a negative lump would reward the solver for
+  // "completing" with negative probability.
+  cost += std::max(0.0, 1.0 - cum) * c * n;
   return cost;
 }
 
@@ -107,29 +117,48 @@ BestAction FindOptimalForState(int n, const ActionSet& actions,
   return best;
 }
 
-// Algorithm 2's FindOptimalPriceForTime: divide-and-conquer over n in
-// [n_lo, n_hi] with the price bracket [a_lo, a_hi]. `cap` optionally caps
-// each state's upper bound by Price(n, t+1) (time monotonicity).
-void SolveRangeMonotone(int n_lo, int n_hi, int a_lo, int a_hi,
-                        const ActionSet& actions, const IntervalTables& tables,
-                        const double* opt_next, const int32_t* cap_row,
-                        DeadlinePlan* plan, int t, int64_t* evals) {
-  if (n_lo > n_hi) return;
-  const int m = n_lo + (n_hi - n_lo) / 2;
+// One state of Algorithm 2: search bracket [a_lo, a_hi], optionally capped
+// from above by Price(n, t+1) (time monotonicity). Writes the layer rows.
+BestAction SolveMonotoneState(int n, int a_lo, int a_hi,
+                              const ActionSet& actions,
+                              const IntervalTables& tables,
+                              const double* opt_next, const int32_t* cap_row,
+                              double* opt_row, int32_t* action_row,
+                              int64_t* evals) {
   int hi = a_hi;
-  if (cap_row != nullptr && cap_row[m] >= 0) {
-    hi = std::min(hi, static_cast<int>(cap_row[m]));
+  if (cap_row != nullptr && cap_row[n] >= 0) {
+    hi = std::min(hi, static_cast<int>(cap_row[n]));
   }
   hi = std::max(hi, a_lo);  // Defensive: never let the cap empty the range.
   const BestAction best =
-      FindOptimalForState(m, actions, tables, a_lo, hi, opt_next, evals);
-  plan->SetActionIndex(m, t, best.index);
-  plan->SetOpt(m, t, best.cost);
-  SolveRangeMonotone(n_lo, m - 1, a_lo, best.index, actions, tables, opt_next,
-                     cap_row, plan, t, evals);
-  SolveRangeMonotone(m + 1, n_hi, best.index, a_hi, actions, tables, opt_next,
-                     cap_row, plan, t, evals);
+      FindOptimalForState(n, actions, tables, a_lo, hi, opt_next, evals);
+  action_row[n] = best.index;
+  opt_row[n] = best.cost;
+  return best;
 }
+
+// Algorithm 2's FindOptimalPriceForTime: divide-and-conquer over n in
+// [n_lo, n_hi] with the price bracket [a_lo, a_hi].
+void SolveRangeMonotone(int n_lo, int n_hi, int a_lo, int a_hi,
+                        const ActionSet& actions, const IntervalTables& tables,
+                        const double* opt_next, const int32_t* cap_row,
+                        double* opt_row, int32_t* action_row, int64_t* evals) {
+  if (n_lo > n_hi) return;
+  const int m = n_lo + (n_hi - n_lo) / 2;
+  const BestAction best =
+      SolveMonotoneState(m, a_lo, a_hi, actions, tables, opt_next, cap_row,
+                         opt_row, action_row, evals);
+  SolveRangeMonotone(n_lo, m - 1, a_lo, best.index, actions, tables, opt_next,
+                     cap_row, opt_row, action_row, evals);
+  SolveRangeMonotone(m + 1, n_hi, best.index, a_hi, actions, tables, opt_next,
+                     cap_row, opt_row, action_row, evals);
+}
+
+// An unsolved node of the Algorithm 2 recursion tree.
+struct MonotoneRange {
+  int n_lo, n_hi, a_lo, a_hi;
+  int width() const { return n_hi - n_lo + 1; }
+};
 
 enum class Mode { kSimple, kImproved };
 
@@ -143,49 +172,130 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
         "monotone price search (Algorithm 2) requires a unit-bundle action "
         "set; use SolveSimpleDp for bundled actions");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
   const auto start = std::chrono::steady_clock::now();
   DeadlinePlan plan(problem, actions, interval_lambdas);
   const int num_actions = static_cast<int>(actions.size());
   const int nt = problem.num_intervals;
   const int num_tasks = problem.num_tasks;
-  int64_t evals = 0;
+  const bool monotone = mode == Mode::kImproved && options.monotone_price_search;
 
-  // opt_next[n] = Opt(n, t+1); updated as we sweep t backwards.
-  std::vector<double> opt_next(static_cast<size_t>(num_tasks) + 1);
-  for (int n = 0; n <= num_tasks; ++n) {
-    opt_next[static_cast<size_t>(n)] = plan.OptUnchecked(n, nt);
-  }
-  // Previous layer's action indices, for time-monotonicity pruning.
-  std::vector<int32_t> next_actions(static_cast<size_t>(num_tasks) + 1, -1);
+  const int requested_threads = options.num_threads > 0
+                                    ? options.num_threads
+                                    : ThreadPool::DefaultThreads();
+  const bool parallel = requested_threads > 1 && num_tasks >= kParallelMinTasks;
+  // The decomposition (chunk and range counts) follows the request so it is
+  // machine-independent; actual participation is capped by the pool, and
+  // threads_used reports that honest figure.
+  const int effective_threads =
+      std::min(requested_threads, ThreadPool::Shared().size() + 1);
+  std::atomic<int64_t> evals{0};
+
+  // One pmf table per distinct rate across the whole solve, not per
+  // interval: repeated rates (constant traces, periodic profiles) reuse the
+  // table instead of rebuilding it every layer.
+  stats::TruncatedPoissonCache cache(problem.truncation_epsilon);
 
   for (int t = nt - 1; t >= 0; --t) {
     CP_ASSIGN_OR_RETURN(
         IntervalTables tables,
         IntervalTables::Build(interval_lambdas[static_cast<size_t>(t)], actions,
-                              problem.truncation_epsilon));
+                              &cache));
+    // With the layer-major arena, layer t+1 is read and layer t written in
+    // place -- no per-layer copies.
+    const double* opt_next = plan.OptLayer(t + 1);
+    double* opt_row = plan.MutableOptLayer(t);
+    int32_t* action_row = plan.MutableActionLayer(t);
     // Opt(0, t) stays 0 (initialized by the plan constructor).
-    if (mode == Mode::kSimple || !options.monotone_price_search) {
-      for (int n = 1; n <= num_tasks; ++n) {
-        const BestAction best = FindOptimalForState(
-            n, actions, tables, 0, num_actions - 1, opt_next.data(), &evals);
-        plan.SetActionIndex(n, t, best.index);
-        plan.SetOpt(n, t, best.cost);
+    if (!monotone) {
+      if (!parallel) {
+        int64_t local = 0;
+        for (int n = 1; n <= num_tasks; ++n) {
+          const BestAction best = FindOptimalForState(
+              n, actions, tables, 0, num_actions - 1, opt_next, &local);
+          action_row[n] = best.index;
+          opt_row[n] = best.cost;
+        }
+        evals.fetch_add(local, std::memory_order_relaxed);
+      } else {
+        // States within a layer are independent; chunk [1, N] across the
+        // pool. Costs grow with n, so chunks are kept small for balance.
+        const int64_t chunks =
+            std::min<int64_t>(num_tasks, requested_threads * 8L);
+        const int64_t per_chunk = (num_tasks + chunks - 1) / chunks;
+        ThreadPool::Shared().ParallelFor(chunks, [&](int64_t chunk) {
+          const int lo = static_cast<int>(1 + chunk * per_chunk);
+          const int hi = static_cast<int>(
+              std::min<int64_t>(num_tasks, (chunk + 1) * per_chunk));
+          int64_t local = 0;
+          for (int n = lo; n <= hi; ++n) {
+            const BestAction best = FindOptimalForState(
+                n, actions, tables, 0, num_actions - 1, opt_next, &local);
+            action_row[n] = best.index;
+            opt_row[n] = best.cost;
+          }
+          evals.fetch_add(local, std::memory_order_relaxed);
+        }, effective_threads);
       }
     } else {
       const int32_t* cap_row =
-          options.time_monotonicity_pruning && t < nt - 1 ? next_actions.data()
+          options.time_monotonicity_pruning && t < nt - 1 ? plan.ActionLayer(t + 1)
                                                           : nullptr;
-      SolveRangeMonotone(1, num_tasks, 0, num_actions - 1, actions, tables,
-                         opt_next.data(), cap_row, &plan, t, &evals);
-    }
-    for (int n = 0; n <= num_tasks; ++n) {
-      opt_next[static_cast<size_t>(n)] = plan.OptUnchecked(n, t);
-      next_actions[static_cast<size_t>(n)] =
-          n >= 1 ? plan.ActionIndexUnchecked(n, t) : -1;
+      if (!parallel) {
+        int64_t local = 0;
+        SolveRangeMonotone(1, num_tasks, 0, num_actions - 1, actions, tables,
+                           opt_next, cap_row, opt_row, action_row, &local);
+        evals.fetch_add(local, std::memory_order_relaxed);
+      } else {
+        // Expand the top of the recursion tree sequentially: solving a
+        // range's midpoint splits it into two independent subranges (their
+        // price brackets only depend on already-solved states), so once
+        // enough disjoint subranges exist they fan out across the pool.
+        // Each state sees exactly the bracket the sequential recursion
+        // would give it, so the plan is bit-identical to a serial solve.
+        int64_t local = 0;
+        std::vector<MonotoneRange> ranges;
+        ranges.push_back({1, num_tasks, 0, num_actions - 1});
+        const size_t target = static_cast<size_t>(requested_threads) * 4;
+        while (ranges.size() < target) {
+          size_t widest = ranges.size();
+          int widest_width = kParallelMinRange;
+          for (size_t i = 0; i < ranges.size(); ++i) {
+            if (ranges[i].width() > widest_width) {
+              widest_width = ranges[i].width();
+              widest = i;
+            }
+          }
+          if (widest == ranges.size()) break;  // everything is fine-grained
+          const MonotoneRange r = ranges[widest];
+          const int m = r.n_lo + (r.n_hi - r.n_lo) / 2;
+          const BestAction best =
+              SolveMonotoneState(m, r.a_lo, r.a_hi, actions, tables, opt_next,
+                                 cap_row, opt_row, action_row, &local);
+          ranges[widest] = {r.n_lo, m - 1, r.a_lo, best.index};
+          ranges.push_back({m + 1, r.n_hi, best.index, r.a_hi});
+        }
+        evals.fetch_add(local, std::memory_order_relaxed);
+        ThreadPool::Shared().ParallelFor(
+            static_cast<int64_t>(ranges.size()), [&](int64_t i) {
+              const MonotoneRange& r = ranges[static_cast<size_t>(i)];
+              int64_t chunk_evals = 0;
+              SolveRangeMonotone(r.n_lo, r.n_hi, r.a_lo, r.a_hi, actions,
+                                 tables, opt_next, cap_row, opt_row, action_row,
+                                 &chunk_evals);
+              evals.fetch_add(chunk_evals, std::memory_order_relaxed);
+            },
+            effective_threads);
+      }
     }
   }
 
-  plan.action_evaluations = evals;
+  plan.action_evaluations = evals.load();
+  plan.threads_used = parallel ? effective_threads : 1;
+  plan.poisson_tables_built = cache.misses();
+  plan.poisson_table_reuses = cache.hits();
   plan.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -196,8 +306,9 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
 
 Result<DeadlinePlan> SolveSimpleDp(const DeadlineProblem& problem,
                                    const std::vector<double>& interval_lambdas,
-                                   const ActionSet& actions) {
-  return Solve(problem, interval_lambdas, actions, Mode::kSimple, DpOptions{});
+                                   const ActionSet& actions,
+                                   const DpOptions& options) {
+  return Solve(problem, interval_lambdas, actions, Mode::kSimple, options);
 }
 
 Result<DeadlinePlan> SolveImprovedDp(const DeadlineProblem& problem,

@@ -32,18 +32,25 @@ namespace crowdprice::pricing {
 
 struct DpOptions {
   /// Use the Algorithm 2 divide-and-conquer price search (requires a
-  /// unit-bundle action set; errors otherwise).
+  /// unit-bundle action set; errors otherwise). Ignored by SolveSimpleDp.
   bool monotone_price_search = true;
   /// Additionally cap each state's search range by Price(n, t+1).
   bool time_monotonicity_pruning = false;
+  /// Parallelism cap for the per-layer state scans. 0 picks
+  /// hardware_concurrency; 1 forces a serial solve; higher values are
+  /// additionally capped by the shared pool's size (the plan's
+  /// threads_used field reports the actual figure). The produced plan is
+  /// bit-identical at every thread count.
+  int num_threads = 0;
 };
 
 /// Algorithm 1. Supports any ActionSet (including bundled HIT actions).
 /// interval_lambdas must have problem.num_intervals entries, each finite
-/// and >= 0.
+/// and >= 0. Of `options` only num_threads applies.
 Result<DeadlinePlan> SolveSimpleDp(const DeadlineProblem& problem,
                                    const std::vector<double>& interval_lambdas,
-                                   const ActionSet& actions);
+                                   const ActionSet& actions,
+                                   const DpOptions& options = {});
 
 /// Algorithm 2 (+ optional time-monotonicity pruning). Produces the same
 /// tables as SolveSimpleDp whenever Conjecture 1 holds.

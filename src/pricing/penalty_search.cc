@@ -20,11 +20,15 @@ struct Attempt {
 Result<Attempt> TryPenalty(const DeadlineProblem& base,
                            const std::vector<double>& lambdas,
                            const ActionSet& actions, double penalty,
-                           const DpOptions& dp_options) {
+                           const BoundSolveOptions& options) {
   DeadlineProblem problem = base;
   problem.penalty_cents = penalty;
-  CP_ASSIGN_OR_RETURN(DeadlinePlan plan,
-                      SolveImprovedDp(problem, lambdas, actions, dp_options));
+  Result<DeadlinePlan> solved =
+      options.use_simple_dp
+          ? SolveSimpleDp(problem, lambdas, actions, options.dp_options)
+          : SolveImprovedDp(problem, lambdas, actions, options.dp_options);
+  CP_RETURN_IF_ERROR(solved.status());
+  DeadlinePlan plan = std::move(solved).value();
   CP_ASSIGN_OR_RETURN(PolicyEvaluation eval, EvaluatePolicyNominal(plan));
   return Attempt{std::move(plan), std::move(eval), penalty};
 }
@@ -50,7 +54,7 @@ Result<BoundSolveResult> SolveForExpectedRemaining(
   while (true) {
     CP_ASSIGN_OR_RETURN(
         Attempt attempt,
-        TryPenalty(problem, interval_lambdas, actions, hi, options.dp_options));
+        TryPenalty(problem, interval_lambdas, actions, hi, options));
     ++solves;
     if (attempt.eval.expected_remaining <= bound) {
       feasible = std::move(attempt);
@@ -71,7 +75,7 @@ Result<BoundSolveResult> SolveForExpectedRemaining(
     if (mid <= lo || mid >= hi) break;  // resolution exhausted
     CP_ASSIGN_OR_RETURN(
         Attempt attempt,
-        TryPenalty(problem, interval_lambdas, actions, mid, options.dp_options));
+        TryPenalty(problem, interval_lambdas, actions, mid, options));
     ++solves;
     if (attempt.eval.expected_remaining <= bound) {
       hi = mid;

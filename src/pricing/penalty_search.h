@@ -23,6 +23,9 @@ struct BoundSolveOptions {
   double initial_penalty = 100.0;
   /// Growth cap: give up if Penalty exceeds this without meeting the bound.
   double max_penalty = 1e9;
+  /// Run each inner solve with Algorithm 1 instead of Algorithm 2;
+  /// required for bundled (multi-task HIT) action sets.
+  bool use_simple_dp = false;
   DpOptions dp_options;
 };
 

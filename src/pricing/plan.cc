@@ -15,8 +15,9 @@ DeadlinePlan::DeadlinePlan(DeadlineProblem problem, ActionSet actions,
   opt_.assign(n_states * (nt + 1), 0.0);
   action_idx_.assign(n_states * nt, -1);
   // Terminal layer: Opt(n, NT) = terminal penalty.
+  double* terminal = MutableOptLayer(problem_.num_intervals);
   for (int n = 0; n <= problem_.num_tasks; ++n) {
-    opt_[static_cast<size_t>(n) * (nt + 1) + nt] = problem_.TerminalPenalty(n);
+    terminal[static_cast<size_t>(n)] = problem_.TerminalPenalty(n);
   }
 }
 
@@ -62,16 +63,6 @@ Result<double> DeadlinePlan::OptAt(int n, int t) const {
 
 double DeadlinePlan::TotalObjective() const {
   return OptUnchecked(problem_.num_tasks, 0);
-}
-
-void DeadlinePlan::SetActionIndex(int n, int t, int action) {
-  action_idx_[static_cast<size_t>(n) * static_cast<size_t>(num_intervals()) +
-              static_cast<size_t>(t)] = action;
-}
-
-void DeadlinePlan::SetOpt(int n, int t, double value) {
-  opt_[static_cast<size_t>(n) * (static_cast<size_t>(num_intervals()) + 1) +
-       static_cast<size_t>(t)] = value;
 }
 
 }  // namespace crowdprice::pricing

@@ -40,31 +40,55 @@ class DeadlinePlan {
   /// Expected total objective starting from the full batch.
   double TotalObjective() const;
 
-  // --- Solver-facing mutable access (rows are contiguous in t). ---
-  void SetActionIndex(int n, int t, int action);
-  void SetOpt(int n, int t, double value);
+  // --- Solver-facing access ------------------------------------------
+  // Both tables live in one contiguous arena, row-major with the time layer
+  // as the row: opt_[t * (N+1) + n]. A backward-induction sweep therefore
+  // reads layer t+1 and writes layer t as two dense rows, with no per-layer
+  // vectors or copies, and the per-state scan within a layer can be chunked
+  // across worker threads writing disjoint parts of the same row.
+  void SetActionIndex(int n, int t, int action) {
+    MutableActionLayer(t)[static_cast<size_t>(n)] = action;
+  }
+  void SetOpt(int n, int t, double value) {
+    MutableOptLayer(t)[static_cast<size_t>(n)] = value;
+  }
   double OptUnchecked(int n, int t) const {
-    return opt_[static_cast<size_t>(n) * (static_cast<size_t>(num_intervals()) + 1) +
-                static_cast<size_t>(t)];
+    return OptLayer(t)[static_cast<size_t>(n)];
   }
   int ActionIndexUnchecked(int n, int t) const {
-    return action_idx_[static_cast<size_t>(n) * static_cast<size_t>(num_intervals()) +
-                       static_cast<size_t>(t)];
+    return ActionLayer(t)[static_cast<size_t>(n)];
+  }
+
+  /// Row of Opt(., t), indexed by n in [0, N]; t in [0, NT].
+  const double* OptLayer(int t) const { return opt_.data() + LayerOffset(t); }
+  double* MutableOptLayer(int t) { return opt_.data() + LayerOffset(t); }
+  /// Row of Price(., t) action indices, n in [0, N] (n = 0 is -1); t in [0, NT).
+  const int32_t* ActionLayer(int t) const {
+    return action_idx_.data() + LayerOffset(t);
+  }
+  int32_t* MutableActionLayer(int t) {
+    return action_idx_.data() + LayerOffset(t);
   }
 
   // --- Diagnostics ---
   double solve_seconds = 0.0;
   int64_t action_evaluations = 0;  ///< Calls to the state-action evaluator.
+  int threads_used = 1;            ///< Parallelism of the layer scans.
+  int64_t poisson_tables_built = 0;  ///< Truncated-pmf cache misses.
+  int64_t poisson_table_reuses = 0;  ///< Truncated-pmf cache hits.
 
  private:
   Status CheckState(int n, int t, bool terminal_ok) const;
+  size_t LayerOffset(int t) const {
+    return static_cast<size_t>(t) * (static_cast<size_t>(problem_.num_tasks) + 1);
+  }
 
   DeadlineProblem problem_;
   ActionSet actions_;
   std::vector<double> interval_lambdas_;
-  /// opt_[n * (NT+1) + t], n in [0, N], t in [0, NT].
+  /// opt_[t * (N+1) + n], t in [0, NT], n in [0, N].
   std::vector<double> opt_;
-  /// action_idx_[n * NT + t], n in [0, N] (row 0 unused), t in [0, NT).
+  /// action_idx_[t * (N+1) + n], t in [0, NT), n in [0, N] (n = 0 unused).
   std::vector<int32_t> action_idx_;
 };
 

@@ -147,6 +147,19 @@ Result<TruncatedPoisson> MakeTruncatedPoisson(double lambda, double epsilon) {
   return out;
 }
 
+Result<const TruncatedPoisson*> TruncatedPoissonCache::Get(double lambda) {
+  auto it = tables_.find(lambda);
+  if (it != tables_.end()) {
+    ++hits_;
+    return &it->second;
+  }
+  CP_ASSIGN_OR_RETURN(TruncatedPoisson tp, MakeTruncatedPoisson(lambda, epsilon_));
+  ++misses_;
+  // unordered_map references are stable across rehashes, so handing out a
+  // pointer into the map is safe for the cache's lifetime.
+  return &tables_.emplace(lambda, std::move(tp)).first->second;
+}
+
 int SamplePoisson(Rng& rng, double lambda) {
   if (!(lambda > 0.0)) return 0;
   if (lambda < 10.0) return SamplePoissonInversion(rng, lambda);

@@ -5,6 +5,8 @@
 #ifndef CROWDPRICE_STATS_POISSON_H_
 #define CROWDPRICE_STATS_POISSON_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "util/result.h"
@@ -45,6 +47,31 @@ struct TruncatedPoisson {
 /// pmf(k+1) = pmf(k) * lambda / (k+1), which is numerically stable for the
 /// rate magnitudes used here (lambda <~ 1e6).
 Result<TruncatedPoisson> MakeTruncatedPoisson(double lambda, double epsilon);
+
+/// Memoizes MakeTruncatedPoisson tables for one truncation epsilon, keyed
+/// by the exact rate. The deadline DP requests one table per (interval,
+/// action) pair; whenever the arrival trace repeats a rate (constant or
+/// periodic profiles, adaptive re-solves), the table is built once and
+/// shared. Returned pointers stay valid for the cache's lifetime. Not
+/// thread-safe; the solvers populate it before fanning out to workers.
+class TruncatedPoissonCache {
+ public:
+  /// epsilon must lie in (0, 1) (validated on first Get).
+  explicit TruncatedPoissonCache(double epsilon) : epsilon_(epsilon) {}
+
+  /// The truncated table for Pois(lambda), built on first use.
+  Result<const TruncatedPoisson*> Get(double lambda);
+
+  size_t entries() const { return tables_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  double epsilon_;
+  std::unordered_map<double, TruncatedPoisson> tables_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
 
 /// Samples from Pois(lambda) using sequential inversion for lambda < 10 and
 /// Hormann's PTRS transformed-rejection method otherwise. Deterministic

@@ -1,0 +1,109 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace crowdprice {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(0, num_threads - 1);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int64_t)>* fn = nullptr;
+    std::atomic<int64_t>* next = nullptr;
+    std::atomic<int>* slots = nullptr;
+    int64_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      next = next_;
+      slots = slots_;
+      count = count_;
+    }
+    // Honor the region's parallelism cap: workers that don't win a slot
+    // bow out without touching the index stream.
+    if (slots->fetch_sub(1, std::memory_order_relaxed) > 0) {
+      int64_t i;
+      while ((i = next->fetch_add(1, std::memory_order_relaxed)) < count) {
+        (*fn)(i);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_running_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& fn,
+                             int max_parallelism) {
+  if (count <= 0) return;
+  if (workers_.empty() || count == 1 || max_parallelism == 1) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> region(region_mutex_);
+  std::atomic<int64_t> next{0};
+  // The calling thread takes one slot; the rest go to pool workers.
+  std::atomic<int> slots{max_parallelism <= 0
+                             ? static_cast<int>(workers_.size())
+                             : std::min(static_cast<int>(workers_.size()),
+                                        max_parallelism - 1)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    next_ = &next;
+    slots_ = &slots;
+    count_ = count;
+    workers_running_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread participates.
+  int64_t i;
+  while ((i = next.fetch_add(1, std::memory_order_relaxed)) < count) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  fn_ = nullptr;
+  next_ = nullptr;
+  slots_ = nullptr;
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
+}  // namespace crowdprice

@@ -1,0 +1,73 @@
+// A small fixed-size worker pool for data-parallel loops.
+//
+// The DP solvers scan O(N) independent states per layer; on multi-core
+// hosts that scan is split across a shared pool sized by
+// hardware_concurrency. The pool is deliberately minimal: one parallel
+// region at a time (concurrent ParallelFor calls from different threads
+// serialize on an internal mutex), no futures, no work stealing. Worker
+// threads are started lazily on the first parallel region and live for the
+// process lifetime of the shared instance.
+
+#ifndef CROWDPRICE_UTIL_THREAD_POOL_H_
+#define CROWDPRICE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crowdprice {
+
+class ThreadPool {
+ public:
+  /// num_threads <= 1 creates an empty pool (ParallelFor runs inline).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (the calling thread participates in
+  /// every region too, so total parallelism is size() + 1).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for every i in [0, count), dynamically load-balanced over
+  /// the pool plus the calling thread; returns when all iterations finish.
+  /// At most max_parallelism threads participate (<= 0 means no cap beyond
+  /// the pool size); the calling thread always counts as one of them.
+  /// fn must not throw. Safe to call from multiple threads (regions
+  /// serialize), but fn itself must not call ParallelFor on the same pool.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn,
+                   int max_parallelism = 0);
+
+  /// hardware_concurrency, with a floor of 1.
+  static int DefaultThreads();
+
+  /// Process-wide pool with DefaultThreads() - 1 workers.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex region_mutex_;  ///< serializes ParallelFor regions
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  int workers_running_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(int64_t)>* fn_ = nullptr;
+  std::atomic<int64_t>* next_ = nullptr;
+  std::atomic<int>* slots_ = nullptr;  ///< remaining worker participation slots
+  int64_t count_ = 0;
+};
+
+}  // namespace crowdprice
+
+#endif  // CROWDPRICE_UTIL_THREAD_POOL_H_

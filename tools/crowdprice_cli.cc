@@ -5,9 +5,12 @@
 //   crowdprice_cli budget   --tasks 200 --budget 2500 --rate 5083
 //       --max-price 50
 //   crowdprice_cli tradeoff --alpha 32 --rate 5083 --max-price 60
+//   crowdprice_cli solvers
 //
-// The acceptance model defaults to the paper's Eq. 13 logit
-// (s=15, b=-0.39, M=2000); override with --accept-s/--accept-b/--accept-m.
+// Every policy is produced through engine::Solve; the CLI only builds the
+// PolicySpec and formats the artifact. The acceptance model defaults to the
+// paper's Eq. 13 logit (s=15, b=-0.39, M=2000); override with
+// --accept-s/--accept-b/--accept-m.
 // Exit code 0 on success, 1 on user error, 2 on solver failure.
 
 #include <cstdlib>
@@ -51,6 +54,7 @@ int Usage() {
       "      [--rate workers_per_hour] [--max-price C]\n"
       "  crowdprice_cli tradeoff --alpha CENTS_PER_HOUR\n"
       "      [--rate workers_per_hour] [--max-price C]\n"
+      "  crowdprice_cli solvers\n"
       "common acceptance overrides: --accept-s --accept-b --accept-m\n";
   return 1;
 }
@@ -100,72 +104,73 @@ int RunDeadline(const Args& args) {
     std::cerr << actions.status() << "\n";
     return 2;
   }
-  std::vector<double> lambdas(static_cast<size_t>(intervals),
-                              rate * hours / intervals);
-  pricing::DeadlineProblem problem;
-  problem.num_tasks = tasks;
-  problem.num_intervals = intervals;
 
-  Result<pricing::BoundSolveResult> solved = Status::OK();
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = tasks;
+  spec.problem.num_intervals = intervals;
+  spec.interval_lambdas.assign(static_cast<size_t>(intervals),
+                               rate * hours / intervals);
+  spec.actions = std::move(actions).value();
   if (args.Has("penalty")) {
-    problem.penalty_cents = args.Num("penalty", 0.0);
-    auto plan = pricing::SolveImprovedDp(problem, lambdas, *actions);
-    if (!plan.ok()) {
-      std::cerr << plan.status() << "\n";
-      return 2;
-    }
-    auto eval = pricing::EvaluatePolicyNominal(*plan);
-    if (!eval.ok()) {
-      std::cerr << eval.status() << "\n";
-      return 2;
-    }
-    solved = pricing::BoundSolveResult{std::move(plan).value(),
-                                       std::move(eval).value(),
-                                       problem.penalty_cents, 1};
+    spec.problem.penalty_cents = args.Num("penalty", 0.0);
   } else {
-    solved = pricing::SolveForExpectedRemaining(problem, lambdas, *actions,
-                                                args.Num("bound", 0.5));
+    spec.expected_remaining_bound = args.Num("bound", 0.5);
   }
-  if (!solved.ok()) {
-    std::cerr << solved.status() << "\n";
+
+  auto artifact = engine::Solve(spec);
+  if (!artifact.ok()) {
+    std::cerr << artifact.status() << "\n";
     return 2;
   }
+  auto eval = artifact->Evaluate();
+  if (!eval.ok()) {
+    std::cerr << eval.status() << "\n";
+    return 2;
+  }
+  auto plan_ptr = artifact->deadline_plan();
+  if (!plan_ptr.ok()) {
+    std::cerr << plan_ptr.status() << "\n";
+    return 2;
+  }
+  const pricing::DeadlinePlan& plan = **plan_ptr;
 
   std::cout << StringF("opening price:        %.0f cents\n",
-                       solved->plan.PriceAt(tasks, 0).value_or(-1));
+                       plan.PriceAt(tasks, 0).value_or(-1));
   std::cout << StringF("expected total cost:  %.0f cents\n",
-                       solved->evaluation.expected_cost_cents);
+                       eval->expected_cost_cents);
   std::cout << StringF("avg reward per task:  %.2f cents\n",
-                       solved->evaluation.average_reward_per_task);
+                       eval->average_reward_per_task);
   std::cout << StringF("E[unfinished]:        %.3f of %d\n",
-                       solved->evaluation.expected_remaining, tasks);
-  std::cout << StringF("Pr[all done]:         %.4f\n",
-                       1.0 - solved->evaluation.prob_unfinished);
+                       eval->expected_remaining, tasks);
+  std::cout << StringF("Pr[all done]:         %.4f\n", 1.0 - eval->prob_unfinished);
   std::cout << StringF("penalty used:         %.1f cents/task\n",
-                       solved->penalty_used);
+                       artifact->penalty_used());
 
   Table schedule({"interval", "price @ full backlog", "price @ half",
                   "price @ 10% left"});
   for (int t = 0; t < intervals; t += std::max(1, intervals / 8)) {
     (void)schedule.AddRow(
         {StringF("%d", t),
-         StringF("%.0f", solved->plan.PriceAt(tasks, t).value_or(-1)),
-         StringF("%.0f",
-                 solved->plan.PriceAt(std::max(1, tasks / 2), t).value_or(-1)),
-         StringF("%.0f",
-                 solved->plan.PriceAt(std::max(1, tasks / 10), t).value_or(-1))});
+         StringF("%.0f", plan.PriceAt(tasks, t).value_or(-1)),
+         StringF("%.0f", plan.PriceAt(std::max(1, tasks / 2), t).value_or(-1)),
+         StringF("%.0f", plan.PriceAt(std::max(1, tasks / 10), t).value_or(-1))});
   }
   std::cout << "\n";
   schedule.Print(std::cout);
 
   if (args.Has("out")) {
+    auto serialized = artifact->Serialize();
+    if (!serialized.ok()) {
+      std::cerr << serialized.status() << "\n";
+      return 2;
+    }
     std::ofstream out(args.Str("out", ""));
-    out << pricing::SerializePlan(solved->plan);
+    out << *serialized;
     if (!out.good()) {
       std::cerr << "failed to write " << args.Str("out", "") << "\n";
       return 2;
     }
-    std::cout << "\nplan written to " << args.Str("out", "") << "\n";
+    std::cout << "\nartifact written to " << args.Str("out", "") << "\n";
   }
   return 0;
 }
@@ -184,21 +189,32 @@ int RunBudget(const Args& args) {
     std::cerr << acceptance.status() << "\n";
     return 1;
   }
-  auto assignment = pricing::SolveBudgetLp(tasks, budget, *acceptance, max_price);
+
+  engine::BudgetStaticSpec spec;
+  spec.num_tasks = tasks;
+  spec.budget_cents = budget;
+  spec.acceptance = &*acceptance;
+  spec.max_price_cents = max_price;
+  auto artifact = engine::Solve(spec);
+  if (!artifact.ok()) {
+    std::cerr << artifact.status() << "\n";
+    return 2;
+  }
+  auto assignment = artifact->budget_assignment();
   if (!assignment.ok()) {
     std::cerr << assignment.status() << "\n";
     return 2;
   }
   std::cout << "static price assignment (Algorithm 3):\n";
-  for (const auto& alloc : assignment->allocations) {
+  for (const auto& alloc : (*assignment)->allocations) {
     std::cout << StringF("  %lld tasks at %d cents\n",
                          static_cast<long long>(alloc.count), alloc.price_cents);
   }
   std::cout << StringF("committed budget:     %.0f of %.0f cents\n",
-                       assignment->total_cost_cents, budget);
+                       (*assignment)->total_cost_cents, budget);
   std::cout << StringF("E[worker arrivals]:   %.0f\n",
-                       assignment->expected_worker_arrivals);
-  auto latency = assignment->ExpectedLatencyHours(rate);
+                       (*assignment)->expected_worker_arrivals);
+  auto latency = (*assignment)->ExpectedLatencyHours(rate);
   if (latency.ok()) {
     std::cout << StringF("E[completion time]:   %.1f hours at %.0f workers/hour\n",
                          *latency, rate);
@@ -219,17 +235,35 @@ int RunTradeoff(const Args& args) {
     std::cerr << acceptance.status() << "\n";
     return 1;
   }
-  auto sol = pricing::SolveWorkerArrivalTradeoff(rate, *acceptance, alpha,
-                                                 max_price);
+
+  engine::TradeoffSpec spec;
+  spec.rate = rate;
+  spec.acceptance = &*acceptance;
+  spec.alpha = alpha;
+  spec.max_price_cents = max_price;
+  auto artifact = engine::Solve(spec);
+  if (!artifact.ok()) {
+    std::cerr << artifact.status() << "\n";
+    return 2;
+  }
+  auto sol = artifact->tradeoff();
   if (!sol.ok()) {
     std::cerr << sol.status() << "\n";
     return 2;
   }
-  std::cout << StringF("optimal price:        %d cents\n", sol->price_cents);
+  std::cout << StringF("optimal price:        %d cents\n", (*sol)->price_cents);
   std::cout << StringF("E[latency per task]:  %.3f hours\n",
-                       sol->expected_latency_per_task);
+                       (*sol)->expected_latency_per_task);
   std::cout << StringF("cost + alpha*latency: %.2f cents/task\n",
-                       sol->objective_per_task);
+                       (*sol)->objective_per_task);
+  return 0;
+}
+
+int RunSolvers() {
+  std::cout << "registered solvers:\n";
+  for (const std::string& line : engine::SolverRegistry::Global().Describe()) {
+    std::cout << "  " << line << "\n";
+  }
   return 0;
 }
 
@@ -244,6 +278,7 @@ int main(int argc, char** argv) {
   if (args->command == "deadline") return RunDeadline(*args);
   if (args->command == "budget") return RunBudget(*args);
   if (args->command == "tradeoff") return RunTradeoff(*args);
+  if (args->command == "solvers") return RunSolvers();
   std::cerr << "unknown command '" << args->command << "'\n";
   return Usage();
 }
