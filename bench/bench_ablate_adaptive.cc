@@ -36,7 +36,8 @@ constexpr double kHorizon = 24.0;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Ablation: adaptive rate correction on an anomalous day ===\n\n";
   auto acceptance = choice::LogitAcceptance::Paper2014();
   pricing::ActionSet actions = [&] {
@@ -83,7 +84,7 @@ int main() {
   sim.horizon_hours = kHorizon;
   sim.decision_interval_hours = kHorizon / kIntervals;
 
-  const int kReplicates = 60;
+  const int kReplicates = bench::SmokeN(60, 6);
   Table table({"day", "controller", "E[unassigned]", "mean cost (c)",
                "mean avg price (c)"});
   double holiday_static_rem = 0.0, holiday_adaptive_rem = 0.0,

@@ -14,7 +14,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Ablation: budget LP (Alg. 3) vs exact DP (Thm. 6) ===\n\n";
   auto acceptance = choice::LogitAcceptance::Paper2014();
   Table table({"N", "B (cents)", "E[W] LP", "E[W] exact", "gap", "Thm-8 bound",

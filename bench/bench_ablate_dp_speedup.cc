@@ -14,7 +14,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Ablation: DP solver speed-ups (§3.2) ===\n\n";
   auto acceptance = choice::LogitAcceptance::Paper2014();
   pricing::ActionSet actions = [&] {

@@ -23,7 +23,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Ablation: §6 extensions ===\n\n";
 
   // ---- Multi-type joint vs independent planning ------------------------

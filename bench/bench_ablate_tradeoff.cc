@@ -14,7 +14,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Ablation: cost/latency tradeoff frontier (§6) ===\n\n";
   auto acceptance = choice::LogitAcceptance::Paper2014();
   const double mean_rate = 5083.0;  // workers/hour

@@ -14,7 +14,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Ablation: truncation epsilon vs accuracy and cost ===\n\n";
   auto acceptance = choice::LogitAcceptance::Paper2014();
   pricing::ActionSet actions = [&] {

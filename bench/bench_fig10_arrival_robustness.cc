@@ -23,7 +23,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 10: robustness to arrival-rate prediction ===\n\n";
   Rng rng(1010);
   auto config = bench::PaperMarketConfig();

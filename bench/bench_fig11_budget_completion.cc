@@ -20,7 +20,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 11: fixed-budget completion time distribution ===\n\n";
   auto acceptance = choice::LogitAcceptance::Paper2014();
   const engine::PolicyArtifact artifact = bench::SolveOrDie(
@@ -53,7 +54,7 @@ int main() {
 
   Rng rng(1111);
   std::vector<double> hours;
-  const int kReplicates = 400;
+  const int kReplicates = bench::SmokeN(400, 20);
   for (int rep = 0; rep < kReplicates; ++rep) {
     std::unique_ptr<market::PricingController> controller;
     BENCH_ASSIGN(controller, artifact.MakeController(sim.horizon_hours));

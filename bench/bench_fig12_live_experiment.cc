@@ -60,7 +60,8 @@ market::SimulatorConfig LiveConfig() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 12: live-experiment replica (simulated MTurk) ===\n\n";
   auto acceptance = HitAcceptance();
   // The campaign runs 8 a.m. - 10 p.m.; window the weekly profile.

@@ -22,7 +22,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 13 / Table 3: answer accuracy under fixed pricing ===\n\n";
   choice::TabulatedAcceptance acceptance = [&] {
     auto r = choice::TabulatedAcceptance::Create(

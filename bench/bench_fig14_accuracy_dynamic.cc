@@ -20,7 +20,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 14 / Table 4: accuracy under dynamic pricing ===\n\n";
   choice::TabulatedAcceptance acceptance = [&] {
     auto r = choice::TabulatedAcceptance::Create(

@@ -19,7 +19,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 15: average HITs completed per worker vs price ===\n\n";
   choice::TabulatedAcceptance acceptance = [&] {
     auto r = choice::TabulatedAcceptance::Create(

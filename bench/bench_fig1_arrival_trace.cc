@@ -13,7 +13,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 1: completions per 6-hour bucket over 4 weeks ===\n\n";
   Rng rng(11);
   auto config = bench::PaperMarketConfig();

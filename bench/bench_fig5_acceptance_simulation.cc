@@ -14,7 +14,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 5: simulated task acceptance probability vs reward ===\n\n";
   Rng rng(51);
   // The §5.1.1 market, rescaled so the acceptance transition is visible in
@@ -34,7 +35,7 @@ int main() {
 
   Rng trial_rng(52);
   std::vector<double> rewards, probs;
-  const int kTrials = 60000;
+  const int kTrials = bench::SmokeN(60000, 3000);
   for (double c = 0.0; c <= 100.0; c += 5.0) {
     double p;
     BENCH_ASSIGN(p, sim.EstimateAcceptance(c, kTrials, trial_rng));

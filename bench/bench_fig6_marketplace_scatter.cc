@@ -15,7 +15,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 6: wage/sec vs workload/hour by task type ===\n\n";
   Rng rng(66);
   choice::SnapshotConfig config;

@@ -19,7 +19,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 7(a): average reward vs completion threshold ===\n\n";
   Rng rng(77);
   auto market = bench::PaperMarketConfig();

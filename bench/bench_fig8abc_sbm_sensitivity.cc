@@ -57,7 +57,8 @@ Result<double> CostReduction(const choice::LogitAcceptance& acceptance,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 8(a-c): cost reduction vs s, b, M ===\n\n";
   const std::vector<double> lambdas(kIntervals, 122000.0 / kIntervals);
 

@@ -17,7 +17,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 8(d): price and runtime vs interval granularity ===\n\n";
   Rng rng(88);
   arrival::ArrivalTrace trace;

@@ -32,7 +32,8 @@ struct Scenario {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Figure 9: robustness to p(c) estimation error ===\n\n";
   const std::vector<double> lambdas(kIntervals, 122000.0 / kIntervals);
   auto believed = choice::LogitAcceptance::Paper2014();

@@ -1,0 +1,227 @@
+// Fleet serving throughput: how fast the sharded serving layer answers
+// price lookups, and how the fleet simulator compares to serial
+// single-campaign simulation.
+//
+// Part 1 -- serving plane: admit a fleet of deadline-policy campaigns into
+// a CampaignShardMap and hammer DecideBatch, sweeping the shard count.
+// Reports decides/second per shard count; the batch pass answers every
+// shard on its own pool thread, so throughput should not collapse as
+// shards are added (and typically rises until the core count binds).
+//
+// Part 2 -- simulation plane: play 1000 concurrent campaigns through
+// market::FleetSimulator and the same campaigns serially through
+// market::RunSimulation, asserting the per-campaign outcomes match
+// bit-for-bit (the layer's determinism contract) and reporting both wall
+// times.
+//
+// Emits BENCH_fleet_throughput.json with decides/sec per shard count and
+// the fleet-vs-serial wall seconds.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "choice/acceptance.h"
+#include "market/controller.h"
+#include "market/fleet_simulator.h"
+#include "market/simulator.h"
+#include "serving/campaign_shard_map.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace crowdprice;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+engine::PolicyArtifact ServingArtifact(const choice::AcceptanceFunction& acc) {
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = 60;
+  spec.problem.num_intervals = 24;
+  spec.problem.penalty_cents = 200.0;
+  spec.interval_lambdas.assign(24, 120.0);
+  auto actions = pricing::ActionSet::FromPriceGrid(40, acc);
+  bench::DieOnError(actions.status(), "action grid");
+  spec.actions = std::move(actions).value();
+  return bench::SolveOrDie(spec, "serving artifact");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
+  std::cout << "=== Fleet serving throughput ===\n\n";
+  const choice::LogitAcceptance acceptance = choice::LogitAcceptance::Paper2014();
+  const engine::PolicyArtifact solved = ServingArtifact(acceptance);
+
+  bench::BenchRecord record("fleet_throughput");
+  record.Label("layer", "serving+fleet");
+
+  // ------------------------------------------------------------------ 1.
+  const int kCampaigns = bench::SmokeN(2048, 256);
+  const int kPasses = bench::SmokeN(40, 4);
+  record.Param("campaigns", kCampaigns);
+  record.Param("batch_passes", kPasses);
+
+  std::cout << StringF(
+      "DecideBatch over %d campaigns, %d passes per shard count\n\n",
+      kCampaigns, kPasses);
+  const auto shared =
+      std::make_shared<const engine::PolicyArtifact>(solved);
+  Table table({"shards", "decides/sec", "batch mean ms"});
+  double decides_per_sec_1 = 0.0, decides_per_sec_best = 0.0;
+  for (int num_shards : {1, 2, 4, 8, 16, 32}) {
+    auto map_result = serving::CampaignShardMap::Create(num_shards);
+    bench::DieOnError(map_result.status(), "shard map");
+    serving::CampaignShardMap map = std::move(map_result).value();
+
+    std::vector<serving::DecideRequest> requests;
+    for (int i = 0; i < kCampaigns; ++i) {
+      serving::CampaignLimits limits;
+      limits.total_tasks = 60;
+      limits.deadline_hours = 8.0;
+      auto id = map.AdmitShared(shared, limits);
+      bench::DieOnError(id.status(), "admit");
+      serving::DecideRequest request;
+      request.campaign_id = *id;
+      request.now_hours = (i % 24) / 3.0;
+      request.remaining_tasks = 1 + i % 60;
+      requests.push_back(request);
+    }
+
+    // Warm-up pass doubles as the correctness check: the batched answers
+    // must equal per-campaign serial Decide, bit-for-bit.
+    bool identical = true;
+    const auto warm = map.DecideBatch(requests);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      auto serial = map.Decide(requests[i].campaign_id, requests[i].now_hours,
+                               requests[i].remaining_tasks);
+      bench::DieOnError(serial.status(), "serial decide");
+      identical = identical && warm[i].status.ok() &&
+                  warm[i].offer.per_task_reward_cents ==
+                      serial->per_task_reward_cents &&
+                  warm[i].offer.group_size == serial->group_size;
+    }
+    bench::Check(identical,
+                 StringF("shards=%d: DecideBatch == serial Decide bit-for-bit",
+                         num_shards));
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto responses = map.DecideBatch(requests);
+      if (responses.size() != requests.size()) {
+        bench::Check(false, "batch response size");
+        break;
+      }
+    }
+    const double elapsed = Seconds(start);
+    const double decides_per_sec =
+        static_cast<double>(kCampaigns) * kPasses / elapsed;
+    if (num_shards == 1) {
+      decides_per_sec_1 = decides_per_sec;
+    } else {
+      decides_per_sec_best = std::max(decides_per_sec_best, decides_per_sec);
+    }
+    record.Metric(StringF("decides_per_sec_shards_%d", num_shards),
+                  decides_per_sec);
+    bench::DieOnError(
+        table.AddRow({StringF("%d", num_shards),
+                      StringF("%.0f", decides_per_sec),
+                      StringF("%.3f", elapsed * 1000.0 / kPasses)}),
+        "row");
+  }
+  table.Print(std::cout);
+  // Sharding must not wreck the serving plane. Plan lookups are a few
+  // nanoseconds, so on small batches the parallel dispatch can cost more
+  // than it buys; the claim is deliberately loose (scaling *up* shows once
+  // per-decide work grows -- stateful policies, colder caches).
+  bench::Check(decides_per_sec_best >= 0.25 * decides_per_sec_1,
+               "best multi-shard throughput >= 1/4 of single-shard");
+
+  // ------------------------------------------------------------------ 2.
+  const int kFleet = bench::SmokeN(1000, 100);
+  const int kFleetShards = 8;
+  record.Param("fleet_campaigns", kFleet);
+  record.Param("fleet_shards", kFleetShards);
+  auto rate = arrival::PiecewiseConstantRate::Create({50.0, 30.0, 70.0, 40.0},
+                                                     1.0);
+  bench::DieOnError(rate.status(), "rate");
+
+  std::vector<market::SimulatorConfig> configs;
+  for (int i = 0; i < kFleet; ++i) {
+    market::SimulatorConfig config;
+    config.total_tasks = 5 + i % 12;
+    config.horizon_hours = 3.0 + i % 3;
+    config.decision_interval_hours = 1.0;
+    configs.push_back(config);
+  }
+  auto price_of = [](int i) { return 10.0 + i % 20; };
+
+  const auto serial_start = std::chrono::steady_clock::now();
+  std::vector<market::SimulationResult> serial;
+  {
+    Rng master(99);
+    for (int i = 0; i < kFleet; ++i) {
+      Rng child = master.Fork();
+      market::FixedOfferController controller(market::Offer{price_of(i), 1});
+      auto result = market::RunSimulation(configs[static_cast<size_t>(i)],
+                                          *rate, acceptance, controller, child);
+      bench::DieOnError(result.status(), "serial simulation");
+      serial.push_back(std::move(result).value());
+    }
+  }
+  const double serial_seconds = Seconds(serial_start);
+
+  auto fleet_result = market::FleetSimulator::Create(kFleetShards);
+  bench::DieOnError(fleet_result.status(), "fleet");
+  market::FleetSimulator fleet = std::move(fleet_result).value();
+  {
+    Rng master(99);
+    for (int i = 0; i < kFleet; ++i) {
+      Rng child = master.Fork();
+      auto id = fleet.AdmitController(
+          std::make_unique<market::FixedOfferController>(
+              market::Offer{price_of(i), 1}),
+          configs[static_cast<size_t>(i)], acceptance, child);
+      bench::DieOnError(id.status(), "fleet admit");
+    }
+  }
+  const auto fleet_start = std::chrono::steady_clock::now();
+  auto outcomes = fleet.Run(*rate);
+  bench::DieOnError(outcomes.status(), "fleet run");
+  const double fleet_seconds = Seconds(fleet_start);
+
+  bool identical = outcomes->size() == serial.size();
+  for (size_t i = 0; identical && i < serial.size(); ++i) {
+    const market::SimulationResult& got = (*outcomes)[i].result;
+    identical = got.total_cost_cents == serial[i].total_cost_cents &&
+                got.tasks_assigned == serial[i].tasks_assigned &&
+                got.worker_arrivals == serial[i].worker_arrivals &&
+                got.completion_time_hours == serial[i].completion_time_hours &&
+                got.events.size() == serial[i].events.size();
+  }
+  bench::Check(identical,
+               StringF("%d-campaign fleet outcomes bit-identical to serial "
+                       "RunSimulation",
+                       kFleet));
+  bench::Check(fleet.shard_map().live_campaigns() == 0,
+               "every campaign retired from the serving layer");
+
+  std::cout << StringF(
+      "\nfleet of %d campaigns: serial %.3f s, fleet (%d shards) %.3f s\n",
+      kFleet, serial_seconds, kFleetShards, fleet_seconds);
+  record.Metric("serial_seconds", serial_seconds);
+  record.Metric("fleet_seconds", fleet_seconds);
+  record.Metric("fleet_decides",
+                static_cast<double>(fleet.shard_map().TotalStats().decides));
+  bench::DieOnError(record.Write(), "bench record");
+
+  return bench::Finish();
+}

@@ -202,11 +202,14 @@ BENCHMARK(BM_NhppSampling)->Unit(benchmark::kMillisecond);
 // deadline solve, serial vs the shared thread pool, with a bit-identity
 // check between the two plans.
 void RunDp2000Headline() {
+  // Smoke mode keeps the serial-vs-parallel bit-identity check but shrinks
+  // the batch; the record still lands in BENCH_micro_dp2000.json.
+  const int n = bench::SmokeN(2000, 300);
   const int hw = ThreadPool::DefaultThreads();
   const engine::PolicyArtifact serial = bench::SolveOrDie(
-      DpSpec(2000, engine::DeadlineDpSpec::Algorithm::kSimple, 1), "serial DP");
+      DpSpec(n, engine::DeadlineDpSpec::Algorithm::kSimple, 1), "serial DP");
   const engine::PolicyArtifact parallel = bench::SolveOrDie(
-      DpSpec(2000, engine::DeadlineDpSpec::Algorithm::kSimple, 0), "parallel DP");
+      DpSpec(n, engine::DeadlineDpSpec::Algorithm::kSimple, 0), "parallel DP");
   const pricing::DeadlinePlan& a = **serial.deadline_plan();
   const pricing::DeadlinePlan& b = **parallel.deadline_plan();
   bool identical = true;
@@ -220,15 +223,15 @@ void RunDp2000Headline() {
     }
   }
   std::printf(
-      "DP N=2000 T=24: serial %.3fs, %d-thread %.3fs (%.2fx), plans %s; "
+      "DP N=%d T=24: serial %.3fs, %d-thread %.3fs (%.2fx), plans %s; "
       "poisson tables built %lld, reused %lld\n",
-      a.solve_seconds, b.threads_used, b.solve_seconds,
+      n, a.solve_seconds, b.threads_used, b.solve_seconds,
       b.solve_seconds > 0 ? a.solve_seconds / b.solve_seconds : 0.0,
       identical ? "bit-identical" : "DIFFERENT (BUG)",
       static_cast<long long>(b.poisson_tables_built),
       static_cast<long long>(b.poisson_table_reuses));
   (void)bench::BenchRecord("micro_dp2000")
-      .Param("N", 2000)
+      .Param("N", n)
       .Param("T", 24)
       .Param("max_price", 50)
       .Param("hardware_threads", hw)
@@ -246,10 +249,27 @@ void RunDp2000Headline() {
 }  // namespace crowdprice
 
 int main(int argc, char** argv) {
+  // Strip --smoke before google-benchmark sees the args (it rejects
+  // unknown flags); in smoke mode run only one cheap kernel per family.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      crowdprice::bench::g_smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
   crowdprice::RunDp2000Headline();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (crowdprice::bench::Smoke()) {
+    benchmark::RunSpecifiedBenchmarks("BM_PoissonPmf|BM_LowerConvexHull");
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -9,7 +9,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Table 1: truncation point s0 by threshold and Poisson mean ===\n\n";
   Table table({"threshold", "lambda", "s0 (ours)", "s0 (paper)"});
   struct Row {

@@ -17,7 +17,8 @@
 
 using namespace crowdprice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   std::cout << "=== Table 2: least-squares workload regression by task type ===\n\n";
   Rng rng(20140827);
   choice::SnapshotConfig config;

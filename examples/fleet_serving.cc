@@ -1,0 +1,152 @@
+// Fleet serving: many concurrent campaigns on the sharded serving layer.
+//
+// The single-campaign flow (see quickstart.cc) solves one policy and plays
+// one simulated campaign. A marketplace runs *many* batches at once, so
+// this example:
+//   1. solves two deadline policies (a tight 6-hour batch and a relaxed
+//      12-hour batch);
+//   2. admits 120 campaigns -- alternating between the two policies --
+//      into a serving::CampaignShardMap via market::FleetSimulator;
+//   3. answers a batched price lookup across every live campaign with one
+//      CampaignShardMap::DecideBatch pass;
+//   4. plays the whole fleet against one shared arrival stream and reads
+//      the per-shard serving stats the layer kept while campaigns
+//      completed or hit their deadlines.
+//
+// Build: cmake --build build --target fleet_serving
+// Run:   ./build/examples/fleet_serving
+
+#include <iostream>
+#include <memory>
+
+#include "crowdprice.h"
+
+using namespace crowdprice;
+
+namespace {
+
+Result<engine::PolicyArtifact> SolveDeadlinePolicy(
+    int tasks, double horizon_hours, double rate_per_hour,
+    const choice::AcceptanceFunction& acceptance) {
+  const int intervals = static_cast<int>(horizon_hours * 3.0);
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = tasks;
+  spec.problem.num_intervals = intervals;
+  spec.interval_lambdas.assign(static_cast<size_t>(intervals),
+                               rate_per_hour * horizon_hours / intervals);
+  CP_ASSIGN_OR_RETURN(pricing::ActionSet actions,
+                      pricing::ActionSet::FromPriceGrid(40, acceptance));
+  spec.actions = std::move(actions);
+  spec.expected_remaining_bound = 0.5;
+  return engine::Solve(spec);
+}
+
+}  // namespace
+
+int main() {
+  const choice::LogitAcceptance acceptance = choice::LogitAcceptance::Paper2014();
+  // The shared marketplace: ~4000 workers/hour (mturk scale) with a mild
+  // diurnal wobble.
+  auto rate = arrival::PiecewiseConstantRate::Create(
+      {4200.0, 3800.0, 4700.0, 3500.0, 4400.0, 4000.0}, 2.0);
+  if (!rate.ok()) {
+    std::cerr << rate.status() << "\n";
+    return 1;
+  }
+
+  // ---------------------------------------------------------------- 1.
+  auto tight = SolveDeadlinePolicy(60, 6.0, 4000.0, acceptance);
+  auto relaxed = SolveDeadlinePolicy(60, 12.0, 4000.0, acceptance);
+  if (!tight.ok() || !relaxed.ok()) {
+    std::cerr << (tight.ok() ? relaxed.status() : tight.status()) << "\n";
+    return 1;
+  }
+
+  // ---------------------------------------------------------------- 2.
+  // Half the fleet plays each policy; the solved tables are shared, so
+  // 120 campaigns cost two artifacts, not 120.
+  constexpr int kCampaigns = 120;
+  constexpr int kShards = 8;
+  auto fleet = market::FleetSimulator::Create(kShards);
+  if (!fleet.ok()) {
+    std::cerr << fleet.status() << "\n";
+    return 1;
+  }
+  auto tight_shared =
+      std::make_shared<const engine::PolicyArtifact>(std::move(*tight));
+  auto relaxed_shared =
+      std::make_shared<const engine::PolicyArtifact>(std::move(*relaxed));
+  Rng master(2026);
+  std::vector<serving::CampaignId> ids;
+  for (int i = 0; i < kCampaigns; ++i) {
+    const bool is_tight = i % 2 == 0;
+    market::SimulatorConfig config;
+    config.total_tasks = 60;
+    config.horizon_hours = is_tight ? 6.0 : 12.0;
+    config.decision_interval_hours = 1.0 / 3.0;
+    config.service_minutes_per_task = 2.0;
+    auto id = fleet->AdmitShared(is_tight ? tight_shared : relaxed_shared,
+                                 config, acceptance, master.Fork());
+    if (!id.ok()) {
+      std::cerr << id.status() << "\n";
+      return 1;
+    }
+    ids.push_back(*id);
+  }
+  std::cout << StringF("admitted %d campaigns across %d shards\n", kCampaigns,
+                       kShards);
+
+  // ---------------------------------------------------------------- 3.
+  // A serving-plane moment: one batched pass prices every live campaign.
+  std::vector<serving::DecideRequest> requests;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    serving::DecideRequest request;
+    request.campaign_id = ids[i];
+    request.now_hours = 1.0;
+    request.remaining_tasks = 45;
+    requests.push_back(request);
+  }
+  serving::CampaignShardMap& map = fleet->mutable_shard_map();
+  double min_offer = 1e9, max_offer = 0.0;
+  for (const auto& response : map.DecideBatch(requests)) {
+    if (!response.status.ok()) {
+      std::cerr << response.status << "\n";
+      return 1;
+    }
+    min_offer = std::min(min_offer, response.offer.per_task_reward_cents);
+    max_offer = std::max(max_offer, response.offer.per_task_reward_cents);
+  }
+  std::cout << StringF(
+      "batched lookup at t=1h, 45 tasks left: offers span %.0f..%.0f cents\n"
+      "(the 6-hour campaigns must pay more than the 12-hour ones)\n\n",
+      min_offer, max_offer);
+
+  // ---------------------------------------------------------------- 4.
+  auto outcomes = fleet->Run(*rate);
+  if (!outcomes.ok()) {
+    std::cerr << outcomes.status() << "\n";
+    return 1;
+  }
+  int finished = 0;
+  double paid = 0.0;
+  for (const auto& outcome : *outcomes) {
+    if (outcome.result.finished) ++finished;
+    paid += outcome.result.total_cost_cents;
+  }
+  std::cout << StringF("fleet done: %d / %d campaigns finished, %.0f cents paid\n",
+                       finished, kCampaigns, paid);
+
+  Table stats({"shard", "admitted", "decides", "completed", "deadline"});
+  for (int s = 0; s < map.num_shards(); ++s) {
+    const serving::ShardStats shard = map.shard_stats(s);
+    (void)stats.AddRow({StringF("%d", s),
+                        StringF("%llu", (unsigned long long)shard.admitted),
+                        StringF("%llu", (unsigned long long)shard.decides),
+                        StringF("%llu", (unsigned long long)shard.retired_completed),
+                        StringF("%llu", (unsigned long long)shard.retired_deadline)});
+  }
+  stats.Print(std::cout);
+  std::cout << "\nall campaigns retired; serving layer is empty: "
+            << (map.live_campaigns() == 0 ? "yes" : "no") << "\n";
+  return map.live_campaigns() == 0 ? 0 : 1;
+}

@@ -22,6 +22,8 @@
 #include "engine/policy_spec.h"     // IWYU pragma: export
 #include "engine/solver_registry.h" // IWYU pragma: export
 #include "market/controller.h"      // IWYU pragma: export
+#include "market/fleet_simulator.h" // IWYU pragma: export
+#include "market/session.h"         // IWYU pragma: export
 #include "market/simulator.h"       // IWYU pragma: export
 #include "market/types.h"           // IWYU pragma: export
 #include "pricing/action.h"         // IWYU pragma: export
@@ -38,6 +40,7 @@
 #include "pricing/problem.h"        // IWYU pragma: export
 #include "pricing/quality.h"        // IWYU pragma: export
 #include "pricing/tradeoff.h"       // IWYU pragma: export
+#include "serving/campaign_shard_map.h"  // IWYU pragma: export
 #include "stats/convex_hull.h"      // IWYU pragma: export
 #include "stats/descriptive.h"      // IWYU pragma: export
 #include "stats/distributions.h"    // IWYU pragma: export

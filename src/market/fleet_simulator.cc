@@ -1,0 +1,149 @@
+#include "market/fleet_simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "market/session.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::market {
+
+FleetSimulator::FleetSimulator(serving::CampaignShardMap map)
+    : map_(std::move(map)) {}
+
+Result<FleetSimulator> FleetSimulator::Create(int num_shards) {
+  CP_ASSIGN_OR_RETURN(serving::CampaignShardMap map,
+                      serving::CampaignShardMap::Create(num_shards));
+  return FleetSimulator(std::move(map));
+}
+
+Result<serving::CampaignId> FleetSimulator::Admit(
+    engine::PolicyArtifact artifact, const SimulatorConfig& config,
+    const choice::AcceptanceFunction& acceptance, Rng rng) {
+  return AdmitShared(
+      std::make_shared<const engine::PolicyArtifact>(std::move(artifact)),
+      config, acceptance, rng);
+}
+
+Result<serving::CampaignId> FleetSimulator::AdmitShared(
+    std::shared_ptr<const engine::PolicyArtifact> artifact,
+    const SimulatorConfig& config, const choice::AcceptanceFunction& acceptance,
+    Rng rng) {
+  CP_RETURN_IF_ERROR(config.Validate());
+  serving::CampaignLimits limits;
+  limits.total_tasks = config.total_tasks;
+  limits.deadline_hours = config.horizon_hours;
+  CP_ASSIGN_OR_RETURN(serving::CampaignId id,
+                      map_.AdmitShared(std::move(artifact), limits));
+  pending_.push_back(Pending{id, config, &acceptance, rng});
+  return id;
+}
+
+Result<serving::CampaignId> FleetSimulator::AdmitController(
+    std::unique_ptr<PricingController> controller,
+    const SimulatorConfig& config, const choice::AcceptanceFunction& acceptance,
+    Rng rng) {
+  CP_RETURN_IF_ERROR(config.Validate());
+  serving::CampaignLimits limits;
+  limits.total_tasks = config.total_tasks;
+  limits.deadline_hours = config.horizon_hours;
+  CP_ASSIGN_OR_RETURN(serving::CampaignId id,
+                      map_.AdmitController(std::move(controller), limits));
+  pending_.push_back(Pending{id, config, &acceptance, rng});
+  return id;
+}
+
+Result<std::vector<FleetOutcome>> FleetSimulator::Run(
+    const arrival::PiecewiseConstantRate& rate) {
+  if (pending_.empty()) {
+    return Status::FailedPrecondition("no campaigns admitted");
+  }
+  const int num_shards = map_.num_shards();
+
+  // Each live campaign rides on its shard's list; during a slice exactly
+  // one pool thread advances a given shard's campaigns, so sessions (and
+  // the controllers they borrow from the map) are never shared across
+  // threads.
+  struct Running {
+    size_t admit_index = 0;
+    serving::CampaignId id = 0;
+    CampaignSession session;
+  };
+  std::vector<std::vector<Running>> by_shard(static_cast<size_t>(num_shards));
+  double max_horizon = 0.0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    Pending& pending = pending_[i];
+    CP_ASSIGN_OR_RETURN(market::PricingController * controller,
+                        map_.BorrowController(pending.id));
+    CP_ASSIGN_OR_RETURN(
+        CampaignSession session,
+        CampaignSession::Create(pending.config, rate, *pending.acceptance,
+                                *controller, pending.rng));
+    by_shard[static_cast<size_t>(map_.ShardOf(pending.id))].push_back(
+        Running{i, pending.id, std::move(session)});
+    max_horizon = std::max(max_horizon, pending.config.horizon_hours);
+  }
+
+  std::vector<FleetOutcome> outcomes(pending_.size());
+  std::vector<Status> shard_status(static_cast<size_t>(num_shards),
+                                   Status::OK());
+
+  // The shared event clock: one arrival bucket per slice. Campaigns whose
+  // horizon falls inside a slice stop exactly at their horizon (the
+  // session caps its final bucket), then tick out of the serving map --
+  // completed when the batch drained, deadline-expired otherwise.
+  const double bucket = rate.bucket_width_hours();
+  for (double t = bucket;; t += bucket) {
+    const double until = std::min(t, max_horizon);
+    map_.ParallelOverShards([&](int shard_index) {
+      auto& running = by_shard[static_cast<size_t>(shard_index)];
+      Status& status = shard_status[static_cast<size_t>(shard_index)];
+      for (auto it = running.begin(); it != running.end();) {
+        if (!status.ok()) return;
+        const Status advanced = it->session.AdvanceUntil(until);
+        if (!advanced.ok()) {
+          status = advanced;
+          return;
+        }
+        if (!it->session.done()) {
+          ++it;
+          continue;
+        }
+        map_.AddDecides(shard_index, it->session.decides());
+        FleetOutcome& outcome = outcomes[it->admit_index];
+        outcome.campaign_id = it->id;
+        Result<serving::CampaignState> state =
+            map_.Tick(it->id, it->session.config().horizon_hours,
+                      it->session.remaining_tasks());
+        if (!state.ok()) {
+          status = state.status();
+          return;
+        }
+        outcome.final_state = *state;
+        Result<SimulationResult> result = std::move(it->session).TakeResult();
+        if (!result.ok()) {
+          status = result.status();
+          return;
+        }
+        outcome.result = std::move(*result);
+        it = running.erase(it);
+      }
+    });
+    for (const Status& status : shard_status) {
+      CP_RETURN_IF_ERROR(status);
+    }
+    size_t live = 0;
+    for (const auto& running : by_shard) live += running.size();
+    if (live == 0) break;
+    if (until >= max_horizon) {
+      return Status::Internal(
+          "fleet clock passed every horizon with live sessions");
+    }
+  }
+
+  pending_.clear();
+  return outcomes;
+}
+
+}  // namespace crowdprice::market

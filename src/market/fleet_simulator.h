@@ -1,0 +1,117 @@
+// FleetSimulator: thousands of concurrent campaigns on one shared clock.
+//
+// RunSimulation plays one campaign start-to-finish; real marketplaces run
+// many batches at once against the same worker arrival process. The fleet
+// simulator admits every campaign into a serving::CampaignShardMap (so the
+// serving layer's lifecycle -- admit, tick, retire on completion or
+// deadline -- is exercised under load) and drives all of them with one
+// event loop: global time advances one arrival-rate bucket at a time, and
+// at each slice every shard advances its campaigns concurrently on the
+// serving pool.
+//
+// Determinism: each campaign owns its Rng and its CampaignSession, and a
+// session only ever plays whole arrival buckets (see market/session.h), so
+// slicing the fleet's clock never changes any campaign's draw sequence.
+// Per-campaign outcomes are therefore bit-identical to running
+// market::RunSimulation serially with the same controller and Rng --
+// whatever the shard count. That property is the correctness harness for
+// this whole layer (tests/fleet_simulator_test.cc asserts it over 1000+
+// campaigns).
+
+#ifndef CROWDPRICE_MARKET_FLEET_SIMULATOR_H_
+#define CROWDPRICE_MARKET_FLEET_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arrival/rate_function.h"
+#include "choice/acceptance.h"
+#include "engine/policy_artifact.h"
+#include "market/controller.h"
+#include "market/simulator.h"
+#include "market/types.h"
+#include "serving/campaign_shard_map.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::market {
+
+/// Outcome of one fleet campaign, in admission order.
+struct FleetOutcome {
+  serving::CampaignId campaign_id = 0;
+  /// kRetiredCompleted when the batch finished, kRetiredDeadline when the
+  /// deadline passed with tasks unassigned.
+  serving::CampaignState final_state = serving::CampaignState::kLive;
+  SimulationResult result;
+};
+
+class FleetSimulator {
+ public:
+  /// The fleet serves its campaigns from a CampaignShardMap with
+  /// `num_shards` shards (see CampaignShardMap::Create).
+  static Result<FleetSimulator> Create(int num_shards);
+
+  FleetSimulator(FleetSimulator&&) = default;
+  FleetSimulator& operator=(FleetSimulator&&) = default;
+
+  /// Admits a campaign played by a solved policy. The acceptance function
+  /// is borrowed and must outlive Run(); the Rng is the campaign's own
+  /// stream (fork one per campaign for independence).
+  Result<serving::CampaignId> Admit(engine::PolicyArtifact artifact,
+                                    const SimulatorConfig& config,
+                                    const choice::AcceptanceFunction& acceptance,
+                                    Rng rng);
+
+  /// Same, sharing one immutable artifact across many campaigns (one copy
+  /// of the solved tables however large the fleet).
+  Result<serving::CampaignId> AdmitShared(
+      std::shared_ptr<const engine::PolicyArtifact> artifact,
+      const SimulatorConfig& config,
+      const choice::AcceptanceFunction& acceptance, Rng rng);
+
+  /// Admits a campaign played by an explicit controller (baselines).
+  Result<serving::CampaignId> AdmitController(
+      std::unique_ptr<PricingController> controller,
+      const SimulatorConfig& config,
+      const choice::AcceptanceFunction& acceptance, Rng rng);
+
+  /// Plays every admitted campaign to completion or deadline against the
+  /// shared arrival process and returns outcomes in admission order. All
+  /// campaigns retire from the shard map as they finish; the pending set
+  /// clears, so the simulator can be reused for another wave.
+  ///
+  /// While Run is in flight the campaigns being simulated are driven by
+  /// borrowed controllers on their shard's thread, outside the shard
+  /// mutex: do not Decide/Tick/Retire those campaigns through the map
+  /// concurrently (racing a stateful controller, or destroying one the
+  /// loop still holds). Serving-plane calls are safe before Run, after
+  /// Run, and against campaigns admitted for a later wave.
+  Result<std::vector<FleetOutcome>> Run(
+      const arrival::PiecewiseConstantRate& rate);
+
+  /// The serving layer under the fleet (shard stats, live campaigns).
+  const serving::CampaignShardMap& shard_map() const { return map_; }
+  /// Mutable access for serving-plane calls (DecideBatch, extra admits)
+  /// between fleet waves -- see the Run() concurrency contract.
+  serving::CampaignShardMap& mutable_shard_map() { return map_; }
+
+  size_t pending_campaigns() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    serving::CampaignId id = 0;
+    SimulatorConfig config;
+    const choice::AcceptanceFunction* acceptance = nullptr;
+    Rng rng{0};
+  };
+
+  explicit FleetSimulator(serving::CampaignShardMap map);
+
+  serving::CampaignShardMap map_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace crowdprice::market
+
+#endif  // CROWDPRICE_MARKET_FLEET_SIMULATOR_H_

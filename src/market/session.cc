@@ -1,0 +1,175 @@
+#include "market/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "stats/distributions.h"
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::market {
+
+namespace {
+
+Status ValidateOffer(const Offer& offer) {
+  if (offer.group_size < 1) {
+    return Status::InvalidArgument(
+        StringF("controller returned group_size %d (< 1)", offer.group_size));
+  }
+  if (!(offer.per_task_reward_cents >= 0.0) ||
+      !std::isfinite(offer.per_task_reward_cents)) {
+    return Status::InvalidArgument(
+        StringF("controller returned invalid reward %g",
+                offer.per_task_reward_cents));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+CampaignSession::CampaignSession(const SimulatorConfig& config,
+                                 const arrival::PiecewiseConstantRate& rate,
+                                 const choice::AcceptanceFunction& acceptance,
+                                 PricingController& controller, Rng rng)
+    : config_(config),
+      rate_(&rate),
+      acceptance_(&acceptance),
+      controller_(&controller),
+      rng_(rng),
+      remaining_(config.total_tasks) {}
+
+Result<CampaignSession> CampaignSession::Create(
+    const SimulatorConfig& config, const arrival::PiecewiseConstantRate& rate,
+    const choice::AcceptanceFunction& acceptance, PricingController& controller,
+    Rng rng) {
+  CP_RETURN_IF_ERROR(config.Validate());
+  return CampaignSession(config, rate, acceptance, controller, rng);
+}
+
+Status CampaignSession::AdvanceUntil(double until_hours) {
+  // Stream NHPP arrivals one rate bucket at a time (workloads with generous
+  // horizons stop as soon as the batch is assigned, without materializing
+  // the remaining arrivals). A bucket is played only once `until_hours`
+  // covers it entirely, so slicing never changes the draw sequence.
+  const double bucket = rate_->bucket_width_hours();
+  while (!done()) {
+    const double next_edge =
+        (std::floor(clock_hours_ / bucket + 1e-12) + 1.0) * bucket;
+    const double seg_end = std::min(next_edge, config_.horizon_hours);
+    if (seg_end > until_hours) break;
+    if (seg_end <= clock_hours_) {
+      return Status::NumericError("arrival bucket walk made no progress");
+    }
+    CP_RETURN_IF_ERROR(ProcessBucket(clock_hours_, seg_end));
+    clock_hours_ = seg_end;
+  }
+  return Status::OK();
+}
+
+Status CampaignSession::ProcessBucket(double seg_start, double seg_end) {
+  const double mean = rate_->At(seg_start) * (seg_end - seg_start);
+  const int count = stats::SamplePoisson(rng_, mean);
+  arrivals_.clear();
+  arrivals_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    arrivals_.push_back(seg_start + rng_.NextDouble() * (seg_end - seg_start));
+  }
+  std::sort(arrivals_.begin(), arrivals_.end());
+
+  for (double t : arrivals_) {
+    if (remaining_ <= 0) break;
+    ++result_.worker_arrivals;
+    // Refresh the offer at every decision epoch boundary crossed so far.
+    while (next_epoch_ <= t) {
+      ++decides_;
+      CP_ASSIGN_OR_RETURN(offer_, controller_->Decide(next_epoch_, remaining_));
+      CP_RETURN_IF_ERROR(ValidateOffer(offer_));
+      offer_valid_ = true;
+      next_epoch_ += config_.decision_interval_hours;
+    }
+    if (config_.decide_on_every_assignment || !offer_valid_) {
+      ++decides_;
+      CP_ASSIGN_OR_RETURN(offer_, controller_->Decide(t, remaining_));
+      CP_RETURN_IF_ERROR(ValidateOffer(offer_));
+      offer_valid_ = true;
+    }
+
+    const double p = acceptance_->ProbabilityAt(offer_.per_task_reward_cents);
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::NumericError(
+          StringF("acceptance p(%g) = %g outside [0, 1]",
+                  offer_.per_task_reward_cents, p));
+    }
+    if (!rng_.Bernoulli(p)) continue;
+
+    // The worker takes HITs until they quit (retention) or tasks run out.
+    WorkerRecord worker;
+    worker.first_accept_hours = t;
+    worker.true_accuracy =
+        config_.accuracy.enabled
+            ? stats::SampleBeta(rng_, config_.accuracy.beta_alpha,
+                                config_.accuracy.beta_beta)
+            : 0.0;
+    double now = t;
+    Offer active = offer_;
+    while (remaining_ > 0) {
+      if (config_.decide_on_every_assignment) {
+        ++decides_;
+        CP_ASSIGN_OR_RETURN(active, controller_->Decide(now, remaining_));
+        CP_RETURN_IF_ERROR(ValidateOffer(active));
+      }
+      const int take =
+          static_cast<int>(std::min<int64_t>(active.group_size, remaining_));
+      remaining_ -= take;
+      result_.tasks_assigned += take;
+      const double done_at =
+          now + config_.service_minutes_per_task * take / 60.0;
+      const double paid = active.per_task_reward_cents * take;
+      result_.total_cost_cents += paid;
+      CompletionEvent ev;
+      ev.time_hours = done_at;
+      ev.tasks = take;
+      ev.cost_cents = paid;
+      ev.group_size = active.group_size;
+      result_.events.push_back(ev);
+      last_completion_ = std::max(last_completion_, done_at);
+      worker.hits += 1;
+      worker.tasks += take;
+      if (config_.accuracy.enabled) {
+        worker.correct +=
+            stats::SampleBinomial(rng_, take, worker.true_accuracy);
+      }
+      now = done_at;
+      // Quit the session at the horizon or by the retention coin flip.
+      if (now >= config_.horizon_hours) break;
+      if (!rng_.Bernoulli(
+              config_.retention.ProbabilityAt(active.per_task_reward_cents))) {
+        break;
+      }
+    }
+    result_.workers.push_back(worker);
+  }
+  return Status::OK();
+}
+
+Result<SimulationResult> CampaignSession::TakeResult() && {
+  if (!done()) {
+    return Status::FailedPrecondition(
+        "TakeResult before the campaign reached its horizon or finished");
+  }
+  SimulationResult result = std::move(result_);
+  for (const auto& ev : result.events) {
+    if (ev.time_hours <= config_.horizon_hours) {
+      result.tasks_completed_by_horizon += ev.tasks;
+    }
+  }
+  result.tasks_unassigned = config_.total_tasks - result.tasks_assigned;
+  result.finished = result.tasks_assigned == config_.total_tasks;
+  result.completion_time_hours =
+      result.finished ? last_completion_ : config_.horizon_hours;
+  return result;
+}
+
+}  // namespace crowdprice::market

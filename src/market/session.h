@@ -1,0 +1,109 @@
+// CampaignSession: one simulated campaign as a resumable object.
+//
+// RunSimulation (market/simulator.h) plays a campaign from t = 0 to its
+// horizon in a single call. The fleet simulator needs to interleave
+// thousands of campaigns on one global clock, so the single-campaign loop
+// lives here as a session that can be advanced in time slices:
+//
+//   CP_ASSIGN_OR_RETURN(CampaignSession session,
+//                       CampaignSession::Create(config, rate, acceptance,
+//                                               controller, rng));
+//   while (!session.done()) {
+//     CP_RETURN_IF_ERROR(session.AdvanceUntil(next_slice_hours));
+//     ...
+//   }
+//   CP_ASSIGN_OR_RETURN(SimulationResult result,
+//                       std::move(session).TakeResult());
+//
+// Determinism contract: a session advances through *whole* arrival-rate
+// buckets (a bucket is processed only once the slice covers its full
+// [start, end) span, with the campaign horizon capping the final bucket).
+// All random draws therefore happen in exactly the same order regardless
+// of how the advancement is sliced, so any monotone slice schedule whose
+// final slice reaches the horizon yields results bit-identical to one
+// AdvanceUntil(horizon) call -- which is what RunSimulation does. The
+// fleet simulator's serial-equivalence property rests on this.
+
+#ifndef CROWDPRICE_MARKET_SESSION_H_
+#define CROWDPRICE_MARKET_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arrival/rate_function.h"
+#include "choice/acceptance.h"
+#include "market/controller.h"
+#include "market/simulator.h"
+#include "market/types.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::market {
+
+class CampaignSession {
+ public:
+  /// Validates `config` and captures the campaign's inputs. `rate`,
+  /// `acceptance` and `controller` are borrowed and must outlive the
+  /// session; the Rng is owned (copy it in, read it back via rng()).
+  static Result<CampaignSession> Create(
+      const SimulatorConfig& config,
+      const arrival::PiecewiseConstantRate& rate,
+      const choice::AcceptanceFunction& acceptance,
+      PricingController& controller, Rng rng);
+
+  CampaignSession(CampaignSession&&) = default;
+  CampaignSession& operator=(CampaignSession&&) = default;
+
+  /// Advances the campaign through every arrival bucket that ends at or
+  /// before `until_hours` (the horizon caps the last bucket, so any
+  /// `until_hours` >= the horizon plays the campaign to its end). Calls
+  /// with non-increasing `until_hours` are no-ops.
+  Status AdvanceUntil(double until_hours);
+
+  /// True once the batch is fully assigned or the clock reached the
+  /// horizon; AdvanceUntil becomes a no-op and TakeResult is available.
+  bool done() const {
+    return remaining_ <= 0 || !(clock_hours_ < config_.horizon_hours);
+  }
+
+  const SimulatorConfig& config() const { return config_; }
+  int64_t remaining_tasks() const { return remaining_; }
+  /// Controller consultations so far (decision epochs + per-assignment).
+  uint64_t decides() const { return decides_; }
+  /// The owned generator; RunSimulation copies it back to its caller.
+  const Rng& rng() const { return rng_; }
+
+  /// Finalizes and returns the campaign outcome. Requires done().
+  Result<SimulationResult> TakeResult() &&;
+
+ private:
+  CampaignSession(const SimulatorConfig& config,
+                  const arrival::PiecewiseConstantRate& rate,
+                  const choice::AcceptanceFunction& acceptance,
+                  PricingController& controller, Rng rng);
+
+  /// Plays every arrival in [seg_start, seg_end): the body of the
+  /// RunSimulation bucket loop, verbatim.
+  Status ProcessBucket(double seg_start, double seg_end);
+
+  SimulatorConfig config_;
+  const arrival::PiecewiseConstantRate* rate_;
+  const choice::AcceptanceFunction* acceptance_;
+  PricingController* controller_;
+  Rng rng_;
+
+  // Campaign state carried across AdvanceUntil calls.
+  SimulationResult result_;
+  int64_t remaining_ = 0;
+  double clock_hours_ = 0.0;  ///< Start of the next unprocessed bucket.
+  double next_epoch_ = 0.0;
+  Offer offer_;
+  bool offer_valid_ = false;
+  double last_completion_ = 0.0;
+  uint64_t decides_ = 0;
+  std::vector<double> arrivals_;  ///< Per-bucket scratch buffer.
+};
+
+}  // namespace crowdprice::market
+
+#endif  // CROWDPRICE_MARKET_SESSION_H_

@@ -1,10 +1,9 @@
 #include "market/simulator.h"
 
-#include <algorithm>
 #include <cmath>
+#include <utility>
 
-#include "stats/distributions.h"
-#include "stats/poisson.h"
+#include "market/session.h"
 #include "util/macros.h"
 #include "util/stringf.h"
 
@@ -41,141 +40,19 @@ Status SimulatorConfig::Validate() const {
   return Status::OK();
 }
 
-namespace {
-
-Status ValidateOffer(const Offer& offer) {
-  if (offer.group_size < 1) {
-    return Status::InvalidArgument(
-        StringF("controller returned group_size %d (< 1)", offer.group_size));
-  }
-  if (!(offer.per_task_reward_cents >= 0.0) ||
-      !std::isfinite(offer.per_task_reward_cents)) {
-    return Status::InvalidArgument(
-        StringF("controller returned invalid reward %g",
-                offer.per_task_reward_cents));
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 Result<SimulationResult> RunSimulation(const SimulatorConfig& config,
                                        const arrival::PiecewiseConstantRate& rate,
                                        const choice::AcceptanceFunction& acceptance,
                                        PricingController& controller, Rng& rng) {
-  CP_RETURN_IF_ERROR(config.Validate());
-
-  SimulationResult result;
-  int64_t remaining = config.total_tasks;
-  double next_epoch = 0.0;
-  Offer offer;
-  bool offer_valid = false;
-  double last_completion = 0.0;
-
-  // Stream NHPP arrivals one rate bucket at a time (workloads with generous
-  // horizons stop as soon as the batch is assigned, without materializing
-  // the remaining arrivals).
-  const double bucket = rate.bucket_width_hours();
-  double seg_start = 0.0;
-  std::vector<double> arrivals;
-  while (seg_start < config.horizon_hours && remaining > 0) {
-    const double next_edge =
-        (std::floor(seg_start / bucket + 1e-12) + 1.0) * bucket;
-    const double seg_end = std::min(next_edge, config.horizon_hours);
-    if (seg_end <= seg_start) {
-      return Status::NumericError("arrival bucket walk made no progress");
-    }
-    const double mean = rate.At(seg_start) * (seg_end - seg_start);
-    const int count = stats::SamplePoisson(rng, mean);
-    arrivals.clear();
-    arrivals.reserve(static_cast<size_t>(count));
-    for (int i = 0; i < count; ++i) {
-      arrivals.push_back(seg_start + rng.NextDouble() * (seg_end - seg_start));
-    }
-    std::sort(arrivals.begin(), arrivals.end());
-    seg_start = seg_end;
-
-  for (double t : arrivals) {
-    if (remaining <= 0) break;
-    ++result.worker_arrivals;
-    // Refresh the offer at every decision epoch boundary crossed so far.
-    while (next_epoch <= t) {
-      CP_ASSIGN_OR_RETURN(offer, controller.Decide(next_epoch, remaining));
-      CP_RETURN_IF_ERROR(ValidateOffer(offer));
-      offer_valid = true;
-      next_epoch += config.decision_interval_hours;
-    }
-    if (config.decide_on_every_assignment || !offer_valid) {
-      CP_ASSIGN_OR_RETURN(offer, controller.Decide(t, remaining));
-      CP_RETURN_IF_ERROR(ValidateOffer(offer));
-      offer_valid = true;
-    }
-
-    const double p = acceptance.ProbabilityAt(offer.per_task_reward_cents);
-    if (!(p >= 0.0 && p <= 1.0)) {
-      return Status::NumericError(
-          StringF("acceptance p(%g) = %g outside [0, 1]",
-                  offer.per_task_reward_cents, p));
-    }
-    if (!rng.Bernoulli(p)) continue;
-
-    // The worker takes HITs until they quit (retention) or tasks run out.
-    WorkerRecord worker;
-    worker.first_accept_hours = t;
-    worker.true_accuracy =
-        config.accuracy.enabled
-            ? stats::SampleBeta(rng, config.accuracy.beta_alpha,
-                                config.accuracy.beta_beta)
-            : 0.0;
-    double now = t;
-    Offer active = offer;
-    while (remaining > 0) {
-      if (config.decide_on_every_assignment) {
-        CP_ASSIGN_OR_RETURN(active, controller.Decide(now, remaining));
-        CP_RETURN_IF_ERROR(ValidateOffer(active));
-      }
-      const int take =
-          static_cast<int>(std::min<int64_t>(active.group_size, remaining));
-      remaining -= take;
-      result.tasks_assigned += take;
-      const double done_at =
-          now + config.service_minutes_per_task * take / 60.0;
-      const double paid = active.per_task_reward_cents * take;
-      result.total_cost_cents += paid;
-      CompletionEvent ev;
-      ev.time_hours = done_at;
-      ev.tasks = take;
-      ev.cost_cents = paid;
-      ev.group_size = active.group_size;
-      result.events.push_back(ev);
-      last_completion = std::max(last_completion, done_at);
-      worker.hits += 1;
-      worker.tasks += take;
-      if (config.accuracy.enabled) {
-        worker.correct += stats::SampleBinomial(rng, take, worker.true_accuracy);
-      }
-      now = done_at;
-      // Quit the session at the horizon or by the retention coin flip.
-      if (now >= config.horizon_hours) break;
-      if (!rng.Bernoulli(
-              config.retention.ProbabilityAt(active.per_task_reward_cents))) {
-        break;
-      }
-    }
-    result.workers.push_back(worker);
-  }
-  }
-
-  for (const auto& ev : result.events) {
-    if (ev.time_hours <= config.horizon_hours) {
-      result.tasks_completed_by_horizon += ev.tasks;
-    }
-  }
-  result.tasks_unassigned = config.total_tasks - result.tasks_assigned;
-  result.finished = result.tasks_assigned == config.total_tasks;
-  result.completion_time_hours =
-      result.finished ? last_completion : config.horizon_hours;
-  return result;
+  // One campaign is a session advanced to its horizon in a single slice;
+  // the fleet simulator advances the same session type on a shared clock,
+  // which is why its outcomes are bit-identical to this function's.
+  CP_ASSIGN_OR_RETURN(
+      CampaignSession session,
+      CampaignSession::Create(config, rate, acceptance, controller, rng));
+  CP_RETURN_IF_ERROR(session.AdvanceUntil(config.horizon_hours));
+  rng = session.rng();
+  return std::move(session).TakeResult();
 }
 
 }  // namespace crowdprice::market

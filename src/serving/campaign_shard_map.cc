@@ -1,0 +1,316 @@
+#include "serving/campaign_shard_map.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/stringf.h"
+#include "util/thread_pool.h"
+
+namespace crowdprice::serving {
+
+namespace {
+
+/// One live campaign: the solved policy (shared because many campaigns
+/// typically play the same immutable artifact, and heap-pinned because
+/// controllers may point into its tables) and the controller playing it.
+/// The artifact is null for AdmitController campaigns.
+struct Campaign {
+  std::shared_ptr<const engine::PolicyArtifact> artifact;
+  std::unique_ptr<market::PricingController> controller;
+  CampaignLimits limits;
+};
+
+}  // namespace
+
+Status CampaignLimits::Validate() const {
+  if (total_tasks < 1) {
+    return Status::InvalidArgument(
+        StringF("limits.total_tasks must be >= 1; got %lld",
+                static_cast<long long>(total_tasks)));
+  }
+  if (!(deadline_hours > 0.0) || !std::isfinite(deadline_hours)) {
+    return Status::InvalidArgument(
+        StringF("limits.deadline_hours must be > 0; got %g", deadline_hours));
+  }
+  return Status::OK();
+}
+
+const char* CampaignStateName(CampaignState state) {
+  switch (state) {
+    case CampaignState::kLive:
+      return "live";
+    case CampaignState::kRetiredCompleted:
+      return "completed";
+    case CampaignState::kRetiredDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+struct CampaignShardMap::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<CampaignId, Campaign> campaigns;
+  ShardStats stats;
+};
+
+struct CampaignShardMap::Impl {
+  // ThreadPool's argument is total parallelism including the calling
+  // thread (it spawns one fewer worker), so pass the shard/core budget
+  // undecremented.
+  explicit Impl(int shard_count)
+      : num_shards(shard_count),
+        shards(static_cast<size_t>(shard_count)),
+        pool(std::min(shard_count, ThreadPool::DefaultThreads())) {
+    for (auto& shard : shards) shard = std::make_unique<Shard>();
+  }
+
+  Shard& ShardFor(CampaignId id) {
+    return *shards[static_cast<size_t>(id % static_cast<uint64_t>(num_shards))];
+  }
+
+  int num_shards;
+  std::vector<std::unique_ptr<Shard>> shards;
+  ThreadPool pool;
+  std::atomic<CampaignId> next_id{1};
+};
+
+CampaignShardMap::CampaignShardMap(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+CampaignShardMap::~CampaignShardMap() = default;
+CampaignShardMap::CampaignShardMap(CampaignShardMap&&) noexcept = default;
+CampaignShardMap& CampaignShardMap::operator=(CampaignShardMap&&) noexcept =
+    default;
+
+Result<CampaignShardMap> CampaignShardMap::Create(int num_shards) {
+  if (num_shards < 1 || num_shards > 4096) {
+    return Status::InvalidArgument(
+        StringF("num_shards must be in [1, 4096]; got %d", num_shards));
+  }
+  return CampaignShardMap(std::make_unique<Impl>(num_shards));
+}
+
+Result<CampaignId> CampaignShardMap::Admit(engine::PolicyArtifact artifact,
+                                           const CampaignLimits& limits) {
+  return AdmitShared(
+      std::make_shared<const engine::PolicyArtifact>(std::move(artifact)),
+      limits);
+}
+
+Result<CampaignId> CampaignShardMap::AdmitShared(
+    std::shared_ptr<const engine::PolicyArtifact> artifact,
+    const CampaignLimits& limits) {
+  CP_RETURN_IF_ERROR(limits.Validate());
+  if (artifact == nullptr) {
+    return Status::InvalidArgument("artifact must not be null");
+  }
+  // The shared_ptr pins the artifact for the campaign's lifetime:
+  // MakeController may return a controller that points into its tables.
+  CP_ASSIGN_OR_RETURN(std::unique_ptr<market::PricingController> controller,
+                      artifact->MakeController(limits.deadline_hours));
+  Campaign campaign;
+  campaign.artifact = std::move(artifact);
+  campaign.controller = std::move(controller);
+  campaign.limits = limits;
+
+  const CampaignId id = impl_->next_id.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = impl_->ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.campaigns.emplace(id, std::move(campaign));
+  ++shard.stats.admitted;
+  ++shard.stats.live;
+  return id;
+}
+
+Result<CampaignId> CampaignShardMap::AdmitController(
+    std::unique_ptr<market::PricingController> controller,
+    const CampaignLimits& limits) {
+  CP_RETURN_IF_ERROR(limits.Validate());
+  if (controller == nullptr) {
+    return Status::InvalidArgument("controller must not be null");
+  }
+  Campaign campaign;
+  campaign.controller = std::move(controller);
+  campaign.limits = limits;
+
+  const CampaignId id = impl_->next_id.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = impl_->ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.campaigns.emplace(id, std::move(campaign));
+  ++shard.stats.admitted;
+  ++shard.stats.live;
+  return id;
+}
+
+Result<CampaignState> CampaignShardMap::Tick(CampaignId id, double now_hours,
+                                             int64_t remaining_tasks) {
+  Shard& shard = impl_->ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.campaigns.find(id);
+  if (it == shard.campaigns.end()) {
+    return Status::NotFound(StringF(
+        "campaign %llu is not live", static_cast<unsigned long long>(id)));
+  }
+  if (remaining_tasks <= 0) {
+    shard.campaigns.erase(it);
+    ++shard.stats.retired_completed;
+    --shard.stats.live;
+    return CampaignState::kRetiredCompleted;
+  }
+  if (now_hours >= it->second.limits.deadline_hours) {
+    shard.campaigns.erase(it);
+    ++shard.stats.retired_deadline;
+    --shard.stats.live;
+    return CampaignState::kRetiredDeadline;
+  }
+  return CampaignState::kLive;
+}
+
+Status CampaignShardMap::Retire(CampaignId id) {
+  Shard& shard = impl_->ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.campaigns.find(id);
+  if (it == shard.campaigns.end()) {
+    return Status::NotFound(StringF(
+        "campaign %llu is not live", static_cast<unsigned long long>(id)));
+  }
+  shard.campaigns.erase(it);
+  ++shard.stats.retired_explicit;
+  --shard.stats.live;
+  return Status::OK();
+}
+
+Result<market::Offer> CampaignShardMap::Decide(CampaignId id, double now_hours,
+                                               int64_t remaining_tasks) {
+  Shard& shard = impl_->ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.campaigns.find(id);
+  if (it == shard.campaigns.end()) {
+    return Status::NotFound(StringF(
+        "campaign %llu is not live", static_cast<unsigned long long>(id)));
+  }
+  ++shard.stats.decides;
+  return it->second.controller->Decide(now_hours, remaining_tasks);
+}
+
+std::vector<DecideResponse> CampaignShardMap::DecideBatch(
+    const std::vector<DecideRequest>& requests) {
+  std::vector<DecideResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  // Partition request indices by shard. Each shard's slice is then served
+  // by exactly one pool thread: it takes the shard mutex once, walks its
+  // indices, and writes disjoint response slots -- no further
+  // synchronization inside the pass.
+  std::vector<std::vector<size_t>> by_shard(
+      static_cast<size_t>(impl_->num_shards));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const int shard_index = ShardOf(requests[i].campaign_id);
+    by_shard[static_cast<size_t>(shard_index)].push_back(i);
+  }
+
+  impl_->pool.ParallelFor(impl_->num_shards, [&](int64_t shard_index) {
+    const auto& indices = by_shard[static_cast<size_t>(shard_index)];
+    if (indices.empty()) return;
+    Shard& shard = *impl_->shards[static_cast<size_t>(shard_index)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i : indices) {
+      const DecideRequest& request = requests[i];
+      DecideResponse& response = responses[i];
+      response.campaign_id = request.campaign_id;
+      auto it = shard.campaigns.find(request.campaign_id);
+      if (it == shard.campaigns.end()) {
+        response.status = Status::NotFound(
+            StringF("campaign %llu is not live",
+                    static_cast<unsigned long long>(request.campaign_id)));
+        continue;
+      }
+      ++shard.stats.decides;
+      ++shard.stats.batch_requests;
+      Result<market::Offer> offer = it->second.controller->Decide(
+          request.now_hours, request.remaining_tasks);
+      if (offer.ok()) {
+        response.offer = *offer;
+      } else {
+        response.status = offer.status();
+      }
+    }
+  });
+  return responses;
+}
+
+int CampaignShardMap::num_shards() const { return impl_->num_shards; }
+
+int CampaignShardMap::ShardOf(CampaignId id) const {
+  return static_cast<int>(id % static_cast<uint64_t>(impl_->num_shards));
+}
+
+bool CampaignShardMap::Contains(CampaignId id) const {
+  Shard& shard = impl_->ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.campaigns.count(id) > 0;
+}
+
+size_t CampaignShardMap::live_campaigns() const {
+  size_t live = 0;
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    live += shard->campaigns.size();
+  }
+  return live;
+}
+
+ShardStats CampaignShardMap::shard_stats(int shard_index) const {
+  if (shard_index < 0 || shard_index >= impl_->num_shards) return ShardStats{};
+  Shard& shard = *impl_->shards[static_cast<size_t>(shard_index)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.stats;
+}
+
+ShardStats CampaignShardMap::TotalStats() const {
+  ShardStats total;
+  for (int s = 0; s < impl_->num_shards; ++s) {
+    const ShardStats stats = shard_stats(s);
+    total.admitted += stats.admitted;
+    total.decides += stats.decides;
+    total.batch_requests += stats.batch_requests;
+    total.retired_completed += stats.retired_completed;
+    total.retired_deadline += stats.retired_deadline;
+    total.retired_explicit += stats.retired_explicit;
+    total.live += stats.live;
+  }
+  return total;
+}
+
+Result<market::PricingController*> CampaignShardMap::BorrowController(
+    CampaignId id) {
+  Shard& shard = impl_->ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.campaigns.find(id);
+  if (it == shard.campaigns.end()) {
+    return Status::NotFound(StringF(
+        "campaign %llu is not live", static_cast<unsigned long long>(id)));
+  }
+  return it->second.controller.get();
+}
+
+void CampaignShardMap::ParallelOverShards(const std::function<void(int)>& fn) {
+  impl_->pool.ParallelFor(impl_->num_shards, [&](int64_t shard_index) {
+    fn(static_cast<int>(shard_index));
+  });
+}
+
+void CampaignShardMap::AddDecides(int shard_index, uint64_t count) {
+  if (shard_index < 0 || shard_index >= impl_->num_shards || count == 0) {
+    return;
+  }
+  Shard& shard = *impl_->shards[static_cast<size_t>(shard_index)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.stats.decides += count;
+}
+
+}  // namespace crowdprice::serving

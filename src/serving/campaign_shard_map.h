@@ -1,0 +1,190 @@
+// CampaignShardMap: the multi-campaign serving layer.
+//
+// A live marketplace runs many concurrent task batches; each one is a
+// solved policy (engine::PolicyArtifact) plus the controller playing it.
+// The shard map owns those campaigns, partitions them across a fixed
+// worker-thread pool by campaign id, and serves price lookups in batches:
+// DecideBatch partitions a request vector by shard and answers every
+// shard's slice on its own pool thread in a single locked pass, so one
+// call resolves offers for hundreds of campaigns with no per-request
+// locking and no cross-shard contention.
+//
+// Lifecycle: Admit assigns an id and builds the controller from the
+// artifact (the artifact is heap-pinned so controllers may point into it);
+// Tick reports campaign progress and retires the campaign when the batch
+// completes or its deadline passes; Retire removes it explicitly. Per-shard
+// counters (ShardStats) expose serving load and lifecycle churn.
+//
+// Thread safety: every public method is safe to call concurrently; state
+// is guarded by one mutex per shard, so operations on different shards
+// never contend. The map invokes controllers only under their shard's
+// mutex, which serializes access per campaign as stateful controllers
+// require -- except for controllers handed out via BorrowController,
+// whose serialization becomes the borrower's job (see the fleet hooks
+// below).
+
+#ifndef CROWDPRICE_SERVING_CAMPAIGN_SHARD_MAP_H_
+#define CROWDPRICE_SERVING_CAMPAIGN_SHARD_MAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/policy_artifact.h"
+#include "market/controller.h"
+#include "market/types.h"
+#include "util/result.h"
+
+namespace crowdprice::serving {
+
+using CampaignId = uint64_t;
+
+/// Lifecycle bounds fixed at admission.
+struct CampaignLimits {
+  /// Tasks in the batch; the campaign retires once a Tick reports 0 left.
+  int64_t total_tasks = 0;
+  /// Wall-clock deadline; the campaign retires once a Tick reaches it.
+  /// Also the horizon handed to PolicyArtifact::MakeController.
+  double deadline_hours = 0.0;
+
+  Status Validate() const;
+};
+
+enum class CampaignState {
+  kLive = 0,
+  kRetiredCompleted = 1,  ///< Batch fully assigned.
+  kRetiredDeadline = 2,   ///< Deadline passed with tasks left.
+};
+
+/// One price lookup in a DecideBatch call.
+struct DecideRequest {
+  CampaignId campaign_id = 0;
+  double now_hours = 0.0;
+  int64_t remaining_tasks = 0;
+};
+
+/// Outcome of one DecideRequest. `status` is NotFound for unknown or
+/// already-retired campaigns; `offer` is valid iff status.ok().
+struct DecideResponse {
+  CampaignId campaign_id = 0;
+  Status status;
+  market::Offer offer;
+};
+
+/// Monotone per-shard counters plus the current live-campaign gauge.
+struct ShardStats {
+  uint64_t admitted = 0;
+  uint64_t decides = 0;         ///< Offers served (single + batched).
+  uint64_t batch_requests = 0;  ///< Decides that arrived via DecideBatch.
+  uint64_t retired_completed = 0;
+  uint64_t retired_deadline = 0;
+  uint64_t retired_explicit = 0;
+  int64_t live = 0;
+};
+
+class CampaignShardMap {
+ public:
+  /// num_shards in [1, 4096]. The map starts a worker pool of up to
+  /// min(num_shards, hardware_concurrency) threads (batch passes use one
+  /// thread per shard, so more shards than cores just queue).
+  static Result<CampaignShardMap> Create(int num_shards);
+
+  ~CampaignShardMap();
+  CampaignShardMap(CampaignShardMap&&) noexcept;
+  CampaignShardMap& operator=(CampaignShardMap&&) noexcept;
+  CampaignShardMap(const CampaignShardMap&) = delete;
+  CampaignShardMap& operator=(const CampaignShardMap&) = delete;
+
+  // --- Lifecycle ---------------------------------------------------------
+
+  /// Takes ownership of a solved policy, builds its controller with
+  /// MakeController(limits.deadline_hours) and starts serving it. Fails if
+  /// the artifact kind is not playable.
+  Result<CampaignId> Admit(engine::PolicyArtifact artifact,
+                           const CampaignLimits& limits);
+
+  /// Same, sharing one immutable artifact across campaigns: admitting N
+  /// campaigns that play the same policy costs N controllers but only one
+  /// copy of the solved tables.
+  Result<CampaignId> AdmitShared(
+      std::shared_ptr<const engine::PolicyArtifact> artifact,
+      const CampaignLimits& limits);
+
+  /// Admits a campaign played by an explicit controller (baselines and
+  /// tests; no artifact involved).
+  Result<CampaignId> AdmitController(
+      std::unique_ptr<market::PricingController> controller,
+      const CampaignLimits& limits);
+
+  /// Reports campaign progress. Retires the campaign -- and returns the
+  /// retired state -- when `remaining_tasks` hits 0 (completed) or
+  /// `now_hours` reaches the admission deadline (deadline); otherwise the
+  /// campaign stays live.
+  Result<CampaignState> Tick(CampaignId id, double now_hours,
+                             int64_t remaining_tasks);
+
+  /// Removes a live campaign unconditionally.
+  Status Retire(CampaignId id);
+
+  // --- Serving -----------------------------------------------------------
+
+  /// One price lookup: the offer the campaign's policy posts at
+  /// `now_hours` with `remaining_tasks` left.
+  Result<market::Offer> Decide(CampaignId id, double now_hours,
+                               int64_t remaining_tasks);
+
+  /// Batched lookups: requests are partitioned by shard and each shard's
+  /// slice is answered on its own pool thread in one locked pass.
+  /// Responses align with `requests` index-for-index; per-request failures
+  /// (unknown campaign, controller error) land in the response status
+  /// without failing the batch.
+  std::vector<DecideResponse> DecideBatch(
+      const std::vector<DecideRequest>& requests);
+
+  // --- Introspection ------------------------------------------------------
+
+  int num_shards() const;
+  /// The shard serving `id` (ids round-robin across shards).
+  int ShardOf(CampaignId id) const;
+  bool Contains(CampaignId id) const;
+  size_t live_campaigns() const;
+  /// Snapshot of one shard's counters. shard in [0, num_shards).
+  ShardStats shard_stats(int shard) const;
+  /// Sum of all shard snapshots.
+  ShardStats TotalStats() const;
+
+  // --- Fleet-simulator hooks ---------------------------------------------
+
+  /// Borrows the controller owned by a live campaign. The pointer stays
+  /// valid until the campaign is retired; the caller must serialize its
+  /// own calls per campaign (the fleet simulator drives each campaign
+  /// from exactly one shard thread).
+  Result<market::PricingController*> BorrowController(CampaignId id);
+
+  /// Runs fn(shard) for every shard concurrently on the serving pool. fn
+  /// runs without any shard lock held, so it may call the mutex-guarded
+  /// methods (Decide, Tick, Retire, stats) -- but NOT DecideBatch or
+  /// ParallelOverShards, which would nest a region on the same
+  /// non-reentrant pool and deadlock.
+  void ParallelOverShards(const std::function<void(int)>& fn);
+
+  /// Adds externally-served decide counts (fleet sessions call borrowed
+  /// controllers directly) to a shard's counters.
+  void AddDecides(int shard, uint64_t count);
+
+ private:
+  struct Shard;
+  struct Impl;
+
+  explicit CampaignShardMap(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Stable names for CampaignState ("live", "completed", "deadline").
+const char* CampaignStateName(CampaignState state);
+
+}  // namespace crowdprice::serving
+
+#endif  // CROWDPRICE_SERVING_CAMPAIGN_SHARD_MAP_H_

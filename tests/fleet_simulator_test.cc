@@ -1,0 +1,250 @@
+// FleetSimulator tests: the determinism harness. Per-campaign outcomes of
+// the sharded, time-sliced fleet must be bit-identical to running
+// market::RunSimulation serially with the same controllers and Rng
+// streams, at every shard count -- plus lifecycle accounting on the
+// serving layer underneath.
+
+#include "market/fleet_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "engine/engine.h"
+#include "market/controller.h"
+#include "market/simulator.h"
+#include "util/rng.h"
+
+namespace crowdprice::market {
+namespace {
+
+// Acceptance that is simply min(1, c / 100): cheap and price-sensitive.
+class LinearAcceptance final : public choice::AcceptanceFunction {
+ public:
+  double ProbabilityAt(double reward_cents) const override {
+    return std::clamp(reward_cents / 100.0, 0.0, 1.0);
+  }
+};
+
+const choice::LogitAcceptance& PaperAcceptance() {
+  static const choice::LogitAcceptance acceptance =
+      choice::LogitAcceptance::Paper2014();
+  return acceptance;
+}
+
+engine::PolicyArtifact SmallDeadlineArtifact() {
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = 20;
+  spec.problem.num_intervals = 8;
+  spec.problem.penalty_cents = 150.0;
+  spec.interval_lambdas.assign(8, 60.0);
+  spec.actions = pricing::ActionSet::FromPriceGrid(30, PaperAcceptance()).value();
+  return engine::Engine::Solve(spec).value();
+}
+
+// One campaign's blueprint; the test materializes it twice (fleet and
+// serial reference) with identical Rng forks.
+struct Blueprint {
+  SimulatorConfig config;
+  bool use_artifact = false;
+  double fixed_price_cents = 0.0;
+};
+
+std::vector<Blueprint> MakeFleetBlueprints(int count) {
+  std::vector<Blueprint> blueprints;
+  blueprints.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Blueprint bp;
+    bp.config.total_tasks = 8 + i % 17;
+    bp.config.horizon_hours = 4.0 + (i % 3) * 2.0;  // 4, 6 or 8 hours
+    bp.config.decision_interval_hours = 1.0;
+    bp.config.service_minutes_per_task = (i % 4 == 0) ? 2.0 : 0.0;
+    if (i % 5 == 0) bp.config.retention.max_rate = 0.3;
+    if (i % 7 == 0) {
+      bp.config.accuracy.enabled = true;
+    }
+    bp.use_artifact = (i % 4 == 1);
+    bp.fixed_price_cents = 12.0 + i % 20;
+    blueprints.push_back(bp);
+  }
+  return blueprints;
+}
+
+void ExpectBitIdentical(const SimulationResult& got,
+                        const SimulationResult& want, int index) {
+  EXPECT_EQ(got.total_cost_cents, want.total_cost_cents) << "campaign " << index;
+  EXPECT_EQ(got.tasks_assigned, want.tasks_assigned) << "campaign " << index;
+  EXPECT_EQ(got.tasks_completed_by_horizon, want.tasks_completed_by_horizon);
+  EXPECT_EQ(got.tasks_unassigned, want.tasks_unassigned);
+  EXPECT_EQ(got.completion_time_hours, want.completion_time_hours);
+  EXPECT_EQ(got.finished, want.finished);
+  EXPECT_EQ(got.worker_arrivals, want.worker_arrivals);
+  ASSERT_EQ(got.events.size(), want.events.size()) << "campaign " << index;
+  for (size_t e = 0; e < got.events.size(); ++e) {
+    EXPECT_EQ(got.events[e].time_hours, want.events[e].time_hours);
+    EXPECT_EQ(got.events[e].tasks, want.events[e].tasks);
+    EXPECT_EQ(got.events[e].cost_cents, want.events[e].cost_cents);
+    EXPECT_EQ(got.events[e].group_size, want.events[e].group_size);
+  }
+  ASSERT_EQ(got.workers.size(), want.workers.size()) << "campaign " << index;
+  for (size_t w = 0; w < got.workers.size(); ++w) {
+    EXPECT_EQ(got.workers[w].first_accept_hours,
+              want.workers[w].first_accept_hours);
+    EXPECT_EQ(got.workers[w].hits, want.workers[w].hits);
+    EXPECT_EQ(got.workers[w].tasks, want.workers[w].tasks);
+    EXPECT_EQ(got.workers[w].correct, want.workers[w].correct);
+    EXPECT_EQ(got.workers[w].true_accuracy, want.workers[w].true_accuracy);
+  }
+}
+
+TEST(FleetSimulatorTest, RunWithoutCampaignsFails) {
+  FleetSimulator fleet = FleetSimulator::Create(4).value();
+  auto rate = arrival::PiecewiseConstantRate::Constant(50.0, 8.0).value();
+  EXPECT_TRUE(fleet.Run(rate).status().IsFailedPrecondition());
+}
+
+TEST(FleetSimulatorTest, OutcomesMatchSerialAndLifecycleRetiresEveryCampaign) {
+  // A bursty shared arrival stream with 30-minute buckets, so the event
+  // loop takes many slices and campaign horizons land mid-stream.
+  std::vector<double> buckets;
+  for (int i = 0; i < 16; ++i) buckets.push_back(i % 2 == 0 ? 90.0 : 30.0);
+  const auto rate =
+      arrival::PiecewiseConstantRate::Create(buckets, 0.5).value();
+  LinearAcceptance acceptance;
+  const engine::PolicyArtifact solved = SmallDeadlineArtifact();
+  const std::vector<Blueprint> blueprints = MakeFleetBlueprints(64);
+
+  // Serial reference: same controllers, same Rng fork order.
+  std::vector<SimulationResult> want;
+  {
+    Rng master(2026);
+    for (const Blueprint& bp : blueprints) {
+      Rng child = master.Fork();
+      std::unique_ptr<PricingController> controller;
+      engine::PolicyArtifact copy = solved;
+      if (bp.use_artifact) {
+        controller = copy.MakeController(bp.config.horizon_hours).value();
+      } else {
+        controller = std::make_unique<FixedOfferController>(
+            Offer{bp.fixed_price_cents, 1});
+      }
+      want.push_back(
+          RunSimulation(bp.config, rate, acceptance, *controller, child)
+              .value());
+    }
+  }
+
+  const auto shared = std::make_shared<const engine::PolicyArtifact>(solved);
+  for (int num_shards : {1, 4, 16}) {
+    FleetSimulator fleet = FleetSimulator::Create(num_shards).value();
+    Rng master(2026);
+    int artifact_index = 0;
+    for (const Blueprint& bp : blueprints) {
+      Rng child = master.Fork();
+      if (bp.use_artifact) {
+        // Alternate the owned-copy and shared-artifact admission paths;
+        // both must be bit-identical to the serial reference.
+        if (artifact_index++ % 2 == 0) {
+          engine::PolicyArtifact copy = solved;
+          ASSERT_TRUE(
+              fleet.Admit(std::move(copy), bp.config, acceptance, child).ok());
+        } else {
+          ASSERT_TRUE(
+              fleet.AdmitShared(shared, bp.config, acceptance, child).ok());
+        }
+      } else {
+        ASSERT_TRUE(fleet
+                        .AdmitController(
+                            std::make_unique<FixedOfferController>(
+                                Offer{bp.fixed_price_cents, 1}),
+                            bp.config, acceptance, child)
+                        .ok());
+      }
+    }
+    ASSERT_EQ(fleet.shard_map().live_campaigns(), blueprints.size());
+
+    const std::vector<FleetOutcome> outcomes = fleet.Run(rate).value();
+    ASSERT_EQ(outcomes.size(), blueprints.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      ExpectBitIdentical(outcomes[i].result, want[i], static_cast<int>(i));
+      // The lifecycle state agrees with the outcome.
+      EXPECT_EQ(outcomes[i].final_state,
+                outcomes[i].result.finished
+                    ? serving::CampaignState::kRetiredCompleted
+                    : serving::CampaignState::kRetiredDeadline)
+          << "campaign " << i;
+    }
+
+    // Every campaign retired from the serving layer.
+    EXPECT_EQ(fleet.shard_map().live_campaigns(), 0u);
+    const serving::ShardStats total = fleet.shard_map().TotalStats();
+    EXPECT_EQ(total.admitted, blueprints.size());
+    EXPECT_EQ(total.retired_completed + total.retired_deadline,
+              blueprints.size());
+    EXPECT_GT(total.decides, 0u);
+  }
+}
+
+// The acceptance-criteria stress: >= 1000 concurrent campaigns,
+// bit-identical to serial at every tested shard count. Campaigns are kept
+// tiny so the serial reference stays fast; the TSan CI job runs this test
+// to certify the sharded advancement is race-free.
+TEST(FleetSimulatorStressTest, ThousandCampaignsBitIdenticalAcrossShardCounts) {
+  const auto rate =
+      arrival::PiecewiseConstantRate::Create({40.0, 20.0, 60.0, 30.0}, 1.0)
+          .value();
+  LinearAcceptance acceptance;
+  constexpr int kCampaigns = 1100;
+
+  std::vector<SimulatorConfig> configs;
+  for (int i = 0; i < kCampaigns; ++i) {
+    SimulatorConfig config;
+    config.total_tasks = 3 + i % 8;
+    config.horizon_hours = 2.0 + (i % 4);  // 2..5 hours
+    config.decision_interval_hours = 1.0;
+    config.service_minutes_per_task = 0.0;
+    configs.push_back(config);
+  }
+  auto price_of = [](int i) { return 8.0 + i % 23; };
+
+  std::vector<SimulationResult> want;
+  {
+    Rng master(77);
+    for (int i = 0; i < kCampaigns; ++i) {
+      Rng child = master.Fork();
+      FixedOfferController controller(Offer{price_of(i), 1});
+      want.push_back(
+          RunSimulation(configs[static_cast<size_t>(i)], rate, acceptance,
+                        controller, child)
+              .value());
+    }
+  }
+
+  for (int num_shards : {1, 8, 64}) {
+    FleetSimulator fleet = FleetSimulator::Create(num_shards).value();
+    Rng master(77);
+    for (int i = 0; i < kCampaigns; ++i) {
+      Rng child = master.Fork();
+      ASSERT_TRUE(fleet
+                      .AdmitController(std::make_unique<FixedOfferController>(
+                                           Offer{price_of(i), 1}),
+                                       configs[static_cast<size_t>(i)],
+                                       acceptance, child)
+                      .ok());
+    }
+    const std::vector<FleetOutcome> outcomes = fleet.Run(rate).value();
+    ASSERT_EQ(outcomes.size(), static_cast<size_t>(kCampaigns));
+    for (int i = 0; i < kCampaigns; ++i) {
+      ExpectBitIdentical(outcomes[static_cast<size_t>(i)].result,
+                         want[static_cast<size_t>(i)], i);
+    }
+    EXPECT_EQ(fleet.shard_map().live_campaigns(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace crowdprice::market

@@ -1,0 +1,251 @@
+// CampaignShardMap tests: batched serving equals serial serving
+// bit-for-bit across shard counts, lifecycle retires campaigns on
+// completion/deadline, stats track load, and admission stays safe under
+// concurrent serving (the TSan CI job runs the threaded stress).
+
+#include "serving/campaign_shard_map.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "engine/engine.h"
+#include "market/controller.h"
+
+namespace crowdprice::serving {
+namespace {
+
+const choice::LogitAcceptance& PaperAcceptance() {
+  static const choice::LogitAcceptance acceptance =
+      choice::LogitAcceptance::Paper2014();
+  return acceptance;
+}
+
+engine::PolicyArtifact SmallDeadlineArtifact() {
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = 25;
+  spec.problem.num_intervals = 6;
+  spec.problem.penalty_cents = 180.0;
+  spec.interval_lambdas.assign(6, 1600.0);
+  spec.actions = pricing::ActionSet::FromPriceGrid(30, PaperAcceptance()).value();
+  return engine::Engine::Solve(spec).value();
+}
+
+CampaignLimits SmallLimits() {
+  CampaignLimits limits;
+  limits.total_tasks = 25;
+  limits.deadline_hours = 12.0;
+  return limits;
+}
+
+std::unique_ptr<market::PricingController> FixedController(double cents) {
+  return std::make_unique<market::FixedOfferController>(
+      market::Offer{cents, 1});
+}
+
+TEST(CampaignLimitsTest, Validation) {
+  EXPECT_TRUE(SmallLimits().Validate().ok());
+  CampaignLimits limits = SmallLimits();
+  limits.total_tasks = 0;
+  EXPECT_TRUE(limits.Validate().IsInvalidArgument());
+  limits = SmallLimits();
+  limits.deadline_hours = 0.0;
+  EXPECT_TRUE(limits.Validate().IsInvalidArgument());
+}
+
+TEST(CampaignShardMapTest, CreateRejectsBadShardCounts) {
+  EXPECT_TRUE(CampaignShardMap::Create(0).status().IsInvalidArgument());
+  EXPECT_TRUE(CampaignShardMap::Create(-3).status().IsInvalidArgument());
+  EXPECT_TRUE(CampaignShardMap::Create(5000).status().IsInvalidArgument());
+  EXPECT_TRUE(CampaignShardMap::Create(1).ok());
+}
+
+TEST(CampaignShardMapTest, AdmitAndDecideServesArtifactPolicy) {
+  CampaignShardMap map = CampaignShardMap::Create(3).value();
+  // The reference controller may point into its artifact, so it plays from
+  // a copy that stays alive; the map gets its own moved-in artifact.
+  const engine::PolicyArtifact reference_artifact = SmallDeadlineArtifact();
+  engine::PolicyArtifact artifact = reference_artifact;
+  auto reference =
+      reference_artifact.MakeController(SmallLimits().deadline_hours).value();
+
+  const CampaignId id = map.Admit(std::move(artifact), SmallLimits()).value();
+  EXPECT_TRUE(map.Contains(id));
+  EXPECT_EQ(map.live_campaigns(), 1u);
+
+  for (double now : {0.0, 3.0, 11.0}) {
+    for (int64_t remaining : {25, 12, 1}) {
+      const market::Offer got = map.Decide(id, now, remaining).value();
+      const market::Offer want = reference->Decide(now, remaining).value();
+      EXPECT_EQ(got.per_task_reward_cents, want.per_task_reward_cents);
+      EXPECT_EQ(got.group_size, want.group_size);
+    }
+  }
+  EXPECT_TRUE(map.Decide(id + 999, 0.0, 5).status().IsNotFound());
+}
+
+TEST(CampaignShardMapTest, TickRetiresOnCompletionAndDeadline) {
+  CampaignShardMap map = CampaignShardMap::Create(2).value();
+  const CampaignId done_id =
+      map.AdmitController(FixedController(10.0), SmallLimits()).value();
+  const CampaignId late_id =
+      map.AdmitController(FixedController(10.0), SmallLimits()).value();
+  EXPECT_EQ(map.live_campaigns(), 2u);
+
+  // Progress mid-campaign keeps it live.
+  EXPECT_EQ(map.Tick(done_id, 3.0, 10).value(), CampaignState::kLive);
+  // The batch drains -> retired completed; the id stops serving.
+  EXPECT_EQ(map.Tick(done_id, 5.0, 0).value(),
+            CampaignState::kRetiredCompleted);
+  EXPECT_FALSE(map.Contains(done_id));
+  EXPECT_TRUE(map.Decide(done_id, 5.0, 1).status().IsNotFound());
+  EXPECT_TRUE(map.Tick(done_id, 5.0, 0).status().IsNotFound());
+
+  // The deadline passes with work left -> retired deadline.
+  EXPECT_EQ(map.Tick(late_id, SmallLimits().deadline_hours, 7).value(),
+            CampaignState::kRetiredDeadline);
+  EXPECT_FALSE(map.Contains(late_id));
+  EXPECT_EQ(map.live_campaigns(), 0u);
+
+  const ShardStats total = map.TotalStats();
+  EXPECT_EQ(total.admitted, 2u);
+  EXPECT_EQ(total.retired_completed, 1u);
+  EXPECT_EQ(total.retired_deadline, 1u);
+  EXPECT_EQ(total.live, 0);
+}
+
+TEST(CampaignShardMapTest, RetireRemovesExplicitly) {
+  CampaignShardMap map = CampaignShardMap::Create(1).value();
+  const CampaignId id =
+      map.AdmitController(FixedController(5.0), SmallLimits()).value();
+  EXPECT_TRUE(map.Retire(id).ok());
+  EXPECT_TRUE(map.Retire(id).IsNotFound());
+  EXPECT_EQ(map.TotalStats().retired_explicit, 1u);
+}
+
+// The serving correctness harness: for every shard count, a batched pass
+// answers exactly what per-campaign serial Decide answers, bit-for-bit.
+TEST(CampaignShardMapStressTest, DecideBatchMatchesSerialDecideAcrossShards) {
+  constexpr int kCampaigns = 120;
+  engine::PolicyArtifact solved = SmallDeadlineArtifact();
+  const auto shared =
+      std::make_shared<const engine::PolicyArtifact>(solved);
+
+  for (int num_shards : {1, 2, 3, 8, 32}) {
+    CampaignShardMap map = CampaignShardMap::Create(num_shards).value();
+    std::vector<CampaignId> ids;
+    for (int i = 0; i < kCampaigns; ++i) {
+      // Mix plain-controller, owned-artifact and shared-artifact
+      // campaigns.
+      if (i % 3 == 0) {
+        ids.push_back(
+            map.AdmitController(FixedController(5.0 + i % 7), SmallLimits())
+                .value());
+      } else if (i % 3 == 1) {
+        engine::PolicyArtifact copy = solved;
+        ids.push_back(map.Admit(std::move(copy), SmallLimits()).value());
+      } else {
+        ids.push_back(map.AdmitShared(shared, SmallLimits()).value());
+      }
+    }
+
+    std::vector<DecideRequest> requests;
+    for (int i = 0; i < kCampaigns; ++i) {
+      DecideRequest request;
+      request.campaign_id = ids[static_cast<size_t>(i)];
+      request.now_hours = (i % 12) * 0.9;
+      request.remaining_tasks = 1 + i % 25;
+      requests.push_back(request);
+    }
+    // One unknown campaign in the middle of the batch.
+    requests.push_back(DecideRequest{999999, 0.0, 5});
+
+    const std::vector<DecideResponse> responses = map.DecideBatch(requests);
+    ASSERT_EQ(responses.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const Result<market::Offer> serial = map.Decide(
+          requests[i].campaign_id, requests[i].now_hours,
+          requests[i].remaining_tasks);
+      ASSERT_EQ(responses[i].status.ok(), serial.ok())
+          << "shards=" << num_shards << " i=" << i;
+      if (!serial.ok()) {
+        EXPECT_TRUE(responses[i].status.IsNotFound());
+        continue;
+      }
+      EXPECT_EQ(responses[i].offer.per_task_reward_cents,
+                serial->per_task_reward_cents)
+          << "shards=" << num_shards << " i=" << i;
+      EXPECT_EQ(responses[i].offer.group_size, serial->group_size);
+    }
+
+    const ShardStats total = map.TotalStats();
+    EXPECT_EQ(total.admitted, static_cast<uint64_t>(kCampaigns));
+    // Every live request served twice (batch + serial), once per path.
+    EXPECT_EQ(total.batch_requests, static_cast<uint64_t>(kCampaigns));
+    EXPECT_EQ(total.decides, static_cast<uint64_t>(2 * kCampaigns));
+  }
+}
+
+// Admission, serving, ticking and retiring race from several threads; TSan
+// (CI job clang-tsan) checks the shard locking, the asserts check
+// accounting.
+TEST(CampaignShardMapStressTest, AdmitAndServeUnderConcurrentLoad) {
+  constexpr int kAdmitters = 3;
+  constexpr int kPerAdmitter = 40;
+  CampaignShardMap map = CampaignShardMap::Create(8).value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> batch_errors{0};
+
+  std::thread server([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<DecideRequest> requests;
+      for (CampaignId id = 1; id <= kAdmitters * kPerAdmitter; ++id) {
+        requests.push_back(DecideRequest{id, 1.0, 5});
+      }
+      for (const DecideResponse& response : map.DecideBatch(requests)) {
+        // Unknown ids are expected while admission races; anything else
+        // is a bug.
+        if (!response.status.ok() && !response.status.IsNotFound()) {
+          batch_errors.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> admitters;
+  for (int a = 0; a < kAdmitters; ++a) {
+    admitters.emplace_back([&map, a] {
+      for (int i = 0; i < kPerAdmitter; ++i) {
+        const CampaignId id =
+            map.AdmitController(FixedController(4.0 + a), SmallLimits())
+                .value();
+        // Half the campaigns complete immediately, exercising retire
+        // while the server thread batches.
+        if (i % 2 == 0) {
+          ASSERT_TRUE(map.Tick(id, 1.0, 0).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : admitters) thread.join();
+  stop.store(true, std::memory_order_release);
+  server.join();
+
+  EXPECT_EQ(batch_errors.load(), 0);
+  const ShardStats total = map.TotalStats();
+  EXPECT_EQ(total.admitted,
+            static_cast<uint64_t>(kAdmitters * kPerAdmitter));
+  EXPECT_EQ(total.retired_completed,
+            static_cast<uint64_t>(kAdmitters * kPerAdmitter / 2));
+  EXPECT_EQ(static_cast<uint64_t>(total.live),
+            total.admitted - total.retired_completed);
+  EXPECT_EQ(map.live_campaigns(), static_cast<size_t>(total.live));
+}
+
+}  // namespace
+}  // namespace crowdprice::serving

@@ -1,0 +1,380 @@
+// check_bench_json: validates BENCH_*.json perf records.
+//
+//   check_bench_json BENCH_a.json [BENCH_b.json ...]
+//
+// Every bench binary persists a BenchRecord (bench/bench_common.h) so PRs
+// can regress against a perf trajectory; CI runs the benches in --smoke
+// mode and gates on this validator so a malformed record (bad escaping,
+// non-finite metric printed as "inf"/"nan", truncated write) fails the
+// build instead of silently poisoning the trajectory.
+//
+// A record must be a JSON object of exactly
+//   { "bench": <non-empty string>,
+//     "params": { <string>: <number>, ... },
+//     "metrics": { <string>: <number>, ... },
+//     "labels": { <string>: <string>, ... } }
+// JSON has no inf/nan literals, so finiteness comes free from parsing.
+// Exit code 0 when every file validates, 1 otherwise.
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A tiny strict JSON parser (no dependencies; values only as deep as the
+// record format needs, but the grammar is complete).
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      value = nullptr;
+
+  bool is_string() const { return value.index() == 3; }
+  bool is_number() const { return value.index() == 2; }
+  bool is_object() const { return value.index() == 5; }
+  const std::string& as_string() const { return std::get<std::string>(value); }
+  const JsonObject& as_object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(value);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue& out, std::string& error) {
+    error_ = &error;
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing content after JSON value");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    *error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(s)) return false;
+      out.value = s;
+      return true;
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseKeyword(JsonValue& out) {
+    auto match = [&](const char* word) {
+      return text_.compare(pos_, std::string(word).size(), word) == 0;
+    };
+    if (match("true")) {
+      out.value = true;
+      pos_ += 4;
+      return true;
+    }
+    if (match("false")) {
+      out.value = false;
+      pos_ += 5;
+      return true;
+    }
+    if (match("null")) {
+      out.value = nullptr;
+      pos_ += 4;
+      return true;
+    }
+    return Fail("invalid literal");
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("invalid number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string numeral = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(numeral.c_str(), &end);
+    if (end != numeral.c_str() + numeral.size()) {
+      return Fail("invalid number");
+    }
+    // Overflow to infinity is malformed (the record format promises
+    // finite metrics); underflow to a (sub)normal tiny value is fine.
+    if (errno == ERANGE && (parsed > 1.0 || parsed < -1.0)) {
+      return Fail("number out of double range");
+    }
+    out.value = parsed;
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("invalid \\u escape");
+            }
+          }
+          // The record format never emits non-ASCII; keep the escape
+          // verbatim rather than decoding UTF-16 surrogates.
+          out += "\\u" + text_.substr(pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue& out) {
+    if (!Consume('[')) return false;
+    auto array = std::make_shared<JsonArray>();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out.value = array;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(element)) return false;
+      array->push_back(std::move(element));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (!Consume(']')) return false;
+    out.value = array;
+    return true;
+  }
+
+  bool ParseObject(JsonValue& out) {
+    if (!Consume('{')) return false;
+    auto object = std::make_shared<JsonObject>();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out.value = object;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue element;
+      if (!ParseValue(element)) return false;
+      object->emplace_back(std::move(key), std::move(element));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (!Consume('}')) return false;
+    out.value = object;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string* error_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Record-shape validation
+// ---------------------------------------------------------------------------
+
+const JsonValue* FindKey(const JsonObject& object, const std::string& key) {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool ValidateRecord(const JsonValue& root, std::string& error) {
+  if (!root.is_object()) {
+    error = "top-level value is not an object";
+    return false;
+  }
+  const JsonObject& record = root.as_object();
+  for (const auto& [key, unused] : record) {
+    (void)unused;
+    if (key != "bench" && key != "params" && key != "metrics" &&
+        key != "labels") {
+      error = "unexpected key \"" + key + "\"";
+      return false;
+    }
+  }
+
+  const JsonValue* bench = FindKey(record, "bench");
+  if (bench == nullptr || !bench->is_string() || bench->as_string().empty()) {
+    error = "\"bench\" must be a non-empty string";
+    return false;
+  }
+  for (const char* section : {"params", "metrics"}) {
+    const JsonValue* value = FindKey(record, section);
+    if (value == nullptr || !value->is_object()) {
+      error = std::string("\"") + section + "\" must be an object";
+      return false;
+    }
+    for (const auto& [key, entry] : value->as_object()) {
+      if (!entry.is_number()) {
+        error = std::string("\"") + section + "\"." + key + " is not a number";
+        return false;
+      }
+    }
+  }
+  const JsonValue* labels = FindKey(record, "labels");
+  if (labels == nullptr || !labels->is_object()) {
+    error = "\"labels\" must be an object";
+    return false;
+  }
+  for (const auto& [key, entry] : labels->as_object()) {
+    if (!entry.is_string()) {
+      error = "\"labels\"." + key + " is not a string";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: check_bench_json BENCH_a.json [BENCH_b.json ...]\n");
+    return 1;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* path = argv[i];
+    std::ifstream in(path);
+    if (!in.good()) {
+      std::printf("FAIL %s: cannot open\n", path);
+      ++bad;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    JsonValue root;
+    std::string error;
+    Parser parser(text);
+    if (!parser.Parse(root, error) || !ValidateRecord(root, error)) {
+      std::printf("FAIL %s: %s\n", path, error.c_str());
+      ++bad;
+      continue;
+    }
+    std::printf("OK   %s\n", path);
+  }
+  if (bad > 0) {
+    std::printf("%d of %d record(s) malformed\n", bad, argc - 1);
+    return 1;
+  }
+  std::printf("all %d record(s) well-formed\n", argc - 1);
+  return 0;
+}

@@ -5,10 +5,15 @@
 //   crowdprice_cli budget   --tasks 200 --budget 2500 --rate 5083
 //       --max-price 50
 //   crowdprice_cli tradeoff --alpha 32 --rate 5083 --max-price 60
+//   crowdprice_cli fleet    --campaigns 500 --shards 8 --tasks 40
+//       --hours 8 --rate 400 --max-price 50 [--bound 0.5] [--seed 7]
 //   crowdprice_cli solvers
 //
 // Every policy is produced through engine::Solve; the CLI only builds the
-// PolicySpec and formats the artifact. The acceptance model defaults to the
+// PolicySpec and formats the artifact. `fleet` additionally runs the
+// sharded serving layer: it admits N copies of the solved campaign into a
+// market::FleetSimulator and plays them all against one shared arrival
+// stream, reporting aggregate outcomes and per-shard serving stats. The acceptance model defaults to the
 // paper's Eq. 13 logit (s=15, b=-0.39, M=2000); override with
 // --accept-s/--accept-b/--accept-m.
 // Exit code 0 on success, 1 on user error, 2 on solver failure.
@@ -54,6 +59,9 @@ int Usage() {
       "      [--rate workers_per_hour] [--max-price C]\n"
       "  crowdprice_cli tradeoff --alpha CENTS_PER_HOUR\n"
       "      [--rate workers_per_hour] [--max-price C]\n"
+      "  crowdprice_cli fleet --campaigns M [--shards S] [--tasks N]\n"
+      "      [--hours T] [--rate workers_per_hour] [--max-price C]\n"
+      "      [--bound E] [--seed K]\n"
       "  crowdprice_cli solvers\n"
       "common acceptance overrides: --accept-s --accept-b --accept-m\n";
   return 1;
@@ -259,6 +267,112 @@ int RunTradeoff(const Args& args) {
   return 0;
 }
 
+int RunFleet(const Args& args) {
+  const int campaigns = static_cast<int>(args.Num("campaigns", 0));
+  const int shards = static_cast<int>(args.Num("shards", 8));
+  const int tasks = static_cast<int>(args.Num("tasks", 40));
+  const double hours = args.Num("hours", 8.0);
+  const double rate_per_hour = args.Num("rate", 400.0);
+  const int max_price = static_cast<int>(args.Num("max-price", 50));
+  const auto seed = static_cast<uint64_t>(args.Num("seed", 7.0));
+  if (campaigns < 1 || tasks < 1 || hours <= 0.0 || shards < 1) {
+    std::cerr << "fleet requires --campaigns >= 1, --tasks >= 1, "
+                 "--hours > 0, --shards >= 1\n";
+    return 1;
+  }
+  auto acceptance = Acceptance(args);
+  if (!acceptance.ok()) {
+    std::cerr << acceptance.status() << "\n";
+    return 1;
+  }
+  auto actions = pricing::ActionSet::FromPriceGrid(max_price, *acceptance);
+  if (!actions.ok()) {
+    std::cerr << actions.status() << "\n";
+    return 2;
+  }
+
+  // One deadline policy, played by every campaign in the fleet.
+  const int intervals = std::max(1, static_cast<int>(hours * 3.0));
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = tasks;
+  spec.problem.num_intervals = intervals;
+  spec.interval_lambdas.assign(static_cast<size_t>(intervals),
+                               rate_per_hour * hours / intervals);
+  spec.actions = std::move(actions).value();
+  spec.expected_remaining_bound = args.Num("bound", 0.5);
+  auto artifact = engine::Solve(spec);
+  if (!artifact.ok()) {
+    std::cerr << artifact.status() << "\n";
+    return 2;
+  }
+
+  auto rate = arrival::PiecewiseConstantRate::Constant(rate_per_hour, 1.0);
+  if (!rate.ok()) {
+    std::cerr << rate.status() << "\n";
+    return 2;
+  }
+  market::SimulatorConfig sim;
+  sim.total_tasks = tasks;
+  sim.horizon_hours = hours;
+  sim.decision_interval_hours = hours / intervals;
+  sim.service_minutes_per_task = 2.0;
+
+  auto fleet = market::FleetSimulator::Create(shards);
+  if (!fleet.ok()) {
+    std::cerr << fleet.status() << "\n";
+    return 2;
+  }
+  // Every campaign plays the same immutable policy: share one copy of the
+  // solved tables across the whole fleet.
+  auto shared = std::make_shared<const engine::PolicyArtifact>(
+      std::move(*artifact));
+  Rng master(seed);
+  for (int i = 0; i < campaigns; ++i) {
+    auto admitted = fleet->AdmitShared(shared, sim, *acceptance, master.Fork());
+    if (!admitted.ok()) {
+      std::cerr << admitted.status() << "\n";
+      return 2;
+    }
+  }
+  auto outcomes = fleet->Run(*rate);
+  if (!outcomes.ok()) {
+    std::cerr << outcomes.status() << "\n";
+    return 2;
+  }
+
+  int64_t finished = 0;
+  double total_cost = 0.0;
+  int64_t total_assigned = 0;
+  for (const auto& outcome : *outcomes) {
+    if (outcome.result.finished) ++finished;
+    total_cost += outcome.result.total_cost_cents;
+    total_assigned += outcome.result.tasks_assigned;
+  }
+  std::cout << StringF("fleet of %d campaigns on %d shard(s):\n", campaigns,
+                       fleet->shard_map().num_shards());
+  std::cout << StringF("  finished by deadline: %lld / %d\n",
+                       static_cast<long long>(finished), campaigns);
+  std::cout << StringF("  tasks assigned:       %lld of %lld\n",
+                       static_cast<long long>(total_assigned),
+                       static_cast<long long>(campaigns) * tasks);
+  std::cout << StringF("  total paid:           %.0f cents (%.2f / task)\n",
+                       total_cost,
+                       total_assigned > 0 ? total_cost / total_assigned : 0.0);
+
+  Table stats({"shard", "admitted", "decides", "completed", "deadline"});
+  for (int s = 0; s < fleet->shard_map().num_shards(); ++s) {
+    const serving::ShardStats shard = fleet->shard_map().shard_stats(s);
+    (void)stats.AddRow(
+        {StringF("%d", s), StringF("%llu", (unsigned long long)shard.admitted),
+         StringF("%llu", (unsigned long long)shard.decides),
+         StringF("%llu", (unsigned long long)shard.retired_completed),
+         StringF("%llu", (unsigned long long)shard.retired_deadline)});
+  }
+  std::cout << "\n";
+  stats.Print(std::cout);
+  return 0;
+}
+
 int RunSolvers() {
   std::cout << "registered solvers:\n";
   for (const std::string& line : engine::SolverRegistry::Global().Describe()) {
@@ -278,6 +392,7 @@ int main(int argc, char** argv) {
   if (args->command == "deadline") return RunDeadline(*args);
   if (args->command == "budget") return RunBudget(*args);
   if (args->command == "tradeoff") return RunTradeoff(*args);
+  if (args->command == "fleet") return RunFleet(*args);
   if (args->command == "solvers") return RunSolvers();
   std::cerr << "unknown command '" << args->command << "'\n";
   return Usage();
