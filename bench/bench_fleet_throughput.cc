@@ -89,11 +89,8 @@ int main(int argc, char** argv) {
       limits.deadline_hours = 8.0;
       auto id = map.AdmitShared(shared, limits);
       bench::DieOnError(id.status(), "admit");
-      serving::DecideRequest request;
-      request.campaign_id = *id;
-      request.now_hours = (i % 24) / 3.0;
-      request.remaining_tasks = 1 + i % 60;
-      requests.push_back(request);
+      requests.push_back(
+          serving::DecideRequest::Single(*id, (i % 24) / 3.0, 1 + i % 60));
     }
 
     // Warm-up pass doubles as the correctness check: the batched answers
@@ -101,13 +98,14 @@ int main(int argc, char** argv) {
     bool identical = true;
     const auto warm = map.DecideBatch(requests);
     for (size_t i = 0; i < requests.size(); ++i) {
-      auto serial = map.Decide(requests[i].campaign_id, requests[i].now_hours,
-                               requests[i].remaining_tasks);
+      auto serial = map.Decide(requests[i].campaign_id, requests[i].request);
       bench::DieOnError(serial.status(), "serial decide");
       identical = identical && warm[i].status.ok() &&
-                  warm[i].offer.per_task_reward_cents ==
-                      serial->per_task_reward_cents &&
-                  warm[i].offer.group_size == serial->group_size;
+                  warm[i].sheet.num_types() == serial->num_types() &&
+                  warm[i].sheet.offers[0].per_task_reward_cents ==
+                      serial->offers[0].per_task_reward_cents &&
+                  warm[i].sheet.offers[0].group_size ==
+                      serial->offers[0].group_size;
     }
     bench::Check(identical,
                  StringF("shards=%d: DecideBatch == serial Decide bit-for-bit",

@@ -110,11 +110,16 @@ int main() {
     return 1;
   }
   for (int t = 24; t < 48 && remaining > 0; ++t) {
-    auto offer = (*controller)->Decide(t * horizon / 48.0, remaining);
-    if (!offer.ok()) {
-      std::cerr << offer.status() << "\n";
+    // The decision surface: a DecisionRequest in, an OfferSheet out (one
+    // offer -- this is a single-type campaign).
+    auto sheet = (*controller)
+                     ->Decide(market::DecisionRequest::Single(
+                         t * horizon / 48.0, remaining));
+    if (!sheet.ok()) {
+      std::cerr << sheet.status() << "\n";
       return 1;
     }
+    const market::Offer* offer = &sheet->offers[0];
     const double p = acceptance.ProbabilityAt(offer->per_task_reward_cents);
     const double mu = plan.interval_lambdas()[static_cast<size_t>(t)] * p;
     const int done = std::min<int64_t>(stats::SamplePoisson(rng, mu), remaining);

@@ -100,11 +100,7 @@ int main() {
   // A serving-plane moment: one batched pass prices every live campaign.
   std::vector<serving::DecideRequest> requests;
   for (size_t i = 0; i < ids.size(); ++i) {
-    serving::DecideRequest request;
-    request.campaign_id = ids[i];
-    request.now_hours = 1.0;
-    request.remaining_tasks = 45;
-    requests.push_back(request);
+    requests.push_back(serving::DecideRequest::Single(ids[i], 1.0, 45));
   }
   serving::CampaignShardMap& map = fleet->mutable_shard_map();
   double min_offer = 1e9, max_offer = 0.0;
@@ -113,8 +109,10 @@ int main() {
       std::cerr << response.status << "\n";
       return 1;
     }
-    min_offer = std::min(min_offer, response.offer.per_task_reward_cents);
-    max_offer = std::max(max_offer, response.offer.per_task_reward_cents);
+    // Single-type campaigns answer 1-offer sheets.
+    const market::Offer& offer = response.sheet.offers[0];
+    min_offer = std::min(min_offer, offer.per_task_reward_cents);
+    max_offer = std::max(max_offer, offer.per_task_reward_cents);
   }
   std::cout << StringF(
       "batched lookup at t=1h, 45 tasks left: offers span %.0f..%.0f cents\n"

@@ -23,6 +23,7 @@
 #include "engine/solver_registry.h" // IWYU pragma: export
 #include "market/controller.h"      // IWYU pragma: export
 #include "market/fleet_simulator.h" // IWYU pragma: export
+#include "market/multitype_sim.h"   // IWYU pragma: export
 #include "market/session.h"         // IWYU pragma: export
 #include "market/simulator.h"       // IWYU pragma: export
 #include "market/types.h"           // IWYU pragma: export

@@ -31,7 +31,8 @@ Result<PolicyArtifact> SolveDeadline(const PolicySpec& spec) {
         pricing::BoundSolveResult bound,
         pricing::SolveForExpectedRemaining(s.problem, s.interval_lambdas,
                                            *s.actions,
-                                           *s.expected_remaining_bound, options));
+                                           *s.expected_remaining_bound,
+                                           options));
     return PolicyArtifact(DeadlinePolicy{std::move(bound.plan),
                                          bound.penalty_used, bound.dp_solves,
                                          std::move(bound.evaluation)});
@@ -79,9 +80,9 @@ Result<PolicyArtifact> SolveFixedPrice(const PolicySpec& spec) {
           s.num_tasks, s.interval_lambdas, *s.acceptance, s.max_price_cents);
       break;
     case FixedPriceSpec::Criterion::kQuantile:
-      solution = pricing::SolveFixedForQuantile(s.num_tasks, s.interval_lambdas,
-                                                *s.acceptance, s.max_price_cents,
-                                                s.threshold);
+      solution = pricing::SolveFixedForQuantile(
+          s.num_tasks, s.interval_lambdas, *s.acceptance, s.max_price_cents,
+          s.threshold);
       break;
     case FixedPriceSpec::Criterion::kExpectedRemaining:
       solution = pricing::SolveFixedForExpectedRemaining(
@@ -153,8 +154,8 @@ SolverRegistry& SolverRegistry::Global() {
     auto* r = new SolverRegistry();
     (void)r->Register(PolicyKind::kDeadlineDp, "deadline-dp/backward-induction",
                       SolveDeadline);
-    (void)r->Register(PolicyKind::kBudgetStatic, "budget-static/hull-lp+exact-dp",
-                      SolveBudgetStatic);
+    (void)r->Register(PolicyKind::kBudgetStatic,
+                      "budget-static/hull-lp+exact-dp", SolveBudgetStatic);
     (void)r->Register(PolicyKind::kFixedPrice, "fixed-price/binary-search",
                       SolveFixedPrice);
     (void)r->Register(PolicyKind::kAdaptive, "adaptive/rate-correction",

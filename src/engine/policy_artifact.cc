@@ -42,13 +42,14 @@ Result<long> ParseInt(const std::string& token, const char* what) {
 Result<std::string> NextLine(std::istringstream& stream, const char* what) {
   std::string line;
   if (!std::getline(stream, line)) {
-    return Status::InvalidArgument(StringF("artifact truncated: expected %s", what));
+    return Status::InvalidArgument(
+        StringF("artifact truncated: expected %s", what));
   }
   return line;
 }
 
-Result<std::vector<std::string>> Tokens(const std::string& line, size_t expected,
-                                        const char* what) {
+Result<std::vector<std::string>> Tokens(const std::string& line,
+                                        size_t expected, const char* what) {
   std::istringstream ss(line);
   std::vector<std::string> tokens;
   std::string token;
@@ -95,8 +96,8 @@ int PolicyArtifact::dp_solves() const {
   return p == nullptr ? 1 : p->dp_solves;
 }
 
-Result<const pricing::StaticPriceAssignment*> PolicyArtifact::budget_assignment()
-    const {
+Result<const pricing::StaticPriceAssignment*>
+PolicyArtifact::budget_assignment() const {
   const auto* p = std::get_if<pricing::StaticPriceAssignment>(&payload_);
   if (p == nullptr) return WrongKind("budget assignment");
   return p;
@@ -120,8 +121,8 @@ Result<const pricing::TradeoffSolution*> PolicyArtifact::tradeoff() const {
   return p;
 }
 
-Result<std::unique_ptr<market::PricingController>> PolicyArtifact::MakeController(
-    double horizon_hours) const {
+Result<std::unique_ptr<market::PricingController>>
+PolicyArtifact::MakeController(double horizon_hours) const {
   switch (kind()) {
     case PolicyKind::kDeadlineDp: {
       const DeadlinePolicy& p = std::get<DeadlinePolicy>(payload_);
@@ -132,16 +133,19 @@ Result<std::unique_ptr<market::PricingController>> PolicyArtifact::MakeControlle
           std::make_unique<pricing::PlanController>(std::move(controller)));
     }
     case PolicyKind::kBudgetStatic: {
-      const auto& assignment = std::get<pricing::StaticPriceAssignment>(payload_);
+      const auto& assignment =
+          std::get<pricing::StaticPriceAssignment>(payload_);
       std::vector<market::StaticTierController::Tier> tiers;
       tiers.reserve(assignment.allocations.size());
       for (const pricing::PriceAllocation& alloc : assignment.allocations) {
         tiers.push_back({static_cast<double>(alloc.price_cents), alloc.count});
       }
-      CP_ASSIGN_OR_RETURN(market::StaticTierController controller,
-                          market::StaticTierController::Create(std::move(tiers)));
+      CP_ASSIGN_OR_RETURN(
+          market::StaticTierController controller,
+          market::StaticTierController::Create(std::move(tiers)));
       return std::unique_ptr<market::PricingController>(
-          std::make_unique<market::StaticTierController>(std::move(controller)));
+          std::make_unique<market::StaticTierController>(
+              std::move(controller)));
     }
     case PolicyKind::kFixedPrice: {
       const auto& fixed = std::get<pricing::FixedPriceSolution>(payload_);
@@ -156,10 +160,15 @@ Result<std::unique_ptr<market::PricingController>> PolicyArtifact::MakeControlle
           std::make_unique<pricing::AdaptiveRateController>(
               std::move(controller)));
     }
-    case PolicyKind::kMultiType:
-      return Status::Unimplemented(
-          "multitype policies post two concurrent offers; not representable "
-          "as a single-offer PricingController yet");
+    case PolicyKind::kMultiType: {
+      const auto& plan = std::get<pricing::MultiTypePlan>(payload_);
+      CP_ASSIGN_OR_RETURN(
+          pricing::MultiTypeController controller,
+          pricing::MultiTypeController::Create(&plan, horizon_hours));
+      return std::unique_ptr<market::PricingController>(
+          std::make_unique<pricing::MultiTypeController>(
+              std::move(controller)));
+    }
     case PolicyKind::kTradeoff: {
       const auto& sol = std::get<pricing::TradeoffSolution>(payload_);
       return std::unique_ptr<market::PricingController>(
@@ -175,7 +184,8 @@ Result<pricing::AdaptiveRateController> PolicyArtifact::MakeAdaptiveController()
   const auto* p = std::get_if<AdaptivePolicy>(&payload_);
   if (p == nullptr) return WrongKind("adaptive controller");
   return pricing::AdaptiveRateController::Create(
-      p->problem, p->believed_lambdas, p->actions, p->horizon_hours, p->options);
+      p->problem, p->believed_lambdas, p->actions, p->horizon_hours,
+      p->options);
 }
 
 Result<pricing::PolicyEvaluation> PolicyArtifact::Evaluate() const {
@@ -196,7 +206,8 @@ Result<std::string> PolicyArtifact::Serialize() const {
   switch (kind()) {
     case PolicyKind::kDeadlineDp: {
       const DeadlinePolicy& p = std::get<DeadlinePolicy>(payload_);
-      out << "deadline-meta " << Hex(p.penalty_used) << " " << p.dp_solves << "\n";
+      out << "deadline-meta " << Hex(p.penalty_used) << " " << p.dp_solves
+          << "\n";
       out << pricing::SerializePlan(p.plan);
       return out.str();
     }
@@ -229,10 +240,62 @@ Result<std::string> PolicyArtifact::Serialize() const {
       if (!s.objective_curve.empty()) out << "\n";
       return out.str();
     }
-    case PolicyKind::kAdaptive:
-    case PolicyKind::kMultiType:
-      return Status::Unimplemented(
-          StringF("%s artifacts are not persistable", KindName(kind())));
+    case PolicyKind::kMultiType: {
+      const auto& plan = std::get<pricing::MultiTypePlan>(payload_);
+      const pricing::MultiTypeProblem& p = plan.problem();
+      out << "multitype-meta " << p.num_tasks_1 << " " << p.num_tasks_2
+          << " " << p.num_intervals << " " << p.max_price_cents << " "
+          << p.price_stride << " " << Hex(p.penalty_1_cents) << " "
+          << Hex(p.penalty_2_cents) << " " << Hex(p.truncation_epsilon)
+          << "\n";
+      out << "lambdas";
+      for (double lam : plan.interval_lambdas()) out << " " << Hex(lam);
+      out << "\n";
+      out << "policy\n";
+      for (int n1 = 0; n1 <= p.num_tasks_1; ++n1) {
+        for (int n2 = 0; n2 <= p.num_tasks_2; ++n2) {
+          for (int t = 0; t < p.num_intervals; ++t) {
+            if (t > 0) out << " ";
+            out << plan.policy()[plan.PolicyIndex(n1, n2, t)];
+          }
+          out << "\n";
+        }
+      }
+      out << "opt\n";
+      for (int n1 = 0; n1 <= p.num_tasks_1; ++n1) {
+        for (int n2 = 0; n2 <= p.num_tasks_2; ++n2) {
+          for (int t = 0; t <= p.num_intervals; ++t) {
+            if (t > 0) out << " ";
+            out << Hex(plan.opt()[plan.StateIndex(n1, n2, t)]);
+          }
+          out << "\n";
+        }
+      }
+      return out.str();
+    }
+    case PolicyKind::kAdaptive: {
+      const AdaptivePolicy& p = std::get<AdaptivePolicy>(payload_);
+      out << "adaptive-meta " << p.problem.num_tasks << " "
+          << p.problem.num_intervals << " " << Hex(p.problem.penalty_cents)
+          << " " << Hex(p.problem.extra_penalty_alpha) << " "
+          << Hex(p.problem.truncation_epsilon) << " " << Hex(p.horizon_hours)
+          << "\n";
+      out << "adaptive-options " << p.options.resolve_every << " "
+          << Hex(p.options.prior_weight) << " " << Hex(p.options.min_factor)
+          << " " << Hex(p.options.max_factor) << " "
+          << (p.options.dp_options.monotone_price_search ? 1 : 0) << " "
+          << (p.options.dp_options.time_monotonicity_pruning ? 1 : 0) << " "
+          << p.options.dp_options.num_threads << "\n";
+      out << "lambdas";
+      for (double lam : p.believed_lambdas) out << " " << Hex(lam);
+      out << "\n";
+      out << "actions " << p.actions.size() << "\n";
+      for (const pricing::PricingAction& a : p.actions.actions()) {
+        out << Hex(a.cost_per_task_cents) << " " << a.bundle << " "
+            << Hex(a.acceptance) << "\n";
+      }
+      return out.str();
+    }
   }
   return Status::Internal("unknown artifact kind");
 }
@@ -265,7 +328,8 @@ Result<PolicyArtifact> PolicyArtifact::Deserialize(const std::string& text) {
     CP_ASSIGN_OR_RETURN(pricing::DeadlinePlan plan,
                         pricing::DeserializePlan(rest));
     return PolicyArtifact(DeadlinePolicy{std::move(plan), penalty_used,
-                                         static_cast<int>(solves), std::nullopt});
+                                         static_cast<int>(solves),
+                                         std::nullopt});
   }
 
   if (kind_name == KindName(PolicyKind::kBudgetStatic)) {
@@ -308,7 +372,8 @@ Result<PolicyArtifact> PolicyArtifact::Deserialize(const std::string& text) {
     fixed.price_cents = static_cast<int>(price);
     CP_ASSIGN_OR_RETURN(fixed.expected_remaining,
                         ParseDouble(tokens[2], "expected remaining"));
-    CP_ASSIGN_OR_RETURN(fixed.prob_finish, ParseDouble(tokens[3], "prob finish"));
+    CP_ASSIGN_OR_RETURN(fixed.prob_finish,
+                        ParseDouble(tokens[3], "prob finish"));
     CP_ASSIGN_OR_RETURN(fixed.expected_cost_cents,
                         ParseDouble(tokens[4], "expected cost"));
     return PolicyArtifact(std::move(fixed));
@@ -329,12 +394,13 @@ Result<PolicyArtifact> PolicyArtifact::Deserialize(const std::string& text) {
                         ParseDouble(tokens[3], "latency"));
     CP_ASSIGN_OR_RETURN(long curve, ParseInt(tokens[4], "curve size"));
     if (curve < 0 || curve > (1 << 20)) {
-      return Status::InvalidArgument(StringF("implausible curve size %ld", curve));
+      return Status::InvalidArgument(
+          StringF("implausible curve size %ld", curve));
     }
     if (curve > 0) {
       CP_ASSIGN_OR_RETURN(std::string curve_line, NextLine(stream, "curve"));
-      CP_ASSIGN_OR_RETURN(auto values,
-                          Tokens(curve_line, static_cast<size_t>(curve), "curve"));
+      CP_ASSIGN_OR_RETURN(
+          auto values, Tokens(curve_line, static_cast<size_t>(curve), "curve"));
       sol.objective_curve.reserve(static_cast<size_t>(curve));
       for (const std::string& v : values) {
         CP_ASSIGN_OR_RETURN(double x, ParseDouble(v, "curve value"));
@@ -344,8 +410,210 @@ Result<PolicyArtifact> PolicyArtifact::Deserialize(const std::string& text) {
     return PolicyArtifact(std::move(sol));
   }
 
+  if (kind_name == KindName(PolicyKind::kMultiType)) {
+    CP_ASSIGN_OR_RETURN(std::string meta, NextLine(stream, "multitype-meta"));
+    CP_ASSIGN_OR_RETURN(auto mtokens, Tokens(meta, 9, "multitype-meta"));
+    if (mtokens[0] != "multitype-meta") {
+      return Status::InvalidArgument("expected 'multitype-meta' line");
+    }
+    pricing::MultiTypeProblem problem;
+    CP_ASSIGN_OR_RETURN(long n1, ParseInt(mtokens[1], "num_tasks_1"));
+    CP_ASSIGN_OR_RETURN(long n2, ParseInt(mtokens[2], "num_tasks_2"));
+    CP_ASSIGN_OR_RETURN(long nt, ParseInt(mtokens[3], "num_intervals"));
+    CP_ASSIGN_OR_RETURN(long max_price, ParseInt(mtokens[4], "max_price"));
+    CP_ASSIGN_OR_RETURN(long stride, ParseInt(mtokens[5], "price_stride"));
+    problem.num_tasks_1 = static_cast<int>(n1);
+    problem.num_tasks_2 = static_cast<int>(n2);
+    problem.num_intervals = static_cast<int>(nt);
+    problem.max_price_cents = static_cast<int>(max_price);
+    problem.price_stride = static_cast<int>(stride);
+    CP_ASSIGN_OR_RETURN(problem.penalty_1_cents,
+                        ParseDouble(mtokens[6], "penalty_1"));
+    CP_ASSIGN_OR_RETURN(problem.penalty_2_cents,
+                        ParseDouble(mtokens[7], "penalty_2"));
+    CP_ASSIGN_OR_RETURN(problem.truncation_epsilon,
+                        ParseDouble(mtokens[8], "epsilon"));
+    CP_RETURN_IF_ERROR(problem.Validate());
+    // Bound the state-table size before the plan constructor allocates it:
+    // a crafted meta line must not trigger a huge allocation (same spirit
+    // as the tradeoff curve and budget allocation caps).
+    const long long states = (static_cast<long long>(n1) + 1) *
+                             (static_cast<long long>(n2) + 1) *
+                             (static_cast<long long>(nt) + 1);
+    if (states > (1LL << 24)) {
+      return Status::InvalidArgument(
+          StringF("implausible multitype dimensions: %ld x %ld x %ld "
+                  "states",
+                  n1, n2, nt));
+    }
+
+    CP_ASSIGN_OR_RETURN(std::string lambda_line, NextLine(stream, "lambdas"));
+    CP_ASSIGN_OR_RETURN(
+        auto ltokens,
+        Tokens(lambda_line, static_cast<size_t>(problem.num_intervals) + 1,
+               "lambdas line"));
+    if (ltokens[0] != "lambdas") {
+      return Status::InvalidArgument("expected 'lambdas' line");
+    }
+    std::vector<double> lambdas;
+    for (size_t i = 1; i < ltokens.size(); ++i) {
+      CP_ASSIGN_OR_RETURN(double lam, ParseDouble(ltokens[i], "lambda"));
+      lambdas.push_back(lam);
+    }
+    pricing::MultiTypePlan plan(problem, std::move(lambdas));
+
+    CP_ASSIGN_OR_RETURN(std::string policy_marker,
+                        NextLine(stream, "policy marker"));
+    if (policy_marker != "policy") {
+      return Status::InvalidArgument("expected 'policy' marker");
+    }
+    constexpr long kMaxPacked = 4096L * 4096L;
+    for (int r1 = 0; r1 <= problem.num_tasks_1; ++r1) {
+      for (int r2 = 0; r2 <= problem.num_tasks_2; ++r2) {
+        CP_ASSIGN_OR_RETURN(std::string line, NextLine(stream, "policy row"));
+        CP_ASSIGN_OR_RETURN(
+            auto tokens,
+            Tokens(line, static_cast<size_t>(problem.num_intervals),
+                   "policy row"));
+        for (int t = 0; t < problem.num_intervals; ++t) {
+          CP_ASSIGN_OR_RETURN(
+              long packed,
+              ParseInt(tokens[static_cast<size_t>(t)], "policy entry"));
+          if (packed < -1 || packed >= kMaxPacked) {
+            return Status::InvalidArgument(
+                StringF("policy entry %ld out of range at (%d, %d, t=%d)",
+                        packed, r1, r2, t));
+          }
+          plan.policy()[plan.PolicyIndex(r1, r2, t)] =
+              static_cast<int32_t>(packed);
+        }
+      }
+    }
+
+    CP_ASSIGN_OR_RETURN(std::string opt_marker, NextLine(stream, "opt marker"));
+    if (opt_marker != "opt") {
+      return Status::InvalidArgument("expected 'opt' marker");
+    }
+    for (int r1 = 0; r1 <= problem.num_tasks_1; ++r1) {
+      for (int r2 = 0; r2 <= problem.num_tasks_2; ++r2) {
+        CP_ASSIGN_OR_RETURN(std::string line, NextLine(stream, "opt row"));
+        CP_ASSIGN_OR_RETURN(
+            auto tokens,
+            Tokens(line, static_cast<size_t>(problem.num_intervals) + 1,
+                   "opt row"));
+        for (int t = 0; t <= problem.num_intervals; ++t) {
+          CP_ASSIGN_OR_RETURN(
+              double v,
+              ParseDouble(tokens[static_cast<size_t>(t)], "opt value"));
+          plan.opt()[plan.StateIndex(r1, r2, t)] = v;
+        }
+      }
+    }
+    return PolicyArtifact(std::move(plan));
+  }
+
+  if (kind_name == KindName(PolicyKind::kAdaptive)) {
+    CP_ASSIGN_OR_RETURN(std::string meta, NextLine(stream, "adaptive-meta"));
+    CP_ASSIGN_OR_RETURN(auto mtokens, Tokens(meta, 7, "adaptive-meta"));
+    if (mtokens[0] != "adaptive-meta") {
+      return Status::InvalidArgument("expected 'adaptive-meta' line");
+    }
+    pricing::DeadlineProblem problem;
+    CP_ASSIGN_OR_RETURN(long num_tasks, ParseInt(mtokens[1], "num_tasks"));
+    CP_ASSIGN_OR_RETURN(long num_intervals,
+                        ParseInt(mtokens[2], "num_intervals"));
+    problem.num_tasks = static_cast<int>(num_tasks);
+    problem.num_intervals = static_cast<int>(num_intervals);
+    CP_ASSIGN_OR_RETURN(problem.penalty_cents,
+                        ParseDouble(mtokens[3], "penalty"));
+    CP_ASSIGN_OR_RETURN(problem.extra_penalty_alpha,
+                        ParseDouble(mtokens[4], "alpha"));
+    CP_ASSIGN_OR_RETURN(problem.truncation_epsilon,
+                        ParseDouble(mtokens[5], "epsilon"));
+    double horizon_hours = 0.0;
+    CP_ASSIGN_OR_RETURN(horizon_hours, ParseDouble(mtokens[6], "horizon"));
+    CP_RETURN_IF_ERROR(problem.Validate());
+
+    CP_ASSIGN_OR_RETURN(std::string opts, NextLine(stream, "adaptive-options"));
+    CP_ASSIGN_OR_RETURN(auto otokens, Tokens(opts, 8, "adaptive-options"));
+    if (otokens[0] != "adaptive-options") {
+      return Status::InvalidArgument("expected 'adaptive-options' line");
+    }
+    pricing::AdaptiveOptions options;
+    CP_ASSIGN_OR_RETURN(long resolve_every,
+                        ParseInt(otokens[1], "resolve_every"));
+    options.resolve_every = static_cast<int>(resolve_every);
+    CP_ASSIGN_OR_RETURN(options.prior_weight,
+                        ParseDouble(otokens[2], "prior_weight"));
+    CP_ASSIGN_OR_RETURN(options.min_factor,
+                        ParseDouble(otokens[3], "min_factor"));
+    CP_ASSIGN_OR_RETURN(options.max_factor,
+                        ParseDouble(otokens[4], "max_factor"));
+    CP_ASSIGN_OR_RETURN(long monotone, ParseInt(otokens[5], "monotone"));
+    CP_ASSIGN_OR_RETURN(long time_prune, ParseInt(otokens[6], "time_prune"));
+    CP_ASSIGN_OR_RETURN(long num_threads, ParseInt(otokens[7], "num_threads"));
+    // The controller's Create does not inspect dp_options, so reject a
+    // corrupt thread count here rather than at the first mid-campaign
+    // re-solve (0 = auto, like DpOptions).
+    if (num_threads < 0 || num_threads > (1 << 12)) {
+      return Status::InvalidArgument(
+          StringF("implausible num_threads %ld", num_threads));
+    }
+    options.dp_options.monotone_price_search = monotone != 0;
+    options.dp_options.time_monotonicity_pruning = time_prune != 0;
+    options.dp_options.num_threads = static_cast<int>(num_threads);
+
+    CP_ASSIGN_OR_RETURN(std::string lambda_line, NextLine(stream, "lambdas"));
+    CP_ASSIGN_OR_RETURN(
+        auto ltokens,
+        Tokens(lambda_line, static_cast<size_t>(problem.num_intervals) + 1,
+               "lambdas line"));
+    if (ltokens[0] != "lambdas") {
+      return Status::InvalidArgument("expected 'lambdas' line");
+    }
+    std::vector<double> believed_lambdas;
+    for (size_t i = 1; i < ltokens.size(); ++i) {
+      CP_ASSIGN_OR_RETURN(double lam, ParseDouble(ltokens[i], "lambda"));
+      believed_lambdas.push_back(lam);
+    }
+
+    CP_ASSIGN_OR_RETURN(std::string actions_line, NextLine(stream, "actions"));
+    CP_ASSIGN_OR_RETURN(auto atokens, Tokens(actions_line, 2, "actions line"));
+    if (atokens[0] != "actions") {
+      return Status::InvalidArgument("expected 'actions' line");
+    }
+    CP_ASSIGN_OR_RETURN(long num_actions, ParseInt(atokens[1], "action count"));
+    if (num_actions < 1 || num_actions > (1 << 20)) {
+      return Status::InvalidArgument(
+          StringF("implausible action count %ld", num_actions));
+    }
+    std::vector<pricing::PricingAction> actions;
+    for (long i = 0; i < num_actions; ++i) {
+      CP_ASSIGN_OR_RETURN(std::string line, NextLine(stream, "action"));
+      CP_ASSIGN_OR_RETURN(auto tokens, Tokens(line, 3, "action"));
+      pricing::PricingAction a;
+      CP_ASSIGN_OR_RETURN(a.cost_per_task_cents,
+                          ParseDouble(tokens[0], "cost"));
+      CP_ASSIGN_OR_RETURN(long bundle, ParseInt(tokens[1], "bundle"));
+      a.bundle = static_cast<int>(bundle);
+      CP_ASSIGN_OR_RETURN(a.acceptance, ParseDouble(tokens[2], "acceptance"));
+      actions.push_back(a);
+    }
+    CP_ASSIGN_OR_RETURN(pricing::ActionSet action_set,
+                        pricing::ActionSet::FromActions(std::move(actions)));
+    // The same eager validation Solve applies: a reloaded checkpoint must
+    // be able to instantiate controllers.
+    CP_RETURN_IF_ERROR(pricing::AdaptiveRateController::Create(
+                           problem, believed_lambdas, action_set,
+                           horizon_hours, options)
+                           .status());
+    return PolicyArtifact(AdaptivePolicy{problem, std::move(believed_lambdas),
+                                         std::move(action_set), horizon_hours,
+                                         options});
+  }
+
   return Status::InvalidArgument(
-      StringF("unknown or non-persistable artifact kind '%s'", kind_name.c_str()));
+      StringF("unknown artifact kind '%s'", kind_name.c_str()));
 }
 
 }  // namespace crowdprice::engine

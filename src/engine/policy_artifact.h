@@ -54,12 +54,14 @@ struct AdaptivePolicy {
 
 class PolicyArtifact {
  public:
-  explicit PolicyArtifact(DeadlinePolicy payload) : payload_(std::move(payload)) {}
+  explicit PolicyArtifact(DeadlinePolicy payload)
+      : payload_(std::move(payload)) {}
   explicit PolicyArtifact(pricing::StaticPriceAssignment payload)
       : payload_(std::move(payload)) {}
   explicit PolicyArtifact(pricing::FixedPriceSolution payload)
       : payload_(std::move(payload)) {}
-  explicit PolicyArtifact(AdaptivePolicy payload) : payload_(std::move(payload)) {}
+  explicit PolicyArtifact(AdaptivePolicy payload)
+      : payload_(std::move(payload)) {}
   explicit PolicyArtifact(pricing::MultiTypePlan payload)
       : payload_(std::move(payload)) {}
   explicit PolicyArtifact(pricing::TradeoffSolution payload)
@@ -81,12 +83,12 @@ class PolicyArtifact {
 
   // --- (a) play -----------------------------------------------------------
   /// A marketplace controller playing this policy over a campaign of
-  /// `horizon_hours`. Deadline plans map wall-clock time to intervals with
-  /// horizon / num_intervals; adaptive artifacts use the horizon they were
-  /// specified with (the argument is ignored); static kinds post
-  /// time-independent offers. The controller may point into this artifact.
-  /// MultiType artifacts are not playable yet (two concurrent offers do not
-  /// fit the single-offer controller interface).
+  /// `horizon_hours`. Deadline and multitype plans map campaign time to
+  /// intervals with horizon / num_intervals; adaptive artifacts use the
+  /// horizon they were specified with (the argument is ignored); static
+  /// kinds post time-independent offers. Every PolicyKind is playable:
+  /// single-type kinds answer 1-offer sheets, the multitype kind a 2-offer
+  /// sheet per decision. The controller may point into this artifact.
   Result<std::unique_ptr<market::PricingController>> MakeController(
       double horizon_hours) const;
 
@@ -95,10 +97,12 @@ class PolicyArtifact {
   Result<pricing::AdaptiveRateController> MakeAdaptiveController() const;
 
   // --- (b) persist --------------------------------------------------------
-  /// Self-contained text serialization (deadline, budget-static,
-  /// fixed-price and tradeoff kinds; adaptive and multitype are not
-  /// persistable). Bit-exact round trip via hex-float encoding; the
-  /// deadline payload embeds the pricing/serialization plan format.
+  /// Self-contained text serialization for every kind. Bit-exact round
+  /// trip via hex-float encoding; the deadline payload embeds the
+  /// pricing/serialization plan format, the multitype payload its joint
+  /// policy/value tables, and the adaptive payload its belief state
+  /// (believed lambdas, action set, options) -- a checkpoint of the
+  /// re-planner's priors, not of any in-flight campaign state.
   Result<std::string> Serialize() const;
   static Result<PolicyArtifact> Deserialize(const std::string& text);
 

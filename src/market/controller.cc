@@ -3,17 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/macros.h"
 #include "util/stringf.h"
 
 namespace crowdprice::market {
 
-Result<Offer> FixedOfferController::Decide(double /*now_hours*/,
-                                           int64_t /*remaining_tasks*/) {
-  return offer_;
+Result<Offer> PricingController::DecideSingle(double now_hours,
+                                              int64_t remaining_tasks) {
+  CP_ASSIGN_OR_RETURN(
+      OfferSheet sheet,
+      Decide(DecisionRequest::Single(now_hours, remaining_tasks)));
+  if (sheet.num_types() != 1) {
+    return Status::FailedPrecondition(
+        StringF("controller posted %d offers; DecideSingle serves "
+                "single-type campaigns only",
+                sheet.num_types()));
+  }
+  return sheet.offers[0];
 }
 
-Result<ScheduleController> ScheduleController::Create(std::vector<Offer> schedule,
-                                                      double interval_hours) {
+Result<int64_t> SingleTypeRemaining(const DecisionRequest& request) {
+  if (request.remaining.size() != 1) {
+    return Status::InvalidArgument(
+        StringF("single-type controller consulted with %zu task types",
+                request.remaining.size()));
+  }
+  return request.remaining[0];
+}
+
+Result<OfferSheet> FixedOfferController::Decide(
+    const DecisionRequest& request) {
+  CP_RETURN_IF_ERROR(SingleTypeRemaining(request).status());
+  return OfferSheet::Single(offer_);
+}
+
+Result<ScheduleController> ScheduleController::Create(
+    std::vector<Offer> schedule, double interval_hours) {
   if (schedule.empty()) {
     return Status::InvalidArgument("ScheduleController needs >= 1 interval");
   }
@@ -29,14 +54,14 @@ Result<ScheduleController> ScheduleController::Create(std::vector<Offer> schedul
   return ScheduleController(std::move(schedule), interval_hours);
 }
 
-Result<Offer> ScheduleController::Decide(double now_hours,
-                                         int64_t /*remaining_tasks*/) {
-  if (now_hours < 0.0) {
+Result<OfferSheet> ScheduleController::Decide(const DecisionRequest& request) {
+  CP_RETURN_IF_ERROR(SingleTypeRemaining(request).status());
+  if (request.campaign_hours < 0.0) {
     return Status::InvalidArgument("Decide called with negative time");
   }
-  size_t idx = static_cast<size_t>(now_hours / interval_hours_);
+  size_t idx = static_cast<size_t>(request.campaign_hours / interval_hours_);
   idx = std::min(idx, schedule_.size() - 1);
-  return schedule_[idx];
+  return OfferSheet::Single(schedule_[idx]);
 }
 
 Result<SemiStaticController> SemiStaticController::Create(
@@ -46,14 +71,16 @@ Result<SemiStaticController> SemiStaticController::Create(
   }
   for (double c : prices_cents) {
     if (!(c >= 0.0) || !std::isfinite(c)) {
-      return Status::InvalidArgument(StringF("invalid price %g in sequence", c));
+      return Status::InvalidArgument(
+          StringF("invalid price %g in sequence", c));
     }
   }
   return SemiStaticController(std::move(prices_cents));
 }
 
-Result<Offer> SemiStaticController::Decide(double /*now_hours*/,
-                                           int64_t remaining_tasks) {
+Result<OfferSheet> SemiStaticController::Decide(
+    const DecisionRequest& request) {
+  CP_ASSIGN_OR_RETURN(int64_t remaining_tasks, SingleTypeRemaining(request));
   const int64_t total = static_cast<int64_t>(prices_.size());
   if (remaining_tasks <= 0 || remaining_tasks > total) {
     return Status::OutOfRange(
@@ -62,15 +89,17 @@ Result<Offer> SemiStaticController::Decide(double /*now_hours*/,
                 static_cast<long long>(total)));
   }
   const int64_t completed = total - remaining_tasks;
-  return Offer{prices_[static_cast<size_t>(completed)], 1};
+  return OfferSheet::Single(Offer{prices_[static_cast<size_t>(completed)], 1});
 }
 
-Result<StaticTierController> StaticTierController::Create(std::vector<Tier> tiers) {
+Result<StaticTierController> StaticTierController::Create(
+    std::vector<Tier> tiers) {
   if (tiers.empty()) {
     return Status::InvalidArgument("StaticTierController needs >= 1 tier");
   }
   for (const Tier& t : tiers) {
-    if (t.count <= 0 || !(t.price_cents >= 0.0) || !std::isfinite(t.price_cents)) {
+    if (t.count <= 0 || !(t.price_cents >= 0.0) ||
+        !std::isfinite(t.price_cents)) {
       return Status::InvalidArgument("tier has invalid price or count");
     }
   }
@@ -82,8 +111,9 @@ Result<StaticTierController> StaticTierController::Create(std::vector<Tier> tier
   return ctl;
 }
 
-Result<Offer> StaticTierController::Decide(double /*now_hours*/,
-                                           int64_t remaining_tasks) {
+Result<OfferSheet> StaticTierController::Decide(
+    const DecisionRequest& request) {
+  CP_ASSIGN_OR_RETURN(int64_t remaining_tasks, SingleTypeRemaining(request));
   if (remaining_tasks <= 0 || remaining_tasks > total_) {
     return Status::OutOfRange(
         StringF("remaining_tasks %lld outside (0, %lld]",
@@ -95,7 +125,7 @@ Result<Offer> StaticTierController::Decide(double /*now_hours*/,
   int64_t taken = total_ - remaining_tasks;
   for (const Tier& t : tiers_) {
     if (taken < t.count) {
-      return Offer{t.price_cents, 1};
+      return OfferSheet::Single(Offer{t.price_cents, 1});
     }
     taken -= t.count;
   }

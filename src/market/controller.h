@@ -1,10 +1,13 @@
 // Pricing controllers: the decision-making side of a simulated campaign.
 //
 // The simulator consults a controller at every decision epoch (and, when
-// configured, on every worker arrival) for the offer to post. Controllers
-// range from the trivial fixed offer (the Faridani baseline posts one price
-// up-front) to MDP policy tables (pricing/controller.h) and the descending
-// price tiers of the fixed-budget static strategy.
+// configured, on every worker arrival) for the offers to post. A
+// consultation is a DecisionRequest (campaign clock, per-type remaining
+// counts) answered by an OfferSheet (one offer per task type; single-type
+// policies answer 1-offer sheets). Controllers range from the trivial
+// fixed offer (the Faridani baseline posts one price up-front) to MDP
+// policy tables (pricing/controller.h), the descending price tiers of the
+// fixed-budget static strategy, and the §6 joint multi-type policy.
 
 #ifndef CROWDPRICE_MARKET_CONTROLLER_H_
 #define CROWDPRICE_MARKET_CONTROLLER_H_
@@ -17,21 +20,50 @@
 
 namespace crowdprice::market {
 
-/// Interface consulted by the simulator for the offer currently in force.
+/// Interface consulted by the simulator for the offers currently in force.
 class PricingController {
  public:
   virtual ~PricingController() = default;
 
-  /// Returns the offer to post from `now_hours` onward, given the number of
-  /// tasks not yet assigned to any worker. `remaining_tasks` is > 0.
-  virtual Result<Offer> Decide(double now_hours, int64_t remaining_tasks) = 0;
+  /// Task types this controller prices concurrently; the request's
+  /// `remaining` vector must have exactly this many entries.
+  virtual int num_types() const { return 1; }
+
+  /// Returns the sheet to post from the request's time onward: one offer
+  /// per task type, aligned with `request.remaining`. At least one
+  /// remaining entry is > 0.
+  virtual Result<OfferSheet> Decide(const DecisionRequest& request) = 0;
+
+  /// Deprecation shim for the pre-sheet surface Decide(now, remaining);
+  /// kept for one PR so out-of-tree callers migrate incrementally. Builds
+  /// a single-type request and unwraps the 1-offer sheet (errors on
+  /// multi-type controllers).
+  Result<Offer> DecideSingle(double now_hours, int64_t remaining_tasks);
+};
+
+/// Validates that `request` prices exactly one task type and returns its
+/// remaining count -- the single-type controllers' shared precondition.
+Result<int64_t> SingleTypeRemaining(const DecisionRequest& request);
+
+/// Sheet-level worker choice: the probability an arriving worker picks
+/// each of the concurrently-posted task types. The demand-side companion
+/// of PricingController (choice::AcceptanceFunction is the 1-type case).
+class SheetAcceptance {
+ public:
+  virtual ~SheetAcceptance() = default;
+
+  /// Per-type pick probabilities for one arriving worker facing `sheet`.
+  /// Returns one entry per offer; every entry >= 0 and the sum <= 1 (the
+  /// remainder walks away).
+  virtual Result<std::vector<double>> ProbabilitiesAt(
+      const OfferSheet& sheet) const = 0;
 };
 
 /// Posts one constant offer forever (static/fixed pricing).
 class FixedOfferController final : public PricingController {
  public:
   explicit FixedOfferController(Offer offer) : offer_(offer) {}
-  Result<Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+  Result<OfferSheet> Decide(const DecisionRequest& request) override;
 
  private:
   Offer offer_;
@@ -44,7 +76,7 @@ class ScheduleController final : public PricingController {
   /// Requires a non-empty schedule and interval > 0.
   static Result<ScheduleController> Create(std::vector<Offer> schedule,
                                            double interval_hours);
-  Result<Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+  Result<OfferSheet> Decide(const DecisionRequest& request) override;
 
  private:
   ScheduleController(std::vector<Offer> schedule, double interval_hours)
@@ -64,7 +96,7 @@ class SemiStaticController final : public PricingController {
   /// One price per task, all finite and >= 0; the sequence length fixes N.
   static Result<SemiStaticController> Create(std::vector<double> prices_cents);
 
-  Result<Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+  Result<OfferSheet> Decide(const DecisionRequest& request) override;
 
  private:
   explicit SemiStaticController(std::vector<double> prices)
@@ -85,7 +117,7 @@ class StaticTierController final : public PricingController {
 
   /// Requires tiers non-empty, counts > 0. Sorts descending by price.
   static Result<StaticTierController> Create(std::vector<Tier> tiers);
-  Result<Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+  Result<OfferSheet> Decide(const DecisionRequest& request) override;
 
  private:
   explicit StaticTierController(std::vector<Tier> tiers)

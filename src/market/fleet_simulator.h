@@ -58,10 +58,9 @@ class FleetSimulator {
   /// Admits a campaign played by a solved policy. The acceptance function
   /// is borrowed and must outlive Run(); the Rng is the campaign's own
   /// stream (fork one per campaign for independence).
-  Result<serving::CampaignId> Admit(engine::PolicyArtifact artifact,
-                                    const SimulatorConfig& config,
-                                    const choice::AcceptanceFunction& acceptance,
-                                    Rng rng);
+  Result<serving::CampaignId> Admit(
+      engine::PolicyArtifact artifact, const SimulatorConfig& config,
+      const choice::AcceptanceFunction& acceptance, Rng rng);
 
   /// Same, sharing one immutable artifact across many campaigns (one copy
   /// of the solved tables however large the fleet).

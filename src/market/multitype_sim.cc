@@ -1,0 +1,204 @@
+#include "market/multitype_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::market {
+
+namespace {
+
+Status ValidateSheet(const OfferSheet& sheet, size_t num_types) {
+  if (sheet.offers.size() != num_types) {
+    return Status::InvalidArgument(
+        StringF("controller answered %zu offers for a %zu-type campaign",
+                sheet.offers.size(), num_types));
+  }
+  for (const Offer& offer : sheet.offers) {
+    if (offer.group_size < 1) {
+      return Status::InvalidArgument(StringF(
+          "controller returned group_size %d (< 1)", offer.group_size));
+    }
+    if (!(offer.per_task_reward_cents >= 0.0) ||
+        !std::isfinite(offer.per_task_reward_cents)) {
+      return Status::InvalidArgument(
+          StringF("controller returned invalid reward %g",
+                  offer.per_task_reward_cents));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateProbabilities(const std::vector<double>& probs,
+                             size_t num_types) {
+  if (probs.size() != num_types) {
+    return Status::NumericError(
+        StringF("acceptance returned %zu probabilities for %zu types",
+                probs.size(), num_types));
+  }
+  double sum = 0.0;
+  for (double p : probs) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      return Status::NumericError(
+          StringF("acceptance probability %g outside [0, 1]", p));
+    }
+    sum += p;
+  }
+  if (sum > 1.0 + 1e-9) {
+    return Status::NumericError(
+        StringF("acceptance probabilities sum to %g (> 1)", sum));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MultiTypeSimConfig::Validate() const {
+  if (tasks_per_type.empty()) {
+    return Status::InvalidArgument("tasks_per_type must not be empty");
+  }
+  int64_t total = 0;
+  for (int64_t n : tasks_per_type) {
+    if (n < 0) {
+      return Status::InvalidArgument(StringF(
+          "tasks_per_type entry %lld < 0", static_cast<long long>(n)));
+    }
+    total += n;
+  }
+  if (total < 1) {
+    return Status::InvalidArgument("need at least one task across types");
+  }
+  if (!(horizon_hours > 0.0) || !std::isfinite(horizon_hours)) {
+    return Status::InvalidArgument(
+        StringF("horizon_hours must be > 0; got %g", horizon_hours));
+  }
+  if (!(decision_interval_hours > 0.0)) {
+    return Status::InvalidArgument(
+        StringF("decision_interval_hours must be > 0; got %g",
+                decision_interval_hours));
+  }
+  if (!(service_minutes_per_task >= 0.0)) {
+    return Status::InvalidArgument("service_minutes_per_task must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<MultiTypeSimResult> RunMultiTypeSimulation(
+    const MultiTypeSimConfig& config,
+    const arrival::PiecewiseConstantRate& rate,
+    const SheetAcceptance& acceptance, PricingController& controller,
+    Rng& rng) {
+  CP_RETURN_IF_ERROR(config.Validate());
+  const size_t num_types = config.tasks_per_type.size();
+  if (controller.num_types() != static_cast<int>(num_types)) {
+    return Status::InvalidArgument(
+        StringF("controller prices %d types; campaign has %zu",
+                controller.num_types(), num_types));
+  }
+
+  std::vector<int64_t> remaining = config.tasks_per_type;
+  MultiTypeSimResult result;
+  result.types.assign(num_types, TypeOutcome{});
+
+  auto total_remaining = [&remaining]() {
+    int64_t total = 0;
+    for (int64_t n : remaining) total += n;
+    return total;
+  };
+  auto make_request = [&](double when) {
+    DecisionRequest request;
+    request.now_hours = when;
+    request.campaign_hours = when;
+    request.remaining = remaining;
+    return request;
+  };
+
+  OfferSheet sheet;
+  bool sheet_valid = false;
+  double next_epoch = 0.0;
+  double last_completion = 0.0;
+  std::vector<double> arrivals;
+
+  // Stream NHPP arrivals one rate bucket at a time, like CampaignSession;
+  // the sheet refreshes only at decision epochs, matching the joint DP's
+  // fixed-prices-per-interval model.
+  const double bucket = rate.bucket_width_hours();
+  double clock = 0.0;
+  while (total_remaining() > 0 && clock < config.horizon_hours) {
+    const double next_edge =
+        (std::floor(clock / bucket + 1e-12) + 1.0) * bucket;
+    const double seg_end = std::min(next_edge, config.horizon_hours);
+    if (seg_end <= clock) {
+      return Status::NumericError("arrival bucket walk made no progress");
+    }
+    const double mean = rate.At(clock) * (seg_end - clock);
+    const int count = stats::SamplePoisson(rng, mean);
+    arrivals.clear();
+    arrivals.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      arrivals.push_back(clock + rng.NextDouble() * (seg_end - clock));
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+
+    for (double t : arrivals) {
+      if (total_remaining() <= 0) break;
+      ++result.worker_arrivals;
+      while (next_epoch <= t) {
+        CP_ASSIGN_OR_RETURN(sheet, controller.Decide(make_request(next_epoch)));
+        CP_RETURN_IF_ERROR(ValidateSheet(sheet, num_types));
+        sheet_valid = true;
+        next_epoch += config.decision_interval_hours;
+      }
+      if (!sheet_valid) {
+        CP_ASSIGN_OR_RETURN(sheet, controller.Decide(make_request(t)));
+        CP_RETURN_IF_ERROR(ValidateSheet(sheet, num_types));
+        sheet_valid = true;
+      }
+
+      CP_ASSIGN_OR_RETURN(std::vector<double> probs,
+                          acceptance.ProbabilitiesAt(sheet));
+      CP_RETURN_IF_ERROR(ValidateProbabilities(probs, num_types));
+      // One uniform draw walks the cumulative choice distribution.
+      const double u = rng.NextDouble();
+      double cum = 0.0;
+      size_t picked = num_types;  // walks away unless a type wins
+      for (size_t i = 0; i < num_types; ++i) {
+        cum += probs[i];
+        if (u < cum) {
+          picked = i;
+          break;
+        }
+      }
+      if (picked == num_types) continue;
+      // A worker who picks an already-drained type finds no HIT and
+      // leaves -- completions beyond the backlog are lost, exactly the
+      // tail the DP lumps at n (CollapseTail).
+      const Offer& offer = sheet.offers[picked];
+      const int take = static_cast<int>(
+          std::min<int64_t>(offer.group_size, remaining[picked]));
+      if (take == 0) continue;
+      remaining[picked] -= take;
+      const double paid = offer.per_task_reward_cents * take;
+      TypeOutcome& type = result.types[picked];
+      type.tasks_assigned += take;
+      type.cost_cents += paid;
+      result.total_cost_cents += paid;
+      const double done_at = t + config.service_minutes_per_task * take / 60.0;
+      last_completion = std::max(last_completion, done_at);
+    }
+    clock = seg_end;
+  }
+
+  result.finished = total_remaining() == 0;
+  result.completion_time_hours =
+      result.finished ? last_completion : config.horizon_hours;
+  for (size_t i = 0; i < num_types; ++i) {
+    result.types[i].tasks_unassigned = remaining[i];
+  }
+  return result;
+}
+
+}  // namespace crowdprice::market

@@ -1,0 +1,71 @@
+// Multi-type campaign simulation (paper §6, "Multiple Task Types").
+//
+// Several task batches from one requester post concurrently and compete
+// for the same arriving workers. The generative model mirrors the
+// single-type simulator: workers arrive by an NHPP with rate lambda(t);
+// each arrival sees the OfferSheet in force (one offer per type) and picks
+// type i with the sheet-level acceptance probability p_i (or walks away
+// with probability 1 - sum p_i). By Poisson splitting the per-interval
+// completion counts per type are independent Poissons with means
+// lambda_t * p_i -- exactly the transition model SolveMultiType plans
+// against, so simulated per-type completions track the plan's nominal
+// prediction (EvaluateMultiTypeNominal).
+//
+// The controller is consulted at fixed decision epochs with the full
+// per-type remaining vector, the same cadence the joint DP assumes.
+
+#ifndef CROWDPRICE_MARKET_MULTITYPE_SIM_H_
+#define CROWDPRICE_MARKET_MULTITYPE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arrival/rate_function.h"
+#include "market/controller.h"
+#include "market/types.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace crowdprice::market {
+
+struct MultiTypeSimConfig {
+  /// Batch size per task type; at least one type with >= 1 task.
+  std::vector<int64_t> tasks_per_type;
+  double horizon_hours = 0.0;
+  /// Controller consultation period (t = 0, d, 2d, ...).
+  double decision_interval_hours = 1.0;
+  /// Minutes of worker time per task; delays completion timestamps.
+  double service_minutes_per_task = 0.0;
+
+  Status Validate() const;
+};
+
+/// Per-type slice of a multi-type campaign outcome.
+struct TypeOutcome {
+  int64_t tasks_assigned = 0;
+  int64_t tasks_unassigned = 0;
+  double cost_cents = 0.0;
+};
+
+/// Outcome of one simulated multi-type campaign.
+struct MultiTypeSimResult {
+  std::vector<TypeOutcome> types;
+  double total_cost_cents = 0.0;
+  int64_t worker_arrivals = 0;
+  bool finished = false;  ///< Every type fully assigned by the horizon.
+  /// Time the last task completed; horizon if the batch did not finish.
+  double completion_time_hours = 0.0;
+};
+
+/// Runs one multi-type campaign. The controller must price exactly
+/// config.tasks_per_type.size() types (e.g. a MultiTypeController playing
+/// a solved MultiTypePlan). Deterministic given the Rng stream.
+Result<MultiTypeSimResult> RunMultiTypeSimulation(
+    const MultiTypeSimConfig& config,
+    const arrival::PiecewiseConstantRate& rate,
+    const SheetAcceptance& acceptance, PricingController& controller,
+    Rng& rng);
+
+}  // namespace crowdprice::market
+
+#endif  // CROWDPRICE_MARKET_MULTITYPE_SIM_H_

@@ -27,6 +27,24 @@ Status ValidateOffer(const Offer& offer) {
   return Status::OK();
 }
 
+// One controller consultation on the new decision surface: a single-type
+// DecisionRequest answered by a sheet whose lone offer is unwrapped and
+// validated. The session is a single-type campaign, so a wider sheet is a
+// controller bug.
+Result<Offer> DecideOffer(PricingController& controller, double when_hours,
+                          int64_t remaining) {
+  CP_ASSIGN_OR_RETURN(
+      OfferSheet sheet,
+      controller.Decide(DecisionRequest::Single(when_hours, remaining)));
+  if (sheet.num_types() != 1) {
+    return Status::InvalidArgument(
+        StringF("single-type campaign got a %d-offer sheet",
+                sheet.num_types()));
+  }
+  CP_RETURN_IF_ERROR(ValidateOffer(sheet.offers[0]));
+  return sheet.offers[0];
+}
+
 }  // namespace
 
 CampaignSession::CampaignSession(const SimulatorConfig& config,
@@ -45,6 +63,12 @@ Result<CampaignSession> CampaignSession::Create(
     const choice::AcceptanceFunction& acceptance, PricingController& controller,
     Rng rng) {
   CP_RETURN_IF_ERROR(config.Validate());
+  if (controller.num_types() != 1) {
+    return Status::InvalidArgument(
+        StringF("CampaignSession plays single-type campaigns; the "
+                "controller prices %d types (use RunMultiTypeSimulation)",
+                controller.num_types()));
+  }
   return CampaignSession(config, rate, acceptance, controller, rng);
 }
 
@@ -84,15 +108,14 @@ Status CampaignSession::ProcessBucket(double seg_start, double seg_end) {
     // Refresh the offer at every decision epoch boundary crossed so far.
     while (next_epoch_ <= t) {
       ++decides_;
-      CP_ASSIGN_OR_RETURN(offer_, controller_->Decide(next_epoch_, remaining_));
-      CP_RETURN_IF_ERROR(ValidateOffer(offer_));
+      CP_ASSIGN_OR_RETURN(offer_,
+                          DecideOffer(*controller_, next_epoch_, remaining_));
       offer_valid_ = true;
       next_epoch_ += config_.decision_interval_hours;
     }
     if (config_.decide_on_every_assignment || !offer_valid_) {
       ++decides_;
-      CP_ASSIGN_OR_RETURN(offer_, controller_->Decide(t, remaining_));
-      CP_RETURN_IF_ERROR(ValidateOffer(offer_));
+      CP_ASSIGN_OR_RETURN(offer_, DecideOffer(*controller_, t, remaining_));
       offer_valid_ = true;
     }
 
@@ -117,8 +140,7 @@ Status CampaignSession::ProcessBucket(double seg_start, double seg_end) {
     while (remaining_ > 0) {
       if (config_.decide_on_every_assignment) {
         ++decides_;
-        CP_ASSIGN_OR_RETURN(active, controller_->Decide(now, remaining_));
-        CP_RETURN_IF_ERROR(ValidateOffer(active));
+        CP_ASSIGN_OR_RETURN(active, DecideOffer(*controller_, now, remaining_));
       }
       const int take =
           static_cast<int>(std::min<int64_t>(active.group_size, remaining_));

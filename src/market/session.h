@@ -97,6 +97,8 @@ class CampaignSession {
   int64_t remaining_ = 0;
   double clock_hours_ = 0.0;  ///< Start of the next unprocessed bucket.
   double next_epoch_ = 0.0;
+  /// The in-force offer: the lone entry of the controller's latest
+  /// OfferSheet (sessions play single-type campaigns).
   Offer offer_;
   bool offer_valid_ = false;
   double last_completion_ = 0.0;

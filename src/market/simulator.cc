@@ -40,10 +40,10 @@ Status SimulatorConfig::Validate() const {
   return Status::OK();
 }
 
-Result<SimulationResult> RunSimulation(const SimulatorConfig& config,
-                                       const arrival::PiecewiseConstantRate& rate,
-                                       const choice::AcceptanceFunction& acceptance,
-                                       PricingController& controller, Rng& rng) {
+Result<SimulationResult> RunSimulation(
+    const SimulatorConfig& config, const arrival::PiecewiseConstantRate& rate,
+    const choice::AcceptanceFunction& acceptance, PricingController& controller,
+    Rng& rng) {
   // One campaign is a session advanced to its horizon in a single slice;
   // the fleet simulator advances the same session type on a shared clock,
   // which is why its outcomes are bit-identical to this function's.

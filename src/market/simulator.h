@@ -76,10 +76,10 @@ struct SimulatorConfig {
 /// Runs one campaign. The rate and acceptance function describe the *true*
 /// marketplace; any mis-estimation experiment plans with one model and
 /// simulates with another. Deterministic given the Rng stream.
-Result<SimulationResult> RunSimulation(const SimulatorConfig& config,
-                                       const arrival::PiecewiseConstantRate& rate,
-                                       const choice::AcceptanceFunction& acceptance,
-                                       PricingController& controller, Rng& rng);
+Result<SimulationResult> RunSimulation(
+    const SimulatorConfig& config, const arrival::PiecewiseConstantRate& rate,
+    const choice::AcceptanceFunction& acceptance, PricingController& controller,
+    Rng& rng);
 
 /// Convenience: runs `replicates` campaigns with independent Rng forks and
 /// a fresh controller from `controller_factory` each time.
@@ -96,8 +96,9 @@ Result<std::vector<SimulationResult>> RunReplicates(
   for (int i = 0; i < replicates; ++i) {
     Rng child = rng.Fork();
     auto controller = controller_factory();
-    CP_ASSIGN_OR_RETURN(SimulationResult res,
-                        RunSimulation(config, rate, acceptance, *controller, child));
+    CP_ASSIGN_OR_RETURN(
+        SimulationResult res,
+        RunSimulation(config, rate, acceptance, *controller, child));
     results.push_back(std::move(res));
   }
   return results;

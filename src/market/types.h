@@ -24,6 +24,55 @@ struct Offer {
   int group_size = 1;
 };
 
+/// One consultation of a pricing controller: everything a policy needs to
+/// decide what to post right now. A campaign prices one or more task types
+/// concurrently (the paper's §6 extension); single-type campaigns are the
+/// one-entry case.
+struct DecisionRequest {
+  /// Marketplace wall-clock time of the lookup (the fleet's shared clock).
+  double now_hours = 0.0;
+  /// Time on the campaign's own clock, hours since it started -- what
+  /// plan-backed controllers map to their interval index. Campaigns that
+  /// start at t = 0 (the simulators' convention) keep both clocks equal.
+  double campaign_hours = 0.0;
+  /// Remaining unassigned tasks, one entry per task type. At least one
+  /// entry must be > 0 for a decision to exist.
+  std::vector<int64_t> remaining;
+
+  /// The single-type request the legacy Decide(now, remaining) surface
+  /// expressed: both clocks at `now_hours`, one task type.
+  static DecisionRequest Single(double now_hours, int64_t remaining_tasks) {
+    DecisionRequest request;
+    request.now_hours = now_hours;
+    request.campaign_hours = now_hours;
+    request.remaining.push_back(remaining_tasks);
+    return request;
+  }
+
+  int num_types() const { return static_cast<int>(remaining.size()); }
+
+  int64_t total_remaining() const {
+    int64_t total = 0;
+    for (int64_t n : remaining) total += n;
+    return total;
+  }
+};
+
+/// The offers a decision puts in force: one per task type, aligned
+/// index-for-index with DecisionRequest::remaining. Single-type policies
+/// answer a 1-offer sheet.
+struct OfferSheet {
+  std::vector<Offer> offers;
+
+  static OfferSheet Single(Offer offer) {
+    OfferSheet sheet;
+    sheet.offers.push_back(offer);
+    return sheet;
+  }
+
+  int num_types() const { return static_cast<int>(offers.size()); }
+};
+
 /// One HIT completion.
 struct CompletionEvent {
   double time_hours = 0.0;  ///< When the worker finished the HIT.

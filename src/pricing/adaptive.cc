@@ -54,14 +54,16 @@ Status AdaptiveRateController::ReplanFrom(int interval) {
   return Status::OK();
 }
 
-Result<market::Offer> AdaptiveRateController::Decide(double now_hours,
-                                                     int64_t remaining_tasks) {
+Result<market::OfferSheet> AdaptiveRateController::Decide(
+    const market::DecisionRequest& request) {
+  CP_ASSIGN_OR_RETURN(int64_t remaining_tasks,
+                      market::SingleTypeRemaining(request));
   if (remaining_tasks <= 0) {
     return Status::InvalidArgument("Decide called with no remaining tasks");
   }
   const double interval_hours =
       horizon_hours_ / static_cast<double>(problem_.num_intervals);
-  int t = static_cast<int>(now_hours / interval_hours + 1e-9);
+  int t = static_cast<int>(request.campaign_hours / interval_hours + 1e-9);
   t = std::clamp(t, 0, problem_.num_intervals - 1);
 
   if (!plan_.has_value()) {
@@ -100,7 +102,8 @@ Result<market::Offer> AdaptiveRateController::Decide(double now_hours,
       static_cast<double>(action.bundle);
   pending_prediction_ =
       std::min(raw, static_cast<double>(remaining_tasks));
-  return market::Offer{action.cost_per_task_cents, action.bundle};
+  return market::OfferSheet::Single(
+      market::Offer{action.cost_per_task_cents, action.bundle});
 }
 
 }  // namespace crowdprice::pricing

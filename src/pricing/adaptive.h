@@ -56,7 +56,8 @@ class AdaptiveRateController final : public market::PricingController {
       const DeadlineProblem& problem, std::vector<double> believed_lambdas,
       ActionSet actions, double horizon_hours, AdaptiveOptions options = {});
 
-  Result<market::Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+  Result<market::OfferSheet> Decide(
+      const market::DecisionRequest& request) override;
 
   /// The most recent rate-correction factor (1 until the first re-solve).
   double current_factor() const { return factor_; }

@@ -19,8 +19,10 @@ Result<PlanController> PlanController::Create(const DeadlinePlan* plan,
   return PlanController(plan, horizon_hours / plan->num_intervals());
 }
 
-Result<market::Offer> PlanController::Decide(double now_hours,
-                                             int64_t remaining_tasks) {
+Result<market::OfferSheet> PlanController::Decide(
+    const market::DecisionRequest& request) {
+  CP_ASSIGN_OR_RETURN(int64_t remaining_tasks,
+                      market::SingleTypeRemaining(request));
   if (remaining_tasks <= 0) {
     return Status::InvalidArgument("Decide called with no remaining tasks");
   }
@@ -28,7 +30,7 @@ Result<market::Offer> PlanController::Decide(double now_hours,
   // so accumulated floating-point error cannot map an epoch to the previous
   // interval (which would, in particular, suppress the final interval's
   // price spike).
-  int t = static_cast<int>(now_hours / interval_hours_ + 1e-9);
+  int t = static_cast<int>(request.campaign_hours / interval_hours_ + 1e-9);
   t = std::clamp(t, 0, plan_->num_intervals() - 1);
   // A lucky campaign can be further along than the plan anticipated (fewer
   // tasks) -- that is in range. More tasks than N cannot happen, but clamp
@@ -36,7 +38,61 @@ Result<market::Offer> PlanController::Decide(double now_hours,
   const int n = static_cast<int>(
       std::min<int64_t>(remaining_tasks, plan_->num_tasks()));
   CP_ASSIGN_OR_RETURN(PricingAction action, plan_->ActionAt(n, t));
-  return market::Offer{action.cost_per_task_cents, action.bundle};
+  return market::OfferSheet::Single(
+      market::Offer{action.cost_per_task_cents, action.bundle});
+}
+
+Result<MultiTypeController> MultiTypeController::Create(
+    const MultiTypePlan* plan, double horizon_hours) {
+  if (plan == nullptr) {
+    return Status::InvalidArgument("plan must not be null");
+  }
+  if (!(horizon_hours > 0.0)) {
+    return Status::InvalidArgument(
+        StringF("horizon_hours must be > 0; got %g", horizon_hours));
+  }
+  return MultiTypeController(plan,
+                             horizon_hours / plan->problem().num_intervals);
+}
+
+Result<market::OfferSheet> MultiTypeController::Decide(
+    const market::DecisionRequest& request) {
+  if (request.remaining.size() != 2) {
+    return Status::InvalidArgument(
+        StringF("multitype controller prices 2 task types; request has %zu",
+                request.remaining.size()));
+  }
+  if (request.total_remaining() <= 0) {
+    return Status::InvalidArgument("Decide called with no remaining tasks");
+  }
+  const MultiTypeProblem& problem = plan_->problem();
+  // Same epoch-boundary nudge and defensive clamps as PlanController.
+  int t = static_cast<int>(request.campaign_hours / interval_hours_ + 1e-9);
+  t = std::clamp(t, 0, problem.num_intervals - 1);
+  const int n1 = static_cast<int>(std::clamp<int64_t>(
+      request.remaining[0], 0, problem.num_tasks_1));
+  const int n2 = static_cast<int>(std::clamp<int64_t>(
+      request.remaining[1], 0, problem.num_tasks_2));
+  CP_ASSIGN_OR_RETURN(auto prices, plan_->PricesAt(n1, n2, t));
+  market::OfferSheet sheet;
+  sheet.offers.push_back(
+      market::Offer{static_cast<double>(prices.first), 1});
+  sheet.offers.push_back(
+      market::Offer{static_cast<double>(prices.second), 1});
+  return sheet;
+}
+
+Result<std::vector<double>> JointLogitSheetAcceptance::ProbabilitiesAt(
+    const market::OfferSheet& sheet) const {
+  if (sheet.num_types() != 2) {
+    return Status::InvalidArgument(
+        StringF("joint logit covers 2 task types; sheet has %d",
+                sheet.num_types()));
+  }
+  const auto [p1, p2] =
+      joint_.ProbabilitiesAt(sheet.offers[0].per_task_reward_cents,
+                             sheet.offers[1].per_task_reward_cents);
+  return std::vector<double>{p1, p2};
 }
 
 }  // namespace crowdprice::pricing

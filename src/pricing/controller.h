@@ -4,6 +4,7 @@
 #define CROWDPRICE_PRICING_CONTROLLER_H_
 
 #include "market/controller.h"
+#include "pricing/multitype.h"
 #include "pricing/plan.h"
 #include "util/result.h"
 
@@ -19,7 +20,8 @@ class PlanController final : public market::PricingController {
   static Result<PlanController> Create(const DeadlinePlan* plan,
                                        double horizon_hours);
 
-  Result<market::Offer> Decide(double now_hours, int64_t remaining_tasks) override;
+  Result<market::OfferSheet> Decide(
+      const market::DecisionRequest& request) override;
 
  private:
   PlanController(const DeadlinePlan* plan, double interval_hours)
@@ -27,6 +29,42 @@ class PlanController final : public market::PricingController {
 
   const DeadlinePlan* plan_;
   double interval_hours_;
+};
+
+/// Plays a solved MultiTypePlan (§6): both task types priced jointly, one
+/// offer per type on the sheet. The plan must outlive the controller.
+class MultiTypeController final : public market::PricingController {
+ public:
+  /// horizon_hours is the campaign deadline the plan was solved for; the
+  /// interval width is horizon / plan.problem().num_intervals.
+  static Result<MultiTypeController> Create(const MultiTypePlan* plan,
+                                            double horizon_hours);
+
+  int num_types() const override { return 2; }
+  Result<market::OfferSheet> Decide(
+      const market::DecisionRequest& request) override;
+
+ private:
+  MultiTypeController(const MultiTypePlan* plan, double interval_hours)
+      : plan_(plan), interval_hours_(interval_hours) {}
+
+  const MultiTypePlan* plan_;
+  double interval_hours_;
+};
+
+/// Plays a JointLogitAcceptance (the §6 two-type conditional logit) as the
+/// market's sheet-level worker-choice model, so RunMultiTypeSimulation
+/// draws from exactly the distribution SolveMultiType planned against.
+class JointLogitSheetAcceptance final : public market::SheetAcceptance {
+ public:
+  explicit JointLogitSheetAcceptance(JointLogitAcceptance joint)
+      : joint_(joint) {}
+
+  Result<std::vector<double>> ProbabilitiesAt(
+      const market::OfferSheet& sheet) const override;
+
+ private:
+  JointLogitAcceptance joint_;
 };
 
 }  // namespace crowdprice::pricing

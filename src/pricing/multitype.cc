@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "stats/poisson.h"
 #include "util/macros.h"
@@ -219,6 +220,94 @@ Result<MultiTypePlan> SolveMultiType(const MultiTypeProblem& problem,
     }
   }
   return plan;
+}
+
+Result<MultiTypeEvaluation> EvaluateMultiTypeNominal(
+    const MultiTypePlan& plan, const JointLogitAcceptance& acceptance) {
+  const MultiTypeProblem& p = plan.problem();
+  const size_t n2_span = static_cast<size_t>(p.num_tasks_2) + 1;
+  auto at = [n2_span](int n1, int n2) {
+    return static_cast<size_t>(n1) * n2_span + static_cast<size_t>(n2);
+  };
+
+  std::vector<double> dist(
+      (static_cast<size_t>(p.num_tasks_1) + 1) * n2_span, 0.0);
+  std::vector<double> next(dist.size(), 0.0);
+  dist[at(p.num_tasks_1, p.num_tasks_2)] = 1.0;
+
+  MultiTypeEvaluation eval;
+  eval.expected_completed.assign(2, 0.0);
+  eval.expected_remaining.assign(2, 0.0);
+
+  struct PairTables {
+    stats::TruncatedPoisson tp1, tp2;
+  };
+  std::vector<double> d1_dist, d2_dist;
+  for (int t = 0; t < p.num_intervals; ++t) {
+    const double lambda_t =
+        plan.interval_lambdas()[static_cast<size_t>(t)];
+    // The per-interval transition tables depend only on the price pair;
+    // memoize them across states.
+    std::unordered_map<int32_t, PairTables> tables;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int n1 = 0; n1 <= p.num_tasks_1; ++n1) {
+      for (int n2 = 0; n2 <= p.num_tasks_2; ++n2) {
+        const double q = dist[at(n1, n2)];
+        if (q <= 0.0) continue;
+        if (n1 + n2 == 0) {
+          next[at(0, 0)] += q;  // absorbing: the batch is done
+          continue;
+        }
+        CP_ASSIGN_OR_RETURN(auto prices, plan.PricesAt(n1, n2, t));
+        const int32_t packed =
+            static_cast<int32_t>(prices.first * 4096 + prices.second);
+        auto it = tables.find(packed);
+        if (it == tables.end()) {
+          auto [p1, p2] = acceptance.ProbabilitiesAt(
+              static_cast<double>(prices.first),
+              static_cast<double>(prices.second));
+          PairTables pt;
+          CP_ASSIGN_OR_RETURN(
+              pt.tp1, stats::MakeTruncatedPoisson(lambda_t * p1,
+                                                  p.truncation_epsilon));
+          CP_ASSIGN_OR_RETURN(
+              pt.tp2, stats::MakeTruncatedPoisson(lambda_t * p2,
+                                                  p.truncation_epsilon));
+          it = tables.emplace(packed, std::move(pt)).first;
+        }
+        CollapseTail(it->second.tp1, n1, &d1_dist);
+        CollapseTail(it->second.tp2, n2, &d2_dist);
+        for (int d1 = 0; d1 <= n1; ++d1) {
+          const double q1 = d1_dist[static_cast<size_t>(d1)];
+          if (q1 <= 0.0) continue;
+          for (int d2 = 0; d2 <= n2; ++d2) {
+            const double q2 = d2_dist[static_cast<size_t>(d2)];
+            if (q2 <= 0.0) continue;
+            const double w = q * q1 * q2;
+            next[at(n1 - d1, n2 - d2)] += w;
+            eval.expected_cost_cents +=
+                w * (static_cast<double>(prices.first) * d1 +
+                     static_cast<double>(prices.second) * d2);
+            eval.expected_completed[0] += w * d1;
+            eval.expected_completed[1] += w * d2;
+          }
+        }
+      }
+    }
+    dist.swap(next);
+  }
+
+  for (int n1 = 0; n1 <= p.num_tasks_1; ++n1) {
+    for (int n2 = 0; n2 <= p.num_tasks_2; ++n2) {
+      const double q = dist[at(n1, n2)];
+      if (q <= 0.0) continue;
+      eval.expected_remaining[0] += q * n1;
+      eval.expected_remaining[1] += q * n2;
+      eval.expected_penalty_cents +=
+          q * (n1 * p.penalty_1_cents + n2 * p.penalty_2_cents);
+    }
+  }
+  return eval;
 }
 
 }  // namespace crowdprice::pricing

@@ -65,12 +65,17 @@ class MultiTypePlan {
   Result<double> OptAt(int n1, int n2, int t) const;
   double TotalObjective() const;
 
+  const std::vector<double>& interval_lambdas() const {
+    return interval_lambdas_;
+  }
+
   // Solver-facing unchecked access.
   size_t StateIndex(int n1, int n2, int t) const;
   size_t PolicyIndex(int n1, int n2, int t) const;
   std::vector<double>& opt() { return opt_; }
   std::vector<int32_t>& policy() { return policy_; }  ///< packed c1 * 4096 + c2
   const std::vector<double>& opt() const { return opt_; }
+  const std::vector<int32_t>& policy() const { return policy_; }
 
  private:
   MultiTypeProblem problem_;
@@ -83,6 +88,21 @@ class MultiTypePlan {
 Result<MultiTypePlan> SolveMultiType(const MultiTypeProblem& problem,
                                      const std::vector<double>& interval_lambdas,
                                      const JointLogitAcceptance& acceptance);
+
+/// Nominal forecast of playing a MultiTypePlan against the marketplace it
+/// was solved for (the multi-type analogue of EvaluatePolicyNominal).
+struct MultiTypeEvaluation {
+  /// Expected reward outlay, cents (no penalties).
+  double expected_cost_cents = 0.0;
+  double expected_penalty_cents = 0.0;
+  std::vector<double> expected_completed;  ///< Per type.
+  std::vector<double> expected_remaining;  ///< Per type, at the deadline.
+};
+
+/// Forward-propagates the joint state distribution under the plan's policy
+/// with the same truncated-Poisson transition model the solver used.
+Result<MultiTypeEvaluation> EvaluateMultiTypeNominal(
+    const MultiTypePlan& plan, const JointLogitAcceptance& acceptance);
 
 }  // namespace crowdprice::pricing
 

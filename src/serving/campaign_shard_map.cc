@@ -184,8 +184,39 @@ Status CampaignShardMap::Retire(CampaignId id) {
   return Status::OK();
 }
 
-Result<market::Offer> CampaignShardMap::Decide(CampaignId id, double now_hours,
-                                               int64_t remaining_tasks) {
+Status CampaignShardMap::SwapArtifact(CampaignId id,
+                                      engine::PolicyArtifact artifact) {
+  return SwapArtifactShared(
+      id, std::make_shared<const engine::PolicyArtifact>(std::move(artifact)));
+}
+
+Status CampaignShardMap::SwapArtifactShared(
+    CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact) {
+  if (artifact == nullptr) {
+    return Status::InvalidArgument("artifact must not be null");
+  }
+  Shard& shard = impl_->ShardFor(id);
+  // The whole swap happens under the shard lock so a concurrent
+  // DecideBatch pass sees either the old policy or the new one, never a
+  // half-replaced campaign. MakeController only wires tables (no solving),
+  // so holding the lock across it is cheap.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.campaigns.find(id);
+  if (it == shard.campaigns.end()) {
+    return Status::NotFound(StringF(
+        "campaign %llu is not live", static_cast<unsigned long long>(id)));
+  }
+  CP_ASSIGN_OR_RETURN(
+      std::unique_ptr<market::PricingController> controller,
+      artifact->MakeController(it->second.limits.deadline_hours));
+  it->second.artifact = std::move(artifact);
+  it->second.controller = std::move(controller);
+  ++shard.stats.swapped;
+  return Status::OK();
+}
+
+Result<market::OfferSheet> CampaignShardMap::Decide(
+    CampaignId id, const market::DecisionRequest& request) {
   Shard& shard = impl_->ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.campaigns.find(id);
@@ -194,7 +225,22 @@ Result<market::Offer> CampaignShardMap::Decide(CampaignId id, double now_hours,
         "campaign %llu is not live", static_cast<unsigned long long>(id)));
   }
   ++shard.stats.decides;
-  return it->second.controller->Decide(now_hours, remaining_tasks);
+  return it->second.controller->Decide(request);
+}
+
+Result<market::Offer> CampaignShardMap::DecideSingle(CampaignId id,
+                                                     double now_hours,
+                                                     int64_t remaining_tasks) {
+  CP_ASSIGN_OR_RETURN(
+      market::OfferSheet sheet,
+      Decide(id, market::DecisionRequest::Single(now_hours, remaining_tasks)));
+  if (sheet.num_types() != 1) {
+    return Status::FailedPrecondition(
+        StringF("campaign %llu posts %d offers; DecideSingle serves "
+                "single-type campaigns only",
+                static_cast<unsigned long long>(id), sheet.num_types()));
+  }
+  return sheet.offers[0];
 }
 
 std::vector<DecideResponse> CampaignShardMap::DecideBatch(
@@ -231,12 +277,12 @@ std::vector<DecideResponse> CampaignShardMap::DecideBatch(
       }
       ++shard.stats.decides;
       ++shard.stats.batch_requests;
-      Result<market::Offer> offer = it->second.controller->Decide(
-          request.now_hours, request.remaining_tasks);
-      if (offer.ok()) {
-        response.offer = *offer;
+      Result<market::OfferSheet> sheet =
+          it->second.controller->Decide(request.request);
+      if (sheet.ok()) {
+        response.sheet = std::move(sheet).value();
       } else {
-        response.status = offer.status();
+        response.status = sheet.status();
       }
     }
   });
@@ -278,6 +324,7 @@ ShardStats CampaignShardMap::TotalStats() const {
     total.admitted += stats.admitted;
     total.decides += stats.decides;
     total.batch_requests += stats.batch_requests;
+    total.swapped += stats.swapped;
     total.retired_completed += stats.retired_completed;
     total.retired_deadline += stats.retired_deadline;
     total.retired_explicit += stats.retired_explicit;

@@ -3,17 +3,20 @@
 // A live marketplace runs many concurrent task batches; each one is a
 // solved policy (engine::PolicyArtifact) plus the controller playing it.
 // The shard map owns those campaigns, partitions them across a fixed
-// worker-thread pool by campaign id, and serves price lookups in batches:
-// DecideBatch partitions a request vector by shard and answers every
-// shard's slice on its own pool thread in a single locked pass, so one
-// call resolves offers for hundreds of campaigns with no per-request
-// locking and no cross-shard contention.
+// worker-thread pool by campaign id, and serves lookups in batches: each
+// lookup is a market::DecisionRequest answered by the campaign policy's
+// OfferSheet (one offer per task type). DecideBatch partitions a request
+// vector by shard and answers every shard's slice on its own pool thread
+// in a single locked pass, so one call resolves sheets for hundreds of
+// campaigns with no per-request locking and no cross-shard contention.
 //
 // Lifecycle: Admit assigns an id and builds the controller from the
 // artifact (the artifact is heap-pinned so controllers may point into it);
 // Tick reports campaign progress and retires the campaign when the batch
-// completes or its deadline passes; Retire removes it explicitly. Per-shard
-// counters (ShardStats) expose serving load and lifecycle churn.
+// completes or its deadline passes; Retire removes it explicitly;
+// SwapArtifact atomically replaces the policy a live campaign plays
+// without interrupting serving. Per-shard counters (ShardStats) expose
+// serving load and lifecycle churn.
 //
 // Thread safety: every public method is safe to call concurrently; state
 // is guarded by one mutex per shard, so operations on different shards
@@ -57,26 +60,36 @@ enum class CampaignState {
   kRetiredDeadline = 2,   ///< Deadline passed with tasks left.
 };
 
-/// One price lookup in a DecideBatch call.
+/// One lookup in a DecideBatch call: which campaign, and the
+/// market::DecisionRequest its policy should answer.
 struct DecideRequest {
   CampaignId campaign_id = 0;
-  double now_hours = 0.0;
-  int64_t remaining_tasks = 0;
+  market::DecisionRequest request;
+
+  /// Single-type convenience mirroring the pre-sheet surface.
+  static DecideRequest Single(CampaignId campaign_id, double now_hours,
+                              int64_t remaining_tasks) {
+    DecideRequest out;
+    out.campaign_id = campaign_id;
+    out.request = market::DecisionRequest::Single(now_hours, remaining_tasks);
+    return out;
+  }
 };
 
 /// Outcome of one DecideRequest. `status` is NotFound for unknown or
-/// already-retired campaigns; `offer` is valid iff status.ok().
+/// already-retired campaigns; `sheet` is valid iff status.ok().
 struct DecideResponse {
   CampaignId campaign_id = 0;
   Status status;
-  market::Offer offer;
+  market::OfferSheet sheet;
 };
 
 /// Monotone per-shard counters plus the current live-campaign gauge.
 struct ShardStats {
   uint64_t admitted = 0;
-  uint64_t decides = 0;         ///< Offers served (single + batched).
+  uint64_t decides = 0;         ///< Sheets served (single + batched).
   uint64_t batch_requests = 0;  ///< Decides that arrived via DecideBatch.
+  uint64_t swapped = 0;         ///< Hot artifact swaps on live campaigns.
   uint64_t retired_completed = 0;
   uint64_t retired_deadline = 0;
   uint64_t retired_explicit = 0;
@@ -127,12 +140,31 @@ class CampaignShardMap {
   /// Removes a live campaign unconditionally.
   Status Retire(CampaignId id);
 
+  /// Atomically replaces a live campaign's pinned artifact and controller
+  /// under the shard lock: lookups before the swap answer from the old
+  /// policy, lookups after from the new one, and the campaign's id,
+  /// limits and stats carry over (the swap itself counts in
+  /// ShardStats::swapped). The replacement controller starts fresh --
+  /// stateful policies (adaptive) lose their in-flight tracking. Fails
+  /// NotFound for unknown/retired campaigns and propagates MakeController
+  /// errors, leaving the campaign untouched.
+  Status SwapArtifact(CampaignId id, engine::PolicyArtifact artifact);
+
+  /// Same, sharing one immutable artifact (e.g. re-pinning a fleet of
+  /// campaigns to a re-solved policy without copying its tables).
+  Status SwapArtifactShared(
+      CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact);
+
   // --- Serving -----------------------------------------------------------
 
-  /// One price lookup: the offer the campaign's policy posts at
-  /// `now_hours` with `remaining_tasks` left.
-  Result<market::Offer> Decide(CampaignId id, double now_hours,
-                               int64_t remaining_tasks);
+  /// One lookup: the sheet the campaign's policy posts for `request`.
+  Result<market::OfferSheet> Decide(CampaignId id,
+                                    const market::DecisionRequest& request);
+
+  /// Single-type deprecation shim (one PR, like
+  /// PricingController::DecideSingle): unwraps the 1-offer sheet.
+  Result<market::Offer> DecideSingle(CampaignId id, double now_hours,
+                                     int64_t remaining_tasks);
 
   /// Batched lookups: requests are partitioned by shard and each shard's
   /// slice is answered on its own pool thread in one locked pass.

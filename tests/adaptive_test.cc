@@ -59,7 +59,7 @@ TEST(AdaptiveControllerTest, FirstDecisionMatchesStaticPlan) {
       AdaptiveRateController::Create(s.problem, s.believed, s.actions, 24.0)
           .value();
   auto static_plan = SolveImprovedDp(s.problem, s.believed, s.actions).value();
-  auto offer = adaptive.Decide(0.0, 100).value();
+  auto offer = adaptive.DecideSingle(0.0, 100).value();
   EXPECT_DOUBLE_EQ(offer.per_task_reward_cents,
                    static_plan.PriceAt(100, 0).value());
   EXPECT_DOUBLE_EQ(adaptive.current_factor(), 1.0);
@@ -169,7 +169,7 @@ TEST(AdaptiveControllerTest, RejectsNonPositiveRemaining) {
   auto controller =
       AdaptiveRateController::Create(s.problem, s.believed, s.actions, 24.0)
           .value();
-  EXPECT_TRUE(controller.Decide(0.0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(controller.DecideSingle(0.0, 0).status().IsInvalidArgument());
 }
 
 }  // namespace

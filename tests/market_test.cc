@@ -128,10 +128,10 @@ TEST(RunSimulationTest, SemiStaticOrderInvariance) {
 
   class AscendingTiers final : public PricingController {
    public:
-    Result<Offer> Decide(double, int64_t remaining) override {
+    Result<OfferSheet> Decide(const DecisionRequest& request) override {
       // First 20 tasks at 10 cents (p=0.1), then 20 at 40 cents (p=0.4).
-      const int64_t taken = 40 - remaining;
-      return Offer{taken < 20 ? 10.0 : 40.0, 1};
+      const int64_t taken = 40 - request.remaining[0];
+      return OfferSheet::Single(Offer{taken < 20 ? 10.0 : 40.0, 1});
     }
   };
 
@@ -271,7 +271,9 @@ TEST(RunSimulationTest, CompletionsPerBucket) {
 TEST(RunSimulationTest, InvalidControllerOfferSurfaces) {
   class BadController final : public PricingController {
    public:
-    Result<Offer> Decide(double, int64_t) override { return Offer{-5.0, 1}; }
+    Result<OfferSheet> Decide(const DecisionRequest&) override {
+      return OfferSheet::Single(Offer{-5.0, 1});
+    }
   };
   auto rate = ConstantRate(500.0);
   LinearAcceptance acceptance;
@@ -361,17 +363,27 @@ TEST(RunSimulationTest, EarlyExitDoesNotScanFullHorizon) {
   EXPECT_LT(result.completion_time_hours, 1.0);
 }
 
+// The controller tests drive the DecideSingle migration shim: it must
+// forward to the sheet surface and unwrap the lone offer unchanged.
 TEST(ControllerTest, ScheduleControllerPlaysIntervals) {
-  auto ctl = ScheduleController::Create({{10.0, 1}, {20.0, 1}, {30.0, 1}}, 2.0).value();
-  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 5).value().per_task_reward_cents, 10.0);
-  EXPECT_DOUBLE_EQ(ctl.Decide(1.99, 5).value().per_task_reward_cents, 10.0);
-  EXPECT_DOUBLE_EQ(ctl.Decide(2.0, 5).value().per_task_reward_cents, 20.0);
-  EXPECT_DOUBLE_EQ(ctl.Decide(4.5, 5).value().per_task_reward_cents, 30.0);
+  auto ctl =
+      ScheduleController::Create({{10.0, 1}, {20.0, 1}, {30.0, 1}}, 2.0)
+          .value();
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 5).value().per_task_reward_cents,
+                   10.0);
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(1.99, 5).value().per_task_reward_cents,
+                   10.0);
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(2.0, 5).value().per_task_reward_cents,
+                   20.0);
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(4.5, 5).value().per_task_reward_cents,
+                   30.0);
   // Past the schedule end the last offer persists.
-  EXPECT_DOUBLE_EQ(ctl.Decide(99.0, 5).value().per_task_reward_cents, 30.0);
-  EXPECT_TRUE(ctl.Decide(-1.0, 5).status().IsInvalidArgument());
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(99.0, 5).value().per_task_reward_cents,
+                   30.0);
+  EXPECT_TRUE(ctl.DecideSingle(-1.0, 5).status().IsInvalidArgument());
   EXPECT_TRUE(ScheduleController::Create({}, 1.0).status().IsInvalidArgument());
-  EXPECT_TRUE(ScheduleController::Create({{10.0, 1}}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ScheduleController::Create({{10.0, 1}}, 0.0).status().IsInvalidArgument());
   EXPECT_TRUE(
       ScheduleController::Create({{10.0, 0}}, 1.0).status().IsInvalidArgument());
 }
@@ -379,15 +391,60 @@ TEST(ControllerTest, ScheduleControllerPlaysIntervals) {
 TEST(ControllerTest, StaticTierHighestFirst) {
   auto ctl = StaticTierController::Create({{5.0, 3}, {9.0, 2}}).value();
   // 5 tasks total; highest tier (9.0, 2 tasks) first.
-  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 5).value().per_task_reward_cents, 9.0);
-  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 4).value().per_task_reward_cents, 9.0);
-  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 3).value().per_task_reward_cents, 5.0);
-  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 1).value().per_task_reward_cents, 5.0);
-  EXPECT_TRUE(ctl.Decide(0.0, 0).status().IsOutOfRange());
-  EXPECT_TRUE(ctl.Decide(0.0, 6).status().IsOutOfRange());
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 5).value().per_task_reward_cents,
+                   9.0);
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 4).value().per_task_reward_cents,
+                   9.0);
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 3).value().per_task_reward_cents,
+                   5.0);
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 1).value().per_task_reward_cents,
+                   5.0);
+  EXPECT_TRUE(ctl.DecideSingle(0.0, 0).status().IsOutOfRange());
+  EXPECT_TRUE(ctl.DecideSingle(0.0, 6).status().IsOutOfRange());
   EXPECT_TRUE(StaticTierController::Create({}).status().IsInvalidArgument());
   EXPECT_TRUE(
       StaticTierController::Create({{5.0, 0}}).status().IsInvalidArgument());
+}
+
+TEST(ControllerTest, DecideAnswersSingleOfferSheets) {
+  FixedOfferController ctl(Offer{12.5, 3});
+  const DecisionRequest request = DecisionRequest::Single(1.0, 7);
+  EXPECT_EQ(request.num_types(), 1);
+  EXPECT_EQ(request.total_remaining(), 7);
+  EXPECT_DOUBLE_EQ(request.campaign_hours, 1.0);
+  const OfferSheet sheet = ctl.Decide(request).value();
+  ASSERT_EQ(sheet.num_types(), 1);
+  EXPECT_DOUBLE_EQ(sheet.offers[0].per_task_reward_cents, 12.5);
+  EXPECT_EQ(sheet.offers[0].group_size, 3);
+}
+
+TEST(ControllerTest, SingleTypeControllersRejectMultiTypeRequests) {
+  FixedOfferController ctl(Offer{10.0, 1});
+  DecisionRequest request;
+  request.remaining = {5, 5};
+  EXPECT_TRUE(ctl.Decide(request).status().IsInvalidArgument());
+}
+
+TEST(RunSimulationTest, RejectsMultiTypeControllers) {
+  // A controller that prices several types cannot drive the single-type
+  // campaign loop; the session rejects it at creation.
+  class TwoTypes final : public PricingController {
+   public:
+    int num_types() const override { return 2; }
+    Result<OfferSheet> Decide(const DecisionRequest&) override {
+      OfferSheet sheet;
+      sheet.offers = {Offer{5.0, 1}, Offer{6.0, 1}};
+      return sheet;
+    }
+  };
+  auto rate = ConstantRate(500.0);
+  LinearAcceptance acceptance;
+  TwoTypes two;
+  Rng rng(67);
+  EXPECT_TRUE(RunSimulation(BaseConfig(), rate, acceptance, two, rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(two.DecideSingle(0.0, 5).status().IsFailedPrecondition());
 }
 
 }  // namespace

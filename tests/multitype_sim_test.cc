@@ -1,0 +1,167 @@
+// Multi-type end-to-end: a solved §6 joint policy played through the
+// OfferSheet surface against the joint-logit marketplace it was planned
+// for. The per-type completions of the simulated campaigns must match the
+// plan's nominal forward prediction (EvaluateMultiTypeNominal) within
+// sampling tolerance -- the multi-type analogue of the single-type
+// simulator/policy-eval agreement tests.
+
+#include "market/multitype_sim.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arrival/rate_function.h"
+#include "engine/engine.h"
+#include "pricing/controller.h"
+#include "pricing/multitype.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace crowdprice::market {
+namespace {
+
+engine::MultiTypeSpec TwoTypeSpec() {
+  engine::MultiTypeSpec spec;
+  spec.s1 = 10.0;
+  spec.b1 = 1.4;
+  spec.s2 = 10.0;
+  spec.b2 = 1.0;
+  spec.m = 150.0;
+  spec.problem.num_tasks_1 = 8;
+  spec.problem.num_tasks_2 = 8;
+  spec.problem.num_intervals = 6;
+  spec.problem.penalty_1_cents = 250.0;
+  spec.problem.penalty_2_cents = 180.0;
+  spec.problem.max_price_cents = 24;
+  spec.problem.price_stride = 4;
+  spec.interval_lambdas.assign(6, 25.0);
+  return spec;
+}
+
+MultiTypeSimConfig TwoTypeConfig() {
+  MultiTypeSimConfig config;
+  config.tasks_per_type = {8, 8};
+  config.horizon_hours = 6.0;
+  config.decision_interval_hours = 1.0;  // one decision per plan interval
+  return config;
+}
+
+TEST(MultiTypeSimConfigTest, Validation) {
+  EXPECT_TRUE(TwoTypeConfig().Validate().ok());
+  MultiTypeSimConfig config = TwoTypeConfig();
+  config.tasks_per_type.clear();
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config = TwoTypeConfig();
+  config.tasks_per_type = {0, 0};
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config = TwoTypeConfig();
+  config.tasks_per_type = {-1, 5};
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config = TwoTypeConfig();
+  config.horizon_hours = 0.0;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config = TwoTypeConfig();
+  config.decision_interval_hours = 0.0;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+}
+
+TEST(RunMultiTypeSimulationTest, RejectsMismatchedControllers) {
+  const auto rate =
+      arrival::PiecewiseConstantRate::Constant(25.0, 6.0).value();
+  auto joint = pricing::JointLogitAcceptance::Create(10.0, 1.4, 10.0, 1.0,
+                                                     150.0)
+                   .value();
+  pricing::JointLogitSheetAcceptance acceptance(joint);
+  FixedOfferController single(Offer{10.0, 1});
+  Rng rng(1);
+  EXPECT_TRUE(RunMultiTypeSimulation(TwoTypeConfig(), rate, acceptance,
+                                     single, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RunMultiTypeSimulationTest, DeterministicGivenSeed) {
+  const engine::PolicyArtifact artifact =
+      engine::Engine::Solve(TwoTypeSpec()).value();
+  auto c1 = artifact.MakeController(6.0).value();
+  auto c2 = artifact.MakeController(6.0).value();
+  const auto rate =
+      arrival::PiecewiseConstantRate::Constant(25.0, 6.0).value();
+  auto joint = pricing::JointLogitAcceptance::Create(10.0, 1.4, 10.0, 1.0,
+                                                     150.0)
+                   .value();
+  pricing::JointLogitSheetAcceptance acceptance(joint);
+  Rng a(42), b(42);
+  const auto ra =
+      RunMultiTypeSimulation(TwoTypeConfig(), rate, acceptance, *c1, a)
+          .value();
+  const auto rb =
+      RunMultiTypeSimulation(TwoTypeConfig(), rate, acceptance, *c2, b)
+          .value();
+  EXPECT_EQ(ra.worker_arrivals, rb.worker_arrivals);
+  EXPECT_EQ(ra.total_cost_cents, rb.total_cost_cents);
+  ASSERT_EQ(ra.types.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(ra.types[i].tasks_assigned, rb.types[i].tasks_assigned);
+    EXPECT_EQ(ra.types[i].cost_cents, rb.types[i].cost_cents);
+  }
+}
+
+// The acceptance-criteria test: simulated per-type completions match the
+// MultiTypePlan's nominal prediction within sampling tolerance.
+TEST(RunMultiTypeSimulationTest, PerTypeCompletionsMatchNominalPrediction) {
+  const engine::MultiTypeSpec spec = TwoTypeSpec();
+  const engine::PolicyArtifact artifact =
+      engine::Engine::Solve(spec).value();
+  const pricing::MultiTypePlan& plan = *artifact.multitype_plan().value();
+
+  auto joint = pricing::JointLogitAcceptance::Create(spec.s1, spec.b1,
+                                                     spec.s2, spec.b2, spec.m)
+                   .value();
+  const pricing::MultiTypeEvaluation nominal =
+      pricing::EvaluateMultiTypeNominal(plan, joint).value();
+  ASSERT_EQ(nominal.expected_completed.size(), 2u);
+  // The policy should be doing real work on both types.
+  EXPECT_GT(nominal.expected_completed[0], 1.0);
+  EXPECT_GT(nominal.expected_completed[1], 1.0);
+
+  const auto rate =
+      arrival::PiecewiseConstantRate::Constant(25.0, 6.0).value();
+  pricing::JointLogitSheetAcceptance acceptance(joint);
+
+  constexpr int kReplicates = 400;
+  stats::RunningStats done1, done2, cost;
+  Rng master(2026);
+  for (int rep = 0; rep < kReplicates; ++rep) {
+    auto controller = artifact.MakeController(6.0).value();
+    Rng child = master.Fork();
+    const MultiTypeSimResult result =
+        RunMultiTypeSimulation(TwoTypeConfig(), rate, acceptance,
+                               *controller, child)
+            .value();
+    ASSERT_EQ(result.types.size(), 2u);
+    EXPECT_EQ(result.types[0].tasks_assigned +
+                  result.types[0].tasks_unassigned,
+              8);
+    EXPECT_EQ(result.types[1].tasks_assigned +
+                  result.types[1].tasks_unassigned,
+              8);
+    done1.Add(static_cast<double>(result.types[0].tasks_assigned));
+    done2.Add(static_cast<double>(result.types[1].tasks_assigned));
+    cost.Add(result.total_cost_cents);
+  }
+
+  EXPECT_NEAR(done1.mean(), nominal.expected_completed[0],
+              5.0 * done1.stderr_mean() + 0.15)
+      << "type-1 completions diverge from the nominal prediction";
+  EXPECT_NEAR(done2.mean(), nominal.expected_completed[1],
+              5.0 * done2.stderr_mean() + 0.15)
+      << "type-2 completions diverge from the nominal prediction";
+  EXPECT_NEAR(cost.mean(), nominal.expected_cost_cents,
+              5.0 * cost.stderr_mean() + 2.0)
+      << "reward outlay diverges from the nominal prediction";
+}
+
+}  // namespace
+}  // namespace crowdprice::market

@@ -30,11 +30,11 @@ TEST(SemiStaticControllerTest, Validation) {
 TEST(SemiStaticControllerTest, WalksSequenceByCompletionCount) {
   auto ctl = SemiStaticController::Create({5.0, 9.0, 2.0}).value();
   // 3 tasks total; the k-th pickup (0-based completed count) gets prices_[k].
-  EXPECT_DOUBLE_EQ(ctl.Decide(0.0, 3).value().per_task_reward_cents, 5.0);
-  EXPECT_DOUBLE_EQ(ctl.Decide(1.0, 2).value().per_task_reward_cents, 9.0);
-  EXPECT_DOUBLE_EQ(ctl.Decide(2.0, 1).value().per_task_reward_cents, 2.0);
-  EXPECT_TRUE(ctl.Decide(0.0, 0).status().IsOutOfRange());
-  EXPECT_TRUE(ctl.Decide(0.0, 4).status().IsOutOfRange());
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 3).value().per_task_reward_cents, 5.0);
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(1.0, 2).value().per_task_reward_cents, 9.0);
+  EXPECT_DOUBLE_EQ(ctl.DecideSingle(2.0, 1).value().per_task_reward_cents, 2.0);
+  EXPECT_TRUE(ctl.DecideSingle(0.0, 0).status().IsOutOfRange());
+  EXPECT_TRUE(ctl.DecideSingle(0.0, 4).status().IsOutOfRange());
 }
 
 // Theorem 5 by simulation: E[W] = sum 1/p(c_i), invariant under permutation

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "choice/acceptance.h"
+#include "engine/engine.h"
 #include "pricing/deadline_dp.h"
 #include "pricing/policy_eval.h"
 #include "util/rng.h"
@@ -157,6 +158,92 @@ TEST(SerializationTest, RandomMutationsNeverCrash) {
     }
   }
   SUCCEED();
+}
+
+TEST(SerializationTest, MultiTypeArtifactRoundTripIsBitExact) {
+  engine::MultiTypeSpec spec;
+  spec.s1 = 10.0;
+  spec.b1 = 1.3;
+  spec.s2 = 12.0;
+  spec.b2 = 0.9;
+  spec.m = 180.0;
+  spec.problem.num_tasks_1 = 5;
+  spec.problem.num_tasks_2 = 4;
+  spec.problem.num_intervals = 3;
+  spec.problem.penalty_1_cents = 130.5;
+  spec.problem.penalty_2_cents = 110.25;
+  spec.problem.max_price_cents = 16;
+  spec.problem.price_stride = 4;
+  spec.interval_lambdas = {21.5, 33.75, 18.0};
+  const engine::PolicyArtifact artifact =
+      engine::Engine::Solve(spec).value();
+  const MultiTypePlan& plan = *artifact.multitype_plan().value();
+
+  const std::string text = artifact.Serialize().value();
+  auto restored = engine::PolicyArtifact::Deserialize(text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->kind(), engine::PolicyKind::kMultiType);
+  const MultiTypePlan& reloaded = *restored->multitype_plan().value();
+
+  // Bit-exact: re-serializing reproduces the text, and every table entry,
+  // lambda and problem field survives unchanged.
+  EXPECT_EQ(restored->Serialize().value(), text);
+  EXPECT_EQ(reloaded.problem().num_tasks_1, plan.problem().num_tasks_1);
+  EXPECT_EQ(reloaded.problem().num_tasks_2, plan.problem().num_tasks_2);
+  EXPECT_EQ(reloaded.problem().price_stride, plan.problem().price_stride);
+  ASSERT_EQ(reloaded.interval_lambdas().size(),
+            plan.interval_lambdas().size());
+  for (size_t i = 0; i < plan.interval_lambdas().size(); ++i) {
+    ASSERT_DOUBLE_EQ(reloaded.interval_lambdas()[i],
+                     plan.interval_lambdas()[i]);
+  }
+  for (int n1 = 0; n1 <= 5; ++n1) {
+    for (int n2 = 0; n2 <= 4; ++n2) {
+      for (int t = 0; t <= 3; ++t) {
+        ASSERT_DOUBLE_EQ(reloaded.OptAt(n1, n2, t).value(),
+                         plan.OptAt(n1, n2, t).value());
+        if (t < 3 && n1 + n2 > 0) {
+          ASSERT_EQ(reloaded.PricesAt(n1, n2, t).value(),
+                    plan.PricesAt(n1, n2, t).value());
+        }
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(reloaded.TotalObjective(), plan.TotalObjective());
+}
+
+TEST(SerializationTest, AdaptiveArtifactCheckpointsItsBelief) {
+  auto acc = choice::LogitAcceptance::Paper2014();
+  engine::AdaptiveSpec spec;
+  spec.problem.num_tasks = 18;
+  spec.problem.num_intervals = 5;
+  spec.problem.penalty_cents = 140.5;
+  spec.problem.extra_penalty_alpha = 1.25;
+  spec.believed_lambdas = {210.0, 180.5, 240.0, 199.75, 230.0};
+  spec.actions = ActionSet::FromPriceGrid(20, acc).value();
+  spec.horizon_hours = 10.0;
+  spec.options.resolve_every = 2;
+  spec.options.prior_weight = 0.375;
+  spec.options.min_factor = 0.5;
+  spec.options.max_factor = 3.0;
+  const engine::PolicyArtifact artifact =
+      engine::Engine::Solve(spec).value();
+
+  const std::string text = artifact.Serialize().value();
+  auto restored = engine::PolicyArtifact::Deserialize(text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->kind(), engine::PolicyKind::kAdaptive);
+  // Bit-exact belief checkpoint: the round trip reproduces the text...
+  EXPECT_EQ(restored->Serialize().value(), text);
+  // ...and a controller instantiated from the reloaded priors opens with
+  // the same decision as one from the original artifact.
+  auto a = artifact.MakeAdaptiveController().value();
+  auto b = restored->MakeAdaptiveController().value();
+  const auto offer_a = a.DecideSingle(0.0, 18).value();
+  const auto offer_b = b.DecideSingle(0.0, 18).value();
+  EXPECT_DOUBLE_EQ(offer_a.per_task_reward_cents,
+                   offer_b.per_task_reward_cents);
+  EXPECT_EQ(offer_a.group_size, offer_b.group_size);
 }
 
 TEST(SerializationTest, BundledActionsRoundTrip) {

@@ -79,13 +79,22 @@ TEST(CampaignShardMapTest, AdmitAndDecideServesArtifactPolicy) {
 
   for (double now : {0.0, 3.0, 11.0}) {
     for (int64_t remaining : {25, 12, 1}) {
-      const market::Offer got = map.Decide(id, now, remaining).value();
-      const market::Offer want = reference->Decide(now, remaining).value();
+      // The sheet surface and the DecideSingle shim agree with the
+      // reference controller.
+      const market::OfferSheet sheet =
+          map.Decide(id, market::DecisionRequest::Single(now, remaining))
+              .value();
+      ASSERT_EQ(sheet.num_types(), 1);
+      const market::Offer got = map.DecideSingle(id, now, remaining).value();
+      const market::Offer want =
+          reference->DecideSingle(now, remaining).value();
       EXPECT_EQ(got.per_task_reward_cents, want.per_task_reward_cents);
       EXPECT_EQ(got.group_size, want.group_size);
+      EXPECT_EQ(sheet.offers[0].per_task_reward_cents,
+                want.per_task_reward_cents);
     }
   }
-  EXPECT_TRUE(map.Decide(id + 999, 0.0, 5).status().IsNotFound());
+  EXPECT_TRUE(map.DecideSingle(id + 999, 0.0, 5).status().IsNotFound());
 }
 
 TEST(CampaignShardMapTest, TickRetiresOnCompletionAndDeadline) {
@@ -102,7 +111,7 @@ TEST(CampaignShardMapTest, TickRetiresOnCompletionAndDeadline) {
   EXPECT_EQ(map.Tick(done_id, 5.0, 0).value(),
             CampaignState::kRetiredCompleted);
   EXPECT_FALSE(map.Contains(done_id));
-  EXPECT_TRUE(map.Decide(done_id, 5.0, 1).status().IsNotFound());
+  EXPECT_TRUE(map.DecideSingle(done_id, 5.0, 1).status().IsNotFound());
   EXPECT_TRUE(map.Tick(done_id, 5.0, 0).status().IsNotFound());
 
   // The deadline passes with work left -> retired deadline.
@@ -155,31 +164,29 @@ TEST(CampaignShardMapStressTest, DecideBatchMatchesSerialDecideAcrossShards) {
 
     std::vector<DecideRequest> requests;
     for (int i = 0; i < kCampaigns; ++i) {
-      DecideRequest request;
-      request.campaign_id = ids[static_cast<size_t>(i)];
-      request.now_hours = (i % 12) * 0.9;
-      request.remaining_tasks = 1 + i % 25;
-      requests.push_back(request);
+      requests.push_back(DecideRequest::Single(ids[static_cast<size_t>(i)],
+                                               (i % 12) * 0.9, 1 + i % 25));
     }
     // One unknown campaign in the middle of the batch.
-    requests.push_back(DecideRequest{999999, 0.0, 5});
+    requests.push_back(DecideRequest::Single(999999, 0.0, 5));
 
     const std::vector<DecideResponse> responses = map.DecideBatch(requests);
     ASSERT_EQ(responses.size(), requests.size());
     for (size_t i = 0; i < requests.size(); ++i) {
-      const Result<market::Offer> serial = map.Decide(
-          requests[i].campaign_id, requests[i].now_hours,
-          requests[i].remaining_tasks);
+      const Result<market::OfferSheet> serial =
+          map.Decide(requests[i].campaign_id, requests[i].request);
       ASSERT_EQ(responses[i].status.ok(), serial.ok())
           << "shards=" << num_shards << " i=" << i;
       if (!serial.ok()) {
         EXPECT_TRUE(responses[i].status.IsNotFound());
         continue;
       }
-      EXPECT_EQ(responses[i].offer.per_task_reward_cents,
-                serial->per_task_reward_cents)
+      ASSERT_EQ(responses[i].sheet.num_types(), serial->num_types());
+      EXPECT_EQ(responses[i].sheet.offers[0].per_task_reward_cents,
+                serial->offers[0].per_task_reward_cents)
           << "shards=" << num_shards << " i=" << i;
-      EXPECT_EQ(responses[i].offer.group_size, serial->group_size);
+      EXPECT_EQ(responses[i].sheet.offers[0].group_size,
+                serial->offers[0].group_size);
     }
 
     const ShardStats total = map.TotalStats();
@@ -205,7 +212,7 @@ TEST(CampaignShardMapStressTest, AdmitAndServeUnderConcurrentLoad) {
     while (!stop.load(std::memory_order_acquire)) {
       std::vector<DecideRequest> requests;
       for (CampaignId id = 1; id <= kAdmitters * kPerAdmitter; ++id) {
-        requests.push_back(DecideRequest{id, 1.0, 5});
+        requests.push_back(DecideRequest::Single(id, 1.0, 5));
       }
       for (const DecideResponse& response : map.DecideBatch(requests)) {
         // Unknown ids are expected while admission races; anything else
@@ -245,6 +252,164 @@ TEST(CampaignShardMapStressTest, AdmitAndServeUnderConcurrentLoad) {
   EXPECT_EQ(static_cast<uint64_t>(total.live),
             total.admitted - total.retired_completed);
   EXPECT_EQ(map.live_campaigns(), static_cast<size_t>(total.live));
+}
+
+TEST(CampaignShardMapTest, SwapArtifactChangesDecisionsAtTheBoundary) {
+  CampaignShardMap map = CampaignShardMap::Create(2).value();
+  const CampaignId id = map.Admit(SmallDeadlineArtifact(), SmallLimits())
+                            .value();
+
+  // Mid-campaign: the live policy answers; record a pre-swap decision.
+  const market::Offer before = map.DecideSingle(id, 3.0, 20).value();
+
+  // Hot-swap to an unmistakably different policy (a solved fixed-price
+  // artifact would also do; a distinctive fixed reward makes the boundary
+  // observable).
+  pricing::FixedPriceSolution fixed;
+  fixed.price_cents = 77;
+  const Status swapped = map.SwapArtifact(id, engine::PolicyArtifact(fixed));
+  ASSERT_TRUE(swapped.ok()) << swapped;
+
+  // Decisions change exactly at the swap boundary...
+  const market::Offer after = map.DecideSingle(id, 3.0, 20).value();
+  EXPECT_DOUBLE_EQ(after.per_task_reward_cents, 77.0);
+  EXPECT_NE(after.per_task_reward_cents, before.per_task_reward_cents);
+
+  // ...while the campaign's identity and stats stay continuous.
+  EXPECT_TRUE(map.Contains(id));
+  const ShardStats total = map.TotalStats();
+  EXPECT_EQ(total.admitted, 1u);
+  EXPECT_EQ(total.swapped, 1u);
+  EXPECT_EQ(total.decides, 2u);
+  EXPECT_EQ(total.live, 1);
+
+  // The swapped campaign still ticks and retires normally.
+  EXPECT_EQ(map.Tick(id, 4.0, 10).value(), CampaignState::kLive);
+  EXPECT_EQ(map.Tick(id, 5.0, 0).value(), CampaignState::kRetiredCompleted);
+
+  // Swapping a retired or unknown campaign fails NotFound.
+  pricing::FixedPriceSolution other;
+  other.price_cents = 5;
+  EXPECT_TRUE(
+      map.SwapArtifact(id, engine::PolicyArtifact(other)).IsNotFound());
+}
+
+TEST(CampaignShardMapTest, SwapArtifactRejectsNullAndKeepsOldPolicyOnError) {
+  CampaignShardMap map = CampaignShardMap::Create(1).value();
+  const CampaignId id =
+      map.AdmitController(FixedController(10.0), SmallLimits()).value();
+  EXPECT_TRUE(map.SwapArtifactShared(id, nullptr).IsInvalidArgument());
+  // The campaign still serves its original policy.
+  EXPECT_DOUBLE_EQ(map.DecideSingle(id, 0.0, 5).value().per_task_reward_cents,
+                   10.0);
+  EXPECT_EQ(map.TotalStats().swapped, 0u);
+}
+
+TEST(CampaignShardMapTest, MultiTypeArtifactServesSheets) {
+  // A §6 multitype artifact is admitted and served through the same
+  // DecideBatch surface as single-type campaigns.
+  engine::MultiTypeSpec spec;
+  spec.s1 = 10.0;
+  spec.b1 = 1.2;
+  spec.s2 = 10.0;
+  spec.b2 = 1.0;
+  spec.m = 200.0;
+  spec.problem.num_tasks_1 = 5;
+  spec.problem.num_tasks_2 = 5;
+  spec.problem.num_intervals = 4;
+  spec.problem.penalty_1_cents = 120.0;
+  spec.problem.penalty_2_cents = 120.0;
+  spec.problem.max_price_cents = 20;
+  spec.problem.price_stride = 4;
+  spec.interval_lambdas.assign(4, 40.0);
+  engine::PolicyArtifact artifact = engine::Engine::Solve(spec).value();
+  const pricing::MultiTypePlan plan = *artifact.multitype_plan().value();
+
+  CampaignShardMap map = CampaignShardMap::Create(2).value();
+  CampaignLimits limits;
+  limits.total_tasks = 10;
+  limits.deadline_hours = 8.0;
+  const CampaignId id = map.Admit(std::move(artifact), limits).value();
+
+  DecideRequest request;
+  request.campaign_id = id;
+  request.request.campaign_hours = 0.0;
+  request.request.remaining = {5, 3};
+  const std::vector<DecideResponse> responses = map.DecideBatch({request});
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status;
+  ASSERT_EQ(responses[0].sheet.num_types(), 2);
+  const auto prices = plan.PricesAt(5, 3, 0).value();
+  EXPECT_DOUBLE_EQ(responses[0].sheet.offers[0].per_task_reward_cents,
+                   prices.first);
+  EXPECT_DOUBLE_EQ(responses[0].sheet.offers[1].per_task_reward_cents,
+                   prices.second);
+  // The single-type shim reports the mismatch instead of guessing a type.
+  EXPECT_FALSE(map.DecideSingle(id, 0.0, 5).ok());
+}
+
+// Swaps race batched serving and ticking from several threads; the TSan CI
+// job certifies the under-lock swap, the asserts check accounting.
+TEST(CampaignShardMapStressTest, SwapArtifactUnderConcurrentServing) {
+  constexpr int kCampaigns = 32;
+  constexpr int kSwapsPerCampaign = 25;
+  CampaignShardMap map = CampaignShardMap::Create(4).value();
+  const auto shared = std::make_shared<const engine::PolicyArtifact>(
+      SmallDeadlineArtifact());
+
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < kCampaigns; ++i) {
+    ids.push_back(map.AdmitShared(shared, SmallLimits()).value());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> serve_errors{0};
+  std::thread server([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<DecideRequest> requests;
+      for (CampaignId id : ids) {
+        requests.push_back(DecideRequest::Single(id, 2.0, 12));
+      }
+      for (const DecideResponse& response : map.DecideBatch(requests)) {
+        // Every campaign stays live throughout; any failure is a swap
+        // tearing a campaign mid-decision.
+        if (!response.status.ok()) serve_errors.fetch_add(1);
+        // Both policies in rotation post 1-offer sheets.
+        if (response.status.ok() && response.sheet.num_types() != 1) {
+          serve_errors.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> swappers;
+  for (int half = 0; half < 2; ++half) {
+    swappers.emplace_back([&map, &ids, half] {
+      for (int round = 0; round < kSwapsPerCampaign; ++round) {
+        for (size_t i = static_cast<size_t>(half); i < ids.size(); i += 2) {
+          pricing::FixedPriceSolution fixed;
+          fixed.price_cents = 20 + round % 10;
+          EXPECT_TRUE(
+              map.SwapArtifact(ids[i], engine::PolicyArtifact(fixed)).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : swappers) thread.join();
+  stop.store(true, std::memory_order_release);
+  server.join();
+
+  EXPECT_EQ(serve_errors.load(), 0);
+  const ShardStats total = map.TotalStats();
+  EXPECT_EQ(total.swapped,
+            static_cast<uint64_t>(kCampaigns) * kSwapsPerCampaign);
+  EXPECT_EQ(map.live_campaigns(), static_cast<size_t>(kCampaigns));
+  // After the dust settles every campaign serves the last-swapped policy.
+  for (CampaignId id : ids) {
+    const market::Offer offer = map.DecideSingle(id, 2.0, 12).value();
+    EXPECT_GE(offer.per_task_reward_cents, 20.0);
+    EXPECT_LE(offer.per_task_reward_cents, 29.0);
+  }
 }
 
 }  // namespace

@@ -7,15 +7,21 @@
 //   crowdprice_cli tradeoff --alpha 32 --rate 5083 --max-price 60
 //   crowdprice_cli fleet    --campaigns 500 --shards 8 --tasks 40
 //       --hours 8 --rate 400 --max-price 50 [--bound 0.5] [--seed 7]
+//   crowdprice_cli multitype --tasks1 15 --tasks2 15 --hours 8
+//       --rate 80 --max-price 30 [--replicates 50] [--out plan.txt]
 //   crowdprice_cli solvers
 //
 // Every policy is produced through engine::Solve; the CLI only builds the
 // PolicySpec and formats the artifact. `fleet` additionally runs the
 // sharded serving layer: it admits N copies of the solved campaign into a
 // market::FleetSimulator and plays them all against one shared arrival
-// stream, reporting aggregate outcomes and per-shard serving stats. The acceptance model defaults to the
-// paper's Eq. 13 logit (s=15, b=-0.39, M=2000); override with
-// --accept-s/--accept-b/--accept-m.
+// stream, reporting aggregate outcomes and per-shard serving stats.
+// `multitype` solves the §6 joint two-type policy, plays it through the
+// OfferSheet decision surface (MakeController + RunMultiTypeSimulation)
+// and compares simulated per-type completions to the plan's nominal
+// prediction. The acceptance model defaults to the paper's Eq. 13 logit
+// (s=15, b=-0.39, M=2000); override with --accept-s/--accept-b/--accept-m
+// (single-type) or --s1/--b1/--s2/--b2/--m (joint).
 // Exit code 0 on success, 1 on user error, 2 on solver failure.
 
 #include <cstdlib>
@@ -62,8 +68,13 @@ int Usage() {
       "  crowdprice_cli fleet --campaigns M [--shards S] [--tasks N]\n"
       "      [--hours T] [--rate workers_per_hour] [--max-price C]\n"
       "      [--bound E] [--seed K]\n"
+      "  crowdprice_cli multitype --tasks1 N1 --tasks2 N2 --hours T\n"
+      "      [--rate workers_per_hour] [--max-price C] [--stride S]\n"
+      "      [--penalty1 P] [--penalty2 P] [--replicates R] [--seed K]\n"
+      "      [--out plan.txt]\n"
       "  crowdprice_cli solvers\n"
-      "common acceptance overrides: --accept-s --accept-b --accept-m\n";
+      "common acceptance overrides: --accept-s --accept-b --accept-m\n"
+      "joint (multitype) overrides: --s1 --b1 --s2 --b2 --m\n";
   return 1;
 }
 
@@ -373,6 +384,122 @@ int RunFleet(const Args& args) {
   return 0;
 }
 
+int RunMultiType(const Args& args) {
+  const int tasks1 = static_cast<int>(args.Num("tasks1", 0));
+  const int tasks2 = static_cast<int>(args.Num("tasks2", 0));
+  const double hours = args.Num("hours", 0.0);
+  const int intervals =
+      static_cast<int>(args.Num("intervals", std::max(1.0, hours)));
+  const double rate_per_hour = args.Num("rate", 80.0);
+  const int replicates = static_cast<int>(args.Num("replicates", 50));
+  if (tasks1 < 0 || tasks2 < 0 || tasks1 + tasks2 < 1 || hours <= 0.0) {
+    std::cerr << "multitype requires --tasks1/--tasks2 (>= 1 total) and "
+                 "--hours > 0\n";
+    return 1;
+  }
+
+  engine::MultiTypeSpec spec;
+  spec.s1 = args.Num("s1", 10.0);
+  spec.b1 = args.Num("b1", 1.4);
+  spec.s2 = args.Num("s2", 10.0);
+  spec.b2 = args.Num("b2", 1.0);
+  spec.m = args.Num("m", 200.0);
+  spec.problem.num_tasks_1 = tasks1;
+  spec.problem.num_tasks_2 = tasks2;
+  spec.problem.num_intervals = intervals;
+  spec.problem.penalty_1_cents = args.Num("penalty1", 200.0);
+  spec.problem.penalty_2_cents = args.Num("penalty2", 150.0);
+  spec.problem.max_price_cents =
+      static_cast<int>(args.Num("max-price", 30));
+  spec.problem.price_stride = static_cast<int>(args.Num("stride", 2));
+  spec.interval_lambdas.assign(static_cast<size_t>(intervals),
+                               rate_per_hour * hours / intervals);
+
+  auto artifact = engine::Solve(spec);
+  if (!artifact.ok()) {
+    std::cerr << artifact.status() << "\n";
+    return 2;
+  }
+  auto plan_ptr = artifact->multitype_plan();
+  if (!plan_ptr.ok()) {
+    std::cerr << plan_ptr.status() << "\n";
+    return 2;
+  }
+  const pricing::MultiTypePlan& plan = **plan_ptr;
+  auto joint = pricing::JointLogitAcceptance::Create(spec.s1, spec.b1,
+                                                     spec.s2, spec.b2,
+                                                     spec.m);
+  if (!joint.ok()) {
+    std::cerr << joint.status() << "\n";
+    return 2;
+  }
+  auto nominal = pricing::EvaluateMultiTypeNominal(plan, *joint);
+  if (!nominal.ok()) {
+    std::cerr << nominal.status() << "\n";
+    return 2;
+  }
+  std::cout << StringF("joint objective:      %.0f cents\n",
+                       plan.TotalObjective());
+  std::cout << StringF("E[done] type 1:       %.2f of %d\n",
+                       nominal->expected_completed[0], tasks1);
+  std::cout << StringF("E[done] type 2:       %.2f of %d\n",
+                       nominal->expected_completed[1], tasks2);
+  std::cout << StringF("E[reward outlay]:     %.0f cents\n",
+                       nominal->expected_cost_cents);
+
+  // Play the artifact through the OfferSheet surface.
+  auto controller = artifact->MakeController(hours);
+  if (!controller.ok()) {
+    std::cerr << controller.status() << "\n";
+    return 2;
+  }
+  auto rate = arrival::PiecewiseConstantRate::Constant(rate_per_hour, 1.0);
+  if (!rate.ok()) {
+    std::cerr << rate.status() << "\n";
+    return 2;
+  }
+  pricing::JointLogitSheetAcceptance acceptance(*joint);
+  market::MultiTypeSimConfig sim;
+  sim.tasks_per_type = {tasks1, tasks2};
+  sim.horizon_hours = hours;
+  sim.decision_interval_hours = hours / intervals;
+  double done1 = 0.0, done2 = 0.0, paid = 0.0;
+  Rng master(static_cast<uint64_t>(args.Num("seed", 7.0)));
+  for (int rep = 0; rep < std::max(1, replicates); ++rep) {
+    Rng child = master.Fork();
+    auto played = market::RunMultiTypeSimulation(sim, *rate, acceptance,
+                                                 **controller, child);
+    if (!played.ok()) {
+      std::cerr << played.status() << "\n";
+      return 2;
+    }
+    done1 += static_cast<double>(played->types[0].tasks_assigned);
+    done2 += static_cast<double>(played->types[1].tasks_assigned);
+    paid += played->total_cost_cents;
+  }
+  const double n = static_cast<double>(std::max(1, replicates));
+  std::cout << StringF(
+      "simulated (%d reps):  type 1 %.2f done, type 2 %.2f done, "
+      "%.0f cents avg\n",
+      std::max(1, replicates), done1 / n, done2 / n, paid / n);
+
+  if (args.Has("out")) {
+    auto serialized = artifact->Serialize();
+    if (!serialized.ok()) {
+      std::cerr << serialized.status() << "\n";
+      return 2;
+    }
+    std::ofstream out(args.Str("out", ""));
+    out << *serialized;
+    if (!out.good()) {
+      std::cerr << "failed to write " << args.Str("out", "") << "\n";
+      return 2;
+    }
+    std::cout << "artifact written to " << args.Str("out", "") << "\n";
+  }
+  return 0;
+}
+
 int RunSolvers() {
   std::cout << "registered solvers:\n";
   for (const std::string& line : engine::SolverRegistry::Global().Describe()) {
@@ -393,6 +520,7 @@ int main(int argc, char** argv) {
   if (args->command == "budget") return RunBudget(*args);
   if (args->command == "tradeoff") return RunTradeoff(*args);
   if (args->command == "fleet") return RunFleet(*args);
+  if (args->command == "multitype") return RunMultiType(*args);
   if (args->command == "solvers") return RunSolvers();
   std::cerr << "unknown command '" << args->command << "'\n";
   return Usage();
