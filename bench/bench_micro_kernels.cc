@@ -10,11 +10,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "arrival/rate_function.h"
 #include "bench_common.h"
 #include "choice/acceptance.h"
+#include "kernel/layer_scan.h"
+#include "kernel/pmf_arena.h"
 #include "market/controller.h"
 #include "market/simulator.h"
 #include "pricing/policy_eval.h"
@@ -198,6 +204,91 @@ void BM_NhppSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_NhppSampling)->Unit(benchmark::kMillisecond);
 
+// Per-backend layer-scan headline: one dense DP layer (the paper-scale
+// N=2000, 51-action price grid) scanned by every registered
+// LayerScanKernel backend, persisted as BENCH_kernel_backends.json with
+// each backend's seconds-per-layer and speedup over scalar. The argmin
+// rows must agree across backends (costs may differ at ~1e-12).
+void RunKernelBackendsHeadline() {
+  const int n = bench::SmokeN(2000, 300);
+  const int repeats = bench::Smoke() ? 3 : 10;
+  auto acceptance = choice::LogitAcceptance::Paper2014();
+  auto actions = pricing::ActionSet::FromPriceGrid(50, acceptance).value();
+  const double lambda = 610.0 * n / 200.0;
+
+  std::vector<double> rates, costs;
+  std::vector<int> bundles;
+  for (const pricing::PricingAction& a : actions.actions()) {
+    rates.push_back(lambda * a.acceptance);
+    costs.push_back(a.cost_per_task_cents);
+    bundles.push_back(a.bundle);
+  }
+  kernel::PmfArena arena = kernel::PmfArena::Build(rates, 1e-9).value();
+  std::vector<int> table_ids;
+  for (size_t i = 0; i < rates.size(); ++i) {
+    table_ids.push_back(arena.TableOf(i));
+  }
+  kernel::LayerTables layer;
+  layer.arena = &arena;
+  layer.tables = table_ids.data();
+  layer.costs = costs.data();
+  layer.bundles = bundles.data();
+  layer.num_actions = static_cast<int>(costs.size());
+
+  // A plausible terminal-ish value row: linear-in-n cost-to-go plus ripple.
+  std::vector<double> opt_next(static_cast<size_t>(n) + 1, 0.0);
+  for (int i = 1; i <= n; ++i) {
+    opt_next[static_cast<size_t>(i)] = 14.0 * i + (i % 7) * 0.3;
+  }
+  std::vector<double> opt_row(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int32_t> action_row(static_cast<size_t>(n) + 1, -1);
+
+  auto record = bench::BenchRecord("kernel_backends")
+                    .Param("N", n)
+                    .Param("actions", layer.num_actions)
+                    .Param("repeats", repeats)
+                    .Label("policy_source", "kernel::LayerScanKernel");
+  double scalar_seconds = 0.0;
+  std::vector<int32_t> scalar_actions;
+  std::string backends_label;
+  for (const std::string& name : kernel::KernelRegistry::Global().Available()) {
+    const kernel::LayerScanKernel* kern =
+        kernel::KernelRegistry::Global().Resolve(name).value();
+    double best_seconds = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      kern->ScanLayer(layer, 1, n, opt_next.data(), opt_row.data(),
+                      action_row.data());
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+    }
+    if (name == "scalar") {
+      scalar_seconds = best_seconds;
+      scalar_actions.assign(action_row.begin(), action_row.end());
+    } else if (!scalar_actions.empty() &&
+               !std::equal(scalar_actions.begin(), scalar_actions.end(),
+                           action_row.begin())) {
+      std::printf("kernel backend %s DISAGREES with scalar argmin (BUG)\n",
+                  name.c_str());
+      std::exit(3);
+    }
+    const double speedup =
+        best_seconds > 0.0 ? scalar_seconds / best_seconds : 0.0;
+    std::printf("layer scan N=%d A=%d [%s]: %.3f ms (%.2fx vs scalar)\n", n,
+                layer.num_actions, name.c_str(), best_seconds * 1e3, speedup);
+    record.Metric(name + "_seconds", best_seconds)
+        .Metric("speedup_" + name, speedup);
+    if (!backends_label.empty()) backends_label += ",";
+    backends_label += name;
+  }
+  record.Label("backends", backends_label)
+      .Label("default_backend",
+             kernel::KernelRegistry::Global().Resolve("").value()->name());
+  (void)record.Write();
+}
+
 // One headline measurement outside the google-benchmark loop: the N=2000
 // deadline solve, serial vs the shared thread pool, with a bit-identity
 // check between the two plans.
@@ -260,6 +351,7 @@ int main(int argc, char** argv) {
     args.push_back(argv[i]);
   }
   int filtered_argc = static_cast<int>(args.size());
+  crowdprice::RunKernelBackendsHeadline();
   crowdprice::RunDp2000Headline();
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {

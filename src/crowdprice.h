@@ -21,6 +21,8 @@
 #include "engine/policy_artifact.h" // IWYU pragma: export
 #include "engine/policy_spec.h"     // IWYU pragma: export
 #include "engine/solver_registry.h" // IWYU pragma: export
+#include "kernel/layer_scan.h"      // IWYU pragma: export
+#include "kernel/pmf_arena.h"       // IWYU pragma: export
 #include "market/controller.h"      // IWYU pragma: export
 #include "market/fleet_simulator.h" // IWYU pragma: export
 #include "market/multitype_sim.h"   // IWYU pragma: export

@@ -113,9 +113,11 @@ Result<PolicyArtifact> SolveMultiTypeSpec(const PolicySpec& spec) {
   CP_ASSIGN_OR_RETURN(
       pricing::JointLogitAcceptance joint,
       pricing::JointLogitAcceptance::Create(s.s1, s.b1, s.s2, s.b2, s.m));
+  pricing::MultiTypeOptions options;
+  options.kernel_backend = s.kernel_backend;
   CP_ASSIGN_OR_RETURN(pricing::MultiTypePlan plan,
                       pricing::SolveMultiType(s.problem, s.interval_lambdas,
-                                              joint));
+                                              joint, options));
   return PolicyArtifact(std::move(plan));
 }
 

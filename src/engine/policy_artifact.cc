@@ -96,6 +96,16 @@ int PolicyArtifact::dp_solves() const {
   return p == nullptr ? 1 : p->dp_solves;
 }
 
+std::string PolicyArtifact::kernel_backend() const {
+  if (const auto* p = std::get_if<DeadlinePolicy>(&payload_)) {
+    return p->plan.kernel_backend;
+  }
+  if (const auto* p = std::get_if<pricing::MultiTypePlan>(&payload_)) {
+    return p->kernel_backend;
+  }
+  return std::string();
+}
+
 Result<const pricing::StaticPriceAssignment*>
 PolicyArtifact::budget_assignment() const {
   const auto* p = std::get_if<pricing::StaticPriceAssignment>(&payload_);

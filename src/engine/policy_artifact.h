@@ -76,6 +76,11 @@ class PolicyArtifact {
   /// Penalty/bisection diagnostics; 0/1 for non-deadline kinds.
   double penalty_used() const;
   int dp_solves() const;
+  /// Provenance metadata: the LayerScanKernel backend that solved the
+  /// tables ("scalar", "avx2", "neon", ...). Empty for kinds without a
+  /// kernel-backed solve and for plans loaded from serialized artifacts
+  /// (runtime provenance is not persisted).
+  std::string kernel_backend() const;
   Result<const pricing::StaticPriceAssignment*> budget_assignment() const;
   Result<const pricing::FixedPriceSolution*> fixed_price() const;
   Result<const pricing::MultiTypePlan*> multitype_plan() const;

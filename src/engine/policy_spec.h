@@ -119,6 +119,10 @@ struct MultiTypeSpec {
   std::vector<double> interval_lambdas;
   /// Joint conditional-logit parameters (JointLogitAcceptance::Create).
   double s1 = 0.0, b1 = 0.0, s2 = 0.0, b2 = 0.0, m = 0.0;
+  /// Kernel backend for the joint DP (see pricing::DpOptions; the
+  /// deadline/adaptive kinds carry theirs inside dp_options). Empty =
+  /// automatic selection.
+  std::string kernel_backend;
 };
 
 /// Cost/latency tradeoff with neither deadline nor budget (§6).

@@ -1,0 +1,73 @@
+// Portable scalar backend. Its per-term arithmetic is the historical
+// hand-rolled solver loop, unchanged (detail::LegacyEvalAction), so plans
+// solved with this backend are bit-identical to pre-kernel-layer solves on
+// every platform -- the anchor the SIMD parity suite and dp_equivalence
+// measure against.
+
+#include "kernel/eval_detail.h"
+#include "kernel/layer_scan.h"
+
+namespace crowdprice::kernel {
+
+namespace {
+
+class ScalarKernel final : public LayerScanKernel {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  void ScanLayer(const LayerTables& layer, int n_lo, int n_hi,
+                 const double* opt_next, double* opt_row,
+                 int32_t* action_row) const override {
+    for (int n = n_lo; n <= n_hi; ++n) {
+      const BestAction best =
+          detail::BestOverActions(detail::LegacyEvalAction, layer, n, 0,
+                                  layer.num_actions - 1, opt_next);
+      opt_row[n] = best.cost;
+      action_row[n] = best.index;
+    }
+  }
+
+  BestAction ScanState(const LayerTables& layer, int n, int a_lo, int a_hi,
+                       const double* opt_next) const override {
+    return detail::BestOverActions(detail::LegacyEvalAction, layer, n, a_lo,
+                                   a_hi, opt_next);
+  }
+
+  void CollapseCorrelate(const PmfView& view, const double* x, int m,
+                         double* y) const override {
+    for (int n = 0; n <= m; ++n) {
+      const int kn = std::min(n, view.len);
+      double acc = 0.0;
+      for (int d = 0; d < kn; ++d) {
+        acc += view.pmf[d] * x[n - d];
+      }
+      y[n] = acc + std::max(0.0, 1.0 - view.prefix_mass[kn]) * x[0];
+    }
+  }
+
+  void Axpy(double a, const double* x, double* y, int m) const override {
+    for (int i = 0; i < m; ++i) {
+      y[i] += a * x[i];
+    }
+  }
+
+  void MinCombine(const double* base, const double* addend, double offset,
+                  int32_t arg, int m, double* best,
+                  int32_t* best_arg) const override {
+    for (int i = 0; i < m; ++i) {
+      const double v = base[i] + addend[i] + offset;
+      if (v < best[i]) {
+        best[i] = v;
+        best_arg[i] = arg;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LayerScanKernel> MakeScalarKernel() {
+  return std::make_unique<ScalarKernel>();
+}
+
+}  // namespace crowdprice::kernel

@@ -1,0 +1,115 @@
+// Shared per-(state, action) evaluation bodies for the kernel backends.
+//
+// Two arithmetic flavors exist, and the distinction is load-bearing:
+//
+//  * Legacy*: term-by-term `cost += p * (c*d + opt_next[n-d])` exactly as
+//    the historical hand-rolled solver loops wrote it. The scalar backend
+//    uses these, which is what keeps scalar plans bit-identical across the
+//    kernel-layer refactor.
+//
+//  * Fused*: the prefix-sum + fma formulation
+//        cost = fma(c*b, S1[kn], sum_k fma(pmf[k], opt_next[n-k*b], .))
+//             + fma(max(0, 1-S0[kn]), c*n, .)
+//    whose per-lane operation sequence the SIMD backends reproduce with
+//    vector fmas. Any scalar use of these (vector remainders, bundled
+//    actions, ScanState) is therefore bit-identical to the corresponding
+//    SIMD lane, which is what makes Algorithm 1 and Algorithm 2 agree
+//    bit-for-bit under a SIMD backend. std::fma is correctly rounded, the
+//    same rounding as one vfmadd/fmadd lane.
+//
+// Backends must not mix flavors within themselves.
+
+#ifndef CROWDPRICE_KERNEL_EVAL_DETAIL_H_
+#define CROWDPRICE_KERNEL_EVAL_DETAIL_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernel/layer_scan.h"
+#include "kernel/pmf_arena.h"
+
+namespace crowdprice::kernel::detail {
+
+/// Number of completion counts k with k*bundle < n, capped at the table
+/// length: the in-range transition terms at remaining count n.
+inline int NumInRangeTerms(int n, int bundle, int len) {
+  const long long kn =
+      (static_cast<long long>(n) + bundle - 1) / static_cast<long long>(bundle);
+  return static_cast<int>(std::min<long long>(kn, len));
+}
+
+/// Historical arithmetic (see file comment). Bit-identical to the
+/// pre-kernel EvaluateAction in pricing/deadline_dp.cc.
+inline double LegacyEvalAction(const LayerTables& layer, int a, int n,
+                               const double* opt_next) {
+  const PmfView v = layer.arena->View(layer.tables[a]);
+  const double c = layer.costs[a];
+  const int bundle = layer.bundles[a];
+  double cost = 0.0;
+  double cum = 0.0;
+  for (int k = 0; k < v.len; ++k) {
+    const long long d_ll = static_cast<long long>(k) * bundle;
+    if (d_ll >= n) break;
+    const int d = static_cast<int>(d_ll);
+    const double p = v.pmf[k];
+    cost += p * (c * d + opt_next[n - d]);
+    cum += p;
+  }
+  cost += std::max(0.0, 1.0 - cum) * c * n;
+  return cost;
+}
+
+/// Fused arithmetic on a resolved view (see file comment).
+inline double FusedEvalState(const PmfView& v, double c, int bundle, int n,
+                             const double* opt_next) {
+  const int kn = NumInRangeTerms(n, bundle, v.len);
+  double corr = 0.0;
+  for (int k = 0; k < kn; ++k) {
+    corr = std::fma(v.pmf[k], opt_next[n - k * bundle], corr);
+  }
+  const double cb = c * static_cast<double>(bundle);
+  double cost = std::fma(cb, v.prefix_weighted[kn], corr);
+  const double lump = std::max(0.0, 1.0 - v.prefix_mass[kn]);
+  return std::fma(lump, c * static_cast<double>(n), cost);
+}
+
+inline double FusedEvalAction(const LayerTables& layer, int a, int n,
+                              const double* opt_next) {
+  return FusedEvalState(layer.arena->View(layer.tables[a]), layer.costs[a],
+                        layer.bundles[a], n, opt_next);
+}
+
+/// The collapsed-transition value at one output position (the scalar body
+/// of CollapseCorrelate), fused flavor.
+inline double FusedCollapseAt(const PmfView& v, const double* x, int n) {
+  const int kn = std::min(n, v.len);
+  double acc = 0.0;
+  for (int d = 0; d < kn; ++d) {
+    acc = std::fma(v.pmf[d], x[n - d], acc);
+  }
+  return std::fma(std::max(0.0, 1.0 - v.prefix_mass[kn]), x[0], acc);
+}
+
+/// Bracket argmin on top of a per-(action, state) evaluator. The first
+/// action always seeds the best (matching the historical solver, which
+/// accepted the first candidate unconditionally) and later actions win
+/// only with strictly lower cost, so ties keep the lowest index.
+template <typename EvalFn>
+inline BestAction BestOverActions(EvalFn eval, const LayerTables& layer, int n,
+                                  int a_lo, int a_hi, const double* opt_next) {
+  BestAction best;
+  best.index = a_lo;
+  best.cost = eval(layer, a_lo, n, opt_next);
+  for (int a = a_lo + 1; a <= a_hi; ++a) {
+    const double cost = eval(layer, a, n, opt_next);
+    if (cost < best.cost) {
+      best.index = a;
+      best.cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace crowdprice::kernel::detail
+
+#endif  // CROWDPRICE_KERNEL_EVAL_DETAIL_H_

@@ -1,0 +1,143 @@
+// LayerScanKernel: the batched, runtime-dispatched inner loops of the DP
+// solvers, mirroring how SolverRegistry abstracts whole solvers.
+//
+// The deadline MDP's hot path evaluates
+//
+//   cost(n, a) = sum_{k : k*b < n} pmf_a[k] * (c_a*k*b + Opt(n - k*b, t+1))
+//              + max(0, 1 - sum pmf_a[k]) * c_a * n
+//
+// for every state n and action a of a layer. Instead of one virtual call
+// per (n, a), a kernel evaluates a whole layer (ScanLayer), one state's
+// action bracket (ScanState -- Algorithm 2's inner search), or the joint
+// DP's collapsed transition rows (CollapseCorrelate / Axpy / MinCombine)
+// per call, over tables packed in a PmfArena.
+//
+// Backends and dispatch. Three backends ship: "scalar" (portable; its
+// per-term arithmetic is bit-identical to the historical hand-rolled
+// loops, so scalar plans never drift across refactors), "avx2" (x86 FMA,
+// states evaluated four per vector) and "neon" (aarch64, two per vector).
+// KernelRegistry::Global() registers whatever the host supports -- probed
+// via cpu feature detection at startup -- and resolves the empty name to
+// the $CROWDPRICE_KERNEL override or the fastest registered backend, so
+// tests and benches can force any backend per solve.
+//
+// Contract every backend must honor:
+//  * Within one backend, ScanLayer and ScanState evaluate a given (n, a)
+//    with bit-identical arithmetic. Algorithm 1 (dense scans) and
+//    Algorithm 2 (bracketed scans) then produce bit-identical plans under
+//    any backend, which dp_equivalence_test asserts per backend.
+//  * Ties in cost go to the lowest action index, and the first action of a
+//    scan always beats "no action", matching the historical solver.
+//  * SIMD backends agree with "scalar" to ~1e-12 relative and pick the
+//    same argmin away from exact ties (the kernel parity suite).
+
+#ifndef CROWDPRICE_KERNEL_LAYER_SCAN_H_
+#define CROWDPRICE_KERNEL_LAYER_SCAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kernel/pmf_arena.h"
+#include "util/result.h"
+
+namespace crowdprice::kernel {
+
+/// One DP layer's action tables: parallel arrays indexed by action.
+struct LayerTables {
+  const PmfArena* arena = nullptr;
+  const int* tables = nullptr;    ///< [num_actions] arena table ids.
+  const double* costs = nullptr;  ///< [num_actions] per-task reward, cents.
+  const int* bundles = nullptr;   ///< [num_actions] tasks per completion.
+  int num_actions = 0;
+};
+
+struct BestAction {
+  int index = -1;
+  double cost = 0.0;
+};
+
+class LayerScanKernel {
+ public:
+  virtual ~LayerScanKernel() = default;
+
+  /// Stable backend name ("scalar", "avx2", "neon"); the registry key and
+  /// the value recorded in plan/artifact metadata.
+  virtual const char* name() const = 0;
+
+  /// Dense layer scan (Algorithm 1): for every n in [n_lo, n_hi], scan all
+  /// actions and write the best cost and action index to opt_row[n] /
+  /// action_row[n]. opt_next is the t+1 value row (indexable up to n_hi).
+  /// Requires 1 <= n_lo <= n_hi.
+  virtual void ScanLayer(const LayerTables& layer, int n_lo, int n_hi,
+                         const double* opt_next, double* opt_row,
+                         int32_t* action_row) const = 0;
+
+  /// Bracketed scan at one state (Algorithm 2's FindOptimalPriceForTime
+  /// leaf): the cheapest action in [a_lo, a_hi] at remaining count n.
+  /// Requires 0 <= a_lo <= a_hi < num_actions, n >= 1.
+  virtual BestAction ScanState(const LayerTables& layer, int n, int a_lo,
+                               int a_hi, const double* opt_next) const = 0;
+
+  /// Collapsed-transition correlation (the joint DP's per-type step): for
+  /// every n in [0, m],
+  ///   y[n] = sum_{d < kn} pmf[d] * x[n - d] + max(0, 1 - S0[kn]) * x[0],
+  /// kn = min(n, len) -- the expected next-layer value when n tasks remain
+  /// and completions follow the view's truncated Poisson, counts >= n
+  /// lumped into "all n finish". x and y must not alias.
+  virtual void CollapseCorrelate(const PmfView& view, const double* x, int m,
+                                 double* y) const = 0;
+
+  /// y[i] += a * x[i] for i in [0, m).
+  virtual void Axpy(double a, const double* x, double* y, int m) const = 0;
+
+  /// Elementwise argmin update: for i in [0, m), with
+  /// v = base[i] + addend[i] + offset, if v < best[i] (strict -- earlier
+  /// args win ties) then best[i] = v and best_arg[i] = arg.
+  virtual void MinCombine(const double* base, const double* addend,
+                          double offset, int32_t arg, int m, double* best,
+                          int32_t* best_arg) const = 0;
+};
+
+/// Backend factories. Each returns nullptr when the host CPU (or build
+/// architecture) cannot execute the backend, so registration is safe to
+/// attempt unconditionally.
+std::unique_ptr<LayerScanKernel> MakeScalarKernel();
+std::unique_ptr<LayerScanKernel> MakeAvx2Kernel();
+std::unique_ptr<LayerScanKernel> MakeNeonKernel();
+
+/// Process-wide backend table, mirroring engine::SolverRegistry. Later
+/// registrations take precedence for automatic selection, so an
+/// accelerator backend registered at startup becomes the default without
+/// touching solver call sites.
+class KernelRegistry {
+ public:
+  /// The global registry, populated on first use with "scalar" plus every
+  /// SIMD backend the host supports (feature-probed, in ascending
+  /// preference order).
+  static KernelRegistry& Global();
+
+  /// Registers a backend (its name() is the key; re-registering a name
+  /// replaces it and moves it to highest preference).
+  Status Register(std::unique_ptr<LayerScanKernel> kernel);
+
+  /// Resolves a backend by name. The empty name selects, in order: the
+  /// $CROWDPRICE_KERNEL environment override when set (unknown values are
+  /// an error, so typos surface instead of silently falling back), else
+  /// the highest-preference registered backend. Unknown non-empty names
+  /// are NotFound listing what is available.
+  Result<const LayerScanKernel*> Resolve(const std::string& name) const;
+
+  /// Registered backend names, ascending preference.
+  std::vector<std::string> Available() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<LayerScanKernel>> kernels_;
+};
+
+}  // namespace crowdprice::kernel
+
+#endif  // CROWDPRICE_KERNEL_LAYER_SCAN_H_

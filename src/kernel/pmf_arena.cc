@@ -1,0 +1,119 @@
+#include "kernel/pmf_arena.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "stats/poisson.h"
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::kernel {
+
+namespace {
+
+// Every array in the block starts on a 64-byte boundary (8 doubles), the
+// widest vector width the backends use plus one cache line.
+constexpr size_t kAlignDoubles = 8;
+
+size_t AlignUp(size_t doubles) {
+  return (doubles + kAlignDoubles - 1) & ~(kAlignDoubles - 1);
+}
+
+}  // namespace
+
+Result<PmfArena> PmfArena::Build(const std::vector<double>& rates,
+                                 double epsilon) {
+  PmfArena arena;
+  arena.request_tables_.reserve(rates.size());
+
+  // Pass 1: deduplicate by quantized rate and size every table so the whole
+  // block can be laid out before anything is built.
+  std::unordered_map<uint64_t, int> by_key;
+  std::vector<double> build_rates;  // one entry per distinct table
+  size_t offset = 0;
+  for (size_t i = 0; i < rates.size(); ++i) {
+    const double rate = rates[i];
+    if (!(rate >= 0.0) || !std::isfinite(rate)) {
+      return Status::InvalidArgument(
+          StringF("PmfArena rate %zu = %g must be finite and >= 0", i, rate));
+    }
+    const uint64_t key = stats::QuantizedRateKey(rate);
+    auto it = by_key.find(key);
+    if (it != by_key.end()) {
+      arena.request_tables_.push_back(it->second);
+      continue;
+    }
+    // Quantized keys are for DEDUP only; the table itself is built at the
+    // first-seen exact rate. Solves whose rates repeat exactly (the common
+    // case) therefore see tables bit-identical to a per-rate cache, which
+    // is what keeps scalar-backend plans bit-identical across refactors.
+    CP_ASSIGN_OR_RETURN(int s0, stats::PoissonTruncationPoint(rate, epsilon));
+    const int len = std::max(s0, 1);
+    TableMeta meta;
+    meta.len = len;
+    meta.pmf_offset = offset;
+    offset = AlignUp(offset + static_cast<size_t>(len));
+    meta.mass_offset = offset;
+    offset = AlignUp(offset + static_cast<size_t>(len) + 1);
+    meta.weighted_offset = offset;
+    offset = AlignUp(offset + static_cast<size_t>(len) + 1);
+    const int id = static_cast<int>(arena.tables_.size());
+    arena.tables_.push_back(meta);
+    build_rates.push_back(rate);
+    by_key.emplace(key, id);
+    arena.request_tables_.push_back(id);
+  }
+
+  arena.block_doubles_ = offset;
+  if (offset > 0) {
+    // aligned_alloc requires the size to be a multiple of the alignment;
+    // AlignUp above already guarantees that in doubles, hence in bytes.
+    double* block = static_cast<double*>(
+        std::aligned_alloc(64, offset * sizeof(double)));
+    if (block == nullptr) {
+      return Status::Internal(
+          StringF("PmfArena allocation of %zu bytes failed",
+                  offset * sizeof(double)));
+    }
+    arena.block_.reset(block);
+  }
+
+  // Pass 2: build each distinct table in place and derive its prefixes.
+  // The pmf is bit-identical to stats::MakeTruncatedPoisson at the
+  // first-seen rate (it IS that function's output, copied), so
+  // arena-backed solves agree exactly with cache-backed ones.
+  for (size_t id = 0; id < arena.tables_.size(); ++id) {
+    TableMeta& meta = arena.tables_[id];
+    CP_ASSIGN_OR_RETURN(stats::TruncatedPoisson tp,
+                        stats::MakeTruncatedPoisson(build_rates[id], epsilon));
+    if (static_cast<int>(tp.pmf.size()) != meta.len) {
+      return Status::Internal("PmfArena table length drifted between passes");
+    }
+    double* pmf = arena.block_.get() + meta.pmf_offset;
+    double* mass = arena.block_.get() + meta.mass_offset;
+    double* weighted = arena.block_.get() + meta.weighted_offset;
+    mass[0] = 0.0;
+    weighted[0] = 0.0;
+    for (int k = 0; k < meta.len; ++k) {
+      pmf[k] = tp.pmf[static_cast<size_t>(k)];
+      mass[k + 1] = mass[k] + pmf[k];
+      weighted[k + 1] = weighted[k] + static_cast<double>(k) * pmf[k];
+    }
+    meta.tail_mass = std::max(0.0, 1.0 - mass[meta.len]);
+  }
+  return arena;
+}
+
+PmfView PmfArena::View(int table) const {
+  const TableMeta& meta = tables_[static_cast<size_t>(table)];
+  PmfView view;
+  view.pmf = block_.get() + meta.pmf_offset;
+  view.prefix_mass = block_.get() + meta.mass_offset;
+  view.prefix_weighted = block_.get() + meta.weighted_offset;
+  view.len = meta.len;
+  view.tail_mass = meta.tail_mass;
+  return view;
+}
+
+}  // namespace crowdprice::kernel

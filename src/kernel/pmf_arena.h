@@ -1,0 +1,101 @@
+// PmfArena: every truncated-Poisson table of one solve packed into a single
+// contiguous, 64-byte-aligned structure-of-arrays block.
+//
+// The DP inner loops are dot products over truncated pmf tables. Before the
+// kernel layer each table was a free-floating std::vector owned by a cache;
+// the arena instead lays all of a solve's tables out back-to-back -- for
+// each table the raw pmf, then its prefix mass S0[k] = sum_{j<k} pmf[j],
+// then the first-moment prefix S1[k] = sum_{j<k} j*pmf[j] -- with every
+// array starting on a 64-byte boundary:
+//
+//   | pmf_0 ... | S0_0 ...... | S1_0 ...... | pmf_1 ... | S0_1 ... | ...
+//   ^64         ^64           ^64           ^64
+//
+// The prefix arrays let a kernel evaluate the paper's Eq. (1) transition at
+// any remaining count n without walking the tail: the expected payout is
+// c*b*S1[kn] and the lumped "batch finishes this interval" mass is
+// 1 - S0[kn], kn the number of in-range terms.
+//
+// Rates are deduplicated with stats::QuantizedRateKey, so near-equal rates
+// from arrival-trace arithmetic -- and exact repeats from constant or
+// periodic traces -- share one table. Views stay valid for the arena's
+// lifetime; the arena is immutable after Build.
+
+#ifndef CROWDPRICE_KERNEL_PMF_ARENA_H_
+#define CROWDPRICE_KERNEL_PMF_ARENA_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowdprice::kernel {
+
+/// Read-only view of one table in the arena. All three pointers are
+/// 64-byte aligned; prefix arrays have len + 1 entries.
+struct PmfView {
+  const double* pmf = nullptr;              ///< pmf[0..len)
+  const double* prefix_mass = nullptr;      ///< S0[0..len]
+  const double* prefix_weighted = nullptr;  ///< S1[0..len]
+  int len = 0;
+  double tail_mass = 0.0;  ///< max(0, 1 - S0[len]) as built.
+};
+
+class PmfArena {
+ public:
+  /// Packs the tables for a sequence of rate requests (e.g. the deadline
+  /// DP's [interval][action] grid flattened interval-major). Requests with
+  /// the same quantized rate resolve to one shared table, built at the
+  /// first occurrence's exact rate (exact repeats -- the common case --
+  /// get bit-identical tables to a per-rate cache); the first occurrence
+  /// counts as a build, later ones as reuses (the solvers' cache
+  /// diagnostics). Every rate must be finite and >= 0; epsilon in (0, 1).
+  static Result<PmfArena> Build(const std::vector<double>& rates,
+                                double epsilon);
+
+  /// Table id the i-th Build request resolved to.
+  int TableOf(size_t request) const {
+    return request_tables_[request];
+  }
+  PmfView View(int table) const;
+
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_requests() const { return request_tables_.size(); }
+  /// Size of the aligned block, bytes.
+  size_t bytes() const { return block_doubles_ * sizeof(double); }
+  int64_t tables_built() const { return static_cast<int64_t>(tables_.size()); }
+  int64_t table_reuses() const {
+    return static_cast<int64_t>(request_tables_.size() - tables_.size());
+  }
+
+  PmfArena(PmfArena&&) = default;
+  PmfArena& operator=(PmfArena&&) = default;
+  PmfArena(const PmfArena&) = delete;
+  PmfArena& operator=(const PmfArena&) = delete;
+
+ private:
+  struct TableMeta {
+    size_t pmf_offset = 0;  ///< Doubles into the block; S0/S1 follow.
+    size_t mass_offset = 0;
+    size_t weighted_offset = 0;
+    int len = 0;
+    double tail_mass = 0.0;
+  };
+
+  PmfArena() = default;
+
+  struct FreeDeleter {
+    void operator()(double* p) const { std::free(p); }
+  };
+
+  std::unique_ptr<double, FreeDeleter> block_;
+  size_t block_doubles_ = 0;
+  std::vector<TableMeta> tables_;
+  std::vector<int> request_tables_;
+};
+
+}  // namespace crowdprice::kernel
+
+#endif  // CROWDPRICE_KERNEL_PMF_ARENA_H_

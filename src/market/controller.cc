@@ -8,20 +8,6 @@
 
 namespace crowdprice::market {
 
-Result<Offer> PricingController::DecideSingle(double now_hours,
-                                              int64_t remaining_tasks) {
-  CP_ASSIGN_OR_RETURN(
-      OfferSheet sheet,
-      Decide(DecisionRequest::Single(now_hours, remaining_tasks)));
-  if (sheet.num_types() != 1) {
-    return Status::FailedPrecondition(
-        StringF("controller posted %d offers; DecideSingle serves "
-                "single-type campaigns only",
-                sheet.num_types()));
-  }
-  return sheet.offers[0];
-}
-
 Result<int64_t> SingleTypeRemaining(const DecisionRequest& request) {
   if (request.remaining.size() != 1) {
     return Status::InvalidArgument(

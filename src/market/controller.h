@@ -31,14 +31,10 @@ class PricingController {
 
   /// Returns the sheet to post from the request's time onward: one offer
   /// per task type, aligned with `request.remaining`. At least one
-  /// remaining entry is > 0.
+  /// remaining entry is > 0. (The pre-sheet Decide(now, remaining) shim
+  /// completed its one-PR deprecation cycle and is gone; build a
+  /// DecisionRequest::Single and read sheet.offers[0].)
   virtual Result<OfferSheet> Decide(const DecisionRequest& request) = 0;
-
-  /// Deprecation shim for the pre-sheet surface Decide(now, remaining);
-  /// kept for one PR so out-of-tree callers migrate incrementally. Builds
-  /// a single-type request and unwraps the 1-offer sheet (errors on
-  /// multi-type controllers).
-  Result<Offer> DecideSingle(double now_hours, int64_t remaining_tasks);
 };
 
 /// Validates that `request` prices exactly one task type and returns its

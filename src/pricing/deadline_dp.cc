@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <memory>
 
-#include "stats/poisson.h"
+#include "kernel/layer_scan.h"
+#include "kernel/pmf_arena.h"
 #include "util/macros.h"
 #include "util/stringf.h"
 #include "util/thread_pool.h"
@@ -41,97 +43,78 @@ Status ValidateInputs(const DeadlineProblem& problem,
   return Status::OK();
 }
 
-// Per-interval precomputation shared by both solvers: one truncated Poisson
-// table per action at the interval's rate. Tables are owned by the solve's
-// TruncatedPoissonCache, so intervals that repeat a rate (constant traces,
-// weekly periodicity, adaptive re-solves over the same profile) share them.
-class IntervalTables {
+// The solve's kernel-facing tables: one PmfArena packing every (interval,
+// action) truncated pmf -- deduplicated by quantized rate, so constant or
+// periodic traces and adaptive re-solves share tables -- plus the
+// action-parallel parameter arrays a LayerTables points into.
+class SolveTables {
  public:
-  static Result<IntervalTables> Build(double lambda_t, const ActionSet& actions,
-                                      stats::TruncatedPoissonCache* cache) {
-    IntervalTables out;
-    out.tables_.reserve(actions.size());
+  static Result<SolveTables> Build(const DeadlineProblem& problem,
+                                   const std::vector<double>& interval_lambdas,
+                                   const ActionSet& actions) {
+    SolveTables out;
+    const size_t num_actions = actions.size();
+    std::vector<double> rates;
+    rates.reserve(interval_lambdas.size() * num_actions);
+    for (double lambda_t : interval_lambdas) {
+      for (const PricingAction& a : actions.actions()) {
+        rates.push_back(lambda_t * a.acceptance);
+      }
+    }
+    CP_ASSIGN_OR_RETURN(
+        kernel::PmfArena arena,
+        kernel::PmfArena::Build(rates, problem.truncation_epsilon));
+    out.arena_ = std::make_unique<kernel::PmfArena>(std::move(arena));
+    out.table_ids_.reserve(rates.size());
+    for (size_t i = 0; i < rates.size(); ++i) {
+      out.table_ids_.push_back(out.arena_->TableOf(i));
+    }
+    out.costs_.reserve(num_actions);
+    out.bundles_.reserve(num_actions);
     for (const PricingAction& a : actions.actions()) {
-      CP_ASSIGN_OR_RETURN(const stats::TruncatedPoisson* tp,
-                          cache->Get(lambda_t * a.acceptance));
-      out.tables_.push_back(tp);
+      out.costs_.push_back(a.cost_per_task_cents);
+      out.bundles_.push_back(a.bundle);
     }
     return out;
   }
 
-  const stats::TruncatedPoisson& at(size_t action) const { return *tables_[action]; }
+  kernel::LayerTables Layer(int t) const {
+    kernel::LayerTables layer;
+    layer.arena = arena_.get();
+    layer.tables =
+        table_ids_.data() + static_cast<size_t>(t) * costs_.size();
+    layer.costs = costs_.data();
+    layer.bundles = bundles_.data();
+    layer.num_actions = static_cast<int>(costs_.size());
+    return layer;
+  }
+
+  const kernel::PmfArena& arena() const { return *arena_; }
 
  private:
-  std::vector<const stats::TruncatedPoisson*> tables_;
+  // unique_ptr so SolveTables stays movable with stable LayerTables
+  // pointers.
+  std::unique_ptr<kernel::PmfArena> arena_;
+  std::vector<int> table_ids_;  ///< [interval][action], interval-major.
+  std::vector<double> costs_;
+  std::vector<int> bundles_;
 };
-
-// Evaluates the expected cost of playing action `a` at state (n, t):
-// completions k arrive Pois-distributed; k completions finish
-// d = min(n, k * bundle) tasks at cost_per_task * d, transitioning to
-// (n - d, t + 1). Terms beyond the truncation point (and any k with
-// d == n) lump into "all n finished this interval".
-double EvaluateAction(int n, const PricingAction& a,
-                      const stats::TruncatedPoisson& tp,
-                      const double* opt_next) {
-  const double c = a.cost_per_task_cents;
-  double cost = 0.0;
-  double cum = 0.0;
-  const int table_size = static_cast<int>(tp.pmf.size());
-  // Largest completion count with d = k * bundle < n.
-  for (int k = 0; k < table_size; ++k) {
-    const long long d_ll = static_cast<long long>(k) * a.bundle;
-    if (d_ll >= n) break;
-    const int d = static_cast<int>(d_ll);
-    const double p = tp.pmf[static_cast<size_t>(k)];
-    cost += p * (c * d + opt_next[n - d]);
-    cum += p;
-  }
-  // Remaining mass: the batch completes within this interval; pay for all n
-  // tasks, Opt(0, t+1) = 0. Clamped at 0 because the accumulated pmf can
-  // round a hair above 1, and a negative lump would reward the solver for
-  // "completing" with negative probability.
-  cost += std::max(0.0, 1.0 - cum) * c * n;
-  return cost;
-}
-
-struct BestAction {
-  int index = -1;
-  double cost = 0.0;
-};
-
-// Scans actions [a_lo, a_hi] for the cheapest at state (n, t). Ties go to
-// the lowest index (lowest price).
-BestAction FindOptimalForState(int n, const ActionSet& actions,
-                               const IntervalTables& tables, int a_lo, int a_hi,
-                               const double* opt_next, int64_t* evals) {
-  BestAction best;
-  for (int a = a_lo; a <= a_hi; ++a) {
-    const double cost = EvaluateAction(n, actions[static_cast<size_t>(a)],
-                                       tables.at(static_cast<size_t>(a)), opt_next);
-    ++*evals;
-    if (best.index < 0 || cost < best.cost) {
-      best.index = a;
-      best.cost = cost;
-    }
-  }
-  return best;
-}
 
 // One state of Algorithm 2: search bracket [a_lo, a_hi], optionally capped
 // from above by Price(n, t+1) (time monotonicity). Writes the layer rows.
-BestAction SolveMonotoneState(int n, int a_lo, int a_hi,
-                              const ActionSet& actions,
-                              const IntervalTables& tables,
-                              const double* opt_next, const int32_t* cap_row,
-                              double* opt_row, int32_t* action_row,
-                              int64_t* evals) {
+kernel::BestAction SolveMonotoneState(const kernel::LayerScanKernel& kern,
+                                      const kernel::LayerTables& layer, int n,
+                                      int a_lo, int a_hi,
+                                      const double* opt_next,
+                                      const int32_t* cap_row, double* opt_row,
+                                      int32_t* action_row, int64_t* evals) {
   int hi = a_hi;
   if (cap_row != nullptr && cap_row[n] >= 0) {
     hi = std::min(hi, static_cast<int>(cap_row[n]));
   }
   hi = std::max(hi, a_lo);  // Defensive: never let the cap empty the range.
-  const BestAction best =
-      FindOptimalForState(n, actions, tables, a_lo, hi, opt_next, evals);
+  const kernel::BestAction best = kern.ScanState(layer, n, a_lo, hi, opt_next);
+  *evals += hi - a_lo + 1;
   action_row[n] = best.index;
   opt_row[n] = best.cost;
   return best;
@@ -139,18 +122,19 @@ BestAction SolveMonotoneState(int n, int a_lo, int a_hi,
 
 // Algorithm 2's FindOptimalPriceForTime: divide-and-conquer over n in
 // [n_lo, n_hi] with the price bracket [a_lo, a_hi].
-void SolveRangeMonotone(int n_lo, int n_hi, int a_lo, int a_hi,
-                        const ActionSet& actions, const IntervalTables& tables,
-                        const double* opt_next, const int32_t* cap_row,
-                        double* opt_row, int32_t* action_row, int64_t* evals) {
+void SolveRangeMonotone(const kernel::LayerScanKernel& kern,
+                        const kernel::LayerTables& layer, int n_lo, int n_hi,
+                        int a_lo, int a_hi, const double* opt_next,
+                        const int32_t* cap_row, double* opt_row,
+                        int32_t* action_row, int64_t* evals) {
   if (n_lo > n_hi) return;
   const int m = n_lo + (n_hi - n_lo) / 2;
-  const BestAction best =
-      SolveMonotoneState(m, a_lo, a_hi, actions, tables, opt_next, cap_row,
+  const kernel::BestAction best =
+      SolveMonotoneState(kern, layer, m, a_lo, a_hi, opt_next, cap_row,
                          opt_row, action_row, evals);
-  SolveRangeMonotone(n_lo, m - 1, a_lo, best.index, actions, tables, opt_next,
+  SolveRangeMonotone(kern, layer, n_lo, m - 1, a_lo, best.index, opt_next,
                      cap_row, opt_row, action_row, evals);
-  SolveRangeMonotone(m + 1, n_hi, best.index, a_hi, actions, tables, opt_next,
+  SolveRangeMonotone(kern, layer, m + 1, n_hi, best.index, a_hi, opt_next,
                      cap_row, opt_row, action_row, evals);
 }
 
@@ -175,6 +159,9 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
   if (options.num_threads < 0) {
     return Status::InvalidArgument("num_threads must be >= 0");
   }
+  CP_ASSIGN_OR_RETURN(
+      const kernel::LayerScanKernel* kern,
+      kernel::KernelRegistry::Global().Resolve(options.kernel_backend));
   const auto start = std::chrono::steady_clock::now();
   DeadlinePlan plan(problem, actions, interval_lambdas);
   const int num_actions = static_cast<int>(actions.size());
@@ -193,16 +180,13 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
       std::min(requested_threads, ThreadPool::Shared().size() + 1);
   std::atomic<int64_t> evals{0};
 
-  // One pmf table per distinct rate across the whole solve, not per
-  // interval: repeated rates (constant traces, periodic profiles) reuse the
-  // table instead of rebuilding it every layer.
-  stats::TruncatedPoissonCache cache(problem.truncation_epsilon);
+  // All of the solve's pmf tables in one aligned arena, built before any
+  // layer work so the scans (and their worker threads) only read.
+  CP_ASSIGN_OR_RETURN(SolveTables tables,
+                      SolveTables::Build(problem, interval_lambdas, actions));
 
   for (int t = nt - 1; t >= 0; --t) {
-    CP_ASSIGN_OR_RETURN(
-        IntervalTables tables,
-        IntervalTables::Build(interval_lambdas[static_cast<size_t>(t)], actions,
-                              &cache));
+    const kernel::LayerTables layer = tables.Layer(t);
     // With the layer-major arena, layer t+1 is read and layer t written in
     // place -- no per-layer copies.
     const double* opt_next = plan.OptLayer(t + 1);
@@ -211,14 +195,9 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
     // Opt(0, t) stays 0 (initialized by the plan constructor).
     if (!monotone) {
       if (!parallel) {
-        int64_t local = 0;
-        for (int n = 1; n <= num_tasks; ++n) {
-          const BestAction best = FindOptimalForState(
-              n, actions, tables, 0, num_actions - 1, opt_next, &local);
-          action_row[n] = best.index;
-          opt_row[n] = best.cost;
-        }
-        evals.fetch_add(local, std::memory_order_relaxed);
+        kern->ScanLayer(layer, 1, num_tasks, opt_next, opt_row, action_row);
+        evals.fetch_add(static_cast<int64_t>(num_tasks) * num_actions,
+                        std::memory_order_relaxed);
       } else {
         // States within a layer are independent; chunk [1, N] across the
         // pool. Costs grow with n, so chunks are kept small for balance.
@@ -229,14 +208,10 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
           const int lo = static_cast<int>(1 + chunk * per_chunk);
           const int hi = static_cast<int>(
               std::min<int64_t>(num_tasks, (chunk + 1) * per_chunk));
-          int64_t local = 0;
-          for (int n = lo; n <= hi; ++n) {
-            const BestAction best = FindOptimalForState(
-                n, actions, tables, 0, num_actions - 1, opt_next, &local);
-            action_row[n] = best.index;
-            opt_row[n] = best.cost;
-          }
-          evals.fetch_add(local, std::memory_order_relaxed);
+          if (lo > hi) return;
+          kern->ScanLayer(layer, lo, hi, opt_next, opt_row, action_row);
+          evals.fetch_add(static_cast<int64_t>(hi - lo + 1) * num_actions,
+                          std::memory_order_relaxed);
         }, effective_threads);
       }
     } else {
@@ -245,7 +220,7 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
                                                           : nullptr;
       if (!parallel) {
         int64_t local = 0;
-        SolveRangeMonotone(1, num_tasks, 0, num_actions - 1, actions, tables,
+        SolveRangeMonotone(*kern, layer, 1, num_tasks, 0, num_actions - 1,
                            opt_next, cap_row, opt_row, action_row, &local);
         evals.fetch_add(local, std::memory_order_relaxed);
       } else {
@@ -271,8 +246,8 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
           if (widest == ranges.size()) break;  // everything is fine-grained
           const MonotoneRange r = ranges[widest];
           const int m = r.n_lo + (r.n_hi - r.n_lo) / 2;
-          const BestAction best =
-              SolveMonotoneState(m, r.a_lo, r.a_hi, actions, tables, opt_next,
+          const kernel::BestAction best =
+              SolveMonotoneState(*kern, layer, m, r.a_lo, r.a_hi, opt_next,
                                  cap_row, opt_row, action_row, &local);
           ranges[widest] = {r.n_lo, m - 1, r.a_lo, best.index};
           ranges.push_back({m + 1, r.n_hi, best.index, r.a_hi});
@@ -282,8 +257,8 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
             static_cast<int64_t>(ranges.size()), [&](int64_t i) {
               const MonotoneRange& r = ranges[static_cast<size_t>(i)];
               int64_t chunk_evals = 0;
-              SolveRangeMonotone(r.n_lo, r.n_hi, r.a_lo, r.a_hi, actions,
-                                 tables, opt_next, cap_row, opt_row, action_row,
+              SolveRangeMonotone(*kern, layer, r.n_lo, r.n_hi, r.a_lo, r.a_hi,
+                                 opt_next, cap_row, opt_row, action_row,
                                  &chunk_evals);
               evals.fetch_add(chunk_evals, std::memory_order_relaxed);
             },
@@ -294,8 +269,9 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
 
   plan.action_evaluations = evals.load();
   plan.threads_used = parallel ? effective_threads : 1;
-  plan.poisson_tables_built = cache.misses();
-  plan.poisson_table_reuses = cache.hits();
+  plan.poisson_tables_built = tables.arena().tables_built();
+  plan.poisson_table_reuses = tables.arena().table_reuses();
+  plan.kernel_backend = kern->name();
   plan.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -23,6 +23,7 @@
 #ifndef CROWDPRICE_PRICING_DEADLINE_DP_H_
 #define CROWDPRICE_PRICING_DEADLINE_DP_H_
 
+#include <string>
 #include <vector>
 
 #include "pricing/plan.h"
@@ -42,6 +43,13 @@ struct DpOptions {
   /// threads_used field reports the actual figure). The produced plan is
   /// bit-identical at every thread count.
   int num_threads = 0;
+  /// LayerScanKernel backend for the inner scans ("scalar", "avx2",
+  /// "neon", ...). Empty selects the $CROWDPRICE_KERNEL override when set,
+  /// else the fastest backend the host supports; unknown names fail the
+  /// solve. The plan's kernel_backend field records what actually ran.
+  /// "scalar" plans are bit-identical on every platform; SIMD plans agree
+  /// to ~1e-12 and pick the same actions away from exact cost ties.
+  std::string kernel_backend;
 };
 
 /// Algorithm 1. Supports any ActionSet (including bundled HIT actions).

@@ -1,10 +1,14 @@
 #include "pricing/multitype.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
+#include "kernel/layer_scan.h"
+#include "kernel/pmf_arena.h"
 #include "stats/poisson.h"
 #include "util/macros.h"
 #include "util/stringf.h"
@@ -65,8 +69,7 @@ Status MultiTypeProblem::Validate() const {
 MultiTypePlan::MultiTypePlan(MultiTypeProblem problem,
                              std::vector<double> interval_lambdas)
     : problem_(problem), interval_lambdas_(std::move(interval_lambdas)) {
-  const size_t states = static_cast<size_t>(problem_.num_tasks_1 + 1) *
-                        static_cast<size_t>(problem_.num_tasks_2 + 1);
+  const size_t states = states_per_layer();
   opt_.assign(states * static_cast<size_t>(problem_.num_intervals + 1), 0.0);
   policy_.assign(states * static_cast<size_t>(problem_.num_intervals), -1);
   for (int n1 = 0; n1 <= problem_.num_tasks_1; ++n1) {
@@ -79,16 +82,12 @@ MultiTypePlan::MultiTypePlan(MultiTypeProblem problem,
 
 size_t MultiTypePlan::StateIndex(int n1, int n2, int t) const {
   const size_t n2_span = static_cast<size_t>(problem_.num_tasks_2) + 1;
-  const size_t t_span = static_cast<size_t>(problem_.num_intervals) + 1;
-  return ((static_cast<size_t>(n1) * n2_span) + static_cast<size_t>(n2)) * t_span +
-         static_cast<size_t>(t);
+  return static_cast<size_t>(t) * states_per_layer() +
+         static_cast<size_t>(n1) * n2_span + static_cast<size_t>(n2);
 }
 
 size_t MultiTypePlan::PolicyIndex(int n1, int n2, int t) const {
-  const size_t n2_span = static_cast<size_t>(problem_.num_tasks_2) + 1;
-  const size_t t_span = static_cast<size_t>(problem_.num_intervals);
-  return ((static_cast<size_t>(n1) * n2_span) + static_cast<size_t>(n2)) * t_span +
-         static_cast<size_t>(t);
+  return StateIndex(n1, n2, t);
 }
 
 Result<std::pair<int, int>> MultiTypePlan::PricesAt(int n1, int n2, int t) const {
@@ -141,84 +140,138 @@ void CollapseTail(const stats::TruncatedPoisson& tp, int n,
 
 Result<MultiTypePlan> SolveMultiType(const MultiTypeProblem& problem,
                                      const std::vector<double>& interval_lambdas,
-                                     const JointLogitAcceptance& acceptance) {
+                                     const JointLogitAcceptance& acceptance,
+                                     const MultiTypeOptions& options) {
   CP_RETURN_IF_ERROR(problem.Validate());
   if (interval_lambdas.size() != static_cast<size_t>(problem.num_intervals)) {
     return Status::InvalidArgument(
         StringF("interval_lambdas has %zu entries; problem has %d intervals",
                 interval_lambdas.size(), problem.num_intervals));
   }
+  for (size_t t = 0; t < interval_lambdas.size(); ++t) {
+    if (!(interval_lambdas[t] >= 0.0) || !std::isfinite(interval_lambdas[t])) {
+      return Status::InvalidArgument(
+          StringF("interval_lambdas[%zu] = %g invalid", t,
+                  interval_lambdas[t]));
+    }
+  }
+  CP_ASSIGN_OR_RETURN(
+      const kernel::LayerScanKernel* kern,
+      kernel::KernelRegistry::Global().Resolve(options.kernel_backend));
+  const auto start = std::chrono::steady_clock::now();
   MultiTypePlan plan(problem, interval_lambdas);
 
-  // Strided price grid.
+  // Strided price grid and the joint pick probabilities per price pair.
   std::vector<int> grid;
   for (int c = 0; c <= problem.max_price_cents; c += problem.price_stride) {
     grid.push_back(c);
   }
+  const size_t g = grid.size();
+  std::vector<std::pair<double, double>> probs(g * g);
+  for (size_t i = 0; i < g; ++i) {
+    for (size_t j = 0; j < g; ++j) {
+      probs[i * g + j] = acceptance.ProbabilitiesAt(
+          static_cast<double>(grid[i]), static_cast<double>(grid[j]));
+    }
+  }
 
   const int num_tasks_1 = problem.num_tasks_1;
   const int num_tasks_2 = problem.num_tasks_2;
-  std::vector<double> d1_dist, d2_dist;
+  const size_t row = static_cast<size_t>(num_tasks_2) + 1;  // one n2 row
+  const size_t states = plan.states_per_layer();
+  const int m = num_tasks_2;  // last n2 index
+
+  // Scratch reused across (t, pair): w2[r][n2] is the expected next-layer
+  // value after the type-2 transition when type-1 has r tasks left, and
+  // tmp completes the type-1 transition for one n1 row.
+  std::vector<double> w2(states);
+  std::vector<double> tmp(row);
+  std::vector<double> e2(row);  // expected type-2 payout per n2
+  std::vector<double> rates;
+  rates.reserve(g * g * 2);
 
   for (int t = problem.num_intervals - 1; t >= 0; --t) {
+    // One aligned arena per interval -- the same table lifetime the
+    // per-layer tables had before the kernel refactor, so peak memory
+    // does not scale with num_intervals on time-varying traces. Within
+    // the layer, coincident split rates still share tables via the
+    // quantized-rate dedup.
     const double lambda_t = interval_lambdas[static_cast<size_t>(t)];
-    if (!(lambda_t >= 0.0) || !std::isfinite(lambda_t)) {
-      return Status::InvalidArgument(
-          StringF("interval_lambdas[%d] = %g invalid", t, lambda_t));
+    rates.clear();
+    for (const auto& [p1, p2] : probs) {
+      rates.push_back(lambda_t * p1);
+      rates.push_back(lambda_t * p2);
     }
-    // Truncated tables per price pair.
-    struct PairTables {
-      double p1, p2;
-      stats::TruncatedPoisson tp1, tp2;
-    };
-    std::vector<PairTables> tables(grid.size() * grid.size());
-    for (size_t i = 0; i < grid.size(); ++i) {
-      for (size_t j = 0; j < grid.size(); ++j) {
-        auto [p1, p2] = acceptance.ProbabilitiesAt(
-            static_cast<double>(grid[i]), static_cast<double>(grid[j]));
-        PairTables& pt = tables[i * grid.size() + j];
-        pt.p1 = p1;
-        pt.p2 = p2;
-        CP_ASSIGN_OR_RETURN(pt.tp1, stats::MakeTruncatedPoisson(
-                                        lambda_t * p1, problem.truncation_epsilon));
-        CP_ASSIGN_OR_RETURN(pt.tp2, stats::MakeTruncatedPoisson(
-                                        lambda_t * p2, problem.truncation_epsilon));
-      }
-    }
-    for (int n1 = 0; n1 <= num_tasks_1; ++n1) {
-      for (int n2 = 0; n2 <= num_tasks_2; ++n2) {
-        if (n1 + n2 == 0) continue;
-        double best = std::numeric_limits<double>::infinity();
-        int32_t best_packed = -1;
-        for (size_t i = 0; i < grid.size(); ++i) {
-          for (size_t j = 0; j < grid.size(); ++j) {
-            const PairTables& pt = tables[i * grid.size() + j];
-            CollapseTail(pt.tp1, n1, &d1_dist);
-            CollapseTail(pt.tp2, n2, &d2_dist);
-            double cost = 0.0;
-            for (int d1 = 0; d1 <= n1; ++d1) {
-              const double q1 = d1_dist[static_cast<size_t>(d1)];
-              if (q1 <= 0.0) continue;
-              for (int d2 = 0; d2 <= n2; ++d2) {
-                const double q2 = d2_dist[static_cast<size_t>(d2)];
-                if (q2 <= 0.0) continue;
-                cost += q1 * q2 *
-                        (static_cast<double>(grid[i]) * d1 +
-                         static_cast<double>(grid[j]) * d2 +
-                         plan.opt()[plan.StateIndex(n1 - d1, n2 - d2, t + 1)]);
-              }
+    CP_ASSIGN_OR_RETURN(
+        kernel::PmfArena arena,
+        kernel::PmfArena::Build(rates, problem.truncation_epsilon));
+    const double* opt_next = plan.OptLayer(t + 1);
+    double* opt_row = plan.MutableOptLayer(t);
+    int32_t* pol_row = plan.MutablePolicyLayer(t);
+    // Argmin accumulators: every solvable state starts at +inf / -1 and
+    // the pair scans MinCombine into them.
+    std::fill(opt_row, opt_row + states,
+              std::numeric_limits<double>::infinity());
+    std::fill(pol_row, pol_row + states, -1);
+
+    for (size_t i = 0; i < g; ++i) {
+      for (size_t j = 0; j < g; ++j) {
+        const size_t pair = i * g + j;
+        const kernel::PmfView v1 = arena.View(arena.TableOf(pair * 2));
+        const kernel::PmfView v2 = arena.View(arena.TableOf(pair * 2 + 1));
+        const double c1 = static_cast<double>(grid[i]);
+        const double c2 = static_cast<double>(grid[j]);
+        const int32_t packed = static_cast<int32_t>(grid[i] * 4096 + grid[j]);
+
+        // Expected type-2 payout at each n2: completions beyond n2 pay for
+        // exactly n2 tasks (the collapsed lump).
+        for (int n2 = 0; n2 <= m; ++n2) {
+          const int kn2 = std::min(n2, v2.len);
+          const double lump2 = std::max(0.0, 1.0 - v2.prefix_mass[kn2]);
+          e2[static_cast<size_t>(n2)] =
+              c2 * (v2.prefix_weighted[kn2] + lump2 * n2);
+        }
+        // Type-2 transition applied to every next-layer row.
+        for (int r = 0; r <= num_tasks_1; ++r) {
+          kern->CollapseCorrelate(v2, opt_next + static_cast<size_t>(r) * row,
+                                  m, w2.data() + static_cast<size_t>(r) * row);
+        }
+        // Type-1 transition: mix the w2 rows reachable from n1, add the
+        // payout terms, and fold into the per-state argmin.
+        for (int n1 = 0; n1 <= num_tasks_1; ++n1) {
+          const int kn1 = std::min(n1, v1.len);
+          const double lump1 = std::max(0.0, 1.0 - v1.prefix_mass[kn1]);
+          std::fill(tmp.begin(), tmp.end(), 0.0);
+          for (int d1 = 0; d1 < kn1; ++d1) {
+            kern->Axpy(v1.pmf[d1],
+                       w2.data() + static_cast<size_t>(n1 - d1) * row,
+                       tmp.data(), static_cast<int>(row));
+          }
+          kern->Axpy(lump1, w2.data(), tmp.data(), static_cast<int>(row));
+          const double e1 = c1 * (v1.prefix_weighted[kn1] + lump1 * n1);
+          double* best = opt_row + static_cast<size_t>(n1) * row;
+          int32_t* best_arg = pol_row + static_cast<size_t>(n1) * row;
+          if (n1 == 0) {
+            // (0, 0) has no decision; start the scan at n2 = 1.
+            if (m >= 1) {
+              kern->MinCombine(tmp.data() + 1, e2.data() + 1, e1, packed, m,
+                               best + 1, best_arg + 1);
             }
-            if (cost < best) {
-              best = cost;
-              best_packed = static_cast<int32_t>(grid[i] * 4096 + grid[j]);
-            }
+          } else {
+            kern->MinCombine(tmp.data(), e2.data(), e1, packed,
+                             static_cast<int>(row), best, best_arg);
           }
         }
-        plan.opt()[plan.StateIndex(n1, n2, t)] = best;
-        plan.policy()[plan.PolicyIndex(n1, n2, t)] = best_packed;
       }
     }
+    // The completed state is absorbing: zero cost-to-go, no action.
+    opt_row[0] = 0.0;
+    pol_row[0] = -1;
   }
+  plan.kernel_backend = kern->name();
+  plan.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return plan;
 }
 

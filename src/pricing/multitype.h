@@ -15,6 +15,7 @@
 #define CROWDPRICE_PRICING_MULTITYPE_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -69,13 +70,41 @@ class MultiTypePlan {
     return interval_lambdas_;
   }
 
-  // Solver-facing unchecked access.
+  // --- Solver-facing access ------------------------------------------
+  // Both tables live in one contiguous arena with the time layer
+  // outermost: a layer is an (N1+1) x (N2+1) row-major matrix contiguous
+  // in n2. Backward induction reads layer t+1 and writes layer t as two
+  // dense blocks, and the kernel inner loops stream n2 rows.
   size_t StateIndex(int n1, int n2, int t) const;
   size_t PolicyIndex(int n1, int n2, int t) const;
+  size_t states_per_layer() const {
+    return static_cast<size_t>(problem_.num_tasks_1 + 1) *
+           static_cast<size_t>(problem_.num_tasks_2 + 1);
+  }
+  /// Layer of Opt(., ., t); t in [0, NT].
+  const double* OptLayer(int t) const {
+    return opt_.data() + static_cast<size_t>(t) * states_per_layer();
+  }
+  double* MutableOptLayer(int t) {
+    return opt_.data() + static_cast<size_t>(t) * states_per_layer();
+  }
+  /// Layer of packed price pairs at t; t in [0, NT).
+  const int32_t* PolicyLayer(int t) const {
+    return policy_.data() + static_cast<size_t>(t) * states_per_layer();
+  }
+  int32_t* MutablePolicyLayer(int t) {
+    return policy_.data() + static_cast<size_t>(t) * states_per_layer();
+  }
   std::vector<double>& opt() { return opt_; }
   std::vector<int32_t>& policy() { return policy_; }  ///< packed c1 * 4096 + c2
   const std::vector<double>& opt() const { return opt_; }
   const std::vector<int32_t>& policy() const { return policy_; }
+
+  // --- Diagnostics ---
+  double solve_seconds = 0.0;
+  /// LayerScanKernel backend that ran the joint scans; empty for plans
+  /// that predate the kernel layer (e.g. deserialized).
+  std::string kernel_backend;
 
  private:
   MultiTypeProblem problem_;
@@ -84,10 +113,20 @@ class MultiTypePlan {
   std::vector<int32_t> policy_;
 };
 
-/// Backward-induction solve (the §6 DP over the vector state space).
+struct MultiTypeOptions {
+  /// LayerScanKernel backend for the joint DP's inner loops; empty selects
+  /// $CROWDPRICE_KERNEL or the fastest available (see pricing::DpOptions).
+  std::string kernel_backend;
+};
+
+/// Backward-induction solve (the §6 DP over the vector state space). The
+/// per-interval transition is factored through the kernel layer: one
+/// collapsed correlation per (pair, type-1 row) instead of the historical
+/// O(s0^2) per-state double sum, dropping a factor of ~s0 of work.
 Result<MultiTypePlan> SolveMultiType(const MultiTypeProblem& problem,
                                      const std::vector<double>& interval_lambdas,
-                                     const JointLogitAcceptance& acceptance);
+                                     const JointLogitAcceptance& acceptance,
+                                     const MultiTypeOptions& options = {});
 
 /// Nominal forecast of playing a MultiTypePlan against the marketplace it
 /// was solved for (the multi-type analogue of EvaluatePolicyNominal).

@@ -4,6 +4,7 @@
 #define CROWDPRICE_PRICING_PLAN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "pricing/action.h"
@@ -74,8 +75,11 @@ class DeadlinePlan {
   double solve_seconds = 0.0;
   int64_t action_evaluations = 0;  ///< Calls to the state-action evaluator.
   int threads_used = 1;            ///< Parallelism of the layer scans.
-  int64_t poisson_tables_built = 0;  ///< Truncated-pmf cache misses.
-  int64_t poisson_table_reuses = 0;  ///< Truncated-pmf cache hits.
+  int64_t poisson_tables_built = 0;  ///< Distinct pmf-arena tables.
+  int64_t poisson_table_reuses = 0;  ///< Arena requests served by sharing.
+  /// LayerScanKernel backend that ran the scans ("scalar", "avx2", ...);
+  /// empty for plans that predate the kernel layer (e.g. deserialized).
+  std::string kernel_backend;
 
  private:
   Status CheckState(int n, int t, bool terminal_ok) const;

@@ -228,21 +228,6 @@ Result<market::OfferSheet> CampaignShardMap::Decide(
   return it->second.controller->Decide(request);
 }
 
-Result<market::Offer> CampaignShardMap::DecideSingle(CampaignId id,
-                                                     double now_hours,
-                                                     int64_t remaining_tasks) {
-  CP_ASSIGN_OR_RETURN(
-      market::OfferSheet sheet,
-      Decide(id, market::DecisionRequest::Single(now_hours, remaining_tasks)));
-  if (sheet.num_types() != 1) {
-    return Status::FailedPrecondition(
-        StringF("campaign %llu posts %d offers; DecideSingle serves "
-                "single-type campaigns only",
-                static_cast<unsigned long long>(id), sheet.num_types()));
-  }
-  return sheet.offers[0];
-}
-
 std::vector<DecideResponse> CampaignShardMap::DecideBatch(
     const std::vector<DecideRequest>& requests) {
   std::vector<DecideResponse> responses(requests.size());

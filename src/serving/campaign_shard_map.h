@@ -158,13 +158,10 @@ class CampaignShardMap {
   // --- Serving -----------------------------------------------------------
 
   /// One lookup: the sheet the campaign's policy posts for `request`.
+  /// (The single-offer shim finished its deprecation cycle; single-type
+  /// callers pass DecisionRequest::Single and read sheet.offers[0].)
   Result<market::OfferSheet> Decide(CampaignId id,
                                     const market::DecisionRequest& request);
-
-  /// Single-type deprecation shim (one PR, like
-  /// PricingController::DecideSingle): unwraps the 1-offer sheet.
-  Result<market::Offer> DecideSingle(CampaignId id, double now_hours,
-                                     int64_t remaining_tasks);
 
   /// Batched lookups: requests are partitioned by shard and each shard's
   /// slice is answered on its own pool thread in one locked pass.

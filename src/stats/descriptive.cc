@@ -55,7 +55,8 @@ Result<double> Percentile(std::vector<double> values, double q) {
     return Status::InvalidArgument("Percentile of empty sample");
   }
   if (!(q >= 0.0 && q <= 1.0)) {
-    return Status::InvalidArgument(StringF("quantile must be in [0,1]; got %g", q));
+    return Status::InvalidArgument(
+        StringF("quantile must be in [0,1]; got %g", q));
   }
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);
@@ -85,7 +86,8 @@ Result<std::vector<int64_t>> Histogram(const std::vector<double>& values,
                                        double lo, double hi, int bins) {
   if (bins < 1) return Status::InvalidArgument("Histogram needs bins >= 1");
   if (!(lo < hi)) {
-    return Status::InvalidArgument(StringF("Histogram needs lo < hi; got [%g, %g]", lo, hi));
+    return Status::InvalidArgument(
+        StringF("Histogram needs lo < hi; got [%g, %g]", lo, hi));
   }
   std::vector<int64_t> counts(static_cast<size_t>(bins), 0);
   const double width = (hi - lo) / bins;

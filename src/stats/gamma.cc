@@ -89,7 +89,8 @@ double LogFactorial(int k) {
 Result<double> RegularizedGammaP(double a, double x) {
   if (!(a > 0.0) || !(x >= 0.0) || !std::isfinite(a) || !std::isfinite(x)) {
     return Status::InvalidArgument(
-        StringF("RegularizedGammaP requires a > 0, x >= 0; got a=%g, x=%g", a, x));
+        StringF("RegularizedGammaP requires a > 0, x >= 0; got a=%g, x=%g",
+                a, x));
   }
   if (x == 0.0) return 0.0;
   if (x < a + 1.0) return GammaPSeries(a, x);
@@ -100,7 +101,8 @@ Result<double> RegularizedGammaP(double a, double x) {
 Result<double> RegularizedGammaQ(double a, double x) {
   if (!(a > 0.0) || !(x >= 0.0) || !std::isfinite(a) || !std::isfinite(x)) {
     return Status::InvalidArgument(
-        StringF("RegularizedGammaQ requires a > 0, x >= 0; got a=%g, x=%g", a, x));
+        StringF("RegularizedGammaQ requires a > 0, x >= 0; got a=%g, x=%g",
+                a, x));
   }
   if (x == 0.0) return 1.0;
   if (x >= a + 1.0) return GammaQContinuedFraction(a, x);

@@ -1,6 +1,7 @@
 #include "stats/poisson.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -147,17 +148,37 @@ Result<TruncatedPoisson> MakeTruncatedPoisson(double lambda, double epsilon) {
   return out;
 }
 
+uint64_t QuantizedRateKey(double lambda) {
+  // +0 and -0 share a bucket, and rounding the low 12 mantissa bits to the
+  // nearest multiple of 2^12 merges rates within ~2^-41 relative distance.
+  // The carry out of the mantissa (low bits >= 0x800 with the rest set)
+  // correctly bumps the exponent, staying finite for any DP-scale rate.
+  uint64_t bits = std::bit_cast<uint64_t>(lambda == 0.0 ? 0.0 : lambda);
+  return (bits + 0x800ULL) & ~0xFFFULL;
+}
+
+double SnapRate(double lambda) {
+  return std::bit_cast<double>(QuantizedRateKey(lambda));
+}
+
 Result<const TruncatedPoisson*> TruncatedPoissonCache::Get(double lambda) {
-  auto it = tables_.find(lambda);
+  CP_RETURN_IF_ERROR(ValidateLambda(lambda, "TruncatedPoissonCache::Get"));
+  const uint64_t key = QuantizedRateKey(lambda);
+  auto it = tables_.find(key);
   if (it != tables_.end()) {
     ++hits_;
     return &it->second;
   }
-  CP_ASSIGN_OR_RETURN(TruncatedPoisson tp, MakeTruncatedPoisson(lambda, epsilon_));
+  // Build at the exact first-seen rate: the quantized key only decides
+  // SHARING, so exact repeats (the overwhelmingly common case) observe
+  // tables bit-identical to a per-rate cache, and plans stay bit-stable
+  // across this keying change.
+  CP_ASSIGN_OR_RETURN(TruncatedPoisson tp,
+                      MakeTruncatedPoisson(lambda, epsilon_));
   ++misses_;
   // unordered_map references are stable across rehashes, so handing out a
   // pointer into the map is safe for the cache's lifetime.
-  return &tables_.emplace(lambda, std::move(tp)).first->second;
+  return &tables_.emplace(key, std::move(tp)).first->second;
 }
 
 int SamplePoisson(Rng& rng, double lambda) {

@@ -48,18 +48,32 @@ struct TruncatedPoisson {
 /// rate magnitudes used here (lambda <~ 1e6).
 Result<TruncatedPoisson> MakeTruncatedPoisson(double lambda, double epsilon);
 
+/// Table-cache keys are quantized so that near-equal rates produced by
+/// arrival-trace arithmetic (lambda * acceptance computed along different
+/// code paths can differ in the last few ulps) do not silently duplicate
+/// tables. QuantizedRateKey rounds the low 12 mantissa bits away -- a
+/// relative perturbation below 1e-12, orders of magnitude under the
+/// truncation epsilon -- and SnapRate is the bucket's canonical
+/// representative (diagnostics/tests; the caches key on the bucket but
+/// build at the exact first-seen rate, preserving bit-stable tables for
+/// exact repeats). lambda must be finite and >= 0.
+uint64_t QuantizedRateKey(double lambda);
+double SnapRate(double lambda);
+
 /// Memoizes MakeTruncatedPoisson tables for one truncation epsilon, keyed
-/// by the exact rate. The deadline DP requests one table per (interval,
-/// action) pair; whenever the arrival trace repeats a rate (constant or
-/// periodic profiles, adaptive re-solves), the table is built once and
-/// shared. Returned pointers stay valid for the cache's lifetime. Not
-/// thread-safe; the solvers populate it before fanning out to workers.
+/// by the quantized rate (QuantizedRateKey) and built at the exact
+/// first-seen rate, so near-equal rates share one table. The deadline DP
+/// requests one table per (interval, action) pair; whenever the arrival
+/// trace repeats a rate (constant or periodic profiles, adaptive
+/// re-solves), the table is built once and shared. Returned pointers stay
+/// valid for the cache's lifetime. Not thread-safe; the solvers populate
+/// it before fanning out to workers.
 class TruncatedPoissonCache {
  public:
   /// epsilon must lie in (0, 1) (validated on first Get).
   explicit TruncatedPoissonCache(double epsilon) : epsilon_(epsilon) {}
 
-  /// The truncated table for Pois(lambda), built on first use.
+  /// The truncated table for lambda's bucket, built on first use.
   Result<const TruncatedPoisson*> Get(double lambda);
 
   size_t entries() const { return tables_.size(); }
@@ -68,7 +82,7 @@ class TruncatedPoissonCache {
 
  private:
   double epsilon_;
-  std::unordered_map<double, TruncatedPoisson> tables_;
+  std::unordered_map<uint64_t, TruncatedPoisson> tables_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
 };

@@ -53,10 +53,12 @@ Result<LogitFitParams> FitLogitAcceptance(const std::vector<double>& rewards,
                                           const std::vector<double>& probs,
                                           double fixed_m, double p_floor) {
   if (!(fixed_m > 0.0)) {
-    return Status::InvalidArgument(StringF("fixed_m must be > 0; got %g", fixed_m));
+    return Status::InvalidArgument(
+        StringF("fixed_m must be > 0; got %g", fixed_m));
   }
   if (!(p_floor > 0.0 && p_floor < 0.5)) {
-    return Status::InvalidArgument(StringF("p_floor must be in (0, 0.5); got %g", p_floor));
+    return Status::InvalidArgument(
+        StringF("p_floor must be in (0, 0.5); got %g", p_floor));
   }
   std::vector<double> logits;
   logits.reserve(probs.size());
@@ -67,7 +69,8 @@ Result<LogitFitParams> FitLogitAcceptance(const std::vector<double>& rewards,
   CP_ASSIGN_OR_RETURN(LinearFit fit, FitLinear(rewards, logits));
   if (fit.slope <= 0.0) {
     return Status::NumericError(
-        StringF("acceptance data is not increasing in reward (slope %g)", fit.slope));
+        StringF("acceptance data is not increasing in reward (slope %g)",
+                fit.slope));
   }
   LogitFitParams out;
   out.s = 1.0 / fit.slope;

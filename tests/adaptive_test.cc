@@ -9,6 +9,8 @@
 #include "stats/descriptive.h"
 #include "util/rng.h"
 
+#include "test_util.h"
+
 namespace crowdprice::pricing {
 namespace {
 
@@ -59,7 +61,7 @@ TEST(AdaptiveControllerTest, FirstDecisionMatchesStaticPlan) {
       AdaptiveRateController::Create(s.problem, s.believed, s.actions, 24.0)
           .value();
   auto static_plan = SolveImprovedDp(s.problem, s.believed, s.actions).value();
-  auto offer = adaptive.DecideSingle(0.0, 100).value();
+  auto offer = test_util::SingleOffer(adaptive, 0.0, 100).value();
   EXPECT_DOUBLE_EQ(offer.per_task_reward_cents,
                    static_plan.PriceAt(100, 0).value());
   EXPECT_DOUBLE_EQ(adaptive.current_factor(), 1.0);
@@ -169,7 +171,7 @@ TEST(AdaptiveControllerTest, RejectsNonPositiveRemaining) {
   auto controller =
       AdaptiveRateController::Create(s.problem, s.believed, s.actions, 24.0)
           .value();
-  EXPECT_TRUE(controller.DecideSingle(0.0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(test_util::SingleOffer(controller, 0.0, 0).status().IsInvalidArgument());
 }
 
 }  // namespace

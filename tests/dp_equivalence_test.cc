@@ -10,11 +10,14 @@
 #include "pricing/deadline_dp.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "choice/acceptance.h"
+#include "kernel/layer_scan.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -75,27 +78,76 @@ void ExpectIdenticalPlans(const DeadlinePlan& a, const DeadlinePlan& b,
   }
 }
 
-TEST(DpEquivalenceTest, SimpleAndImprovedAgreeOnRandomInstances) {
-  Rng rng(20260726);
-  for (int rep = 0; rep < 30; ++rep) {
-    const RandomInstance instance = MakeRandomInstance(rng);
-    auto simple =
-        SolveSimpleDp(instance.problem, instance.lambdas, instance.actions);
-    ASSERT_TRUE(simple.ok()) << simple.status();
-    auto improved =
-        SolveImprovedDp(instance.problem, instance.lambdas, instance.actions);
-    ASSERT_TRUE(improved.ok()) << improved.status();
-    ExpectIdenticalPlans(*simple, *improved, "simple vs improved");
+// Every registered kernel backend must uphold the equivalence property:
+// within one backend, Algorithm 1, Algorithm 2 and the pruned variant
+// produce bit-identical plans (the kernel's dense/bracketed scans share
+// their arithmetic exactly -- the contract in kernel/layer_scan.h).
+TEST(DpEquivalenceTest, SimpleAndImprovedAgreeOnRandomInstancesPerBackend) {
+  for (const std::string& backend :
+       kernel::KernelRegistry::Global().Available()) {
+    SCOPED_TRACE(backend);
+    Rng rng(20260726);
+    for (int rep = 0; rep < 15; ++rep) {
+      const RandomInstance instance = MakeRandomInstance(rng);
+      DpOptions options;
+      options.kernel_backend = backend;
+      auto simple = SolveSimpleDp(instance.problem, instance.lambdas,
+                                  instance.actions, options);
+      ASSERT_TRUE(simple.ok()) << simple.status();
+      EXPECT_EQ(simple->kernel_backend, backend);
+      auto improved = SolveImprovedDp(instance.problem, instance.lambdas,
+                                      instance.actions, options);
+      ASSERT_TRUE(improved.ok()) << improved.status();
+      ExpectIdenticalPlans(*simple, *improved, "simple vs improved");
 
-    DpOptions pruned;
-    pruned.time_monotonicity_pruning = true;
-    auto improved_pruned = SolveImprovedDp(instance.problem, instance.lambdas,
-                                           instance.actions, pruned);
-    ASSERT_TRUE(improved_pruned.ok()) << improved_pruned.status();
-    ExpectIdenticalPlans(*simple, *improved_pruned, "simple vs pruned");
-    // Pruning may only reduce work.
-    EXPECT_LE(improved_pruned->action_evaluations,
-              improved->action_evaluations);
+      DpOptions pruned = options;
+      pruned.time_monotonicity_pruning = true;
+      auto improved_pruned = SolveImprovedDp(instance.problem, instance.lambdas,
+                                             instance.actions, pruned);
+      ASSERT_TRUE(improved_pruned.ok()) << improved_pruned.status();
+      ExpectIdenticalPlans(*simple, *improved_pruned, "simple vs pruned");
+      // Pruning may only reduce work.
+      EXPECT_LE(improved_pruned->action_evaluations,
+                improved->action_evaluations);
+    }
+  }
+}
+
+// SIMD backends agree with scalar within tolerance and pick the same
+// actions on the reference instances (away from exact cost ties).
+TEST(DpEquivalenceTest, BackendsAgreeWithScalarWithinTolerance) {
+  if (kernel::KernelRegistry::Global().Available().size() < 2) {
+    GTEST_SKIP() << "no SIMD backend registered on this host";
+  }
+  Rng rng(607);
+  for (int rep = 0; rep < 6; ++rep) {
+    const RandomInstance instance = MakeRandomInstance(rng);
+    DpOptions scalar_options;
+    scalar_options.kernel_backend = "scalar";
+    auto want = SolveImprovedDp(instance.problem, instance.lambdas,
+                                instance.actions, scalar_options);
+    ASSERT_TRUE(want.ok()) << want.status();
+    for (const std::string& backend :
+         kernel::KernelRegistry::Global().Available()) {
+      if (backend == "scalar") continue;  // the reference itself
+      SCOPED_TRACE(backend);
+      DpOptions options;
+      options.kernel_backend = backend;
+      auto got = SolveImprovedDp(instance.problem, instance.lambdas,
+                                 instance.actions, options);
+      ASSERT_TRUE(got.ok()) << got.status();
+      for (int t = 0; t < want->num_intervals(); ++t) {
+        for (int n = 1; n <= want->num_tasks(); ++n) {
+          ASSERT_EQ(got->ActionIndexUnchecked(n, t),
+                    want->ActionIndexUnchecked(n, t))
+              << "argmin at (n=" << n << ", t=" << t << ")";
+          const double w = want->OptUnchecked(n, t);
+          ASSERT_NEAR(got->OptUnchecked(n, t), w,
+                      1e-12 * std::max(1.0, std::abs(w)))
+              << "Opt at (n=" << n << ", t=" << t << ")";
+        }
+      }
+    }
   }
 }
 
@@ -111,30 +163,36 @@ TEST(DpEquivalenceTest, ParallelSolvesAreBitIdenticalToSerial) {
   problem.penalty_cents = 150.0;
   const std::vector<double> lambdas(8, 240.0);
 
-  DpOptions serial;
-  serial.num_threads = 1;
-  for (const bool monotone : {false, true}) {
-    auto solve = [&](const DpOptions& options) {
-      return monotone ? SolveImprovedDp(problem, lambdas, *actions, options)
-                      : SolveSimpleDp(problem, lambdas, *actions, options);
-    };
-    auto baseline = solve(serial);
-    ASSERT_TRUE(baseline.ok()) << baseline.status();
-    EXPECT_EQ(baseline->threads_used, 1);
-    for (const int threads : {2, 3, 4, 8}) {
-      DpOptions parallel;
-      parallel.num_threads = threads;
-      auto plan = solve(parallel);
-      ASSERT_TRUE(plan.ok()) << plan.status();
-      // threads_used reports actual parallelism: the request capped by the
-      // shared pool (pool workers + the calling thread).
-      EXPECT_EQ(plan->threads_used,
-                std::min(threads, ThreadPool::Shared().size() + 1));
-      ExpectIdenticalPlans(*baseline, *plan,
-                           monotone ? "serial vs parallel (monotone)"
-                                    : "serial vs parallel (simple)");
-      // The parallel decomposition must not change the work done either.
-      EXPECT_EQ(plan->action_evaluations, baseline->action_evaluations);
+  for (const std::string& backend :
+       kernel::KernelRegistry::Global().Available()) {
+    SCOPED_TRACE(backend);
+    DpOptions serial;
+    serial.num_threads = 1;
+    serial.kernel_backend = backend;
+    for (const bool monotone : {false, true}) {
+      auto solve = [&](const DpOptions& options) {
+        return monotone ? SolveImprovedDp(problem, lambdas, *actions, options)
+                        : SolveSimpleDp(problem, lambdas, *actions, options);
+      };
+      auto baseline = solve(serial);
+      ASSERT_TRUE(baseline.ok()) << baseline.status();
+      EXPECT_EQ(baseline->threads_used, 1);
+      for (const int threads : {2, 3, 4, 8}) {
+        DpOptions parallel;
+        parallel.num_threads = threads;
+        parallel.kernel_backend = backend;
+        auto plan = solve(parallel);
+        ASSERT_TRUE(plan.ok()) << plan.status();
+        // threads_used reports actual parallelism: the request capped by
+        // the shared pool (pool workers + the calling thread).
+        EXPECT_EQ(plan->threads_used,
+                  std::min(threads, ThreadPool::Shared().size() + 1));
+        ExpectIdenticalPlans(*baseline, *plan,
+                             monotone ? "serial vs parallel (monotone)"
+                                      : "serial vs parallel (simple)");
+        // The parallel decomposition must not change the work done either.
+        EXPECT_EQ(plan->action_evaluations, baseline->action_evaluations);
+      }
     }
   }
 }

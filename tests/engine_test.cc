@@ -14,6 +14,8 @@
 #include "choice/acceptance.h"
 #include "pricing/policy_eval.h"
 
+#include "test_util.h"
+
 namespace crowdprice::engine {
 namespace {
 
@@ -33,16 +35,15 @@ DeadlineDpSpec SmallDeadlineSpec() {
   return spec;
 }
 
-// Compares two controllers' Decide outputs over a grid of states (via the
-// DecideSingle migration shim, which the engine's single-type kinds all
-// support).
+// Compares two controllers' Decide outputs over a grid of single-type
+// states (via the test_util::SingleOffer sheet helper).
 void ExpectIdenticalDecisions(market::PricingController& a,
                               market::PricingController& b,
                               double horizon_hours, int max_tasks) {
   for (double now : {0.0, horizon_hours * 0.3, horizon_hours * 0.9}) {
     for (int remaining = 1; remaining <= max_tasks; remaining += 3) {
-      auto offer_a = a.DecideSingle(now, remaining);
-      auto offer_b = b.DecideSingle(now, remaining);
+      auto offer_a = test_util::SingleOffer(a, now, remaining);
+      auto offer_b = test_util::SingleOffer(b, now, remaining);
       ASSERT_TRUE(offer_a.ok()) << offer_a.status();
       ASSERT_TRUE(offer_b.ok()) << offer_b.status();
       EXPECT_EQ(offer_a->per_task_reward_cents, offer_b->per_task_reward_cents)
@@ -305,7 +306,7 @@ TEST(EngineTest, AdaptiveSpecMakesReplanningControllers) {
   EXPECT_EQ(artifact->kind(), PolicyKind::kAdaptive);
   auto controller = artifact->MakeAdaptiveController();
   ASSERT_TRUE(controller.ok()) << controller.status();
-  auto offer = controller->DecideSingle(0.0, 20);
+  auto offer = test_util::SingleOffer(*controller, 0.0, 20);
   ASSERT_TRUE(offer.ok()) << offer.status();
   EXPECT_GE(offer->per_task_reward_cents, 0.0);
   // The belief state (priors, not in-flight campaign state) checkpoints.
@@ -365,9 +366,10 @@ TEST(EngineTest, MultiTypeSpecSolvesAndPlays) {
   auto prices = (*plan)->PricesAt(4, 4, 0).value();
   EXPECT_DOUBLE_EQ(sheet->offers[0].per_task_reward_cents, prices.first);
   EXPECT_DOUBLE_EQ(sheet->offers[1].per_task_reward_cents, prices.second);
-  // The single-type shim cannot serve a 2-offer policy.
-  EXPECT_TRUE(
-      (*controller)->DecideSingle(0.0, 4).status().IsInvalidArgument());
+  // A single-type request cannot drive a 2-offer policy.
+  EXPECT_TRUE(test_util::SingleOffer(**controller, 0.0, 4)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(EngineTest, EveryPolicyKindIsPlayable) {
@@ -420,6 +422,42 @@ TEST(EngineTest, EveryPolicyKindIsPlayable) {
         << KindName(spec.kind()) << ": " << sheet.status();
     EXPECT_EQ(sheet->num_types(), (*controller)->num_types());
   }
+}
+
+TEST(PolicyArtifactTest, RecordsKernelBackendMetadata) {
+  // Solves that run on the kernel layer record which backend produced the
+  // tables; forcing "scalar" must be visible in the artifact.
+  DeadlineDpSpec deadline = SmallDeadlineSpec();
+  deadline.dp_options.kernel_backend = "scalar";
+  auto artifact = Solve(deadline);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  EXPECT_EQ(artifact->kernel_backend(), "scalar");
+
+  // Unforced solves record whatever the registry picked.
+  auto auto_artifact = Solve(SmallDeadlineSpec());
+  ASSERT_TRUE(auto_artifact.ok());
+  EXPECT_FALSE(auto_artifact->kernel_backend().empty());
+
+  // Unknown backends fail the solve instead of silently falling back.
+  DeadlineDpSpec bad = SmallDeadlineSpec();
+  bad.dp_options.kernel_backend = "warp9";
+  EXPECT_TRUE(Solve(bad).status().IsNotFound());
+
+  MultiTypeSpec multi = SmallMultiTypeSpec();
+  multi.kernel_backend = "scalar";
+  auto multi_artifact = Solve(multi);
+  ASSERT_TRUE(multi_artifact.ok()) << multi_artifact.status();
+  EXPECT_EQ(multi_artifact->kernel_backend(), "scalar");
+
+  // Kinds without a kernel-backed solve report no backend.
+  BudgetStaticSpec budget;
+  budget.num_tasks = 40;
+  budget.budget_cents = 600.0;
+  budget.acceptance = &PaperAcceptance();
+  budget.max_price_cents = 25;
+  auto budget_artifact = Solve(budget);
+  ASSERT_TRUE(budget_artifact.ok()) << budget_artifact.status();
+  EXPECT_EQ(budget_artifact->kernel_backend(), "");
 }
 
 TEST(PolicyArtifactTest, DeserializeRejectsGarbage) {

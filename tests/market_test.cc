@@ -11,6 +11,8 @@
 #include "stats/descriptive.h"
 #include "util/rng.h"
 
+#include "test_util.h"
+
 namespace crowdprice::market {
 namespace {
 
@@ -363,24 +365,24 @@ TEST(RunSimulationTest, EarlyExitDoesNotScanFullHorizon) {
   EXPECT_LT(result.completion_time_hours, 1.0);
 }
 
-// The controller tests drive the DecideSingle migration shim: it must
-// forward to the sheet surface and unwrap the lone offer unchanged.
+// The controller tests consult through the sheet surface (the test_util
+// SingleOffer helper builds the request and unwraps the lone offer).
 TEST(ControllerTest, ScheduleControllerPlaysIntervals) {
   auto ctl =
       ScheduleController::Create({{10.0, 1}, {20.0, 1}, {30.0, 1}}, 2.0)
           .value();
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 5).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 0.0, 5).value().per_task_reward_cents,
                    10.0);
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(1.99, 5).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 1.99, 5).value().per_task_reward_cents,
                    10.0);
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(2.0, 5).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 2.0, 5).value().per_task_reward_cents,
                    20.0);
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(4.5, 5).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 4.5, 5).value().per_task_reward_cents,
                    30.0);
   // Past the schedule end the last offer persists.
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(99.0, 5).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 99.0, 5).value().per_task_reward_cents,
                    30.0);
-  EXPECT_TRUE(ctl.DecideSingle(-1.0, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(test_util::SingleOffer(ctl, -1.0, 5).status().IsInvalidArgument());
   EXPECT_TRUE(ScheduleController::Create({}, 1.0).status().IsInvalidArgument());
   EXPECT_TRUE(
       ScheduleController::Create({{10.0, 1}}, 0.0).status().IsInvalidArgument());
@@ -391,16 +393,16 @@ TEST(ControllerTest, ScheduleControllerPlaysIntervals) {
 TEST(ControllerTest, StaticTierHighestFirst) {
   auto ctl = StaticTierController::Create({{5.0, 3}, {9.0, 2}}).value();
   // 5 tasks total; highest tier (9.0, 2 tasks) first.
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 5).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 0.0, 5).value().per_task_reward_cents,
                    9.0);
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 4).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 0.0, 4).value().per_task_reward_cents,
                    9.0);
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 3).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 0.0, 3).value().per_task_reward_cents,
                    5.0);
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 1).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 0.0, 1).value().per_task_reward_cents,
                    5.0);
-  EXPECT_TRUE(ctl.DecideSingle(0.0, 0).status().IsOutOfRange());
-  EXPECT_TRUE(ctl.DecideSingle(0.0, 6).status().IsOutOfRange());
+  EXPECT_TRUE(test_util::SingleOffer(ctl, 0.0, 0).status().IsOutOfRange());
+  EXPECT_TRUE(test_util::SingleOffer(ctl, 0.0, 6).status().IsOutOfRange());
   EXPECT_TRUE(StaticTierController::Create({}).status().IsInvalidArgument());
   EXPECT_TRUE(
       StaticTierController::Create({{5.0, 0}}).status().IsInvalidArgument());
@@ -444,7 +446,7 @@ TEST(RunSimulationTest, RejectsMultiTypeControllers) {
   EXPECT_TRUE(RunSimulation(BaseConfig(), rate, acceptance, two, rng)
                   .status()
                   .IsInvalidArgument());
-  EXPECT_TRUE(two.DecideSingle(0.0, 5).status().IsFailedPrecondition());
+  EXPECT_TRUE(test_util::SingleOffer(two, 0.0, 5).status().IsFailedPrecondition());
 }
 
 }  // namespace

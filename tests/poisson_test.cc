@@ -153,6 +153,49 @@ TEST(TruncatedPoissonTest, ZeroLambdaSingleEntry) {
   EXPECT_DOUBLE_EQ(tp->tail_mass, 0.0);
 }
 
+TEST(QuantizedRateKeyTest, NearEqualRatesShareABucket) {
+  // The regression this guards: 6100 * p computed along two code paths can
+  // differ in the last ulp, and the cache used to build two full tables.
+  const double rate = 6100.0 * 0.31728394612873;
+  const double wobbled = rate * (1.0 + 1e-15);
+  ASSERT_NE(rate, wobbled);  // genuinely distinct doubles
+  EXPECT_EQ(QuantizedRateKey(rate), QuantizedRateKey(wobbled));
+  EXPECT_EQ(SnapRate(rate), SnapRate(wobbled));
+  // Snapping is idempotent and ulp-scale: relative error far below the
+  // truncation epsilons in use.
+  EXPECT_EQ(SnapRate(SnapRate(rate)), SnapRate(rate));
+  EXPECT_NEAR(SnapRate(rate) / rate, 1.0, 1e-11);
+  // Round constants used throughout the tests are already representable
+  // with clear low mantissa bits; snapping must not move them.
+  for (double exact : {0.0, 1.0, 90.0, 610.0, 6100.0, 0.5, 0.25}) {
+    EXPECT_EQ(SnapRate(exact), exact) << exact;
+  }
+}
+
+TEST(TruncatedPoissonCacheTest, NearEqualRatesShareOneTable) {
+  TruncatedPoissonCache cache(1e-9);
+  const double rate = 6100.0 * 0.31728394612873;
+  auto a = cache.Get(rate);
+  ASSERT_TRUE(a.ok());
+  auto b = cache.Get(rate * (1.0 + 1e-15));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // literally the same table
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+  // A genuinely different rate still gets its own table.
+  auto c = cache.Get(rate * 1.5);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*a, *c);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(TruncatedPoissonCacheTest, RejectsInvalidRates) {
+  TruncatedPoissonCache cache(1e-9);
+  EXPECT_TRUE(cache.Get(-1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(cache.Get(std::nan("")).status().IsInvalidArgument());
+}
+
 class PoissonSamplerTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(PoissonSamplerTest, MomentsMatch) {

@@ -10,6 +10,8 @@
 #include "stats/descriptive.h"
 #include "util/rng.h"
 
+#include "test_util.h"
+
 namespace crowdprice::market {
 namespace {
 
@@ -30,11 +32,11 @@ TEST(SemiStaticControllerTest, Validation) {
 TEST(SemiStaticControllerTest, WalksSequenceByCompletionCount) {
   auto ctl = SemiStaticController::Create({5.0, 9.0, 2.0}).value();
   // 3 tasks total; the k-th pickup (0-based completed count) gets prices_[k].
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(0.0, 3).value().per_task_reward_cents, 5.0);
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(1.0, 2).value().per_task_reward_cents, 9.0);
-  EXPECT_DOUBLE_EQ(ctl.DecideSingle(2.0, 1).value().per_task_reward_cents, 2.0);
-  EXPECT_TRUE(ctl.DecideSingle(0.0, 0).status().IsOutOfRange());
-  EXPECT_TRUE(ctl.DecideSingle(0.0, 4).status().IsOutOfRange());
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 0.0, 3).value().per_task_reward_cents, 5.0);
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 1.0, 2).value().per_task_reward_cents, 9.0);
+  EXPECT_DOUBLE_EQ(test_util::SingleOffer(ctl, 2.0, 1).value().per_task_reward_cents, 2.0);
+  EXPECT_TRUE(test_util::SingleOffer(ctl, 0.0, 0).status().IsOutOfRange());
+  EXPECT_TRUE(test_util::SingleOffer(ctl, 0.0, 4).status().IsOutOfRange());
 }
 
 // Theorem 5 by simulation: E[W] = sum 1/p(c_i), invariant under permutation

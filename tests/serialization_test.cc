@@ -8,6 +8,8 @@
 #include "pricing/policy_eval.h"
 #include "util/rng.h"
 
+#include "test_util.h"
+
 namespace crowdprice::pricing {
 namespace {
 
@@ -239,8 +241,8 @@ TEST(SerializationTest, AdaptiveArtifactCheckpointsItsBelief) {
   // the same decision as one from the original artifact.
   auto a = artifact.MakeAdaptiveController().value();
   auto b = restored->MakeAdaptiveController().value();
-  const auto offer_a = a.DecideSingle(0.0, 18).value();
-  const auto offer_b = b.DecideSingle(0.0, 18).value();
+  const auto offer_a = test_util::SingleOffer(a, 0.0, 18).value();
+  const auto offer_b = test_util::SingleOffer(b, 0.0, 18).value();
   EXPECT_DOUBLE_EQ(offer_a.per_task_reward_cents,
                    offer_b.per_task_reward_cents);
   EXPECT_EQ(offer_a.group_size, offer_b.group_size);

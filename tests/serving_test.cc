@@ -16,6 +16,8 @@
 #include "engine/engine.h"
 #include "market/controller.h"
 
+#include "test_util.h"
+
 namespace crowdprice::serving {
 namespace {
 
@@ -45,6 +47,17 @@ CampaignLimits SmallLimits() {
 std::unique_ptr<market::PricingController> FixedController(double cents) {
   return std::make_unique<market::FixedOfferController>(
       market::Offer{cents, 1});
+}
+
+// Single-type lookup through the sheet surface: the request/offers[0]
+// spelling the removed single-offer shim forwarded to.
+Result<market::Offer> MapOffer(CampaignShardMap& map, CampaignId id,
+                               double now_hours, int64_t remaining_tasks) {
+  CP_ASSIGN_OR_RETURN(
+      market::OfferSheet sheet,
+      map.Decide(id, market::DecisionRequest::Single(now_hours,
+                                                     remaining_tasks)));
+  return sheet.offers[0];
 }
 
 TEST(CampaignLimitsTest, Validation) {
@@ -79,22 +92,21 @@ TEST(CampaignShardMapTest, AdmitAndDecideServesArtifactPolicy) {
 
   for (double now : {0.0, 3.0, 11.0}) {
     for (int64_t remaining : {25, 12, 1}) {
-      // The sheet surface and the DecideSingle shim agree with the
-      // reference controller.
+      // The sheet surface agrees with the reference controller.
       const market::OfferSheet sheet =
           map.Decide(id, market::DecisionRequest::Single(now, remaining))
               .value();
       ASSERT_EQ(sheet.num_types(), 1);
-      const market::Offer got = map.DecideSingle(id, now, remaining).value();
+      const market::Offer got = MapOffer(map, id, now, remaining).value();
       const market::Offer want =
-          reference->DecideSingle(now, remaining).value();
+          test_util::SingleOffer(*reference, now, remaining).value();
       EXPECT_EQ(got.per_task_reward_cents, want.per_task_reward_cents);
       EXPECT_EQ(got.group_size, want.group_size);
       EXPECT_EQ(sheet.offers[0].per_task_reward_cents,
                 want.per_task_reward_cents);
     }
   }
-  EXPECT_TRUE(map.DecideSingle(id + 999, 0.0, 5).status().IsNotFound());
+  EXPECT_TRUE(MapOffer(map, id + 999, 0.0, 5).status().IsNotFound());
 }
 
 TEST(CampaignShardMapTest, TickRetiresOnCompletionAndDeadline) {
@@ -111,7 +123,7 @@ TEST(CampaignShardMapTest, TickRetiresOnCompletionAndDeadline) {
   EXPECT_EQ(map.Tick(done_id, 5.0, 0).value(),
             CampaignState::kRetiredCompleted);
   EXPECT_FALSE(map.Contains(done_id));
-  EXPECT_TRUE(map.DecideSingle(done_id, 5.0, 1).status().IsNotFound());
+  EXPECT_TRUE(MapOffer(map, done_id, 5.0, 1).status().IsNotFound());
   EXPECT_TRUE(map.Tick(done_id, 5.0, 0).status().IsNotFound());
 
   // The deadline passes with work left -> retired deadline.
@@ -260,7 +272,7 @@ TEST(CampaignShardMapTest, SwapArtifactChangesDecisionsAtTheBoundary) {
                             .value();
 
   // Mid-campaign: the live policy answers; record a pre-swap decision.
-  const market::Offer before = map.DecideSingle(id, 3.0, 20).value();
+  const market::Offer before = MapOffer(map, id, 3.0, 20).value();
 
   // Hot-swap to an unmistakably different policy (a solved fixed-price
   // artifact would also do; a distinctive fixed reward makes the boundary
@@ -271,7 +283,7 @@ TEST(CampaignShardMapTest, SwapArtifactChangesDecisionsAtTheBoundary) {
   ASSERT_TRUE(swapped.ok()) << swapped;
 
   // Decisions change exactly at the swap boundary...
-  const market::Offer after = map.DecideSingle(id, 3.0, 20).value();
+  const market::Offer after = MapOffer(map, id, 3.0, 20).value();
   EXPECT_DOUBLE_EQ(after.per_task_reward_cents, 77.0);
   EXPECT_NE(after.per_task_reward_cents, before.per_task_reward_cents);
 
@@ -300,7 +312,7 @@ TEST(CampaignShardMapTest, SwapArtifactRejectsNullAndKeepsOldPolicyOnError) {
       map.AdmitController(FixedController(10.0), SmallLimits()).value();
   EXPECT_TRUE(map.SwapArtifactShared(id, nullptr).IsInvalidArgument());
   // The campaign still serves its original policy.
-  EXPECT_DOUBLE_EQ(map.DecideSingle(id, 0.0, 5).value().per_task_reward_cents,
+  EXPECT_DOUBLE_EQ(MapOffer(map, id, 0.0, 5).value().per_task_reward_cents,
                    10.0);
   EXPECT_EQ(map.TotalStats().swapped, 0u);
 }
@@ -345,7 +357,7 @@ TEST(CampaignShardMapTest, MultiTypeArtifactServesSheets) {
   EXPECT_DOUBLE_EQ(responses[0].sheet.offers[1].per_task_reward_cents,
                    prices.second);
   // The single-type shim reports the mismatch instead of guessing a type.
-  EXPECT_FALSE(map.DecideSingle(id, 0.0, 5).ok());
+  EXPECT_FALSE(MapOffer(map, id, 0.0, 5).ok());
 }
 
 // Swaps race batched serving and ticking from several threads; the TSan CI
@@ -406,7 +418,7 @@ TEST(CampaignShardMapStressTest, SwapArtifactUnderConcurrentServing) {
   EXPECT_EQ(map.live_campaigns(), static_cast<size_t>(kCampaigns));
   // After the dust settles every campaign serves the last-swapped policy.
   for (CampaignId id : ids) {
-    const market::Offer offer = map.DecideSingle(id, 2.0, 12).value();
+    const market::Offer offer = MapOffer(map, id, 2.0, 12).value();
     EXPECT_GE(offer.per_task_reward_cents, 20.0);
     EXPECT_LE(offer.per_task_reward_cents, 29.0);
   }

@@ -1,0 +1,36 @@
+// Shared helpers for the test suites.
+
+#ifndef CROWDPRICE_TESTS_TEST_UTIL_H_
+#define CROWDPRICE_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "market/controller.h"
+#include "market/types.h"
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace crowdprice::test_util {
+
+/// Consults a controller with a single-type request and unwraps the
+/// 1-offer sheet -- the sheet-surface spelling of the removed legacy
+/// Decide(now, remaining). Errors FailedPrecondition when the controller
+/// posts more than one offer.
+inline Result<market::Offer> SingleOffer(market::PricingController& controller,
+                                         double now_hours,
+                                         int64_t remaining_tasks) {
+  CP_ASSIGN_OR_RETURN(
+      market::OfferSheet sheet,
+      controller.Decide(market::DecisionRequest::Single(now_hours,
+                                                        remaining_tasks)));
+  if (sheet.num_types() != 1) {
+    return Status::FailedPrecondition(
+        "controller posts a multi-offer sheet; SingleOffer serves "
+        "single-type policies only");
+  }
+  return sheet.offers[0];
+}
+
+}  // namespace crowdprice::test_util
+
+#endif  // CROWDPRICE_TESTS_TEST_UTIL_H_

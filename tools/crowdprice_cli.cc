@@ -73,8 +73,11 @@ int Usage() {
       "      [--penalty1 P] [--penalty2 P] [--replicates R] [--seed K]\n"
       "      [--out plan.txt]\n"
       "  crowdprice_cli solvers\n"
+      "  crowdprice_cli kernels\n"
       "common acceptance overrides: --accept-s --accept-b --accept-m\n"
-      "joint (multitype) overrides: --s1 --b1 --s2 --b2 --m\n";
+      "joint (multitype) overrides: --s1 --b1 --s2 --b2 --m\n"
+      "kernel backend override (deadline/fleet/multitype): --kernel NAME\n"
+      "  (also via CROWDPRICE_KERNEL; `kernels` lists what is available)\n";
   return 1;
 }
 
@@ -130,6 +133,7 @@ int RunDeadline(const Args& args) {
   spec.interval_lambdas.assign(static_cast<size_t>(intervals),
                                rate * hours / intervals);
   spec.actions = std::move(actions).value();
+  spec.dp_options.kernel_backend = args.Str("kernel", "");
   if (args.Has("penalty")) {
     spec.problem.penalty_cents = args.Num("penalty", 0.0);
   } else {
@@ -310,6 +314,7 @@ int RunFleet(const Args& args) {
   spec.interval_lambdas.assign(static_cast<size_t>(intervals),
                                rate_per_hour * hours / intervals);
   spec.actions = std::move(actions).value();
+  spec.dp_options.kernel_backend = args.Str("kernel", "");
   spec.expected_remaining_bound = args.Num("bound", 0.5);
   auto artifact = engine::Solve(spec);
   if (!artifact.ok()) {
@@ -412,6 +417,7 @@ int RunMultiType(const Args& args) {
   spec.problem.max_price_cents =
       static_cast<int>(args.Num("max-price", 30));
   spec.problem.price_stride = static_cast<int>(args.Num("stride", 2));
+  spec.kernel_backend = args.Str("kernel", "");
   spec.interval_lambdas.assign(static_cast<size_t>(intervals),
                                rate_per_hour * hours / intervals);
 
@@ -508,6 +514,20 @@ int RunSolvers() {
   return 0;
 }
 
+int RunKernels() {
+  const auto& registry = kernel::KernelRegistry::Global();
+  auto selected = registry.Resolve("");
+  std::cout << "kernel backends (ascending preference):\n";
+  for (const std::string& name : registry.Available()) {
+    const bool is_default =
+        selected.ok() && name == (*selected)->name();
+    std::cout << "  " << name << (is_default ? "  [default]" : "") << "\n";
+  }
+  std::cout << "force per solve with --kernel NAME or the CROWDPRICE_KERNEL "
+               "environment variable.\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -522,6 +542,7 @@ int main(int argc, char** argv) {
   if (args->command == "fleet") return RunFleet(*args);
   if (args->command == "multitype") return RunMultiType(*args);
   if (args->command == "solvers") return RunSolvers();
+  if (args->command == "kernels") return RunKernels();
   std::cerr << "unknown command '" << args->command << "'\n";
   return Usage();
 }
