@@ -1,17 +1,23 @@
-// Fleet serving: many concurrent campaigns on the sharded serving layer.
+// Fleet serving: many concurrent campaigns on the sharded serving layer,
+// with streaming admission while the marketplace runs.
 //
 // The single-campaign flow (see quickstart.cc) solves one policy and plays
-// one simulated campaign. A marketplace runs *many* batches at once, so
-// this example:
+// one simulated campaign. A marketplace runs *many* batches at once -- and
+// keeps accepting new ones while others are mid-flight -- so this example:
 //   1. solves two deadline policies (a tight 6-hour batch and a relaxed
 //      12-hour batch);
-//   2. admits 120 campaigns -- alternating between the two policies --
-//      into a serving::CampaignShardMap via market::FleetSimulator;
-//   3. answers a batched price lookup across every live campaign with one
+//   2. admits 60 campaigns up-front into a serving::CampaignShardMap via
+//      market::FleetSimulator, and schedules 60 more to arrive at random
+//      bucket edges over the first four hours (streaming admission: each
+//      enters the live map while earlier campaigns are being ticked);
+//   3. answers a batched price lookup across the initial wave with one
 //      CampaignShardMap::DecideBatch pass;
-//   4. plays the whole fleet against one shared arrival stream and reads
-//      the per-shard serving stats the layer kept while campaigns
-//      completed or hit their deadlines.
+//   4. schedules two mid-life events -- a hot artifact swap (a relaxed
+//      campaign re-pinned to the tight policy two hours into its life)
+//      and an explicit retirement (a campaign pulled mid-run);
+//   5. plays the open marketplace and reads the per-shard churn stats the
+//      layer kept while campaigns arrived, completed, expired or were
+//      pulled.
 //
 // Build: cmake --build build --target fleet_serving
 // Run:   ./build/examples/fleet_serving
@@ -64,8 +70,10 @@ int main() {
 
   // ---------------------------------------------------------------- 2.
   // Half the fleet plays each policy; the solved tables are shared, so
-  // 120 campaigns cost two artifacts, not 120.
-  constexpr int kCampaigns = 120;
+  // 120 campaigns cost two artifacts, not 120. The first 60 are admitted
+  // before the run; the other 60 arrive while it is in flight.
+  constexpr int kUpfront = 60;
+  constexpr int kStreaming = 60;
   constexpr int kShards = 8;
   auto fleet = market::FleetSimulator::Create(kShards);
   if (!fleet.ok()) {
@@ -76,28 +84,51 @@ int main() {
       std::make_shared<const engine::PolicyArtifact>(std::move(*tight));
   auto relaxed_shared =
       std::make_shared<const engine::PolicyArtifact>(std::move(*relaxed));
-  Rng master(2026);
-  std::vector<serving::CampaignId> ids;
-  for (int i = 0; i < kCampaigns; ++i) {
-    const bool is_tight = i % 2 == 0;
+  auto config_for = [](bool is_tight) {
     market::SimulatorConfig config;
     config.total_tasks = 60;
     config.horizon_hours = is_tight ? 6.0 : 12.0;
     config.decision_interval_hours = 1.0 / 3.0;
     config.service_minutes_per_task = 2.0;
+    return config;
+  };
+  Rng master(2026);
+  std::vector<serving::CampaignId> ids;
+  for (int i = 0; i < kUpfront; ++i) {
+    const bool is_tight = i % 2 == 0;
     auto id = fleet->AdmitShared(is_tight ? tight_shared : relaxed_shared,
-                                 config, acceptance, master.Fork());
+                                 config_for(is_tight), acceptance,
+                                 master.Fork());
     if (!id.ok()) {
       std::cerr << id.status() << "\n";
       return 1;
     }
     ids.push_back(*id);
   }
-  std::cout << StringF("admitted %d campaigns across %d shards\n", kCampaigns,
-                       kShards);
+  market::ArrivalSchedule schedule;
+  std::vector<double> admit_at(kStreaming);
+  for (int i = 0; i < kStreaming; ++i) {
+    const bool is_tight = i % 2 == 0;
+    // Random bucket edges over the first 4 hours (the rate's buckets are
+    // 2 h wide, so edges 0, 2 and 4).
+    admit_at[i] = market::RandomBucketEdge(master, 4.0,
+                                           rate->bucket_width_hours());
+    auto entry = schedule.AdmitShared(admit_at[i],
+                                      is_tight ? tight_shared : relaxed_shared,
+                                      config_for(is_tight), acceptance,
+                                      master.Fork());
+    if (!entry.ok()) {
+      std::cerr << entry.status() << "\n";
+      return 1;
+    }
+  }
+  std::cout << StringF(
+      "admitted %d campaigns up-front, %d scheduled to arrive by hour 4, "
+      "across %d shards\n",
+      kUpfront, kStreaming, kShards);
 
   // ---------------------------------------------------------------- 3.
-  // A serving-plane moment: one batched pass prices every live campaign.
+  // A serving-plane moment: one batched pass prices the initial wave.
   std::vector<serving::DecideRequest> requests;
   for (size_t i = 0; i < ids.size(); ++i) {
     requests.push_back(serving::DecideRequest::Single(ids[i], 1.0, 45));
@@ -120,7 +151,24 @@ int main() {
       min_offer, max_offer);
 
   // ---------------------------------------------------------------- 4.
-  auto outcomes = fleet->Run(*rate);
+  // Mid-life events on the streaming wave: entry 1 -- a *relaxed*
+  // campaign (odd entries) -- gets re-pinned to the tight policy two
+  // hours into its life (hot swap under traffic: its remaining tasks are
+  // priced urgently from then on), and entry 2 is pulled from the
+  // marketplace two hours into its own.
+  if (auto status =
+          schedule.SwapArtifactAt(1, admit_at[1] + 2.0, tight_shared);
+      !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  if (auto status = schedule.RetireAt(2, admit_at[2] + 2.0); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+
+  // ---------------------------------------------------------------- 5.
+  auto outcomes = fleet->RunStreaming(*rate, std::move(schedule));
   if (!outcomes.ok()) {
     std::cerr << outcomes.status() << "\n";
     return 1;
@@ -131,17 +179,28 @@ int main() {
     if (outcome.result.finished) ++finished;
     paid += outcome.result.total_cost_cents;
   }
-  std::cout << StringF("fleet done: %d / %d campaigns finished, %.0f cents paid\n",
-                       finished, kCampaigns, paid);
+  const market::StreamingStats& stream = fleet->streaming_stats();
+  std::cout << StringF(
+      "fleet done: %d / %d campaigns finished, %.0f cents paid\n", finished,
+      kUpfront + kStreaming, paid);
+  std::cout << StringF(
+      "streaming: %llu mid-run admissions (%.4f ms mean under traffic), "
+      "%llu swap, %llu pulled\n",
+      (unsigned long long)stream.admitted, stream.admit_mean_ms,
+      (unsigned long long)stream.swapped,
+      (unsigned long long)stream.retired_by_event);
 
-  Table stats({"shard", "admitted", "decides", "completed", "deadline"});
+  Table stats({"shard", "admitted", "decides", "completed", "deadline",
+               "pulled", "peak live"});
   for (int s = 0; s < map.num_shards(); ++s) {
     const serving::ShardStats shard = map.shard_stats(s);
     (void)stats.AddRow({StringF("%d", s),
                         StringF("%llu", (unsigned long long)shard.admitted),
                         StringF("%llu", (unsigned long long)shard.decides),
                         StringF("%llu", (unsigned long long)shard.retired_completed),
-                        StringF("%llu", (unsigned long long)shard.retired_deadline)});
+                        StringF("%llu", (unsigned long long)shard.retired_deadline),
+                        StringF("%llu", (unsigned long long)shard.retired_explicit),
+                        StringF("%lld", (long long)shard.peak_live)});
   }
   stats.Print(std::cout);
   std::cout << "\nall campaigns retired; serving layer is empty: "

@@ -27,15 +27,17 @@ Status ValidateOffer(const Offer& offer) {
   return Status::OK();
 }
 
-// One controller consultation on the new decision surface: a single-type
-// DecisionRequest answered by a sheet whose lone offer is unwrapped and
-// validated. The session is a single-type campaign, so a wider sheet is a
-// controller bug.
+// One controller consultation on the decision surface: a single-type
+// DecisionRequest (marketplace wall clock + campaign-local clock) answered
+// by a sheet whose lone offer is unwrapped and validated. The session is a
+// single-type campaign, so a wider sheet is a controller bug.
 Result<Offer> DecideOffer(PricingController& controller, double when_hours,
-                          int64_t remaining) {
-  CP_ASSIGN_OR_RETURN(
-      OfferSheet sheet,
-      controller.Decide(DecisionRequest::Single(when_hours, remaining)));
+                          double origin_hours, int64_t remaining) {
+  DecisionRequest request;
+  request.now_hours = when_hours;
+  request.campaign_hours = when_hours - origin_hours;
+  request.remaining.push_back(remaining);
+  CP_ASSIGN_OR_RETURN(OfferSheet sheet, controller.Decide(request));
   if (sheet.num_types() != 1) {
     return Status::InvalidArgument(
         StringF("single-type campaign got a %d-offer sheet",
@@ -45,31 +47,82 @@ Result<Offer> DecideOffer(PricingController& controller, double when_hours,
   return sheet.offers[0];
 }
 
+Status ValidateStart(double start_hours, const char* what) {
+  if (!(start_hours >= 0.0) || !std::isfinite(start_hours)) {
+    return Status::InvalidArgument(
+        StringF("%s must be finite and >= 0; got %g", what, start_hours));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 CampaignSession::CampaignSession(const SimulatorConfig& config,
                                  const arrival::PiecewiseConstantRate& rate,
                                  const choice::AcceptanceFunction& acceptance,
-                                 PricingController& controller, Rng rng)
+                                 PricingController& controller, Rng rng,
+                                 double origin_hours, double clock_hours)
     : config_(config),
       rate_(&rate),
       acceptance_(&acceptance),
       controller_(&controller),
       rng_(rng),
-      remaining_(config.total_tasks) {}
+      remaining_(config.total_tasks),
+      origin_hours_(origin_hours),
+      end_hours_(origin_hours + config.horizon_hours),
+      clock_hours_(clock_hours),
+      next_epoch_(origin_hours) {}
 
 Result<CampaignSession> CampaignSession::Create(
     const SimulatorConfig& config, const arrival::PiecewiseConstantRate& rate,
     const choice::AcceptanceFunction& acceptance, PricingController& controller,
     Rng rng) {
+  return CreateAt(config, rate, acceptance, controller, rng, 0.0);
+}
+
+Result<CampaignSession> CampaignSession::CreateAt(
+    const SimulatorConfig& config, const arrival::PiecewiseConstantRate& rate,
+    const choice::AcceptanceFunction& acceptance, PricingController& controller,
+    Rng rng, double start_hours) {
   CP_RETURN_IF_ERROR(config.Validate());
+  CP_RETURN_IF_ERROR(ValidateStart(start_hours, "start_hours"));
   if (controller.num_types() != 1) {
     return Status::InvalidArgument(
         StringF("CampaignSession plays single-type campaigns; the "
                 "controller prices %d types (use RunMultiTypeSimulation)",
                 controller.num_types()));
   }
-  return CampaignSession(config, rate, acceptance, controller, rng);
+  return CampaignSession(config, rate, acceptance, controller, rng,
+                         start_hours, start_hours);
+}
+
+Result<CampaignSession> CampaignSession::Resume(
+    const SimulatorConfig& config, const arrival::PiecewiseConstantRate& rate,
+    const choice::AcceptanceFunction& acceptance, PricingController& controller,
+    Rng rng, double resume_hours) {
+  CP_RETURN_IF_ERROR(config.Validate());
+  CP_RETURN_IF_ERROR(ValidateStart(resume_hours, "resume_hours"));
+  if (resume_hours > config.horizon_hours) {
+    return Status::InvalidArgument(
+        StringF("resume_hours %g is past the horizon %g", resume_hours,
+                config.horizon_hours));
+  }
+  if (controller.num_types() != 1) {
+    return Status::InvalidArgument(
+        StringF("CampaignSession plays single-type campaigns; the "
+                "controller prices %d types (use RunMultiTypeSimulation)",
+                controller.num_types()));
+  }
+  CampaignSession session(config, rate, acceptance, controller, rng,
+                          /*origin_hours=*/0.0, resume_hours);
+  // Pick up on the original 0, d, 2d, ... epoch grid at the last epoch at
+  // or before the resume point (the one whose offer is in force there):
+  // the first arrival consults once, instead of replaying every epoch
+  // since t = 0 against the restarted controller.
+  session.next_epoch_ =
+      std::floor(resume_hours / config.decision_interval_hours) *
+      config.decision_interval_hours;
+  return session;
 }
 
 Status CampaignSession::AdvanceUntil(double until_hours) {
@@ -81,7 +134,7 @@ Status CampaignSession::AdvanceUntil(double until_hours) {
   while (!done()) {
     const double next_edge =
         (std::floor(clock_hours_ / bucket + 1e-12) + 1.0) * bucket;
-    const double seg_end = std::min(next_edge, config_.horizon_hours);
+    const double seg_end = std::min(next_edge, end_hours_);
     if (seg_end > until_hours) break;
     if (seg_end <= clock_hours_) {
       return Status::NumericError("arrival bucket walk made no progress");
@@ -89,6 +142,16 @@ Status CampaignSession::AdvanceUntil(double until_hours) {
     CP_RETURN_IF_ERROR(ProcessBucket(clock_hours_, seg_end));
     clock_hours_ = seg_end;
   }
+  return Status::OK();
+}
+
+Status CampaignSession::Curtail(double at_hours) {
+  if (!(at_hours >= clock_hours_)) {
+    return Status::InvalidArgument(
+        StringF("Curtail(%g) is before the session clock %g", at_hours,
+                clock_hours_));
+  }
+  end_hours_ = std::min(end_hours_, at_hours);
   return Status::OK();
 }
 
@@ -108,14 +171,16 @@ Status CampaignSession::ProcessBucket(double seg_start, double seg_end) {
     // Refresh the offer at every decision epoch boundary crossed so far.
     while (next_epoch_ <= t) {
       ++decides_;
-      CP_ASSIGN_OR_RETURN(offer_,
-                          DecideOffer(*controller_, next_epoch_, remaining_));
+      CP_ASSIGN_OR_RETURN(
+          offer_,
+          DecideOffer(*controller_, next_epoch_, origin_hours_, remaining_));
       offer_valid_ = true;
       next_epoch_ += config_.decision_interval_hours;
     }
     if (config_.decide_on_every_assignment || !offer_valid_) {
       ++decides_;
-      CP_ASSIGN_OR_RETURN(offer_, DecideOffer(*controller_, t, remaining_));
+      CP_ASSIGN_OR_RETURN(
+          offer_, DecideOffer(*controller_, t, origin_hours_, remaining_));
       offer_valid_ = true;
     }
 
@@ -140,7 +205,8 @@ Status CampaignSession::ProcessBucket(double seg_start, double seg_end) {
     while (remaining_ > 0) {
       if (config_.decide_on_every_assignment) {
         ++decides_;
-        CP_ASSIGN_OR_RETURN(active, DecideOffer(*controller_, now, remaining_));
+        CP_ASSIGN_OR_RETURN(
+            active, DecideOffer(*controller_, now, origin_hours_, remaining_));
       }
       const int take =
           static_cast<int>(std::min<int64_t>(active.group_size, remaining_));
@@ -165,7 +231,7 @@ Status CampaignSession::ProcessBucket(double seg_start, double seg_end) {
       }
       now = done_at;
       // Quit the session at the horizon or by the retention coin flip.
-      if (now >= config_.horizon_hours) break;
+      if (now >= end_hours_) break;
       if (!rng_.Bernoulli(
               config_.retention.ProbabilityAt(active.per_task_reward_cents))) {
         break;
@@ -183,14 +249,14 @@ Result<SimulationResult> CampaignSession::TakeResult() && {
   }
   SimulationResult result = std::move(result_);
   for (const auto& ev : result.events) {
-    if (ev.time_hours <= config_.horizon_hours) {
+    if (ev.time_hours <= end_hours_) {
       result.tasks_completed_by_horizon += ev.tasks;
     }
   }
   result.tasks_unassigned = config_.total_tasks - result.tasks_assigned;
   result.finished = result.tasks_assigned == config_.total_tasks;
   result.completion_time_hours =
-      result.finished ? last_completion_ : config_.horizon_hours;
+      result.finished ? last_completion_ : end_hours_;
   return result;
 }
 

@@ -43,14 +43,16 @@ Status SimulatorConfig::Validate() const {
 Result<SimulationResult> RunSimulation(
     const SimulatorConfig& config, const arrival::PiecewiseConstantRate& rate,
     const choice::AcceptanceFunction& acceptance, PricingController& controller,
-    Rng& rng) {
+    Rng& rng, double start_hours) {
   // One campaign is a session advanced to its horizon in a single slice;
   // the fleet simulator advances the same session type on a shared clock,
-  // which is why its outcomes are bit-identical to this function's.
-  CP_ASSIGN_OR_RETURN(
-      CampaignSession session,
-      CampaignSession::Create(config, rate, acceptance, controller, rng));
-  CP_RETURN_IF_ERROR(session.AdvanceUntil(config.horizon_hours));
+  // which is why its outcomes are bit-identical to this function's --
+  // including campaigns admitted mid-run, which compare to a serial run
+  // with the same start_hours.
+  CP_ASSIGN_OR_RETURN(CampaignSession session,
+                      CampaignSession::CreateAt(config, rate, acceptance,
+                                                controller, rng, start_hours));
+  CP_RETURN_IF_ERROR(session.AdvanceUntil(session.end_hours()));
   rng = session.rng();
   return std::move(session).TakeResult();
 }

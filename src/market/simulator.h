@@ -76,10 +76,16 @@ struct SimulatorConfig {
 /// Runs one campaign. The rate and acceptance function describe the *true*
 /// marketplace; any mis-estimation experiment plans with one model and
 /// simulates with another. Deterministic given the Rng stream.
+///
+/// `start_hours` is the marketplace wall-clock time the campaign is
+/// admitted (default 0): arrivals are drawn from the shared rate function
+/// from that point on, the horizon ends at start + config.horizon_hours,
+/// and all reported times are wall-clock. A streaming fleet campaign
+/// admitted at t0 is bit-identical to RunSimulation(..., t0).
 Result<SimulationResult> RunSimulation(
     const SimulatorConfig& config, const arrival::PiecewiseConstantRate& rate,
     const choice::AcceptanceFunction& acceptance, PricingController& controller,
-    Rng& rng);
+    Rng& rng, double start_hours = 0.0);
 
 /// Convenience: runs `replicates` campaigns with independent Rng forks and
 /// a fresh controller from `controller_factory` each time.

@@ -1,5 +1,6 @@
 #include "serving/campaign_shard_map.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <mutex>
@@ -24,6 +25,17 @@ struct Campaign {
   CampaignLimits limits;
 };
 
+/// Rebases a serving-plane request onto the campaign's own clock:
+/// `now_hours` is the marketplace wall clock, the campaign clock is time
+/// since admission (clamped at 0 against skewed callers).
+market::DecisionRequest OnCampaignClock(const market::DecisionRequest& request,
+                                        const CampaignLimits& limits) {
+  market::DecisionRequest rebased = request;
+  rebased.campaign_hours =
+      std::max(0.0, request.now_hours - limits.admit_hours);
+  return rebased;
+}
+
 }  // namespace
 
 Status CampaignLimits::Validate() const {
@@ -36,6 +48,10 @@ Status CampaignLimits::Validate() const {
     return Status::InvalidArgument(
         StringF("limits.deadline_hours must be > 0; got %g", deadline_hours));
   }
+  if (!(admit_hours >= 0.0) || !std::isfinite(admit_hours)) {
+    return Status::InvalidArgument(
+        StringF("limits.admit_hours must be >= 0; got %g", admit_hours));
+  }
   return Status::OK();
 }
 
@@ -47,6 +63,8 @@ const char* CampaignStateName(CampaignState state) {
       return "completed";
     case CampaignState::kRetiredDeadline:
       return "deadline";
+    case CampaignState::kRetiredExplicit:
+      return "retired";
   }
   return "unknown";
 }
@@ -123,6 +141,7 @@ Result<CampaignId> CampaignShardMap::AdmitShared(
   shard.campaigns.emplace(id, std::move(campaign));
   ++shard.stats.admitted;
   ++shard.stats.live;
+  shard.stats.peak_live = std::max(shard.stats.peak_live, shard.stats.live);
   return id;
 }
 
@@ -143,6 +162,7 @@ Result<CampaignId> CampaignShardMap::AdmitController(
   shard.campaigns.emplace(id, std::move(campaign));
   ++shard.stats.admitted;
   ++shard.stats.live;
+  shard.stats.peak_live = std::max(shard.stats.peak_live, shard.stats.live);
   return id;
 }
 
@@ -161,7 +181,8 @@ Result<CampaignState> CampaignShardMap::Tick(CampaignId id, double now_hours,
     --shard.stats.live;
     return CampaignState::kRetiredCompleted;
   }
-  if (now_hours >= it->second.limits.deadline_hours) {
+  if (now_hours >=
+      it->second.limits.admit_hours + it->second.limits.deadline_hours) {
     shard.campaigns.erase(it);
     ++shard.stats.retired_deadline;
     --shard.stats.live;
@@ -225,7 +246,8 @@ Result<market::OfferSheet> CampaignShardMap::Decide(
         "campaign %llu is not live", static_cast<unsigned long long>(id)));
   }
   ++shard.stats.decides;
-  return it->second.controller->Decide(request);
+  return it->second.controller->Decide(
+      OnCampaignClock(request, it->second.limits));
 }
 
 std::vector<DecideResponse> CampaignShardMap::DecideBatch(
@@ -262,8 +284,8 @@ std::vector<DecideResponse> CampaignShardMap::DecideBatch(
       }
       ++shard.stats.decides;
       ++shard.stats.batch_requests;
-      Result<market::OfferSheet> sheet =
-          it->second.controller->Decide(request.request);
+      Result<market::OfferSheet> sheet = it->second.controller->Decide(
+          OnCampaignClock(request.request, it->second.limits));
       if (sheet.ok()) {
         response.sheet = std::move(sheet).value();
       } else {
@@ -314,6 +336,9 @@ ShardStats CampaignShardMap::TotalStats() const {
     total.retired_deadline += stats.retired_deadline;
     total.retired_explicit += stats.retired_explicit;
     total.live += stats.live;
+    // Shard peaks need not be simultaneous; the sum is an upper bound on
+    // the map-wide peak, which is what capacity sizing needs.
+    total.peak_live += stats.peak_live;
   }
   return total;
 }
@@ -333,6 +358,20 @@ Result<market::PricingController*> CampaignShardMap::BorrowController(
 void CampaignShardMap::ParallelOverShards(const std::function<void(int)>& fn) {
   impl_->pool.ParallelFor(impl_->num_shards, [&](int64_t shard_index) {
     fn(static_cast<int>(shard_index));
+  });
+}
+
+void CampaignShardMap::ParallelOverShardsWith(
+    const std::function<void(int)>& fn, const std::function<void()>& extra) {
+  // The extra lane rides the same region as index num_shards; the pool
+  // load-balances, so it overlaps whichever shard passes are still
+  // running.
+  impl_->pool.ParallelFor(impl_->num_shards + 1, [&](int64_t index) {
+    if (index < impl_->num_shards) {
+      fn(static_cast<int>(index));
+    } else {
+      extra();
+    }
   });
 }
 

@@ -47,9 +47,15 @@ using CampaignId = uint64_t;
 struct CampaignLimits {
   /// Tasks in the batch; the campaign retires once a Tick reports 0 left.
   int64_t total_tasks = 0;
-  /// Wall-clock deadline; the campaign retires once a Tick reaches it.
-  /// Also the horizon handed to PolicyArtifact::MakeController.
+  /// Campaign duration: the horizon handed to
+  /// PolicyArtifact::MakeController, measured on the campaign's own clock.
+  /// The campaign retires once a Tick reaches the wall-clock deadline
+  /// admit_hours + deadline_hours.
   double deadline_hours = 0.0;
+  /// Marketplace wall-clock time the campaign was admitted. Campaigns
+  /// admitted at time 0 (the pre-streaming convention) keep Tick's
+  /// wall-clock and campaign-clock deadlines equal.
+  double admit_hours = 0.0;
 
   Status Validate() const;
 };
@@ -58,6 +64,7 @@ enum class CampaignState {
   kLive = 0,
   kRetiredCompleted = 1,  ///< Batch fully assigned.
   kRetiredDeadline = 2,   ///< Deadline passed with tasks left.
+  kRetiredExplicit = 3,   ///< Removed by Retire (operator/event retirement).
 };
 
 /// One lookup in a DecideBatch call: which campaign, and the
@@ -85,6 +92,9 @@ struct DecideResponse {
 };
 
 /// Monotone per-shard counters plus the current live-campaign gauge.
+/// Churn invariant (any quiescent moment): admitted == retired_completed +
+/// retired_deadline + retired_explicit + live, and live <= peak_live <=
+/// admitted.
 struct ShardStats {
   uint64_t admitted = 0;
   uint64_t decides = 0;         ///< Sheets served (single + batched).
@@ -94,6 +104,7 @@ struct ShardStats {
   uint64_t retired_deadline = 0;
   uint64_t retired_explicit = 0;
   int64_t live = 0;
+  int64_t peak_live = 0;  ///< High-water mark of `live` (admission churn).
 };
 
 class CampaignShardMap {
@@ -160,6 +171,13 @@ class CampaignShardMap {
   /// One lookup: the sheet the campaign's policy posts for `request`.
   /// (The single-offer shim finished its deprecation cycle; single-type
   /// callers pass DecisionRequest::Single and read sheet.offers[0].)
+  ///
+  /// Serving-plane requests carry the marketplace wall clock in
+  /// `now_hours`; the map derives the campaign clock itself
+  /// (`campaign_hours = max(0, now_hours - limits.admit_hours)`,
+  /// overriding whatever the request carried) so streaming campaigns
+  /// admitted mid-run are priced on their own clock. Campaigns admitted
+  /// at time 0 keep both clocks equal, as before.
   Result<market::OfferSheet> Decide(CampaignId id,
                                     const market::DecisionRequest& request);
 
@@ -197,6 +215,15 @@ class CampaignShardMap {
   /// ParallelOverShards, which would nest a region on the same
   /// non-reentrant pool and deadlock.
   void ParallelOverShards(const std::function<void(int)>& fn);
+
+  /// Same, plus one `extra` task run concurrently with the shard passes
+  /// (the streaming fleet's admission lane: Admit/Retire/SwapArtifact only
+  /// take the target shard's mutex, so campaigns enter the map while other
+  /// shards -- and the target shard's lock-free session work -- keep
+  /// being ticked, with no global barrier). `extra` obeys the same rules
+  /// as fn.
+  void ParallelOverShardsWith(const std::function<void(int)>& fn,
+                              const std::function<void()>& extra);
 
   /// Adds externally-served decide counts (fleet sessions call borrowed
   /// controllers directly) to a shard's counters.

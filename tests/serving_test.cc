@@ -266,6 +266,182 @@ TEST(CampaignShardMapStressTest, AdmitAndServeUnderConcurrentLoad) {
   EXPECT_EQ(map.live_campaigns(), static_cast<size_t>(total.live));
 }
 
+TEST(CampaignShardMapTest, TickUsesWallClockDeadlineForStreamingAdmissions) {
+  // A campaign admitted mid-run carries its admission time in its limits:
+  // the controller horizon stays the campaign *duration*, while Tick
+  // retires against the wall-clock deadline admit + duration.
+  CampaignShardMap map = CampaignShardMap::Create(2).value();
+  CampaignLimits limits;
+  limits.total_tasks = 10;
+  limits.deadline_hours = 4.0;
+  limits.admit_hours = 10.0;
+  ASSERT_TRUE(limits.Validate().ok());
+  const CampaignId id =
+      map.AdmitController(FixedController(10.0), limits).value();
+
+  // The campaign-clock deadline value is mid-campaign on the wall clock.
+  EXPECT_EQ(map.Tick(id, 4.0, 5).value(), CampaignState::kLive);
+  EXPECT_EQ(map.Tick(id, 13.9, 5).value(), CampaignState::kLive);
+  EXPECT_EQ(map.Tick(id, 14.0, 5).value(), CampaignState::kRetiredDeadline);
+
+  CampaignLimits bad = limits;
+  bad.admit_hours = -1.0;
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+}
+
+TEST(CampaignShardMapTest, DecideRebasesWallClockOntoCampaignClock) {
+  // A streaming campaign admitted at wall-clock 10 must be priced on its
+  // own clock: a lookup at wall 11 answers like a t=0-admitted campaign's
+  // lookup at 1 -- for both Decide and DecideBatch.
+  CampaignShardMap map = CampaignShardMap::Create(2).value();
+  const engine::PolicyArtifact solved = SmallDeadlineArtifact();
+
+  CampaignLimits at_zero = SmallLimits();
+  engine::PolicyArtifact copy = solved;
+  const CampaignId reference = map.Admit(std::move(copy), at_zero).value();
+
+  CampaignLimits streamed = SmallLimits();
+  streamed.admit_hours = 10.0;
+  copy = solved;
+  const CampaignId late = map.Admit(std::move(copy), streamed).value();
+
+  for (const double local : {0.0, 1.0, 4.5, 11.0}) {
+    const market::Offer want = MapOffer(map, reference, local, 12).value();
+    const market::Offer got = MapOffer(map, late, 10.0 + local, 12).value();
+    EXPECT_EQ(got.per_task_reward_cents, want.per_task_reward_cents)
+        << "campaign hour " << local;
+    EXPECT_EQ(got.group_size, want.group_size);
+
+    const std::vector<DecideResponse> batched =
+        map.DecideBatch({DecideRequest::Single(late, 10.0 + local, 12)});
+    ASSERT_TRUE(batched[0].status.ok());
+    EXPECT_EQ(batched[0].sheet.offers[0].per_task_reward_cents,
+              want.per_task_reward_cents);
+  }
+  // Skewed callers (wall clock before the admission) clamp to campaign
+  // hour 0 instead of indexing a negative interval.
+  EXPECT_EQ(MapOffer(map, late, 2.0, 12).value().per_task_reward_cents,
+            MapOffer(map, reference, 0.0, 12).value().per_task_reward_cents);
+}
+
+TEST(CampaignShardMapTest, PeakLiveTracksChurnHighWaterMark) {
+  CampaignShardMap map = CampaignShardMap::Create(1).value();
+  const CampaignId a =
+      map.AdmitController(FixedController(5.0), SmallLimits()).value();
+  const CampaignId b =
+      map.AdmitController(FixedController(5.0), SmallLimits()).value();
+  ASSERT_TRUE(map.Retire(a).ok());
+  ASSERT_TRUE(map.Retire(b).ok());
+  // Two were live at once; none are now -- the peak remembers the churn.
+  const ShardStats total = map.TotalStats();
+  EXPECT_EQ(total.peak_live, 2);
+  EXPECT_EQ(total.live, 0);
+  const CampaignId c =
+      map.AdmitController(FixedController(5.0), SmallLimits()).value();
+  EXPECT_TRUE(map.Contains(c));
+  EXPECT_EQ(map.TotalStats().peak_live, 2);  // 1 live never beats the peak.
+}
+
+// The streaming-fleet serving race: admissions (owned + shared artifact),
+// hot swaps and retirements churn the map from several threads while
+// DecideBatch traffic is continuously in flight. TSan (CI job clang-tsan)
+// checks the locking; the asserts check that the churn counters reconcile
+// exactly once the map quiesces: admitted == retired + live.
+TEST(CampaignShardMapStressTest, ChurnRacesDecideBatchAndCountersReconcile) {
+  constexpr int kChurners = 4;
+  constexpr int kPerChurner = 32;
+  CampaignShardMap map = CampaignShardMap::Create(8).value();
+  const engine::PolicyArtifact solved = SmallDeadlineArtifact();
+  const auto shared = std::make_shared<const engine::PolicyArtifact>(solved);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> batch_errors{0};
+  std::atomic<uint64_t> highest_id{0};
+
+  std::thread server([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const CampaignId top = highest_id.load(std::memory_order_acquire);
+      std::vector<DecideRequest> requests;
+      for (CampaignId id = 1; id <= top; ++id) {
+        requests.push_back(DecideRequest::Single(id, 1.0, 5));
+      }
+      if (requests.empty()) continue;
+      for (const DecideResponse& response : map.DecideBatch(requests)) {
+        // Campaigns retire while the batch is built, so NotFound is
+        // expected; anything else is a torn campaign.
+        if (!response.status.ok() && !response.status.IsNotFound()) {
+          batch_errors.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> churners;
+  for (int c = 0; c < kChurners; ++c) {
+    churners.emplace_back([&map, &shared, &solved, &highest_id, c] {
+      for (int i = 0; i < kPerChurner; ++i) {
+        CampaignLimits limits = SmallLimits();
+        limits.admit_hours = 0.25 * i;  // Staggered streaming admissions.
+        CampaignId id = 0;
+        if (i % 3 == 0) {
+          engine::PolicyArtifact copy = solved;
+          id = map.Admit(std::move(copy), limits).value();
+        } else if (i % 3 == 1) {
+          id = map.AdmitShared(shared, limits).value();
+        } else {
+          id = map.AdmitController(FixedController(4.0 + c), limits).value();
+        }
+        // Publish a monotone id bound for the server's request sweep.
+        uint64_t seen = highest_id.load(std::memory_order_relaxed);
+        while (seen < id && !highest_id.compare_exchange_weak(
+                                seen, id, std::memory_order_release)) {
+        }
+        switch (i % 4) {
+          case 0:  // Complete under traffic.
+            ASSERT_TRUE(map.Tick(id, limits.admit_hours + 1.0, 0).ok());
+            break;
+          case 1: {  // Hot-swap, then expire at the wall-clock deadline.
+            pricing::FixedPriceSolution fixed;
+            fixed.price_cents = 30 + i % 5;
+            ASSERT_TRUE(
+                map.SwapArtifact(id, engine::PolicyArtifact(fixed)).ok());
+            ASSERT_TRUE(
+                map.Tick(id,
+                         limits.admit_hours + limits.deadline_hours, 3)
+                    .ok());
+            break;
+          }
+          case 2:  // Pull explicitly.
+            ASSERT_TRUE(map.Retire(id).ok());
+            break;
+          default:  // Stay live through the quiesce.
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : churners) thread.join();
+  stop.store(true, std::memory_order_release);
+  server.join();
+
+  EXPECT_EQ(batch_errors.load(), 0);
+  const ShardStats total = map.TotalStats();
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kChurners) * kPerChurner;
+  EXPECT_EQ(total.admitted, kTotal);
+  // The churn invariant at quiesce: every admission is accounted for.
+  EXPECT_EQ(total.retired_completed + total.retired_deadline +
+                total.retired_explicit + static_cast<uint64_t>(total.live),
+            kTotal);
+  EXPECT_EQ(total.retired_completed, kTotal / 4);
+  EXPECT_EQ(total.retired_deadline, kTotal / 4);
+  EXPECT_EQ(total.retired_explicit, kTotal / 4);
+  EXPECT_EQ(total.swapped, kTotal / 4);
+  EXPECT_EQ(map.live_campaigns(), static_cast<size_t>(total.live));
+  EXPECT_GE(total.peak_live, total.live);
+  EXPECT_LE(total.peak_live, static_cast<int64_t>(kTotal));
+}
+
 TEST(CampaignShardMapTest, SwapArtifactChangesDecisionsAtTheBoundary) {
   CampaignShardMap map = CampaignShardMap::Create(2).value();
   const CampaignId id = map.Admit(SmallDeadlineArtifact(), SmallLimits())

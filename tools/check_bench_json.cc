@@ -14,6 +14,11 @@
 //     "metrics": { <string>: <number>, ... },
 //     "labels": { <string>: <string>, ... } }
 // JSON has no inf/nan literals, so finiteness comes free from parsing.
+//
+// Benches whose records downstream tooling keys on additionally have a
+// required-metric schema (kKnownBenches): a record that parses but lost
+// its headline metrics (a refactor renamed a key, a sweep emitted no
+// cells) fails validation instead of silently emptying the trajectory.
 // Exit code 0 when every file validates, 1 otherwise.
 
 #include <cctype>
@@ -293,6 +298,57 @@ const JsonValue* FindKey(const JsonObject& object, const std::string& key) {
   return nullptr;
 }
 
+// Per-bench required metrics: every listed key must be present, and for
+// every listed prefix at least one metric key must start with it (sweep
+// benches emit one key per swept cell).
+struct BenchRequirements {
+  const char* bench;
+  std::vector<const char*> metrics;
+  std::vector<const char*> metric_prefixes;
+};
+
+const std::vector<BenchRequirements>& KnownBenches() {
+  static const std::vector<BenchRequirements> known = {
+      {"fleet_throughput",
+       {"serial_seconds", "fleet_seconds"},
+       {"decides_per_sec_shards_"}},
+      {"fleet_streaming",
+       {"admit_mean_ms", "admit_max_ms"},
+       {"decides_per_sec_window_", "admit_mean_ms_window_"}},
+  };
+  return known;
+}
+
+bool ValidateRequirements(const std::string& bench, const JsonObject& metrics,
+                          std::string& error) {
+  for (const BenchRequirements& required : KnownBenches()) {
+    if (bench != required.bench) continue;
+    for (const char* key : required.metrics) {
+      if (FindKey(metrics, key) == nullptr) {
+        error = "\"" + bench + "\" record is missing required metric \"" +
+                key + "\"";
+        return false;
+      }
+    }
+    for (const char* prefix : required.metric_prefixes) {
+      bool found = false;
+      for (const auto& [key, unused] : metrics) {
+        (void)unused;
+        if (key.rfind(prefix, 0) == 0) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        error = "\"" + bench + "\" record has no metric starting with \"" +
+                prefix + "\"";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool ValidateRecord(const JsonValue& root, std::string& error) {
   if (!root.is_object()) {
     error = "top-level value is not an object";
@@ -337,7 +393,8 @@ bool ValidateRecord(const JsonValue& root, std::string& error) {
       return false;
     }
   }
-  return true;
+  return ValidateRequirements(bench->as_string(),
+                              FindKey(record, "metrics")->as_object(), error);
 }
 
 }  // namespace

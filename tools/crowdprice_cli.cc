@@ -7,6 +7,7 @@
 //   crowdprice_cli tradeoff --alpha 32 --rate 5083 --max-price 60
 //   crowdprice_cli fleet    --campaigns 500 --shards 8 --tasks 40
 //       --hours 8 --rate 400 --max-price 50 [--bound 0.5] [--seed 7]
+//       [--arrive-over 12] [--retire-frac 0.1]
 //   crowdprice_cli multitype --tasks1 15 --tasks2 15 --hours 8
 //       --rate 80 --max-price 30 [--replicates 50] [--out plan.txt]
 //   crowdprice_cli solvers
@@ -15,7 +16,11 @@
 // PolicySpec and formats the artifact. `fleet` additionally runs the
 // sharded serving layer: it admits N copies of the solved campaign into a
 // market::FleetSimulator and plays them all against one shared arrival
-// stream, reporting aggregate outcomes and per-shard serving stats.
+// stream, reporting aggregate outcomes and per-shard serving stats. With
+// --arrive-over H the marketplace is open: admissions spread over the
+// first H hours (streaming admission at bucket edges while earlier
+// campaigns are in flight), and --retire-frac F pulls that fraction of
+// the fleet mid-run one hour after each victim's admission.
 // `multitype` solves the §6 joint two-type policy, plays it through the
 // OfferSheet decision surface (MakeController + RunMultiTypeSimulation)
 // and compares simulated per-type completions to the plan's nominal
@@ -67,7 +72,7 @@ int Usage() {
       "      [--rate workers_per_hour] [--max-price C]\n"
       "  crowdprice_cli fleet --campaigns M [--shards S] [--tasks N]\n"
       "      [--hours T] [--rate workers_per_hour] [--max-price C]\n"
-      "      [--bound E] [--seed K]\n"
+      "      [--bound E] [--seed K] [--arrive-over H] [--retire-frac F]\n"
       "  crowdprice_cli multitype --tasks1 N1 --tasks2 N2 --hours T\n"
       "      [--rate workers_per_hour] [--max-price C] [--stride S]\n"
       "      [--penalty1 P] [--penalty2 P] [--replicates R] [--seed K]\n"
@@ -290,9 +295,16 @@ int RunFleet(const Args& args) {
   const double rate_per_hour = args.Num("rate", 400.0);
   const int max_price = static_cast<int>(args.Num("max-price", 50));
   const auto seed = static_cast<uint64_t>(args.Num("seed", 7.0));
+  const double arrive_over = args.Num("arrive-over", 0.0);
+  const double retire_frac = args.Num("retire-frac", 0.0);
   if (campaigns < 1 || tasks < 1 || hours <= 0.0 || shards < 1) {
     std::cerr << "fleet requires --campaigns >= 1, --tasks >= 1, "
                  "--hours > 0, --shards >= 1\n";
+    return 1;
+  }
+  if (arrive_over < 0.0 || retire_frac < 0.0 || retire_frac > 1.0) {
+    std::cerr << "fleet requires --arrive-over >= 0 and --retire-frac in "
+                 "[0, 1]\n";
     return 1;
   }
   auto acceptance = Acceptance(args);
@@ -339,28 +351,50 @@ int RunFleet(const Args& args) {
     return 2;
   }
   // Every campaign plays the same immutable policy: share one copy of the
-  // solved tables across the whole fleet.
+  // solved tables across the whole fleet. With --arrive-over the fleet is
+  // an open marketplace: admissions land at random bucket edges across the
+  // window while earlier campaigns are mid-flight.
   auto shared = std::make_shared<const engine::PolicyArtifact>(
       std::move(*artifact));
   Rng master(seed);
+  market::ArrivalSchedule schedule;
   for (int i = 0; i < campaigns; ++i) {
-    auto admitted = fleet->AdmitShared(shared, sim, *acceptance, master.Fork());
+    const double admit_at = market::RandomBucketEdge(
+        master, arrive_over, rate->bucket_width_hours());
+    auto admitted =
+        schedule.AdmitShared(admit_at, shared, sim, *acceptance, master.Fork());
     if (!admitted.ok()) {
       std::cerr << admitted.status() << "\n";
       return 2;
     }
+    // Proportional victim pick: pull campaign i iff the running count
+    // floor((i+1)*F) advances, so every fleet size retires ~F of its
+    // campaigns.
+    if (retire_frac > 0.0 &&
+        static_cast<int64_t>(static_cast<double>(i + 1) * retire_frac) >
+            static_cast<int64_t>(static_cast<double>(i) * retire_frac)) {
+      const Status scheduled = schedule.RetireAt(*admitted, admit_at + 1.0);
+      if (!scheduled.ok()) {
+        std::cerr << scheduled << "\n";
+        return 2;
+      }
+    }
   }
-  auto outcomes = fleet->Run(*rate);
+  auto outcomes = fleet->RunStreaming(*rate, std::move(schedule));
   if (!outcomes.ok()) {
     std::cerr << outcomes.status() << "\n";
     return 2;
   }
 
   int64_t finished = 0;
+  int64_t pulled = 0;
   double total_cost = 0.0;
   int64_t total_assigned = 0;
   for (const auto& outcome : *outcomes) {
     if (outcome.result.finished) ++finished;
+    if (outcome.final_state == serving::CampaignState::kRetiredExplicit) {
+      ++pulled;
+    }
     total_cost += outcome.result.total_cost_cents;
     total_assigned += outcome.result.tasks_assigned;
   }
@@ -368,21 +402,36 @@ int RunFleet(const Args& args) {
                        fleet->shard_map().num_shards());
   std::cout << StringF("  finished by deadline: %lld / %d\n",
                        static_cast<long long>(finished), campaigns);
+  if (pulled > 0) {
+    std::cout << StringF("  pulled mid-run:       %lld\n",
+                         static_cast<long long>(pulled));
+  }
   std::cout << StringF("  tasks assigned:       %lld of %lld\n",
                        static_cast<long long>(total_assigned),
                        static_cast<long long>(campaigns) * tasks);
   std::cout << StringF("  total paid:           %.0f cents (%.2f / task)\n",
                        total_cost,
                        total_assigned > 0 ? total_cost / total_assigned : 0.0);
+  if (arrive_over > 0.0) {
+    const market::StreamingStats& stream = fleet->streaming_stats();
+    std::cout << StringF(
+        "  streaming admission:  %llu campaigns over %.1f h, admit "
+        "latency %.4f ms mean / %.4f ms max\n",
+        (unsigned long long)stream.admitted, arrive_over,
+        stream.admit_mean_ms, stream.admit_max_ms);
+  }
 
-  Table stats({"shard", "admitted", "decides", "completed", "deadline"});
+  Table stats({"shard", "admitted", "decides", "completed", "deadline",
+               "pulled", "peak live"});
   for (int s = 0; s < fleet->shard_map().num_shards(); ++s) {
     const serving::ShardStats shard = fleet->shard_map().shard_stats(s);
     (void)stats.AddRow(
         {StringF("%d", s), StringF("%llu", (unsigned long long)shard.admitted),
          StringF("%llu", (unsigned long long)shard.decides),
          StringF("%llu", (unsigned long long)shard.retired_completed),
-         StringF("%llu", (unsigned long long)shard.retired_deadline)});
+         StringF("%llu", (unsigned long long)shard.retired_deadline),
+         StringF("%llu", (unsigned long long)shard.retired_explicit),
+         StringF("%lld", (long long)shard.peak_live)});
   }
   std::cout << "\n";
   stats.Print(std::cout);
