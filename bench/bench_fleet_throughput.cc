@@ -17,9 +17,12 @@
 // Emits BENCH_fleet_throughput.json with decides/sec per shard count and
 // the fleet-vs-serial wall seconds.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -65,10 +68,24 @@ int main(int argc, char** argv) {
   record.Label("layer", "serving+fleet");
 
   // ------------------------------------------------------------------ 1.
-  const int kCampaigns = bench::SmokeN(2048, 256);
+  const int kCampaigns = bench::SmokeN(2048, 512);
   const int kPasses = bench::SmokeN(40, 4);
+  // Each shard count is timed kRepeats times and the best run is reported:
+  // the scaling gate below compares ratios between shard counts, so a
+  // single descheduled run must not fake a collapse.
+  const int kRepeats = bench::SmokeN(5, 3);
+  // The scaling checks (and check_bench_json, which re-derives them from
+  // this record) are capacity-aware: a 16-shard map cannot beat 6x on a
+  // 2-core runner no matter how good the read path is. hw_threads and
+  // smoke are recorded so the validator arms the strict gate only where
+  // the hardware can honestly express it.
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
   record.Param("campaigns", kCampaigns);
   record.Param("batch_passes", kPasses);
+  record.Param("timing_repeats", kRepeats);
+  record.Param("hw_threads", static_cast<double>(hw_threads));
+  record.Param("smoke", bench::Smoke() ? 1.0 : 0.0);
 
   std::cout << StringF(
       "DecideBatch over %d campaigns, %d passes per shard count\n\n",
@@ -76,7 +93,7 @@ int main(int argc, char** argv) {
   const auto shared =
       std::make_shared<const engine::PolicyArtifact>(solved);
   Table table({"shards", "decides/sec", "batch mean ms"});
-  double decides_per_sec_1 = 0.0, decides_per_sec_best = 0.0;
+  std::map<int, double> curve;
   for (int num_shards : {1, 2, 4, 8, 16, 32}) {
     auto map_result = serving::CampaignShardMap::Create(num_shards);
     bench::DieOnError(map_result.status(), "shard map");
@@ -111,37 +128,61 @@ int main(int argc, char** argv) {
                  StringF("shards=%d: DecideBatch == serial Decide bit-for-bit",
                          num_shards));
 
-    const auto start = std::chrono::steady_clock::now();
-    for (int pass = 0; pass < kPasses; ++pass) {
-      const auto responses = map.DecideBatch(requests);
-      if (responses.size() != requests.size()) {
-        bench::Check(false, "batch response size");
-        break;
+    double best_elapsed = 0.0, decides_per_sec = 0.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int pass = 0; pass < kPasses; ++pass) {
+        const auto responses = map.DecideBatch(requests);
+        if (responses.size() != requests.size()) {
+          bench::Check(false, "batch response size");
+          break;
+        }
+      }
+      const double elapsed = Seconds(start);
+      const double rate = static_cast<double>(kCampaigns) * kPasses / elapsed;
+      if (rate > decides_per_sec) {
+        decides_per_sec = rate;
+        best_elapsed = elapsed;
       }
     }
-    const double elapsed = Seconds(start);
-    const double decides_per_sec =
-        static_cast<double>(kCampaigns) * kPasses / elapsed;
-    if (num_shards == 1) {
-      decides_per_sec_1 = decides_per_sec;
-    } else {
-      decides_per_sec_best = std::max(decides_per_sec_best, decides_per_sec);
-    }
+    curve[num_shards] = decides_per_sec;
     record.Metric(StringF("decides_per_sec_shards_%d", num_shards),
                   decides_per_sec);
     bench::DieOnError(
         table.AddRow({StringF("%d", num_shards),
                       StringF("%.0f", decides_per_sec),
-                      StringF("%.3f", elapsed * 1000.0 / kPasses)}),
+                      StringF("%.3f", best_elapsed * 1000.0 / kPasses)}),
         "row");
   }
   table.Print(std::cout);
-  // Sharding must not wreck the serving plane. Plan lookups are a few
-  // nanoseconds, so on small batches the parallel dispatch can cost more
-  // than it buys; the claim is deliberately loose (scaling *up* shows once
-  // per-decide work grows -- stateful policies, colder caches).
-  bench::Check(decides_per_sec_best >= 0.25 * decides_per_sec_1,
-               "best multi-shard throughput >= 1/4 of single-shard");
+  // Scaling gate, mirrored by check_bench_json on this record. Readers on
+  // the wait-free path never contend, so adding shards must never *cost*
+  // throughput: the curve over {1,2,4,8,16} stays monotone within a noise
+  // tolerance, and the 16-shard point beats 1-shard outright -- by 6x when
+  // the host has the cores to show it, by staying level (0.9x) when it
+  // does not (on a narrow host extra shards only add dispatch overhead, so
+  // the pairwise tolerance widens to 0.85 there). The retired
+  // mutex-per-shard design fails the level check (it decayed to ~0.4x of
+  // single-shard under batch load); the gate is what keeps that regression
+  // from silently returning. Smoke mode runs the same shape with a wide
+  // tolerance purely to catch collapse: its sizes are too small to time
+  // scaling honestly.
+  const double tolerance =
+      bench::Smoke() ? 0.50 : (hw_threads >= 16 ? 0.92 : 0.85);
+  const double head_factor =
+      bench::Smoke() ? 0.50 : (hw_threads >= 16 ? 6.0 : 0.90);
+  const int gate_shards[] = {1, 2, 4, 8, 16};
+  for (size_t i = 0; i + 1 < std::size(gate_shards); ++i) {
+    const double prev = curve[gate_shards[i]];
+    const double next = curve[gate_shards[i + 1]];
+    bench::Check(next >= tolerance * prev,
+                 StringF("decides/sec at %d shards >= %.2f x %d shards",
+                         gate_shards[i + 1], tolerance, gate_shards[i]));
+  }
+  bench::Check(curve[16] >= head_factor * curve[1],
+               StringF("16-shard decides/sec >= %.2fx single-shard "
+                       "(hw_threads=%u)",
+                       head_factor, hw_threads));
 
   // ------------------------------------------------------------------ 2.
   const int kFleet = bench::SmokeN(1000, 100);

@@ -35,6 +35,13 @@ class PricingController {
   /// completed its one-PR deprecation cycle and is gone; build a
   /// DecisionRequest::Single and read sheet.offers[0].)
   virtual Result<OfferSheet> Decide(const DecisionRequest& request) = 0;
+
+  /// True when Decide is a pure function of immutable state and may be
+  /// called concurrently from any number of threads with no external
+  /// serialization. Controllers that track anything across calls
+  /// (adaptive re-solving, in-flight counts) keep the default false and
+  /// the serving layer serializes their decides per campaign.
+  virtual bool ThreadSafeDecide() const { return false; }
 };
 
 /// Validates that `request` prices exactly one task type and returns its
@@ -60,6 +67,7 @@ class FixedOfferController final : public PricingController {
  public:
   explicit FixedOfferController(Offer offer) : offer_(offer) {}
   Result<OfferSheet> Decide(const DecisionRequest& request) override;
+  bool ThreadSafeDecide() const override { return true; }
 
  private:
   Offer offer_;
@@ -73,6 +81,7 @@ class ScheduleController final : public PricingController {
   static Result<ScheduleController> Create(std::vector<Offer> schedule,
                                            double interval_hours);
   Result<OfferSheet> Decide(const DecisionRequest& request) override;
+  bool ThreadSafeDecide() const override { return true; }
 
  private:
   ScheduleController(std::vector<Offer> schedule, double interval_hours)
@@ -93,6 +102,7 @@ class SemiStaticController final : public PricingController {
   static Result<SemiStaticController> Create(std::vector<double> prices_cents);
 
   Result<OfferSheet> Decide(const DecisionRequest& request) override;
+  bool ThreadSafeDecide() const override { return true; }
 
  private:
   explicit SemiStaticController(std::vector<double> prices)
@@ -114,6 +124,7 @@ class StaticTierController final : public PricingController {
   /// Requires tiers non-empty, counts > 0. Sorts descending by price.
   static Result<StaticTierController> Create(std::vector<Tier> tiers);
   Result<OfferSheet> Decide(const DecisionRequest& request) override;
+  bool ThreadSafeDecide() const override { return true; }
 
  private:
   explicit StaticTierController(std::vector<Tier> tiers)

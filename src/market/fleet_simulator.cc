@@ -72,10 +72,13 @@ Result<std::vector<FleetOutcome>> DriveFleet(
   // Each live campaign rides on its shard's list; during a slice exactly
   // one pool thread advances a given shard's campaigns, so sessions (and
   // the controllers they borrow from the map) are never shared across
-  // threads.
+  // threads. The borrow pins the campaign's snapshot, keeping the
+  // controller (and the artifact tables it points into) alive even if a
+  // swap or retirement races ahead of the session's next barrier.
   struct Running {
     size_t index = 0;
     serving::CampaignId id = 0;
+    serving::BorrowedController controller;
     CampaignSession session;
   };
   std::vector<std::vector<Running>> by_shard(static_cast<size_t>(num_shards));
@@ -148,7 +151,8 @@ Result<std::vector<FleetOutcome>> DriveFleet(
         id = *admitted;
         ++stats.admitted;
       }
-      Result<PricingController*> controller = map.BorrowController(id);
+      Result<serving::BorrowedController> controller =
+          map.BorrowController(id);
       if (!controller.ok()) {
         admit_status = controller.status();
         return;
@@ -164,8 +168,10 @@ Result<std::vector<FleetOutcome>> DriveFleet(
       outcome.schedule_index = launch.index;
       outcome.campaign_id = id;
       outcome.admit_hours = admit_wall;
-      staged.emplace_back(map.ShardOf(id),
-                          Running{launch.index, id, std::move(*session)});
+      staged.emplace_back(
+          map.ShardOf(id),
+          Running{launch.index, id, std::move(*controller),
+                  std::move(*session)});
     }
   };
 
@@ -249,9 +255,12 @@ Result<std::vector<FleetOutcome>> DriveFleet(
         ++stats.retired_by_event;
       } else {
         CP_RETURN_IF_ERROR(map.SwapArtifactShared(id, control.artifact));
-        CP_ASSIGN_OR_RETURN(PricingController * controller,
+        CP_ASSIGN_OR_RETURN(serving::BorrowedController controller,
                             map.BorrowController(id));
         it->session.RebindController(*controller);
+        // Replace the pin after rebinding: the old snapshot stays alive
+        // until the session has stopped pointing at its controller.
+        it->controller = std::move(controller);
         ++stats.swapped;
       }
     }

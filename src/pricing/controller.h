@@ -22,6 +22,8 @@ class PlanController final : public market::PricingController {
 
   Result<market::OfferSheet> Decide(
       const market::DecisionRequest& request) override;
+  /// Pure lookup into the immutable plan table.
+  bool ThreadSafeDecide() const override { return true; }
 
  private:
   PlanController(const DeadlinePlan* plan, double interval_hours)
@@ -43,6 +45,9 @@ class MultiTypeController final : public market::PricingController {
   int num_types() const override { return 2; }
   Result<market::OfferSheet> Decide(
       const market::DecisionRequest& request) override;
+  /// Pure lookup into the immutable joint plan (no in-flight tracking;
+  /// if that ever lands, drop this override to restore serialization).
+  bool ThreadSafeDecide() const override { return true; }
 
  private:
   MultiTypeController(const MultiTypePlan* plan, double interval_hours)

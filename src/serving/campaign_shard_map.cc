@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "serving/rcu.h"
+#include "serving/snapshot.h"
 #include "util/macros.h"
 #include "util/stringf.h"
 #include "util/thread_pool.h"
@@ -15,15 +17,31 @@ namespace crowdprice::serving {
 
 namespace {
 
-/// One live campaign: the solved policy (shared because many campaigns
-/// typically play the same immutable artifact, and heap-pinned because
-/// controllers may point into its tables) and the controller playing it.
-/// The artifact is null for AdmitController campaigns.
-struct Campaign {
-  std::shared_ptr<const engine::PolicyArtifact> artifact;
-  std::unique_ptr<market::PricingController> controller;
-  CampaignLimits limits;
+/// The stable per-campaign anchor in a shard's index. The handle outlives
+/// any individual snapshot (SwapArtifact just restores the pointer), and
+/// is itself RCU-retired when the campaign leaves the map.
+struct CampaignHandle {
+  explicit CampaignHandle(const CampaignSnapshot* snap) : snapshot(snap) {}
+  std::atomic<const CampaignSnapshot*> snapshot;
 };
+
+/// The RCU-published id -> campaign index. Writers copy-on-write it under
+/// the shard writer mutex; readers walk it under a ReadGuard.
+using Index = std::unordered_map<CampaignId, CampaignHandle*>;
+
+void ReclaimIndex(void* object) { delete static_cast<Index*>(object); }
+
+void ReclaimSnapshot(void* object) {
+  static_cast<CampaignSnapshot*>(object)->Unref();
+}
+
+/// Dropping a handle drops its campaign's published snapshot reference;
+/// borrowers holding their own references keep the snapshot alive.
+void ReclaimHandle(void* object) {
+  auto* handle = static_cast<CampaignHandle*>(object);
+  handle->snapshot.load(std::memory_order_acquire)->Unref();
+  delete handle;
+}
 
 /// Rebases a serving-plane request onto the campaign's own clock:
 /// `now_hours` is the marketplace wall clock, the campaign clock is time
@@ -34,6 +52,11 @@ market::DecisionRequest OnCampaignClock(const market::DecisionRequest& request,
   rebased.campaign_hours =
       std::max(0.0, request.now_hours - limits.admit_hours);
   return rebased;
+}
+
+Status NotLive(CampaignId id) {
+  return Status::NotFound(StringF("campaign %llu is not live",
+                                  static_cast<unsigned long long>(id)));
 }
 
 }  // namespace
@@ -69,20 +92,85 @@ const char* CampaignStateName(CampaignState state) {
   return "unknown";
 }
 
+BorrowedController::BorrowedController(BorrowedController&& other) noexcept
+    : snapshot_(other.snapshot_), controller_(other.controller_) {
+  other.snapshot_ = nullptr;
+  other.controller_ = nullptr;
+}
+
+BorrowedController& BorrowedController::operator=(
+    BorrowedController&& other) noexcept {
+  if (this != &other) {
+    if (snapshot_ != nullptr) snapshot_->Unref();
+    snapshot_ = other.snapshot_;
+    controller_ = other.controller_;
+    other.snapshot_ = nullptr;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+BorrowedController::~BorrowedController() {
+  if (snapshot_ != nullptr) snapshot_->Unref();
+}
+
+namespace {
+
+/// Per-shard counters as relaxed atomics, the hot ones (bumped from
+/// reader threads) each on their own cache line so concurrent Decide
+/// traffic on different shards -- or stats polling -- never false-shares.
+/// Lifecycle counters only move under the writer mutex and share a line.
+struct alignas(64) ShardCounters {
+  struct alignas(64) Padded {
+    std::atomic<uint64_t> value{0};
+  };
+  Padded decides;
+  Padded batch_requests;
+  alignas(64) std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> swapped{0};
+  std::atomic<uint64_t> retired_completed{0};
+  std::atomic<uint64_t> retired_deadline{0};
+  std::atomic<uint64_t> retired_explicit{0};
+  std::atomic<int64_t> live{0};
+  std::atomic<int64_t> peak_live{0};
+};
+
+}  // namespace
+
 struct CampaignShardMap::Shard {
-  mutable std::mutex mu;
-  std::unordered_map<CampaignId, Campaign> campaigns;
-  ShardStats stats;
+  Shard() : index(new Index()) {}
+
+  ~Shard() {
+    // Map teardown: no readers by contract, free the live structures
+    // directly (anything already retired sits in the RCU domain with
+    // self-contained deleters).
+    const Index* idx = index.load(std::memory_order_acquire);
+    for (const auto& [id, handle] : *idx) {
+      handle->snapshot.load(std::memory_order_acquire)->Unref();
+      delete handle;
+    }
+    delete idx;
+  }
+
+  /// Serializes Admit/Retire/SwapArtifact and Tick's retiring arm.
+  std::mutex writer_mu;
+  /// RCU-published; readers load seq_cst under a guard, writers replace
+  /// copy-on-write under writer_mu.
+  std::atomic<const Index*> index;
+  ShardCounters counters;
 };
 
 struct CampaignShardMap::Impl {
   // ThreadPool's argument is total parallelism including the calling
   // thread (it spawns one fewer worker), so pass the shard/core budget
-  // undecremented.
+  // undecremented. Workers pin to cores: a shard's slice then keeps its
+  // index and counters hot in one core's cache across batch passes.
   explicit Impl(int shard_count)
       : num_shards(shard_count),
         shards(static_cast<size_t>(shard_count)),
-        pool(std::min(shard_count, ThreadPool::DefaultThreads())) {
+        pool(std::min(shard_count, ThreadPool::DefaultThreads()),
+             /*pin_to_cores=*/true),
+        snapshot_counters(std::make_shared<SnapshotCounters>()) {
     for (auto& shard : shards) shard = std::make_unique<Shard>();
   }
 
@@ -90,16 +178,62 @@ struct CampaignShardMap::Impl {
     return *shards[static_cast<size_t>(id % static_cast<uint64_t>(num_shards))];
   }
 
+  /// Removes `id` from its shard under the writer mutex; the removed
+  /// handle (and its snapshot reference) is freed after the grace period.
+  /// Returns false when the campaign is not live.
+  bool Remove(CampaignId id) {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.writer_mu);
+    const Index* old_index = shard.index.load(std::memory_order_relaxed);
+    auto it = old_index->find(id);
+    if (it == old_index->end()) return false;
+    CampaignHandle* handle = it->second;
+    auto* new_index = new Index(*old_index);
+    new_index->erase(id);
+    shard.index.store(new_index, std::memory_order_seq_cst);
+    rcu::Domain::Global().Retire(const_cast<Index*>(old_index), ReclaimIndex);
+    rcu::Domain::Global().Retire(handle, ReclaimHandle);
+    shard.counters.live.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Publishes a freshly built snapshot as a new campaign.
+  CampaignId Publish(CampaignId id, const CampaignSnapshot* snapshot) {
+    auto* handle = new CampaignHandle(snapshot);
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.writer_mu);
+    const Index* old_index = shard.index.load(std::memory_order_relaxed);
+    auto* new_index = new Index(*old_index);
+    new_index->emplace(id, handle);
+    shard.index.store(new_index, std::memory_order_seq_cst);
+    rcu::Domain::Global().Retire(const_cast<Index*>(old_index), ReclaimIndex);
+    shard.counters.admitted.fetch_add(1, std::memory_order_relaxed);
+    const int64_t live =
+        shard.counters.live.fetch_add(1, std::memory_order_relaxed) + 1;
+    int64_t peak = shard.counters.peak_live.load(std::memory_order_relaxed);
+    while (live > peak && !shard.counters.peak_live.compare_exchange_weak(
+                              peak, live, std::memory_order_relaxed)) {
+    }
+    return id;
+  }
+
   int num_shards;
   std::vector<std::unique_ptr<Shard>> shards;
   ThreadPool pool;
+  std::shared_ptr<SnapshotCounters> snapshot_counters;
   std::atomic<CampaignId> next_id{1};
 };
 
 CampaignShardMap::CampaignShardMap(std::unique_ptr<Impl> impl)
     : impl_(std::move(impl)) {}
 
-CampaignShardMap::~CampaignShardMap() = default;
+CampaignShardMap::~CampaignShardMap() {
+  // Bound memory promptly: flush this map's retired structures out of the
+  // shared domain (their deleters are self-contained, so strictly this is
+  // hygiene, not correctness).
+  if (impl_ != nullptr) rcu::Domain::Global().Drain();
+}
+
 CampaignShardMap::CampaignShardMap(CampaignShardMap&&) noexcept = default;
 CampaignShardMap& CampaignShardMap::operator=(CampaignShardMap&&) noexcept =
     default;
@@ -126,23 +260,14 @@ Result<CampaignId> CampaignShardMap::AdmitShared(
   if (artifact == nullptr) {
     return Status::InvalidArgument("artifact must not be null");
   }
-  // The shared_ptr pins the artifact for the campaign's lifetime:
+  // The shared_ptr pins the artifact for the snapshot's lifetime:
   // MakeController may return a controller that points into its tables.
   CP_ASSIGN_OR_RETURN(std::unique_ptr<market::PricingController> controller,
                       artifact->MakeController(limits.deadline_hours));
-  Campaign campaign;
-  campaign.artifact = std::move(artifact);
-  campaign.controller = std::move(controller);
-  campaign.limits = limits;
-
   const CampaignId id = impl_->next_id.fetch_add(1, std::memory_order_relaxed);
-  Shard& shard = impl_->ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.campaigns.emplace(id, std::move(campaign));
-  ++shard.stats.admitted;
-  ++shard.stats.live;
-  shard.stats.peak_live = std::max(shard.stats.peak_live, shard.stats.live);
-  return id;
+  return impl_->Publish(
+      id, new CampaignSnapshot(id, std::move(artifact), std::move(controller),
+                               limits, impl_->snapshot_counters));
 }
 
 Result<CampaignId> CampaignShardMap::AdmitController(
@@ -152,56 +277,48 @@ Result<CampaignId> CampaignShardMap::AdmitController(
   if (controller == nullptr) {
     return Status::InvalidArgument("controller must not be null");
   }
-  Campaign campaign;
-  campaign.controller = std::move(controller);
-  campaign.limits = limits;
-
   const CampaignId id = impl_->next_id.fetch_add(1, std::memory_order_relaxed);
-  Shard& shard = impl_->ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.campaigns.emplace(id, std::move(campaign));
-  ++shard.stats.admitted;
-  ++shard.stats.live;
-  shard.stats.peak_live = std::max(shard.stats.peak_live, shard.stats.live);
-  return id;
+  return impl_->Publish(
+      id, new CampaignSnapshot(id, nullptr, std::move(controller), limits,
+                               impl_->snapshot_counters));
 }
 
 Result<CampaignState> CampaignShardMap::Tick(CampaignId id, double now_hours,
                                              int64_t remaining_tasks) {
   Shard& shard = impl_->ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.campaigns.find(id);
-  if (it == shard.campaigns.end()) {
-    return Status::NotFound(StringF(
-        "campaign %llu is not live", static_cast<unsigned long long>(id)));
+  // Fast path: a live-and-staying-live campaign answers from the read
+  // path alone. The retirement decision is a pure function of the
+  // arguments and the (immutable) limits, so the writer path below can
+  // only disagree about presence, never about the state.
+  CampaignState state = CampaignState::kLive;
+  {
+    rcu::ReadGuard guard;
+    const Index* index = shard.index.load(std::memory_order_seq_cst);
+    auto it = index->find(id);
+    if (it == index->end()) return NotLive(id);
+    const CampaignLimits& limits =
+        it->second->snapshot.load(std::memory_order_seq_cst)->limits();
+    if (remaining_tasks <= 0) {
+      state = CampaignState::kRetiredCompleted;
+    } else if (now_hours >= limits.admit_hours + limits.deadline_hours) {
+      state = CampaignState::kRetiredDeadline;
+    }
   }
-  if (remaining_tasks <= 0) {
-    shard.campaigns.erase(it);
-    ++shard.stats.retired_completed;
-    --shard.stats.live;
-    return CampaignState::kRetiredCompleted;
-  }
-  if (now_hours >=
-      it->second.limits.admit_hours + it->second.limits.deadline_hours) {
-    shard.campaigns.erase(it);
-    ++shard.stats.retired_deadline;
-    --shard.stats.live;
-    return CampaignState::kRetiredDeadline;
-  }
-  return CampaignState::kLive;
+  if (state == CampaignState::kLive) return state;
+  // Retiring arm: re-checks presence under the writer mutex (a racing
+  // Tick or Retire may have removed the campaign first).
+  if (!impl_->Remove(id)) return NotLive(id);
+  auto& counters = shard.counters;
+  (state == CampaignState::kRetiredCompleted ? counters.retired_completed
+                                             : counters.retired_deadline)
+      .fetch_add(1, std::memory_order_relaxed);
+  return state;
 }
 
 Status CampaignShardMap::Retire(CampaignId id) {
-  Shard& shard = impl_->ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.campaigns.find(id);
-  if (it == shard.campaigns.end()) {
-    return Status::NotFound(StringF(
-        "campaign %llu is not live", static_cast<unsigned long long>(id)));
-  }
-  shard.campaigns.erase(it);
-  ++shard.stats.retired_explicit;
-  --shard.stats.live;
+  if (!impl_->Remove(id)) return NotLive(id);
+  impl_->ShardFor(id).counters.retired_explicit.fetch_add(
+      1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -217,37 +334,40 @@ Status CampaignShardMap::SwapArtifactShared(
     return Status::InvalidArgument("artifact must not be null");
   }
   Shard& shard = impl_->ShardFor(id);
-  // The whole swap happens under the shard lock so a concurrent
-  // DecideBatch pass sees either the old policy or the new one, never a
-  // half-replaced campaign. MakeController only wires tables (no solving),
-  // so holding the lock across it is cheap.
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.campaigns.find(id);
-  if (it == shard.campaigns.end()) {
-    return Status::NotFound(StringF(
-        "campaign %llu is not live", static_cast<unsigned long long>(id)));
-  }
+  std::lock_guard<std::mutex> lock(shard.writer_mu);
+  const Index* index = shard.index.load(std::memory_order_relaxed);
+  auto it = index->find(id);
+  if (it == index->end()) return NotLive(id);
+  CampaignHandle* handle = it->second;
+  // Stable under writer_mu: only writers store the handle's snapshot.
+  const CampaignSnapshot* old_snapshot =
+      handle->snapshot.load(std::memory_order_relaxed);
   CP_ASSIGN_OR_RETURN(
       std::unique_ptr<market::PricingController> controller,
-      artifact->MakeController(it->second.limits.deadline_hours));
-  it->second.artifact = std::move(artifact);
-  it->second.controller = std::move(controller);
-  ++shard.stats.swapped;
+      artifact->MakeController(old_snapshot->limits().deadline_hours));
+  // One pointer store publishes the whole new policy; a concurrent read
+  // pass sees either the old snapshot or the new one, never a mix.
+  handle->snapshot.store(
+      new CampaignSnapshot(id, std::move(artifact), std::move(controller),
+                           old_snapshot->limits(), impl_->snapshot_counters),
+      std::memory_order_seq_cst);
+  rcu::Domain::Global().Retire(const_cast<CampaignSnapshot*>(old_snapshot),
+                               ReclaimSnapshot);
+  shard.counters.swapped.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<market::OfferSheet> CampaignShardMap::Decide(
     CampaignId id, const market::DecisionRequest& request) {
   Shard& shard = impl_->ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.campaigns.find(id);
-  if (it == shard.campaigns.end()) {
-    return Status::NotFound(StringF(
-        "campaign %llu is not live", static_cast<unsigned long long>(id)));
-  }
-  ++shard.stats.decides;
-  return it->second.controller->Decide(
-      OnCampaignClock(request, it->second.limits));
+  rcu::ReadGuard guard;
+  const Index* index = shard.index.load(std::memory_order_seq_cst);
+  auto it = index->find(id);
+  if (it == index->end()) return NotLive(id);
+  const CampaignSnapshot* snapshot =
+      it->second->snapshot.load(std::memory_order_seq_cst);
+  shard.counters.decides.value.fetch_add(1, std::memory_order_relaxed);
+  return snapshot->Decide(OnCampaignClock(request, snapshot->limits()));
 }
 
 std::vector<DecideResponse> CampaignShardMap::DecideBatch(
@@ -256,9 +376,9 @@ std::vector<DecideResponse> CampaignShardMap::DecideBatch(
   if (requests.empty()) return responses;
 
   // Partition request indices by shard. Each shard's slice is then served
-  // by exactly one pool thread: it takes the shard mutex once, walks its
-  // indices, and writes disjoint response slots -- no further
-  // synchronization inside the pass.
+  // by exactly one pool thread: it enters a read guard, loads the shard
+  // index once, walks its indices, and writes disjoint response slots --
+  // no locks anywhere in the pass.
   std::vector<std::vector<size_t>> by_shard(
       static_cast<size_t>(impl_->num_shards));
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -270,28 +390,32 @@ std::vector<DecideResponse> CampaignShardMap::DecideBatch(
     const auto& indices = by_shard[static_cast<size_t>(shard_index)];
     if (indices.empty()) return;
     Shard& shard = *impl_->shards[static_cast<size_t>(shard_index)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    rcu::ReadGuard guard;
+    const Index* index = shard.index.load(std::memory_order_seq_cst);
+    uint64_t served = 0;
     for (size_t i : indices) {
       const DecideRequest& request = requests[i];
       DecideResponse& response = responses[i];
       response.campaign_id = request.campaign_id;
-      auto it = shard.campaigns.find(request.campaign_id);
-      if (it == shard.campaigns.end()) {
-        response.status = Status::NotFound(
-            StringF("campaign %llu is not live",
-                    static_cast<unsigned long long>(request.campaign_id)));
+      auto it = index->find(request.campaign_id);
+      if (it == index->end()) {
+        response.status = NotLive(request.campaign_id);
         continue;
       }
-      ++shard.stats.decides;
-      ++shard.stats.batch_requests;
-      Result<market::OfferSheet> sheet = it->second.controller->Decide(
-          OnCampaignClock(request.request, it->second.limits));
+      const CampaignSnapshot* snapshot =
+          it->second->snapshot.load(std::memory_order_seq_cst);
+      ++served;
+      Result<market::OfferSheet> sheet = snapshot->Decide(
+          OnCampaignClock(request.request, snapshot->limits()));
       if (sheet.ok()) {
         response.sheet = std::move(sheet).value();
       } else {
         response.status = sheet.status();
       }
     }
+    shard.counters.decides.value.fetch_add(served, std::memory_order_relaxed);
+    shard.counters.batch_requests.value.fetch_add(served,
+                                                  std::memory_order_relaxed);
   });
   return responses;
 }
@@ -304,24 +428,35 @@ int CampaignShardMap::ShardOf(CampaignId id) const {
 
 bool CampaignShardMap::Contains(CampaignId id) const {
   Shard& shard = impl_->ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.campaigns.count(id) > 0;
+  rcu::ReadGuard guard;
+  return shard.index.load(std::memory_order_seq_cst)->count(id) > 0;
 }
 
 size_t CampaignShardMap::live_campaigns() const {
   size_t live = 0;
+  rcu::ReadGuard guard;
   for (const auto& shard : impl_->shards) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    live += shard->campaigns.size();
+    live += shard->index.load(std::memory_order_seq_cst)->size();
   }
   return live;
 }
 
 ShardStats CampaignShardMap::shard_stats(int shard_index) const {
   if (shard_index < 0 || shard_index >= impl_->num_shards) return ShardStats{};
-  Shard& shard = *impl_->shards[static_cast<size_t>(shard_index)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.stats;
+  const ShardCounters& c =
+      impl_->shards[static_cast<size_t>(shard_index)]->counters;
+  ShardStats stats;
+  stats.admitted = c.admitted.load(std::memory_order_relaxed);
+  stats.decides = c.decides.value.load(std::memory_order_relaxed);
+  stats.batch_requests = c.batch_requests.value.load(std::memory_order_relaxed);
+  stats.swapped = c.swapped.load(std::memory_order_relaxed);
+  stats.retired_completed =
+      c.retired_completed.load(std::memory_order_relaxed);
+  stats.retired_deadline = c.retired_deadline.load(std::memory_order_relaxed);
+  stats.retired_explicit = c.retired_explicit.load(std::memory_order_relaxed);
+  stats.live = c.live.load(std::memory_order_relaxed);
+  stats.peak_live = c.peak_live.load(std::memory_order_relaxed);
+  return stats;
 }
 
 ShardStats CampaignShardMap::TotalStats() const {
@@ -343,16 +478,30 @@ ShardStats CampaignShardMap::TotalStats() const {
   return total;
 }
 
-Result<market::PricingController*> CampaignShardMap::BorrowController(
-    CampaignId id) {
+SnapshotStats CampaignShardMap::snapshot_stats() const {
+  SnapshotStats stats;
+  stats.published =
+      impl_->snapshot_counters->published.load(std::memory_order_relaxed);
+  stats.reclaimed =
+      impl_->snapshot_counters->reclaimed.load(std::memory_order_relaxed);
+  stats.live_campaigns = live_campaigns();
+  return stats;
+}
+
+void CampaignShardMap::QuiesceReclamation() { rcu::Domain::Global().Drain(); }
+
+Result<BorrowedController> CampaignShardMap::BorrowController(CampaignId id) {
   Shard& shard = impl_->ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.campaigns.find(id);
-  if (it == shard.campaigns.end()) {
-    return Status::NotFound(StringF(
-        "campaign %llu is not live", static_cast<unsigned long long>(id)));
-  }
-  return it->second.controller.get();
+  rcu::ReadGuard guard;
+  const Index* index = shard.index.load(std::memory_order_seq_cst);
+  auto it = index->find(id);
+  if (it == index->end()) return NotLive(id);
+  const CampaignSnapshot* snapshot =
+      it->second->snapshot.load(std::memory_order_seq_cst);
+  // The reference taken under the guard outlives it, pinning the snapshot
+  // (and the artifact tables the controller points into) for the borrow.
+  snapshot->Ref();
+  return BorrowedController(snapshot, snapshot->controller());
 }
 
 void CampaignShardMap::ParallelOverShards(const std::function<void(int)>& fn) {
@@ -379,9 +528,8 @@ void CampaignShardMap::AddDecides(int shard_index, uint64_t count) {
   if (shard_index < 0 || shard_index >= impl_->num_shards || count == 0) {
     return;
   }
-  Shard& shard = *impl_->shards[static_cast<size_t>(shard_index)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.stats.decides += count;
+  impl_->shards[static_cast<size_t>(shard_index)]
+      ->counters.decides.value.fetch_add(count, std::memory_order_relaxed);
 }
 
 }  // namespace crowdprice::serving

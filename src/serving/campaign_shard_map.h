@@ -6,9 +6,9 @@
 // worker-thread pool by campaign id, and serves lookups in batches: each
 // lookup is a market::DecisionRequest answered by the campaign policy's
 // OfferSheet (one offer per task type). DecideBatch partitions a request
-// vector by shard and answers every shard's slice on its own pool thread
-// in a single locked pass, so one call resolves sheets for hundreds of
-// campaigns with no per-request locking and no cross-shard contention.
+// vector by shard and answers every shard's slice on its own pool thread,
+// so one call resolves sheets for hundreds of campaigns with no
+// per-request locking and no cross-shard contention.
 //
 // Lifecycle: Admit assigns an id and builds the controller from the
 // artifact (the artifact is heap-pinned so controllers may point into it);
@@ -18,13 +18,22 @@
 // without interrupting serving. Per-shard counters (ShardStats) expose
 // serving load and lifecycle churn.
 //
-// Thread safety: every public method is safe to call concurrently; state
-// is guarded by one mutex per shard, so operations on different shards
-// never contend. The map invokes controllers only under their shard's
-// mutex, which serializes access per campaign as stateful controllers
-// require -- except for controllers handed out via BorrowController,
-// whose serialization becomes the borrower's job (see the fleet hooks
-// below).
+// Thread safety: every public method is safe to call concurrently. The
+// read path is wait-free: each live campaign publishes an immutable
+// snapshot (pinned artifact + controller + limits, serving/snapshot.h)
+// behind an atomic pointer, and each shard publishes its id -> campaign
+// index the same way. Decide/DecideBatch/Contains/stats never take a
+// mutex -- they enter an RCU read guard (serving/rcu.h), follow the
+// published pointers, and answer. Admit/Retire/SwapArtifact (and the
+// retiring arm of Tick) are the only writers: they serialize on a
+// per-shard writer mutex, publish replacement structures, and hand the
+// old ones to the RCU domain, which frees them only after every in-flight
+// read pass drains (grace-period reclamation; see SnapshotStats).
+// Controllers that declare ThreadSafeDecide() answer on any reader thread
+// directly; stateful controllers (adaptive) keep their per-campaign
+// serialization via a striped spinlock inside the snapshot. Controllers
+// handed out via BorrowController pin their snapshot by refcount and the
+// borrower serializes its own calls (see the fleet hooks below).
 
 #ifndef CROWDPRICE_SERVING_CAMPAIGN_SHARD_MAP_H_
 #define CROWDPRICE_SERVING_CAMPAIGN_SHARD_MAP_H_
@@ -95,6 +104,14 @@ struct DecideResponse {
 /// Churn invariant (any quiescent moment): admitted == retired_completed +
 /// retired_deadline + retired_explicit + live, and live <= peak_live <=
 /// admitted.
+///
+/// Consistency: the counters live as relaxed atomics (each hot counter on
+/// its own cache line) and shard_stats()/TotalStats() read them without
+/// any lock, so a stats snapshot taken during traffic is not a single
+/// instant -- each field is individually exact, but fields may be drawn
+/// microseconds apart and transiently violate the churn invariant (e.g. a
+/// concurrent admission may show in `admitted` but not yet in `live`).
+/// At any quiescent moment every invariant holds exactly, as before.
 struct ShardStats {
   uint64_t admitted = 0;
   uint64_t decides = 0;         ///< Sheets served (single + batched).
@@ -107,11 +124,54 @@ struct ShardStats {
   int64_t peak_live = 0;  ///< High-water mark of `live` (admission churn).
 };
 
+class CampaignSnapshot;  // serving/snapshot.h (internal to the read path)
+
+/// A refcount pin on one campaign's published snapshot, exposing its
+/// controller. The controller stays valid for the borrow's lifetime --
+/// across Retire and SwapArtifact, whose grace periods simply exclude
+/// pinned snapshots -- but goes stale after a swap (it keeps playing the
+/// old policy); re-borrow to pick up the new one. The borrower serializes
+/// its own calls per campaign.
+class BorrowedController {
+ public:
+  BorrowedController() = default;
+  BorrowedController(BorrowedController&& other) noexcept;
+  BorrowedController& operator=(BorrowedController&& other) noexcept;
+  ~BorrowedController();
+
+  BorrowedController(const BorrowedController&) = delete;
+  BorrowedController& operator=(const BorrowedController&) = delete;
+
+  market::PricingController* get() const { return controller_; }
+  market::PricingController& operator*() const { return *controller_; }
+  market::PricingController* operator->() const { return controller_; }
+  explicit operator bool() const { return controller_ != nullptr; }
+
+ private:
+  friend class CampaignShardMap;
+  BorrowedController(const CampaignSnapshot* snapshot,
+                     market::PricingController* controller)
+      : snapshot_(snapshot), controller_(controller) {}
+
+  const CampaignSnapshot* snapshot_ = nullptr;
+  market::PricingController* controller_ = nullptr;
+};
+
+/// Map-wide snapshot lifecycle counters (see snapshot_stats). After
+/// QuiesceReclamation with no outstanding borrows:
+/// published == reclaimed + live_campaigns.
+struct SnapshotStats {
+  uint64_t published = 0;   ///< Snapshots ever published (admits + swaps).
+  uint64_t reclaimed = 0;   ///< Snapshots fully freed (grace period over).
+  uint64_t live_campaigns = 0;  ///< Campaigns currently serving.
+};
+
 class CampaignShardMap {
  public:
   /// num_shards in [1, 4096]. The map starts a worker pool of up to
-  /// min(num_shards, hardware_concurrency) threads (batch passes use one
-  /// thread per shard, so more shards than cores just queue).
+  /// min(num_shards, hardware_concurrency) threads, pinned to cores for
+  /// cache locality (batch passes use one thread per shard, so more
+  /// shards than cores just queue).
   static Result<CampaignShardMap> Create(int num_shards);
 
   ~CampaignShardMap();
@@ -152,10 +212,11 @@ class CampaignShardMap {
   Status Retire(CampaignId id);
 
   /// Atomically replaces a live campaign's pinned artifact and controller
-  /// under the shard lock: lookups before the swap answer from the old
-  /// policy, lookups after from the new one, and the campaign's id,
-  /// limits and stats carry over (the swap itself counts in
-  /// ShardStats::swapped). The replacement controller starts fresh --
+  /// by publishing a whole new snapshot: lookups before the swap answer
+  /// from the old policy, lookups after from the new one -- never a mix
+  /// -- and the campaign's id, limits and stats carry over (the swap
+  /// itself counts in ShardStats::swapped). The old snapshot is freed
+  /// after its grace period. The replacement controller starts fresh --
   /// stateful policies (adaptive) lose their in-flight tracking. Fails
   /// NotFound for unknown/retired campaigns and propagates MakeController
   /// errors, leaving the campaign untouched.
@@ -169,8 +230,10 @@ class CampaignShardMap {
   // --- Serving -----------------------------------------------------------
 
   /// One lookup: the sheet the campaign's policy posts for `request`.
-  /// (The single-offer shim finished its deprecation cycle; single-type
-  /// callers pass DecisionRequest::Single and read sheet.offers[0].)
+  /// Wait-free against every other operation, including swaps and
+  /// retirements of the same campaign. (The single-offer shim finished
+  /// its deprecation cycle; single-type callers pass
+  /// DecisionRequest::Single and read sheet.offers[0].)
   ///
   /// Serving-plane requests carry the marketplace wall clock in
   /// `now_hours`; the map derives the campaign clock itself
@@ -182,10 +245,11 @@ class CampaignShardMap {
                                     const market::DecisionRequest& request);
 
   /// Batched lookups: requests are partitioned by shard and each shard's
-  /// slice is answered on its own pool thread in one locked pass.
-  /// Responses align with `requests` index-for-index; per-request failures
-  /// (unknown campaign, controller error) land in the response status
-  /// without failing the batch.
+  /// slice is answered on its own pool thread in one read-guarded pass --
+  /// no locks taken, so concurrent Admit/Swap/Retire never stall the
+  /// batch. Responses align with `requests` index-for-index; per-request
+  /// failures (unknown campaign, controller error) land in the response
+  /// status without failing the batch.
   std::vector<DecideResponse> DecideBatch(
       const std::vector<DecideRequest>& requests);
 
@@ -196,30 +260,44 @@ class CampaignShardMap {
   int ShardOf(CampaignId id) const;
   bool Contains(CampaignId id) const;
   size_t live_campaigns() const;
-  /// Snapshot of one shard's counters. shard in [0, num_shards).
+  /// One shard's counters, read lock-free (see the ShardStats consistency
+  /// note). shard in [0, num_shards).
   ShardStats shard_stats(int shard) const;
-  /// Sum of all shard snapshots.
+  /// Sum of all shard counter reads (same consistency caveat).
   ShardStats TotalStats() const;
+
+  /// Snapshot lifecycle counters (published / reclaimed / live). The
+  /// reconciliation invariant published == reclaimed + live_campaigns
+  /// holds after QuiesceReclamation with no outstanding borrows; between
+  /// quiesce points `reclaimed` lags by the snapshots still inside a
+  /// grace period.
+  SnapshotStats snapshot_stats() const;
+
+  /// Waits for every in-flight read pass and frees every retired
+  /// structure (test/teardown hook; serving never needs it). Borrowed
+  /// snapshots are freed later, when their last borrow drops.
+  void QuiesceReclamation();
 
   // --- Fleet-simulator hooks ---------------------------------------------
 
-  /// Borrows the controller owned by a live campaign. The pointer stays
-  /// valid until the campaign is retired; the caller must serialize its
-  /// own calls per campaign (the fleet simulator drives each campaign
+  /// Borrows a live campaign's controller, pinning its current snapshot
+  /// by refcount: the controller stays valid for the borrow's lifetime,
+  /// even across Retire or SwapArtifact (after a swap it keeps playing
+  /// the old policy -- re-borrow to rebind). The caller must serialize
+  /// its own calls per campaign (the fleet simulator drives each campaign
   /// from exactly one shard thread).
-  Result<market::PricingController*> BorrowController(CampaignId id);
+  Result<BorrowedController> BorrowController(CampaignId id);
 
   /// Runs fn(shard) for every shard concurrently on the serving pool. fn
-  /// runs without any shard lock held, so it may call the mutex-guarded
-  /// methods (Decide, Tick, Retire, stats) -- but NOT DecideBatch or
-  /// ParallelOverShards, which would nest a region on the same
-  /// non-reentrant pool and deadlock.
+  /// runs with no map lock or read guard held, so it may call any public
+  /// method -- but NOT DecideBatch or ParallelOverShards, which would
+  /// nest a region on the same non-reentrant pool and deadlock.
   void ParallelOverShards(const std::function<void(int)>& fn);
 
   /// Same, plus one `extra` task run concurrently with the shard passes
-  /// (the streaming fleet's admission lane: Admit/Retire/SwapArtifact only
-  /// take the target shard's mutex, so campaigns enter the map while other
-  /// shards -- and the target shard's lock-free session work -- keep
+  /// (the streaming fleet's admission lane: Admit/Retire/SwapArtifact
+  /// only take the target shard's writer mutex, and serving reads never
+  /// take even that, so campaigns enter the map while every shard keeps
   /// being ticked, with no global barrier). `extra` obeys the same rules
   /// as fn.
   void ParallelOverShardsWith(const std::function<void(int)>& fn,

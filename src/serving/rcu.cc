@@ -1,0 +1,160 @@
+#include "serving/rcu.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace crowdprice::serving::rcu {
+
+/// This thread's cached slot in the global domain, released at thread
+/// exit. Safe to hold across the thread's whole life only because the
+/// global domain is never destroyed.
+struct ThreadSlotCache {
+  Domain::Slot* slot = nullptr;
+
+  ~ThreadSlotCache() {
+    if (slot != nullptr) {
+      slot->epoch.store(0, std::memory_order_release);
+      slot->owner.store(0, std::memory_order_release);
+    }
+  }
+};
+
+namespace {
+thread_local ThreadSlotCache tls_global_slot;
+}  // namespace
+
+Domain::Domain() : Domain(/*tls_cached=*/false) {}
+
+Domain::Domain(bool tls_cached)
+    : tls_cached_(tls_cached), slots_(kMaxReaderSlots) {}
+
+Domain::~Domain() {
+  // By contract no reader is live and no writer is retiring: free the
+  // whole limbo list unconditionally.
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  for (const Retired& item : limbo_) {
+    item.reclaim(item.object);
+  }
+  reclaimed_.fetch_add(limbo_.size(), std::memory_order_relaxed);
+  limbo_.clear();
+}
+
+Domain& Domain::Global() {
+  // Never destroyed: threads release their cached slots at arbitrary
+  // exit times, possibly after static destruction would have run.
+  static Domain* domain = new Domain(/*tls_cached=*/true);
+  return *domain;
+}
+
+Domain::Slot* Domain::ClaimSlot() {
+  for (int i = 0; i < kMaxReaderSlots; ++i) {
+    uint32_t expected = 0;
+    if (slots_[static_cast<size_t>(i)].owner.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel)) {
+      return &slots_[static_cast<size_t>(i)];
+    }
+  }
+  std::fprintf(stderr, "rcu::Domain: reader slots exhausted (%d readers)\n",
+               kMaxReaderSlots);
+  std::abort();
+}
+
+Domain::Slot* Domain::GuardEnter() {
+  Slot* slot;
+  if (tls_cached_) {
+    slot = tls_global_slot.slot;
+    if (slot == nullptr) {
+      slot = ClaimSlot();
+      tls_global_slot.slot = slot;
+    }
+    if (slot->depth++ != 0) return slot;  // nested: epoch already published
+  } else {
+    // Uncached domains claim a fresh slot per guard; a nested guard just
+    // occupies a second slot, which the reclaim scan handles naturally.
+    slot = ClaimSlot();
+    slot->depth = 1;
+  }
+  slot->epoch.store(global_epoch_.load(std::memory_order_seq_cst),
+                    std::memory_order_seq_cst);
+  return slot;
+}
+
+void Domain::GuardExit(Slot* slot) {
+  if (--slot->depth != 0) return;
+  slot->epoch.store(0, std::memory_order_release);
+  if (!tls_cached_) slot->owner.store(0, std::memory_order_release);
+}
+
+void Domain::Retire(void* object, void (*reclaim)(void*)) {
+  const uint64_t retire_epoch =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  limbo_.push_back(Retired{object, reclaim, retire_epoch});
+  // Opportunistic reclaim keeps the limbo list bounded by the number of
+  // retirements inside one grace period -- no background thread needed.
+  ReclaimLocked();
+}
+
+size_t Domain::TryReclaim() {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return ReclaimLocked();
+}
+
+size_t Domain::ReclaimLocked() {
+  if (limbo_.empty()) return 0;
+  // An object is safe once every occupied slot is quiescent or entered at
+  // or after the object's retire epoch (such readers observed the unlink).
+  uint64_t min_active = UINT64_MAX;
+  for (const Slot& slot : slots_) {
+    const uint64_t epoch = slot.epoch.load(std::memory_order_seq_cst);
+    if (epoch != 0 && epoch < min_active) min_active = epoch;
+  }
+  size_t freed = 0;
+  size_t kept = 0;
+  for (Retired& item : limbo_) {
+    if (item.epoch <= min_active) {
+      item.reclaim(item.object);
+      ++freed;
+    } else {
+      limbo_[kept++] = item;
+    }
+  }
+  limbo_.resize(kept);
+  reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+void Domain::Synchronize() {
+  const uint64_t target =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  for (const Slot& slot : slots_) {
+    uint64_t epoch;
+    while ((epoch = slot.epoch.load(std::memory_order_seq_cst)) != 0 &&
+           epoch < target) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Domain::Drain() {
+  // One pass suffices for anything retired before the call; loop to also
+  // cover retirements that raced in while we synchronized.
+  for (;;) {
+    Synchronize();
+    TryReclaim();
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    if (limbo_.empty()) return;
+  }
+}
+
+uint64_t Domain::retired_count() const {
+  return retired_.load(std::memory_order_relaxed);
+}
+
+uint64_t Domain::reclaimed_count() const {
+  return reclaimed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace crowdprice::serving::rcu

@@ -1,0 +1,147 @@
+// Epoch-based RCU-style reclamation for the serving read path.
+//
+// The shard map publishes immutable structures (campaign indexes, campaign
+// snapshots) behind atomic pointers. Readers enter a ReadGuard -- one
+// seq_cst store into a cache-line-private slot, no mutex, no RMW on shared
+// state, wait-free -- and may then follow any pointer published while the
+// guard is held. Writers unlink a structure (store a replacement pointer),
+// then hand the old one to Domain::Retire; it is freed only after every
+// reader that might still see it has exited its guard (the grace period).
+//
+// Protocol (all epochs are drawn from one monotone counter per domain):
+//   reader enter:  slot.epoch = global_epoch   (seq_cst)
+//   writer retire: unlink (seq_cst store), retire_epoch = ++global_epoch
+//   reclaim:       free an object iff every occupied slot has epoch 0
+//                  (quiescent) or epoch >= the object's retire_epoch
+//
+// Why seq_cst everywhere that matters: the classic race is a reader that
+// loads the global epoch, stalls before publishing its slot, and wakes
+// after the writer has scanned (seeing the slot empty) and freed. The
+// seq_cst total order closes it: if the writer's scan missed the reader's
+// slot store, the scan precedes that store in the total order, so the
+// reader's subsequent protected-pointer load -- also later in the order --
+// must observe the writer's unlink and can never return the freed object.
+// Consequently, pointers protected by this domain must be loaded AND
+// stored with std::memory_order_seq_cst.
+//
+// Slots: a fixed array of cache-line-padded reader slots. For the global
+// domain -- the hot path -- a thread claims one slot on its first
+// ReadGuard and caches it thread-locally until thread exit (guards nest;
+// only the outermost publishes); the global domain is immortal, so the
+// cached pointer can never dangle. A non-global domain (tests) claims and
+// releases a slot per guard instead, trading a slot scan for freedom from
+// any thread-lifetime coupling.
+
+#ifndef CROWDPRICE_SERVING_RCU_H_
+#define CROWDPRICE_SERVING_RCU_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace crowdprice::serving::rcu {
+
+class Domain {
+ public:
+  /// Concurrent reader-thread capacity per domain. Claiming more aborts
+  /// (a serving deployment runs far fewer threads than this).
+  static constexpr int kMaxReaderSlots = 512;
+
+  Domain();
+  ~Domain();  ///< Frees every pending retirement; no readers may be live.
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Process-wide domain shared by every CampaignShardMap.
+  static Domain& Global();
+
+  /// Hands `object` to the domain after it has been unlinked from every
+  /// published pointer; `reclaim(object)` runs once its grace period
+  /// elapses (opportunistically on later Retire calls, or on
+  /// TryReclaim/Drain). Writers may call this concurrently.
+  void Retire(void* object, void (*reclaim)(void*));
+
+  /// Frees every pending retirement whose grace period has elapsed;
+  /// returns how many were freed. Never blocks on readers.
+  size_t TryReclaim();
+
+  /// Blocks until every reader guard live at the call has exited. New
+  /// guards entered after the call do not block it.
+  void Synchronize();
+
+  /// Synchronize + reclaim until nothing retired before the call remains.
+  void Drain();
+
+  /// Objects handed to Retire / freed so far (monotone; retired_count -
+  /// reclaimed_count is the limbo backlog).
+  uint64_t retired_count() const;
+  uint64_t reclaimed_count() const;
+
+ private:
+  friend class ReadGuard;
+  friend struct ThreadSlotCache;
+
+  struct alignas(64) Slot {
+    /// 0 = quiescent; otherwise the global epoch at guard entry.
+    std::atomic<uint64_t> epoch{0};
+    /// 0 = unclaimed; a thread CASes it to 1 to own the slot.
+    std::atomic<uint32_t> owner{0};
+    /// Guard nesting depth. Touched only by the owning thread.
+    int depth = 0;
+  };
+
+  struct Retired {
+    void* object;
+    void (*reclaim)(void*);
+    uint64_t epoch;
+  };
+
+  explicit Domain(bool tls_cached);
+
+  /// Guard entry/exit: claims (or re-enters) a slot and publishes the
+  /// epoch; exit quiesces the slot once the outermost guard leaves.
+  Slot* GuardEnter();
+  void GuardExit(Slot* slot);
+
+  /// CASes an unclaimed slot to owned; aborts when none is free.
+  Slot* ClaimSlot();
+
+  size_t ReclaimLocked();
+
+  /// Whether reader slots are cached thread-locally (global domain only;
+  /// its immortality is what makes the cache safe).
+  const bool tls_cached_;
+
+  std::atomic<uint64_t> global_epoch_{1};
+  std::vector<Slot> slots_;
+
+  std::mutex limbo_mu_;
+  std::vector<Retired> limbo_;
+
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+};
+
+/// RAII reader critical section. Wait-free: entry is one epoch load plus
+/// one slot store; exit is one slot store. Guards nest.
+class ReadGuard {
+ public:
+  explicit ReadGuard(Domain& domain = Domain::Global())
+      : domain_(domain), slot_(domain.GuardEnter()) {}
+
+  ~ReadGuard() { domain_.GuardExit(slot_); }
+
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  Domain& domain_;
+  Domain::Slot* slot_;
+};
+
+}  // namespace crowdprice::serving::rcu
+
+#endif  // CROWDPRICE_SERVING_RCU_H_

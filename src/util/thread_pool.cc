@@ -3,13 +3,43 @@
 #include <algorithm>
 #include <atomic>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace crowdprice {
 
-ThreadPool::ThreadPool(int num_threads) {
+namespace {
+
+/// Best-effort: pin the calling thread to `core`. Failure (cgroup
+/// restrictions, exotic topologies) is ignored -- pinning is a locality
+/// hint, never a correctness requirement.
+void PinThisThreadToCore(int core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<size_t>(core) %
+              static_cast<size_t>(ThreadPool::DefaultThreads()),
+          &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, bool pin_to_cores) {
   const int n = std::max(0, num_threads - 1);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i, pin_to_cores] {
+      // Worker i takes core i + 1; core 0 is left for the calling thread,
+      // which participates in every region.
+      if (pin_to_cores) PinThisThreadToCore(i + 1);
+      WorkerLoop();
+    });
   }
 }
 

@@ -24,7 +24,12 @@ namespace crowdprice {
 class ThreadPool {
  public:
   /// num_threads <= 1 creates an empty pool (ParallelFor runs inline).
-  explicit ThreadPool(int num_threads);
+  /// With pin_to_cores, each worker sets its affinity to one core
+  /// (worker i -> core (i + 1) % hardware_concurrency; the calling
+  /// thread is left to the scheduler). Pinning is a cache-locality hint
+  /// for pools whose work is partitioned by index, like the serving
+  /// map's shard passes; it is a no-op on non-Linux platforms.
+  explicit ThreadPool(int num_threads, bool pin_to_cores = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -440,6 +440,16 @@ TEST(CampaignShardMapStressTest, ChurnRacesDecideBatchAndCountersReconcile) {
   EXPECT_EQ(map.live_campaigns(), static_cast<size_t>(total.live));
   EXPECT_GE(total.peak_live, total.live);
   EXPECT_LE(total.peak_live, static_cast<int64_t>(kTotal));
+
+  // Snapshot reclamation reconciles at quiesce: every snapshot ever
+  // published (one per admission, one per swap) is either fully freed or
+  // backing a still-live campaign.
+  map.QuiesceReclamation();
+  const SnapshotStats snapshots = map.snapshot_stats();
+  EXPECT_EQ(snapshots.published, total.admitted + total.swapped);
+  EXPECT_EQ(snapshots.live_campaigns, static_cast<uint64_t>(total.live));
+  EXPECT_EQ(snapshots.published,
+            snapshots.reclaimed + snapshots.live_campaigns);
 }
 
 TEST(CampaignShardMapTest, SwapArtifactChangesDecisionsAtTheBoundary) {
@@ -598,6 +608,107 @@ TEST(CampaignShardMapStressTest, SwapArtifactUnderConcurrentServing) {
     EXPECT_GE(offer.per_task_reward_cents, 20.0);
     EXPECT_LE(offer.per_task_reward_cents, 29.0);
   }
+}
+
+// The sharpest race the snapshot read path must win: SwapArtifact and
+// Retire hammering the SAME campaigns that in-flight Decide/DecideBatch
+// passes are serving. Every successful response must come wholly from one
+// published policy -- the initial controller or one of the two swap
+// targets; any other price is a torn snapshot -- and after quiesce the
+// reclamation ledger must balance: snapshots published == reclaimed +
+// live. (The TSan CI job additionally proves the grace-period frees race
+// no in-flight read.)
+TEST(CampaignShardMapStressTest, SameCampaignSwapRetireRacesDecideBatch) {
+  constexpr int kCampaigns = 8;
+  constexpr int kSwapsPerCampaign = 24;
+  constexpr double kInitialPrice = 55.0;
+  constexpr double kSwapPriceA = 77.0;
+  constexpr double kSwapPriceB = 88.0;
+
+  CampaignShardMap map = CampaignShardMap::Create(4).value();
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < kCampaigns; ++i) {
+    ids.push_back(
+        map.AdmitController(FixedController(kInitialPrice), SmallLimits())
+            .value());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> served{0};
+
+  auto check = [&](const DecideResponse& response) {
+    if (response.status.IsNotFound()) return;  // Retired mid-race: fine.
+    if (!response.status.ok()) {
+      torn.fetch_add(1);
+      return;
+    }
+    const double price = response.sheet.offers[0].per_task_reward_cents;
+    if (price != kInitialPrice && price != kSwapPriceA &&
+        price != kSwapPriceB) {
+      torn.fetch_add(1);
+    }
+    served.fetch_add(1);
+  };
+
+  std::thread server([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<DecideRequest> requests;
+      for (CampaignId id : ids) {
+        requests.push_back(DecideRequest::Single(id, 1.0, 5));
+      }
+      for (const DecideResponse& response : map.DecideBatch(requests)) {
+        check(response);
+      }
+      // Single-decide lane: same campaigns, unbatched read path.
+      for (CampaignId id : ids) {
+        DecideResponse response;
+        response.campaign_id = id;
+        Result<market::OfferSheet> sheet =
+            map.Decide(id, market::DecisionRequest::Single(1.0, 5));
+        if (sheet.ok()) {
+          response.sheet = *sheet;
+        } else {
+          response.status = sheet.status();
+        }
+        check(response);
+      }
+    }
+  });
+
+  std::vector<std::thread> churners;
+  for (int half = 0; half < 2; ++half) {
+    churners.emplace_back([&map, &ids, half] {
+      for (size_t i = static_cast<size_t>(half); i < ids.size(); i += 2) {
+        for (int s = 0; s < kSwapsPerCampaign; ++s) {
+          pricing::FixedPriceSolution fixed;
+          fixed.price_cents = s % 2 == 0 ? kSwapPriceA : kSwapPriceB;
+          ASSERT_TRUE(
+              map.SwapArtifact(ids[i], engine::PolicyArtifact(fixed)).ok());
+        }
+        ASSERT_TRUE(map.Retire(ids[i]).ok());
+      }
+    });
+  }
+  for (std::thread& thread : churners) thread.join();
+  stop.store(true, std::memory_order_release);
+  server.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  const ShardStats total = map.TotalStats();
+  EXPECT_EQ(total.swapped,
+            static_cast<uint64_t>(kCampaigns) * kSwapsPerCampaign);
+  EXPECT_EQ(total.retired_explicit, static_cast<uint64_t>(kCampaigns));
+  EXPECT_EQ(map.live_campaigns(), 0u);
+
+  // Reclamation reconciles: one snapshot per admission plus one per swap,
+  // all freed once the grace period drains (no borrows outstanding).
+  map.QuiesceReclamation();
+  const SnapshotStats snapshots = map.snapshot_stats();
+  EXPECT_EQ(snapshots.published,
+            static_cast<uint64_t>(kCampaigns) * (1 + kSwapsPerCampaign));
+  EXPECT_EQ(snapshots.live_campaigns, 0u);
+  EXPECT_EQ(snapshots.published, snapshots.reclaimed);
 }
 
 }  // namespace

@@ -19,7 +19,16 @@
 // required-metric schema (kKnownBenches): a record that parses but lost
 // its headline metrics (a refactor renamed a key, a sweep emitted no
 // cells) fails validation instead of silently emptying the trajectory.
-// Exit code 0 when every file validates, 1 otherwise.
+//
+// The fleet_throughput record additionally carries a scaling-curve gate
+// over decides_per_sec_shards_{1,2,4,8,16}: the serving read path is
+// wait-free, so adding shards must never collapse throughput. The gate is
+// capacity-aware via the record's own params -- strict (monotone within
+// 0.92, 16-shard >= 6x single-shard) when the measuring host reported
+// hw_threads >= 16, non-collapse (monotone within 0.85, 16-shard >= 0.9x)
+// on smaller hosts, and collapse-only (0.5x) for --smoke records, whose
+// sizes are too small to time scaling honestly. Exit code 0 when every
+// file validates, 1 otherwise.
 
 #include <cctype>
 #include <cerrno>
@@ -319,8 +328,84 @@ const std::vector<BenchRequirements>& KnownBenches() {
   return known;
 }
 
-bool ValidateRequirements(const std::string& bench, const JsonObject& metrics,
-                          std::string& error) {
+// Looks up `key` in a params/metrics object; false (with `error` set) when
+// it is absent. Shape validation already guaranteed every entry is a
+// finite number.
+bool RequireNumber(const JsonObject& object, const char* section,
+                   const std::string& key, double& out, std::string& error) {
+  const JsonValue* value = FindKey(object, key);
+  if (value == nullptr) {
+    error = std::string("missing required ") + section + " \"" + key + "\"";
+    return false;
+  }
+  out = std::get<double>(value->value);
+  return true;
+}
+
+// The scaling-curve gate for the fleet_throughput record (see file
+// comment). Thresholds here mirror the bench's own bench::Check gates;
+// the bench enforces them at measurement time, this validator re-derives
+// them from the persisted record so a regressed curve cannot be committed
+// or slip through CI even if the bench binary's checks are bypassed.
+bool ValidateFleetScalingCurve(const JsonObject& params,
+                               const JsonObject& metrics, std::string& error) {
+  double hw_threads = 0.0, smoke = 0.0;
+  if (!RequireNumber(params, "param", "hw_threads", hw_threads, error) ||
+      !RequireNumber(params, "param", "smoke", smoke, error)) {
+    return false;
+  }
+  const std::vector<int> gate_shards = {1, 2, 4, 8, 16};
+  std::map<int, double> curve;
+  for (int shards : gate_shards) {
+    double value = 0.0;
+    if (!RequireNumber(metrics, "metric",
+                       "decides_per_sec_shards_" + std::to_string(shards),
+                       value, error)) {
+      return false;
+    }
+    if (value <= 0.0) {
+      error = "decides_per_sec_shards_" + std::to_string(shards) +
+              " must be positive";
+      return false;
+    }
+    curve[shards] = value;
+  }
+  const bool is_smoke = smoke != 0.0;
+  const double tolerance =
+      is_smoke ? 0.50 : (hw_threads >= 16.0 ? 0.92 : 0.85);
+  const double head_factor =
+      is_smoke ? 0.50 : (hw_threads >= 16.0 ? 6.0 : 0.90);
+  for (size_t i = 0; i + 1 < gate_shards.size(); ++i) {
+    const double prev = curve[gate_shards[i]];
+    const double next = curve[gate_shards[i + 1]];
+    if (next < tolerance * prev) {
+      error = "scaling collapse: decides_per_sec_shards_" +
+              std::to_string(gate_shards[i + 1]) + " (" +
+              std::to_string(next) + ") < " + std::to_string(tolerance) +
+              " x decides_per_sec_shards_" + std::to_string(gate_shards[i]) +
+              " (" + std::to_string(prev) + ")";
+      return false;
+    }
+  }
+  if (curve[16] < head_factor * curve[1]) {
+    error = "scaling gate: decides_per_sec_shards_16 (" +
+            std::to_string(curve[16]) + ") < " + std::to_string(head_factor) +
+            " x decides_per_sec_shards_1 (" + std::to_string(curve[1]) +
+            ") [hw_threads=" + std::to_string(hw_threads) +
+            ", smoke=" + std::to_string(smoke) + "]";
+    return false;
+  }
+  std::printf(
+      "     fleet_throughput scaling gate: %s (16-shard %.2fx 1-shard, "
+      "required >= %.2fx)\n",
+      is_smoke ? "smoke/collapse-only"
+               : (hw_threads >= 16.0 ? "strict 6x" : "non-collapse"),
+      curve[16] / curve[1], head_factor);
+  return true;
+}
+
+bool ValidateRequirements(const std::string& bench, const JsonObject& params,
+                          const JsonObject& metrics, std::string& error) {
   for (const BenchRequirements& required : KnownBenches()) {
     if (bench != required.bench) continue;
     for (const char* key : required.metrics) {
@@ -344,6 +429,12 @@ bool ValidateRequirements(const std::string& bench, const JsonObject& metrics,
                 prefix + "\"";
         return false;
       }
+    }
+  }
+  if (bench == "fleet_throughput") {
+    if (!ValidateFleetScalingCurve(params, metrics, error)) {
+      error = "\"" + bench + "\" " + error;
+      return false;
     }
   }
   return true;
@@ -394,6 +485,7 @@ bool ValidateRecord(const JsonValue& root, std::string& error) {
     }
   }
   return ValidateRequirements(bench->as_string(),
+                              FindKey(record, "params")->as_object(),
                               FindKey(record, "metrics")->as_object(), error);
 }
 

@@ -7,7 +7,7 @@
 //   crowdprice_cli tradeoff --alpha 32 --rate 5083 --max-price 60
 //   crowdprice_cli fleet    --campaigns 500 --shards 8 --tasks 40
 //       --hours 8 --rate 400 --max-price 50 [--bound 0.5] [--seed 7]
-//       [--arrive-over 12] [--retire-frac 0.1]
+//       [--arrive-over 12] [--retire-frac 0.1] [--shards-sweep]
 //   crowdprice_cli multitype --tasks1 15 --tasks2 15 --hours 8
 //       --rate 80 --max-price 30 [--replicates 50] [--out plan.txt]
 //   crowdprice_cli solvers
@@ -29,6 +29,7 @@
 // (single-type) or --s1/--b1/--s2/--b2/--m (joint).
 // Exit code 0 on success, 1 on user error, 2 on solver failure.
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -73,6 +74,8 @@ int Usage() {
       "  crowdprice_cli fleet --campaigns M [--shards S] [--tasks N]\n"
       "      [--hours T] [--rate workers_per_hour] [--max-price C]\n"
       "      [--bound E] [--seed K] [--arrive-over H] [--retire-frac F]\n"
+      "      [--shards-sweep]  (replay the same schedule at shard counts\n"
+      "      1,2,4,8,16,32 and print the decides/sec scaling curve)\n"
       "  crowdprice_cli multitype --tasks1 N1 --tasks2 N2 --hours T\n"
       "      [--rate workers_per_hour] [--max-price C] [--stride S]\n"
       "      [--penalty1 P] [--penalty2 P] [--replicates R] [--seed K]\n"
@@ -86,6 +89,9 @@ int Usage() {
   return 1;
 }
 
+// Flags that take no value; their presence alone sets them.
+bool IsBooleanFlag(const std::string& flag) { return flag == "shards-sweep"; }
+
 Result<Args> Parse(int argc, char** argv) {
   if (argc < 2) return Status::InvalidArgument("missing command");
   Args args;
@@ -96,6 +102,10 @@ Result<Args> Parse(int argc, char** argv) {
       return Status::InvalidArgument(StringF("unexpected token '%s'", flag.c_str()));
     }
     flag = flag.substr(2);
+    if (IsBooleanFlag(flag)) {
+      args.flags[flag] = "1";
+      continue;
+    }
     if (i + 1 >= argc) {
       return Status::InvalidArgument(StringF("flag --%s needs a value", flag.c_str()));
     }
@@ -345,42 +355,96 @@ int RunFleet(const Args& args) {
   sim.decision_interval_hours = hours / intervals;
   sim.service_minutes_per_task = 2.0;
 
-  auto fleet = market::FleetSimulator::Create(shards);
-  if (!fleet.ok()) {
-    std::cerr << fleet.status() << "\n";
-    return 2;
-  }
   // Every campaign plays the same immutable policy: share one copy of the
   // solved tables across the whole fleet. With --arrive-over the fleet is
   // an open marketplace: admissions land at random bucket edges across the
   // window while earlier campaigns are mid-flight.
   auto shared = std::make_shared<const engine::PolicyArtifact>(
       std::move(*artifact));
-  Rng master(seed);
-  market::ArrivalSchedule schedule;
-  for (int i = 0; i < campaigns; ++i) {
-    const double admit_at = market::RandomBucketEdge(
-        master, arrive_over, rate->bucket_width_hours());
-    auto admitted =
-        schedule.AdmitShared(admit_at, shared, sim, *acceptance, master.Fork());
-    if (!admitted.ok()) {
-      std::cerr << admitted.status() << "\n";
-      return 2;
-    }
-    // Proportional victim pick: pull campaign i iff the running count
-    // floor((i+1)*F) advances, so every fleet size retires ~F of its
-    // campaigns.
-    if (retire_frac > 0.0 &&
-        static_cast<int64_t>(static_cast<double>(i + 1) * retire_frac) >
-            static_cast<int64_t>(static_cast<double>(i) * retire_frac)) {
-      const Status scheduled = schedule.RetireAt(*admitted, admit_at + 1.0);
-      if (!scheduled.ok()) {
-        std::cerr << scheduled << "\n";
-        return 2;
+  auto build_schedule = [&]() -> Result<market::ArrivalSchedule> {
+    Rng master(seed);
+    market::ArrivalSchedule schedule;
+    for (int i = 0; i < campaigns; ++i) {
+      const double admit_at = market::RandomBucketEdge(
+          master, arrive_over, rate->bucket_width_hours());
+      auto admitted = schedule.AdmitShared(admit_at, shared, sim, *acceptance,
+                                           master.Fork());
+      if (!admitted.ok()) return admitted.status();
+      // Proportional victim pick: pull campaign i iff the running count
+      // floor((i+1)*F) advances, so every fleet size retires ~F of its
+      // campaigns.
+      if (retire_frac > 0.0 &&
+          static_cast<int64_t>(static_cast<double>(i + 1) * retire_frac) >
+              static_cast<int64_t>(static_cast<double>(i) * retire_frac)) {
+        const Status scheduled = schedule.RetireAt(*admitted, admit_at + 1.0);
+        if (!scheduled.ok()) return scheduled;
       }
     }
+    return schedule;
+  };
+
+  if (args.Has("shards-sweep")) {
+    // Rebuild the schedule from the same seed at every shard count:
+    // identical admission edges and per-campaign RNG streams, so every
+    // row must reproduce the same outcomes (the serving layer's
+    // serial-equivalence contract) -- only the wall clock may differ.
+    std::cout << StringF(
+        "shard sweep: %d campaigns, same schedule per shard count\n\n",
+        campaigns);
+    Table curve({"shards", "decides/sec", "wall s", "finished", "paid cents"});
+    for (int sweep_shards : {1, 2, 4, 8, 16, 32}) {
+      auto sweep_fleet = market::FleetSimulator::Create(sweep_shards);
+      if (!sweep_fleet.ok()) {
+        std::cerr << sweep_fleet.status() << "\n";
+        return 2;
+      }
+      auto schedule = build_schedule();
+      if (!schedule.ok()) {
+        std::cerr << schedule.status() << "\n";
+        return 2;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      auto sweep_outcomes =
+          sweep_fleet->RunStreaming(*rate, std::move(*schedule));
+      if (!sweep_outcomes.ok()) {
+        std::cerr << sweep_outcomes.status() << "\n";
+        return 2;
+      }
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      int64_t finished = 0;
+      double total_cost = 0.0;
+      for (const auto& outcome : *sweep_outcomes) {
+        if (outcome.result.finished) ++finished;
+        total_cost += outcome.result.total_cost_cents;
+      }
+      const auto decides = sweep_fleet->shard_map().TotalStats().decides;
+      (void)curve.AddRow(
+          {StringF("%d", sweep_shards),
+           StringF("%.0f",
+                   wall > 0.0 ? static_cast<double>(decides) / wall : 0.0),
+           StringF("%.3f", wall), StringF("%lld", (long long)finished),
+           StringF("%.0f", total_cost)});
+    }
+    curve.Print(std::cout);
+    std::cout << "\n(identical finished/paid columns across rows are the "
+                 "determinism contract at work)\n";
+    return 0;
   }
-  auto outcomes = fleet->RunStreaming(*rate, std::move(schedule));
+
+  auto fleet = market::FleetSimulator::Create(shards);
+  if (!fleet.ok()) {
+    std::cerr << fleet.status() << "\n";
+    return 2;
+  }
+  auto schedule = build_schedule();
+  if (!schedule.ok()) {
+    std::cerr << schedule.status() << "\n";
+    return 2;
+  }
+  auto outcomes = fleet->RunStreaming(*rate, std::move(*schedule));
   if (!outcomes.ok()) {
     std::cerr << outcomes.status() << "\n";
     return 2;
