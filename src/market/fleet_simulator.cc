@@ -136,10 +136,11 @@ Result<std::vector<FleetOutcome>> DriveFleet(
         limits.deadline_hours = launch.config.horizon_hours;
         limits.admit_hours = admit_wall;
         const auto start = std::chrono::steady_clock::now();
-        Result<serving::CampaignId> admitted =
+        Result<serving::ControlOutcome> admitted = map.Apply(
             launch.artifact != nullptr
-                ? map.AdmitShared(launch.artifact, limits)
-                : map.AdmitController(std::move(launch.controller), limits);
+                ? serving::ControlOp::AdmitShared(launch.artifact, limits)
+                : serving::ControlOp::AdmitController(
+                      std::move(launch.controller), limits));
         const double ms = MillisSince(start);
         admit_ms_total += ms;
         ++admit_timed;
@@ -148,7 +149,7 @@ Result<std::vector<FleetOutcome>> DriveFleet(
           admit_status = admitted.status();
           return;
         }
-        id = *admitted;
+        id = admitted->id;
         ++stats.admitted;
       }
       Result<serving::BorrowedController> controller =
@@ -202,14 +203,14 @@ Result<std::vector<FleetOutcome>> DriveFleet(
       }
       map.AddDecides(shard_index, it->session.decides());
       FleetOutcome& outcome = outcomes[it->index];
-      Result<serving::CampaignState> state =
-          map.Tick(it->id, it->session.end_hours(),
-                   it->session.remaining_tasks());
-      if (!state.ok()) {
-        status = state.status();
+      Result<serving::ControlOutcome> ticked =
+          map.Apply(serving::ControlOp::Tick(it->id, it->session.end_hours(),
+                                             it->session.remaining_tasks()));
+      if (!ticked.ok()) {
+        status = ticked.status();
         return;
       }
-      outcome.final_state = *state;
+      outcome.final_state = ticked->state;
       Result<SimulationResult> result = std::move(it->session).TakeResult();
       if (!result.ok()) {
         status = result.status();
@@ -242,7 +243,8 @@ Result<std::vector<FleetOutcome>> DriveFleet(
             static_cast<long long>(k), static_cast<unsigned long long>(id)));
       }
       if (control.retire) {
-        CP_RETURN_IF_ERROR(map.Retire(id));
+        CP_RETURN_IF_ERROR(
+            map.Apply(serving::ControlOp::Retire(id)).status());
         CP_RETURN_IF_ERROR(
             it->session.Curtail(static_cast<double>(k) * bucket));
         map.AddDecides(shard_index, it->session.decides());
@@ -254,7 +256,10 @@ Result<std::vector<FleetOutcome>> DriveFleet(
         running.erase(it);
         ++stats.retired_by_event;
       } else {
-        CP_RETURN_IF_ERROR(map.SwapArtifactShared(id, control.artifact));
+        CP_RETURN_IF_ERROR(
+            map.Apply(serving::ControlOp::SwapArtifactShared(id,
+                                                             control.artifact))
+                .status());
         CP_ASSIGN_OR_RETURN(serving::BorrowedController controller,
                             map.BorrowController(id));
         it->session.RebindController(*controller);
@@ -487,10 +492,11 @@ Result<serving::CampaignId> FleetSimulator::AdmitShared(
   serving::CampaignLimits limits;
   limits.total_tasks = config.total_tasks;
   limits.deadline_hours = config.horizon_hours;
-  CP_ASSIGN_OR_RETURN(serving::CampaignId id,
-                      map_.AdmitShared(std::move(artifact), limits));
-  pending_.push_back(Pending{id, config, &acceptance, rng});
-  return id;
+  CP_ASSIGN_OR_RETURN(
+      const serving::ControlOutcome admitted,
+      map_.Apply(serving::ControlOp::AdmitShared(std::move(artifact), limits)));
+  pending_.push_back(Pending{admitted.id, config, &acceptance, rng});
+  return admitted.id;
 }
 
 Result<serving::CampaignId> FleetSimulator::AdmitController(
@@ -501,10 +507,11 @@ Result<serving::CampaignId> FleetSimulator::AdmitController(
   serving::CampaignLimits limits;
   limits.total_tasks = config.total_tasks;
   limits.deadline_hours = config.horizon_hours;
-  CP_ASSIGN_OR_RETURN(serving::CampaignId id,
-                      map_.AdmitController(std::move(controller), limits));
-  pending_.push_back(Pending{id, config, &acceptance, rng});
-  return id;
+  CP_ASSIGN_OR_RETURN(const serving::ControlOutcome admitted,
+                      map_.Apply(serving::ControlOp::AdmitController(
+                          std::move(controller), limits)));
+  pending_.push_back(Pending{admitted.id, config, &acceptance, rng});
+  return admitted.id;
 }
 
 Result<std::vector<FleetOutcome>> FleetSimulator::Run(

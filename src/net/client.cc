@@ -1,0 +1,196 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StringF("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+struct PricingClient::Impl {
+  int fd = -1;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  ~Impl() {
+    if (fd >= 0) close(fd);
+  }
+
+  Status SendAll(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("send");
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status RecvAll(char* out, size_t size) {
+    size_t got = 0;
+    while (got < size) {
+      const ssize_t n = recv(fd, out + got, size - got, 0);
+      if (n == 0) {
+        return Status::Internal("connection closed by server");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("recv");
+      }
+      got += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  /// One request/response round trip; validates the response frame type.
+  Result<std::string> RoundTrip(FrameType request_type,
+                                const std::string& payload,
+                                FrameType response_type) {
+    if (fd < 0) return Status::FailedPrecondition("client is not connected");
+    CP_ASSIGN_OR_RETURN(std::string frame,
+                        EncodeFrame(request_type, payload, max_frame_bytes));
+    CP_RETURN_IF_ERROR(SendAll(frame));
+    char header_bytes[kFrameHeaderBytes];
+    CP_RETURN_IF_ERROR(RecvAll(header_bytes, kFrameHeaderBytes));
+    CP_ASSIGN_OR_RETURN(
+        FrameHeader header,
+        DecodeFrameHeader(header_bytes, kFrameHeaderBytes, max_frame_bytes));
+    if (header.type != response_type) {
+      return Status::Internal(
+          StringF("unexpected response frame type %u",
+                  static_cast<unsigned>(header.type)));
+    }
+    std::string response(header.payload_bytes, '\0');
+    if (header.payload_bytes > 0) {
+      CP_RETURN_IF_ERROR(RecvAll(response.data(), response.size()));
+    }
+    return response;
+  }
+};
+
+PricingClient::PricingClient(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+PricingClient::~PricingClient() = default;
+PricingClient::PricingClient(PricingClient&&) noexcept = default;
+PricingClient& PricingClient::operator=(PricingClient&&) noexcept = default;
+
+Result<PricingClient> PricingClient::Connect(const std::string& host,
+                                             uint16_t port,
+                                             uint32_t max_frame_bytes) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StringF("'%s' is not a numeric IPv4 address", host.c_str()));
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Errno("connect");
+    close(fd);
+    return status;
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->fd = fd;
+  impl->max_frame_bytes = max_frame_bytes;
+  return PricingClient(std::move(impl));
+}
+
+bool PricingClient::connected() const {
+  return impl_ != nullptr && impl_->fd >= 0;
+}
+
+void PricingClient::Close() {
+  if (impl_ != nullptr && impl_->fd >= 0) {
+    close(impl_->fd);
+    impl_->fd = -1;
+  }
+}
+
+Result<std::vector<serving::DecideResponse>> PricingClient::DecideBatch(
+    const std::vector<serving::DecideRequest>& requests) {
+  CP_ASSIGN_OR_RETURN(
+      std::string payload,
+      impl_->RoundTrip(FrameType::kDecideBatchRequest,
+                       SerializeDecideBatchRequest(requests),
+                       FrameType::kDecideBatchResponse));
+  CP_ASSIGN_OR_RETURN(std::vector<serving::DecideResponse> responses,
+                      DeserializeDecideBatchResponse(payload));
+  if (responses.size() != requests.size()) {
+    return Status::Internal(
+        StringF("batch response holds %zu entries for %zu requests",
+                responses.size(), requests.size()));
+  }
+  return responses;
+}
+
+Result<market::OfferSheet> PricingClient::Decide(
+    serving::CampaignId id, const market::DecisionRequest& request) {
+  serving::DecideRequest wire_request;
+  wire_request.campaign_id = id;
+  wire_request.request = request;
+  CP_ASSIGN_OR_RETURN(std::vector<serving::DecideResponse> responses,
+                      DecideBatch({wire_request}));
+  serving::DecideResponse& response = responses.front();
+  CP_RETURN_IF_ERROR(response.status);
+  return std::move(response.sheet);
+}
+
+Result<serving::ControlOutcome> PricingClient::Apply(
+    const serving::ControlOp& op) {
+  CP_ASSIGN_OR_RETURN(std::string payload, SerializeControlOp(op));
+  CP_ASSIGN_OR_RETURN(std::string ack,
+                      impl_->RoundTrip(FrameType::kControlRequest, payload,
+                                       FrameType::kControlResponse));
+  return DeserializeControlAck(ack);
+}
+
+Result<serving::CampaignId> PricingClient::AdmitShared(
+    const std::shared_ptr<const engine::PolicyArtifact>& artifact,
+    const serving::CampaignLimits& limits) {
+  CP_ASSIGN_OR_RETURN(
+      const serving::ControlOutcome outcome,
+      Apply(serving::ControlOp::AdmitShared(artifact, limits)));
+  return outcome.id;
+}
+
+Status PricingClient::SwapArtifactShared(
+    serving::CampaignId id,
+    const std::shared_ptr<const engine::PolicyArtifact>& artifact) {
+  return Apply(serving::ControlOp::SwapArtifactShared(id, artifact)).status();
+}
+
+Status PricingClient::Retire(serving::CampaignId id) {
+  return Apply(serving::ControlOp::Retire(id)).status();
+}
+
+Result<serving::CampaignState> PricingClient::Tick(serving::CampaignId id,
+                                                   double now_hours,
+                                                   int64_t remaining_tasks) {
+  CP_ASSIGN_OR_RETURN(
+      const serving::ControlOutcome outcome,
+      Apply(serving::ControlOp::Tick(id, now_hours, remaining_tasks)));
+  return outcome.state;
+}
+
+}  // namespace crowdprice::net

@@ -1,0 +1,108 @@
+// PricingClient: a blocking TCP client for crowdprice_serve, plus
+// RemoteController, which adapts one remote campaign back into the
+// market::PricingController interface so a CampaignSession (or any other
+// controller consumer) can be priced by a server across the wire.
+//
+// The client speaks net/wire.h frames over one connection and is strictly
+// request/response: each call writes one frame and blocks for the
+// matching response frame. Callers serialize their own calls (one client
+// per load-generator process / test thread); the server end interleaves
+// any number of such connections concurrently.
+//
+// Transport failures (connect/send/recv, unparseable responses) surface
+// as Internal/InvalidArgument errors from the call; server-side failures
+// ride the payload and come back with their original code and message --
+// a NotFound for an unknown campaign is NotFound here too.
+
+#ifndef CROWDPRICE_NET_CLIENT_H_
+#define CROWDPRICE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "market/controller.h"
+#include "net/wire.h"
+#include "serving/campaign_shard_map.h"
+#include "util/result.h"
+
+namespace crowdprice::net {
+
+class PricingClient {
+ public:
+  /// Connects to a numeric IPv4 address ("127.0.0.1") and port.
+  static Result<PricingClient> Connect(const std::string& host, uint16_t port,
+                                       uint32_t max_frame_bytes =
+                                           kDefaultMaxFrameBytes);
+
+  ~PricingClient();  ///< Closes the connection.
+  PricingClient(PricingClient&&) noexcept;
+  PricingClient& operator=(PricingClient&&) noexcept;
+  PricingClient(const PricingClient&) = delete;
+  PricingClient& operator=(const PricingClient&) = delete;
+
+  bool connected() const;
+  void Close();
+
+  // --- Serving plane ----------------------------------------------------
+
+  /// One round trip: ships the batch, returns the responses aligned
+  /// index-for-index. Per-request failures ride in each response's
+  /// status; the call itself fails only on transport/protocol errors.
+  Result<std::vector<serving::DecideResponse>> DecideBatch(
+      const std::vector<serving::DecideRequest>& requests);
+
+  /// Single-request convenience over DecideBatch; the per-request status
+  /// (e.g. NotFound) is folded into the returned Result.
+  Result<market::OfferSheet> Decide(serving::CampaignId id,
+                                    const market::DecisionRequest& request);
+
+  // --- Control plane ----------------------------------------------------
+
+  /// Ships `op` to the server's CampaignShardMap::Apply. Controller-backed
+  /// admits cannot cross the wire (InvalidArgument).
+  Result<serving::ControlOutcome> Apply(const serving::ControlOp& op);
+
+  /// Convenience wrappers over Apply, mirroring the map's entry points.
+  Result<serving::CampaignId> AdmitShared(
+      const std::shared_ptr<const engine::PolicyArtifact>& artifact,
+      const serving::CampaignLimits& limits);
+  Status SwapArtifactShared(
+      serving::CampaignId id,
+      const std::shared_ptr<const engine::PolicyArtifact>& artifact);
+  Status Retire(serving::CampaignId id);
+  Result<serving::CampaignState> Tick(serving::CampaignId id, double now_hours,
+                                      int64_t remaining_tasks);
+
+ private:
+  struct Impl;
+  explicit PricingClient(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Plays one remote campaign through the PricingController interface:
+/// Decide forwards a one-request batch for the bound campaign id over the
+/// borrowed client. The server rebases the request onto the campaign's
+/// clock exactly as the in-process map does, so a session priced through
+/// this controller draws the same offers bit-for-bit as one priced by a
+/// borrowed in-process controller. Not thread-safe (the client is
+/// single-stream); one session per client connection.
+class RemoteController final : public market::PricingController {
+ public:
+  RemoteController(PricingClient* client, serving::CampaignId id)
+      : client_(client), id_(id) {}
+
+  Result<market::OfferSheet> Decide(
+      const market::DecisionRequest& request) override {
+    return client_->Decide(id_, request);
+  }
+
+ private:
+  PricingClient* client_;
+  serving::CampaignId id_;
+};
+
+}  // namespace crowdprice::net
+
+#endif  // CROWDPRICE_NET_CLIENT_H_

@@ -1,0 +1,575 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/stringf.h"
+
+namespace crowdprice::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StringF("%s: %s", what, std::strerror(errno)));
+}
+
+/// One TCP connection. The event-loop thread owns the fd, the read
+/// buffer, and all epoll state; `mu` guards the frame FIFO and the
+/// outgoing byte stream, which workers and the loop share. Held by
+/// shared_ptr so a worker mid-frame keeps the struct alive across a
+/// concurrent close.
+struct Conn {
+  int fd = -1;
+
+  // Event-loop thread only.
+  std::string in;
+  bool write_armed = false;
+
+  std::mutex mu;
+  std::deque<std::pair<FrameType, std::string>> pending;  // parsed frames
+  bool busy = false;  ///< A worker currently owns this conn's FIFO.
+  std::string out;
+  size_t out_pos = 0;
+  bool dead = false;  ///< Closed; workers must stop appending output.
+};
+
+}  // namespace
+
+struct PricingServer::Impl {
+  serving::CampaignShardMap* map = nullptr;
+  ServerOptions options;
+
+  // --- run state (rebuilt by each Start) --------------------------------
+  bool running = false;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  uint16_t bound_port = 0;
+  std::thread loop_thread;
+  std::vector<std::thread> workers;
+
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;  // loop thread only
+
+  // Worker handoff: connections with a non-empty FIFO and no owner.
+  std::mutex work_mu;
+  std::condition_variable work_cv;
+  std::deque<std::shared_ptr<Conn>> work;
+
+  // Connections with response bytes awaiting a flush by the loop thread.
+  std::mutex flush_mu;
+  std::vector<std::shared_ptr<Conn>> flush;
+
+  std::atomic<bool> stopping{false};  ///< Stop() called: no new accepts.
+  std::atomic<bool> shutdown{false};  ///< Drain done: threads exit.
+
+  // Drain accounting: frames parsed but not yet answered, and response
+  // bytes not yet on the wire. Stop() waits for both to reach zero.
+  std::atomic<int64_t> frames_inflight{0};
+  std::atomic<int64_t> bytes_unflushed{0};
+
+  // ServerStats (monotone across restarts).
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> decide_requests{0};
+  std::atomic<uint64_t> control_ops{0};
+  std::atomic<uint64_t> protocol_errors{0};
+
+  void Wake() {
+    uint64_t one = 1;
+    ssize_t n = write(wake_fd, &one, sizeof(one));
+    static_cast<void>(n);
+  }
+
+  void EnqueueFlush(const std::shared_ptr<Conn>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mu);
+      flush.push_back(conn);
+    }
+    Wake();
+  }
+
+  // --- worker side ------------------------------------------------------
+
+  std::string HandleDecideBatch(const std::string& payload) {
+    Result<std::vector<serving::DecideRequest>> requests =
+        DeserializeDecideBatchRequest(payload);
+    if (!requests.ok()) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      return SerializeBatchError(requests.status());
+    }
+    decide_requests.fetch_add(requests->size(), std::memory_order_relaxed);
+    if (requests->size() >= options.pool_batch_threshold) {
+      // Big batches fan out per shard on the map's serving pool. Pool
+      // regions serialize across concurrent callers, so this path trades
+      // cross-connection concurrency for within-batch parallelism.
+      return SerializeDecideBatchResponse(map->DecideBatch(*requests));
+    }
+    // Small batches answer inline: each lookup is the map's wait-free
+    // RCU read path, so every handler thread prices concurrently with
+    // all the others and with any in-flight control op.
+    std::vector<serving::DecideResponse> responses;
+    responses.reserve(requests->size());
+    for (const serving::DecideRequest& request : *requests) {
+      serving::DecideResponse response;
+      response.campaign_id = request.campaign_id;
+      Result<market::OfferSheet> sheet =
+          map->Decide(request.campaign_id, request.request);
+      if (sheet.ok()) {
+        response.sheet = std::move(sheet).value();
+      } else {
+        response.status = sheet.status();
+      }
+      responses.push_back(std::move(response));
+    }
+    return SerializeDecideBatchResponse(responses);
+  }
+
+  std::string HandleControl(const std::string& payload) {
+    Result<serving::ControlOp> op = DeserializeControlOp(payload);
+    if (!op.ok()) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      return SerializeControlAck(op.status());
+    }
+    control_ops.fetch_add(1, std::memory_order_relaxed);
+    return SerializeControlAck(map->Apply(std::move(op).value()));
+  }
+
+  void HandleFrame(const std::shared_ptr<Conn>& conn, FrameType type,
+                   const std::string& payload) {
+    std::string response_payload;
+    FrameType response_type;
+    switch (type) {
+      case FrameType::kDecideBatchRequest:
+        response_type = FrameType::kDecideBatchResponse;
+        response_payload = HandleDecideBatch(payload);
+        break;
+      case FrameType::kControlRequest:
+        response_type = FrameType::kControlResponse;
+        response_payload = HandleControl(payload);
+        break;
+      default:
+        // A client sent a response-type frame; answer its own plane's
+        // error form so it can resync.
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        response_type = FrameType::kControlResponse;
+        response_payload = SerializeControlAck(Status::InvalidArgument(
+            "server received a response-type frame"));
+        break;
+    }
+    Result<std::string> frame = EncodeFrame(response_type, response_payload,
+                                            options.max_frame_bytes);
+    if (!frame.ok()) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      frame = EncodeFrame(
+          response_type,
+          response_type == FrameType::kControlResponse
+              ? SerializeControlAck(frame.status())
+              : SerializeBatchError(frame.status()),
+          options.max_frame_bytes);
+    }
+    bool flush_needed = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->dead && frame.ok()) {
+        conn->out += *frame;
+        bytes_unflushed.fetch_add(static_cast<int64_t>(frame->size()),
+                                  std::memory_order_relaxed);
+        flush_needed = true;
+      }
+    }
+    frames_inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (flush_needed) EnqueueFlush(conn);
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::shared_ptr<Conn> conn;
+      {
+        std::unique_lock<std::mutex> lock(work_mu);
+        work_cv.wait(lock, [&] {
+          return !work.empty() || shutdown.load(std::memory_order_acquire);
+        });
+        if (work.empty()) return;  // shutdown and nothing left
+        conn = std::move(work.front());
+        work.pop_front();
+      }
+      // Drain this connection's FIFO in order; the idle -> busy edge in
+      // the loop thread guarantees exactly one worker owns it at a time.
+      for (;;) {
+        std::pair<FrameType, std::string> frame;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          if (conn->pending.empty()) {
+            conn->busy = false;
+            break;
+          }
+          frame = std::move(conn->pending.front());
+          conn->pending.pop_front();
+        }
+        HandleFrame(conn, frame.first, frame.second);
+      }
+    }
+  }
+
+  // --- event-loop side --------------------------------------------------
+
+  void ArmWrite(Conn* conn, bool enable) {
+    if (conn->write_armed == enable) return;
+    epoll_event event{};
+    event.events = EPOLLIN | (enable ? EPOLLOUT : 0u);
+    event.data.fd = conn->fd;
+    epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &event);
+    conn->write_armed = enable;
+  }
+
+  void CloseConn(int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    std::shared_ptr<Conn> conn = it->second;
+    conns.erase(it);
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->dead = true;
+      const auto dropped =
+          static_cast<int64_t>(conn->out.size() - conn->out_pos);
+      if (dropped > 0) {
+        bytes_unflushed.fetch_sub(dropped, std::memory_order_relaxed);
+      }
+      conn->out.clear();
+      conn->out_pos = 0;
+    }
+    close(fd);
+  }
+
+  /// Writes as much of conn->out as the socket takes. Loop thread only.
+  void TryFlush(const std::shared_ptr<Conn>& conn) {
+    if (conn->fd < 0) return;
+    bool fatal = false;
+    bool partial = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->dead) return;
+      while (conn->out_pos < conn->out.size()) {
+        const ssize_t n =
+            send(conn->fd, conn->out.data() + conn->out_pos,
+                 conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+        if (n > 0) {
+          conn->out_pos += static_cast<size_t>(n);
+          bytes_unflushed.fetch_sub(n, std::memory_order_relaxed);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          partial = true;
+          break;
+        }
+        fatal = true;
+        break;
+      }
+      if (conn->out_pos == conn->out.size()) {
+        conn->out.clear();
+        conn->out_pos = 0;
+      }
+    }
+    if (fatal) {
+      CloseConn(conn->fd);
+      return;
+    }
+    ArmWrite(conn.get(), partial);
+  }
+
+  void Accept() {
+    for (;;) {
+      const int fd =
+          accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN or a transient error; poll again later
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      epoll_event event{};
+      event.events = EPOLLIN;
+      event.data.fd = fd;
+      if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+        close(fd);
+        continue;
+      }
+      conns.emplace(fd, std::move(conn));
+      connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Reads available bytes and hands every complete frame to the worker
+  /// pool. Returns false when the connection should close.
+  bool ReadFrames(const std::shared_ptr<Conn>& conn) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->in.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) return false;  // peer closed
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    bool enqueue = false;
+    while (conn->in.size() >= kFrameHeaderBytes) {
+      Result<FrameHeader> header = DecodeFrameHeader(
+          conn->in.data(), conn->in.size(), options.max_frame_bytes);
+      if (!header.ok()) {
+        // Unframeable stream: no way to resync a length-prefixed
+        // protocol, so drop the connection.
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      const size_t total = kFrameHeaderBytes + header->payload_bytes;
+      if (conn->in.size() < total) break;
+      std::string payload =
+          conn->in.substr(kFrameHeaderBytes, header->payload_bytes);
+      conn->in.erase(0, total);
+      frames_received.fetch_add(1, std::memory_order_relaxed);
+      frames_inflight.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->pending.emplace_back(header->type, std::move(payload));
+      if (!conn->busy) {
+        conn->busy = true;
+        enqueue = true;
+      }
+    }
+    if (enqueue) {
+      {
+        std::lock_guard<std::mutex> lock(work_mu);
+        work.push_back(conn);
+      }
+      work_cv.notify_one();
+    }
+    return true;
+  }
+
+  void EventLoop() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    bool accepting = true;
+    while (!shutdown.load(std::memory_order_acquire)) {
+      const int n = epoll_wait(epoll_fd, events, kMaxEvents, 100);
+      if (accepting && stopping.load(std::memory_order_acquire)) {
+        epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+        accepting = false;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_fd) {
+          uint64_t drained;
+          while (read(wake_fd, &drained, sizeof(drained)) > 0) {
+          }
+          continue;
+        }
+        if (fd == listen_fd) {
+          if (accepting) Accept();
+          continue;
+        }
+        auto it = conns.find(fd);
+        if (it == conns.end()) continue;
+        std::shared_ptr<Conn> conn = it->second;
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 ||
+            ((events[i].events & EPOLLIN) != 0 && !ReadFrames(conn))) {
+          CloseConn(fd);
+          continue;
+        }
+        if ((events[i].events & EPOLLOUT) != 0) TryFlush(conn);
+      }
+      // Flush responses workers queued since the last pass.
+      std::vector<std::shared_ptr<Conn>> to_flush;
+      {
+        std::lock_guard<std::mutex> lock(flush_mu);
+        to_flush.swap(flush);
+      }
+      for (const auto& conn : to_flush) {
+        if (conns.count(conn->fd) != 0) TryFlush(conn);
+      }
+    }
+    // Teardown: close every connection (drain already ran in Stop).
+    std::vector<int> fds;
+    fds.reserve(conns.size());
+    for (const auto& [fd, conn] : conns) fds.push_back(fd);
+    for (int fd : fds) CloseConn(fd);
+  }
+};
+
+PricingServer::PricingServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+PricingServer::~PricingServer() {
+  if (impl_ != nullptr && impl_->running) {
+    const Status stopped = Stop();
+    static_cast<void>(stopped);
+  }
+}
+
+PricingServer::PricingServer(PricingServer&&) noexcept = default;
+PricingServer& PricingServer::operator=(PricingServer&&) noexcept = default;
+
+Result<PricingServer> PricingServer::Create(serving::CampaignShardMap* map,
+                                            const ServerOptions& options) {
+  if (map == nullptr) {
+    return Status::InvalidArgument("map must not be null");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument(
+        StringF("num_workers must be >= 1; got %d", options.num_workers));
+  }
+  if (options.listen_backlog < 1) {
+    return Status::InvalidArgument(
+        StringF("listen_backlog must be >= 1; got %d",
+                options.listen_backlog));
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->map = map;
+  impl->options = options;
+  return PricingServer(std::move(impl));
+}
+
+Status PricingServer::Start() {
+  if (impl_->running) {
+    return Status::FailedPrecondition("server is already running");
+  }
+  const int listen_fd =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) return Errno("socket");
+  const int reuse = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(impl_->options.port);
+  if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Errno("bind");
+    close(listen_fd);
+    return status;
+  }
+  if (listen(listen_fd, impl_->options.listen_backlog) != 0) {
+    const Status status = Errno("listen");
+    close(listen_fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) !=
+      0) {
+    const Status status = Errno("getsockname");
+    close(listen_fd);
+    return status;
+  }
+  const int epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    const Status status = Errno("epoll_create1");
+    close(listen_fd);
+    return status;
+  }
+  const int wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd < 0) {
+    const Status status = Errno("eventfd");
+    close(epoll_fd);
+    close(listen_fd);
+    return status;
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = listen_fd;
+  epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &event);
+  event.data.fd = wake_fd;
+  epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &event);
+
+  impl_->listen_fd = listen_fd;
+  impl_->epoll_fd = epoll_fd;
+  impl_->wake_fd = wake_fd;
+  impl_->bound_port = ntohs(addr.sin_port);
+  impl_->stopping.store(false, std::memory_order_release);
+  impl_->shutdown.store(false, std::memory_order_release);
+  impl_->frames_inflight.store(0, std::memory_order_relaxed);
+  impl_->bytes_unflushed.store(0, std::memory_order_relaxed);
+
+  Impl* impl = impl_.get();
+  impl_->loop_thread = std::thread([impl] { impl->EventLoop(); });
+  impl_->workers.reserve(static_cast<size_t>(impl_->options.num_workers));
+  for (int i = 0; i < impl_->options.num_workers; ++i) {
+    impl_->workers.emplace_back([impl] { impl->WorkerLoop(); });
+  }
+  impl_->running = true;
+  return Status::OK();
+}
+
+Status PricingServer::Stop() {
+  if (!impl_->running) {
+    return Status::FailedPrecondition("server is not running");
+  }
+  // Phase 1: no new connections.
+  impl_->stopping.store(true, std::memory_order_release);
+  impl_->Wake();
+  // Phase 2: wait for in-flight frames to be answered and flushed.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(impl_->options.drain_timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (impl_->frames_inflight.load(std::memory_order_relaxed) == 0 &&
+        impl_->bytes_unflushed.load(std::memory_order_relaxed) == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Phase 3: tear the loop down.
+  impl_->shutdown.store(true, std::memory_order_release);
+  impl_->Wake();
+  impl_->work_cv.notify_all();
+  impl_->loop_thread.join();
+  for (std::thread& worker : impl_->workers) worker.join();
+  impl_->workers.clear();
+  {
+    std::lock_guard<std::mutex> lock(impl_->work_mu);
+    impl_->work.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->flush_mu);
+    impl_->flush.clear();
+  }
+  close(impl_->wake_fd);
+  close(impl_->epoll_fd);
+  close(impl_->listen_fd);
+  impl_->wake_fd = impl_->epoll_fd = impl_->listen_fd = -1;
+  impl_->running = false;
+  return Status::OK();
+}
+
+bool PricingServer::running() const { return impl_->running; }
+
+uint16_t PricingServer::port() const { return impl_->bound_port; }
+
+ServerStats PricingServer::stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      impl_->connections_accepted.load(std::memory_order_relaxed);
+  stats.frames_received =
+      impl_->frames_received.load(std::memory_order_relaxed);
+  stats.decide_requests =
+      impl_->decide_requests.load(std::memory_order_relaxed);
+  stats.control_ops = impl_->control_ops.load(std::memory_order_relaxed);
+  stats.protocol_errors =
+      impl_->protocol_errors.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace crowdprice::net

@@ -1,0 +1,112 @@
+// PricingServer: the network front-end over a CampaignShardMap.
+//
+// crowdprice_serve exposes the map's two planes over TCP (net/wire.h
+// frames):
+//
+//   - Serving plane: kDecideBatchRequest frames answer on the map's
+//     wait-free read path. Each connection's frames are handled in
+//     arrival order by a worker pool; a decide batch walks
+//     CampaignShardMap::Decide per request -- an RCU-guarded pointer
+//     chase with no locks -- so N connections price concurrently and a
+//     control op on one shard never stalls anyone. Batches at or above
+//     ServerOptions::pool_batch_threshold go through DecideBatch instead,
+//     fanning out per shard on the map's serving pool.
+//   - Control plane: kControlRequest frames deserialize to a
+//     serving::ControlOp and funnel into CampaignShardMap::Apply, the
+//     same single writer surface ArrivalSchedule events use; the outcome
+//     (or the server-side Status, NotFound included) rides back in the
+//     ack frame.
+//
+// Architecture: one epoll event-loop thread owns every socket (accept,
+// nonblocking reads, frame reassembly, response writes); `num_workers`
+// handler threads own payload parsing and map calls. A connection is
+// enqueued to the worker pool on its idle -> busy edge and a single
+// worker drains its frame FIFO, so responses leave in request order per
+// connection while distinct connections spread across the pool.
+//
+// Lifecycle: Start/Stop return Status (double start, double stop, and
+// socket errors are errors, never UB) and the pair may be repeated. Stop
+// is graceful: it stops accepting, waits up to drain_timeout_ms for
+// in-flight frames to be answered and flushed, then tears the loop down.
+//
+// Malformed traffic never crashes the server: an unframeable byte stream
+// (bad magic/version/oversized length) counts in
+// ServerStats::protocol_errors and closes that connection; a well-framed
+// but unparseable payload gets an error response on the wire.
+
+#ifndef CROWDPRICE_NET_SERVER_H_
+#define CROWDPRICE_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/wire.h"
+#include "serving/campaign_shard_map.h"
+#include "util/result.h"
+
+namespace crowdprice::net {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 binds an ephemeral port (read it back via
+  /// port() after Start).
+  uint16_t port = 0;
+  /// Frame-handler threads. At least 1.
+  int num_workers = 4;
+  /// Reject frames whose payload exceeds this many bytes.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// listen(2) backlog.
+  int listen_backlog = 128;
+  /// Stop(): how long to wait for in-flight frames to drain before
+  /// tearing the loop down anyway.
+  int drain_timeout_ms = 5000;
+  /// Decide batches with at least this many requests are answered via
+  /// DecideBatch on the map's serving pool (per-shard fan-out); smaller
+  /// batches answer inline on the handler thread, wait-free.
+  size_t pool_batch_threshold = 256;
+};
+
+/// Monotone counters over the server's lifetime (across restarts).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_received = 0;   ///< Well-framed frames handed to workers.
+  uint64_t decide_requests = 0;   ///< Individual decide requests answered.
+  uint64_t control_ops = 0;       ///< Control frames applied to the map.
+  uint64_t protocol_errors = 0;   ///< Unframeable streams + bad payloads.
+};
+
+class PricingServer {
+ public:
+  /// Borrows `map`, which must outlive the server. Validates options.
+  static Result<PricingServer> Create(serving::CampaignShardMap* map,
+                                      const ServerOptions& options = {});
+
+  ~PricingServer();  ///< Stops the server if running.
+  PricingServer(PricingServer&&) noexcept;
+  PricingServer& operator=(PricingServer&&) noexcept;
+  PricingServer(const PricingServer&) = delete;
+  PricingServer& operator=(const PricingServer&) = delete;
+
+  /// Binds, listens, and spawns the event loop + workers.
+  /// FailedPrecondition if already running; Internal on socket errors.
+  Status Start();
+
+  /// Graceful shutdown (see file comment). FailedPrecondition if not
+  /// running. After Stop returns, Start may be called again.
+  Status Stop();
+
+  bool running() const;
+
+  /// The bound TCP port; 0 before the first successful Start.
+  uint16_t port() const;
+
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  explicit PricingServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace crowdprice::net
+
+#endif  // CROWDPRICE_NET_SERVER_H_

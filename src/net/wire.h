@@ -1,0 +1,144 @@
+// Wire protocol for crowdprice_serve: length-prefixed binary frames over
+// TCP, carrying the DecisionRequest -> OfferSheet serving surface and the
+// campaign control plane (serving::ControlOp) between processes.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "CPWF"
+//   4       2     version (kWireVersion)
+//   6       2     frame type (FrameType)
+//   8       4     payload length in bytes
+//   12      n     payload
+//
+// Payloads are the same line-oriented hex-float text the artifact and
+// plan codecs use (pricing/serialization.cc, engine/policy_artifact.cc):
+// doubles print as %a and parse with strtod, so every value round-trips
+// bit-exactly, and admit/swap control ops embed the artifact's own
+// Serialize() text verbatim as a byte-counted block. Statuses cross the
+// wire as `int(code) <escaped message>` -- code and message both survive
+// the round trip, so a server-side NotFound reaches the client as
+// NotFound (util::StatusCodeFromInt guards unknown codes).
+//
+// Every Deserialize* returns a Status error on malformed input
+// (truncated, oversized, bad version, bad numbers) -- never crashes --
+// which is what lets the server treat every byte off the socket as
+// hostile.
+
+#ifndef CROWDPRICE_NET_WIRE_H_
+#define CROWDPRICE_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "market/types.h"
+#include "serving/campaign_shard_map.h"
+#include "util/result.h"
+
+namespace crowdprice::net {
+
+inline constexpr char kFrameMagic[4] = {'C', 'P', 'W', 'F'};
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Default cap on a single frame's payload; both ends reject bigger
+/// frames before buffering them.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+enum class FrameType : uint16_t {
+  kDecideBatchRequest = 1,
+  kDecideBatchResponse = 2,
+  kControlRequest = 3,
+  kControlResponse = 4,
+};
+
+struct FrameHeader {
+  uint16_t version = kWireVersion;
+  FrameType type = FrameType::kDecideBatchRequest;
+  uint32_t payload_bytes = 0;
+};
+
+/// Writes the 12-byte header for `header` into out[0..12).
+void EncodeFrameHeader(const FrameHeader& header,
+                       char out[kFrameHeaderBytes]);
+
+/// Parses and validates a frame header from the first kFrameHeaderBytes
+/// of `data`. Fails InvalidArgument on a short buffer, bad magic,
+/// unsupported version, unknown frame type, or a payload length above
+/// `max_payload_bytes`.
+Result<FrameHeader> DecodeFrameHeader(const char* data, size_t size,
+                                      uint32_t max_payload_bytes);
+
+/// One complete frame: header + payload, ready to write to a socket.
+/// Fails InvalidArgument when the payload exceeds `max_payload_bytes`.
+Result<std::string> EncodeFrame(FrameType type, const std::string& payload,
+                                uint32_t max_payload_bytes);
+
+// --- Status across the wire ----------------------------------------------
+
+/// `int(code) <escaped message>` -- the fragment every err line embeds.
+/// Backslashes, newlines and carriage returns in the message are escaped;
+/// everything else (spaces included) is literal.
+std::string EncodeStatusFragment(const Status& status);
+
+/// Inverse of EncodeStatusFragment: code and message both survive, into
+/// `*decoded`. The return value is the parse status (Result<Status> would
+/// conflate the two): InvalidArgument on unknown code integers or bad
+/// escapes, OK when `*decoded` holds the transported status.
+Status DecodeStatusFragment(const std::string& fragment, Status* decoded);
+
+// --- Single-object payload codecs ----------------------------------------
+// Each Serialize emits one '\n'-terminated line ("request ...",
+// "sheet ...", "response ..."); each Deserialize requires exactly that
+// line and nothing else.
+
+std::string SerializeDecisionRequest(const market::DecisionRequest& request);
+Result<market::DecisionRequest> DeserializeDecisionRequest(
+    const std::string& text);
+
+std::string SerializeOfferSheet(const market::OfferSheet& sheet);
+Result<market::OfferSheet> DeserializeOfferSheet(const std::string& text);
+
+std::string SerializeDecideResponse(const serving::DecideResponse& response);
+Result<serving::DecideResponse> DeserializeDecideResponse(
+    const std::string& text);
+
+/// Control ops serialize to a "control ..." stanza; admit and swap ops
+/// embed their artifact's Serialize() text as a byte-counted block.
+/// Controller-backed admits are process-local by design and fail
+/// InvalidArgument here. Tick ops serialize too (the wire mirrors the
+/// whole control surface, not just ArrivalSchedule's three events).
+Result<std::string> SerializeControlOp(const serving::ControlOp& op);
+Result<serving::ControlOp> DeserializeControlOp(const std::string& text);
+
+/// kControlResponse payload: the applied outcome, or the server-side
+/// error. Deserializing an err ack returns that transported Status
+/// verbatim (so callers see NotFound as NotFound); malformed acks fail
+/// InvalidArgument.
+std::string SerializeControlAck(const Result<serving::ControlOutcome>& ack);
+Result<serving::ControlOutcome> DeserializeControlAck(const std::string& text);
+
+// --- Batch payload codecs -------------------------------------------------
+
+/// kDecideBatchRequest payload: `decide-batch <n>` then one request line
+/// per entry (campaign id + the market::DecisionRequest fields).
+std::string SerializeDecideBatchRequest(
+    const std::vector<serving::DecideRequest>& requests);
+Result<std::vector<serving::DecideRequest>> DeserializeDecideBatchRequest(
+    const std::string& text);
+
+/// kDecideBatchResponse payload: `decide-batch <n>` then one response
+/// line per request, aligned index-for-index with the request batch.
+/// Per-request failures ride in their response line's status; a batch
+/// the server could not parse at all comes back as the SerializeBatchError
+/// form, which DeserializeDecideBatchResponse surfaces as that Status.
+std::string SerializeDecideBatchResponse(
+    const std::vector<serving::DecideResponse>& responses);
+std::string SerializeBatchError(const Status& status);
+Result<std::vector<serving::DecideResponse>> DeserializeDecideBatchResponse(
+    const std::string& text);
+
+}  // namespace crowdprice::net
+
+#endif  // CROWDPRICE_NET_WIRE_H_

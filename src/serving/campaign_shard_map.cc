@@ -78,6 +78,65 @@ Status CampaignLimits::Validate() const {
   return Status::OK();
 }
 
+ControlOp ControlOp::Admit(engine::PolicyArtifact artifact,
+                           const CampaignLimits& limits) {
+  return AdmitShared(
+      std::make_shared<const engine::PolicyArtifact>(std::move(artifact)),
+      limits);
+}
+
+ControlOp ControlOp::AdmitShared(
+    std::shared_ptr<const engine::PolicyArtifact> artifact,
+    const CampaignLimits& limits) {
+  ControlOp op;
+  op.kind = Kind::kAdmit;
+  op.limits = limits;
+  op.artifact = std::move(artifact);
+  return op;
+}
+
+ControlOp ControlOp::AdmitController(
+    std::unique_ptr<market::PricingController> controller,
+    const CampaignLimits& limits) {
+  ControlOp op;
+  op.kind = Kind::kAdmit;
+  op.limits = limits;
+  op.controller = std::move(controller);
+  return op;
+}
+
+ControlOp ControlOp::SwapArtifact(CampaignId id,
+                                  engine::PolicyArtifact artifact) {
+  return SwapArtifactShared(
+      id, std::make_shared<const engine::PolicyArtifact>(std::move(artifact)));
+}
+
+ControlOp ControlOp::SwapArtifactShared(
+    CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact) {
+  ControlOp op;
+  op.kind = Kind::kSwapArtifact;
+  op.id = id;
+  op.artifact = std::move(artifact);
+  return op;
+}
+
+ControlOp ControlOp::Retire(CampaignId id) {
+  ControlOp op;
+  op.kind = Kind::kRetire;
+  op.id = id;
+  return op;
+}
+
+ControlOp ControlOp::Tick(CampaignId id, double now_hours,
+                          int64_t remaining_tasks) {
+  ControlOp op;
+  op.kind = Kind::kTick;
+  op.id = id;
+  op.now_hours = now_hours;
+  op.remaining_tasks = remaining_tasks;
+  return op;
+}
+
 const char* CampaignStateName(CampaignState state) {
   switch (state) {
     case CampaignState::kLive:
@@ -246,115 +305,149 @@ Result<CampaignShardMap> CampaignShardMap::Create(int num_shards) {
   return CampaignShardMap(std::make_unique<Impl>(num_shards));
 }
 
+Result<ControlOutcome> CampaignShardMap::Apply(ControlOp op) {
+  switch (op.kind) {
+    case ControlOp::Kind::kAdmit: {
+      CP_RETURN_IF_ERROR(op.limits.Validate());
+      if ((op.artifact == nullptr) == (op.controller == nullptr)) {
+        return Status::InvalidArgument(
+            "admit op must carry exactly one of artifact / controller");
+      }
+      std::unique_ptr<market::PricingController> controller =
+          std::move(op.controller);
+      if (controller == nullptr) {
+        // The shared_ptr pins the artifact for the snapshot's lifetime:
+        // MakeController may return a controller that points into its
+        // tables.
+        CP_ASSIGN_OR_RETURN(
+            controller, op.artifact->MakeController(op.limits.deadline_hours));
+      }
+      const CampaignId id =
+          impl_->next_id.fetch_add(1, std::memory_order_relaxed);
+      impl_->Publish(id, new CampaignSnapshot(
+                             id, std::move(op.artifact), std::move(controller),
+                             op.limits, impl_->snapshot_counters));
+      return ControlOutcome{id, CampaignState::kLive};
+    }
+
+    case ControlOp::Kind::kSwapArtifact: {
+      if (op.artifact == nullptr) {
+        return Status::InvalidArgument("swap op must carry an artifact");
+      }
+      Shard& shard = impl_->ShardFor(op.id);
+      std::lock_guard<std::mutex> lock(shard.writer_mu);
+      const Index* index = shard.index.load(std::memory_order_relaxed);
+      auto it = index->find(op.id);
+      if (it == index->end()) return NotLive(op.id);
+      CampaignHandle* handle = it->second;
+      // Stable under writer_mu: only writers store the handle's snapshot.
+      const CampaignSnapshot* old_snapshot =
+          handle->snapshot.load(std::memory_order_relaxed);
+      CP_ASSIGN_OR_RETURN(
+          std::unique_ptr<market::PricingController> controller,
+          op.artifact->MakeController(old_snapshot->limits().deadline_hours));
+      // One pointer store publishes the whole new policy; a concurrent
+      // read pass sees either the old snapshot or the new one, never a
+      // mix.
+      handle->snapshot.store(
+          new CampaignSnapshot(op.id, std::move(op.artifact),
+                               std::move(controller), old_snapshot->limits(),
+                               impl_->snapshot_counters),
+          std::memory_order_seq_cst);
+      rcu::Domain::Global().Retire(const_cast<CampaignSnapshot*>(old_snapshot),
+                                   ReclaimSnapshot);
+      shard.counters.swapped.fetch_add(1, std::memory_order_relaxed);
+      return ControlOutcome{op.id, CampaignState::kLive};
+    }
+
+    case ControlOp::Kind::kRetire: {
+      if (!impl_->Remove(op.id)) return NotLive(op.id);
+      impl_->ShardFor(op.id).counters.retired_explicit.fetch_add(
+          1, std::memory_order_relaxed);
+      return ControlOutcome{op.id, CampaignState::kRetiredExplicit};
+    }
+
+    case ControlOp::Kind::kTick: {
+      Shard& shard = impl_->ShardFor(op.id);
+      // Fast path: a live-and-staying-live campaign answers from the read
+      // path alone. The retirement decision is a pure function of the
+      // arguments and the (immutable) limits, so the writer path below
+      // can only disagree about presence, never about the state.
+      CampaignState state = CampaignState::kLive;
+      {
+        rcu::ReadGuard guard;
+        const Index* index = shard.index.load(std::memory_order_seq_cst);
+        auto it = index->find(op.id);
+        if (it == index->end()) return NotLive(op.id);
+        const CampaignLimits& limits =
+            it->second->snapshot.load(std::memory_order_seq_cst)->limits();
+        if (op.remaining_tasks <= 0) {
+          state = CampaignState::kRetiredCompleted;
+        } else if (op.now_hours >=
+                   limits.admit_hours + limits.deadline_hours) {
+          state = CampaignState::kRetiredDeadline;
+        }
+      }
+      if (state == CampaignState::kLive) return ControlOutcome{op.id, state};
+      // Retiring arm: re-checks presence under the writer mutex (a racing
+      // tick or retire may have removed the campaign first).
+      if (!impl_->Remove(op.id)) return NotLive(op.id);
+      auto& counters = shard.counters;
+      (state == CampaignState::kRetiredCompleted ? counters.retired_completed
+                                                 : counters.retired_deadline)
+          .fetch_add(1, std::memory_order_relaxed);
+      return ControlOutcome{op.id, state};
+    }
+  }
+  return Status::InvalidArgument(
+      StringF("unknown control op kind %d", static_cast<int>(op.kind)));
+}
+
 Result<CampaignId> CampaignShardMap::Admit(engine::PolicyArtifact artifact,
                                            const CampaignLimits& limits) {
-  return AdmitShared(
-      std::make_shared<const engine::PolicyArtifact>(std::move(artifact)),
-      limits);
+  CP_ASSIGN_OR_RETURN(const ControlOutcome outcome,
+                      Apply(ControlOp::Admit(std::move(artifact), limits)));
+  return outcome.id;
 }
 
 Result<CampaignId> CampaignShardMap::AdmitShared(
     std::shared_ptr<const engine::PolicyArtifact> artifact,
     const CampaignLimits& limits) {
-  CP_RETURN_IF_ERROR(limits.Validate());
-  if (artifact == nullptr) {
-    return Status::InvalidArgument("artifact must not be null");
-  }
-  // The shared_ptr pins the artifact for the snapshot's lifetime:
-  // MakeController may return a controller that points into its tables.
-  CP_ASSIGN_OR_RETURN(std::unique_ptr<market::PricingController> controller,
-                      artifact->MakeController(limits.deadline_hours));
-  const CampaignId id = impl_->next_id.fetch_add(1, std::memory_order_relaxed);
-  return impl_->Publish(
-      id, new CampaignSnapshot(id, std::move(artifact), std::move(controller),
-                               limits, impl_->snapshot_counters));
+  CP_ASSIGN_OR_RETURN(
+      const ControlOutcome outcome,
+      Apply(ControlOp::AdmitShared(std::move(artifact), limits)));
+  return outcome.id;
 }
 
 Result<CampaignId> CampaignShardMap::AdmitController(
     std::unique_ptr<market::PricingController> controller,
     const CampaignLimits& limits) {
-  CP_RETURN_IF_ERROR(limits.Validate());
-  if (controller == nullptr) {
-    return Status::InvalidArgument("controller must not be null");
-  }
-  const CampaignId id = impl_->next_id.fetch_add(1, std::memory_order_relaxed);
-  return impl_->Publish(
-      id, new CampaignSnapshot(id, nullptr, std::move(controller), limits,
-                               impl_->snapshot_counters));
+  CP_ASSIGN_OR_RETURN(
+      const ControlOutcome outcome,
+      Apply(ControlOp::AdmitController(std::move(controller), limits)));
+  return outcome.id;
 }
 
 Result<CampaignState> CampaignShardMap::Tick(CampaignId id, double now_hours,
                                              int64_t remaining_tasks) {
-  Shard& shard = impl_->ShardFor(id);
-  // Fast path: a live-and-staying-live campaign answers from the read
-  // path alone. The retirement decision is a pure function of the
-  // arguments and the (immutable) limits, so the writer path below can
-  // only disagree about presence, never about the state.
-  CampaignState state = CampaignState::kLive;
-  {
-    rcu::ReadGuard guard;
-    const Index* index = shard.index.load(std::memory_order_seq_cst);
-    auto it = index->find(id);
-    if (it == index->end()) return NotLive(id);
-    const CampaignLimits& limits =
-        it->second->snapshot.load(std::memory_order_seq_cst)->limits();
-    if (remaining_tasks <= 0) {
-      state = CampaignState::kRetiredCompleted;
-    } else if (now_hours >= limits.admit_hours + limits.deadline_hours) {
-      state = CampaignState::kRetiredDeadline;
-    }
-  }
-  if (state == CampaignState::kLive) return state;
-  // Retiring arm: re-checks presence under the writer mutex (a racing
-  // Tick or Retire may have removed the campaign first).
-  if (!impl_->Remove(id)) return NotLive(id);
-  auto& counters = shard.counters;
-  (state == CampaignState::kRetiredCompleted ? counters.retired_completed
-                                             : counters.retired_deadline)
-      .fetch_add(1, std::memory_order_relaxed);
-  return state;
+  CP_ASSIGN_OR_RETURN(const ControlOutcome outcome,
+                      Apply(ControlOp::Tick(id, now_hours, remaining_tasks)));
+  return outcome.state;
 }
 
 Status CampaignShardMap::Retire(CampaignId id) {
-  if (!impl_->Remove(id)) return NotLive(id);
-  impl_->ShardFor(id).counters.retired_explicit.fetch_add(
-      1, std::memory_order_relaxed);
-  return Status::OK();
+  return Apply(ControlOp::Retire(id)).status();
 }
 
 Status CampaignShardMap::SwapArtifact(CampaignId id,
                                       engine::PolicyArtifact artifact) {
-  return SwapArtifactShared(
-      id, std::make_shared<const engine::PolicyArtifact>(std::move(artifact)));
+  return Apply(ControlOp::SwapArtifact(id, std::move(artifact))).status();
 }
 
 Status CampaignShardMap::SwapArtifactShared(
     CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact) {
-  if (artifact == nullptr) {
-    return Status::InvalidArgument("artifact must not be null");
-  }
-  Shard& shard = impl_->ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.writer_mu);
-  const Index* index = shard.index.load(std::memory_order_relaxed);
-  auto it = index->find(id);
-  if (it == index->end()) return NotLive(id);
-  CampaignHandle* handle = it->second;
-  // Stable under writer_mu: only writers store the handle's snapshot.
-  const CampaignSnapshot* old_snapshot =
-      handle->snapshot.load(std::memory_order_relaxed);
-  CP_ASSIGN_OR_RETURN(
-      std::unique_ptr<market::PricingController> controller,
-      artifact->MakeController(old_snapshot->limits().deadline_hours));
-  // One pointer store publishes the whole new policy; a concurrent read
-  // pass sees either the old snapshot or the new one, never a mix.
-  handle->snapshot.store(
-      new CampaignSnapshot(id, std::move(artifact), std::move(controller),
-                           old_snapshot->limits(), impl_->snapshot_counters),
-      std::memory_order_seq_cst);
-  rcu::Domain::Global().Retire(const_cast<CampaignSnapshot*>(old_snapshot),
-                               ReclaimSnapshot);
-  shard.counters.swapped.fetch_add(1, std::memory_order_relaxed);
-  return Status::OK();
+  return Apply(ControlOp::SwapArtifactShared(id, std::move(artifact)))
+      .status();
 }
 
 Result<market::OfferSheet> CampaignShardMap::Decide(

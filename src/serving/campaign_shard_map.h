@@ -10,13 +10,17 @@
 // so one call resolves sheets for hundreds of campaigns with no
 // per-request locking and no cross-shard contention.
 //
-// Lifecycle: Admit assigns an id and builds the controller from the
-// artifact (the artifact is heap-pinned so controllers may point into it);
-// Tick reports campaign progress and retires the campaign when the batch
-// completes or its deadline passes; Retire removes it explicitly;
-// SwapArtifact atomically replaces the policy a live campaign plays
-// without interrupting serving. Per-shard counters (ShardStats) expose
-// serving load and lifecycle churn.
+// Lifecycle: every mutation is a ControlOp applied through Apply, the
+// map's single serializable control surface. Admit ops assign an id and
+// build the controller from the artifact (the artifact is heap-pinned so
+// controllers may point into it); tick ops report campaign progress and
+// retire the campaign when the batch completes or its deadline passes;
+// retire ops remove it explicitly; swap ops atomically replace the policy
+// a live campaign plays without interrupting serving. The named entry
+// points (Admit/Tick/Retire/SwapArtifact and friends) remain as thin
+// wrappers over Apply, and the wire protocol (src/net) carries ControlOps
+// directly. Per-shard counters (ShardStats) expose serving load and
+// lifecycle churn.
 //
 // Thread safety: every public method is safe to call concurrently. The
 // read path is wait-free: each live campaign publishes an immutable
@@ -74,6 +78,64 @@ enum class CampaignState {
   kRetiredCompleted = 1,  ///< Batch fully assigned.
   kRetiredDeadline = 2,   ///< Deadline passed with tasks left.
   kRetiredExplicit = 3,   ///< Removed by Retire (operator/event retirement).
+};
+
+/// One campaign-lifecycle mutation: the single control surface every
+/// mutation of the map goes through. ArrivalSchedule events, the legacy
+/// entry points (Admit/SwapArtifact/Retire/Tick and friends, now thin
+/// wrappers) and the wire admission protocol (net/wire.h) all lower to a
+/// ControlOp handed to CampaignShardMap::Apply. Ops built from the named
+/// constructors are always well-formed; Apply validates anyway so
+/// deserialized ops can't smuggle bad state in.
+struct ControlOp {
+  enum class Kind {
+    kAdmit = 0,         ///< New campaign from `artifact` or `controller`.
+    kSwapArtifact = 1,  ///< Replace a live campaign's policy with `artifact`.
+    kRetire = 2,        ///< Remove a live campaign unconditionally.
+    kTick = 3,          ///< Progress report; may retire (completed/deadline).
+  };
+
+  Kind kind = Kind::kRetire;
+  /// Target campaign. Ignored for admits, which assign a fresh id.
+  CampaignId id = 0;
+  /// Admission bounds. Admits only.
+  CampaignLimits limits;
+  /// The policy to admit or swap in. Admits carry exactly one of
+  /// `artifact` / `controller`; swaps always carry `artifact`.
+  std::shared_ptr<const engine::PolicyArtifact> artifact;
+  /// Process-local admits only (baselines and tests): an explicit
+  /// controller instead of a solved artifact. Not wire-serializable --
+  /// net::SerializeControlOp rejects ops that carry one.
+  std::unique_ptr<market::PricingController> controller;
+  /// Tick only: marketplace wall clock and tasks left in the batch.
+  double now_hours = 0.0;
+  int64_t remaining_tasks = 0;
+
+  /// The six legacy lifecycle entry points, one named constructor each,
+  /// plus Tick (whose retiring arm is a mutation like any other).
+  static ControlOp Admit(engine::PolicyArtifact artifact,
+                         const CampaignLimits& limits);
+  static ControlOp AdmitShared(
+      std::shared_ptr<const engine::PolicyArtifact> artifact,
+      const CampaignLimits& limits);
+  static ControlOp AdmitController(
+      std::unique_ptr<market::PricingController> controller,
+      const CampaignLimits& limits);
+  static ControlOp SwapArtifact(CampaignId id, engine::PolicyArtifact artifact);
+  static ControlOp SwapArtifactShared(
+      CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact);
+  static ControlOp Retire(CampaignId id);
+  static ControlOp Tick(CampaignId id, double now_hours,
+                        int64_t remaining_tasks);
+};
+
+/// What a ControlOp did. `id` is the fresh id for admits, the target id
+/// otherwise. `state` is kLive after admits, swaps, and ticks that left
+/// the campaign live; the retirement state for retires and retiring
+/// ticks.
+struct ControlOutcome {
+  CampaignId id = 0;
+  CampaignState state = CampaignState::kLive;
 };
 
 /// One lookup in a DecideBatch call: which campaign, and the
@@ -182,36 +244,53 @@ class CampaignShardMap {
 
   // --- Lifecycle ---------------------------------------------------------
 
-  /// Takes ownership of a solved policy, builds its controller with
+  /// The one control-plane entry point: applies a lifecycle mutation.
+  /// Admits build the campaign's controller (from the artifact via
+  /// MakeController(limits.deadline_hours), or taking the op's explicit
+  /// controller) and start serving under a fresh id; swaps atomically
+  /// republish a live campaign's policy; retires remove it; ticks report
+  /// progress and retire on completion or deadline. Everything below the
+  /// deprecated wrappers, every ArrivalSchedule event, and every wire
+  /// control frame funnels through here, so lifecycle semantics live in
+  /// exactly one place. Mutating arms serialize on the target shard's
+  /// writer mutex; serving reads never block on any of it.
+  Result<ControlOutcome> Apply(ControlOp op);
+
+  /// Deprecated: build ControlOp::Admit and call Apply. Takes ownership
+  /// of a solved policy, builds its controller with
   /// MakeController(limits.deadline_hours) and starts serving it. Fails if
   /// the artifact kind is not playable.
   Result<CampaignId> Admit(engine::PolicyArtifact artifact,
                            const CampaignLimits& limits);
 
-  /// Same, sharing one immutable artifact across campaigns: admitting N
-  /// campaigns that play the same policy costs N controllers but only one
-  /// copy of the solved tables.
+  /// Deprecated: build ControlOp::AdmitShared and call Apply. Shares one
+  /// immutable artifact across campaigns: admitting N campaigns that play
+  /// the same policy costs N controllers but only one copy of the solved
+  /// tables.
   Result<CampaignId> AdmitShared(
       std::shared_ptr<const engine::PolicyArtifact> artifact,
       const CampaignLimits& limits);
 
-  /// Admits a campaign played by an explicit controller (baselines and
-  /// tests; no artifact involved).
+  /// Deprecated: build ControlOp::AdmitController and call Apply. Admits
+  /// a campaign played by an explicit controller (baselines and tests; no
+  /// artifact involved).
   Result<CampaignId> AdmitController(
       std::unique_ptr<market::PricingController> controller,
       const CampaignLimits& limits);
 
-  /// Reports campaign progress. Retires the campaign -- and returns the
-  /// retired state -- when `remaining_tasks` hits 0 (completed) or
-  /// `now_hours` reaches the admission deadline (deadline); otherwise the
-  /// campaign stays live.
+  /// Deprecated: build ControlOp::Tick and call Apply. Reports campaign
+  /// progress. Retires the campaign -- and returns the retired state --
+  /// when `remaining_tasks` hits 0 (completed) or `now_hours` reaches the
+  /// admission deadline (deadline); otherwise the campaign stays live.
   Result<CampaignState> Tick(CampaignId id, double now_hours,
                              int64_t remaining_tasks);
 
-  /// Removes a live campaign unconditionally.
+  /// Deprecated: build ControlOp::Retire and call Apply. Removes a live
+  /// campaign unconditionally.
   Status Retire(CampaignId id);
 
-  /// Atomically replaces a live campaign's pinned artifact and controller
+  /// Deprecated: build ControlOp::SwapArtifact and call Apply. Atomically
+  /// replaces a live campaign's pinned artifact and controller
   /// by publishing a whole new snapshot: lookups before the swap answer
   /// from the old policy, lookups after from the new one -- never a mix
   /// -- and the campaign's id, limits and stats carry over (the swap
@@ -222,8 +301,9 @@ class CampaignShardMap {
   /// errors, leaving the campaign untouched.
   Status SwapArtifact(CampaignId id, engine::PolicyArtifact artifact);
 
-  /// Same, sharing one immutable artifact (e.g. re-pinning a fleet of
-  /// campaigns to a re-solved policy without copying its tables).
+  /// Deprecated: build ControlOp::SwapArtifactShared and call Apply.
+  /// Shares one immutable artifact (e.g. re-pinning a fleet of campaigns
+  /// to a re-solved policy without copying its tables).
   Status SwapArtifactShared(
       CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact);
 

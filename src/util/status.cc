@@ -23,6 +23,23 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+bool StatusCodeFromInt(int value, StatusCode* code) {
+  switch (value) {
+    case static_cast<int>(StatusCode::kOk):
+    case static_cast<int>(StatusCode::kInvalidArgument):
+    case static_cast<int>(StatusCode::kOutOfRange):
+    case static_cast<int>(StatusCode::kFailedPrecondition):
+    case static_cast<int>(StatusCode::kNotFound):
+    case static_cast<int>(StatusCode::kInternal):
+    case static_cast<int>(StatusCode::kUnimplemented):
+    case static_cast<int>(StatusCode::kNumericError):
+      *code = static_cast<StatusCode>(value);
+      return true;
+    default:
+      return false;
+  }
+}
+
 Status::Status(StatusCode code, std::string message)
     : state_(code == StatusCode::kOk
                  ? nullptr

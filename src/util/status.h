@@ -36,6 +36,13 @@ enum class StatusCode : int {
 /// Returns a stable, upper-case-free name for a code, e.g. "InvalidArgument".
 const char* StatusCodeToString(StatusCode code);
 
+/// Maps the integer wire encoding of a StatusCode back to the enum (the
+/// wire protocol in src/net carries statuses as `int(code)` + message).
+/// Returns false when `value` names no known code, leaving `code`
+/// untouched -- the guard that keeps a frame from a newer peer from
+/// smuggling an unnamed code into a Status.
+bool StatusCodeFromInt(int value, StatusCode* code);
+
 /// An OK-or-error value. Cheap to copy when OK (no allocation).
 class Status {
  public:

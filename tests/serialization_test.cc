@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
+#include <vector>
+
 #include "choice/acceptance.h"
 #include "engine/engine.h"
+#include "market/controller.h"
+#include "net/wire.h"
 #include "pricing/deadline_dp.h"
 #include "pricing/policy_eval.h"
 #include "util/rng.h"
@@ -270,3 +276,296 @@ TEST(SerializationTest, BundledActionsRoundTrip) {
 
 }  // namespace
 }  // namespace crowdprice::pricing
+
+// --- Wire codec (net/wire.h) ---------------------------------------------
+// The frame and payload codecs crowdprice_serve speaks: every payload
+// round-trips bit-exactly (the hex-float convention extends across the
+// wire), and every malformed frame or payload is a Status error, never a
+// crash -- the server treats socket bytes as hostile.
+
+namespace crowdprice::net {
+namespace {
+
+engine::PolicyArtifact WireSampleArtifact() {
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = 12;
+  spec.problem.num_intervals = 4;
+  spec.problem.penalty_cents = 75.0;
+  spec.interval_lambdas.assign(4, 50.0);
+  spec.actions = pricing::ActionSet::FromPriceGrid(
+                     20, choice::LogitAcceptance::Paper2014())
+                     .value();
+  return engine::Engine::Solve(spec).value();
+}
+
+TEST(WireFrameTest, HeaderRoundTripsAndFrameWraps) {
+  FrameHeader header;
+  header.type = FrameType::kControlRequest;
+  header.payload_bytes = 1234;
+  char bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(header, bytes);
+  const auto decoded =
+      DecodeFrameHeader(bytes, kFrameHeaderBytes, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->type, FrameType::kControlRequest);
+  EXPECT_EQ(decoded->payload_bytes, 1234u);
+
+  const std::string payload = "decide-batch 0\n";
+  const auto frame = EncodeFrame(FrameType::kDecideBatchRequest, payload,
+                                 kDefaultMaxFrameBytes);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->size(), kFrameHeaderBytes + payload.size());
+  const auto head =
+      DecodeFrameHeader(frame->data(), frame->size(), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->type, FrameType::kDecideBatchRequest);
+  EXPECT_EQ(head->payload_bytes, payload.size());
+  EXPECT_EQ(frame->substr(kFrameHeaderBytes), payload);
+}
+
+TEST(WireFrameTest, MalformedHeadersAreStatusErrors) {
+  FrameHeader header;
+  header.type = FrameType::kDecideBatchResponse;
+  header.payload_bytes = 64;
+  char bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(header, bytes);
+
+  // Truncated buffer.
+  EXPECT_TRUE(DecodeFrameHeader(bytes, 5, kDefaultMaxFrameBytes)
+                  .status()
+                  .IsInvalidArgument());
+  // Bad magic.
+  char corrupt[kFrameHeaderBytes];
+  std::memcpy(corrupt, bytes, kFrameHeaderBytes);
+  corrupt[0] = 'X';
+  EXPECT_TRUE(DecodeFrameHeader(corrupt, kFrameHeaderBytes,
+                                kDefaultMaxFrameBytes)
+                  .status()
+                  .IsInvalidArgument());
+  // Unsupported version.
+  std::memcpy(corrupt, bytes, kFrameHeaderBytes);
+  corrupt[4] = 9;
+  EXPECT_TRUE(DecodeFrameHeader(corrupt, kFrameHeaderBytes,
+                                kDefaultMaxFrameBytes)
+                  .status()
+                  .IsInvalidArgument());
+  // Unknown frame type.
+  std::memcpy(corrupt, bytes, kFrameHeaderBytes);
+  corrupt[6] = 99;
+  EXPECT_TRUE(DecodeFrameHeader(corrupt, kFrameHeaderBytes,
+                                kDefaultMaxFrameBytes)
+                  .status()
+                  .IsInvalidArgument());
+  // Oversized payload: rejected by the reader's cap before buffering...
+  EXPECT_TRUE(DecodeFrameHeader(bytes, kFrameHeaderBytes, 16)
+                  .status()
+                  .IsInvalidArgument());
+  // ...and by the writer when framing.
+  EXPECT_TRUE(EncodeFrame(FrameType::kControlRequest, std::string(64, 'x'), 16)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(WireSerializationTest, DecisionRequestRoundTripIsBitExact) {
+  market::DecisionRequest request;
+  request.now_hours = 1.0 / 3.0;
+  request.campaign_hours = 0.1;
+  request.remaining = {17, 0, 123456789012345};
+  const std::string text = SerializeDecisionRequest(request);
+  const auto restored = DeserializeDecisionRequest(text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->now_hours, request.now_hours);
+  EXPECT_EQ(restored->campaign_hours, request.campaign_hours);
+  EXPECT_EQ(restored->remaining, request.remaining);
+  // Hex-float convention: re-serializing reproduces the bytes.
+  EXPECT_EQ(SerializeDecisionRequest(*restored), text);
+}
+
+TEST(WireSerializationTest, OfferSheetRoundTripIsBitExact) {
+  market::OfferSheet sheet;
+  sheet.offers = {{12.75, 1}, {0.0, 3}, {99.999999999, 40}};
+  const std::string text = SerializeOfferSheet(sheet);
+  const auto restored = DeserializeOfferSheet(text);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->offers.size(), sheet.offers.size());
+  for (size_t i = 0; i < sheet.offers.size(); ++i) {
+    EXPECT_EQ(restored->offers[i].per_task_reward_cents,
+              sheet.offers[i].per_task_reward_cents);
+    EXPECT_EQ(restored->offers[i].group_size, sheet.offers[i].group_size);
+  }
+  EXPECT_EQ(SerializeOfferSheet(*restored), text);
+}
+
+TEST(WireSerializationTest, DecideResponseCarriesSheetOrStatus) {
+  serving::DecideResponse ok;
+  ok.campaign_id = 7;
+  ok.sheet = market::OfferSheet::Single({33.5, 2});
+  const auto ok_restored = DeserializeDecideResponse(SerializeDecideResponse(ok));
+  ASSERT_TRUE(ok_restored.ok());
+  EXPECT_EQ(ok_restored->campaign_id, 7u);
+  EXPECT_TRUE(ok_restored->status.ok());
+  ASSERT_EQ(ok_restored->sheet.offers.size(), 1u);
+  EXPECT_EQ(ok_restored->sheet.offers[0].per_task_reward_cents, 33.5);
+
+  // Failures survive with code and message intact, quirky bytes included.
+  serving::DecideResponse err;
+  err.campaign_id = 8;
+  err.status = Status::NotFound("campaign 8\nis not\\ live  here");
+  const auto err_restored =
+      DeserializeDecideResponse(SerializeDecideResponse(err));
+  ASSERT_TRUE(err_restored.ok());
+  EXPECT_EQ(err_restored->campaign_id, 8u);
+  EXPECT_TRUE(err_restored->status.IsNotFound());
+  EXPECT_EQ(err_restored->status.message(), err.status.message());
+}
+
+TEST(WireSerializationTest, ControlOpsRoundTripIncludingArtifactBlocks) {
+  const auto artifact =
+      std::make_shared<const engine::PolicyArtifact>(WireSampleArtifact());
+  const std::string artifact_text = artifact->Serialize().value();
+
+  serving::CampaignLimits limits;
+  limits.total_tasks = 40;
+  limits.deadline_hours = 6.0;
+  limits.admit_hours = 2.5;
+  const auto admit_text =
+      SerializeControlOp(serving::ControlOp::AdmitShared(artifact, limits));
+  ASSERT_TRUE(admit_text.ok());
+  const auto admit = DeserializeControlOp(*admit_text);
+  ASSERT_TRUE(admit.ok());
+  EXPECT_EQ(admit->kind, serving::ControlOp::Kind::kAdmit);
+  EXPECT_EQ(admit->limits.total_tasks, 40);
+  EXPECT_EQ(admit->limits.deadline_hours, 6.0);
+  EXPECT_EQ(admit->limits.admit_hours, 2.5);
+  ASSERT_NE(admit->artifact, nullptr);
+  EXPECT_EQ(admit->artifact->Serialize().value(), artifact_text);
+
+  const auto swap_text = SerializeControlOp(
+      serving::ControlOp::SwapArtifactShared(11, artifact));
+  ASSERT_TRUE(swap_text.ok());
+  const auto swap = DeserializeControlOp(*swap_text);
+  ASSERT_TRUE(swap.ok());
+  EXPECT_EQ(swap->kind, serving::ControlOp::Kind::kSwapArtifact);
+  EXPECT_EQ(swap->id, 11u);
+  ASSERT_NE(swap->artifact, nullptr);
+  EXPECT_EQ(swap->artifact->Serialize().value(), artifact_text);
+
+  const auto retire_text = SerializeControlOp(serving::ControlOp::Retire(12));
+  ASSERT_TRUE(retire_text.ok());
+  const auto retire = DeserializeControlOp(*retire_text);
+  ASSERT_TRUE(retire.ok());
+  EXPECT_EQ(retire->kind, serving::ControlOp::Kind::kRetire);
+  EXPECT_EQ(retire->id, 12u);
+
+  const auto tick_text =
+      SerializeControlOp(serving::ControlOp::Tick(13, 4.25, 9));
+  ASSERT_TRUE(tick_text.ok());
+  const auto tick = DeserializeControlOp(*tick_text);
+  ASSERT_TRUE(tick.ok());
+  EXPECT_EQ(tick->kind, serving::ControlOp::Kind::kTick);
+  EXPECT_EQ(tick->id, 13u);
+  EXPECT_EQ(tick->now_hours, 4.25);
+  EXPECT_EQ(tick->remaining_tasks, 9);
+
+  // Controller-backed admits are process-local by design.
+  serving::ControlOp local = serving::ControlOp::AdmitController(
+      std::make_unique<market::FixedOfferController>(market::Offer{10.0, 1}),
+      limits);
+  EXPECT_TRUE(SerializeControlOp(local).status().IsInvalidArgument());
+}
+
+TEST(WireSerializationTest, ControlAcksCarryOutcomeOrTransportedStatus) {
+  serving::ControlOutcome outcome;
+  outcome.id = 21;
+  outcome.state = serving::CampaignState::kRetiredDeadline;
+  const auto ok_ack = DeserializeControlAck(SerializeControlAck(outcome));
+  ASSERT_TRUE(ok_ack.ok());
+  EXPECT_EQ(ok_ack->id, 21u);
+  EXPECT_EQ(ok_ack->state, serving::CampaignState::kRetiredDeadline);
+
+  const Result<serving::ControlOutcome> failed =
+      Status::FailedPrecondition("shard map is tearing down");
+  const auto err_ack = DeserializeControlAck(SerializeControlAck(failed));
+  ASSERT_FALSE(err_ack.ok());
+  EXPECT_TRUE(err_ack.status().IsFailedPrecondition());
+  EXPECT_EQ(err_ack.status().message(), "shard map is tearing down");
+
+  // A state integer outside the enum is rejected, not cast blindly.
+  EXPECT_FALSE(DeserializeControlAck("control-ack ok 21 9\n").ok());
+}
+
+TEST(WireSerializationTest, DecideBatchesRoundTripIndexForIndex) {
+  std::vector<serving::DecideRequest> requests;
+  requests.push_back(serving::DecideRequest::Single(3, 0.5, 12));
+  serving::DecideRequest multi;
+  multi.campaign_id = 4;
+  multi.request.now_hours = 1.25;
+  multi.request.campaign_hours = 0.75;
+  multi.request.remaining = {5, 6};
+  requests.push_back(multi);
+  const auto restored =
+      DeserializeDecideBatchRequest(SerializeDecideBatchRequest(requests));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_EQ((*restored)[0].campaign_id, 3u);
+  EXPECT_EQ((*restored)[0].request.remaining, std::vector<int64_t>{12});
+  EXPECT_EQ((*restored)[1].campaign_id, 4u);
+  EXPECT_EQ((*restored)[1].request.now_hours, 1.25);
+  EXPECT_EQ((*restored)[1].request.remaining, (std::vector<int64_t>{5, 6}));
+
+  std::vector<serving::DecideResponse> responses(2);
+  responses[0].campaign_id = 3;
+  responses[0].sheet = market::OfferSheet::Single({45.0, 1});
+  responses[1].campaign_id = 4;
+  responses[1].status = Status::NotFound("campaign 4 is not live");
+  const auto back =
+      DeserializeDecideBatchResponse(SerializeDecideBatchResponse(responses));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_TRUE((*back)[0].status.ok());
+  EXPECT_EQ((*back)[0].sheet.offers[0].per_task_reward_cents, 45.0);
+  EXPECT_TRUE((*back)[1].status.IsNotFound());
+  EXPECT_EQ((*back)[1].status.message(), "campaign 4 is not live");
+
+  // The whole-batch error form surfaces as that Status.
+  const auto batch_err = DeserializeDecideBatchResponse(
+      SerializeBatchError(Status::InvalidArgument("unreadable batch")));
+  ASSERT_FALSE(batch_err.ok());
+  EXPECT_TRUE(batch_err.status().IsInvalidArgument());
+  EXPECT_EQ(batch_err.status().message(), "unreadable batch");
+}
+
+TEST(WireSerializationTest, MalformedPayloadsAreStatusErrorsNeverCrashes) {
+  // Empty and truncated inputs.
+  EXPECT_FALSE(DeserializeDecisionRequest("").ok());
+  EXPECT_FALSE(DeserializeOfferSheet("").ok());
+  EXPECT_FALSE(DeserializeControlOp("").ok());
+  EXPECT_FALSE(DeserializeControlAck("").ok());
+  EXPECT_FALSE(DeserializeDecideBatchRequest("").ok());
+  EXPECT_FALSE(DeserializeDecideBatchResponse("").ok());
+  // A batch that promises more lines than it carries.
+  EXPECT_FALSE(DeserializeDecideBatchRequest("decide-batch 3\n").ok());
+  // Counts that lie: negative, non-numeric, and absurdly large.
+  EXPECT_FALSE(DeserializeDecideBatchRequest("decide-batch -1\n").ok());
+  EXPECT_FALSE(DeserializeDecideBatchRequest("decide-batch zebra\n").ok());
+  EXPECT_FALSE(DeserializeDecideBatchRequest("decide-batch 99999999\n").ok());
+  // Garbage numbers inside an otherwise shaped line.
+  EXPECT_FALSE(DeserializeDecisionRequest("request x y 1 5\n").ok());
+  EXPECT_FALSE(DeserializeOfferSheet("sheet 1 nope 1\n").ok());
+  // Wrong leading keyword.
+  EXPECT_FALSE(DeserializeDecisionRequest("sheet 1 0x1p0 1\n").ok());
+  // Trailing garbage after a complete object.
+  market::DecisionRequest request = market::DecisionRequest::Single(1.0, 5);
+  EXPECT_FALSE(
+      DeserializeDecisionRequest(SerializeDecisionRequest(request) + "extra\n")
+          .ok());
+  // An artifact block whose byte count overruns the payload.
+  EXPECT_FALSE(
+      DeserializeControlOp("control swap 3 artifact 5000\nshort\n").ok());
+  // Unknown status code integers in err lines.
+  EXPECT_FALSE(DeserializeControlAck("control-ack err 42 boom\n").ok());
+}
+
+}  // namespace
+}  // namespace crowdprice::net

@@ -1,9 +1,12 @@
 #include "util/status.h"
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "net/wire.h"
 #include "util/macros.h"
 #include "util/result.h"
 
@@ -144,6 +147,64 @@ Result<int> Quadruple(int x) {
 }
 
 }  // namespace macro_helpers
+
+// --- Wire encoding guards -------------------------------------------------
+// src/net carries statuses as `int(code) <escaped message>`; both halves
+// of that encoding are covered here: the integer -> enum guard, and the
+// round trip of every code with quirky message bytes.
+
+TEST(StatusCodeFromIntTest, AcceptsEveryDefinedCode) {
+  for (int value = 0; value <= 7; ++value) {
+    StatusCode code = StatusCode::kOk;
+    ASSERT_TRUE(StatusCodeFromInt(value, &code)) << "code " << value;
+    EXPECT_EQ(static_cast<int>(code), value);
+  }
+}
+
+TEST(StatusCodeFromIntTest, RejectsUnknownIntegers) {
+  StatusCode code = StatusCode::kNotFound;
+  EXPECT_FALSE(StatusCodeFromInt(-1, &code));
+  EXPECT_FALSE(StatusCodeFromInt(8, &code));
+  EXPECT_FALSE(StatusCodeFromInt(99, &code));
+  // A rejected lookup leaves the out-param untouched.
+  EXPECT_EQ(code, StatusCode::kNotFound);
+}
+
+TEST(StatusWireTest, EveryCodeAndMessageSurvivesTheFragmentRoundTrip) {
+  const std::vector<std::string> messages = {
+      "",
+      "plain",
+      "two words  three spaces",
+      "embedded\nnewline",
+      "carriage\rreturn",
+      "back\\slash and \\n literal",
+      "trailing space ",
+  };
+  for (int value = 0; value <= 7; ++value) {
+    StatusCode code = StatusCode::kOk;
+    ASSERT_TRUE(StatusCodeFromInt(value, &code));
+    for (const std::string& message : messages) {
+      const Status original = code == StatusCode::kOk
+                                  ? Status::OK()
+                                  : Status(code, message);
+      Status decoded;
+      const Status parsed = net::DecodeStatusFragment(
+          net::EncodeStatusFragment(original), &decoded);
+      ASSERT_TRUE(parsed.ok()) << parsed.ToString();
+      EXPECT_EQ(decoded.code(), original.code());
+      EXPECT_EQ(decoded.message(), original.message());
+    }
+  }
+}
+
+TEST(StatusWireTest, MalformedFragmentsAreParseErrors) {
+  Status decoded;
+  EXPECT_FALSE(net::DecodeStatusFragment("", &decoded).ok());
+  EXPECT_FALSE(net::DecodeStatusFragment("notanint boom", &decoded).ok());
+  EXPECT_FALSE(net::DecodeStatusFragment("42 unknown code", &decoded).ok());
+  // A dangling escape at the end of the message is rejected.
+  EXPECT_FALSE(net::DecodeStatusFragment("4 bad\\", &decoded).ok());
+}
 
 TEST(MacroTest, ReturnIfErrorPassesThrough) {
   EXPECT_TRUE(macro_helpers::Chain(1).ok());

@@ -324,6 +324,9 @@ const std::vector<BenchRequirements>& KnownBenches() {
       {"fleet_streaming",
        {"admit_mean_ms", "admit_max_ms"},
        {"decides_per_sec_window_", "admit_mean_ms_window_"}},
+      {"serving_remote",
+       {"sheets_per_sec", "p50_ms", "p99_ms"},
+       {"sheets_per_sec_conns_", "p50_ms_conns_", "p99_ms_conns_"}},
   };
   return known;
 }

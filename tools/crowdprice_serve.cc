@@ -1,0 +1,127 @@
+// crowdprice_serve: the network-facing pricing server.
+//
+//   crowdprice_serve [--port 7710] [--shards 8] [--workers 4]
+//                    [--max-frame-mb 64] [--stats-every 10]
+//
+// Serves the DecisionRequest -> OfferSheet surface of an (initially
+// empty) serving::CampaignShardMap over TCP: clients admit, swap, and
+// retire campaigns with control frames and price them with decide-batch
+// frames (protocol in src/net/wire.h; client in src/net/client.h). Runs
+// until SIGINT/SIGTERM, then drains in-flight batches and exits.
+// --stats-every N prints serving counters every N seconds (0 disables).
+//
+// Exit code 0 on clean shutdown, 1 on user error, 2 when the server
+// fails to start (e.g. the port is taken).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+#include "serving/campaign_shard_map.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+long FlagValue(int argc, char** argv, const char* name, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::strtol(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+void PrintStats(const crowdprice::net::PricingServer& server,
+                const crowdprice::serving::CampaignShardMap& map) {
+  const crowdprice::net::ServerStats stats = server.stats();
+  std::printf(
+      "conns=%llu frames=%llu decides=%llu control_ops=%llu "
+      "protocol_errors=%llu live_campaigns=%zu\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.frames_received),
+      static_cast<unsigned long long>(stats.decide_requests),
+      static_cast<unsigned long long>(stats.control_ops),
+      static_cast<unsigned long long>(stats.protocol_errors),
+      map.live_campaigns());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: crowdprice_serve [--port N] [--shards N] [--workers N]\n"
+          "                        [--max-frame-mb N] [--stats-every SECS]\n");
+      return 0;
+    }
+  }
+  const long port = FlagValue(argc, argv, "--port", 7710);
+  const long shards = FlagValue(argc, argv, "--shards", 8);
+  const long workers = FlagValue(argc, argv, "--workers", 4);
+  const long max_frame_mb = FlagValue(argc, argv, "--max-frame-mb", 64);
+  const long stats_every = FlagValue(argc, argv, "--stats-every", 10);
+  if (port < 0 || port > 65535 || shards < 1 || workers < 1 ||
+      max_frame_mb < 1) {
+    std::fprintf(stderr, "crowdprice_serve: bad flag value\n");
+    return 1;
+  }
+
+  auto map = crowdprice::serving::CampaignShardMap::Create(
+      static_cast<int>(shards));
+  if (!map.ok()) {
+    std::fprintf(stderr, "crowdprice_serve: %s\n",
+                 map.status().ToString().c_str());
+    return 1;
+  }
+
+  crowdprice::net::ServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  options.num_workers = static_cast<int>(workers);
+  options.max_frame_bytes = static_cast<uint32_t>(max_frame_mb) * (1u << 20);
+  auto server = crowdprice::net::PricingServer::Create(&map.value(), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "crowdprice_serve: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const crowdprice::Status started = server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "crowdprice_serve: %s\n",
+                 started.ToString().c_str());
+    return 2;
+  }
+  std::printf(
+      "crowdprice_serve listening on port %u (%ld shards, %ld workers)\n",
+      server->port(), shards, workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  int ticks = 0;
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (stats_every > 0 && ++ticks >= stats_every * 5) {
+      ticks = 0;
+      PrintStats(*server, *map);
+    }
+  }
+
+  std::printf("crowdprice_serve: draining and shutting down\n");
+  const crowdprice::Status stopped = server->Stop();
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "crowdprice_serve: %s\n", stopped.ToString().c_str());
+    return 2;
+  }
+  PrintStats(*server, *map);
+  return 0;
+}
