@@ -104,10 +104,11 @@ int main(int argc, char** argv) {
       serving::CampaignLimits limits;
       limits.total_tasks = 60;
       limits.deadline_hours = 8.0;
-      auto id = map.AdmitShared(shared, limits);
-      bench::DieOnError(id.status(), "admit");
-      requests.push_back(
-          serving::DecideRequest::Single(*id, (i % 24) / 3.0, 1 + i % 60));
+      auto admitted =
+          map.Apply(serving::ControlOp::AdmitShared(shared, limits));
+      bench::DieOnError(admitted.status(), "admit");
+      requests.push_back(serving::DecideRequest::Single(
+          admitted->id, (i % 24) / 3.0, 1 + i % 60));
     }
 
     // Warm-up pass doubles as the correctness check: the batched answers

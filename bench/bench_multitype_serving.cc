@@ -91,10 +91,11 @@ int main(int argc, char** argv) {
       serving::CampaignLimits limits;
       limits.total_tasks = tasks_1 + tasks_2;
       limits.deadline_hours = 6.0;
-      auto id = map.AdmitShared(solved, limits);
-      bench::DieOnError(id.status(), "admit");
+      auto admitted =
+          map.Apply(serving::ControlOp::AdmitShared(solved, limits));
+      bench::DieOnError(admitted.status(), "admit");
       serving::DecideRequest request;
-      request.campaign_id = *id;
+      request.campaign_id = admitted->id;
       request.request.now_hours = (i % 6) * 0.9;
       request.request.campaign_hours = request.request.now_hours;
       request.request.remaining = {1 + i % tasks_1, 1 + i % tasks_2};
@@ -157,11 +158,12 @@ int main(int argc, char** argv) {
     serving::CampaignLimits limits;
     limits.total_tasks = tasks_1 + tasks_2;
     limits.deadline_hours = 6.0;
-    auto id = map.AdmitShared(solved, limits);
-    bench::DieOnError(id.status(), "swap admit");
-    ids.push_back(*id);
+    auto admitted =
+        map.Apply(serving::ControlOp::AdmitShared(solved, limits));
+    bench::DieOnError(admitted.status(), "swap admit");
+    ids.push_back(admitted->id);
     serving::DecideRequest request;
-    request.campaign_id = *id;
+    request.campaign_id = admitted->id;
     request.request.campaign_hours = 0.0;
     request.request.remaining = {tasks_1, tasks_2};
     requests.push_back(request);
@@ -182,7 +184,10 @@ int main(int argc, char** argv) {
   });
   const auto swap_start = std::chrono::steady_clock::now();
   for (serving::CampaignId id : ids) {
-    bench::DieOnError(map.SwapArtifactShared(id, resolved), "swap");
+    bench::DieOnError(
+        map.Apply(serving::ControlOp::SwapArtifactShared(id, resolved))
+            .status(),
+        "swap");
   }
   const double swap_elapsed = Seconds(swap_start);
   stop.store(true, std::memory_order_release);

@@ -16,15 +16,35 @@ namespace crowdprice::net {
 
 namespace {
 
+/// Maps a socket errno to a Status. Connection-level failures -- the
+/// peer is gone or unreachable -- are Unavailable, the code failover
+/// logic keys on; anything else is Internal (a local bug or resource
+/// problem a retry against a peer won't fix).
 Status Errno(const char* what) {
-  return Status::Internal(StringF("%s: %s", what, std::strerror(errno)));
+  const int err = errno;
+  const std::string message = StringF("%s: %s", what, std::strerror(err));
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ECONNABORTED:
+    case EPIPE:
+    case ETIMEDOUT:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case ENETDOWN:
+      return Status::Unavailable(message);
+    default:
+      return Status::Internal(message);
+  }
 }
 
 }  // namespace
 
 struct PricingClient::Impl {
   int fd = -1;
-  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  std::string host;
+  uint16_t port = 0;
+  ClientOptions options;
 
   ~Impl() {
     if (fd >= 0) close(fd);
@@ -49,7 +69,7 @@ struct PricingClient::Impl {
     while (got < size) {
       const ssize_t n = recv(fd, out + got, size - got, 0);
       if (n == 0) {
-        return Status::Internal("connection closed by server");
+        return Status::Unavailable("connection closed by server");
       }
       if (n < 0) {
         if (errno == EINTR) continue;
@@ -65,14 +85,15 @@ struct PricingClient::Impl {
                                 const std::string& payload,
                                 FrameType response_type) {
     if (fd < 0) return Status::FailedPrecondition("client is not connected");
-    CP_ASSIGN_OR_RETURN(std::string frame,
-                        EncodeFrame(request_type, payload, max_frame_bytes));
+    CP_ASSIGN_OR_RETURN(
+        std::string frame,
+        EncodeFrame(request_type, payload, options.max_frame_bytes));
     CP_RETURN_IF_ERROR(SendAll(frame));
     char header_bytes[kFrameHeaderBytes];
     CP_RETURN_IF_ERROR(RecvAll(header_bytes, kFrameHeaderBytes));
-    CP_ASSIGN_OR_RETURN(
-        FrameHeader header,
-        DecodeFrameHeader(header_bytes, kFrameHeaderBytes, max_frame_bytes));
+    CP_ASSIGN_OR_RETURN(FrameHeader header,
+                        DecodeFrameHeader(header_bytes, kFrameHeaderBytes,
+                                          options.max_frame_bytes));
     if (header.type != response_type) {
       return Status::Internal(
           StringF("unexpected response frame type %u",
@@ -83,6 +104,51 @@ struct PricingClient::Impl {
       CP_RETURN_IF_ERROR(RecvAll(response.data(), response.size()));
     }
     return response;
+  }
+
+  /// Dials host:port and (when a token is configured) runs the hello
+  /// handshake. On any failure the fd ends up closed.
+  Status Dial() {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument(
+          StringF("'%s' is not a numeric IPv4 address", host.c_str()));
+    }
+    fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      const Status status = Errno("socket");
+      fd = -1;
+      return status;
+    }
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Status status = Errno("connect");
+      close(fd);
+      fd = -1;
+      return status;
+    }
+    if (!options.auth_token.empty()) {
+      HelloRequest hello;
+      hello.token = options.auth_token;
+      const Status verdict = DoHello(hello);
+      if (!verdict.ok()) {
+        close(fd);
+        fd = -1;
+        return verdict;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status DoHello(const HelloRequest& hello) {
+    CP_ASSIGN_OR_RETURN(
+        std::string ack,
+        RoundTrip(FrameType::kHelloRequest, SerializeHelloRequest(hello),
+                  FrameType::kHelloResponse));
+    Status verdict;
+    CP_RETURN_IF_ERROR(DeserializeHelloAck(ack, &verdict));
+    return verdict;
   }
 };
 
@@ -96,23 +162,19 @@ PricingClient& PricingClient::operator=(PricingClient&&) noexcept = default;
 Result<PricingClient> PricingClient::Connect(const std::string& host,
                                              uint16_t port,
                                              uint32_t max_frame_bytes) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument(
-        StringF("'%s' is not a numeric IPv4 address", host.c_str()));
-  }
-  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return Errno("socket");
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status status = Errno("connect");
-    close(fd);
-    return status;
-  }
+  ClientOptions options;
+  options.max_frame_bytes = max_frame_bytes;
+  return Connect(host, port, options);
+}
+
+Result<PricingClient> PricingClient::Connect(const std::string& host,
+                                             uint16_t port,
+                                             const ClientOptions& options) {
   auto impl = std::make_unique<Impl>();
-  impl->fd = fd;
-  impl->max_frame_bytes = max_frame_bytes;
+  impl->host = host;
+  impl->port = port;
+  impl->options = options;
+  CP_RETURN_IF_ERROR(impl->Dial());
   return PricingClient(std::move(impl));
 }
 
@@ -125,6 +187,23 @@ void PricingClient::Close() {
     close(impl_->fd);
     impl_->fd = -1;
   }
+}
+
+Status PricingClient::Reconnect() {
+  Close();
+  return impl_->Dial();
+}
+
+Status PricingClient::Ping() {
+  CP_ASSIGN_OR_RETURN(
+      std::string pong,
+      impl_->RoundTrip(FrameType::kPingRequest, SerializePingRequest(),
+                       FrameType::kPingResponse));
+  return DeserializePingResponse(pong);
+}
+
+Status PricingClient::Hello(const HelloRequest& hello) {
+  return impl_->DoHello(hello);
 }
 
 Result<std::vector<serving::DecideResponse>> PricingClient::DecideBatch(
@@ -142,6 +221,23 @@ Result<std::vector<serving::DecideResponse>> PricingClient::DecideBatch(
                 responses.size(), requests.size()));
   }
   return responses;
+}
+
+Result<std::vector<std::string>> PricingClient::DecideBatchLines(
+    const std::vector<std::string>& request_lines) {
+  CP_ASSIGN_OR_RETURN(
+      std::string payload,
+      impl_->RoundTrip(FrameType::kDecideBatchRequest,
+                       JoinDecideBatchPayload(request_lines),
+                       FrameType::kDecideBatchResponse));
+  CP_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                      SplitDecideBatchPayload(payload, "batch response"));
+  if (lines.size() != request_lines.size()) {
+    return Status::Internal(
+        StringF("batch response holds %zu lines for %zu requests",
+                lines.size(), request_lines.size()));
+  }
+  return lines;
 }
 
 Result<market::OfferSheet> PricingClient::Decide(
@@ -191,6 +287,14 @@ Result<serving::CampaignState> PricingClient::Tick(serving::CampaignId id,
       const serving::ControlOutcome outcome,
       Apply(serving::ControlOp::Tick(id, now_hours, remaining_tasks)));
   return outcome.state;
+}
+
+Result<serving::CampaignExport> PricingClient::Export(serving::CampaignId id) {
+  CP_ASSIGN_OR_RETURN(
+      std::string payload,
+      impl_->RoundTrip(FrameType::kExportRequest, SerializeExportRequest(id),
+                       FrameType::kExportResponse));
+  return DeserializeExportResponse(payload);
 }
 
 }  // namespace crowdprice::net

@@ -9,10 +9,20 @@
 // per load-generator process / test thread); the server end interleaves
 // any number of such connections concurrently.
 //
-// Transport failures (connect/send/recv, unparseable responses) surface
-// as Internal/InvalidArgument errors from the call; server-side failures
-// ride the payload and come back with their original code and message --
-// a NotFound for an unknown campaign is NotFound here too.
+// Transport failures surface as clean Status errors from the call:
+// connection-level failures (refused, reset, closed mid-response) are
+// Unavailable -- the code the router's failover keys on -- and
+// unparseable responses are Internal/InvalidArgument. Server-side
+// failures ride the payload and come back with their original code and
+// message -- a NotFound for an unknown campaign is NotFound here too.
+//
+// With ClientOptions::auth_token set, Connect performs the hello
+// handshake before returning, so an authed client is usable the moment
+// Connect succeeds; a rejected handshake fails Connect with the server's
+// verdict (Unauthenticated / FailedPrecondition). Reconnect() redials the
+// remembered endpoint (and re-runs the handshake) after a transport
+// failure, which is what lets one client object ride out a backend
+// restart.
 
 #ifndef CROWDPRICE_NET_CLIENT_H_
 #define CROWDPRICE_NET_CLIENT_H_
@@ -29,12 +39,23 @@
 
 namespace crowdprice::net {
 
+struct ClientOptions {
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// When non-empty, Connect sends a hello with this token and fails with
+  /// the server's verdict unless it is accepted.
+  std::string auth_token;
+};
+
 class PricingClient {
  public:
   /// Connects to a numeric IPv4 address ("127.0.0.1") and port.
   static Result<PricingClient> Connect(const std::string& host, uint16_t port,
                                        uint32_t max_frame_bytes =
                                            kDefaultMaxFrameBytes);
+
+  /// Same, with the full option set (auth handshake included).
+  static Result<PricingClient> Connect(const std::string& host, uint16_t port,
+                                       const ClientOptions& options);
 
   ~PricingClient();  ///< Closes the connection.
   PricingClient(PricingClient&&) noexcept;
@@ -45,6 +66,22 @@ class PricingClient {
   bool connected() const;
   void Close();
 
+  /// Closes (if needed) and redials the endpoint Connect remembered,
+  /// re-running the auth handshake. On failure the client stays closed
+  /// and Reconnect may be retried.
+  Status Reconnect();
+
+  /// One ping/pong round trip; Unavailable (or the transport error) when
+  /// the server is gone, OK when it answered a well-formed pong. The
+  /// router's health probes are exactly this call.
+  Status Ping();
+
+  /// Sends an explicit hello and returns the server's verdict (OK,
+  /// Unauthenticated, FailedPrecondition) or the transport error.
+  /// Connect already does this when options carry a token; this exists
+  /// for handshake tests and version-skew probes.
+  Status Hello(const HelloRequest& hello);
+
   // --- Serving plane ----------------------------------------------------
 
   /// One round trip: ships the batch, returns the responses aligned
@@ -52,6 +89,14 @@ class PricingClient {
   /// status; the call itself fails only on transport/protocol errors.
   Result<std::vector<serving::DecideResponse>> DecideBatch(
       const std::vector<serving::DecideRequest>& requests);
+
+  /// Line-splice variant of DecideBatch (the router's fast path): ships
+  /// pre-serialized request body lines verbatim and returns the response
+  /// body lines without parsing the sheets. The response count is
+  /// validated against the request count; a whole-batch error form
+  /// surfaces as that Status.
+  Result<std::vector<std::string>> DecideBatchLines(
+      const std::vector<std::string>& request_lines);
 
   /// Single-request convenience over DecideBatch; the per-request status
   /// (e.g. NotFound) is folded into the returned Result.
@@ -64,7 +109,7 @@ class PricingClient {
   /// admits cannot cross the wire (InvalidArgument).
   Result<serving::ControlOutcome> Apply(const serving::ControlOp& op);
 
-  /// Convenience wrappers over Apply, mirroring the map's entry points.
+  /// Convenience wrappers over Apply, mirroring the control surface.
   Result<serving::CampaignId> AdmitShared(
       const std::shared_ptr<const engine::PolicyArtifact>& artifact,
       const serving::CampaignLimits& limits);
@@ -74,6 +119,10 @@ class PricingClient {
   Status Retire(serving::CampaignId id);
   Result<serving::CampaignState> Tick(serving::CampaignId id, double now_hours,
                                       int64_t remaining_tasks);
+
+  /// Serializes a live campaign off the server for migration: id, limits,
+  /// and the artifact bytes, deserialized back into a shareable artifact.
+  Result<serving::CampaignExport> Export(serving::CampaignId id);
 
  private:
   struct Impl;

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/macros.h"
 #include "util/stringf.h"
 
 namespace crowdprice::net {
@@ -41,6 +42,11 @@ struct Conn {
   std::string in;
   bool write_armed = false;
 
+  /// A well-formed hello with the right token landed on this connection.
+  /// Atomic because consecutive frames of one connection may be drained
+  /// by different workers over time.
+  std::atomic<bool> authed{false};
+
   std::mutex mu;
   std::deque<std::pair<FrameType, std::string>> pending;  // parsed frames
   bool busy = false;  ///< A worker currently owns this conn's FIFO.
@@ -49,10 +55,61 @@ struct Conn {
   bool dead = false;  ///< Closed; workers must stop appending output.
 };
 
+/// The CampaignShardMap adapter behind Create(map, ...): small batches
+/// answer inline on the handler thread (the map's wait-free read path),
+/// big ones fan out per shard on the map's serving pool.
+class MapSurface final : public ServingSurface {
+ public:
+  MapSurface(serving::CampaignShardMap* map, size_t pool_batch_threshold)
+      : map_(map), pool_batch_threshold_(pool_batch_threshold) {}
+
+  std::vector<serving::DecideResponse> DecideBatch(
+      const std::vector<serving::DecideRequest>& requests) override {
+    if (requests.size() >= pool_batch_threshold_) {
+      // Big batches fan out per shard on the map's serving pool. Pool
+      // regions serialize across concurrent callers, so this path trades
+      // cross-connection concurrency for within-batch parallelism.
+      return map_->DecideBatch(requests);
+    }
+    // Small batches answer inline: each lookup is the map's wait-free
+    // RCU read path, so every handler thread prices concurrently with
+    // all the others and with any in-flight control op.
+    std::vector<serving::DecideResponse> responses;
+    responses.reserve(requests.size());
+    for (const serving::DecideRequest& request : requests) {
+      serving::DecideResponse response;
+      response.campaign_id = request.campaign_id;
+      Result<market::OfferSheet> sheet =
+          map_->Decide(request.campaign_id, request.request);
+      if (sheet.ok()) {
+        response.sheet = std::move(sheet).value();
+      } else {
+        response.status = sheet.status();
+      }
+      responses.push_back(std::move(response));
+    }
+    return responses;
+  }
+
+  Result<serving::ControlOutcome> Apply(serving::ControlOp op) override {
+    return map_->Apply(std::move(op));
+  }
+
+  Result<serving::CampaignExport> ExportCampaign(
+      serving::CampaignId id) override {
+    return map_->ExportCampaign(id);
+  }
+
+ private:
+  serving::CampaignShardMap* map_;
+  size_t pool_batch_threshold_;
+};
+
 }  // namespace
 
 struct PricingServer::Impl {
-  serving::CampaignShardMap* map = nullptr;
+  ServingSurface* surface = nullptr;
+  std::unique_ptr<ServingSurface> owned_surface;  // set for map-backed servers
   ServerOptions options;
 
   // --- run state (rebuilt by each Start) --------------------------------
@@ -107,6 +164,20 @@ struct PricingServer::Impl {
   // --- worker side ------------------------------------------------------
 
   std::string HandleDecideBatch(const std::string& payload) {
+    // Line-splice fast path: surfaces that can answer wire lines
+    // verbatim (the router) skip the sheet parse + re-encode entirely.
+    // Any refusal -- malformed payload, unsupported surface, wrong line
+    // count -- falls through to the parsed path and its error handling.
+    Result<std::vector<std::string>> lines =
+        SplitDecideBatchPayload(payload, "decide batch");
+    if (lines.ok()) {
+      std::vector<std::string> response_lines;
+      if (surface->DecideBatchLines(*lines, &response_lines) &&
+          response_lines.size() == lines->size()) {
+        decide_requests.fetch_add(lines->size(), std::memory_order_relaxed);
+        return JoinDecideBatchPayload(response_lines);
+      }
+    }
     Result<std::vector<serving::DecideRequest>> requests =
         DeserializeDecideBatchRequest(payload);
     if (!requests.ok()) {
@@ -114,30 +185,7 @@ struct PricingServer::Impl {
       return SerializeBatchError(requests.status());
     }
     decide_requests.fetch_add(requests->size(), std::memory_order_relaxed);
-    if (requests->size() >= options.pool_batch_threshold) {
-      // Big batches fan out per shard on the map's serving pool. Pool
-      // regions serialize across concurrent callers, so this path trades
-      // cross-connection concurrency for within-batch parallelism.
-      return SerializeDecideBatchResponse(map->DecideBatch(*requests));
-    }
-    // Small batches answer inline: each lookup is the map's wait-free
-    // RCU read path, so every handler thread prices concurrently with
-    // all the others and with any in-flight control op.
-    std::vector<serving::DecideResponse> responses;
-    responses.reserve(requests->size());
-    for (const serving::DecideRequest& request : *requests) {
-      serving::DecideResponse response;
-      response.campaign_id = request.campaign_id;
-      Result<market::OfferSheet> sheet =
-          map->Decide(request.campaign_id, request.request);
-      if (sheet.ok()) {
-        response.sheet = std::move(sheet).value();
-      } else {
-        response.status = sheet.status();
-      }
-      responses.push_back(std::move(response));
-    }
-    return SerializeDecideBatchResponse(responses);
+    return SerializeDecideBatchResponse(surface->DecideBatch(*requests));
   }
 
   std::string HandleControl(const std::string& payload) {
@@ -147,21 +195,92 @@ struct PricingServer::Impl {
       return SerializeControlAck(op.status());
     }
     control_ops.fetch_add(1, std::memory_order_relaxed);
-    return SerializeControlAck(map->Apply(std::move(op).value()));
+    return SerializeControlAck(surface->Apply(std::move(op).value()));
+  }
+
+  std::string HandleExport(const std::string& payload) {
+    // The err form of SerializeExportResponse always serializes, so the
+    // .value() calls below cannot throw away a real export.
+    Result<serving::CampaignId> id = DeserializeExportRequest(payload);
+    if (!id.ok()) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      return SerializeExportResponse(id.status()).value();
+    }
+    control_ops.fetch_add(1, std::memory_order_relaxed);
+    Result<std::string> response =
+        SerializeExportResponse(surface->ExportCampaign(*id));
+    if (!response.ok()) {
+      return SerializeExportResponse(response.status()).value();
+    }
+    return std::move(response).value();
+  }
+
+  /// Validates a hello and flips the connection to authed on success.
+  /// The verdict (not the parse status) rides back in the hello-ack.
+  Status HandleHello(const std::shared_ptr<Conn>& conn,
+                     const std::string& payload) {
+    Result<HelloRequest> hello = DeserializeHelloRequest(payload);
+    if (!hello.ok()) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      return hello.status();
+    }
+    if (hello->version != kWireVersion) {
+      return Status::FailedPrecondition(
+          StringF("wire version skew: client speaks %u, server speaks %u",
+                  static_cast<unsigned>(hello->version),
+                  static_cast<unsigned>(kWireVersion)));
+    }
+    if (!options.auth_token.empty() && hello->token != options.auth_token) {
+      return Status::Unauthenticated(hello->token.empty()
+                                         ? "missing auth token"
+                                         : "bad auth token");
+    }
+    conn->authed.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+
+  bool Authed(const std::shared_ptr<Conn>& conn) const {
+    return options.auth_token.empty() ||
+           conn->authed.load(std::memory_order_acquire);
   }
 
   void HandleFrame(const std::shared_ptr<Conn>& conn, FrameType type,
                    const std::string& payload) {
+    const Status not_authed =
+        Status::Unauthenticated("connection has not completed the hello "
+                                "handshake");
     std::string response_payload;
     FrameType response_type;
     switch (type) {
       case FrameType::kDecideBatchRequest:
         response_type = FrameType::kDecideBatchResponse;
-        response_payload = HandleDecideBatch(payload);
+        response_payload = Authed(conn) ? HandleDecideBatch(payload)
+                                        : SerializeBatchError(not_authed);
         break;
       case FrameType::kControlRequest:
         response_type = FrameType::kControlResponse;
-        response_payload = HandleControl(payload);
+        response_payload = Authed(conn) ? HandleControl(payload)
+                                        : SerializeControlAck(not_authed);
+        break;
+      case FrameType::kExportRequest:
+        response_type = FrameType::kExportResponse;
+        response_payload =
+            Authed(conn) ? HandleExport(payload)
+                         : SerializeExportResponse(not_authed).value();
+        break;
+      case FrameType::kPingRequest:
+        // Pings answer before auth: a health probe must not need
+        // credentials, and a down-marking based on auth churn would be
+        // wrong anyway.
+        response_type = FrameType::kPingResponse;
+        if (!DeserializePingRequest(payload).ok()) {
+          protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        response_payload = SerializePingResponse();
+        break;
+      case FrameType::kHelloRequest:
+        response_type = FrameType::kHelloResponse;
+        response_payload = SerializeHelloAck(HandleHello(conn, payload));
         break;
       default:
         // A client sent a response-type frame; answer its own plane's
@@ -424,11 +543,9 @@ PricingServer::~PricingServer() {
 PricingServer::PricingServer(PricingServer&&) noexcept = default;
 PricingServer& PricingServer::operator=(PricingServer&&) noexcept = default;
 
-Result<PricingServer> PricingServer::Create(serving::CampaignShardMap* map,
-                                            const ServerOptions& options) {
-  if (map == nullptr) {
-    return Status::InvalidArgument("map must not be null");
-  }
+namespace {
+
+Status ValidateOptions(const ServerOptions& options) {
   if (options.num_workers < 1) {
     return Status::InvalidArgument(
         StringF("num_workers must be >= 1; got %d", options.num_workers));
@@ -438,8 +555,33 @@ Result<PricingServer> PricingServer::Create(serving::CampaignShardMap* map,
         StringF("listen_backlog must be >= 1; got %d",
                 options.listen_backlog));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PricingServer> PricingServer::Create(serving::CampaignShardMap* map,
+                                            const ServerOptions& options) {
+  if (map == nullptr) {
+    return Status::InvalidArgument("map must not be null");
+  }
+  CP_RETURN_IF_ERROR(ValidateOptions(options));
   auto impl = std::make_unique<Impl>();
-  impl->map = map;
+  impl->owned_surface =
+      std::make_unique<MapSurface>(map, options.pool_batch_threshold);
+  impl->surface = impl->owned_surface.get();
+  impl->options = options;
+  return PricingServer(std::move(impl));
+}
+
+Result<PricingServer> PricingServer::Create(ServingSurface* surface,
+                                            const ServerOptions& options) {
+  if (surface == nullptr) {
+    return Status::InvalidArgument("surface must not be null");
+  }
+  CP_RETURN_IF_ERROR(ValidateOptions(options));
+  auto impl = std::make_unique<Impl>();
+  impl->surface = surface;
   impl->options = options;
   return PricingServer(std::move(impl));
 }

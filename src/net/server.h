@@ -1,21 +1,31 @@
-// PricingServer: the network front-end over a CampaignShardMap.
+// PricingServer: the network front-end over a ServingSurface (a
+// CampaignShardMap, or the router's multi-node placement layer).
 //
-// crowdprice_serve exposes the map's two planes over TCP (net/wire.h
+// crowdprice_serve exposes the surface's two planes over TCP (net/wire.h
 // frames):
 //
-//   - Serving plane: kDecideBatchRequest frames answer on the map's
-//     wait-free read path. Each connection's frames are handled in
-//     arrival order by a worker pool; a decide batch walks
-//     CampaignShardMap::Decide per request -- an RCU-guarded pointer
+//   - Serving plane: kDecideBatchRequest frames answer through
+//     ServingSurface::DecideBatch. Each connection's frames are handled
+//     in arrival order by a worker pool; over a shard map, small batches
+//     walk CampaignShardMap::Decide per request -- an RCU-guarded pointer
 //     chase with no locks -- so N connections price concurrently and a
-//     control op on one shard never stalls anyone. Batches at or above
-//     ServerOptions::pool_batch_threshold go through DecideBatch instead,
-//     fanning out per shard on the map's serving pool.
+//     control op on one shard never stalls anyone, while batches at or
+//     above ServerOptions::pool_batch_threshold fan out per shard on the
+//     map's serving pool.
 //   - Control plane: kControlRequest frames deserialize to a
-//     serving::ControlOp and funnel into CampaignShardMap::Apply, the
-//     same single writer surface ArrivalSchedule events use; the outcome
-//     (or the server-side Status, NotFound included) rides back in the
-//     ack frame.
+//     serving::ControlOp and funnel into ServingSurface::Apply (over a
+//     map, the same single writer surface ArrivalSchedule events use);
+//     the outcome (or the server-side Status, NotFound included) rides
+//     back in the ack frame. kExportRequest frames serialize a live
+//     campaign for migration; kPingRequest frames answer pong without
+//     touching the surface (health probes).
+//
+// Auth: with ServerOptions::auth_token set, a connection must open with a
+// kHelloRequest carrying the matching token before any decide, control,
+// or export frame is honored -- violations answer Unauthenticated in the
+// offending frame's own error form, and a hello with the wrong wire
+// version answers FailedPrecondition. Pings are always allowed (probes
+// must stay cheap and credential-free).
 //
 // Architecture: one epoll event-loop thread owns every socket (accept,
 // nonblocking reads, frame reassembly, response writes); `num_workers`
@@ -39,12 +49,52 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "net/wire.h"
 #include "serving/campaign_shard_map.h"
 #include "util/result.h"
 
 namespace crowdprice::net {
+
+/// What a PricingServer fronts: a decide plane, a control plane, and the
+/// migration export hook. CampaignShardMap satisfies it via the adapter
+/// inside PricingServer::Create(map, ...); router::CampaignRouter
+/// implements it directly, which is how the router speaks the same frame
+/// protocol to its own clients that it speaks to its backends.
+/// Implementations must be safe to call from many threads at once.
+class ServingSurface {
+ public:
+  virtual ~ServingSurface() = default;
+
+  /// Answers a decide batch; responses align with `requests`
+  /// index-for-index, per-request failures riding in their response
+  /// status.
+  virtual std::vector<serving::DecideResponse> DecideBatch(
+      const std::vector<serving::DecideRequest>& requests) = 0;
+
+  /// Optional line-splice decide plane: answers wire body lines (no
+  /// trailing newlines) with exactly one response line per request line.
+  /// Returning false (the default) means unsupported and the server
+  /// falls back to the parsed DecideBatch path. The router overrides
+  /// this to forward slices verbatim -- canonical hex-float
+  /// serialization makes the splice bit-exact -- so a routing hop never
+  /// re-parses or re-encodes a sheet.
+  virtual bool DecideBatchLines(const std::vector<std::string>& request_lines,
+                                std::vector<std::string>* response_lines) {
+    static_cast<void>(request_lines);
+    static_cast<void>(response_lines);
+    return false;
+  }
+
+  /// Applies one lifecycle mutation.
+  virtual Result<serving::ControlOutcome> Apply(serving::ControlOp op) = 0;
+
+  /// Serializes a live campaign for migration.
+  virtual Result<serving::CampaignExport> ExportCampaign(
+      serving::CampaignId id) = 0;
+};
 
 struct ServerOptions {
   /// TCP port to listen on; 0 binds an ephemeral port (read it back via
@@ -61,8 +111,14 @@ struct ServerOptions {
   int drain_timeout_ms = 5000;
   /// Decide batches with at least this many requests are answered via
   /// DecideBatch on the map's serving pool (per-shard fan-out); smaller
-  /// batches answer inline on the handler thread, wait-free.
+  /// batches answer inline on the handler thread, wait-free. Applies to
+  /// map-backed servers only (surface-backed servers batch as they see
+  /// fit).
   size_t pool_batch_threshold = 256;
+  /// Shared-secret token. Empty disables auth; otherwise every
+  /// connection must hello with exactly this token first (see the file
+  /// comment).
+  std::string auth_token;
 };
 
 /// Monotone counters over the server's lifetime (across restarts).
@@ -78,6 +134,11 @@ class PricingServer {
  public:
   /// Borrows `map`, which must outlive the server. Validates options.
   static Result<PricingServer> Create(serving::CampaignShardMap* map,
+                                      const ServerOptions& options = {});
+
+  /// Borrows an explicit surface (the router's entry point), which must
+  /// outlive the server.
+  static Result<PricingServer> Create(ServingSurface* surface,
                                       const ServerOptions& options = {});
 
   ~PricingServer();  ///< Stops the server if running.

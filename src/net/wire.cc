@@ -366,7 +366,7 @@ Result<FrameHeader> DecodeFrameHeader(const char* data, size_t size,
   }
   const auto type = static_cast<uint16_t>(byte(6) | (byte(7) << 8));
   if (type < static_cast<uint16_t>(FrameType::kDecideBatchRequest) ||
-      type > static_cast<uint16_t>(FrameType::kControlResponse)) {
+      type > static_cast<uint16_t>(FrameType::kExportResponse)) {
     return Status::InvalidArgument(StringF("unknown frame type %u", type));
   }
   header.type = static_cast<FrameType>(type);
@@ -494,7 +494,11 @@ Result<std::string> SerializeControlOp(const serving::ControlOp& op) {
         return Status::InvalidArgument("admit op carries no artifact");
       }
       CP_ASSIGN_OR_RETURN(std::string blob, op.artifact->Serialize());
-      out << "control admit " << op.limits.total_tasks << " "
+      out << "control admit";
+      // Explicit-id admits (migration re-admits) carry their id in the
+      // verb so a plain admit's wire form is unchanged.
+      if (op.id != 0) out << "-at " << op.id;
+      out << " " << op.limits.total_tasks << " "
           << Hex(op.limits.deadline_hours) << " " << Hex(op.limits.admit_hours)
           << " artifact " << blob.size() << "\n"
           << blob;
@@ -555,23 +559,41 @@ Result<serving::ControlOp> DeserializeControlOp(const std::string& text) {
     return Status::InvalidArgument("expected 'control <verb> ...'");
   }
   const std::string& verb = tokens[1];
-  if (verb == "admit") {
-    if (tokens.size() != 7) {
+  if (verb == "admit" || verb == "admit-at") {
+    // admit-at (the migration re-admit) is admit plus a leading target id.
+    const bool with_id = verb == "admit-at";
+    const size_t base = with_id ? 3 : 2;
+    if (tokens.size() != base + 5) {
       return Status::InvalidArgument(
-          "expected 'control admit <tasks> <deadline> <admit> artifact "
-          "<bytes>'");
+          with_id ? "expected 'control admit-at <id> <tasks> <deadline> "
+                    "<admit> artifact <bytes>'"
+                  : "expected 'control admit <tasks> <deadline> <admit> "
+                    "artifact <bytes>'");
+    }
+    serving::CampaignId id = 0;
+    if (with_id) {
+      CP_ASSIGN_OR_RETURN(id, ParseId(tokens[2], "control admit-at"));
+      if (id == 0) {
+        return Status::InvalidArgument(
+            "control admit-at: id 0 means 'assign fresh' and cannot be "
+            "placed explicitly");
+      }
     }
     serving::CampaignLimits limits;
-    CP_ASSIGN_OR_RETURN(long total, ParseInt(tokens[2], "total_tasks"));
+    CP_ASSIGN_OR_RETURN(long total, ParseInt(tokens[base], "total_tasks"));
     limits.total_tasks = total;
     CP_ASSIGN_OR_RETURN(limits.deadline_hours,
-                        ParseDouble(tokens[3], "deadline_hours"));
+                        ParseDouble(tokens[base + 1], "deadline_hours"));
     CP_ASSIGN_OR_RETURN(limits.admit_hours,
-                        ParseDouble(tokens[4], "admit_hours"));
-    CP_ASSIGN_OR_RETURN(
-        std::shared_ptr<const engine::PolicyArtifact> artifact,
-        ReadArtifactBlock(&cursor, tokens[5], tokens[6], "control admit"));
+                        ParseDouble(tokens[base + 2], "admit_hours"));
+    CP_ASSIGN_OR_RETURN(std::shared_ptr<const engine::PolicyArtifact> artifact,
+                        ReadArtifactBlock(&cursor, tokens[base + 3],
+                                          tokens[base + 4], "control admit"));
     CP_RETURN_IF_ERROR(ExpectEnd(cursor, "control admit"));
+    if (with_id) {
+      return serving::ControlOp::AdmitSharedWithId(id, std::move(artifact),
+                                                   limits);
+    }
     return serving::ControlOp::AdmitShared(std::move(artifact), limits);
   }
   if (verb == "swap") {
@@ -752,6 +774,234 @@ Result<std::vector<serving::DecideResponse>> DeserializeDecideBatchResponse(
   }
   CP_RETURN_IF_ERROR(ExpectEnd(cursor, "decide batch"));
   return responses;
+}
+
+Result<std::vector<std::string>> SplitDecideBatchPayload(
+    const std::string& payload, const char* what) {
+  Cursor cursor(payload);
+  CP_ASSIGN_OR_RETURN(std::string header, cursor.Line(what));
+  // The whole-batch error form: `err <code> <message>`.
+  if (header.rfind("err", 0) == 0 &&
+      (header.size() == 3 || header[3] == ' ')) {
+    CP_RETURN_IF_ERROR(ExpectEnd(cursor, what));
+    std::string rest;
+    CP_ASSIGN_OR_RETURN(std::vector<std::string> head,
+                        SplitN(header, 1, &rest, what));
+    static_cast<void>(head);
+    Status status;
+    CP_RETURN_IF_ERROR(DecodeStatusFragment(rest, &status));
+    if (status.ok()) {
+      return Status::InvalidArgument(
+          StringF("%s: batch error carries an OK status", what));
+    }
+    return status;
+  }
+  CP_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                      SplitN(header, 2, nullptr, what));
+  if (fields[0] != "decide-batch") {
+    return Status::InvalidArgument(
+        StringF("%s: expected 'decide-batch <n>'", what));
+  }
+  CP_ASSIGN_OR_RETURN(long count, ParseInt(fields[1], what));
+  if (count < 0 || count > kMaxBatchRequests) {
+    return Status::InvalidArgument(
+        StringF("%s: batch size %ld out of range [0, %ld]", what, count,
+                kMaxBatchRequests));
+  }
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(count));
+  for (long i = 0; i < count; ++i) {
+    CP_ASSIGN_OR_RETURN(std::string line, cursor.Line(what));
+    lines.push_back(std::move(line));
+  }
+  CP_RETURN_IF_ERROR(ExpectEnd(cursor, what));
+  return lines;
+}
+
+std::string JoinDecideBatchPayload(const std::vector<std::string>& lines) {
+  std::ostringstream out;
+  out << "decide-batch " << lines.size() << "\n";
+  for (const std::string& line : lines) out << line << "\n";
+  return out.str();
+}
+
+Result<serving::CampaignId> DecideLineCampaignId(const std::string& line) {
+  std::string rest;
+  CP_ASSIGN_OR_RETURN(std::vector<std::string> head,
+                      SplitN(line, 2, &rest, "decide line"));
+  if (head[0] != "request" && head[0] != "response") {
+    return Status::InvalidArgument(
+        "expected 'request <id> ...' or 'response <id> ...'");
+  }
+  return ParseId(head[1], "decide line");
+}
+
+std::string DecideErrorLine(serving::CampaignId id, const Status& status) {
+  serving::DecideResponse response;
+  response.campaign_id = id;
+  response.status =
+      status.ok() ? Status::Unavailable("backend unavailable") : status;
+  std::string line = SerializeDecideResponseLine(response);
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+std::string SerializePingRequest() { return "ping\n"; }
+
+Status DeserializePingRequest(const std::string& text) {
+  if (text != "ping\n") {
+    return Status::InvalidArgument("expected 'ping'");
+  }
+  return Status::OK();
+}
+
+std::string SerializePingResponse() { return "pong\n"; }
+
+Status DeserializePingResponse(const std::string& text) {
+  if (text != "pong\n") {
+    return Status::InvalidArgument("expected 'pong'");
+  }
+  return Status::OK();
+}
+
+std::string SerializeHelloRequest(const HelloRequest& hello) {
+  return StringF("hello %u %s\n", static_cast<unsigned>(hello.version),
+                 EscapeMessage(hello.token).c_str());
+}
+
+Result<HelloRequest> DeserializeHelloRequest(const std::string& text) {
+  Cursor cursor(text);
+  CP_ASSIGN_OR_RETURN(std::string line, cursor.Line("hello line"));
+  CP_RETURN_IF_ERROR(ExpectEnd(cursor, "hello line"));
+  std::string rest;
+  CP_ASSIGN_OR_RETURN(std::vector<std::string> head,
+                      SplitN(line, 2, &rest, "hello line"));
+  if (head[0] != "hello") {
+    return Status::InvalidArgument("expected 'hello <version> <token>'");
+  }
+  CP_ASSIGN_OR_RETURN(long version, ParseInt(head[1], "hello version"));
+  if (version < 0 || version > 0xffff) {
+    return Status::InvalidArgument(
+        StringF("hello version %ld out of range", version));
+  }
+  HelloRequest hello;
+  hello.version = static_cast<uint16_t>(version);
+  CP_ASSIGN_OR_RETURN(hello.token, UnescapeMessage(rest));
+  return hello;
+}
+
+std::string SerializeHelloAck(const Status& verdict) {
+  if (verdict.ok()) return "hello-ack ok\n";
+  return StringF("hello-ack err %s\n",
+                 EncodeStatusFragment(verdict).c_str());
+}
+
+Status DeserializeHelloAck(const std::string& text, Status* verdict) {
+  Cursor cursor(text);
+  CP_ASSIGN_OR_RETURN(std::string line, cursor.Line("hello-ack line"));
+  CP_RETURN_IF_ERROR(ExpectEnd(cursor, "hello-ack line"));
+  std::string rest;
+  CP_ASSIGN_OR_RETURN(std::vector<std::string> head,
+                      SplitN(line, 2, &rest, "hello-ack line"));
+  if (head[0] != "hello-ack") {
+    return Status::InvalidArgument("expected 'hello-ack ok|err ...'");
+  }
+  if (head[1] == "ok") {
+    if (!rest.empty()) {
+      return Status::InvalidArgument("hello-ack ok carries trailing bytes");
+    }
+    *verdict = Status::OK();
+    return Status::OK();
+  }
+  if (head[1] == "err") {
+    Status decoded;
+    CP_RETURN_IF_ERROR(DecodeStatusFragment(rest, &decoded));
+    if (decoded.ok()) {
+      return Status::InvalidArgument("err hello-ack carries an OK status");
+    }
+    *verdict = std::move(decoded);
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      StringF("expected 'ok' or 'err', got '%s'", head[1].c_str()));
+}
+
+std::string SerializeExportRequest(serving::CampaignId id) {
+  return StringF("export %llu\n", static_cast<unsigned long long>(id));
+}
+
+Result<serving::CampaignId> DeserializeExportRequest(const std::string& text) {
+  Cursor cursor(text);
+  CP_ASSIGN_OR_RETURN(std::string line, cursor.Line("export line"));
+  CP_RETURN_IF_ERROR(ExpectEnd(cursor, "export line"));
+  CP_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                      SplitN(line, 2, nullptr, "export line"));
+  if (fields[0] != "export") {
+    return Status::InvalidArgument("expected 'export <id>'");
+  }
+  return ParseId(fields[1], "export line");
+}
+
+Result<std::string> SerializeExportResponse(
+    const Result<serving::CampaignExport>& response) {
+  if (!response.ok()) {
+    return StringF("export err %s\n",
+                   EncodeStatusFragment(response.status()).c_str());
+  }
+  if (response->artifact == nullptr) {
+    return Status::InvalidArgument("export carries no artifact");
+  }
+  CP_ASSIGN_OR_RETURN(std::string blob, response->artifact->Serialize());
+  std::ostringstream out;
+  out << "export ok " << response->id << " " << response->limits.total_tasks
+      << " " << Hex(response->limits.deadline_hours) << " "
+      << Hex(response->limits.admit_hours) << " artifact " << blob.size()
+      << "\n"
+      << blob;
+  return out.str();
+}
+
+Result<serving::CampaignExport> DeserializeExportResponse(
+    const std::string& text) {
+  Cursor cursor(text);
+  CP_ASSIGN_OR_RETURN(std::string line, cursor.Line("export response"));
+  std::string rest;
+  CP_ASSIGN_OR_RETURN(std::vector<std::string> head,
+                      SplitN(line, 2, &rest, "export response"));
+  if (head[0] != "export") {
+    return Status::InvalidArgument("expected 'export ok|err ...'");
+  }
+  if (head[1] == "err") {
+    CP_RETURN_IF_ERROR(ExpectEnd(cursor, "export error"));
+    Status status;
+    CP_RETURN_IF_ERROR(DecodeStatusFragment(rest, &status));
+    if (status.ok()) {
+      return Status::InvalidArgument("export error carries an OK status");
+    }
+    return status;
+  }
+  if (head[1] != "ok") {
+    return Status::InvalidArgument(
+        StringF("expected 'ok' or 'err', got '%s'", head[1].c_str()));
+  }
+  CP_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                      SplitN(rest, 6, nullptr, "export response"));
+  serving::CampaignExport out;
+  CP_ASSIGN_OR_RETURN(out.id, ParseId(fields[0], "export response"));
+  if (out.id == 0) {
+    return Status::InvalidArgument("export response carries id 0");
+  }
+  CP_ASSIGN_OR_RETURN(long total, ParseInt(fields[1], "total_tasks"));
+  out.limits.total_tasks = total;
+  CP_ASSIGN_OR_RETURN(out.limits.deadline_hours,
+                      ParseDouble(fields[2], "deadline_hours"));
+  CP_ASSIGN_OR_RETURN(out.limits.admit_hours,
+                      ParseDouble(fields[3], "admit_hours"));
+  CP_ASSIGN_OR_RETURN(out.artifact,
+                      ReadArtifactBlock(&cursor, fields[4], fields[5],
+                                        "export response"));
+  CP_RETURN_IF_ERROR(ExpectEnd(cursor, "export response"));
+  return out;
 }
 
 }  // namespace crowdprice::net

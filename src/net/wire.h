@@ -51,6 +51,21 @@ enum class FrameType : uint16_t {
   kDecideBatchResponse = 2,
   kControlRequest = 3,
   kControlResponse = 4,
+  /// Health probe: the router pings each backend on an interval and marks
+  /// it down after consecutive misses. Answered before authentication so
+  /// probes stay cheap.
+  kPingRequest = 5,
+  kPingResponse = 6,
+  /// Handshake: protocol version + optional shared-secret token. When the
+  /// server runs with --auth-token, every other frame type on an
+  /// un-helloed connection is refused Unauthenticated; version skew is
+  /// FailedPrecondition.
+  kHelloRequest = 7,
+  kHelloResponse = 8,
+  /// Migration: serialize a live campaign (id + limits + artifact) off its
+  /// current owner so a peer can re-admit it under the same id.
+  kExportRequest = 9,
+  kExportResponse = 10,
 };
 
 struct FrameHeader {
@@ -106,6 +121,8 @@ Result<serving::DecideResponse> DeserializeDecideResponse(
 
 /// Control ops serialize to a "control ..." stanza; admit and swap ops
 /// embed their artifact's Serialize() text as a byte-counted block.
+/// Explicit-id admits (migration re-admits) use the "control admit-at"
+/// verb so the target node places the campaign under its original id.
 /// Controller-backed admits are process-local by design and fail
 /// InvalidArgument here. Tick ops serialize too (the wire mirrors the
 /// whole control surface, not just ArrivalSchedule's three events).
@@ -137,6 +154,80 @@ std::string SerializeDecideBatchResponse(
     const std::vector<serving::DecideResponse>& responses);
 std::string SerializeBatchError(const Status& status);
 Result<std::vector<serving::DecideResponse>> DeserializeDecideBatchResponse(
+    const std::string& text);
+
+// --- Batch line splicing ---------------------------------------------------
+//
+// The router's zero-reparse fast path: because serialization is canonical
+// (hex-float fields round trip bit-exactly), forwarding a batch's body
+// lines verbatim is identical to decoding and re-encoding them. These
+// helpers split a `decide-batch <n>` payload into its n body lines and
+// rejoin them, so a routing hop costs a line scan instead of a full
+// sheet parse.
+
+/// Splits a decide-batch payload (request or response form) into its body
+/// lines, returned without trailing newlines. A response payload in the
+/// whole-batch `err ...` form surfaces as that Status.
+Result<std::vector<std::string>> SplitDecideBatchPayload(
+    const std::string& payload, const char* what);
+
+/// Rebuilds a decide-batch payload around body lines from
+/// SplitDecideBatchPayload (or DecideErrorLine).
+std::string JoinDecideBatchPayload(const std::vector<std::string>& lines);
+
+/// The campaign id a request/response line belongs to, parsed without
+/// touching the numeric fields (what the router shards on).
+Result<serving::CampaignId> DecideLineCampaignId(const std::string& line);
+
+/// One `response <id> err ...` body line (no trailing newline) carrying
+/// `status` -- the router's answer for a slice it could not forward.
+std::string DecideErrorLine(serving::CampaignId id, const Status& status);
+
+// --- Health probes ---------------------------------------------------------
+
+/// kPingRequest / kPingResponse payloads: fixed one-line bodies. The
+/// deserializers validate them (a ping that echoes garbage counts as a
+/// protocol error, not a healthy backend).
+std::string SerializePingRequest();
+Status DeserializePingRequest(const std::string& text);
+std::string SerializePingResponse();
+Status DeserializePingResponse(const std::string& text);
+
+// --- Handshake -------------------------------------------------------------
+
+/// What a client announces on connect: the wire version it speaks and the
+/// shared-secret token it was configured with ("" when auth is off).
+struct HelloRequest {
+  uint16_t version = kWireVersion;
+  std::string token;
+};
+
+/// kHelloRequest payload: `hello <version> <escaped token>` (the token
+/// escapes like a status message, so any byte string survives).
+std::string SerializeHelloRequest(const HelloRequest& hello);
+Result<HelloRequest> DeserializeHelloRequest(const std::string& text);
+
+/// kHelloResponse payload: `hello-ack ok` or `hello-ack err <fragment>`.
+/// DeserializeHelloAck's return value is the parse status; the
+/// transported verdict (OK / Unauthenticated / FailedPrecondition) lands
+/// in `*verdict`.
+std::string SerializeHelloAck(const Status& verdict);
+Status DeserializeHelloAck(const std::string& text, Status* verdict);
+
+// --- Migration -------------------------------------------------------------
+
+/// kExportRequest payload: `export <id>`.
+std::string SerializeExportRequest(serving::CampaignId id);
+Result<serving::CampaignId> DeserializeExportRequest(const std::string& text);
+
+/// kExportResponse payload: on success, the campaign's id + limits + its
+/// artifact's Serialize() text as a byte-counted block (the same bytes an
+/// admit would carry, so a migrated campaign prices bit-identically); on
+/// failure, the server-side Status. Serializing fails InvalidArgument on
+/// an export with no artifact.
+Result<std::string> SerializeExportResponse(
+    const Result<serving::CampaignExport>& response);
+Result<serving::CampaignExport> DeserializeExportResponse(
     const std::string& text);
 
 }  // namespace crowdprice::net

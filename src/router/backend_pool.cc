@@ -1,0 +1,289 @@
+#include "router/backend_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::router {
+
+namespace {
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+Result<Endpoint> ParseEndpoint(const std::string& name) {
+  const size_t colon = name.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == name.size()) {
+    return Status::InvalidArgument(
+        StringF("backend '%s' is not host:port", name.c_str()));
+  }
+  Endpoint endpoint;
+  endpoint.host = name.substr(0, colon);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(name.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+    return Status::InvalidArgument(
+        StringF("backend '%s' has a bad port", name.c_str()));
+  }
+  endpoint.port = static_cast<uint16_t>(port);
+  return endpoint;
+}
+
+}  // namespace
+
+/// One backend: its leased serving connection plus health state. Health
+/// fields are atomics because the probe thread, serving calls, and
+/// Health() readers touch them concurrently; the connection itself is
+/// serialized by `lease_mu`.
+struct Backend {
+  std::string name;
+  std::string host;
+  uint16_t port = 0;
+
+  std::mutex lease_mu;
+  std::optional<net::PricingClient> client;  ///< Dialed lazily under lease_mu.
+
+  std::atomic<bool> up{true};
+  std::atomic<uint64_t> consecutive_failures{0};
+  std::atomic<uint64_t> failovers{0};
+
+  void NoteSuccess() {
+    consecutive_failures.store(0, std::memory_order_relaxed);
+    up.store(true, std::memory_order_release);
+  }
+
+  void NoteFailure(int down_after) {
+    const uint64_t failures =
+        consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (failures >= static_cast<uint64_t>(down_after)) {
+      up.store(false, std::memory_order_release);
+    }
+  }
+};
+
+struct BackendPool::Impl {
+  BackendPoolOptions options;
+
+  mutable std::mutex map_mu;  ///< Guards the map, not the backends in it.
+  std::unordered_map<std::string, std::shared_ptr<Backend>> backends;
+
+  std::thread probe_thread;
+  std::mutex probe_mu;
+  std::condition_variable probe_cv;
+  bool stop_probe = false;
+
+  ~Impl() { StopProbe(); }
+
+  std::shared_ptr<Backend> Find(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(map_mu);
+    const auto it = backends.find(name);
+    return it == backends.end() ? nullptr : it->second;
+  }
+
+  std::vector<std::shared_ptr<Backend>> SnapshotBackends() const {
+    std::vector<std::shared_ptr<Backend>> out;
+    std::lock_guard<std::mutex> lock(map_mu);
+    out.reserve(backends.size());
+    for (const auto& [name, backend] : backends) out.push_back(backend);
+    return out;
+  }
+
+  Status Add(const std::string& endpoint) {
+    CP_ASSIGN_OR_RETURN(const Endpoint parsed, ParseEndpoint(endpoint));
+    auto backend = std::make_shared<Backend>();
+    backend->name = endpoint;
+    backend->host = parsed.host;
+    backend->port = parsed.port;
+    std::lock_guard<std::mutex> lock(map_mu);
+    if (!backends.emplace(endpoint, std::move(backend)).second) {
+      return Status::FailedPrecondition(
+          StringF("backend '%s' is already pooled", endpoint.c_str()));
+    }
+    return Status::OK();
+  }
+
+  /// Dials (or redials) the backend's leased connection. Caller holds
+  /// lease_mu.
+  Status EnsureConnected(Backend& backend) {
+    if (backend.client.has_value() && backend.client->connected()) {
+      return Status::OK();
+    }
+    if (backend.client.has_value()) return backend.client->Reconnect();
+    CP_ASSIGN_OR_RETURN(
+        net::PricingClient client,
+        net::PricingClient::Connect(backend.host, backend.port,
+                                    options.client));
+    backend.client.emplace(std::move(client));
+    return Status::OK();
+  }
+
+  Status WithClient(const std::string& name,
+                    const std::function<Status(net::PricingClient&)>& fn) {
+    const std::shared_ptr<Backend> backend = Find(name);
+    if (backend == nullptr) {
+      return Status::NotFound(
+          StringF("backend '%s' is not in the pool", name.c_str()));
+    }
+    if (!backend->up.load(std::memory_order_acquire)) {
+      return Status::Unavailable(
+          StringF("backend '%s' is marked down", name.c_str()));
+    }
+    Status last = Status::OK();
+    int backoff_ms = options.backoff_initial_ms;
+    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+      if (attempt > 0 && backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, options.backoff_max_ms);
+      }
+      {
+        std::lock_guard<std::mutex> lease(backend->lease_mu);
+        last = EnsureConnected(*backend);
+        if (last.ok()) {
+          last = fn(*backend->client);
+          // A transport failure leaves the connection unusable; close it
+          // so the next attempt redials instead of writing into a dead
+          // socket.
+          if (last.IsUnavailable()) backend->client->Close();
+        }
+      }
+      if (!last.IsUnavailable()) {
+        backend->NoteSuccess();
+        return last;
+      }
+    }
+    backend->NoteFailure(options.down_after_failures);
+    backend->failovers.fetch_add(1, std::memory_order_relaxed);
+    return last;
+  }
+
+  void ProbeNow() {
+    for (const std::shared_ptr<Backend>& backend : SnapshotBackends()) {
+      // A fresh connection per probe: a serving call mid-flight on the
+      // leased connection never delays (or fails) the health verdict.
+      auto client = net::PricingClient::Connect(backend->host, backend->port,
+                                                options.client);
+      const Status status = client.ok() ? client->Ping() : client.status();
+      if (status.ok()) {
+        backend->NoteSuccess();
+      } else {
+        backend->NoteFailure(options.down_after_failures);
+      }
+    }
+  }
+
+  void StartProbe() {
+    if (options.probe_interval_ms <= 0) return;
+    probe_thread = std::thread([this] {
+      std::unique_lock<std::mutex> lock(probe_mu);
+      while (!stop_probe) {
+        probe_cv.wait_for(
+            lock, std::chrono::milliseconds(options.probe_interval_ms),
+            [this] { return stop_probe; });
+        if (stop_probe) return;
+        lock.unlock();
+        ProbeNow();
+        lock.lock();
+      }
+    });
+  }
+
+  void StopProbe() {
+    {
+      std::lock_guard<std::mutex> lock(probe_mu);
+      if (stop_probe) return;
+      stop_probe = true;
+    }
+    probe_cv.notify_all();
+    if (probe_thread.joinable()) probe_thread.join();
+  }
+};
+
+BackendPool::BackendPool(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+BackendPool::~BackendPool() = default;
+BackendPool::BackendPool(BackendPool&&) noexcept = default;
+BackendPool& BackendPool::operator=(BackendPool&&) noexcept = default;
+
+Result<BackendPool> BackendPool::Create(
+    const std::vector<std::string>& endpoints,
+    const BackendPoolOptions& options) {
+  if (options.down_after_failures < 1) {
+    return Status::InvalidArgument("down_after_failures must be at least 1");
+  }
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be at least 1");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  for (const std::string& endpoint : endpoints) {
+    CP_RETURN_IF_ERROR(impl->Add(endpoint));
+  }
+  impl->StartProbe();
+  return BackendPool(std::move(impl));
+}
+
+Status BackendPool::Add(const std::string& endpoint) {
+  return impl_->Add(endpoint);
+}
+
+Status BackendPool::Remove(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(impl_->map_mu);
+  if (impl_->backends.erase(endpoint) == 0) {
+    return Status::NotFound(
+        StringF("backend '%s' is not in the pool", endpoint.c_str()));
+  }
+  return Status::OK();
+}
+
+bool BackendPool::Has(const std::string& endpoint) const {
+  return impl_->Find(endpoint) != nullptr;
+}
+
+std::vector<std::string> BackendPool::Names() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(impl_->map_mu);
+  names.reserve(impl_->backends.size());
+  for (const auto& [name, backend] : impl_->backends) names.push_back(name);
+  return names;
+}
+
+Status BackendPool::WithClient(
+    const std::string& name,
+    const std::function<Status(net::PricingClient&)>& fn) {
+  return impl_->WithClient(name, fn);
+}
+
+bool BackendPool::IsUp(const std::string& name) const {
+  const std::shared_ptr<Backend> backend = impl_->Find(name);
+  return backend != nullptr && backend->up.load(std::memory_order_acquire);
+}
+
+std::vector<BackendHealth> BackendPool::Health() const {
+  std::vector<BackendHealth> out;
+  for (const std::shared_ptr<Backend>& backend : impl_->SnapshotBackends()) {
+    BackendHealth health;
+    health.name = backend->name;
+    health.up = backend->up.load(std::memory_order_acquire);
+    health.consecutive_failures =
+        backend->consecutive_failures.load(std::memory_order_relaxed);
+    health.failovers = backend->failovers.load(std::memory_order_relaxed);
+    out.push_back(std::move(health));
+  }
+  return out;
+}
+
+void BackendPool::ProbeNow() { impl_->ProbeNow(); }
+
+}  // namespace crowdprice::router

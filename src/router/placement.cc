@@ -1,0 +1,76 @@
+#include "router/placement.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/stringf.h"
+
+namespace crowdprice::router {
+
+namespace {
+
+/// FNV-1a over the backend name: the per-backend rendezvous seed.
+uint64_t NameSeed(const std::string& name) {
+  uint64_t hash = 14695981039346656037ull;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// splitmix64 finalizer: a full-avalanche mix of (backend seed, id).
+uint64_t Score(uint64_t seed, uint64_t id) {
+  uint64_t x = seed ^ (id + 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Result<PlacementTable> PlacementTable::Create(
+    std::vector<std::string> backends, uint64_t version) {
+  for (const std::string& name : backends) {
+    if (name.empty()) {
+      return Status::InvalidArgument("backend names must be non-empty");
+    }
+    if (std::count(backends.begin(), backends.end(), name) > 1) {
+      return Status::InvalidArgument(
+          StringF("backend '%s' appears more than once", name.c_str()));
+    }
+  }
+  PlacementTable table;
+  table.backends_ = std::move(backends);
+  table.seeds_.reserve(table.backends_.size());
+  for (const std::string& name : table.backends_) {
+    table.seeds_.push_back(NameSeed(name));
+  }
+  table.version_ = version;
+  return table;
+}
+
+bool PlacementTable::Contains(const std::string& backend) const {
+  return std::find(backends_.begin(), backends_.end(), backend) !=
+         backends_.end();
+}
+
+Result<std::string> PlacementTable::OwnerOf(serving::CampaignId id) const {
+  if (backends_.empty()) {
+    return Status::FailedPrecondition(
+        "placement table is empty: no backend can own any campaign");
+  }
+  size_t best = 0;
+  uint64_t best_score = Score(seeds_[0], id);
+  for (size_t i = 1; i < backends_.size(); ++i) {
+    const uint64_t score = Score(seeds_[i], id);
+    if (score > best_score ||
+        (score == best_score && backends_[i] < backends_[best])) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return backends_[best];
+}
+
+}  // namespace crowdprice::router

@@ -1,0 +1,64 @@
+// PlacementTable: which backend owns which campaign.
+//
+// The router shards live campaigns across its crowdprice_serve backends
+// by campaign id using rendezvous (highest-random-weight) hashing: every
+// (backend, id) pair hashes to a 64-bit score and the backend with the
+// highest score owns the id. Two properties make this the right fit for
+// live rebalancing:
+//
+//   - Determinism: any router instance holding the same backend set
+//     computes the same owner for every id -- no coordination state
+//     beyond the backend list itself.
+//   - Minimal disruption: adding a backend moves only the ids the new
+//     backend now wins; removing one moves only the ids it owned. No
+//     other campaign changes owner, so a rebalance migrates exactly the
+//     diff.
+//
+// Tables are immutable values stamped with a version; the router
+// publishes a new table (version + 1) under its drain barrier and
+// migrates the diff before any decide can observe the change
+// (src/router/router.h).
+
+#ifndef CROWDPRICE_ROUTER_PLACEMENT_H_
+#define CROWDPRICE_ROUTER_PLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/campaign_shard_map.h"
+#include "util/result.h"
+
+namespace crowdprice::router {
+
+class PlacementTable {
+ public:
+  /// The empty table: version 0, owns nothing.
+  PlacementTable() = default;
+
+  /// Backends are opaque stable names (the router uses "host:port").
+  /// Fails InvalidArgument on an empty name or a duplicate.
+  static Result<PlacementTable> Create(std::vector<std::string> backends,
+                                       uint64_t version);
+
+  const std::vector<std::string>& backends() const { return backends_; }
+  uint64_t version() const { return version_; }
+  bool empty() const { return backends_.empty(); }
+
+  bool Contains(const std::string& backend) const;
+
+  /// The backend that owns `id` (see the file comment). Deterministic;
+  /// ties break toward the lexicographically smaller name so the choice
+  /// never depends on list order. Fails FailedPrecondition on an empty
+  /// table.
+  Result<std::string> OwnerOf(serving::CampaignId id) const;
+
+ private:
+  std::vector<std::string> backends_;
+  std::vector<uint64_t> seeds_;  ///< Per-backend name hash, precomputed.
+  uint64_t version_ = 0;
+};
+
+}  // namespace crowdprice::router
+
+#endif  // CROWDPRICE_ROUTER_PLACEMENT_H_

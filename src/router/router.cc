@@ -1,0 +1,534 @@
+#include "router/router.h"
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/stringf.h"
+
+namespace crowdprice::router {
+
+namespace {
+
+using serving::CampaignExport;
+using serving::CampaignId;
+using serving::CampaignState;
+using serving::ControlOp;
+using serving::ControlOutcome;
+using serving::DecideRequest;
+using serving::DecideResponse;
+
+}  // namespace
+
+struct CampaignRouter::Impl {
+  RouterOptions options;
+  BackendPool pool;
+
+  /// The drain barrier: decide/control/export traffic holds it shared,
+  /// Rebalance holds it exclusive while it migrates -- so a placement
+  /// change waits out every in-flight request and no request ever sees a
+  /// half-moved campaign.
+  mutable std::shared_mutex drain_mu;
+  PlacementTable placement;  ///< Written only under an exclusive drain_mu.
+
+  /// Router-wide id assignment for admits.
+  std::atomic<uint64_t> next_id{1};
+
+  /// Campaigns admitted through the router and still live; the rebalance
+  /// migration set. Its own mutex because decide/control traffic updates
+  /// it while holding drain_mu only shared.
+  mutable std::mutex live_mu;
+  std::unordered_set<CampaignId> live;
+
+  std::atomic<uint64_t> decide_requests{0};
+  std::atomic<uint64_t> control_ops{0};
+  std::atomic<uint64_t> unavailable{0};
+  std::atomic<uint64_t> rebalances{0};
+  std::atomic<uint64_t> migrations{0};
+  std::atomic<uint64_t> lost_campaigns{0};
+
+  explicit Impl(BackendPool pool_in) : pool(std::move(pool_in)) {}
+
+  void TrackLive(CampaignId id, bool is_live) {
+    std::lock_guard<std::mutex> lock(live_mu);
+    if (is_live) {
+      live.insert(id);
+    } else {
+      live.erase(id);
+    }
+  }
+
+  /// Forwards one backend's slice of a decide batch and scatters the
+  /// responses back to their original indices; a transport failure (after
+  /// the pool's retries) answers every request in the slice Unavailable.
+  void ForwardSlice(const std::string& backend,
+                    const std::vector<DecideRequest>& requests,
+                    const std::vector<size_t>& indices,
+                    std::vector<DecideResponse>& responses) {
+    std::vector<DecideRequest> slice;
+    slice.reserve(indices.size());
+    for (const size_t index : indices) slice.push_back(requests[index]);
+
+    std::vector<DecideResponse> answered;
+    const Status status =
+        pool.WithClient(backend, [&](net::PricingClient& client) {
+          CP_ASSIGN_OR_RETURN(answered, client.DecideBatch(slice));
+          return Status::OK();
+        });
+    if (status.ok() && answered.size() == indices.size()) {
+      for (size_t i = 0; i < indices.size(); ++i) {
+        responses[indices[i]] = std::move(answered[i]);
+      }
+      return;
+    }
+    const Status failure =
+        status.ok() ? Status::Internal("backend answered a misaligned batch")
+                    : status;
+    for (const size_t index : indices) {
+      responses[index].campaign_id = requests[index].campaign_id;
+      responses[index].status = failure;
+      unavailable.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<DecideResponse> DecideBatch(
+      const std::vector<DecideRequest>& requests) {
+    std::shared_lock<std::shared_mutex> drain(drain_mu);
+    decide_requests.fetch_add(requests.size(), std::memory_order_relaxed);
+    std::vector<DecideResponse> responses(requests.size());
+    if (placement.empty()) {
+      for (size_t i = 0; i < requests.size(); ++i) {
+        responses[i].campaign_id = requests[i].campaign_id;
+        responses[i].status =
+            Status::Unavailable("router has no backends to route to");
+      }
+      unavailable.fetch_add(requests.size(), std::memory_order_relaxed);
+      return responses;
+    }
+
+    // Group request indices by owning backend, preserving arrival order
+    // within each group (reassembly is by index, so order is cosmetic --
+    // but deterministic slices make the wire traffic reproducible).
+    std::unordered_map<std::string, size_t> group_of;
+    std::vector<std::pair<std::string, std::vector<size_t>>> groups;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const std::string owner =
+          placement.OwnerOf(requests[i].campaign_id).value();
+      const auto [it, inserted] = group_of.try_emplace(owner, groups.size());
+      if (inserted) groups.emplace_back(owner, std::vector<size_t>());
+      groups[it->second].second.push_back(i);
+    }
+
+    if (groups.empty()) return responses;  // Empty batch.
+
+    // Forward every group concurrently, the first inline on this thread.
+    // On a single-core host the spawned forwarders cannot overlap anyway,
+    // so the per-batch thread cost is pure tail latency: forward
+    // sequentially instead.
+    static const bool parallel_forward =
+        std::thread::hardware_concurrency() > 1;
+    if (parallel_forward) {
+      std::vector<std::thread> forwarders;
+      forwarders.reserve(groups.size());
+      for (size_t g = 1; g < groups.size(); ++g) {
+        forwarders.emplace_back([this, &groups, &requests, &responses, g] {
+          ForwardSlice(groups[g].first, requests, groups[g].second,
+                       responses);
+        });
+      }
+      ForwardSlice(groups[0].first, requests, groups[0].second, responses);
+      for (std::thread& forwarder : forwarders) forwarder.join();
+    } else {
+      for (const auto& [backend, indices] : groups) {
+        ForwardSlice(backend, requests, indices, responses);
+      }
+    }
+    return responses;
+  }
+
+  /// Line-splice sibling of ForwardSlice: forwards a backend's slice of
+  /// wire body lines verbatim and scatters the response lines back; a
+  /// transport failure (after the pool's retries) answers every line in
+  /// the slice with a serialized Unavailable response.
+  void ForwardSliceLines(const std::string& backend,
+                         const std::vector<std::string>& request_lines,
+                         const std::vector<CampaignId>& ids,
+                         const std::vector<size_t>& indices,
+                         std::vector<std::string>& response_lines) {
+    std::vector<std::string> slice;
+    slice.reserve(indices.size());
+    for (const size_t index : indices) slice.push_back(request_lines[index]);
+
+    std::vector<std::string> answered;
+    const Status status =
+        pool.WithClient(backend, [&](net::PricingClient& client) {
+          CP_ASSIGN_OR_RETURN(answered, client.DecideBatchLines(slice));
+          return Status::OK();
+        });
+    if (status.ok() && answered.size() == indices.size()) {
+      for (size_t i = 0; i < indices.size(); ++i) {
+        response_lines[indices[i]] = std::move(answered[i]);
+      }
+      return;
+    }
+    const Status failure =
+        status.ok() ? Status::Internal("backend answered a misaligned batch")
+                    : status;
+    for (const size_t index : indices) {
+      response_lines[index] = net::DecideErrorLine(ids[index], failure);
+      unavailable.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool DecideBatchLines(const std::vector<std::string>& request_lines,
+                        std::vector<std::string>* response_lines) {
+    // Extract every campaign id up front; a line this helper cannot read
+    // defers the whole batch to the parsed path, which owns the error
+    // semantics for malformed requests.
+    std::vector<CampaignId> ids;
+    ids.reserve(request_lines.size());
+    for (const std::string& line : request_lines) {
+      const Result<CampaignId> id = net::DecideLineCampaignId(line);
+      if (!id.ok()) return false;
+      ids.push_back(*id);
+    }
+
+    std::shared_lock<std::shared_mutex> drain(drain_mu);
+    decide_requests.fetch_add(request_lines.size(),
+                              std::memory_order_relaxed);
+    response_lines->assign(request_lines.size(), std::string());
+    if (placement.empty()) {
+      const Status status =
+          Status::Unavailable("router has no backends to route to");
+      for (size_t i = 0; i < ids.size(); ++i) {
+        (*response_lines)[i] = net::DecideErrorLine(ids[i], status);
+      }
+      unavailable.fetch_add(request_lines.size(),
+                            std::memory_order_relaxed);
+      return true;
+    }
+
+    std::unordered_map<std::string, size_t> group_of;
+    std::vector<std::pair<std::string, std::vector<size_t>>> groups;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const std::string owner = placement.OwnerOf(ids[i]).value();
+      const auto [it, inserted] = group_of.try_emplace(owner, groups.size());
+      if (inserted) groups.emplace_back(owner, std::vector<size_t>());
+      groups[it->second].second.push_back(i);
+    }
+    if (groups.empty()) return true;  // Empty batch.
+
+    static const bool parallel_forward =
+        std::thread::hardware_concurrency() > 1;
+    if (parallel_forward) {
+      std::vector<std::thread> forwarders;
+      forwarders.reserve(groups.size());
+      for (size_t g = 1; g < groups.size(); ++g) {
+        forwarders.emplace_back(
+            [this, &groups, &request_lines, &ids, response_lines, g] {
+              ForwardSliceLines(groups[g].first, request_lines, ids,
+                                groups[g].second, *response_lines);
+            });
+      }
+      ForwardSliceLines(groups[0].first, request_lines, ids,
+                        groups[0].second, *response_lines);
+      for (std::thread& forwarder : forwarders) forwarder.join();
+    } else {
+      for (const auto& [backend, indices] : groups) {
+        ForwardSliceLines(backend, request_lines, ids, indices,
+                          *response_lines);
+      }
+    }
+    return true;
+  }
+
+  /// Routes one control op to `backend`. Server-side verdicts (NotFound,
+  /// FailedPrecondition, ...) are final; transport failures retry inside
+  /// the pool and surface as Unavailable.
+  Result<ControlOutcome> ApplyAt(const std::string& backend,
+                                 const ControlOp& op) {
+    Result<ControlOutcome> outcome =
+        Status::Internal("control op was never forwarded");
+    const Status status =
+        pool.WithClient(backend, [&](net::PricingClient& client) {
+          Result<ControlOutcome> applied = client.Apply(op);
+          if (!applied.ok() && applied.status().IsUnavailable()) {
+            return applied.status();  // Transport-level: let the pool retry.
+          }
+          outcome = std::move(applied);
+          return Status::OK();
+        });
+    if (!status.ok()) {
+      unavailable.fetch_add(1, std::memory_order_relaxed);
+      return status;
+    }
+    return outcome;
+  }
+
+  Result<ControlOutcome> Apply(ControlOp op) {
+    std::shared_lock<std::shared_mutex> drain(drain_mu);
+    control_ops.fetch_add(1, std::memory_order_relaxed);
+    if (placement.empty()) {
+      return Status::Unavailable("router has no backends to route to");
+    }
+    if (op.kind == ControlOp::Kind::kAdmit) {
+      if (op.controller != nullptr) {
+        return Status::InvalidArgument(
+            "controller-backed admits are process-local and cannot cross "
+            "the router");
+      }
+      // Assign the router-wide id (or honor an explicit one, keeping
+      // next_id ahead of it) and place via the explicit-id admit so the
+      // backend admits under exactly this id.
+      CampaignId id = op.id;
+      if (id == 0) {
+        id = next_id.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        uint64_t expected = next_id.load(std::memory_order_relaxed);
+        while (expected <= id &&
+               !next_id.compare_exchange_weak(expected, id + 1,
+                                              std::memory_order_relaxed)) {
+        }
+      }
+      op.id = id;
+    }
+    CP_ASSIGN_OR_RETURN(const std::string owner, placement.OwnerOf(op.id));
+    CP_ASSIGN_OR_RETURN(const ControlOutcome outcome, ApplyAt(owner, op));
+    switch (op.kind) {
+      case ControlOp::Kind::kAdmit:
+        TrackLive(outcome.id, true);
+        break;
+      case ControlOp::Kind::kRetire:
+        TrackLive(op.id, false);
+        break;
+      case ControlOp::Kind::kTick:
+        if (outcome.state != CampaignState::kLive) TrackLive(op.id, false);
+        break;
+      case ControlOp::Kind::kSwapArtifact:
+        break;
+    }
+    return outcome;
+  }
+
+  Result<CampaignExport> Export(const std::string& backend, CampaignId id) {
+    Result<CampaignExport> exported =
+        Status::Internal("export was never forwarded");
+    const Status status =
+        pool.WithClient(backend, [&](net::PricingClient& client) {
+          Result<CampaignExport> answer = client.Export(id);
+          if (!answer.ok() && answer.status().IsUnavailable()) {
+            return answer.status();
+          }
+          exported = std::move(answer);
+          return Status::OK();
+        });
+    if (!status.ok()) {
+      unavailable.fetch_add(1, std::memory_order_relaxed);
+      return status;
+    }
+    return exported;
+  }
+
+  Result<CampaignExport> ExportCampaign(CampaignId id) {
+    std::shared_lock<std::shared_mutex> drain(drain_mu);
+    control_ops.fetch_add(1, std::memory_order_relaxed);
+    if (placement.empty()) {
+      return Status::Unavailable("router has no backends to route to");
+    }
+    CP_ASSIGN_OR_RETURN(const std::string owner, placement.OwnerOf(id));
+    return Export(owner, id);
+  }
+
+  Result<size_t> Rebalance(const std::vector<std::string>& new_backends) {
+    std::unique_lock<std::shared_mutex> drain(drain_mu);
+    CP_ASSIGN_OR_RETURN(
+        PlacementTable next,
+        PlacementTable::Create(new_backends, placement.version() + 1));
+    for (const std::string& backend : next.backends()) {
+      if (!pool.Has(backend)) CP_RETURN_IF_ERROR(pool.Add(backend));
+    }
+
+    // Plan the diff: every live campaign whose owner changes.
+    struct Move {
+      CampaignId id = 0;
+      std::string from;
+      std::string to;
+    };
+    std::vector<Move> moves;
+    {
+      std::lock_guard<std::mutex> lock(live_mu);
+      for (const CampaignId id : live) {
+        Move move;
+        move.id = id;
+        move.from = placement.empty() ? "" : placement.OwnerOf(id).value();
+        move.to = next.OwnerOf(id).value();
+        if (move.from != move.to) moves.push_back(std::move(move));
+      }
+    }
+
+    // Pass 1 -- copy: export off the old owner, re-admit on the new one
+    // under the same id. Both copies exist until commit; no traffic can
+    // observe that (we hold the drain barrier exclusively).
+    std::vector<Move> copied;
+    std::vector<CampaignId> lost;
+    Status failure = Status::OK();
+    for (const Move& move : moves) {
+      Result<CampaignExport> exported = Export(move.from, move.id);
+      if (!exported.ok()) {
+        if (exported.status().IsUnavailable() &&
+            !next.Contains(move.from)) {
+          // The old owner is dead and leaving the set: its campaigns'
+          // state died with it. Drop them rather than wedging every
+          // future rebalance.
+          lost.push_back(move.id);
+          continue;
+        }
+        failure = exported.status();
+        break;
+      }
+      const Result<ControlOutcome> admitted = ApplyAt(
+          move.to, ControlOp::AdmitSharedWithId(move.id, exported->artifact,
+                                                exported->limits));
+      if (!admitted.ok()) {
+        failure = admitted.status();
+        break;
+      }
+      copied.push_back(move);
+    }
+    if (!failure.ok()) {
+      // Roll back: retire the fresh copies; the placement never changed,
+      // so traffic keeps hitting the originals.
+      for (const Move& move : copied) {
+        (void)ApplyAt(move.to, ControlOp::Retire(move.id));
+      }
+      return Status::Unavailable(StringF(
+          "rebalance to placement v%llu aborted, no campaigns moved: %s",
+          static_cast<unsigned long long>(next.version()),
+          failure.message().c_str()));
+    }
+
+    // Pass 2 -- commit: publish the new table, then retire the old
+    // copies (best effort: an unreachable old owner just means its copy
+    // dies with it; nothing routes there anymore).
+    const PlacementTable old = std::move(placement);
+    placement = std::move(next);
+    for (const Move& move : copied) {
+      (void)ApplyAt(move.from, ControlOp::Retire(move.id));
+    }
+    {
+      std::lock_guard<std::mutex> lock(live_mu);
+      for (const CampaignId id : lost) live.erase(id);
+    }
+    for (const std::string& backend : old.backends()) {
+      if (!placement.Contains(backend)) (void)pool.Remove(backend);
+    }
+    rebalances.fetch_add(1, std::memory_order_relaxed);
+    migrations.fetch_add(copied.size(), std::memory_order_relaxed);
+    lost_campaigns.fetch_add(lost.size(), std::memory_order_relaxed);
+    return copied.size();
+  }
+};
+
+CampaignRouter::CampaignRouter(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+CampaignRouter::~CampaignRouter() = default;
+CampaignRouter::CampaignRouter(CampaignRouter&&) noexcept = default;
+CampaignRouter& CampaignRouter::operator=(CampaignRouter&&) noexcept =
+    default;
+
+Result<CampaignRouter> CampaignRouter::Create(
+    const std::vector<std::string>& backends, const RouterOptions& options) {
+  CP_ASSIGN_OR_RETURN(PlacementTable placement,
+                      PlacementTable::Create(backends, 1));
+  CP_ASSIGN_OR_RETURN(BackendPool pool,
+                      BackendPool::Create(backends, options.pool));
+  auto impl = std::make_unique<Impl>(std::move(pool));
+  impl->options = options;
+  impl->placement = std::move(placement);
+  return CampaignRouter(std::move(impl));
+}
+
+std::vector<DecideResponse> CampaignRouter::DecideBatch(
+    const std::vector<DecideRequest>& requests) {
+  return impl_->DecideBatch(requests);
+}
+
+bool CampaignRouter::DecideBatchLines(
+    const std::vector<std::string>& request_lines,
+    std::vector<std::string>* response_lines) {
+  return impl_->DecideBatchLines(request_lines, response_lines);
+}
+
+Result<ControlOutcome> CampaignRouter::Apply(ControlOp op) {
+  return impl_->Apply(std::move(op));
+}
+
+Result<CampaignExport> CampaignRouter::ExportCampaign(CampaignId id) {
+  return impl_->ExportCampaign(id);
+}
+
+PlacementTable CampaignRouter::placement() const {
+  std::shared_lock<std::shared_mutex> drain(impl_->drain_mu);
+  return impl_->placement;
+}
+
+size_t CampaignRouter::live_campaigns() const {
+  std::lock_guard<std::mutex> lock(impl_->live_mu);
+  return impl_->live.size();
+}
+
+Result<size_t> CampaignRouter::Rebalance(
+    const std::vector<std::string>& new_backends) {
+  return impl_->Rebalance(new_backends);
+}
+
+Result<size_t> CampaignRouter::AddBackend(const std::string& endpoint) {
+  std::vector<std::string> backends = placement().backends();
+  backends.push_back(endpoint);
+  return Rebalance(backends);
+}
+
+Result<size_t> CampaignRouter::RemoveBackend(const std::string& endpoint) {
+  const PlacementTable current = placement();
+  std::vector<std::string> backends;
+  bool found = false;
+  for (const std::string& backend : current.backends()) {
+    if (backend == endpoint) {
+      found = true;
+    } else {
+      backends.push_back(backend);
+    }
+  }
+  if (!found) {
+    return Status::NotFound(
+        StringF("backend '%s' is not in the placement", endpoint.c_str()));
+  }
+  return Rebalance(backends);
+}
+
+std::vector<BackendHealth> CampaignRouter::Health() const {
+  return impl_->pool.Health();
+}
+
+void CampaignRouter::ProbeNow() { impl_->pool.ProbeNow(); }
+
+RouterStats CampaignRouter::stats() const {
+  const auto load = [](const std::atomic<uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  };
+  RouterStats stats;
+  stats.decide_requests = load(impl_->decide_requests);
+  stats.control_ops = load(impl_->control_ops);
+  stats.unavailable = load(impl_->unavailable);
+  stats.rebalances = load(impl_->rebalances);
+  stats.migrations = load(impl_->migrations);
+  stats.lost_campaigns = load(impl_->lost_campaigns);
+  return stats;
+}
+
+}  // namespace crowdprice::router

@@ -1,0 +1,144 @@
+// CampaignRouter: multi-node campaign placement over crowdprice_serve
+// backends, with health-checked failover and live rebalancing.
+//
+// The router is a net::ServingSurface, so net::PricingServer fronts it
+// with the exact frame protocol the backends speak -- clients cannot
+// tell a router from a single node. Internally:
+//
+//   - Placement: a versioned rendezvous-hash PlacementTable
+//     (router/placement.h) maps every campaign id to one owning backend.
+//     Admits assign router-wide ids and place the campaign on its owner
+//     via the explicit-id admit (`control admit-at`), so ids stay stable
+//     as campaigns move.
+//   - Decide fan-out: DecideBatch splits a mixed batch by owning backend,
+//     forwards each backend's slice concurrently over the pool's leased
+//     connections, and reassembles responses in request order. Sheets
+//     pass through byte-for-byte (the wire is hex-float exact), so a
+//     routed decide is bit-identical to a direct one.
+//   - Failover: the BackendPool (router/backend_pool.h) health-probes
+//     every backend, retries Unavailable outcomes with bounded backoff,
+//     and marks repeat offenders down. A request whose owner is down (or
+//     dies mid-call past the retry budget) answers a clean Unavailable --
+//     per-request in a decide batch, as the call status on the control
+//     plane -- and never crashes or wedges the router.
+//   - Live rebalancing: Rebalance publishes a new placement under a drain
+//     barrier (a writer lock all serving/control traffic reads): for each
+//     live campaign whose owner changes, the router exports it from the
+//     old owner, re-admits it on the new owner under the same id, and
+//     retires the old copy -- copy-then-commit, so a failed migration
+//     rolls back and no decide ever observes a half-moved campaign.
+//
+// Thread safety: every public method is safe to call concurrently.
+// Decide and control traffic hold the drain barrier shared; Rebalance
+// holds it exclusively for the duration of the migration.
+
+#ifndef CROWDPRICE_ROUTER_ROUTER_H_
+#define CROWDPRICE_ROUTER_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/server.h"
+#include "router/backend_pool.h"
+#include "router/placement.h"
+#include "serving/campaign_shard_map.h"
+#include "util/result.h"
+
+namespace crowdprice::router {
+
+struct RouterOptions {
+  /// Connection, retry, and health-probe policy for the backend pool.
+  BackendPoolOptions pool;
+};
+
+/// Monotone counters over the router's lifetime.
+struct RouterStats {
+  uint64_t decide_requests = 0;  ///< Individual decide requests routed.
+  uint64_t control_ops = 0;      ///< Control ops routed (exports included).
+  uint64_t unavailable = 0;      ///< Requests answered Unavailable.
+  uint64_t rebalances = 0;       ///< Successful placement changes.
+  uint64_t migrations = 0;       ///< Campaigns moved across backends.
+  uint64_t lost_campaigns = 0;   ///< Campaigns dropped with a dead backend.
+};
+
+class CampaignRouter final : public net::ServingSurface {
+ public:
+  /// Backends are "host:port" endpoints; the initial placement is version
+  /// 1 over exactly this set. The set may be empty (every request answers
+  /// Unavailable until a rebalance adds capacity).
+  static Result<CampaignRouter> Create(
+      const std::vector<std::string>& backends,
+      const RouterOptions& options = {});
+
+  ~CampaignRouter() override;
+  CampaignRouter(CampaignRouter&&) noexcept;
+  CampaignRouter& operator=(CampaignRouter&&) noexcept;
+  CampaignRouter(const CampaignRouter&) = delete;
+  CampaignRouter& operator=(const CampaignRouter&) = delete;
+
+  // --- net::ServingSurface ----------------------------------------------
+
+  /// Fan-out by owning backend (see file comment). Requests whose owner
+  /// cannot be reached answer Unavailable in their response status; the
+  /// batch itself always returns, aligned index-for-index.
+  std::vector<serving::DecideResponse> DecideBatch(
+      const std::vector<serving::DecideRequest>& requests) override;
+
+  /// Zero-reparse fan-out: routes pre-serialized wire body lines to their
+  /// owners and splices the response lines back in request order, never
+  /// parsing a sheet. Returns false (deferring to the parsed path) when
+  /// any line's campaign id cannot be extracted.
+  bool DecideBatchLines(const std::vector<std::string>& request_lines,
+                        std::vector<std::string>* response_lines) override;
+
+  /// Routes one lifecycle mutation to the owning backend. Admits assign
+  /// the router-wide id (or honor the op's explicit id) and place the
+  /// campaign via the explicit-id admit; controller-backed admits cannot
+  /// cross the wire (InvalidArgument).
+  Result<serving::ControlOutcome> Apply(serving::ControlOp op) override;
+
+  /// Serializes a live campaign off its owning backend.
+  Result<serving::CampaignExport> ExportCampaign(
+      serving::CampaignId id) override;
+
+  // --- Placement ----------------------------------------------------------
+
+  /// A copy of the current placement table.
+  PlacementTable placement() const;
+
+  /// Campaigns admitted through this router and not yet retired.
+  size_t live_campaigns() const;
+
+  /// Publishes a new backend set and migrates every live campaign whose
+  /// owner changes (see file comment). Returns the number migrated. If a
+  /// copy step fails against a backend that remains in the set, the
+  /// rebalance rolls back and the placement is unchanged; campaigns
+  /// exported off a backend being removed that cannot be reached are
+  /// dropped (counted in stats().lost_campaigns) -- their state died with
+  /// the node.
+  Result<size_t> Rebalance(const std::vector<std::string>& new_backends);
+
+  /// Rebalance conveniences: the current set plus/minus one endpoint.
+  Result<size_t> AddBackend(const std::string& endpoint);
+  Result<size_t> RemoveBackend(const std::string& endpoint);
+
+  // --- Health --------------------------------------------------------------
+
+  std::vector<BackendHealth> Health() const;
+  /// One synchronous probe sweep (tests drive this instead of waiting on
+  /// the probe interval).
+  void ProbeNow();
+
+  RouterStats stats() const;
+
+ private:
+  struct Impl;
+  explicit CampaignRouter(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace crowdprice::router
+
+#endif  // CROWDPRICE_ROUTER_ROUTER_H_

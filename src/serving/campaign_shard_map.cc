@@ -95,6 +95,14 @@ ControlOp ControlOp::AdmitShared(
   return op;
 }
 
+ControlOp ControlOp::AdmitSharedWithId(
+    CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact,
+    const CampaignLimits& limits) {
+  ControlOp op = AdmitShared(std::move(artifact), limits);
+  op.id = id;
+  return op;
+}
+
 ControlOp ControlOp::AdmitController(
     std::unique_ptr<market::PricingController> controller,
     const CampaignLimits& limits) {
@@ -256,12 +264,20 @@ struct CampaignShardMap::Impl {
     return true;
   }
 
-  /// Publishes a freshly built snapshot as a new campaign.
-  CampaignId Publish(CampaignId id, const CampaignSnapshot* snapshot) {
+  /// Publishes a freshly built snapshot as a new campaign. Returns false
+  /// -- and takes nothing -- when `id` is already live (only possible for
+  /// explicit-id admits; the id-presence check and the publication are one
+  /// critical section under the writer mutex, so two racing admits of the
+  /// same id can never both land).
+  bool Publish(CampaignId id, const CampaignSnapshot* snapshot) {
     auto* handle = new CampaignHandle(snapshot);
     Shard& shard = ShardFor(id);
     std::lock_guard<std::mutex> lock(shard.writer_mu);
     const Index* old_index = shard.index.load(std::memory_order_relaxed);
+    if (old_index->count(id) > 0) {
+      delete handle;
+      return false;
+    }
     auto* new_index = new Index(*old_index);
     new_index->emplace(id, handle);
     shard.index.store(new_index, std::memory_order_seq_cst);
@@ -273,7 +289,7 @@ struct CampaignShardMap::Impl {
     while (live > peak && !shard.counters.peak_live.compare_exchange_weak(
                               peak, live, std::memory_order_relaxed)) {
     }
-    return id;
+    return true;
   }
 
   int num_shards;
@@ -322,11 +338,27 @@ Result<ControlOutcome> CampaignShardMap::Apply(ControlOp op) {
         CP_ASSIGN_OR_RETURN(
             controller, op.artifact->MakeController(op.limits.deadline_hours));
       }
-      const CampaignId id =
-          impl_->next_id.fetch_add(1, std::memory_order_relaxed);
-      impl_->Publish(id, new CampaignSnapshot(
-                             id, std::move(op.artifact), std::move(controller),
-                             op.limits, impl_->snapshot_counters));
+      CampaignId id = op.id;
+      if (id == 0) {
+        id = impl_->next_id.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Explicit-id admit (migration): keep future fresh ids unique by
+        // bumping the counter past the placed id.
+        CampaignId expected = impl_->next_id.load(std::memory_order_relaxed);
+        while (expected <= id &&
+               !impl_->next_id.compare_exchange_weak(
+                   expected, id + 1, std::memory_order_relaxed)) {
+        }
+      }
+      auto* snapshot = new CampaignSnapshot(
+          id, std::move(op.artifact), std::move(controller), op.limits,
+          impl_->snapshot_counters);
+      if (!impl_->Publish(id, snapshot)) {
+        snapshot->Unref();
+        return Status::FailedPrecondition(
+            StringF("campaign %llu is already live",
+                    static_cast<unsigned long long>(id)));
+      }
       return ControlOutcome{id, CampaignState::kLive};
     }
 
@@ -403,51 +435,27 @@ Result<ControlOutcome> CampaignShardMap::Apply(ControlOp op) {
       StringF("unknown control op kind %d", static_cast<int>(op.kind)));
 }
 
-Result<CampaignId> CampaignShardMap::Admit(engine::PolicyArtifact artifact,
-                                           const CampaignLimits& limits) {
-  CP_ASSIGN_OR_RETURN(const ControlOutcome outcome,
-                      Apply(ControlOp::Admit(std::move(artifact), limits)));
-  return outcome.id;
-}
-
-Result<CampaignId> CampaignShardMap::AdmitShared(
-    std::shared_ptr<const engine::PolicyArtifact> artifact,
-    const CampaignLimits& limits) {
-  CP_ASSIGN_OR_RETURN(
-      const ControlOutcome outcome,
-      Apply(ControlOp::AdmitShared(std::move(artifact), limits)));
-  return outcome.id;
-}
-
-Result<CampaignId> CampaignShardMap::AdmitController(
-    std::unique_ptr<market::PricingController> controller,
-    const CampaignLimits& limits) {
-  CP_ASSIGN_OR_RETURN(
-      const ControlOutcome outcome,
-      Apply(ControlOp::AdmitController(std::move(controller), limits)));
-  return outcome.id;
-}
-
-Result<CampaignState> CampaignShardMap::Tick(CampaignId id, double now_hours,
-                                             int64_t remaining_tasks) {
-  CP_ASSIGN_OR_RETURN(const ControlOutcome outcome,
-                      Apply(ControlOp::Tick(id, now_hours, remaining_tasks)));
-  return outcome.state;
-}
-
-Status CampaignShardMap::Retire(CampaignId id) {
-  return Apply(ControlOp::Retire(id)).status();
-}
-
-Status CampaignShardMap::SwapArtifact(CampaignId id,
-                                      engine::PolicyArtifact artifact) {
-  return Apply(ControlOp::SwapArtifact(id, std::move(artifact))).status();
-}
-
-Status CampaignShardMap::SwapArtifactShared(
-    CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact) {
-  return Apply(ControlOp::SwapArtifactShared(id, std::move(artifact)))
-      .status();
+Result<CampaignExport> CampaignShardMap::ExportCampaign(CampaignId id) const {
+  Shard& shard = impl_->ShardFor(id);
+  rcu::ReadGuard guard;
+  const Index* index = shard.index.load(std::memory_order_seq_cst);
+  auto it = index->find(id);
+  if (it == index->end()) return NotLive(id);
+  const CampaignSnapshot* snapshot =
+      it->second->snapshot.load(std::memory_order_seq_cst);
+  if (snapshot->artifact() == nullptr) {
+    return Status::FailedPrecondition(
+        StringF("campaign %llu is controller-backed and cannot be exported",
+                static_cast<unsigned long long>(id)));
+  }
+  CampaignExport out;
+  out.id = id;
+  out.limits = snapshot->limits();
+  // Sharing the artifact pointer is safe past the read guard: the
+  // shared_ptr copy keeps the tables alive even after the snapshot itself
+  // is reclaimed.
+  out.artifact = snapshot->artifact();
+  return out;
 }
 
 Result<market::OfferSheet> CampaignShardMap::Decide(

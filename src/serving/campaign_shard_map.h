@@ -16,11 +16,11 @@
 // controllers may point into it); tick ops report campaign progress and
 // retire the campaign when the batch completes or its deadline passes;
 // retire ops remove it explicitly; swap ops atomically replace the policy
-// a live campaign plays without interrupting serving. The named entry
-// points (Admit/Tick/Retire/SwapArtifact and friends) remain as thin
-// wrappers over Apply, and the wire protocol (src/net) carries ControlOps
-// directly. Per-shard counters (ShardStats) expose serving load and
-// lifecycle churn.
+// a live campaign plays without interrupting serving. The wire protocol
+// (src/net) carries ControlOps directly, and multi-node placement
+// (src/router) migrates campaigns with ExportCampaign + an explicit-id
+// admit, so a campaign keeps its id as it moves between nodes. Per-shard
+// counters (ShardStats) expose serving load and lifecycle churn.
 //
 // Thread safety: every public method is safe to call concurrently. The
 // read path is wait-free: each live campaign publishes an immutable
@@ -81,12 +81,11 @@ enum class CampaignState {
 };
 
 /// One campaign-lifecycle mutation: the single control surface every
-/// mutation of the map goes through. ArrivalSchedule events, the legacy
-/// entry points (Admit/SwapArtifact/Retire/Tick and friends, now thin
-/// wrappers) and the wire admission protocol (net/wire.h) all lower to a
-/// ControlOp handed to CampaignShardMap::Apply. Ops built from the named
-/// constructors are always well-formed; Apply validates anyway so
-/// deserialized ops can't smuggle bad state in.
+/// mutation of the map goes through. ArrivalSchedule events, the wire
+/// admission protocol (net/wire.h), and the router's migration path all
+/// lower to a ControlOp handed to CampaignShardMap::Apply. Ops built from
+/// the named constructors are always well-formed; Apply validates anyway
+/// so deserialized ops can't smuggle bad state in.
 struct ControlOp {
   enum class Kind {
     kAdmit = 0,         ///< New campaign from `artifact` or `controller`.
@@ -96,7 +95,10 @@ struct ControlOp {
   };
 
   Kind kind = Kind::kRetire;
-  /// Target campaign. Ignored for admits, which assign a fresh id.
+  /// Target campaign. For admits, 0 means "assign a fresh id"; a nonzero
+  /// id places the campaign under exactly that id (migration re-admits,
+  /// which must preserve identity across nodes) and fails
+  /// FailedPrecondition when the id is already live.
   CampaignId id = 0;
   /// Admission bounds. Admits only.
   CampaignLimits limits;
@@ -111,12 +113,17 @@ struct ControlOp {
   double now_hours = 0.0;
   int64_t remaining_tasks = 0;
 
-  /// The six legacy lifecycle entry points, one named constructor each,
-  /// plus Tick (whose retiring arm is a mutation like any other).
+  /// One named constructor per lifecycle mutation, plus Tick (whose
+  /// retiring arm is a mutation like any other).
   static ControlOp Admit(engine::PolicyArtifact artifact,
                          const CampaignLimits& limits);
   static ControlOp AdmitShared(
       std::shared_ptr<const engine::PolicyArtifact> artifact,
+      const CampaignLimits& limits);
+  /// Admission under a caller-chosen id: the migration re-admit. The wire
+  /// carries it as `control admit-at` (net/wire.h).
+  static ControlOp AdmitSharedWithId(
+      CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact,
       const CampaignLimits& limits);
   static ControlOp AdmitController(
       std::unique_ptr<market::PricingController> controller,
@@ -136,6 +143,17 @@ struct ControlOp {
 struct ControlOutcome {
   CampaignId id = 0;
   CampaignState state = CampaignState::kLive;
+};
+
+/// Everything a campaign needs to move to another node: its identity, its
+/// admission limits, and the (immutable, shared) solved policy it plays.
+/// The migration protocol is ExportCampaign on the old owner ->
+/// ControlOp::AdmitSharedWithId on the new owner -> ControlOp::Retire on
+/// the old owner (src/router/router.h drives it over the wire).
+struct CampaignExport {
+  CampaignId id = 0;
+  CampaignLimits limits;
+  std::shared_ptr<const engine::PolicyArtifact> artifact;
 };
 
 /// One lookup in a DecideBatch call: which campaign, and the
@@ -247,65 +265,24 @@ class CampaignShardMap {
   /// The one control-plane entry point: applies a lifecycle mutation.
   /// Admits build the campaign's controller (from the artifact via
   /// MakeController(limits.deadline_hours), or taking the op's explicit
-  /// controller) and start serving under a fresh id; swaps atomically
-  /// republish a live campaign's policy; retires remove it; ticks report
-  /// progress and retire on completion or deadline. Everything below the
-  /// deprecated wrappers, every ArrivalSchedule event, and every wire
+  /// controller) and start serving under a fresh id (or the op's explicit
+  /// id; see ControlOp::id); swaps atomically republish a live campaign's
+  /// policy -- lookups before the swap answer from the old policy, after
+  /// from the new one, never a mix, with id/limits/stats carrying over;
+  /// retires remove the campaign; ticks report progress and retire on
+  /// completion or deadline. Every ArrivalSchedule event and every wire
   /// control frame funnels through here, so lifecycle semantics live in
   /// exactly one place. Mutating arms serialize on the target shard's
   /// writer mutex; serving reads never block on any of it.
   Result<ControlOutcome> Apply(ControlOp op);
 
-  /// Deprecated: build ControlOp::Admit and call Apply. Takes ownership
-  /// of a solved policy, builds its controller with
-  /// MakeController(limits.deadline_hours) and starts serving it. Fails if
-  /// the artifact kind is not playable.
-  Result<CampaignId> Admit(engine::PolicyArtifact artifact,
-                           const CampaignLimits& limits);
-
-  /// Deprecated: build ControlOp::AdmitShared and call Apply. Shares one
-  /// immutable artifact across campaigns: admitting N campaigns that play
-  /// the same policy costs N controllers but only one copy of the solved
-  /// tables.
-  Result<CampaignId> AdmitShared(
-      std::shared_ptr<const engine::PolicyArtifact> artifact,
-      const CampaignLimits& limits);
-
-  /// Deprecated: build ControlOp::AdmitController and call Apply. Admits
-  /// a campaign played by an explicit controller (baselines and tests; no
-  /// artifact involved).
-  Result<CampaignId> AdmitController(
-      std::unique_ptr<market::PricingController> controller,
-      const CampaignLimits& limits);
-
-  /// Deprecated: build ControlOp::Tick and call Apply. Reports campaign
-  /// progress. Retires the campaign -- and returns the retired state --
-  /// when `remaining_tasks` hits 0 (completed) or `now_hours` reaches the
-  /// admission deadline (deadline); otherwise the campaign stays live.
-  Result<CampaignState> Tick(CampaignId id, double now_hours,
-                             int64_t remaining_tasks);
-
-  /// Deprecated: build ControlOp::Retire and call Apply. Removes a live
-  /// campaign unconditionally.
-  Status Retire(CampaignId id);
-
-  /// Deprecated: build ControlOp::SwapArtifact and call Apply. Atomically
-  /// replaces a live campaign's pinned artifact and controller
-  /// by publishing a whole new snapshot: lookups before the swap answer
-  /// from the old policy, lookups after from the new one -- never a mix
-  /// -- and the campaign's id, limits and stats carry over (the swap
-  /// itself counts in ShardStats::swapped). The old snapshot is freed
-  /// after its grace period. The replacement controller starts fresh --
-  /// stateful policies (adaptive) lose their in-flight tracking. Fails
-  /// NotFound for unknown/retired campaigns and propagates MakeController
-  /// errors, leaving the campaign untouched.
-  Status SwapArtifact(CampaignId id, engine::PolicyArtifact artifact);
-
-  /// Deprecated: build ControlOp::SwapArtifactShared and call Apply.
-  /// Shares one immutable artifact (e.g. re-pinning a fleet of campaigns
-  /// to a re-solved policy without copying its tables).
-  Status SwapArtifactShared(
-      CampaignId id, std::shared_ptr<const engine::PolicyArtifact> artifact);
+  /// Copies out everything campaign `id` needs to be re-admitted on
+  /// another node: its id, limits, and a share of the pinned artifact
+  /// (cheap -- no table copy). Fails NotFound for unknown/retired
+  /// campaigns and FailedPrecondition for controller-backed campaigns,
+  /// whose state is process-local by design. Wait-free like the rest of
+  /// the read path.
+  Result<CampaignExport> ExportCampaign(CampaignId id) const;
 
   // --- Serving -----------------------------------------------------------
 

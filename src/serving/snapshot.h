@@ -124,6 +124,13 @@ class CampaignSnapshot {
 
   const CampaignLimits& limits() const { return limits_; }
 
+  /// The pinned artifact; null for controller-backed campaigns (which is
+  /// what makes them non-exportable -- see
+  /// CampaignShardMap::ExportCampaign).
+  const std::shared_ptr<const engine::PolicyArtifact>& artifact() const {
+    return artifact_;
+  }
+
   /// The controller itself, for borrowers that serialize their own calls.
   /// Valid while the caller holds a reference.
   market::PricingController* controller() const { return controller_.get(); }

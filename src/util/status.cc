@@ -19,6 +19,8 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kNumericError: return "NumericError";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kUnauthenticated: return "Unauthenticated";
   }
   return "Unknown";
 }
@@ -33,6 +35,8 @@ bool StatusCodeFromInt(int value, StatusCode* code) {
     case static_cast<int>(StatusCode::kInternal):
     case static_cast<int>(StatusCode::kUnimplemented):
     case static_cast<int>(StatusCode::kNumericError):
+    case static_cast<int>(StatusCode::kUnavailable):
+    case static_cast<int>(StatusCode::kUnauthenticated):
       *code = static_cast<StatusCode>(value);
       return true;
     default:
@@ -75,6 +79,12 @@ Status Status::Unimplemented(std::string msg) {
 }
 Status Status::NumericError(std::string msg) {
   return Status(StatusCode::kNumericError, std::move(msg));
+}
+Status Status::Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status Status::Unauthenticated(std::string msg) {
+  return Status(StatusCode::kUnauthenticated, std::move(msg));
 }
 
 const std::string& Status::message() const {

@@ -31,6 +31,11 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   /// A numeric routine failed to converge or produced non-finite values.
   kNumericError = 7,
+  /// The service (or a backend behind it) cannot be reached right now;
+  /// the operation may succeed if retried against a healthy peer.
+  kUnavailable = 8,
+  /// The caller failed the handshake: bad or missing credentials.
+  kUnauthenticated = 9,
 };
 
 /// Returns a stable, upper-case-free name for a code, e.g. "InvalidArgument".
@@ -67,6 +72,8 @@ class Status {
   static Status Internal(std::string msg);
   static Status Unimplemented(std::string msg);
   static Status NumericError(std::string msg);
+  static Status Unavailable(std::string msg);
+  static Status Unauthenticated(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -80,6 +87,8 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsNumericError() const { return code() == StatusCode::kNumericError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsUnauthenticated() const { return code() == StatusCode::kUnauthenticated; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -134,9 +134,11 @@ TEST(RemoteServingTest, LifecycleMisuseIsStatusNotUB) {
   ASSERT_TRUE(server->Stop().ok());
 
   // Creating a server over a null map is an error up front.
-  EXPECT_TRUE(PricingServer::Create(nullptr, options)
-                  .status()
-                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      PricingServer::Create(static_cast<serving::CampaignShardMap*>(nullptr),
+                            options)
+          .status()
+          .IsInvalidArgument());
 }
 
 TEST(RemoteServingTest, StatusCodesCrossTheWireLosslessly) {

@@ -1,0 +1,358 @@
+// Router soak: the 256-campaign streaming schedule from the remote soak,
+// replayed through the full multi-node stack -- client -> router server ->
+// CampaignRouter -> three loopback crowdprice_serve backends -- must stay
+// bit-identical per SimulationResult field to FleetSimulator::RunStreaming
+// on the same schedule. Halfway through the replay the router live-drains
+// one backend (the one owning the most live campaigns, so at least a third
+// of the fleet migrates), proving that exported campaigns re-admitted on a
+// peer answer the same bytes they would have answered at home.
+//
+// The campaign mix follows CROWDPRICE_TEST_SEED (the CI matrix runs
+// several seeds); bit-identity and the migration floor must hold for every
+// seed. The TSan CI job runs this binary to certify the routed decide
+// fan-out, control forwarding, probe loop, and drain barrier together.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "engine/engine.h"
+#include "market/fleet_simulator.h"
+#include "market/session.h"
+#include "market/simulator.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "pricing/fixed_price.h"
+#include "router/router.h"
+#include "serving/campaign_shard_map.h"
+#include "util/rng.h"
+
+namespace crowdprice::router {
+namespace {
+
+using market::ArrivalSchedule;
+using market::CampaignSession;
+using market::FleetOutcome;
+using market::FleetSimulator;
+using market::SimulationResult;
+using market::SimulatorConfig;
+using net::PricingClient;
+using net::PricingServer;
+using net::RemoteController;
+using net::ServerOptions;
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("CROWDPRICE_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 2026;
+}
+
+// Acceptance that is simply min(1, c / 100): cheap and price-sensitive.
+class LinearAcceptance final : public choice::AcceptanceFunction {
+ public:
+  double ProbabilityAt(double reward_cents) const override {
+    return std::clamp(reward_cents / 100.0, 0.0, 1.0);
+  }
+};
+
+engine::PolicyArtifact SmallDeadlineArtifact() {
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = 20;
+  spec.problem.num_intervals = 8;
+  spec.problem.penalty_cents = 150.0;
+  spec.interval_lambdas.assign(8, 60.0);
+  spec.actions = pricing::ActionSet::FromPriceGrid(
+                     30, choice::LogitAcceptance::Paper2014())
+                     .value();
+  return engine::Engine::Solve(spec).value();
+}
+
+/// Wall-clock hours -> bucket-edge index, mirroring the fleet event
+/// loop's quantization (round up; epsilon keeps on-edge times there).
+int64_t EdgeCeil(double hours, double bucket) {
+  const auto edge = static_cast<int64_t>(std::ceil(hours / bucket - 1e-9));
+  return edge < 0 ? 0 : edge;
+}
+
+void ExpectBitIdentical(const SimulationResult& got,
+                        const SimulationResult& want, int index) {
+  EXPECT_EQ(got.total_cost_cents, want.total_cost_cents)
+      << "campaign " << index;
+  EXPECT_EQ(got.tasks_assigned, want.tasks_assigned) << "campaign " << index;
+  EXPECT_EQ(got.tasks_completed_by_horizon, want.tasks_completed_by_horizon);
+  EXPECT_EQ(got.tasks_unassigned, want.tasks_unassigned);
+  EXPECT_EQ(got.completion_time_hours, want.completion_time_hours);
+  EXPECT_EQ(got.finished, want.finished);
+  EXPECT_EQ(got.worker_arrivals, want.worker_arrivals);
+  ASSERT_EQ(got.events.size(), want.events.size()) << "campaign " << index;
+  for (size_t e = 0; e < got.events.size(); ++e) {
+    EXPECT_EQ(got.events[e].time_hours, want.events[e].time_hours);
+    EXPECT_EQ(got.events[e].tasks, want.events[e].tasks);
+    EXPECT_EQ(got.events[e].cost_cents, want.events[e].cost_cents);
+    EXPECT_EQ(got.events[e].group_size, want.events[e].group_size);
+  }
+  ASSERT_EQ(got.workers.size(), want.workers.size()) << "campaign " << index;
+  for (size_t w = 0; w < got.workers.size(); ++w) {
+    EXPECT_EQ(got.workers[w].first_accept_hours,
+              want.workers[w].first_accept_hours);
+    EXPECT_EQ(got.workers[w].hits, want.workers[w].hits);
+    EXPECT_EQ(got.workers[w].tasks, want.workers[w].tasks);
+    EXPECT_EQ(got.workers[w].correct, want.workers[w].correct);
+    EXPECT_EQ(got.workers[w].true_accuracy, want.workers[w].true_accuracy);
+  }
+}
+
+TEST(RouterSoakTest, StreamingScheduleBitIdenticalThroughThreeBackends) {
+  const auto rate =
+      arrival::PiecewiseConstantRate::Create({40.0, 20.0, 60.0, 30.0, 50.0},
+                                             0.5)
+          .value();
+  const double bucket = 0.5;
+  LinearAcceptance acceptance;
+  const engine::PolicyArtifact solved = SmallDeadlineArtifact();
+  const auto shared = std::make_shared<const engine::PolicyArtifact>(solved);
+  pricing::FixedPriceSolution fixed;
+  fixed.price_cents = 77;
+  const auto swap_artifact = std::make_shared<const engine::PolicyArtifact>(
+      engine::PolicyArtifact(fixed));
+  constexpr int kCampaigns = 256;
+  const uint64_t seed = TestSeed();
+
+  struct Spec {
+    SimulatorConfig config;
+    double admit_hours = 0.0;
+    double swap_hours = -1.0;    ///< < 0: no swap event.
+    double retire_hours = -1.0;  ///< < 0: no retirement event.
+  };
+  std::vector<Spec> specs;
+  {
+    Rng scheduler(seed);
+    for (int i = 0; i < kCampaigns; ++i) {
+      Spec spec;
+      spec.config.total_tasks = 3 + i % 7;
+      spec.config.horizon_hours = 2.0 + 0.5 * (i % 4);
+      spec.config.decision_interval_hours = 1.0;
+      spec.config.service_minutes_per_task = (i % 5 == 0) ? 1.5 : 0.0;
+      spec.admit_hours =
+          0.5 * static_cast<double>(scheduler.UniformInt(0, 16));
+      if (i % 4 == 1) spec.swap_hours = spec.admit_hours + 1.0;
+      if (i % 5 == 2) {
+        spec.retire_hours = spec.admit_hours + 1.0 + 0.5 * (i % 6);
+      }
+      specs.push_back(spec);
+    }
+  }
+
+  // In-process reference: the same schedule through RunStreaming.
+  std::vector<FleetOutcome> want;
+  {
+    FleetSimulator fleet = FleetSimulator::Create(4).value();
+    ArrivalSchedule schedule;
+    Rng master(seed + 1);
+    for (const Spec& spec : specs) {
+      Rng child = master.Fork();
+      const size_t entry =
+          schedule
+              .AdmitShared(spec.admit_hours, shared, spec.config, acceptance,
+                           child)
+              .value();
+      if (spec.swap_hours >= 0.0) {
+        ASSERT_TRUE(
+            schedule.SwapArtifactAt(entry, spec.swap_hours, swap_artifact)
+                .ok());
+      }
+      if (spec.retire_hours >= 0.0) {
+        ASSERT_TRUE(schedule.RetireAt(entry, spec.retire_hours).ok());
+      }
+    }
+    want = fleet.RunStreaming(rate, std::move(schedule)).value();
+    ASSERT_EQ(want.size(), specs.size());
+  }
+
+  // The multi-node stack: three backends, each a shard map behind its own
+  // loopback server; the router shards across them and is itself fronted
+  // by a server the client connects to.
+  constexpr int kBackends = 3;
+  std::vector<std::unique_ptr<serving::CampaignShardMap>> maps;
+  std::vector<std::unique_ptr<PricingServer>> backends;
+  std::vector<std::string> names;
+  for (int b = 0; b < kBackends; ++b) {
+    maps.push_back(std::make_unique<serving::CampaignShardMap>(
+        serving::CampaignShardMap::Create(2).value()));
+    ServerOptions options;
+    options.port = 0;
+    options.num_workers = 2;
+    backends.push_back(std::make_unique<PricingServer>(
+        PricingServer::Create(maps.back().get(), options).value()));
+    ASSERT_TRUE(backends.back()->Start().ok());
+    names.push_back("127.0.0.1:" + std::to_string(backends.back()->port()));
+  }
+
+  RouterOptions router_options;
+  router_options.pool.probe_interval_ms = 50;  // Probes run under traffic.
+  auto router = CampaignRouter::Create(names, router_options);
+  ASSERT_TRUE(router.ok()) << router.status();
+  ServerOptions front_options;
+  front_options.port = 0;
+  front_options.num_workers = 4;
+  auto front = PricingServer::Create(&router.value(), front_options);
+  ASSERT_TRUE(front.ok());
+  ASSERT_TRUE(front->Start().ok());
+  auto client = PricingClient::Connect("127.0.0.1", front->port());
+  ASSERT_TRUE(client.ok());
+
+  // Admit the whole fleet up front (each campaign anchored to its admit
+  // wall), so the live set is deep when the mid-soak rebalance fires.
+  std::vector<serving::CampaignId> ids;
+  std::vector<double> admit_walls;
+  for (const Spec& spec : specs) {
+    const int64_t admit_edge = EdgeCeil(spec.admit_hours, bucket);
+    const double admit_wall = static_cast<double>(admit_edge) * bucket;
+    serving::CampaignLimits limits;
+    limits.total_tasks = spec.config.total_tasks;
+    limits.deadline_hours = spec.config.horizon_hours;
+    limits.admit_hours = admit_wall;
+    const auto id = client->AdmitShared(shared, limits);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+    admit_walls.push_back(admit_wall);
+  }
+  ASSERT_EQ(router->live_campaigns(), static_cast<size_t>(kCampaigns));
+
+  size_t want_event_retired = 0;
+  size_t migrated = 0;
+  Rng master(seed + 1);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const Spec& spec = specs[i];
+    Rng child = master.Fork();
+    const double admit_wall = admit_walls[i];
+
+    // Mid-soak rebalance: live-drain the backend that owns the most of
+    // the still-live fleet, which is always at least a third of it.
+    if (i == specs.size() / 2) {
+      const size_t live_before = router->live_campaigns();
+      const PlacementTable placement = router->placement();
+      std::map<std::string, size_t> owned;
+      for (size_t j = i; j < ids.size(); ++j) {
+        ++owned[placement.OwnerOf(ids[j]).value()];
+      }
+      std::string busiest;
+      size_t busiest_count = 0;
+      for (const auto& [name, count] : owned) {
+        if (count > busiest_count) {
+          busiest = name;
+          busiest_count = count;
+        }
+      }
+      ASSERT_FALSE(busiest.empty());
+      const auto moved = router->RemoveBackend(busiest);
+      ASSERT_TRUE(moved.ok()) << moved.status();
+      migrated = *moved;
+      EXPECT_EQ(migrated, busiest_count);
+      EXPECT_GE(migrated * 3, live_before)
+          << "rebalance must move at least a third of the live fleet";
+      EXPECT_EQ(router->live_campaigns(), live_before);
+      EXPECT_EQ(router->stats().lost_campaigns, 0u);
+      // The drained backend is empty; its campaigns now answer from
+      // their new owners, bit for bit (asserted by the replay below).
+      for (int b = 0; b < kBackends; ++b) {
+        if (names[b] == busiest) {
+          EXPECT_EQ(maps[b]->live_campaigns(), 0u);
+        }
+      }
+    }
+
+    RemoteController controller(&client.value(), ids[i]);
+    auto session = CampaignSession::CreateAt(spec.config, rate, acceptance,
+                                             controller, child, admit_wall);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+    const int64_t admit_edge = EdgeCeil(spec.admit_hours, bucket);
+    struct Event {
+      int64_t edge = 0;
+      bool retire = false;
+    };
+    std::vector<Event> events;
+    if (spec.swap_hours >= 0.0) {
+      events.push_back(
+          {std::max(EdgeCeil(spec.swap_hours, bucket), admit_edge), false});
+    }
+    if (spec.retire_hours >= 0.0) {
+      events.push_back(
+          {std::max(EdgeCeil(spec.retire_hours, bucket), admit_edge), true});
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.edge < b.edge;
+                     });
+
+    bool event_retired = false;
+    serving::CampaignState final_state = serving::CampaignState::kLive;
+    for (const Event& event : events) {
+      const double edge_wall = static_cast<double>(event.edge) * bucket;
+      ASSERT_TRUE(session->AdvanceUntil(edge_wall).ok());
+      if (session->done()) break;
+      if (event.retire) {
+        ASSERT_TRUE(client->Retire(ids[i]).ok());
+        ASSERT_TRUE(session->Curtail(edge_wall).ok());
+        final_state = serving::CampaignState::kRetiredExplicit;
+        event_retired = true;
+        break;
+      }
+      ASSERT_TRUE(client->SwapArtifactShared(ids[i], swap_artifact).ok());
+    }
+    if (!event_retired) {
+      ASSERT_TRUE(session->AdvanceUntil(session->end_hours()).ok());
+      const auto ticked = client->Tick(ids[i], session->end_hours(),
+                                       session->remaining_tasks());
+      ASSERT_TRUE(ticked.ok()) << ticked.status().ToString();
+      final_state = *ticked;
+    } else {
+      ++want_event_retired;
+    }
+
+    const auto got = std::move(session.value()).TakeResult();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(want[i].admit_hours, admit_wall) << "campaign " << i;
+    EXPECT_EQ(want[i].final_state, final_state) << "campaign " << i;
+    ExpectBitIdentical(*got, want[i].result, static_cast<int>(i));
+  }
+
+  // Lifecycle churn reconciles with the reference run and the router's
+  // own books.
+  size_t reference_event_retired = 0;
+  for (const FleetOutcome& outcome : want) {
+    if (outcome.final_state == serving::CampaignState::kRetiredExplicit) {
+      ++reference_event_retired;
+    }
+  }
+  EXPECT_EQ(want_event_retired, reference_event_retired);
+  EXPECT_EQ(router->live_campaigns(), 0u);
+  for (int b = 0; b < kBackends; ++b) {
+    EXPECT_EQ(maps[b]->live_campaigns(), 0u) << names[b];
+  }
+  const RouterStats stats = router->stats();
+  EXPECT_EQ(stats.rebalances, 1u);
+  EXPECT_EQ(stats.migrations, migrated);
+  EXPECT_EQ(stats.lost_campaigns, 0u);
+  EXPECT_EQ(stats.unavailable, 0u);
+  EXPECT_GT(stats.decide_requests, 0u);
+  EXPECT_GE(stats.control_ops, static_cast<uint64_t>(kCampaigns) * 2);
+
+  ASSERT_TRUE(front->Stop().ok());
+  for (auto& backend : backends) {
+    ASSERT_TRUE(backend->Stop().ok());
+  }
+}
+
+}  // namespace
+}  // namespace crowdprice::router

@@ -1,0 +1,525 @@
+// CampaignRouter tests: placement is deterministic and minimally
+// disruptive; routed decides are bit-identical to direct backend decides
+// through the full client -> router server -> backend stack; the control
+// plane routes by owner; a killed backend fails over to clean Unavailable
+// responses (never a crash or hang) and health probes mark it down; and
+// the frame-layer auth handshake gates both sides. The TSan CI job runs
+// this binary to certify the fan-out and health lanes are race-free.
+
+#include "router/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "engine/engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "pricing/fixed_price.h"
+#include "router/placement.h"
+#include "serving/campaign_shard_map.h"
+
+namespace crowdprice::router {
+namespace {
+
+using net::PricingClient;
+using net::PricingServer;
+using net::ServerOptions;
+using serving::CampaignId;
+using serving::CampaignLimits;
+using serving::CampaignState;
+using serving::ControlOp;
+using serving::DecideRequest;
+using serving::DecideResponse;
+
+engine::PolicyArtifact SmallDeadlineArtifact() {
+  engine::DeadlineDpSpec spec;
+  spec.problem.num_tasks = 20;
+  spec.problem.num_intervals = 8;
+  spec.problem.penalty_cents = 150.0;
+  spec.interval_lambdas.assign(8, 60.0);
+  spec.actions = pricing::ActionSet::FromPriceGrid(
+                     30, choice::LogitAcceptance::Paper2014())
+                     .value();
+  return engine::Engine::Solve(spec).value();
+}
+
+CampaignLimits SmallLimits() {
+  CampaignLimits limits;
+  limits.total_tasks = 20;
+  limits.deadline_hours = 8.0;
+  return limits;
+}
+
+/// One live backend: a shard map fronted by a loopback PricingServer.
+struct Backend {
+  std::unique_ptr<serving::CampaignShardMap> map;
+  std::unique_ptr<PricingServer> server;
+  std::string name;  ///< "127.0.0.1:<port>" -- the placement name.
+
+  static Backend Start(const std::string& auth_token = "") {
+    Backend backend;
+    backend.map = std::make_unique<serving::CampaignShardMap>(
+        serving::CampaignShardMap::Create(2).value());
+    ServerOptions options;
+    options.port = 0;
+    options.num_workers = 2;
+    options.auth_token = auth_token;
+    backend.server = std::make_unique<PricingServer>(
+        PricingServer::Create(backend.map.get(), options).value());
+    EXPECT_TRUE(backend.server->Start().ok());
+    backend.name = "127.0.0.1:" + std::to_string(backend.server->port());
+    return backend;
+  }
+};
+
+/// Pool options tuned for tests: no background probes (ProbeNow drives
+/// them), one quick retry, tiny backoff so failover asserts run fast.
+BackendPoolOptions TestPoolOptions() {
+  BackendPoolOptions options;
+  options.probe_interval_ms = 0;
+  options.down_after_failures = 2;
+  options.max_attempts = 2;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 4;
+  return options;
+}
+
+TEST(PlacementTableTest, DeterministicAndMinimallyDisruptive) {
+  const std::vector<std::string> three = {"a:1", "b:1", "c:1"};
+  const PlacementTable table = PlacementTable::Create(three, 1).value();
+  // Same inputs, same owners -- regardless of list order.
+  const PlacementTable shuffled =
+      PlacementTable::Create({"c:1", "a:1", "b:1"}, 2).value();
+  std::map<std::string, int> owners;
+  for (CampaignId id = 1; id <= 1000; ++id) {
+    const std::string owner = table.OwnerOf(id).value();
+    EXPECT_EQ(owner, shuffled.OwnerOf(id).value()) << "id " << id;
+    ++owners[owner];
+  }
+  // Every backend owns a healthy share (rendezvous spreads uniformly).
+  ASSERT_EQ(owners.size(), 3u);
+  for (const auto& [name, count] : owners) {
+    EXPECT_GT(count, 200) << name;
+    EXPECT_LT(count, 500) << name;
+  }
+
+  // Removing one backend moves exactly its campaigns; nobody else shifts.
+  const PlacementTable without_c =
+      PlacementTable::Create({"a:1", "b:1"}, 3).value();
+  for (CampaignId id = 1; id <= 1000; ++id) {
+    const std::string before = table.OwnerOf(id).value();
+    const std::string after = without_c.OwnerOf(id).value();
+    if (before != "c:1") {
+      EXPECT_EQ(after, before) << "id " << id;
+    } else {
+      EXPECT_NE(after, "c:1");
+    }
+  }
+  // Adding one moves only what the newcomer wins.
+  const PlacementTable with_d =
+      PlacementTable::Create({"a:1", "b:1", "c:1", "d:1"}, 4).value();
+  for (CampaignId id = 1; id <= 1000; ++id) {
+    const std::string after = with_d.OwnerOf(id).value();
+    if (after != "d:1") {
+      EXPECT_EQ(after, table.OwnerOf(id).value());
+    }
+  }
+
+  // Validation: empty names, duplicates, empty-table lookups.
+  EXPECT_TRUE(PlacementTable::Create({""}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PlacementTable::Create({"a:1", "a:1"}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PlacementTable().OwnerOf(1).status().IsFailedPrecondition());
+}
+
+TEST(CampaignRouterTest, RoutedDecidesAreBitIdenticalToDirectDecides) {
+  Backend b0 = Backend::Start();
+  Backend b1 = Backend::Start();
+  Backend b2 = Backend::Start();
+  std::vector<Backend*> backends = {&b0, &b1, &b2};
+
+  RouterOptions router_options;
+  router_options.pool = TestPoolOptions();
+  auto router = CampaignRouter::Create({b0.name, b1.name, b2.name},
+                                       router_options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  // Front the router with its own server; clients speak to it exactly as
+  // they would to a single backend.
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  auto front = PricingServer::Create(&router.value(), options);
+  ASSERT_TRUE(front.ok());
+  ASSERT_TRUE(front->Start().ok());
+  auto client = PricingClient::Connect("127.0.0.1", front->port());
+  ASSERT_TRUE(client.ok());
+
+  const auto artifact =
+      std::make_shared<const engine::PolicyArtifact>(SmallDeadlineArtifact());
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < 30; ++i) {
+    const auto id = client->AdmitShared(artifact, SmallLimits());
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(router->live_campaigns(), 30u);
+
+  // The placement spread the fleet across every backend.
+  const PlacementTable placement = router->placement();
+  size_t backends_used = 0;
+  for (Backend* backend : backends) {
+    if (backend->map->live_campaigns() > 0) ++backends_used;
+  }
+  EXPECT_EQ(backends_used, 3u);
+
+  // A mixed batch (interleaved owners + one unknown id) answers through
+  // the router bit-identically to each owning map, in request order.
+  std::vector<DecideRequest> batch;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    batch.push_back(DecideRequest::Single(
+        ids[i], (static_cast<double>(i) / 4.0), 1 + static_cast<int>(i) % 20));
+  }
+  batch.push_back(DecideRequest::Single(999999, 0.0, 5));
+  const auto responses = client->DecideBatch(batch);
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), batch.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE((*responses)[i].status.ok()) << (*responses)[i].status;
+    const std::string owner = placement.OwnerOf(ids[i]).value();
+    serving::CampaignShardMap* map = nullptr;
+    for (Backend* backend : backends) {
+      if (backend->name == owner) map = backend->map.get();
+    }
+    ASSERT_NE(map, nullptr);
+    const auto direct = map->Decide(ids[i], batch[i].request);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ((*responses)[i].sheet.offers.size(), direct->offers.size());
+    for (size_t o = 0; o < direct->offers.size(); ++o) {
+      EXPECT_EQ((*responses)[i].sheet.offers[o].per_task_reward_cents,
+                direct->offers[o].per_task_reward_cents);
+      EXPECT_EQ((*responses)[i].sheet.offers[o].group_size,
+                direct->offers[o].group_size);
+    }
+  }
+  EXPECT_TRUE(responses->back().status.IsNotFound());
+
+  ASSERT_TRUE(front->Stop().ok());
+}
+
+TEST(CampaignRouterTest, ControlPlaneRoutesByOwner) {
+  Backend b0 = Backend::Start();
+  Backend b1 = Backend::Start();
+  RouterOptions router_options;
+  router_options.pool = TestPoolOptions();
+  auto router = CampaignRouter::Create({b0.name, b1.name}, router_options);
+  ASSERT_TRUE(router.ok());
+
+  const auto artifact =
+      std::make_shared<const engine::PolicyArtifact>(SmallDeadlineArtifact());
+  const auto admitted =
+      router->Apply(ControlOp::AdmitShared(artifact, SmallLimits()));
+  ASSERT_TRUE(admitted.ok());
+  const CampaignId id = admitted->id;
+
+  // A hot swap through the router changes the owning backend's answers.
+  pricing::FixedPriceSolution fixed;
+  fixed.price_cents = 77;
+  const auto swap_artifact = std::make_shared<const engine::PolicyArtifact>(
+      engine::PolicyArtifact(fixed));
+  ASSERT_TRUE(
+      router->Apply(ControlOp::SwapArtifactShared(id, swap_artifact)).ok());
+  const auto swapped =
+      router->DecideBatch({DecideRequest::Single(id, 1.0, 5)});
+  ASSERT_TRUE(swapped[0].status.ok());
+  EXPECT_DOUBLE_EQ(swapped[0].sheet.offers[0].per_task_reward_cents, 77.0);
+
+  // Exports route to the owner and carry the swapped policy.
+  const auto exported = router->ExportCampaign(id);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+  EXPECT_EQ(exported->id, id);
+  EXPECT_EQ(exported->artifact->Serialize().value(),
+            swap_artifact->Serialize().value());
+
+  // Ticks retire through the router; the live set tracks it.
+  EXPECT_EQ(router->Apply(ControlOp::Tick(id, 1.0, 0))->state,
+            CampaignState::kRetiredCompleted);
+  EXPECT_EQ(router->live_campaigns(), 0u);
+
+  // Server-side verdicts come back with their codes intact.
+  EXPECT_TRUE(router->Apply(ControlOp::Retire(id)).status().IsNotFound());
+  EXPECT_TRUE(router->ExportCampaign(424242).status().IsNotFound());
+
+  // Controller-backed admits are process-local by design.
+  auto local = ControlOp::AdmitController(
+      std::make_unique<market::FixedOfferController>(market::Offer{10.0, 1}),
+      SmallLimits());
+  EXPECT_TRUE(router->Apply(std::move(local)).status().IsInvalidArgument());
+}
+
+TEST(CampaignRouterTest, KilledBackendFailsOverToCleanUnavailable) {
+  Backend b0 = Backend::Start();
+  Backend b1 = Backend::Start();
+  RouterOptions router_options;
+  router_options.pool = TestPoolOptions();
+  auto router = CampaignRouter::Create({b0.name, b1.name}, router_options);
+  ASSERT_TRUE(router.ok());
+
+  const auto artifact =
+      std::make_shared<const engine::PolicyArtifact>(SmallDeadlineArtifact());
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(
+        router->Apply(ControlOp::AdmitShared(artifact, SmallLimits()))->id);
+  }
+  const PlacementTable placement = router->placement();
+  ASSERT_GT(b0.map->live_campaigns(), 0u);
+  ASSERT_GT(b1.map->live_campaigns(), 0u);
+
+  // Kill backend b1 mid-traffic.
+  ASSERT_TRUE(b1.server->Stop().ok());
+
+  std::vector<DecideRequest> batch;
+  for (const CampaignId id : ids) {
+    batch.push_back(DecideRequest::Single(id, 1.0, 5));
+  }
+  const std::vector<DecideResponse> responses = router->DecideBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const std::string owner = placement.OwnerOf(ids[i]).value();
+    if (owner == b0.name) {
+      EXPECT_TRUE(responses[i].status.ok()) << responses[i].status;
+    } else {
+      // The dead backend's requests answer Unavailable -- cleanly, per
+      // request, with the rest of the batch unharmed.
+      EXPECT_TRUE(responses[i].status.IsUnavailable())
+          << responses[i].status;
+    }
+  }
+  EXPECT_GT(router->stats().unavailable, 0u);
+
+  // Control ops against the dead owner are Unavailable too, and the
+  // router survives to serve the healthy backend.
+  CampaignId dead_id = 0;
+  for (const CampaignId id : ids) {
+    if (placement.OwnerOf(id).value() == b1.name) dead_id = id;
+  }
+  ASSERT_NE(dead_id, 0u);
+  EXPECT_TRUE(
+      router->Apply(ControlOp::Tick(dead_id, 1.0, 5)).status().IsUnavailable());
+
+  // Probes notice: after down_after_failures sweeps the backend is down
+  // and subsequent calls fail fast without paying the dial.
+  router->ProbeNow();
+  router->ProbeNow();
+  EXPECT_FALSE(router->stats().rebalances > 0);
+  bool b1_down = false;
+  for (const BackendHealth& health : router->Health()) {
+    if (health.name == b1.name) b1_down = !health.up;
+    if (health.name == b0.name) {
+      EXPECT_TRUE(health.up);
+    }
+  }
+  EXPECT_TRUE(b1_down);
+
+  // A restarted backend on the same port is probed back up.
+  ServerOptions revive;
+  const uint16_t old_port = static_cast<uint16_t>(
+      std::stoi(b1.name.substr(b1.name.rfind(':') + 1)));
+  revive.port = old_port;
+  revive.num_workers = 2;
+  auto revived = PricingServer::Create(b1.map.get(), revive);
+  ASSERT_TRUE(revived.ok());
+  if (revived->Start().ok()) {  // Port may have been reclaimed by the OS.
+    router->ProbeNow();
+    for (const BackendHealth& health : router->Health()) {
+      if (health.name == b1.name) {
+        EXPECT_TRUE(health.up);
+      }
+    }
+    ASSERT_TRUE(revived->Stop().ok());
+  }
+}
+
+TEST(CampaignRouterTest, ProbeThreadMarksDownWithinInterval) {
+  Backend b0 = Backend::Start();
+  RouterOptions router_options;
+  router_options.pool = TestPoolOptions();
+  router_options.pool.probe_interval_ms = 20;
+  router_options.pool.down_after_failures = 2;
+  auto router = CampaignRouter::Create({b0.name}, router_options);
+  ASSERT_TRUE(router.ok());
+
+  ASSERT_TRUE(b0.server->Stop().ok());
+  // Two probe misses at a 20ms cadence: well inside a second.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool down = false;
+  while (!down && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    down = !router->Health()[0].up;
+  }
+  EXPECT_TRUE(down);
+}
+
+TEST(CampaignRouterTest, AuthGatesBothSidesOfTheRouter) {
+  const std::string token = "fleet-secret";
+  Backend b0 = Backend::Start(token);
+
+  RouterOptions router_options;
+  router_options.pool = TestPoolOptions();
+  router_options.pool.client.auth_token = token;
+  auto router = CampaignRouter::Create({b0.name}, router_options);
+  ASSERT_TRUE(router.ok());
+
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  options.auth_token = token;
+  auto front = PricingServer::Create(&router.value(), options);
+  ASSERT_TRUE(front.ok());
+  ASSERT_TRUE(front->Start().ok());
+
+  // A tokenless client connects (the transport is fine) but every plane
+  // is refused until it hellos.
+  auto bare = PricingClient::Connect("127.0.0.1", front->port());
+  ASSERT_TRUE(bare.ok());
+  const auto refused = bare->Decide(1, market::DecisionRequest::Single(1, 5));
+  EXPECT_TRUE(refused.status().IsUnauthenticated()) << refused.status();
+  EXPECT_TRUE(bare->Retire(1).IsUnauthenticated());
+  // Pings stay credential-free (probes must stay cheap).
+  EXPECT_TRUE(bare->Ping().ok());
+
+  // The wrong token is rejected at Connect; version skew is
+  // FailedPrecondition.
+  net::ClientOptions bad;
+  bad.auth_token = "wrong";
+  EXPECT_TRUE(PricingClient::Connect("127.0.0.1", front->port(), bad)
+                  .status()
+                  .IsUnauthenticated());
+  net::HelloRequest skewed;
+  skewed.version = 999;
+  skewed.token = token;
+  EXPECT_TRUE(bare->Hello(skewed).IsFailedPrecondition());
+
+  // The right token unlocks the full stack: client -> router -> backend,
+  // with the router presenting the token to the backend itself.
+  net::ClientOptions good;
+  good.auth_token = token;
+  auto client = PricingClient::Connect("127.0.0.1", front->port(), good);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const auto artifact =
+      std::make_shared<const engine::PolicyArtifact>(SmallDeadlineArtifact());
+  const auto id = client->AdmitShared(artifact, SmallLimits());
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_TRUE(
+      client->Decide(*id, market::DecisionRequest::Single(1.0, 5)).ok());
+  EXPECT_EQ(b0.map->live_campaigns(), 1u);
+
+  ASSERT_TRUE(front->Stop().ok());
+}
+
+TEST(CampaignRouterTest, LiveRebalanceMigratesExactlyTheDiff) {
+  Backend b0 = Backend::Start();
+  Backend b1 = Backend::Start();
+  Backend b2 = Backend::Start();
+  RouterOptions router_options;
+  router_options.pool = TestPoolOptions();
+  auto router = CampaignRouter::Create({b0.name, b1.name}, router_options);
+  ASSERT_TRUE(router.ok());
+
+  const auto artifact =
+      std::make_shared<const engine::PolicyArtifact>(SmallDeadlineArtifact());
+  std::vector<CampaignId> ids;
+  std::vector<market::OfferSheet> before;
+  for (int i = 0; i < 24; ++i) {
+    CampaignLimits limits = SmallLimits();
+    limits.admit_hours = 0.5 * (i % 4);
+    ids.push_back(
+        router->Apply(ControlOp::AdmitShared(artifact, limits))->id);
+    const auto responses = router->DecideBatch(
+        {DecideRequest::Single(ids.back(), limits.admit_hours + 1.0, 7)});
+    ASSERT_TRUE(responses[0].status.ok());
+    before.push_back(responses[0].sheet);
+  }
+  const PlacementTable old_placement = router->placement();
+
+  // Grow the fleet: only campaigns the newcomer wins may move.
+  const auto migrated = router->AddBackend(b2.name);
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  EXPECT_GT(*migrated, 0u);
+  const PlacementTable new_placement = router->placement();
+  EXPECT_EQ(new_placement.version(), old_placement.version() + 1);
+  size_t moved = 0;
+  for (const CampaignId id : ids) {
+    const std::string was = old_placement.OwnerOf(id).value();
+    const std::string now = new_placement.OwnerOf(id).value();
+    if (was != now) {
+      ++moved;
+      EXPECT_EQ(now, b2.name);
+    }
+  }
+  EXPECT_EQ(moved, *migrated);
+  EXPECT_EQ(b2.map->live_campaigns(), moved);
+  EXPECT_EQ(router->live_campaigns(), ids.size());
+
+  // Every campaign -- moved or not -- answers exactly what it answered
+  // before the rebalance (same id, same limits, same policy bytes).
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto responses = router->DecideBatch(
+        {DecideRequest::Single(ids[i], 0.5 * (i % 4) + 1.0, 7)});
+    ASSERT_TRUE(responses[0].status.ok()) << responses[0].status;
+    ASSERT_EQ(responses[0].sheet.offers.size(), before[i].offers.size());
+    for (size_t o = 0; o < before[i].offers.size(); ++o) {
+      EXPECT_EQ(responses[0].sheet.offers[o].per_task_reward_cents,
+                before[i].offers[o].per_task_reward_cents)
+          << "campaign " << ids[i];
+    }
+  }
+
+  // Shrink back out: the departing backend's campaigns redistribute and
+  // nothing is lost.
+  const auto drained = router->RemoveBackend(b2.name);
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  EXPECT_EQ(*drained, moved);
+  EXPECT_EQ(b2.map->live_campaigns(), 0u);
+  EXPECT_EQ(router->live_campaigns(), ids.size());
+  EXPECT_EQ(router->stats().migrations, moved * 2);
+  EXPECT_EQ(router->stats().lost_campaigns, 0u);
+
+  // Removing an unknown backend is NotFound, not a torn placement.
+  EXPECT_TRUE(router->RemoveBackend("127.0.0.1:1").status().IsNotFound());
+}
+
+TEST(CampaignRouterTest, EmptyRouterAnswersUnavailable) {
+  RouterOptions router_options;
+  router_options.pool = TestPoolOptions();
+  auto router = CampaignRouter::Create({}, router_options);
+  ASSERT_TRUE(router.ok());
+  const auto responses =
+      router->DecideBatch({DecideRequest::Single(1, 1.0, 5)});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].status.IsUnavailable());
+  const auto artifact =
+      std::make_shared<const engine::PolicyArtifact>(SmallDeadlineArtifact());
+  EXPECT_TRUE(router->Apply(ControlOp::AdmitShared(artifact, SmallLimits()))
+                  .status()
+                  .IsUnavailable());
+
+  // Capacity arrives by rebalance; the router starts placing.
+  Backend b0 = Backend::Start();
+  ASSERT_TRUE(router->Rebalance({b0.name}).ok());
+  EXPECT_TRUE(router->Apply(ControlOp::AdmitShared(artifact, SmallLimits()))
+                  .ok());
+}
+
+}  // namespace
+}  // namespace crowdprice::router

@@ -567,5 +567,122 @@ TEST(WireSerializationTest, MalformedPayloadsAreStatusErrorsNeverCrashes) {
   EXPECT_FALSE(DeserializeControlAck("control-ack err 42 boom\n").ok());
 }
 
+TEST(WireSerializationTest, PingAndHelloRoundTrip) {
+  // Ping bodies are fixed and validated: an echoing or garbled backend is
+  // a protocol error, not a healthy one.
+  EXPECT_TRUE(DeserializePingRequest(SerializePingRequest()).ok());
+  EXPECT_TRUE(DeserializePingResponse(SerializePingResponse()).ok());
+  EXPECT_FALSE(DeserializePingRequest("pong\n").ok());
+  EXPECT_FALSE(DeserializePingResponse("ping\n").ok());
+  EXPECT_FALSE(DeserializePingResponse("").ok());
+
+  // Hello: version and token survive; token bytes escape like status
+  // messages, so whitespace and backslashes are fine.
+  HelloRequest hello;
+  hello.version = 7;
+  hello.token = "secret with spaces\nand\\escapes";
+  const auto restored = DeserializeHelloRequest(SerializeHelloRequest(hello));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->version, 7);
+  EXPECT_EQ(restored->token, hello.token);
+  EXPECT_FALSE(DeserializeHelloRequest("hello\n").ok());
+  EXPECT_FALSE(DeserializeHelloRequest("hello zebra tok\n").ok());
+
+  // Hello acks carry the server's verdict both ways.
+  Status verdict;
+  ASSERT_TRUE(
+      DeserializeHelloAck(SerializeHelloAck(Status::OK()), &verdict).ok());
+  EXPECT_TRUE(verdict.ok());
+  ASSERT_TRUE(DeserializeHelloAck(
+                  SerializeHelloAck(Status::Unauthenticated("bad token")),
+                  &verdict)
+                  .ok());
+  EXPECT_TRUE(verdict.IsUnauthenticated());
+  EXPECT_EQ(verdict.message(), "bad token");
+  EXPECT_FALSE(DeserializeHelloAck("hello-ack maybe\n", &verdict).ok());
+}
+
+TEST(WireSerializationTest, ExportAndExplicitIdAdmitRoundTrip) {
+  const auto id = DeserializeExportRequest(SerializeExportRequest(77));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 77u);
+  EXPECT_FALSE(DeserializeExportRequest("export x\n").ok());
+  EXPECT_FALSE(DeserializeExportRequest("").ok());
+
+  // Export responses: id + limits + artifact bytes round-trip exactly --
+  // the migrated campaign must price bit-identically on its new owner.
+  const auto artifact =
+      std::make_shared<const engine::PolicyArtifact>(WireSampleArtifact());
+  serving::CampaignExport exported;
+  exported.id = 9;
+  exported.limits.total_tasks = 40;
+  exported.limits.deadline_hours = 6.0;
+  exported.limits.admit_hours = 2.5;
+  exported.artifact = artifact;
+  const auto wire = SerializeExportResponse(exported);
+  ASSERT_TRUE(wire.ok()) << wire.status();
+  const auto back = DeserializeExportResponse(*wire);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->id, 9u);
+  EXPECT_EQ(back->limits.total_tasks, 40);
+  EXPECT_EQ(back->limits.deadline_hours, 6.0);
+  EXPECT_EQ(back->limits.admit_hours, 2.5);
+  ASSERT_NE(back->artifact, nullptr);
+  EXPECT_EQ(back->artifact->Serialize().value(),
+            artifact->Serialize().value());
+
+  // The err form transports the server-side status verbatim...
+  const auto err_wire = SerializeExportResponse(
+      Result<serving::CampaignExport>(Status::NotFound("campaign 9 gone")));
+  ASSERT_TRUE(err_wire.ok());
+  const auto err = DeserializeExportResponse(*err_wire);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsNotFound());
+  EXPECT_EQ(err.status().message(), "campaign 9 gone");
+  // ...and a controller-backed export (no artifact) cannot serialize.
+  serving::CampaignExport controller_backed;
+  controller_backed.id = 3;
+  EXPECT_TRUE(SerializeExportResponse(controller_backed)
+                  .status()
+                  .IsInvalidArgument());
+
+  // Explicit-id admits use the admit-at verb and keep the campaign id.
+  serving::CampaignLimits limits;
+  limits.total_tasks = 40;
+  limits.deadline_hours = 6.0;
+  limits.admit_hours = 2.5;
+  const auto admit_at_text = SerializeControlOp(
+      serving::ControlOp::AdmitSharedWithId(31, artifact, limits));
+  ASSERT_TRUE(admit_at_text.ok());
+  const auto admit_at = DeserializeControlOp(*admit_at_text);
+  ASSERT_TRUE(admit_at.ok()) << admit_at.status();
+  EXPECT_EQ(admit_at->kind, serving::ControlOp::Kind::kAdmit);
+  EXPECT_EQ(admit_at->id, 31u);
+  EXPECT_EQ(admit_at->limits.admit_hours, 2.5);
+  ASSERT_NE(admit_at->artifact, nullptr);
+
+  // admit-at must name a real id: 0 means "assign fresh", which only the
+  // plain admit verb may ask for.
+  std::string zero_id = *admit_at_text;
+  const size_t at = zero_id.find("admit-at 31");
+  ASSERT_NE(at, std::string::npos);
+  zero_id.replace(at, std::strlen("admit-at 31"), "admit-at 0");
+  EXPECT_FALSE(DeserializeControlOp(zero_id).ok());
+
+  // The new frame types frame and decode like the original four.
+  for (const FrameType type :
+       {FrameType::kPingRequest, FrameType::kPingResponse,
+        FrameType::kHelloRequest, FrameType::kHelloResponse,
+        FrameType::kExportRequest, FrameType::kExportResponse}) {
+    const auto frame = EncodeFrame(type, "x\n", kDefaultMaxFrameBytes);
+    ASSERT_TRUE(frame.ok());
+    const auto header = DecodeFrameHeader(frame->data(), frame->size(),
+                                          kDefaultMaxFrameBytes);
+    ASSERT_TRUE(header.ok());
+    EXPECT_EQ(header->type, type);
+    EXPECT_EQ(header->payload_bytes, 2u);
+  }
+}
+
 }  // namespace
 }  // namespace crowdprice::net

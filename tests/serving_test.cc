@@ -49,6 +49,60 @@ std::unique_ptr<market::PricingController> FixedController(double cents) {
       market::Offer{cents, 1});
 }
 
+// Every mutation below goes through Apply, the map's single control
+// surface; these shims keep the old wrapper spellings readable in tests.
+Result<CampaignId> Admit(CampaignShardMap& map, engine::PolicyArtifact artifact,
+                         const CampaignLimits& limits) {
+  CP_ASSIGN_OR_RETURN(
+      const ControlOutcome outcome,
+      map.Apply(ControlOp::Admit(std::move(artifact), limits)));
+  return outcome.id;
+}
+
+Result<CampaignId> AdmitShared(
+    CampaignShardMap& map,
+    std::shared_ptr<const engine::PolicyArtifact> artifact,
+    const CampaignLimits& limits) {
+  CP_ASSIGN_OR_RETURN(
+      const ControlOutcome outcome,
+      map.Apply(ControlOp::AdmitShared(std::move(artifact), limits)));
+  return outcome.id;
+}
+
+Result<CampaignId> AdmitController(
+    CampaignShardMap& map,
+    std::unique_ptr<market::PricingController> controller,
+    const CampaignLimits& limits) {
+  CP_ASSIGN_OR_RETURN(
+      const ControlOutcome outcome,
+      map.Apply(ControlOp::AdmitController(std::move(controller), limits)));
+  return outcome.id;
+}
+
+Result<CampaignState> Tick(CampaignShardMap& map, CampaignId id,
+                           double now_hours, int64_t remaining_tasks) {
+  CP_ASSIGN_OR_RETURN(
+      const ControlOutcome outcome,
+      map.Apply(ControlOp::Tick(id, now_hours, remaining_tasks)));
+  return outcome.state;
+}
+
+Status Retire(CampaignShardMap& map, CampaignId id) {
+  return map.Apply(ControlOp::Retire(id)).status();
+}
+
+Status SwapArtifact(CampaignShardMap& map, CampaignId id,
+                    engine::PolicyArtifact artifact) {
+  return map.Apply(ControlOp::SwapArtifact(id, std::move(artifact))).status();
+}
+
+Status SwapArtifactShared(
+    CampaignShardMap& map, CampaignId id,
+    std::shared_ptr<const engine::PolicyArtifact> artifact) {
+  return map.Apply(ControlOp::SwapArtifactShared(id, std::move(artifact)))
+      .status();
+}
+
 // Single-type lookup through the sheet surface: the request/offers[0]
 // spelling the removed single-offer shim forwarded to.
 Result<market::Offer> MapOffer(CampaignShardMap& map, CampaignId id,
@@ -86,7 +140,7 @@ TEST(CampaignShardMapTest, AdmitAndDecideServesArtifactPolicy) {
   auto reference =
       reference_artifact.MakeController(SmallLimits().deadline_hours).value();
 
-  const CampaignId id = map.Admit(std::move(artifact), SmallLimits()).value();
+  const CampaignId id = Admit(map,std::move(artifact), SmallLimits()).value();
   EXPECT_TRUE(map.Contains(id));
   EXPECT_EQ(map.live_campaigns(), 1u);
 
@@ -112,22 +166,22 @@ TEST(CampaignShardMapTest, AdmitAndDecideServesArtifactPolicy) {
 TEST(CampaignShardMapTest, TickRetiresOnCompletionAndDeadline) {
   CampaignShardMap map = CampaignShardMap::Create(2).value();
   const CampaignId done_id =
-      map.AdmitController(FixedController(10.0), SmallLimits()).value();
+      AdmitController(map,FixedController(10.0), SmallLimits()).value();
   const CampaignId late_id =
-      map.AdmitController(FixedController(10.0), SmallLimits()).value();
+      AdmitController(map,FixedController(10.0), SmallLimits()).value();
   EXPECT_EQ(map.live_campaigns(), 2u);
 
   // Progress mid-campaign keeps it live.
-  EXPECT_EQ(map.Tick(done_id, 3.0, 10).value(), CampaignState::kLive);
+  EXPECT_EQ(Tick(map,done_id, 3.0, 10).value(), CampaignState::kLive);
   // The batch drains -> retired completed; the id stops serving.
-  EXPECT_EQ(map.Tick(done_id, 5.0, 0).value(),
+  EXPECT_EQ(Tick(map,done_id, 5.0, 0).value(),
             CampaignState::kRetiredCompleted);
   EXPECT_FALSE(map.Contains(done_id));
   EXPECT_TRUE(MapOffer(map, done_id, 5.0, 1).status().IsNotFound());
-  EXPECT_TRUE(map.Tick(done_id, 5.0, 0).status().IsNotFound());
+  EXPECT_TRUE(Tick(map,done_id, 5.0, 0).status().IsNotFound());
 
   // The deadline passes with work left -> retired deadline.
-  EXPECT_EQ(map.Tick(late_id, SmallLimits().deadline_hours, 7).value(),
+  EXPECT_EQ(Tick(map,late_id, SmallLimits().deadline_hours, 7).value(),
             CampaignState::kRetiredDeadline);
   EXPECT_FALSE(map.Contains(late_id));
   EXPECT_EQ(map.live_campaigns(), 0u);
@@ -142,9 +196,9 @@ TEST(CampaignShardMapTest, TickRetiresOnCompletionAndDeadline) {
 TEST(CampaignShardMapTest, RetireRemovesExplicitly) {
   CampaignShardMap map = CampaignShardMap::Create(1).value();
   const CampaignId id =
-      map.AdmitController(FixedController(5.0), SmallLimits()).value();
-  EXPECT_TRUE(map.Retire(id).ok());
-  EXPECT_TRUE(map.Retire(id).IsNotFound());
+      AdmitController(map,FixedController(5.0), SmallLimits()).value();
+  EXPECT_TRUE(Retire(map,id).ok());
+  EXPECT_TRUE(Retire(map,id).IsNotFound());
   EXPECT_EQ(map.TotalStats().retired_explicit, 1u);
 }
 
@@ -164,13 +218,13 @@ TEST(CampaignShardMapStressTest, DecideBatchMatchesSerialDecideAcrossShards) {
       // campaigns.
       if (i % 3 == 0) {
         ids.push_back(
-            map.AdmitController(FixedController(5.0 + i % 7), SmallLimits())
+            AdmitController(map,FixedController(5.0 + i % 7), SmallLimits())
                 .value());
       } else if (i % 3 == 1) {
         engine::PolicyArtifact copy = solved;
-        ids.push_back(map.Admit(std::move(copy), SmallLimits()).value());
+        ids.push_back(Admit(map,std::move(copy), SmallLimits()).value());
       } else {
-        ids.push_back(map.AdmitShared(shared, SmallLimits()).value());
+        ids.push_back(AdmitShared(map,shared, SmallLimits()).value());
       }
     }
 
@@ -241,12 +295,12 @@ TEST(CampaignShardMapStressTest, AdmitAndServeUnderConcurrentLoad) {
     admitters.emplace_back([&map, a] {
       for (int i = 0; i < kPerAdmitter; ++i) {
         const CampaignId id =
-            map.AdmitController(FixedController(4.0 + a), SmallLimits())
+            AdmitController(map,FixedController(4.0 + a), SmallLimits())
                 .value();
         // Half the campaigns complete immediately, exercising retire
         // while the server thread batches.
         if (i % 2 == 0) {
-          ASSERT_TRUE(map.Tick(id, 1.0, 0).ok());
+          ASSERT_TRUE(Tick(map,id, 1.0, 0).ok());
         }
       }
     });
@@ -277,12 +331,12 @@ TEST(CampaignShardMapTest, TickUsesWallClockDeadlineForStreamingAdmissions) {
   limits.admit_hours = 10.0;
   ASSERT_TRUE(limits.Validate().ok());
   const CampaignId id =
-      map.AdmitController(FixedController(10.0), limits).value();
+      AdmitController(map,FixedController(10.0), limits).value();
 
   // The campaign-clock deadline value is mid-campaign on the wall clock.
-  EXPECT_EQ(map.Tick(id, 4.0, 5).value(), CampaignState::kLive);
-  EXPECT_EQ(map.Tick(id, 13.9, 5).value(), CampaignState::kLive);
-  EXPECT_EQ(map.Tick(id, 14.0, 5).value(), CampaignState::kRetiredDeadline);
+  EXPECT_EQ(Tick(map,id, 4.0, 5).value(), CampaignState::kLive);
+  EXPECT_EQ(Tick(map,id, 13.9, 5).value(), CampaignState::kLive);
+  EXPECT_EQ(Tick(map,id, 14.0, 5).value(), CampaignState::kRetiredDeadline);
 
   CampaignLimits bad = limits;
   bad.admit_hours = -1.0;
@@ -298,12 +352,12 @@ TEST(CampaignShardMapTest, DecideRebasesWallClockOntoCampaignClock) {
 
   CampaignLimits at_zero = SmallLimits();
   engine::PolicyArtifact copy = solved;
-  const CampaignId reference = map.Admit(std::move(copy), at_zero).value();
+  const CampaignId reference = Admit(map,std::move(copy), at_zero).value();
 
   CampaignLimits streamed = SmallLimits();
   streamed.admit_hours = 10.0;
   copy = solved;
-  const CampaignId late = map.Admit(std::move(copy), streamed).value();
+  const CampaignId late = Admit(map,std::move(copy), streamed).value();
 
   for (const double local : {0.0, 1.0, 4.5, 11.0}) {
     const market::Offer want = MapOffer(map, reference, local, 12).value();
@@ -327,17 +381,17 @@ TEST(CampaignShardMapTest, DecideRebasesWallClockOntoCampaignClock) {
 TEST(CampaignShardMapTest, PeakLiveTracksChurnHighWaterMark) {
   CampaignShardMap map = CampaignShardMap::Create(1).value();
   const CampaignId a =
-      map.AdmitController(FixedController(5.0), SmallLimits()).value();
+      AdmitController(map,FixedController(5.0), SmallLimits()).value();
   const CampaignId b =
-      map.AdmitController(FixedController(5.0), SmallLimits()).value();
-  ASSERT_TRUE(map.Retire(a).ok());
-  ASSERT_TRUE(map.Retire(b).ok());
+      AdmitController(map,FixedController(5.0), SmallLimits()).value();
+  ASSERT_TRUE(Retire(map,a).ok());
+  ASSERT_TRUE(Retire(map,b).ok());
   // Two were live at once; none are now -- the peak remembers the churn.
   const ShardStats total = map.TotalStats();
   EXPECT_EQ(total.peak_live, 2);
   EXPECT_EQ(total.live, 0);
   const CampaignId c =
-      map.AdmitController(FixedController(5.0), SmallLimits()).value();
+      AdmitController(map,FixedController(5.0), SmallLimits()).value();
   EXPECT_TRUE(map.Contains(c));
   EXPECT_EQ(map.TotalStats().peak_live, 2);  // 1 live never beats the peak.
 }
@@ -385,11 +439,11 @@ TEST(CampaignShardMapStressTest, ChurnRacesDecideBatchAndCountersReconcile) {
         CampaignId id = 0;
         if (i % 3 == 0) {
           engine::PolicyArtifact copy = solved;
-          id = map.Admit(std::move(copy), limits).value();
+          id = Admit(map,std::move(copy), limits).value();
         } else if (i % 3 == 1) {
-          id = map.AdmitShared(shared, limits).value();
+          id = AdmitShared(map,shared, limits).value();
         } else {
-          id = map.AdmitController(FixedController(4.0 + c), limits).value();
+          id = AdmitController(map,FixedController(4.0 + c), limits).value();
         }
         // Publish a monotone id bound for the server's request sweep.
         uint64_t seen = highest_id.load(std::memory_order_relaxed);
@@ -398,21 +452,21 @@ TEST(CampaignShardMapStressTest, ChurnRacesDecideBatchAndCountersReconcile) {
         }
         switch (i % 4) {
           case 0:  // Complete under traffic.
-            ASSERT_TRUE(map.Tick(id, limits.admit_hours + 1.0, 0).ok());
+            ASSERT_TRUE(Tick(map,id, limits.admit_hours + 1.0, 0).ok());
             break;
           case 1: {  // Hot-swap, then expire at the wall-clock deadline.
             pricing::FixedPriceSolution fixed;
             fixed.price_cents = 30 + i % 5;
             ASSERT_TRUE(
-                map.SwapArtifact(id, engine::PolicyArtifact(fixed)).ok());
+                SwapArtifact(map,id, engine::PolicyArtifact(fixed)).ok());
             ASSERT_TRUE(
-                map.Tick(id,
+                Tick(map,id,
                          limits.admit_hours + limits.deadline_hours, 3)
                     .ok());
             break;
           }
           case 2:  // Pull explicitly.
-            ASSERT_TRUE(map.Retire(id).ok());
+            ASSERT_TRUE(Retire(map,id).ok());
             break;
           default:  // Stay live through the quiesce.
             break;
@@ -454,7 +508,7 @@ TEST(CampaignShardMapStressTest, ChurnRacesDecideBatchAndCountersReconcile) {
 
 TEST(CampaignShardMapTest, SwapArtifactChangesDecisionsAtTheBoundary) {
   CampaignShardMap map = CampaignShardMap::Create(2).value();
-  const CampaignId id = map.Admit(SmallDeadlineArtifact(), SmallLimits())
+  const CampaignId id = Admit(map,SmallDeadlineArtifact(), SmallLimits())
                             .value();
 
   // Mid-campaign: the live policy answers; record a pre-swap decision.
@@ -465,7 +519,7 @@ TEST(CampaignShardMapTest, SwapArtifactChangesDecisionsAtTheBoundary) {
   // observable).
   pricing::FixedPriceSolution fixed;
   fixed.price_cents = 77;
-  const Status swapped = map.SwapArtifact(id, engine::PolicyArtifact(fixed));
+  const Status swapped = SwapArtifact(map,id, engine::PolicyArtifact(fixed));
   ASSERT_TRUE(swapped.ok()) << swapped;
 
   // Decisions change exactly at the swap boundary...
@@ -482,21 +536,21 @@ TEST(CampaignShardMapTest, SwapArtifactChangesDecisionsAtTheBoundary) {
   EXPECT_EQ(total.live, 1);
 
   // The swapped campaign still ticks and retires normally.
-  EXPECT_EQ(map.Tick(id, 4.0, 10).value(), CampaignState::kLive);
-  EXPECT_EQ(map.Tick(id, 5.0, 0).value(), CampaignState::kRetiredCompleted);
+  EXPECT_EQ(Tick(map,id, 4.0, 10).value(), CampaignState::kLive);
+  EXPECT_EQ(Tick(map,id, 5.0, 0).value(), CampaignState::kRetiredCompleted);
 
   // Swapping a retired or unknown campaign fails NotFound.
   pricing::FixedPriceSolution other;
   other.price_cents = 5;
   EXPECT_TRUE(
-      map.SwapArtifact(id, engine::PolicyArtifact(other)).IsNotFound());
+      SwapArtifact(map,id, engine::PolicyArtifact(other)).IsNotFound());
 }
 
 TEST(CampaignShardMapTest, SwapArtifactRejectsNullAndKeepsOldPolicyOnError) {
   CampaignShardMap map = CampaignShardMap::Create(1).value();
   const CampaignId id =
-      map.AdmitController(FixedController(10.0), SmallLimits()).value();
-  EXPECT_TRUE(map.SwapArtifactShared(id, nullptr).IsInvalidArgument());
+      AdmitController(map,FixedController(10.0), SmallLimits()).value();
+  EXPECT_TRUE(SwapArtifactShared(map,id, nullptr).IsInvalidArgument());
   // The campaign still serves its original policy.
   EXPECT_DOUBLE_EQ(MapOffer(map, id, 0.0, 5).value().per_task_reward_cents,
                    10.0);
@@ -527,7 +581,7 @@ TEST(CampaignShardMapTest, MultiTypeArtifactServesSheets) {
   CampaignLimits limits;
   limits.total_tasks = 10;
   limits.deadline_hours = 8.0;
-  const CampaignId id = map.Admit(std::move(artifact), limits).value();
+  const CampaignId id = Admit(map,std::move(artifact), limits).value();
 
   DecideRequest request;
   request.campaign_id = id;
@@ -557,7 +611,7 @@ TEST(CampaignShardMapStressTest, SwapArtifactUnderConcurrentServing) {
 
   std::vector<CampaignId> ids;
   for (int i = 0; i < kCampaigns; ++i) {
-    ids.push_back(map.AdmitShared(shared, SmallLimits()).value());
+    ids.push_back(AdmitShared(map,shared, SmallLimits()).value());
   }
 
   std::atomic<bool> stop{false};
@@ -588,7 +642,7 @@ TEST(CampaignShardMapStressTest, SwapArtifactUnderConcurrentServing) {
           pricing::FixedPriceSolution fixed;
           fixed.price_cents = 20 + round % 10;
           EXPECT_TRUE(
-              map.SwapArtifact(ids[i], engine::PolicyArtifact(fixed)).ok());
+              SwapArtifact(map,ids[i], engine::PolicyArtifact(fixed)).ok());
         }
       }
     });
@@ -629,7 +683,7 @@ TEST(CampaignShardMapStressTest, SameCampaignSwapRetireRacesDecideBatch) {
   std::vector<CampaignId> ids;
   for (int i = 0; i < kCampaigns; ++i) {
     ids.push_back(
-        map.AdmitController(FixedController(kInitialPrice), SmallLimits())
+        AdmitController(map,FixedController(kInitialPrice), SmallLimits())
             .value());
   }
 
@@ -684,9 +738,9 @@ TEST(CampaignShardMapStressTest, SameCampaignSwapRetireRacesDecideBatch) {
           pricing::FixedPriceSolution fixed;
           fixed.price_cents = s % 2 == 0 ? kSwapPriceA : kSwapPriceB;
           ASSERT_TRUE(
-              map.SwapArtifact(ids[i], engine::PolicyArtifact(fixed)).ok());
+              SwapArtifact(map,ids[i], engine::PolicyArtifact(fixed)).ok());
         }
-        ASSERT_TRUE(map.Retire(ids[i]).ok());
+        ASSERT_TRUE(Retire(map,ids[i]).ok());
       }
     });
   }

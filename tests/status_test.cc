@@ -42,6 +42,8 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_TRUE(Status::Internal("").IsInternal());
   EXPECT_TRUE(Status::Unimplemented("").IsUnimplemented());
   EXPECT_TRUE(Status::NumericError("").IsNumericError());
+  EXPECT_TRUE(Status::Unavailable("").IsUnavailable());
+  EXPECT_TRUE(Status::Unauthenticated("").IsUnauthenticated());
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {
@@ -154,7 +156,7 @@ Result<int> Quadruple(int x) {
 // round trip of every code with quirky message bytes.
 
 TEST(StatusCodeFromIntTest, AcceptsEveryDefinedCode) {
-  for (int value = 0; value <= 7; ++value) {
+  for (int value = 0; value <= 9; ++value) {
     StatusCode code = StatusCode::kOk;
     ASSERT_TRUE(StatusCodeFromInt(value, &code)) << "code " << value;
     EXPECT_EQ(static_cast<int>(code), value);
@@ -164,7 +166,7 @@ TEST(StatusCodeFromIntTest, AcceptsEveryDefinedCode) {
 TEST(StatusCodeFromIntTest, RejectsUnknownIntegers) {
   StatusCode code = StatusCode::kNotFound;
   EXPECT_FALSE(StatusCodeFromInt(-1, &code));
-  EXPECT_FALSE(StatusCodeFromInt(8, &code));
+  EXPECT_FALSE(StatusCodeFromInt(10, &code));
   EXPECT_FALSE(StatusCodeFromInt(99, &code));
   // A rejected lookup leaves the out-param untouched.
   EXPECT_EQ(code, StatusCode::kNotFound);
@@ -180,7 +182,7 @@ TEST(StatusWireTest, EveryCodeAndMessageSurvivesTheFragmentRoundTrip) {
       "back\\slash and \\n literal",
       "trailing space ",
   };
-  for (int value = 0; value <= 7; ++value) {
+  for (int value = 0; value <= 9; ++value) {
     StatusCode code = StatusCode::kOk;
     ASSERT_TRUE(StatusCodeFromInt(value, &code));
     for (const std::string& message : messages) {

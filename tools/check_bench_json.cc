@@ -327,6 +327,11 @@ const std::vector<BenchRequirements>& KnownBenches() {
       {"serving_remote",
        {"sheets_per_sec", "p50_ms", "p99_ms"},
        {"sheets_per_sec_conns_", "p50_ms_conns_", "p99_ms_conns_"}},
+      {"serving_router",
+       {"sheets_per_sec", "p50_ms", "p99_ms", "direct_p99_ms",
+        "p99_overhead_vs_direct"},
+       {"sheets_per_sec_backends_", "p50_ms_backends_", "p99_ms_backends_",
+        "p99_overhead_vs_direct_backends_"}},
   };
   return known;
 }
@@ -407,6 +412,38 @@ bool ValidateFleetScalingCurve(const JsonObject& params,
   return true;
 }
 
+// The routing-tier overhead gate for the serving_router record: the
+// worst-case routed p99 must stay within 2x of the direct (router-less)
+// p99 measured by the same run. Smoke records are too short for stable
+// tail quantiles, so they only gate against outright pathology (16x); the
+// bench binary applies the identical thresholds at measurement time.
+bool ValidateRouterOverhead(const JsonObject& params,
+                            const JsonObject& metrics, std::string& error) {
+  double overhead = 0.0, smoke = 0.0;
+  if (!RequireNumber(metrics, "metric", "p99_overhead_vs_direct", overhead,
+                     error) ||
+      !RequireNumber(params, "param", "smoke", smoke, error)) {
+    return false;
+  }
+  if (overhead < 0.0) {
+    error = "p99_overhead_vs_direct must be non-negative";
+    return false;
+  }
+  const bool is_smoke = smoke != 0.0;
+  const double ceiling = is_smoke ? 16.0 : 2.0;
+  if (overhead > ceiling) {
+    error = "routing overhead gate: p99_overhead_vs_direct (" +
+            std::to_string(overhead) + ") > " + std::to_string(ceiling) +
+            (is_smoke ? " [smoke]" : " [full]");
+    return false;
+  }
+  std::printf(
+      "     serving_router overhead gate: %s (p99 %.2fx direct, "
+      "ceiling %.1fx)\n",
+      is_smoke ? "smoke/pathology-only" : "strict 2x", overhead, ceiling);
+  return true;
+}
+
 bool ValidateRequirements(const std::string& bench, const JsonObject& params,
                           const JsonObject& metrics, std::string& error) {
   for (const BenchRequirements& required : KnownBenches()) {
@@ -436,6 +473,12 @@ bool ValidateRequirements(const std::string& bench, const JsonObject& params,
   }
   if (bench == "fleet_throughput") {
     if (!ValidateFleetScalingCurve(params, metrics, error)) {
+      error = "\"" + bench + "\" " + error;
+      return false;
+    }
+  }
+  if (bench == "serving_router") {
+    if (!ValidateRouterOverhead(params, metrics, error)) {
       error = "\"" + bench + "\" " + error;
       return false;
     }

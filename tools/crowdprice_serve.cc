@@ -2,6 +2,7 @@
 //
 //   crowdprice_serve [--port 7710] [--shards 8] [--workers 4]
 //                    [--max-frame-mb 64] [--stats-every 10]
+//                    [--auth-token TOKEN]
 //
 // Serves the DecisionRequest -> OfferSheet surface of an (initially
 // empty) serving::CampaignShardMap over TCP: clients admit, swap, and
@@ -9,6 +10,12 @@
 // frames (protocol in src/net/wire.h; client in src/net/client.h). Runs
 // until SIGINT/SIGTERM, then drains in-flight batches and exits.
 // --stats-every N prints serving counters every N seconds (0 disables).
+// --auth-token requires every connection to hello with the token first.
+//
+// --port 0 binds an ephemeral port. Whatever the port, the first stdout
+// line is the machine-parseable `PORT <n>` -- launchers (the router's
+// test harness, scripts spawning local fleets) read the bound port from
+// it instead of racing a log grep.
 //
 // Exit code 0 on clean shutdown, 1 on user error, 2 when the server
 // fails to start (e.g. the port is taken).
@@ -38,6 +45,14 @@ long FlagValue(int argc, char** argv, const char* name, long fallback) {
   return fallback;
 }
 
+std::string FlagString(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
 void PrintStats(const crowdprice::net::PricingServer& server,
                 const crowdprice::serving::CampaignShardMap& map) {
   const crowdprice::net::ServerStats stats = server.stats();
@@ -61,7 +76,8 @@ int main(int argc, char** argv) {
         std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: crowdprice_serve [--port N] [--shards N] [--workers N]\n"
-          "                        [--max-frame-mb N] [--stats-every SECS]\n");
+          "                        [--max-frame-mb N] [--stats-every SECS]\n"
+          "                        [--auth-token TOKEN]\n");
       return 0;
     }
   }
@@ -70,6 +86,7 @@ int main(int argc, char** argv) {
   const long workers = FlagValue(argc, argv, "--workers", 4);
   const long max_frame_mb = FlagValue(argc, argv, "--max-frame-mb", 64);
   const long stats_every = FlagValue(argc, argv, "--stats-every", 10);
+  const std::string auth_token = FlagString(argc, argv, "--auth-token", "");
   if (port < 0 || port > 65535 || shards < 1 || workers < 1 ||
       max_frame_mb < 1) {
     std::fprintf(stderr, "crowdprice_serve: bad flag value\n");
@@ -88,6 +105,7 @@ int main(int argc, char** argv) {
   options.port = static_cast<uint16_t>(port);
   options.num_workers = static_cast<int>(workers);
   options.max_frame_bytes = static_cast<uint32_t>(max_frame_mb) * (1u << 20);
+  options.auth_token = auth_token;
   auto server = crowdprice::net::PricingServer::Create(&map.value(), options);
   if (!server.ok()) {
     std::fprintf(stderr, "crowdprice_serve: %s\n",
@@ -100,9 +118,11 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 2;
   }
+  std::printf("PORT %u\n", server->port());
   std::printf(
-      "crowdprice_serve listening on port %u (%ld shards, %ld workers)\n",
-      server->port(), shards, workers);
+      "crowdprice_serve listening on port %u (%ld shards, %ld workers%s)\n",
+      server->port(), shards, workers,
+      auth_token.empty() ? "" : ", auth required");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
