@@ -20,9 +20,12 @@
 #include "engine/engine.h"          // IWYU pragma: export
 #include "engine/policy_artifact.h" // IWYU pragma: export
 #include "engine/policy_spec.h"     // IWYU pragma: export
+#include "engine/solve_wave.h"      // IWYU pragma: export
+#include "engine/solver_pool.h"     // IWYU pragma: export
 #include "engine/solver_registry.h" // IWYU pragma: export
 #include "kernel/layer_scan.h"      // IWYU pragma: export
 #include "kernel/pmf_arena.h"       // IWYU pragma: export
+#include "kernel/pmf_cache.h"       // IWYU pragma: export
 #include "market/controller.h"      // IWYU pragma: export
 #include "market/fleet_simulator.h" // IWYU pragma: export
 #include "market/multitype_sim.h"   // IWYU pragma: export
@@ -44,6 +47,7 @@
 #include "pricing/quality.h"        // IWYU pragma: export
 #include "pricing/tradeoff.h"       // IWYU pragma: export
 #include "serving/campaign_shard_map.h"  // IWYU pragma: export
+#include "serving/resolve_lane.h"   // IWYU pragma: export
 #include "stats/convex_hull.h"      // IWYU pragma: export
 #include "stats/descriptive.h"      // IWYU pragma: export
 #include "stats/distributions.h"    // IWYU pragma: export

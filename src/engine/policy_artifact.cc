@@ -209,6 +209,17 @@ Result<pricing::PolicyEvaluation> PolicyArtifact::Evaluate() const {
   return pricing::EvaluatePolicyNominal(p->plan);
 }
 
+Status PolicyArtifact::PrecomputeEvaluation(
+    const pricing::EvalOptions& options) {
+  auto* p = std::get_if<DeadlinePolicy>(&payload_);
+  if (p == nullptr) return WrongKind("evaluation precompute");
+  if (p->evaluation.has_value()) return Status::OK();
+  CP_ASSIGN_OR_RETURN(pricing::PolicyEvaluation eval,
+                      pricing::EvaluatePolicyNominal(p->plan, options));
+  p->evaluation = std::move(eval);
+  return Status::OK();
+}
+
 Result<std::string> PolicyArtifact::Serialize() const {
   std::ostringstream out;
   out << kHeader << "\n";

@@ -116,6 +116,12 @@ class PolicyArtifact {
   /// present, otherwise computed via EvaluatePolicyNominal.
   Result<pricing::PolicyEvaluation> Evaluate() const;
 
+  /// Computes and caches the nominal evaluation in the artifact (deadline
+  /// kind; WrongKind otherwise). No-op when one is already cached; later
+  /// Evaluate() calls return the cached result. SolveWave's evaluate mode
+  /// uses this so scoring rides the farm's kernel-backed forward pass.
+  Status PrecomputeEvaluation(const pricing::EvalOptions& options = {});
+
  private:
   using Payload =
       std::variant<DeadlinePolicy, pricing::StaticPriceAssignment,

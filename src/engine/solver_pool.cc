@@ -1,0 +1,138 @@
+#include "engine/solver_pool.h"
+
+#include <utility>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace crowdprice::engine {
+
+namespace {
+
+void DropToBackgroundPriority() {
+#ifdef __linux__
+  // SCHED_IDLE is per-thread, unprivileged, and exactly the contract the
+  // farm wants: run only when nothing latency-sensitive is runnable.
+  sched_param param{};
+  sched_setscheduler(0, SCHED_IDLE, &param);
+#endif
+}
+
+}  // namespace
+
+SolverPool::SolverPool(int num_threads, bool background)
+    : background_(background) {
+  int n = num_threads;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n < 1) n = 1;
+  }
+  queues_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+SolverPool::~SolverPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void SolverPool::Submit(std::function<void()> job) {
+  size_t target;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    target = static_cast<size_t>(next_queue_++ % queues_.size());
+    ++submitted_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->jobs.push_back(std::move(job));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    ++queued_;
+  }
+  work_cv_.notify_one();
+}
+
+bool SolverPool::PopJob(int home, std::function<void()>* job) {
+  const size_t count = queues_.size();
+  const size_t start = home >= 0 ? static_cast<size_t>(home) : 0;
+  for (size_t i = 0; i < count; ++i) {
+    Queue& q = *queues_[(start + i) % count];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.jobs.empty()) continue;
+    if (i == 0 && home >= 0) {
+      // Owner drains its own queue in FIFO order...
+      *job = std::move(q.jobs.front());
+      q.jobs.pop_front();
+    } else {
+      // ...thieves steal from the opposite end.
+      *job = std::move(q.jobs.back());
+      q.jobs.pop_back();
+    }
+    std::lock_guard<std::mutex> sleep_lock(sleep_mu_);
+    --queued_;
+    return true;
+  }
+  return false;
+}
+
+void SolverPool::FinishJob() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++completed_;
+}
+
+void SolverPool::WorkerLoop(int index) {
+  if (background_) DropToBackgroundPriority();
+  std::function<void()> job;
+  for (;;) {
+    if (PopJob(index, &job)) {
+      job();
+      job = nullptr;
+      FinishJob();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    // Queued jobs are always drained before shutdown completes.
+    if (shutdown_ && queued_ == 0) return;
+    work_cv_.wait(lock, [this] { return queued_ > 0 || shutdown_; });
+  }
+}
+
+bool SolverPool::TryRunOne() {
+  std::function<void()> job;
+  if (!PopJob(/*home=*/-1, &job)) return false;
+  job();
+  FinishJob();
+  return true;
+}
+
+int64_t SolverPool::submitted() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return submitted_;
+}
+
+int64_t SolverPool::completed() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return completed_;
+}
+
+SolverPool& SolverPool::Shared() {
+  static SolverPool* pool = new SolverPool();
+  return *pool;
+}
+
+}  // namespace crowdprice::engine

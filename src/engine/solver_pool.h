@@ -1,0 +1,93 @@
+// SolverPool: the solve farm's work-stealing job pool.
+//
+// util::ThreadPool fans one data-parallel region out at a time -- right
+// for a single solve's layer scans, wrong for a farm where thousands of
+// independent solves queue up while serving traffic keeps running. The
+// SolverPool instead runs free-form jobs: each worker owns a deque, new
+// jobs are pushed round-robin, idle workers steal from the back of other
+// queues, and any caller can help drain the farm via TryRunOne() (how
+// SolveWave lends its own thread instead of sleeping).
+//
+// Workers run at background priority (SCHED_IDLE on Linux, best-effort
+// elsewhere): a re-solve storm saturating the pool yields the CPU to
+// latency-sensitive threads -- the serving path's DecideBatch keeps its
+// p99 while the farm churns. That niceness is per-thread and needs no
+// privileges.
+//
+// Jobs must not throw and must not block on other jobs' completion
+// (deadlock-free composition is the caller's job; SolveWave only ever
+// waits while also draining via TryRunOne).
+
+#ifndef CROWDPRICE_ENGINE_SOLVER_POOL_H_
+#define CROWDPRICE_ENGINE_SOLVER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crowdprice::engine {
+
+class SolverPool {
+ public:
+  /// num_threads <= 0 sizes the pool to hardware_concurrency. With
+  /// `background` (the default), workers drop to idle scheduling priority
+  /// so solve storms never crowd out serving threads.
+  explicit SolverPool(int num_threads = 0, bool background = true);
+  ~SolverPool();
+
+  SolverPool(const SolverPool&) = delete;
+  SolverPool& operator=(const SolverPool&) = delete;
+
+  /// Worker threads owned by the pool (>= 1).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a job. Jobs may be submitted from any thread, including from
+  /// inside other jobs.
+  void Submit(std::function<void()> job);
+
+  /// Runs one queued job on the calling thread if any is queued; returns
+  /// whether it ran one. Lets waiters help drain the farm.
+  bool TryRunOne();
+
+  /// Jobs submitted and completed so far (diagnostics).
+  int64_t submitted() const;
+  int64_t completed() const;
+
+  /// Process-wide pool: hardware_concurrency background workers, started
+  /// on first use. The default farm for SolveWave and the serving re-solve
+  /// lane.
+  static SolverPool& Shared();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  void WorkerLoop(int index);
+  bool PopJob(int home, std::function<void()>* job);
+  void FinishJob();
+
+  const bool background_;
+  std::vector<std::unique_ptr<Queue>> queues_;  ///< one per worker
+  std::vector<std::thread> workers_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable work_cv_;
+  int64_t queued_ = 0;  ///< jobs not yet popped (under sleep_mu_)
+  bool shutdown_ = false;
+
+  mutable std::mutex stats_mu_;
+  int64_t submitted_ = 0;
+  int64_t completed_ = 0;
+  uint64_t next_queue_ = 0;  ///< round-robin submit cursor
+};
+
+}  // namespace crowdprice::engine
+
+#endif  // CROWDPRICE_ENGINE_SOLVER_POOL_H_

@@ -168,6 +168,50 @@ class Avx2Kernel final : public LayerScanKernel {
     }
   }
 
+  CP_TARGET_AVX2 double EvaluateLayer(const LayerTables& layer,
+                                      const int32_t* action_row,
+                                      const double* dist, int n_hi,
+                                      double* next,
+                                      double cost) const override {
+    next[0] += dist[0];
+    for (int n = 1; n <= n_hi; ++n) {
+      const double mass = dist[n];
+      if (mass <= 0.0) continue;
+      const int a = action_row[n];
+      const PmfView v = layer.arena->View(layer.tables[a]);
+      const double c = layer.costs[a];
+      const int bundle = layer.bundles[a];
+      if (bundle != 1) {
+        cost = detail::FusedEvaluateState(v, c, bundle, n, mass, next, cost);
+        continue;
+      }
+      // b == 1 mass scatter: next[n-k] += mass * pmf[k], k < kn. Every
+      // term is an independent fma (no reduction chain), so vectorizing
+      // four terms at a time is bit-identical to FusedEvaluateState.
+      // Lowest touched index is n - (kn-1) >= 1, so next[0] stays clear
+      // for the lump below.
+      const int kn = std::min(n, v.len);
+      const __m256d mvec = _mm256_set1_pd(mass);
+      int k = 0;
+      for (; k + (kLanes - 1) < kn; k += kLanes) {
+        // Reverse the pmf quad so lane order matches next[n-k-3 .. n-k].
+        const __m256d p = _mm256_loadu_pd(v.pmf + k);
+        const __m256d pr = _mm256_permute4x64_pd(p, _MM_SHUFFLE(0, 1, 2, 3));
+        double* dst = next + (n - k - (kLanes - 1));
+        _mm256_storeu_pd(dst,
+                         _mm256_fmadd_pd(mvec, pr, _mm256_loadu_pd(dst)));
+      }
+      for (; k < kn; ++k) {
+        next[n - k] = std::fma(mass, v.pmf[k], next[n - k]);
+      }
+      cost = std::fma(mass * c, v.prefix_weighted[kn], cost);
+      const double lump = std::max(0.0, 1.0 - v.prefix_mass[kn]);
+      next[0] = std::fma(mass, lump, next[0]);
+      cost = std::fma(mass * lump, c * static_cast<double>(n), cost);
+    }
+    return cost;
+  }
+
   CP_TARGET_AVX2 void Axpy(double a, const double* x, double* y,
                            int m) const override {
     const __m256d avec = _mm256_set1_pd(a);

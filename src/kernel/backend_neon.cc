@@ -140,6 +140,45 @@ class NeonKernel final : public LayerScanKernel {
     }
   }
 
+  double EvaluateLayer(const LayerTables& layer, const int32_t* action_row,
+                       const double* dist, int n_hi, double* next,
+                       double cost) const override {
+    next[0] += dist[0];
+    for (int n = 1; n <= n_hi; ++n) {
+      const double mass = dist[n];
+      if (mass <= 0.0) continue;
+      const int a = action_row[n];
+      const PmfView v = layer.arena->View(layer.tables[a]);
+      const double c = layer.costs[a];
+      const int bundle = layer.bundles[a];
+      if (bundle != 1) {
+        cost = detail::FusedEvaluateState(v, c, bundle, n, mass, next, cost);
+        continue;
+      }
+      // b == 1 mass scatter; each term is an independent fma, so the
+      // two-lane vectorization is bit-identical to FusedEvaluateState.
+      // Lowest touched index is n - (kn-1) >= 1 (next[0] untouched).
+      const int kn = std::min(n, v.len);
+      const float64x2_t mvec = vdupq_n_f64(mass);
+      int k = 0;
+      for (; k + (kLanes - 1) < kn; k += kLanes) {
+        // Swap the pmf pair so lane order matches next[n-k-1], next[n-k].
+        const float64x2_t p = vld1q_f64(v.pmf + k);
+        const float64x2_t pr = vextq_f64(p, p, 1);
+        double* dst = next + (n - k - (kLanes - 1));
+        vst1q_f64(dst, vfmaq_f64(vld1q_f64(dst), mvec, pr));
+      }
+      for (; k < kn; ++k) {
+        next[n - k] = std::fma(mass, v.pmf[k], next[n - k]);
+      }
+      cost = std::fma(mass * c, v.prefix_weighted[kn], cost);
+      const double lump = std::max(0.0, 1.0 - v.prefix_mass[kn]);
+      next[0] = std::fma(mass, lump, next[0]);
+      cost = std::fma(mass * lump, c * static_cast<double>(n), cost);
+    }
+    return cost;
+  }
+
   void Axpy(double a, const double* x, double* y, int m) const override {
     const float64x2_t avec = vdupq_n_f64(a);
     int i = 0;

@@ -45,6 +45,21 @@ class ScalarKernel final : public LayerScanKernel {
     }
   }
 
+  double EvaluateLayer(const LayerTables& layer, const int32_t* action_row,
+                       const double* dist, int n_hi, double* next,
+                       double cost) const override {
+    next[0] += dist[0];
+    for (int n = 1; n <= n_hi; ++n) {
+      const double mass = dist[n];
+      if (mass <= 0.0) continue;
+      const int a = action_row[n];
+      cost = detail::LegacyEvaluateState(layer.arena->View(layer.tables[a]),
+                                         layer.costs[a], layer.bundles[a], n,
+                                         mass, next, cost);
+    }
+    return cost;
+  }
+
   void Axpy(double a, const double* x, double* y, int m) const override {
     for (int i = 0; i < m; ++i) {
       y[i] += a * x[i];

@@ -79,6 +79,49 @@ inline double FusedEvalAction(const LayerTables& layer, int a, int n,
                         layer.bundles[a], n, opt_next);
 }
 
+/// One evaluation forward-pass state, historical arithmetic: exactly the
+/// per-state loop the pre-kernel EvaluatePolicy ran -- term-by-term mass
+/// scatter, per-term cost accrual, cum-based finish lump. Bit-identical to
+/// the historical evaluator given the same running `cost`.
+inline double LegacyEvaluateState(const PmfView& v, double c, int bundle,
+                                  int n, double mass, double* next,
+                                  double cost) {
+  double cum = 0.0;
+  for (int k = 0; k < v.len; ++k) {
+    const long long d_ll = static_cast<long long>(k) * bundle;
+    if (d_ll >= n) break;
+    const int d = static_cast<int>(d_ll);
+    const double p = v.pmf[k];
+    next[n - d] += mass * p;
+    cost += mass * p * c * d;
+    cum += p;
+  }
+  const double finish = std::max(0.0, 1.0 - cum);
+  next[0] += mass * finish;
+  cost += mass * finish * c * static_cast<double>(n);
+  return cost;
+}
+
+/// One evaluation forward-pass state, fused flavor: fma mass scatter plus
+/// prefix-sum cost (cost over in-range terms collapses to
+/// mass*c*b*S1[kn]). The SIMD backends' bundle==1 vector scatter performs
+/// these exact per-term fmas (each term independent, no reduction chain),
+/// so their EvaluateLayer is bit-identical to this body.
+inline double FusedEvaluateState(const PmfView& v, double c, int bundle,
+                                 int n, double mass, double* next,
+                                 double cost) {
+  const int kn = NumInRangeTerms(n, bundle, v.len);
+  for (int k = 0; k < kn; ++k) {
+    next[n - k * bundle] = std::fma(mass, v.pmf[k], next[n - k * bundle]);
+  }
+  const double mcb = mass * c * static_cast<double>(bundle);
+  cost = std::fma(mcb, v.prefix_weighted[kn], cost);
+  const double lump = std::max(0.0, 1.0 - v.prefix_mass[kn]);
+  next[0] = std::fma(mass, lump, next[0]);
+  cost = std::fma(mass * lump, c * static_cast<double>(n), cost);
+  return cost;
+}
+
 /// The collapsed-transition value at one output position (the scalar body
 /// of CollapseCorrelate), fused flavor.
 inline double FusedCollapseAt(const PmfView& v, const double* x, int n) {

@@ -90,6 +90,23 @@ class LayerScanKernel {
   virtual void CollapseCorrelate(const PmfView& view, const double* x, int m,
                                  double* y) const = 0;
 
+  /// Batched evaluation forward step (the policy evaluators' per-interval
+  /// body, and the future GPU backend's insertion point): push one
+  /// interval's state distribution through the plan's transition.
+  /// `dist`/`next` have n_hi + 1 entries and must not alias; next[0..n_hi]
+  /// must be zero on entry. The kernel adds dist[0] into next[0] and, for
+  /// every state n in [1, n_hi] with dist[n] > 0, applies the action
+  /// action_row[n] (an index into the layer; states with dist[n] <= 0 are
+  /// skipped and may carry -1): in-range completions k*b < n move mass to
+  /// next[n - k*b] and accrue cost c*k*b, the lumped remainder finishes all
+  /// n tasks into next[0] at cost c*n. Returns `cost` advanced by the
+  /// layer's accrued expected cost -- threading one running accumulator
+  /// through the calls preserves the historical summation order, which the
+  /// scalar backend keeps bit-exact (SIMD within ~1e-12).
+  virtual double EvaluateLayer(const LayerTables& layer,
+                               const int32_t* action_row, const double* dist,
+                               int n_hi, double* next, double cost) const = 0;
+
   /// y[i] += a * x[i] for i in [0, m).
   virtual void Axpy(double a, const double* x, double* y, int m) const = 0;
 

@@ -1,9 +1,11 @@
 #include "kernel/pmf_arena.h"
 
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <unordered_map>
 
+#include "kernel/pmf_cache.h"
 #include "stats/poisson.h"
 #include "util/macros.h"
 #include "util/stringf.h"
@@ -23,12 +25,13 @@ size_t AlignUp(size_t doubles) {
 }  // namespace
 
 Result<PmfArena> PmfArena::Build(const std::vector<double>& rates,
-                                 double epsilon) {
+                                 double epsilon, Dedup dedup,
+                                 PmfShareCache* share_cache) {
   PmfArena arena;
   arena.request_tables_.reserve(rates.size());
 
-  // Pass 1: deduplicate by quantized rate and size every table so the whole
-  // block can be laid out before anything is built.
+  // Pass 1: deduplicate (quantized or exact-bit keys) and size every table
+  // so the whole block can be laid out before anything is built.
   std::unordered_map<uint64_t, int> by_key;
   std::vector<double> build_rates;  // one entry per distinct table
   size_t offset = 0;
@@ -38,7 +41,9 @@ Result<PmfArena> PmfArena::Build(const std::vector<double>& rates,
       return Status::InvalidArgument(
           StringF("PmfArena rate %zu = %g must be finite and >= 0", i, rate));
     }
-    const uint64_t key = stats::QuantizedRateKey(rate);
+    const uint64_t key = dedup == Dedup::kQuantizedRate
+                             ? stats::QuantizedRateKey(rate)
+                             : std::bit_cast<uint64_t>(rate);
     auto it = by_key.find(key);
     if (it != by_key.end()) {
       arena.request_tables_.push_back(it->second);
@@ -63,6 +68,27 @@ Result<PmfArena> PmfArena::Build(const std::vector<double>& rates,
     build_rates.push_back(rate);
     by_key.emplace(key, id);
     arena.request_tables_.push_back(id);
+  }
+
+  if (share_cache != nullptr) {
+    // Adopt every distinct table from the cross-solve cache instead of
+    // building a contiguous block. Cache keys are the exact build-rate
+    // bits, so an adopted block is bit-identical to what pass 2 below
+    // would have produced.
+    arena.shared_.reserve(arena.tables_.size());
+    for (size_t id = 0; id < arena.tables_.size(); ++id) {
+      CP_ASSIGN_OR_RETURN(
+          std::shared_ptr<const PmfBlock> block,
+          share_cache->GetOrBuild(build_rates[id], epsilon));
+      TableMeta& meta = arena.tables_[id];
+      if (block->len() != meta.len) {
+        return Status::Internal("PmfArena cached table length drifted");
+      }
+      meta.tail_mass = block->tail_mass();
+      arena.shared_.push_back(std::move(block));
+    }
+    arena.block_doubles_ = 0;
+    return arena;
   }
 
   arena.block_doubles_ = offset;
@@ -106,6 +132,11 @@ Result<PmfArena> PmfArena::Build(const std::vector<double>& rates,
 }
 
 PmfView PmfArena::View(int table) const {
+  if (!shared_.empty()) {
+    // Share-cache arenas hold no contiguous block; each table is an
+    // adopted cache block with the same layout.
+    return shared_[static_cast<size_t>(table)]->view();
+  }
   const TableMeta& meta = tables_[static_cast<size_t>(table)];
   PmfView view;
   view.pmf = block_.get() + meta.pmf_offset;

@@ -20,6 +20,16 @@
 // from arrival-trace arithmetic -- and exact repeats from constant or
 // periodic traces -- share one table. Views stay valid for the arena's
 // lifetime; the arena is immutable after Build.
+//
+// Two extensions serve the evaluators and the solve farm:
+//  * Dedup::kExactRate restricts in-build sharing to exact bit repeats,
+//    which makes every table bit-identical to a fresh per-rate build --
+//    the policy evaluators use it so the kernelized forward pass matches
+//    the historical per-interval table construction bit-for-bit.
+//  * A PmfShareCache (kernel/pmf_cache.h) lets arenas adopt blocks built
+//    by earlier solves: tables then live in refcounted per-table blocks
+//    instead of one contiguous allocation. Cache keys are exact rate
+//    bits, so adoption never changes a solve's numbers.
 
 #ifndef CROWDPRICE_KERNEL_PMF_ARENA_H_
 #define CROWDPRICE_KERNEL_PMF_ARENA_H_
@@ -33,6 +43,9 @@
 
 namespace crowdprice::kernel {
 
+class PmfBlock;       // kernel/pmf_cache.h
+class PmfShareCache;  // kernel/pmf_cache.h
+
 /// Read-only view of one table in the arena. All three pointers are
 /// 64-byte aligned; prefix arrays have len + 1 entries.
 struct PmfView {
@@ -45,6 +58,24 @@ struct PmfView {
 
 class PmfArena {
  public:
+  /// Cross-solve dedup counters (kept by PmfShareCache; the `kernels` CLI
+  /// surfaces the global cache's figures).
+  struct Stats {
+    int64_t blocks_built = 0;   ///< Distinct blocks built into the cache.
+    int64_t blocks_shared = 0;  ///< Requests served by an existing block.
+  };
+
+  /// In-build request dedup policy.
+  enum class Dedup {
+    /// Requests sharing a stats::QuantizedRateKey resolve to one table,
+    /// built at the first occurrence's exact rate (the solver default:
+    /// near-equal trace rates collapse).
+    kQuantizedRate,
+    /// Only exact bit repeats share; every table is bit-identical to a
+    /// fresh build at its own rate (the evaluator mode).
+    kExactRate,
+  };
+
   /// Packs the tables for a sequence of rate requests (e.g. the deadline
   /// DP's [interval][action] grid flattened interval-major). Requests with
   /// the same quantized rate resolve to one shared table, built at the
@@ -52,14 +83,24 @@ class PmfArena {
   /// get bit-identical tables to a per-rate cache); the first occurrence
   /// counts as a build, later ones as reuses (the solvers' cache
   /// diagnostics). Every rate must be finite and >= 0; epsilon in (0, 1).
+  ///
+  /// With a `share_cache`, each distinct table is adopted from (or built
+  /// into) the cache instead of the arena's own block; cache hits count in
+  /// the cache's Stats. Table contents are unchanged either way (exact-bit
+  /// cache keys), so solves are bit-identical with and without a cache.
   static Result<PmfArena> Build(const std::vector<double>& rates,
-                                double epsilon);
+                                double epsilon,
+                                Dedup dedup = Dedup::kQuantizedRate,
+                                PmfShareCache* share_cache = nullptr);
 
   /// Table id the i-th Build request resolved to.
   int TableOf(size_t request) const {
     return request_tables_[request];
   }
   PmfView View(int table) const;
+
+  /// True when the arena's tables live in share-cache blocks.
+  bool shared_storage() const { return !shared_.empty(); }
 
   size_t num_tables() const { return tables_.size(); }
   size_t num_requests() const { return request_tables_.size(); }
@@ -94,6 +135,9 @@ class PmfArena {
   size_t block_doubles_ = 0;
   std::vector<TableMeta> tables_;
   std::vector<int> request_tables_;
+  /// Share-cache mode only: one refcounted block per table (same indexing
+  /// as tables_); empty for contiguous-block arenas.
+  std::vector<std::shared_ptr<const PmfBlock>> shared_;
 };
 
 }  // namespace crowdprice::kernel

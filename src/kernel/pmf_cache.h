@@ -1,0 +1,146 @@
+// PmfShareCache: cross-solve sharing of built truncated-Poisson blocks.
+//
+// A solve farm re-prices thousands of campaigns per wave, and fleets are
+// built from a handful of rate profiles: most solves request pmf tables at
+// rates some earlier solve already built. The cache maps
+// (exact rate bits, truncation-epsilon bits) to a refcounted, 64-byte
+// aligned block holding the table's pmf and its S0/S1 prefixes -- the same
+// layout a PmfArena table has -- so PmfArena::Build can adopt an existing
+// block instead of rebuilding it.
+//
+// Keys are the EXACT bit pattern of the rate each block was built at, not
+// the quantized dedup key. That is what keeps wave solves bit-identical to
+// sequential ones: a solve only ever adopts a block whose contents equal
+// what it would have built itself (stats::MakeTruncatedPoisson is
+// deterministic per rate). Near-equal rates that merely share a quantized
+// bucket get their own blocks, exactly as a solo solve would build one
+// table at its own first-seen rate. Fleet sharing still collapses, because
+// campaigns stamped from the same profile repeat rates exactly.
+//
+// Thread safety: every method is safe to call concurrently (one internal
+// mutex; hits are a map lookup + list splice). Eviction is LRU over a byte
+// budget and only drops the cache's reference -- arenas keep blocks alive
+// through their own shared_ptr.
+
+#ifndef CROWDPRICE_KERNEL_PMF_CACHE_H_
+#define CROWDPRICE_KERNEL_PMF_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "kernel/pmf_arena.h"
+#include "util/result.h"
+
+namespace crowdprice::kernel {
+
+/// One shared truncated-Poisson table: pmf, S0 and S1 prefixes in a single
+/// 64-byte-aligned allocation, immutable after Build.
+class PmfBlock {
+ public:
+  /// Builds the block for `rate` (finite, >= 0) at truncation `epsilon`,
+  /// bit-identical to the table a PmfArena would lay out for that rate.
+  static Result<std::shared_ptr<const PmfBlock>> Build(double rate,
+                                                       double epsilon);
+
+  PmfView view() const {
+    PmfView v;
+    v.pmf = data_.get();
+    v.prefix_mass = data_.get() + mass_offset_;
+    v.prefix_weighted = data_.get() + weighted_offset_;
+    v.len = len_;
+    v.tail_mass = tail_mass_;
+    return v;
+  }
+
+  int len() const { return len_; }
+  double tail_mass() const { return tail_mass_; }
+  size_t bytes() const { return doubles_ * sizeof(double); }
+
+  PmfBlock(const PmfBlock&) = delete;
+  PmfBlock& operator=(const PmfBlock&) = delete;
+
+ private:
+  PmfBlock() = default;
+
+  struct FreeDeleter {
+    void operator()(double* p) const { std::free(p); }
+  };
+
+  std::unique_ptr<double, FreeDeleter> data_;
+  size_t doubles_ = 0;
+  size_t mass_offset_ = 0;
+  size_t weighted_offset_ = 0;
+  int len_ = 0;
+  double tail_mass_ = 0.0;
+};
+
+class PmfShareCache {
+ public:
+  /// Default byte budget: generous for fleet workloads (a 10k-campaign
+  /// wave over dozens of profiles stays well under 1 MB of tables).
+  static constexpr size_t kDefaultMaxBytes = size_t{256} << 20;
+
+  explicit PmfShareCache(size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// The process-wide cache the solve farm (engine::SolveWave, the serving
+  /// re-solve lane) shares by default; the `kernels` CLI prints its stats.
+  static PmfShareCache& Global();
+
+  /// The block for (rate, epsilon): the cached one when the exact rate bits
+  /// match (counted as a share), else freshly built and inserted (counted
+  /// as a build). Never returns null on OK.
+  Result<std::shared_ptr<const PmfBlock>> GetOrBuild(double rate,
+                                                     double epsilon);
+
+  /// Dedup effectiveness counters (monotone; eviction does not reset them).
+  PmfArena::Stats stats() const;
+  /// Bytes currently held by cached blocks (arenas may pin more).
+  size_t resident_bytes() const;
+  /// Blocks dropped by the LRU byte budget.
+  int64_t evicted() const;
+
+  PmfShareCache(const PmfShareCache&) = delete;
+  PmfShareCache& operator=(const PmfShareCache&) = delete;
+
+ private:
+  struct Key {
+    uint64_t rate_bits = 0;
+    uint64_t epsilon_bits = 0;
+    bool operator==(const Key& other) const {
+      return rate_bits == other.rate_bits && epsilon_bits == other.epsilon_bits;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Splitmix-style mix of the two words.
+      uint64_t h = k.rate_bits + 0x9e3779b97f4a7c15ULL * k.epsilon_bits;
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const PmfBlock> block;
+  };
+
+  const size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Most-recently-used at the front.
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> by_key_;
+  size_t resident_bytes_ = 0;
+  int64_t blocks_built_ = 0;
+  int64_t blocks_shared_ = 0;
+  int64_t evicted_ = 0;
+};
+
+}  // namespace crowdprice::kernel
+
+#endif  // CROWDPRICE_KERNEL_PMF_CACHE_H_

@@ -19,7 +19,8 @@ ActionSet::ActionSet(std::vector<PricingAction> actions)
 namespace {
 
 Status ValidateAction(const PricingAction& a, size_t index) {
-  if (!(a.cost_per_task_cents >= 0.0) || !std::isfinite(a.cost_per_task_cents)) {
+  if (!(a.cost_per_task_cents >= 0.0) ||
+      !std::isfinite(a.cost_per_task_cents)) {
     return Status::InvalidArgument(
         StringF("action %zu: cost %g must be finite and >= 0", index,
                 a.cost_per_task_cents));
@@ -30,7 +31,8 @@ Status ValidateAction(const PricingAction& a, size_t index) {
   }
   if (!(a.acceptance >= 0.0 && a.acceptance <= 1.0)) {
     return Status::InvalidArgument(
-        StringF("action %zu: acceptance %g outside [0, 1]", index, a.acceptance));
+        StringF("action %zu: acceptance %g outside [0, 1]", index,
+                a.acceptance));
   }
   return Status::OK();
 }
@@ -73,7 +75,9 @@ Result<ActionSet> ActionSet::FromActions(std::vector<PricingAction> actions) {
   }
   std::sort(actions.begin(), actions.end(),
             [](const PricingAction& a, const PricingAction& b) {
-              if (a.acceptance != b.acceptance) return a.acceptance < b.acceptance;
+              if (a.acceptance != b.acceptance) {
+                return a.acceptance < b.acceptance;
+              }
               return a.cost_per_task_cents < b.cost_per_task_cents;
             });
   return ActionSet(std::move(actions));

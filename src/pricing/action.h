@@ -33,8 +33,8 @@ class ActionSet {
  public:
   /// The paper's integer price grid {0..max_price_cents} with p from the
   /// acceptance function. Acceptance must be non-decreasing over the grid.
-  static Result<ActionSet> FromPriceGrid(int max_price_cents,
-                                         const choice::AcceptanceFunction& acceptance);
+  static Result<ActionSet> FromPriceGrid(
+      int max_price_cents, const choice::AcceptanceFunction& acceptance);
 
   /// Arbitrary actions (e.g. HIT group sizes). Validates each action;
   /// sorts by acceptance ascending.

@@ -51,6 +51,15 @@ Status AdaptiveRateController::ReplanFrom(int interval) {
   plan_.emplace(std::move(solved).value());
   plan_start_ = interval;
   ++resolves_;
+  if (options_.forecast_on_replan) {
+    // Kernel-backed forward pass over the plan's own solve arena: no pmf
+    // rebuilds, and purely diagnostic (Decide never reads it).
+    EvalOptions eval_options;
+    eval_options.kernel_backend = options_.dp_options.kernel_backend;
+    CP_ASSIGN_OR_RETURN(PolicyEvaluation forecast,
+                        EvaluatePolicyNominal(*plan_, eval_options));
+    last_forecast_ = std::move(forecast);
+  }
   return Status::OK();
 }
 
@@ -80,7 +89,8 @@ Result<market::OfferSheet> AdaptiveRateController::Decide(
       // Scale-free shrinkage anchor: weight the prior as if
       // prior_weight * predicted_so_far worth of evidence said factor = 1.
       const double anchor = options_.prior_weight * predicted_so_far_ + 1e-9;
-      double factor = (observed_so_far_ + anchor) / (predicted_so_far_ + anchor);
+      double factor =
+          (observed_so_far_ + anchor) / (predicted_so_far_ + anchor);
       factor = std::clamp(factor, options_.min_factor, options_.max_factor);
       if (std::fabs(factor - factor_) > 0.02) {
         factor_ = factor;

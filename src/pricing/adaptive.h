@@ -28,6 +28,7 @@
 
 #include "market/controller.h"
 #include "pricing/deadline_dp.h"
+#include "pricing/policy_eval.h"
 #include "util/result.h"
 
 namespace crowdprice::pricing {
@@ -42,6 +43,11 @@ struct AdaptiveOptions {
   double min_factor = 0.25;
   double max_factor = 4.0;
   DpOptions dp_options;
+  /// Diagnostic: after every re-solve, run the kernel-backed nominal
+  /// forward pass over the fresh plan (reusing its solve arena -- no pmf
+  /// rebuilds) and keep the result as last_forecast(). Never changes what
+  /// Decide returns. Not part of the serialized wire format.
+  bool forecast_on_replan = false;
 };
 
 /// A marketplace controller that replans against the observed completion
@@ -63,11 +69,18 @@ class AdaptiveRateController final : public market::PricingController {
   double current_factor() const { return factor_; }
   /// Number of MDP re-solves performed so far.
   int resolves() const { return resolves_; }
+  /// Nominal forecast of the most recent plan (empty unless
+  /// AdaptiveOptions::forecast_on_replan is set): the re-solved policy's
+  /// expected remaining-horizon cost/completion outlook.
+  const std::optional<PolicyEvaluation>& last_forecast() const {
+    return last_forecast_;
+  }
 
  private:
   AdaptiveRateController(DeadlineProblem problem,
-                         std::vector<double> believed_lambdas, ActionSet actions,
-                         double horizon_hours, AdaptiveOptions options)
+                         std::vector<double> believed_lambdas,
+                         ActionSet actions, double horizon_hours,
+                         AdaptiveOptions options)
       : problem_(problem),
         believed_lambdas_(std::move(believed_lambdas)),
         actions_(std::move(actions)),
@@ -94,6 +107,7 @@ class AdaptiveRateController final : public market::PricingController {
   double pending_prediction_ = 0.0;  ///< prediction for the interval in flight
   double factor_ = 1.0;
   int resolves_ = 0;
+  std::optional<PolicyEvaluation> last_forecast_;
 };
 
 }  // namespace crowdprice::pricing

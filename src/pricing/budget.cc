@@ -103,7 +103,8 @@ void FinalizeAssignment(StaticPriceAssignment* out,
 Result<StaticPriceAssignment> SolveBudgetLp(
     int64_t num_tasks, double budget_cents,
     const choice::AcceptanceFunction& acceptance, int max_price_cents) {
-  CP_RETURN_IF_ERROR(ValidateBudgetArgs(num_tasks, budget_cents, max_price_cents));
+  CP_RETURN_IF_ERROR(
+      ValidateBudgetArgs(num_tasks, budget_cents, max_price_cents));
   CP_ASSIGN_OR_RETURN(std::vector<GridPoint> grid,
                       UsableGrid(acceptance, max_price_cents));
 
@@ -140,7 +141,8 @@ Result<StaticPriceAssignment> SolveBudgetLp(
   // Algorithm 3: n1 = ceil((c2 N - B) / (c2 - c1)); the ceiling keeps the
   // committed budget within B.
   const double n1_real =
-      (static_cast<double>(c2) * static_cast<double>(num_tasks) - budget_cents) /
+      (static_cast<double>(c2) * static_cast<double>(num_tasks) -
+       budget_cents) /
       static_cast<double>(c2 - c1);
   int64_t n1 = static_cast<int64_t>(std::ceil(n1_real - 1e-9));
   n1 = std::clamp<int64_t>(n1, 0, num_tasks);
@@ -204,7 +206,8 @@ Result<StaticPriceAssignment> SolveBudgetExactDp(
   std::map<int, int64_t> counts;
   int b = budget_cents;
   for (int i = num_tasks; i >= 1; --i) {
-    const int c = choices[static_cast<size_t>(i - 1) * width + static_cast<size_t>(b)];
+    const int c =
+        choices[static_cast<size_t>(i - 1) * width + static_cast<size_t>(b)];
     if (c < 0) return Status::Internal("exact DP reconstruction failed");
     ++counts[c];
     b -= c;
@@ -217,8 +220,9 @@ Result<StaticPriceAssignment> SolveBudgetExactDp(
   return out;
 }
 
-Result<double> LpRoundingGapBound(const StaticPriceAssignment& lp_solution,
-                                  const choice::AcceptanceFunction& acceptance) {
+Result<double> LpRoundingGapBound(
+    const StaticPriceAssignment& lp_solution,
+    const choice::AcceptanceFunction& acceptance) {
   if (lp_solution.allocations.empty()) {
     return Status::InvalidArgument("empty assignment");
   }

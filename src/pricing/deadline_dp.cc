@@ -8,6 +8,7 @@
 
 #include "kernel/layer_scan.h"
 #include "kernel/pmf_arena.h"
+#include "kernel/pmf_cache.h"
 #include "util/macros.h"
 #include "util/stringf.h"
 #include "util/thread_pool.h"
@@ -51,7 +52,8 @@ class SolveTables {
  public:
   static Result<SolveTables> Build(const DeadlineProblem& problem,
                                    const std::vector<double>& interval_lambdas,
-                                   const ActionSet& actions) {
+                                   const ActionSet& actions,
+                                   kernel::PmfShareCache* share_cache) {
     SolveTables out;
     const size_t num_actions = actions.size();
     std::vector<double> rates;
@@ -63,8 +65,10 @@ class SolveTables {
     }
     CP_ASSIGN_OR_RETURN(
         kernel::PmfArena arena,
-        kernel::PmfArena::Build(rates, problem.truncation_epsilon));
-    out.arena_ = std::make_unique<kernel::PmfArena>(std::move(arena));
+        kernel::PmfArena::Build(rates, problem.truncation_epsilon,
+                                kernel::PmfArena::Dedup::kQuantizedRate,
+                                share_cache));
+    out.arena_ = std::make_shared<kernel::PmfArena>(std::move(arena));
     out.table_ids_.reserve(rates.size());
     for (size_t i = 0; i < rates.size(); ++i) {
       out.table_ids_.push_back(out.arena_->TableOf(i));
@@ -90,11 +94,16 @@ class SolveTables {
   }
 
   const kernel::PmfArena& arena() const { return *arena_; }
+  /// Shared handle + table grid for DeadlinePlan::SetSolveArena.
+  std::shared_ptr<const kernel::PmfArena> shared_arena() const {
+    return arena_;
+  }
+  const std::vector<int>& table_ids() const { return table_ids_; }
 
  private:
-  // unique_ptr so SolveTables stays movable with stable LayerTables
-  // pointers.
-  std::unique_ptr<kernel::PmfArena> arena_;
+  // shared_ptr so SolveTables stays movable with stable LayerTables
+  // pointers, and the plan can retain the arena past the solve.
+  std::shared_ptr<kernel::PmfArena> arena_;
   std::vector<int> table_ids_;  ///< [interval][action], interval-major.
   std::vector<double> costs_;
   std::vector<int> bundles_;
@@ -167,7 +176,8 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
   const int num_actions = static_cast<int>(actions.size());
   const int nt = problem.num_intervals;
   const int num_tasks = problem.num_tasks;
-  const bool monotone = mode == Mode::kImproved && options.monotone_price_search;
+  const bool monotone =
+      mode == Mode::kImproved && options.monotone_price_search;
 
   const int requested_threads = options.num_threads > 0
                                     ? options.num_threads
@@ -183,7 +193,8 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
   // All of the solve's pmf tables in one aligned arena, built before any
   // layer work so the scans (and their worker threads) only read.
   CP_ASSIGN_OR_RETURN(SolveTables tables,
-                      SolveTables::Build(problem, interval_lambdas, actions));
+                      SolveTables::Build(problem, interval_lambdas, actions,
+                                         options.share_cache));
 
   for (int t = nt - 1; t >= 0; --t) {
     const kernel::LayerTables layer = tables.Layer(t);
@@ -216,8 +227,9 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
       }
     } else {
       const int32_t* cap_row =
-          options.time_monotonicity_pruning && t < nt - 1 ? plan.ActionLayer(t + 1)
-                                                          : nullptr;
+          options.time_monotonicity_pruning && t < nt - 1
+              ? plan.ActionLayer(t + 1)
+              : nullptr;
       if (!parallel) {
         int64_t local = 0;
         SolveRangeMonotone(*kern, layer, 1, num_tasks, 0, num_actions - 1,
@@ -272,6 +284,7 @@ Result<DeadlinePlan> Solve(const DeadlineProblem& problem,
   plan.poisson_tables_built = tables.arena().tables_built();
   plan.poisson_table_reuses = tables.arena().table_reuses();
   plan.kernel_backend = kern->name();
+  plan.SetSolveArena(tables.shared_arena(), tables.table_ids());
   plan.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -287,10 +300,10 @@ Result<DeadlinePlan> SolveSimpleDp(const DeadlineProblem& problem,
   return Solve(problem, interval_lambdas, actions, Mode::kSimple, options);
 }
 
-Result<DeadlinePlan> SolveImprovedDp(const DeadlineProblem& problem,
-                                     const std::vector<double>& interval_lambdas,
-                                     const ActionSet& actions,
-                                     const DpOptions& options) {
+Result<DeadlinePlan> SolveImprovedDp(
+    const DeadlineProblem& problem,
+    const std::vector<double>& interval_lambdas, const ActionSet& actions,
+    const DpOptions& options) {
   return Solve(problem, interval_lambdas, actions, Mode::kImproved, options);
 }
 

@@ -29,6 +29,10 @@
 #include "pricing/plan.h"
 #include "util/result.h"
 
+namespace crowdprice::kernel {
+class PmfShareCache;
+}  // namespace crowdprice::kernel
+
 namespace crowdprice::pricing {
 
 struct DpOptions {
@@ -50,6 +54,13 @@ struct DpOptions {
   /// "scalar" plans are bit-identical on every platform; SIMD plans agree
   /// to ~1e-12 and pick the same actions away from exact cost ties.
   std::string kernel_backend;
+  /// Cross-solve pmf sharing: when set, the solve adopts truncated-Poisson
+  /// blocks from (and contributes new ones to) this cache instead of
+  /// building a private arena block. Cache keys are exact rate bits, so
+  /// the produced plan is bit-identical with and without a cache (see
+  /// kernel/pmf_cache.h). Not owned; must outlive the solve. Never
+  /// serialized -- deserialized artifacts carry the default nullptr.
+  kernel::PmfShareCache* share_cache = nullptr;
 };
 
 /// Algorithm 1. Supports any ActionSet (including bundled HIT actions).
@@ -62,10 +73,10 @@ Result<DeadlinePlan> SolveSimpleDp(const DeadlineProblem& problem,
 
 /// Algorithm 2 (+ optional time-monotonicity pruning). Produces the same
 /// tables as SolveSimpleDp whenever Conjecture 1 holds.
-Result<DeadlinePlan> SolveImprovedDp(const DeadlineProblem& problem,
-                                     const std::vector<double>& interval_lambdas,
-                                     const ActionSet& actions,
-                                     const DpOptions& options = {});
+Result<DeadlinePlan> SolveImprovedDp(
+    const DeadlineProblem& problem,
+    const std::vector<double>& interval_lambdas, const ActionSet& actions,
+    const DpOptions& options = {});
 
 }  // namespace crowdprice::pricing
 

@@ -10,17 +10,20 @@ namespace crowdprice::pricing {
 
 namespace {
 
-Status ValidateCommon(int num_tasks, const std::vector<double>& interval_lambdas,
+Status ValidateCommon(int num_tasks,
+                      const std::vector<double>& interval_lambdas,
                       int max_price_cents) {
   if (num_tasks < 1) {
-    return Status::InvalidArgument(StringF("num_tasks must be >= 1; got %d", num_tasks));
+    return Status::InvalidArgument(
+        StringF("num_tasks must be >= 1; got %d", num_tasks));
   }
   if (interval_lambdas.empty()) {
     return Status::InvalidArgument("interval_lambdas must be non-empty");
   }
   for (double lam : interval_lambdas) {
     if (!(lam >= 0.0) || !std::isfinite(lam)) {
-      return Status::InvalidArgument("interval_lambdas entries must be finite, >= 0");
+      return Status::InvalidArgument(
+          "interval_lambdas entries must be finite, >= 0");
     }
   }
   if (max_price_cents < 0) {
@@ -93,10 +96,12 @@ Result<FixedPriceSolution> EvaluateFixedPrice(
 Result<FixedPriceSolution> SolveFixedForExpectedCompletion(
     int num_tasks, const std::vector<double>& interval_lambdas,
     const choice::AcceptanceFunction& acceptance, int max_price_cents) {
-  CP_RETURN_IF_ERROR(ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
+  CP_RETURN_IF_ERROR(
+      ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
   const double total = TotalLambda(interval_lambdas);
   CP_ASSIGN_OR_RETURN(
-      int price, SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
+      int price,
+      SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
         return total * acceptance.ProbabilityAt(static_cast<double>(c)) >=
                static_cast<double>(num_tasks);
       }));
@@ -107,14 +112,16 @@ Result<FixedPriceSolution> SolveFixedForQuantile(
     int num_tasks, const std::vector<double>& interval_lambdas,
     const choice::AcceptanceFunction& acceptance, int max_price_cents,
     double confidence) {
-  CP_RETURN_IF_ERROR(ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
+  CP_RETURN_IF_ERROR(
+      ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
   if (!(confidence > 0.0 && confidence < 1.0)) {
     return Status::InvalidArgument(
         StringF("confidence must be in (0, 1); got %g", confidence));
   }
   const double total = TotalLambda(interval_lambdas);
   CP_ASSIGN_OR_RETURN(
-      int price, SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
+      int price,
+      SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
         const double rate =
             total * acceptance.ProbabilityAt(static_cast<double>(c));
         CP_ASSIGN_OR_RETURN(double sf, stats::PoissonSf(num_tasks, rate));
@@ -127,12 +134,15 @@ Result<FixedPriceSolution> SolveFixedForExpectedRemaining(
     int num_tasks, const std::vector<double>& interval_lambdas,
     const choice::AcceptanceFunction& acceptance, int max_price_cents,
     double bound) {
-  CP_RETURN_IF_ERROR(ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
+  CP_RETURN_IF_ERROR(
+      ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
   if (!(bound >= 0.0)) {
-    return Status::InvalidArgument(StringF("bound must be >= 0; got %g", bound));
+    return Status::InvalidArgument(
+        StringF("bound must be >= 0; got %g", bound));
   }
   CP_ASSIGN_OR_RETURN(
-      int price, SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
+      int price,
+      SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
         CP_ASSIGN_OR_RETURN(
             FixedPriceSolution sol,
             EvaluateFixedPrice(c, num_tasks, interval_lambdas, acceptance));
@@ -141,16 +151,16 @@ Result<FixedPriceSolution> SolveFixedForExpectedRemaining(
   return EvaluateFixedPrice(price, num_tasks, interval_lambdas, acceptance);
 }
 
-Result<double> ExpectedFinishTimeHours(int num_tasks,
-                                       const arrival::PiecewiseConstantRate& rate,
-                                       double acceptance_probability,
-                                       double tail_epsilon) {
+Result<double> ExpectedFinishTimeHours(
+    int num_tasks, const arrival::PiecewiseConstantRate& rate,
+    double acceptance_probability, double tail_epsilon) {
   if (num_tasks < 1) {
     return Status::InvalidArgument("num_tasks must be >= 1");
   }
   if (!(acceptance_probability >= 0.0 && acceptance_probability <= 1.0)) {
     return Status::InvalidArgument(
-        StringF("acceptance probability %g outside [0, 1]", acceptance_probability));
+        StringF("acceptance probability %g outside [0, 1]",
+                acceptance_probability));
   }
   if (!(tail_epsilon > 0.0 && tail_epsilon < 1.0)) {
     return Status::InvalidArgument("tail_epsilon must be in (0, 1)");
@@ -176,7 +186,8 @@ Result<double> ExpectedFinishTimeHours(int num_tasks,
     const double seg = step;
     cumulative += rate.At(t) * seg * acceptance_probability;
     t += seg;
-    CP_ASSIGN_OR_RETURN(double pr, stats::PoissonCdf(num_tasks - 1, cumulative));
+    CP_ASSIGN_OR_RETURN(double pr,
+                        stats::PoissonCdf(num_tasks - 1, cumulative));
     expected += 0.5 * (prev_pr + pr) * seg;
     prev_pr = pr;
     if (pr < tail_epsilon) {
@@ -187,7 +198,8 @@ Result<double> ExpectedFinishTimeHours(int num_tasks,
     }
   }
   return Status::NumericError(
-      StringF("expected finish time did not converge within %g hours", max_hours));
+      StringF("expected finish time did not converge within %g hours",
+              max_hours));
 }
 
 Result<FixedPriceSolution> SolveFixedForExpectedFinishTime(
@@ -204,7 +216,8 @@ Result<FixedPriceSolution> SolveFixedForExpectedFinishTime(
     return Status::InvalidArgument("max_price_cents must be >= 0");
   }
   CP_ASSIGN_OR_RETURN(
-      int price, SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
+      int price,
+      SearchSmallestPrice(max_price_cents, [&](int c) -> Result<bool> {
         const double p = acceptance.ProbabilityAt(static_cast<double>(c));
         if (!(p > 0.0)) return false;
         CP_ASSIGN_OR_RETURN(double finish,
@@ -215,11 +228,11 @@ Result<FixedPriceSolution> SolveFixedForExpectedFinishTime(
   return EvaluateFixedPrice(price, num_tasks, {total}, acceptance);
 }
 
-Result<int> TheoreticalMinimumPrice(int num_tasks,
-                                    const std::vector<double>& interval_lambdas,
-                                    const choice::AcceptanceFunction& acceptance,
-                                    int max_price_cents) {
-  CP_RETURN_IF_ERROR(ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
+Result<int> TheoreticalMinimumPrice(
+    int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents) {
+  CP_RETURN_IF_ERROR(
+      ValidateCommon(num_tasks, interval_lambdas, max_price_cents));
   const double total = TotalLambda(interval_lambdas);
   if (!(total > 0.0)) {
     return Status::FailedPrecondition("no worker arrivals over the horizon");

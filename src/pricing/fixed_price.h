@@ -55,20 +55,18 @@ Result<FixedPriceSolution> SolveFixedForExpectedRemaining(
 
 /// §5.2.1's theoretical lower bound c0 on any strategy's average reward:
 /// the smallest c with p(c) >= N / Lambda(0, T).
-Result<int> TheoreticalMinimumPrice(int num_tasks,
-                                    const std::vector<double>& interval_lambdas,
-                                    const choice::AcceptanceFunction& acceptance,
-                                    int max_price_cents);
+Result<int> TheoreticalMinimumPrice(
+    int num_tasks, const std::vector<double>& interval_lambdas,
+    const choice::AcceptanceFunction& acceptance, int max_price_cents);
 
 /// Expected time (hours) until the num_tasks-th completion at a fixed
 /// price, under the (periodically extended) rate function: E[T_N] with
 /// T_N = inf{t : N(t) >= N} for the thinned NHPP. Computed by integrating
 /// Pr[N(t) < N] over time; `tail_epsilon` bounds the ignored tail mass.
 /// Errors when the long-run completion rate is zero.
-Result<double> ExpectedFinishTimeHours(int num_tasks,
-                                       const arrival::PiecewiseConstantRate& rate,
-                                       double acceptance_probability,
-                                       double tail_epsilon = 1e-9);
+Result<double> ExpectedFinishTimeHours(
+    int num_tasks, const arrival::PiecewiseConstantRate& rate,
+    double acceptance_probability, double tail_epsilon = 1e-9);
 
 /// Faridani et al.'s original scheme: the smallest fixed price whose
 /// *expected completion time* of the whole batch is within the deadline.

@@ -90,8 +90,10 @@ size_t MultiTypePlan::PolicyIndex(int n1, int n2, int t) const {
   return StateIndex(n1, n2, t);
 }
 
-Result<std::pair<int, int>> MultiTypePlan::PricesAt(int n1, int n2, int t) const {
-  if (n1 < 0 || n1 > problem_.num_tasks_1 || n2 < 0 || n2 > problem_.num_tasks_2) {
+Result<std::pair<int, int>> MultiTypePlan::PricesAt(int n1, int n2,
+                                                    int t) const {
+  if (n1 < 0 || n1 > problem_.num_tasks_1 || n2 < 0 ||
+      n2 > problem_.num_tasks_2) {
     return Status::OutOfRange("state out of range");
   }
   if (t < 0 || t >= problem_.num_intervals) {
@@ -108,7 +110,8 @@ Result<std::pair<int, int>> MultiTypePlan::PricesAt(int n1, int n2, int t) const
 }
 
 Result<double> MultiTypePlan::OptAt(int n1, int n2, int t) const {
-  if (n1 < 0 || n1 > problem_.num_tasks_1 || n2 < 0 || n2 > problem_.num_tasks_2) {
+  if (n1 < 0 || n1 > problem_.num_tasks_1 || n2 < 0 ||
+      n2 > problem_.num_tasks_2) {
     return Status::OutOfRange("state out of range");
   }
   if (t < 0 || t > problem_.num_intervals) {
@@ -138,10 +141,11 @@ void CollapseTail(const stats::TruncatedPoisson& tp, int n,
 
 }  // namespace
 
-Result<MultiTypePlan> SolveMultiType(const MultiTypeProblem& problem,
-                                     const std::vector<double>& interval_lambdas,
-                                     const JointLogitAcceptance& acceptance,
-                                     const MultiTypeOptions& options) {
+Result<MultiTypePlan> SolveMultiType(
+    const MultiTypeProblem& problem,
+    const std::vector<double>& interval_lambdas,
+    const JointLogitAcceptance& acceptance,
+    const MultiTypeOptions& options) {
   CP_RETURN_IF_ERROR(problem.Validate());
   if (interval_lambdas.size() != static_cast<size_t>(problem.num_intervals)) {
     return Status::InvalidArgument(

@@ -31,7 +31,8 @@ class JointLogitAcceptance {
                                              double b2, double m);
 
   /// (p_1, p_2) at the given price pair.
-  std::pair<double, double> ProbabilitiesAt(double c1_cents, double c2_cents) const;
+  std::pair<double, double> ProbabilitiesAt(double c1_cents,
+                                            double c2_cents) const;
 
  private:
   JointLogitAcceptance(double s1, double b1, double s2, double b2, double m)
@@ -123,10 +124,11 @@ struct MultiTypeOptions {
 /// per-interval transition is factored through the kernel layer: one
 /// collapsed correlation per (pair, type-1 row) instead of the historical
 /// O(s0^2) per-state double sum, dropping a factor of ~s0 of work.
-Result<MultiTypePlan> SolveMultiType(const MultiTypeProblem& problem,
-                                     const std::vector<double>& interval_lambdas,
-                                     const JointLogitAcceptance& acceptance,
-                                     const MultiTypeOptions& options = {});
+Result<MultiTypePlan> SolveMultiType(
+    const MultiTypeProblem& problem,
+    const std::vector<double>& interval_lambdas,
+    const JointLogitAcceptance& acceptance,
+    const MultiTypeOptions& options = {});
 
 /// Nominal forecast of playing a MultiTypePlan against the marketplace it
 /// was solved for (the multi-type analogue of EvaluatePolicyNominal).

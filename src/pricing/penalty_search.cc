@@ -39,7 +39,8 @@ Result<BoundSolveResult> SolveForExpectedRemaining(
     const DeadlineProblem& problem, const std::vector<double>& interval_lambdas,
     const ActionSet& actions, double bound, const BoundSolveOptions& options) {
   if (!(bound >= 0.0) || !std::isfinite(bound)) {
-    return Status::InvalidArgument(StringF("bound must be finite, >= 0; got %g", bound));
+    return Status::InvalidArgument(
+        StringF("bound must be finite, >= 0; got %g", bound));
   }
   if (options.max_iterations < 1) {
     return Status::InvalidArgument("max_iterations must be >= 1");

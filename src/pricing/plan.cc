@@ -26,7 +26,8 @@ Status DeadlinePlan::CheckState(int n, int t, bool terminal_ok) const {
     return Status::OutOfRange(
         StringF("n = %d outside [0, %d]", n, problem_.num_tasks));
   }
-  const int t_max = terminal_ok ? problem_.num_intervals : problem_.num_intervals - 1;
+  const int t_max =
+      terminal_ok ? problem_.num_intervals : problem_.num_intervals - 1;
   if (t < 0 || t > t_max) {
     return Status::OutOfRange(StringF("t = %d outside [0, %d]", t, t_max));
   }

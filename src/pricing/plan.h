@@ -4,12 +4,17 @@
 #define CROWDPRICE_PRICING_PLAN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "pricing/action.h"
 #include "pricing/problem.h"
 #include "util/result.h"
+
+namespace crowdprice::kernel {
+class PmfArena;
+}  // namespace crowdprice::kernel
 
 namespace crowdprice::pricing {
 
@@ -23,7 +28,9 @@ class DeadlinePlan {
   const DeadlineProblem& problem() const { return problem_; }
   const ActionSet& actions() const { return actions_; }
   /// lambda_t for t = 0..NT-1.
-  const std::vector<double>& interval_lambdas() const { return interval_lambdas_; }
+  const std::vector<double>& interval_lambdas() const {
+    return interval_lambdas_;
+  }
 
   int num_tasks() const { return problem_.num_tasks; }
   int num_intervals() const { return problem_.num_intervals; }
@@ -63,13 +70,32 @@ class DeadlinePlan {
   /// Row of Opt(., t), indexed by n in [0, N]; t in [0, NT].
   const double* OptLayer(int t) const { return opt_.data() + LayerOffset(t); }
   double* MutableOptLayer(int t) { return opt_.data() + LayerOffset(t); }
-  /// Row of Price(., t) action indices, n in [0, N] (n = 0 is -1); t in [0, NT).
+  /// Row of Price(., t) action indices, n in [0, N] (n = 0 is -1); t in
+  /// [0, NT).
   const int32_t* ActionLayer(int t) const {
     return action_idx_.data() + LayerOffset(t);
   }
   int32_t* MutableActionLayer(int t) {
     return action_idx_.data() + LayerOffset(t);
   }
+
+  // --- Solve-time pmf tables --------------------------------------------
+  // The solver attaches the arena its scans ran over, so evaluators can
+  // replay the plan's nominal forward pass without rebuilding any
+  // truncated pmf (policy_eval reuses it when the evaluation trace equals
+  // the plan's). Deserialized plans carry none.
+  void SetSolveArena(std::shared_ptr<const kernel::PmfArena> arena,
+                     std::vector<int> table_ids) {
+    solve_arena_ = std::move(arena);
+    arena_table_ids_ = std::move(table_ids);
+  }
+  /// The solve's arena, or null when the plan was not produced by a solve.
+  const std::shared_ptr<const kernel::PmfArena>& solve_arena() const {
+    return solve_arena_;
+  }
+  /// Arena table id per (interval, action), interval-major
+  /// [t * num_actions + a]; empty iff solve_arena() is null.
+  const std::vector<int>& arena_table_ids() const { return arena_table_ids_; }
 
   // --- Diagnostics ---
   double solve_seconds = 0.0;
@@ -84,7 +110,8 @@ class DeadlinePlan {
  private:
   Status CheckState(int n, int t, bool terminal_ok) const;
   size_t LayerOffset(int t) const {
-    return static_cast<size_t>(t) * (static_cast<size_t>(problem_.num_tasks) + 1);
+    return static_cast<size_t>(t) *
+           (static_cast<size_t>(problem_.num_tasks) + 1);
   }
 
   DeadlineProblem problem_;
@@ -94,6 +121,8 @@ class DeadlinePlan {
   std::vector<double> opt_;
   /// action_idx_[t * (N+1) + n], t in [0, NT), n in [0, N] (n = 0 unused).
   std::vector<int32_t> action_idx_;
+  std::shared_ptr<const kernel::PmfArena> solve_arena_;
+  std::vector<int> arena_table_ids_;
 };
 
 }  // namespace crowdprice::pricing

@@ -10,12 +10,16 @@
 //      validation of the exact pass and for simulation-backed experiments)?
 //
 // The exact evaluator propagates the full distribution over remaining tasks
-// forward through the chain, O(NT * N * s0).
+// forward through the chain, O(NT * N * s0). The per-interval body runs on
+// LayerScanKernel::EvaluateLayer over a PmfArena -- the scalar backend
+// reproduces the historical hand-rolled loop bit-exactly, SIMD backends
+// agree to ~1e-12, and a future GPU backend plugs in at the same seam.
 
 #ifndef CROWDPRICE_PRICING_POLICY_EVAL_H_
 #define CROWDPRICE_PRICING_POLICY_EVAL_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "choice/acceptance.h"
@@ -23,7 +27,30 @@
 #include "util/result.h"
 #include "util/rng.h"
 
+namespace crowdprice::kernel {
+class PmfShareCache;
+}  // namespace crowdprice::kernel
+
 namespace crowdprice::pricing {
+
+/// Knobs for the exact evaluators. Defaults reproduce the historical
+/// numbers (fastest backend; under a SIMD backend within ~1e-12 of the
+/// scalar anchor, which is itself bit-identical to the pre-kernel code).
+struct EvalOptions {
+  /// LayerScanKernel backend for the forward pass; empty selects the
+  /// $CROWDPRICE_KERNEL override when set, else the fastest registered.
+  std::string kernel_backend;
+  /// Cross-solve cache for freshly built evaluation tables (exact-bit
+  /// keys; see kernel/pmf_cache.h). Not owned; may be null.
+  kernel::PmfShareCache* share_cache = nullptr;
+  /// When the evaluation trace equals the plan's planning model and the
+  /// plan still carries its solve arena, replay over that arena instead of
+  /// rebuilding every truncated pmf (the nominal-evaluation fast path).
+  /// The solver deduplicates by quantized rate, so if distinct exact rates
+  /// shared a bucket during the solve the reused tables can differ from a
+  /// fresh build in the last ulp; set false to force the rebuild.
+  bool reuse_plan_arena = true;
+};
 
 struct PolicyEvaluation {
   /// Expected transition cost (rewards paid), cents.
@@ -47,17 +74,21 @@ struct PolicyEvaluation {
 /// model.
 Result<PolicyEvaluation> EvaluatePolicy(const DeadlinePlan& plan,
                                         const std::vector<double>& true_lambdas,
-                                        const std::vector<double>& true_probs);
+                                        const std::vector<double>& true_probs,
+                                        const EvalOptions& options = {});
 
 /// Convenience: true probabilities from an acceptance function applied to
 /// each action's per-task cost (unit-bundle action sets).
 Result<PolicyEvaluation> EvaluatePolicyUnderMarket(
     const DeadlinePlan& plan, const std::vector<double>& true_lambdas,
-    const choice::AcceptanceFunction& true_acceptance);
+    const choice::AcceptanceFunction& true_acceptance,
+    const EvalOptions& options = {});
 
 /// Evaluates under the planning model itself (sanity: expected_objective
-/// matches plan.TotalObjective() up to truncation error).
-Result<PolicyEvaluation> EvaluatePolicyNominal(const DeadlinePlan& plan);
+/// matches plan.TotalObjective() up to truncation error). Reuses the
+/// plan's solve arena when present (see EvalOptions::reuse_plan_arena).
+Result<PolicyEvaluation> EvaluatePolicyNominal(const DeadlinePlan& plan,
+                                               const EvalOptions& options = {});
 
 /// One Monte-Carlo trajectory of the interval process.
 struct PolicyTrajectory {
@@ -66,10 +97,9 @@ struct PolicyTrajectory {
   /// Price posted in each interval (diagnostic; Fig. 9 right column).
   std::vector<double> prices;
 };
-Result<PolicyTrajectory> SimulatePolicyOnce(const DeadlinePlan& plan,
-                                            const std::vector<double>& true_lambdas,
-                                            const std::vector<double>& true_probs,
-                                            Rng& rng);
+Result<PolicyTrajectory> SimulatePolicyOnce(
+    const DeadlinePlan& plan, const std::vector<double>& true_lambdas,
+    const std::vector<double>& true_probs, Rng& rng);
 
 }  // namespace crowdprice::pricing
 

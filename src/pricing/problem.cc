@@ -17,7 +17,8 @@ Status DeadlineProblem::Validate() const {
   }
   if (!(penalty_cents >= 0.0) || !std::isfinite(penalty_cents)) {
     return Status::InvalidArgument(
-        StringF("penalty_cents must be finite and >= 0; got %g", penalty_cents));
+        StringF("penalty_cents must be finite and >= 0; got %g",
+                penalty_cents));
   }
   if (!(extra_penalty_alpha >= 0.0) || !std::isfinite(extra_penalty_alpha)) {
     return Status::InvalidArgument(
@@ -26,7 +27,8 @@ Status DeadlineProblem::Validate() const {
   }
   if (!(truncation_epsilon > 0.0 && truncation_epsilon < 1.0)) {
     return Status::InvalidArgument(
-        StringF("truncation_epsilon must be in (0, 1); got %g", truncation_epsilon));
+        StringF("truncation_epsilon must be in (0, 1); got %g",
+                truncation_epsilon));
   }
   return Status::OK();
 }

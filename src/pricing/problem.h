@@ -33,7 +33,8 @@ struct DeadlineProblem {
 
   double TerminalPenalty(int remaining) const {
     if (remaining <= 0) return 0.0;
-    return (static_cast<double>(remaining) + extra_penalty_alpha) * penalty_cents;
+    return (static_cast<double>(remaining) + extra_penalty_alpha) *
+           penalty_cents;
   }
 };
 

@@ -12,7 +12,8 @@ namespace crowdprice::pricing {
 Result<double> PosteriorProbability(double prior, double accuracy, int no_count,
                                     int yes_count) {
   if (!(prior > 0.0 && prior < 1.0)) {
-    return Status::InvalidArgument(StringF("prior must be in (0, 1); got %g", prior));
+    return Status::InvalidArgument(
+        StringF("prior must be in (0, 1); got %g", prior));
   }
   if (!(accuracy > 0.5 && accuracy < 1.0)) {
     return Status::InvalidArgument(
@@ -24,7 +25,8 @@ Result<double> PosteriorProbability(double prior, double accuracy, int no_count,
   // Work in log space; Yes answers support label 1, No answers label 0.
   const double log_acc = std::log(accuracy);
   const double log_err = std::log(1.0 - accuracy);
-  const double log_one = std::log(prior) + yes_count * log_acc + no_count * log_err;
+  const double log_one =
+      std::log(prior) + yes_count * log_acc + no_count * log_err;
   const double log_zero =
       std::log(1.0 - prior) + yes_count * log_err + no_count * log_acc;
   const double shift = std::max(log_one, log_zero);
@@ -72,8 +74,9 @@ Result<QualityStrategy> QualityStrategy::MajorityVote(int max_questions) {
   for (int s = 0; s <= max_questions; ++s) {
     for (int x = 0; x <= s; ++x) {
       const int y = s - x;
-      const size_t idx = static_cast<size_t>(s) * (static_cast<size_t>(s) + 1) / 2 +
-                         static_cast<size_t>(x);
+      const size_t idx =
+          static_cast<size_t>(s) * (static_cast<size_t>(s) + 1) / 2 +
+          static_cast<size_t>(x);
       if (y >= majority) {
         decisions[idx] = QcDecision::kPass;
       } else if (x >= majority) {
@@ -104,8 +107,9 @@ Result<QualityStrategy> QualityStrategy::PosteriorThreshold(
       const int y = s - x;
       CP_ASSIGN_OR_RETURN(double post,
                           PosteriorProbability(prior, accuracy, x, y));
-      const size_t idx = static_cast<size_t>(s) * (static_cast<size_t>(s) + 1) / 2 +
-                         static_cast<size_t>(x);
+      const size_t idx =
+          static_cast<size_t>(s) * (static_cast<size_t>(s) + 1) / 2 +
+          static_cast<size_t>(x);
       if (s == max_questions) {
         decisions[idx] = post >= 0.5 ? QcDecision::kPass : QcDecision::kFail;
       } else if (post >= pass_threshold) {
@@ -118,7 +122,8 @@ Result<QualityStrategy> QualityStrategy::PosteriorThreshold(
   return QualityStrategy(max_questions, std::move(decisions));
 }
 
-Result<QcDecision> QualityStrategy::DecisionAt(int no_count, int yes_count) const {
+Result<QcDecision> QualityStrategy::DecisionAt(int no_count,
+                                               int yes_count) const {
   if (no_count < 0 || yes_count < 0 || no_count + yes_count > max_questions_) {
     return Status::OutOfRange(
         StringF("(%d, %d) outside the strategy grid (cap %d)", no_count,
@@ -139,7 +144,8 @@ Result<int> QualityStrategy::WorstCaseAdditionalQuestions(int no_count,
 
 Result<double> QualityStrategy::ExpectedQuestions(double p_yes) const {
   if (!(p_yes >= 0.0 && p_yes <= 1.0)) {
-    return Status::InvalidArgument(StringF("p_yes must be in [0, 1]; got %g", p_yes));
+    return Status::InvalidArgument(
+        StringF("p_yes must be in [0, 1]; got %g", p_yes));
   }
   // reach(x, y): probability of arriving at (x, y) with the strategy still
   // undecided. Each visit to a Continue point consumes one more answer.
@@ -195,7 +201,8 @@ Result<PosteriorIntervalCompression> PosteriorIntervalCompression::Create(
     for (int x = 0; x <= s; ++x) {
       const int y = s - x;
       ++num_points;
-      CP_ASSIGN_OR_RETURN(double post, PosteriorProbability(prior, accuracy, x, y));
+      CP_ASSIGN_OR_RETURN(double post,
+                          PosteriorProbability(prior, accuracy, x, y));
       int bucket = static_cast<int>(post / a);
       bucket = std::min(bucket, num_buckets - 1);
       const size_t point_idx =
@@ -257,7 +264,8 @@ Result<QualitySimResult> SimulateQualityPricing(
     return Status::InvalidArgument("num_items must be >= 1");
   }
   if (!(prior > 0.0 && prior < 1.0) || !(accuracy > 0.5 && accuracy < 1.0)) {
-    return Status::InvalidArgument("prior in (0,1) and accuracy in (0.5,1) required");
+    return Status::InvalidArgument(
+        "prior in (0,1) and accuracy in (0.5,1) required");
   }
   CP_ASSIGN_OR_RETURN(int wc0, strategy.WorstCaseAdditionalQuestions(0, 0));
   const long long virtual_n = static_cast<long long>(num_items) * wc0;
@@ -305,8 +313,8 @@ Result<QualitySimResult> SimulateQualityPricing(
                         price_acceptance[static_cast<size_t>(a_idx)];
     const int answers = stats::SamplePoisson(rng, rate);
     for (int k = 0; k < answers && !undecided.empty(); ++k) {
-      const size_t pick =
-          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(undecided.size()) - 1));
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(undecided.size()) - 1));
       Item& item = items[static_cast<size_t>(undecided[pick])];
       const bool correct = rng.Bernoulli(accuracy);
       const bool answer_yes = item.label == correct;
@@ -319,8 +327,9 @@ Result<QualitySimResult> SimulateQualityPricing(
       result.cost_cents += action.cost_per_task_cents;
       CP_ASSIGN_OR_RETURN(QcDecision decision,
                           strategy.DecisionAt(item.no, item.yes));
-      CP_ASSIGN_OR_RETURN(int new_wc,
-                          strategy.WorstCaseAdditionalQuestions(item.no, item.yes));
+      CP_ASSIGN_OR_RETURN(
+          int new_wc,
+          strategy.WorstCaseAdditionalQuestions(item.no, item.yes));
       n_prime += new_wc - item.wc;
       item.wc = new_wc;
       if (decision != QcDecision::kContinue) {

@@ -45,10 +45,9 @@ class QualityStrategy {
   /// answers were collected; at the question cap, decide by posterior >= 0.5.
   /// Requires 0 < fail_threshold < pass_threshold < 1 and accuracy in
   /// (0.5, 1).
-  static Result<QualityStrategy> PosteriorThreshold(int max_questions,
-                                                    double prior, double accuracy,
-                                                    double pass_threshold,
-                                                    double fail_threshold);
+  static Result<QualityStrategy> PosteriorThreshold(
+      int max_questions, double prior, double accuracy,
+      double pass_threshold, double fail_threshold);
 
   int max_questions() const { return max_questions_; }
 

@@ -53,7 +53,8 @@ Result<double> ParseDouble(const std::string& token, const char* what) {
   char* end = nullptr;
   const double v = std::strtod(token.c_str(), &end);
   if (end == token.c_str() || *end != '\0') {
-    return Status::InvalidArgument(StringF("%s: bad number '%s'", what, token.c_str()));
+    return Status::InvalidArgument(
+        StringF("%s: bad number '%s'", what, token.c_str()));
   }
   return v;
 }
@@ -62,7 +63,8 @@ Result<long> ParseInt(const std::string& token, const char* what) {
   char* end = nullptr;
   const long v = std::strtol(token.c_str(), &end, 10);
   if (end == token.c_str() || *end != '\0') {
-    return Status::InvalidArgument(StringF("%s: bad integer '%s'", what, token.c_str()));
+    return Status::InvalidArgument(
+        StringF("%s: bad integer '%s'", what, token.c_str()));
   }
   return v;
 }
@@ -118,10 +120,12 @@ Result<DeadlinePlan> DeserializePlan(const std::string& text) {
   }
   DeadlineProblem problem;
   CP_ASSIGN_OR_RETURN(long num_tasks, ParseInt(ptokens[1], "num_tasks"));
-  CP_ASSIGN_OR_RETURN(long num_intervals, ParseInt(ptokens[2], "num_intervals"));
+  CP_ASSIGN_OR_RETURN(long num_intervals,
+                      ParseInt(ptokens[2], "num_intervals"));
   problem.num_tasks = static_cast<int>(num_tasks);
   problem.num_intervals = static_cast<int>(num_intervals);
-  CP_ASSIGN_OR_RETURN(problem.penalty_cents, ParseDouble(ptokens[3], "penalty"));
+  CP_ASSIGN_OR_RETURN(problem.penalty_cents,
+                      ParseDouble(ptokens[3], "penalty"));
   CP_ASSIGN_OR_RETURN(problem.extra_penalty_alpha,
                       ParseDouble(ptokens[4], "alpha"));
   CP_ASSIGN_OR_RETURN(problem.truncation_epsilon,
@@ -149,7 +153,8 @@ Result<DeadlinePlan> DeserializePlan(const std::string& text) {
   }
   CP_ASSIGN_OR_RETURN(long num_actions, ParseInt(atokens[1], "action count"));
   if (num_actions < 1 || num_actions > (1 << 20)) {
-    return Status::InvalidArgument(StringF("implausible action count %ld", num_actions));
+    return Status::InvalidArgument(
+        StringF("implausible action count %ld", num_actions));
   }
   std::vector<PricingAction> actions;
   for (long i = 0; i < num_actions; ++i) {
@@ -179,11 +184,11 @@ Result<DeadlinePlan> DeserializePlan(const std::string& text) {
         auto tokens,
         Tokens(line, static_cast<size_t>(problem.num_intervals), "policy row"));
     for (int t = 0; t < problem.num_intervals; ++t) {
-      CP_ASSIGN_OR_RETURN(long idx,
-                          ParseInt(tokens[static_cast<size_t>(t)], "policy index"));
+      CP_ASSIGN_OR_RETURN(
+          long idx, ParseInt(tokens[static_cast<size_t>(t)], "policy index"));
       if (idx < -1 || idx >= num_actions) {
-        return Status::InvalidArgument(
-            StringF("policy index %ld out of range at (n=%d, t=%d)", idx, n, t));
+        return Status::InvalidArgument(StringF(
+            "policy index %ld out of range at (n=%d, t=%d)", idx, n, t));
       }
       plan.SetActionIndex(n, t, static_cast<int>(idx));
     }
@@ -195,12 +200,13 @@ Result<DeadlinePlan> DeserializePlan(const std::string& text) {
   }
   for (int n = 0; n <= problem.num_tasks; ++n) {
     CP_ASSIGN_OR_RETURN(std::string line, reader.Next("opt row"));
-    CP_ASSIGN_OR_RETURN(
-        auto tokens,
-        Tokens(line, static_cast<size_t>(problem.num_intervals) + 1, "opt row"));
+    CP_ASSIGN_OR_RETURN(auto tokens,
+                        Tokens(line,
+                               static_cast<size_t>(problem.num_intervals) + 1,
+                               "opt row"));
     for (int t = 0; t <= problem.num_intervals; ++t) {
-      CP_ASSIGN_OR_RETURN(double v,
-                          ParseDouble(tokens[static_cast<size_t>(t)], "opt value"));
+      CP_ASSIGN_OR_RETURN(
+          double v, ParseDouble(tokens[static_cast<size_t>(t)], "opt value"));
       plan.SetOpt(n, t, v);
     }
   }

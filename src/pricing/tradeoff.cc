@@ -15,7 +15,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 Status ValidateArgs(double alpha, int max_price_cents) {
   if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
-    return Status::InvalidArgument(StringF("alpha must be finite, >= 0; got %g", alpha));
+    return Status::InvalidArgument(
+        StringF("alpha must be finite, >= 0; got %g", alpha));
   }
   if (max_price_cents < 0) {
     return Status::InvalidArgument("max_price_cents must be >= 0");
@@ -51,10 +52,12 @@ Result<TradeoffSolution> SolveFixedRateTradeoff(
   CP_RETURN_IF_ERROR(ValidateArgs(alpha_cents_per_interval, max_price_cents));
   if (!(lambda_per_interval > 0.0) || !std::isfinite(lambda_per_interval)) {
     return Status::InvalidArgument(
-        StringF("lambda_per_interval must be > 0; got %g", lambda_per_interval));
+        StringF("lambda_per_interval must be > 0; got %g",
+                lambda_per_interval));
   }
   if (!(two_completion_tolerance > 0.0 && two_completion_tolerance <= 1.0)) {
-    return Status::InvalidArgument("two_completion_tolerance must be in (0, 1]");
+    return Status::InvalidArgument(
+        "two_completion_tolerance must be in (0, 1]");
   }
   std::vector<double> objective(static_cast<size_t>(max_price_cents) + 1, kInf);
   std::vector<double> latency(static_cast<size_t>(max_price_cents) + 1, kInf);

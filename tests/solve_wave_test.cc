@@ -1,0 +1,193 @@
+// SolveWave tests: batched solving over the SolverPool farm is
+// bit-identical to sequential Engine::Solve (Serialize() equality), for
+// any pool size; mixed-kind waves keep spec order with per-slot errors;
+// coinciding rate profiles share pmf blocks through the wave's cache; and
+// evaluate=true precomputes the same nominal evaluation Evaluate() would.
+
+#include "engine/solve_wave.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "choice/acceptance.h"
+#include "engine/engine.h"
+#include "kernel/pmf_cache.h"
+#include "pricing/policy_eval.h"
+
+#include "test_util.h"
+
+namespace crowdprice::engine {
+namespace {
+
+const choice::LogitAcceptance& PaperAcceptance() {
+  static const choice::LogitAcceptance acceptance =
+      choice::LogitAcceptance::Paper2014();
+  return acceptance;
+}
+
+DeadlineDpSpec DeadlineSpec(int num_tasks, double lambda,
+                            double penalty = 180.0) {
+  DeadlineDpSpec spec;
+  spec.problem.num_tasks = num_tasks;
+  spec.problem.num_intervals = 6;
+  spec.problem.penalty_cents = penalty;
+  spec.interval_lambdas.assign(6, lambda);
+  spec.actions = pricing::ActionSet::FromPriceGrid(30, PaperAcceptance()).value();
+  return spec;
+}
+
+// A fleet-shaped wave: many campaigns stamped from few rate profiles (the
+// sharing opportunity SolveWave exists for), plus non-deadline kinds.
+std::vector<PolicySpec> MixedWave() {
+  std::vector<PolicySpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    // Two distinct profiles, three campaigns each; tasks vary per campaign.
+    specs.push_back(DeadlineSpec(15 + i, i % 2 == 0 ? 1400.0 : 2100.0));
+  }
+  FixedPriceSpec fixed;
+  fixed.num_tasks = 20;
+  fixed.interval_lambdas.assign(6, 1500.0);
+  fixed.acceptance = &PaperAcceptance();
+  fixed.max_price_cents = 40;
+  specs.push_back(fixed);
+  BudgetStaticSpec budget;
+  budget.num_tasks = 40;
+  budget.budget_cents = 600.0;
+  budget.acceptance = &PaperAcceptance();
+  budget.max_price_cents = 40;
+  specs.push_back(budget);
+  return specs;
+}
+
+TEST(SolveWaveTest, BitIdenticalToSequentialSolveForAnyPoolSize) {
+  std::vector<PolicySpec> specs = MixedWave();
+  std::vector<std::string> sequential;
+  for (const PolicySpec& spec : specs) {
+    auto artifact = Engine::Solve(spec);
+    ASSERT_TRUE(artifact.ok()) << artifact.status();
+    sequential.push_back(artifact->Serialize().value());
+  }
+
+  for (int threads : {1, 2, 3}) {
+    SolverPool pool(threads);
+    kernel::PmfShareCache cache;
+    SolveWaveOptions options;
+    options.pool = &pool;
+    options.share_cache = &cache;
+    auto results = SolveWave(specs, options);
+    ASSERT_EQ(results.size(), specs.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << "pool=" << threads << " slot " << i << ": "
+          << results[i].status();
+      EXPECT_EQ(results[i]->Serialize().value(), sequential[i])
+          << "pool=" << threads << " slot " << i;
+    }
+  }
+}
+
+TEST(SolveWaveTest, CoincidingProfilesSharePmfBlocks) {
+  std::vector<PolicySpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    specs.push_back(DeadlineSpec(20 + i, 1700.0));  // one shared profile
+  }
+  SolverPool pool(2);
+  kernel::PmfShareCache cache;
+  SolveWaveOptions options;
+  options.pool = &pool;
+  options.share_cache = &cache;
+  auto results = SolveWave(specs, options);
+  for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.status();
+  const kernel::PmfArena::Stats stats = cache.stats();
+  EXPECT_GT(stats.blocks_built, 0);
+  // Four campaigns on one rate profile: every solve after the first adopts
+  // the first one's blocks instead of rebuilding them.
+  EXPECT_GT(stats.blocks_shared, 0);
+  EXPECT_GT(cache.resident_bytes(), 0u);
+}
+
+TEST(SolveWaveTest, PerSlotErrorsNeverPoisonTheWave) {
+  std::vector<PolicySpec> specs;
+  specs.push_back(DeadlineSpec(15, 1400.0));
+  DeadlineDpSpec bad = DeadlineSpec(15, 1400.0);
+  bad.actions.reset();  // Solve rejects a spec without actions
+  specs.push_back(bad);
+  specs.push_back(DeadlineSpec(18, 2100.0));
+
+  SolverPool pool(2);
+  auto results = SolveWave(specs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok()) << results[0].status();
+  EXPECT_TRUE(results[1].status().IsInvalidArgument());
+  EXPECT_TRUE(results[2].ok()) << results[2].status();
+}
+
+TEST(SolveWaveTest, EvaluateFlagPrecomputesNominalEvaluation) {
+  std::vector<PolicySpec> specs;
+  specs.push_back(DeadlineSpec(15, 1400.0));
+  specs.push_back(DeadlineSpec(22, 2100.0));
+
+  SolverPool pool(2);
+  kernel::PmfShareCache cache;
+  SolveWaveOptions options;
+  options.pool = &pool;
+  options.share_cache = &cache;
+  options.evaluate = true;
+  auto results = SolveWave(specs, options);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status();
+    auto cached = results[i]->deadline_evaluation();
+    ASSERT_TRUE(cached.ok()) << cached.status();
+    // The precomputed evaluation is the same nominal forward pass a
+    // sequential Evaluate() call runs.
+    auto sequential = Engine::Solve(specs[i]);
+    ASSERT_TRUE(sequential.ok());
+    auto eval = sequential->Evaluate();
+    ASSERT_TRUE(eval.ok()) << eval.status();
+    EXPECT_DOUBLE_EQ((*cached)->expected_objective, eval->expected_objective);
+    EXPECT_DOUBLE_EQ((*cached)->expected_cost_cents, eval->expected_cost_cents);
+    EXPECT_DOUBLE_EQ((*cached)->expected_remaining, eval->expected_remaining);
+  }
+}
+
+TEST(SolveWaveTest, AdaptiveSpecsPassThroughUntouched) {
+  AdaptiveSpec adaptive;
+  adaptive.problem.num_tasks = 15;
+  adaptive.problem.num_intervals = 4;
+  adaptive.problem.penalty_cents = 120.0;
+  adaptive.believed_lambdas.assign(4, 300.0);
+  adaptive.actions = pricing::ActionSet::FromPriceGrid(25, PaperAcceptance()).value();
+  adaptive.horizon_hours = 8.0;
+  std::vector<PolicySpec> specs;
+  specs.push_back(adaptive);
+
+  SolverPool pool(1);
+  SolveWaveOptions options;
+  options.pool = &pool;
+  auto results = SolveWave(specs, options);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status();
+  EXPECT_EQ(results[0]->kind(), PolicyKind::kAdaptive);
+  auto controller = results[0]->MakeAdaptiveController();
+  ASSERT_TRUE(controller.ok()) << controller.status();
+  auto offer = test_util::SingleOffer(*controller, 0.0, 15);
+  ASSERT_TRUE(offer.ok()) << offer.status();
+}
+
+TEST(SolveWaveTest, PoolCountersBalanceAfterWaves) {
+  SolverPool pool(2);
+  std::vector<PolicySpec> specs;
+  for (int i = 0; i < 5; ++i) specs.push_back(DeadlineSpec(12 + i, 1600.0));
+  SolveWaveOptions options;
+  options.pool = &pool;
+  options.share_cache = nullptr;  // sharing off is also a supported mode
+  auto results = SolveWave(specs, options);
+  for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(pool.submitted(), 5);
+  EXPECT_EQ(pool.completed(), 5);
+}
+
+}  // namespace
+}  // namespace crowdprice::engine

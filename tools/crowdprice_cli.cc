@@ -10,6 +10,7 @@
 //       [--arrive-over 12] [--retire-frac 0.1] [--shards-sweep]
 //   crowdprice_cli multitype --tasks1 15 --tasks2 15 --hours 8
 //       --rate 80 --max-price 30 [--replicates 50] [--out plan.txt]
+//   crowdprice_cli solve --wave campaigns.txt [--threads K] [--evaluate]
 //   crowdprice_cli solvers
 //
 // Every policy is produced through engine::Solve; the CLI only builds the
@@ -21,6 +22,12 @@
 // first H hours (streaming admission at bucket edges while earlier
 // campaigns are in flight), and --retire-frac F pulls that fraction of
 // the fleet mid-run one hour after each victim's admission.
+// `solve` is the batch entry to the solve farm: each non-comment line of
+// the --wave file is one deadline campaign "tasks hours rate [penalty]"
+// (penalty omitted = bound mode at E[remaining] <= 0.5), and the whole
+// file is solved as one engine::SolveWave over a SolverPool, sharing
+// truncated-Poisson blocks across campaigns via the process-wide
+// PmfShareCache.
 // `multitype` solves the §6 joint two-type policy, plays it through the
 // OfferSheet decision surface (MakeController + RunMultiTypeSimulation)
 // and compares simulated per-type completions to the plan's nominal
@@ -34,6 +41,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -80,6 +88,10 @@ int Usage() {
       "      [--rate workers_per_hour] [--max-price C] [--stride S]\n"
       "      [--penalty1 P] [--penalty2 P] [--replicates R] [--seed K]\n"
       "      [--out plan.txt]\n"
+      "  crowdprice_cli solve --wave FILE [--threads K] [--max-price C]\n"
+      "      [--intervals-per-hour R] [--evaluate]  (batch-solve one\n"
+      "      deadline campaign per line \"tasks hours rate [penalty]\"\n"
+      "      through the solve farm; --evaluate also scores each policy)\n"
       "  crowdprice_cli solvers\n"
       "  crowdprice_cli kernels\n"
       "common acceptance overrides: --accept-s --accept-b --accept-m\n"
@@ -90,7 +102,9 @@ int Usage() {
 }
 
 // Flags that take no value; their presence alone sets them.
-bool IsBooleanFlag(const std::string& flag) { return flag == "shards-sweep"; }
+bool IsBooleanFlag(const std::string& flag) {
+  return flag == "shards-sweep" || flag == "evaluate";
+}
 
 Result<Args> Parse(int argc, char** argv) {
   if (argc < 2) return Status::InvalidArgument("missing command");
@@ -619,6 +633,139 @@ int RunMultiType(const Args& args) {
   return 0;
 }
 
+// Batch entry to the solve farm: one deadline campaign per wave-file line,
+// all solved in a single SolveWave over the process-wide pmf share cache.
+int RunSolveWave(const Args& args) {
+  if (!args.Has("wave")) {
+    std::cerr << "solve requires --wave FILE (one campaign per line: "
+                 "\"tasks hours rate [penalty]\")\n";
+    return 1;
+  }
+  const int threads = static_cast<int>(args.Num("threads", 0));
+  const int max_price = static_cast<int>(args.Num("max-price", 50));
+  const double intervals_per_hour = args.Num("intervals-per-hour", 3.0);
+  if (intervals_per_hour <= 0.0) {
+    std::cerr << "solve requires --intervals-per-hour > 0\n";
+    return 1;
+  }
+  auto acceptance = Acceptance(args);
+  if (!acceptance.ok()) {
+    std::cerr << acceptance.status() << "\n";
+    return 1;
+  }
+  auto actions = pricing::ActionSet::FromPriceGrid(max_price, *acceptance);
+  if (!actions.ok()) {
+    std::cerr << actions.status() << "\n";
+    return 2;
+  }
+
+  std::ifstream in(args.Str("wave", ""));
+  if (!in.good()) {
+    std::cerr << "cannot open " << args.Str("wave", "") << "\n";
+    return 1;
+  }
+  std::vector<engine::PolicySpec> specs;
+  std::vector<double> spec_hours;
+  std::string line;
+  for (int line_no = 1; std::getline(in, line); ++line_no) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream cells(line);
+    int tasks = 0;
+    double hours = 0.0, rate = 0.0;
+    if (!(cells >> tasks >> hours >> rate) || tasks < 1 || hours <= 0.0) {
+      std::cerr << StringF(
+          "%s:%d: expected \"tasks hours rate [penalty]\" with tasks >= 1 "
+          "and hours > 0\n",
+          args.Str("wave", "").c_str(), line_no);
+      return 1;
+    }
+    engine::DeadlineDpSpec spec;
+    const int intervals =
+        std::max(1, static_cast<int>(hours * intervals_per_hour));
+    spec.problem.num_tasks = tasks;
+    spec.problem.num_intervals = intervals;
+    spec.interval_lambdas.assign(static_cast<size_t>(intervals),
+                                 rate * hours / intervals);
+    spec.actions = *actions;
+    double penalty = 0.0;
+    if (cells >> penalty) {
+      spec.problem.penalty_cents = penalty;
+    } else {
+      spec.expected_remaining_bound = 0.5;
+    }
+    specs.push_back(std::move(spec));
+    spec_hours.push_back(hours);
+  }
+  if (specs.empty()) {
+    std::cerr << args.Str("wave", "") << ": no campaigns\n";
+    return 1;
+  }
+
+  engine::SolverPool pool(threads, /*background=*/false);
+  engine::SolveWaveOptions options;
+  options.pool = &pool;
+  options.evaluate = args.Has("evaluate");
+  options.kernel_backend = args.Str("kernel", "");
+  const auto start = std::chrono::steady_clock::now();
+  auto wave = engine::SolveWave(specs, options);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<std::string> columns = {"campaign", "tasks", "hours",
+                                      "opening price", "penalty used"};
+  if (options.evaluate) {
+    columns.push_back("E[cost] cents");
+    columns.push_back("E[left]");
+  }
+  Table table(columns);
+  int failed = 0;
+  for (size_t i = 0; i < wave.size(); ++i) {
+    if (!wave[i].ok()) {
+      ++failed;
+      std::cerr << StringF("campaign %zu: ", i) << wave[i].status() << "\n";
+      continue;
+    }
+    auto plan = wave[i]->deadline_plan();
+    if (!plan.ok()) {
+      std::cerr << plan.status() << "\n";
+      return 2;
+    }
+    std::vector<std::string> row = {
+        StringF("%zu", i), StringF("%d", (*plan)->num_tasks()),
+        StringF("%.1f", spec_hours[i]),
+        StringF("%.0f",
+                (*plan)->PriceAt((*plan)->num_tasks(), 0).value_or(-1)),
+        StringF("%.1f", wave[i]->penalty_used())};
+    if (options.evaluate) {
+      auto eval = wave[i]->deadline_evaluation();
+      if (!eval.ok()) {
+        std::cerr << eval.status() << "\n";
+        return 2;
+      }
+      row.push_back(StringF("%.0f", (*eval)->expected_cost_cents));
+      row.push_back(StringF("%.3f", (*eval)->expected_remaining));
+    }
+    (void)table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  const kernel::PmfArena::Stats share = kernel::PmfShareCache::Global().stats();
+  std::cout << StringF(
+      "\nsolved %zu of %zu campaign(s) in %.3f s on %d farm thread(s)\n",
+      wave.size() - static_cast<size_t>(failed), wave.size(), wall,
+      pool.size());
+  std::cout << StringF(
+      "pmf share cache: %lld block(s) built, %lld shared, %.1f KiB "
+      "resident\n",
+      static_cast<long long>(share.blocks_built),
+      static_cast<long long>(share.blocks_shared),
+      static_cast<double>(kernel::PmfShareCache::Global().resident_bytes()) /
+          1024.0);
+  return failed == 0 ? 0 : 2;
+}
+
 int RunSolvers() {
   std::cout << "registered solvers:\n";
   for (const std::string& line : engine::SolverRegistry::Global().Describe()) {
@@ -638,6 +785,15 @@ int RunKernels() {
   }
   std::cout << "force per solve with --kernel NAME or the CROWDPRICE_KERNEL "
                "environment variable.\n";
+  const kernel::PmfArena::Stats share = kernel::PmfShareCache::Global().stats();
+  std::cout << StringF(
+      "pmf share cache: %lld block(s) built, %lld shared, %.1f KiB "
+      "resident, %lld evicted\n",
+      static_cast<long long>(share.blocks_built),
+      static_cast<long long>(share.blocks_shared),
+      static_cast<double>(kernel::PmfShareCache::Global().resident_bytes()) /
+          1024.0,
+      static_cast<long long>(kernel::PmfShareCache::Global().evicted()));
   return 0;
 }
 
@@ -654,6 +810,7 @@ int main(int argc, char** argv) {
   if (args->command == "tradeoff") return RunTradeoff(*args);
   if (args->command == "fleet") return RunFleet(*args);
   if (args->command == "multitype") return RunMultiType(*args);
+  if (args->command == "solve") return RunSolveWave(*args);
   if (args->command == "solvers") return RunSolvers();
   if (args->command == "kernels") return RunKernels();
   std::cerr << "unknown command '" << args->command << "'\n";
