@@ -2,13 +2,17 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "net/tls_transport.h"
 #include "util/macros.h"
 #include "util/stringf.h"
 
@@ -16,66 +20,115 @@ namespace crowdprice::net {
 
 namespace {
 
-/// Maps a socket errno to a Status. Connection-level failures -- the
-/// peer is gone or unreachable -- are Unavailable, the code failover
-/// logic keys on; anything else is Internal (a local bug or resource
-/// problem a retry against a peer won't fix).
-Status Errno(const char* what) {
-  const int err = errno;
-  const std::string message = StringF("%s: %s", what, std::strerror(err));
-  switch (err) {
-    case ECONNREFUSED:
-    case ECONNRESET:
-    case ECONNABORTED:
-    case EPIPE:
-    case ETIMEDOUT:
-    case EHOSTUNREACH:
-    case ENETUNREACH:
-    case ENETDOWN:
-      return Status::Unavailable(message);
-    default:
-      return Status::Internal(message);
+using Clock = std::chrono::steady_clock;
+
+/// A poll deadline: `armed == false` waits forever.
+struct Deadline {
+  bool armed = false;
+  Clock::time_point at;
+
+  static Deadline After(int timeout_ms) {
+    Deadline deadline;
+    if (timeout_ms > 0) {
+      deadline.armed = true;
+      deadline.at = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+    return deadline;
+  }
+
+  /// Milliseconds left (clamped at 0), or -1 when unarmed.
+  int RemainingMs() const {
+    if (!armed) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          at - Clock::now())
+                          .count();
+    return left < 0 ? 0 : static_cast<int>(left);
+  }
+};
+
+/// Blocks until `fd` is ready for `events` or the deadline passes.
+/// Timeout and poll failures are both Unavailable: from the caller's
+/// seat the peer is unreachable either way.
+Status Await(int fd, short events, const Deadline& deadline,
+             const char* what) {
+  for (;;) {
+    const int remaining = deadline.RemainingMs();
+    if (deadline.armed && remaining == 0) {
+      return Status::Unavailable(StringF("%s timed out", what));
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = poll(&pfd, 1, remaining);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      return Status::Unavailable(StringF("%s timed out", what));
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(
+        StringF("%s: poll: %s", what, std::strerror(errno)));
   }
 }
 
 }  // namespace
 
 struct PricingClient::Impl {
-  int fd = -1;
+  std::shared_ptr<TransportFactory> factory;
+  std::unique_ptr<Transport> transport;
   std::string host;
   uint16_t port = 0;
   ClientOptions options;
 
-  ~Impl() {
-    if (fd >= 0) close(fd);
+  bool connected() const { return transport != nullptr; }
+
+  void Close() {
+    if (transport != nullptr) {
+      transport->Shutdown();
+      transport.reset();
+    }
+  }
+
+  /// Runs one non-blocking transport step to completion under the idle
+  /// deadline: kWant* waits for the socket, kOk returns. Terminal
+  /// outcomes surface as the transport's own Status (kClosed as
+  /// Unavailable).
+  Status Step(const IoResult& result, Deadline* idle, const char* what) {
+    switch (result.outcome) {
+      case IoOutcome::kOk:
+        *idle = Deadline::After(options.io_timeout_ms);
+        return Status::OK();
+      case IoOutcome::kWantRead:
+        return Await(transport->fd(), POLLIN, *idle, what);
+      case IoOutcome::kWantWrite:
+        return Await(transport->fd(), POLLOUT, *idle, what);
+      case IoOutcome::kClosed:
+        return Status::Unavailable(
+            StringF("%s: connection closed by server", what));
+      case IoOutcome::kError:
+        return result.status;
+    }
+    return Status::Internal("unreachable");
   }
 
   Status SendAll(const std::string& bytes) {
     size_t sent = 0;
+    Deadline idle = Deadline::After(options.io_timeout_ms);
     while (sent < bytes.size()) {
-      const ssize_t n =
-          send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Errno("send");
-      }
-      sent += static_cast<size_t>(n);
+      const IoResult result =
+          transport->Write(bytes.data() + sent, bytes.size() - sent);
+      CP_RETURN_IF_ERROR(Step(result, &idle, "send"));
+      sent += result.bytes;
     }
     return Status::OK();
   }
 
   Status RecvAll(char* out, size_t size) {
     size_t got = 0;
+    Deadline idle = Deadline::After(options.io_timeout_ms);
     while (got < size) {
-      const ssize_t n = recv(fd, out + got, size - got, 0);
-      if (n == 0) {
-        return Status::Unavailable("connection closed by server");
-      }
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Errno("recv");
-      }
-      got += static_cast<size_t>(n);
+      const IoResult result = transport->Read(out + got, size - got);
+      CP_RETURN_IF_ERROR(Step(result, &idle, "recv"));
+      got += result.bytes;
     }
     return Status::OK();
   }
@@ -84,7 +137,9 @@ struct PricingClient::Impl {
   Result<std::string> RoundTrip(FrameType request_type,
                                 const std::string& payload,
                                 FrameType response_type) {
-    if (fd < 0) return Status::FailedPrecondition("client is not connected");
+    if (!connected()) {
+      return Status::FailedPrecondition("client is not connected");
+    }
     CP_ASSIGN_OR_RETURN(
         std::string frame,
         EncodeFrame(request_type, payload, options.max_frame_bytes));
@@ -106,9 +161,10 @@ struct PricingClient::Impl {
     return response;
   }
 
-  /// Dials host:port and (when a token is configured) runs the hello
-  /// handshake. On any failure the fd ends up closed.
-  Status Dial() {
+  /// Non-blocking connect bounded by the dial deadline. Returns the
+  /// connected fd; a black-holed backend is Unavailable when the
+  /// deadline passes, never an indefinite hang.
+  Result<int> ConnectSocket(const Deadline& deadline) {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -116,27 +172,79 @@ struct PricingClient::Impl {
       return Status::InvalidArgument(
           StringF("'%s' is not a numeric IPv4 address", host.c_str()));
     }
-    fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) {
-      const Status status = Errno("socket");
-      fd = -1;
-      return status;
-    }
-    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      const Status status = Errno("connect");
+    const int fd =
+        socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) return ErrnoStatus("socket");
+    const int nodelay = 1;
+    // Small decide frames must not eat Nagle delay waiting for an ACK.
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+        errno != EINPROGRESS) {
+      const Status status = ErrnoStatus("connect");
       close(fd);
-      fd = -1;
       return status;
     }
-    if (!options.auth_token.empty()) {
+    const Status awaited = Await(fd, POLLOUT, deadline, "connect");
+    if (!awaited.ok()) {
+      close(fd);
+      return awaited;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      const Status status = ErrnoStatus("connect");
+      close(fd);
+      return status;
+    }
+    return fd;
+  }
+
+  /// Drives the transport handshake (TLS, or the plain no-op) to
+  /// completion under the dial deadline.
+  Status HandshakeBlocking(const Deadline& deadline) {
+    for (;;) {
+      const IoResult result = transport->Handshake();
+      switch (result.outcome) {
+        case IoOutcome::kOk:
+          return Status::OK();
+        case IoOutcome::kWantRead:
+          CP_RETURN_IF_ERROR(
+              Await(transport->fd(), POLLIN, deadline, "handshake"));
+          break;
+        case IoOutcome::kWantWrite:
+          CP_RETURN_IF_ERROR(
+              Await(transport->fd(), POLLOUT, deadline, "handshake"));
+          break;
+        case IoOutcome::kClosed:
+          return Status::Unavailable(
+              "connection closed by server during handshake");
+        case IoOutcome::kError:
+          return result.status;
+      }
+    }
+  }
+
+  /// Dials host:port, runs the transport handshake, then (when a token
+  /// is configured) the hello handshake. On any failure the connection
+  /// ends up closed.
+  Status Dial() {
+    const Deadline deadline = Deadline::After(options.connect_timeout_ms);
+    CP_ASSIGN_OR_RETURN(const int fd, ConnectSocket(deadline));
+    transport = factory->Wrap(fd);
+    if (transport == nullptr) {
+      return Status::Internal("transport setup failed");
+    }
+    Status handshake = HandshakeBlocking(deadline);
+    if (handshake.ok() && !options.auth_token.empty()) {
       HelloRequest hello;
       hello.token = options.auth_token;
-      const Status verdict = DoHello(hello);
-      if (!verdict.ok()) {
-        close(fd);
-        fd = -1;
-        return verdict;
-      }
+      handshake = DoHello(hello);
+    }
+    if (!handshake.ok()) {
+      Close();
+      return handshake;
     }
     return Status::OK();
   }
@@ -174,19 +282,22 @@ Result<PricingClient> PricingClient::Connect(const std::string& host,
   impl->host = host;
   impl->port = port;
   impl->options = options;
+  if (options.tls.enabled()) {
+    CP_ASSIGN_OR_RETURN(impl->factory,
+                        MakeTlsClientTransportFactory(options.tls));
+  } else {
+    impl->factory = MakePlainTransportFactory();
+  }
   CP_RETURN_IF_ERROR(impl->Dial());
   return PricingClient(std::move(impl));
 }
 
 bool PricingClient::connected() const {
-  return impl_ != nullptr && impl_->fd >= 0;
+  return impl_ != nullptr && impl_->connected();
 }
 
 void PricingClient::Close() {
-  if (impl_ != nullptr && impl_->fd >= 0) {
-    close(impl_->fd);
-    impl_->fd = -1;
-  }
+  if (impl_ != nullptr) impl_->Close();
 }
 
 Status PricingClient::Reconnect() {

@@ -23,6 +23,20 @@
 // remembered endpoint (and re-runs the handshake) after a transport
 // failure, which is what lets one client object ride out a backend
 // restart.
+//
+// Transport: bytes cross a pluggable net::Transport -- plain TCP by
+// default, TLS (net/tls_transport.h) when ClientOptions::tls is
+// configured. A failed TLS handshake fails Connect with Unauthenticated
+// (certificate rejected) or Unavailable (transport-level), mirroring
+// the auth-token story.
+//
+// Deadlines: Connect runs a non-blocking connect bounded by
+// connect_timeout_ms (a black-holed backend is Unavailable at the
+// deadline, never an indefinite hang), and every blocking call carries
+// the io_timeout_ms idle deadline -- if the socket moves no bytes for
+// that long mid-call, the call fails Unavailable and the connection is
+// left for Reconnect. Progress resets the idle clock, so a slow-but-
+// alive peer (a trickling socket) is never misdiagnosed as wedged.
 
 #ifndef CROWDPRICE_NET_CLIENT_H_
 #define CROWDPRICE_NET_CLIENT_H_
@@ -33,6 +47,7 @@
 #include <vector>
 
 #include "market/controller.h"
+#include "net/transport.h"
 #include "net/wire.h"
 #include "serving/campaign_shard_map.h"
 #include "util/result.h"
@@ -44,6 +59,17 @@ struct ClientOptions {
   /// When non-empty, Connect sends a hello with this token and fails with
   /// the server's verdict unless it is accepted.
   std::string auth_token;
+  /// TLS material (see net/transport.h). All-empty keeps plain TCP.
+  TlsOptions tls;
+  /// Dial deadline in milliseconds: the TCP connect plus the TLS and
+  /// auth handshakes must all land within this window or Connect fails
+  /// Unavailable. <= 0 waits forever (not recommended).
+  int connect_timeout_ms = 10000;
+  /// Idle I/O deadline in milliseconds for every blocking call: when
+  /// the socket moves no bytes for this long mid-call, the call fails
+  /// Unavailable (a half-open peer, not a slow one -- progress resets
+  /// the clock). <= 0 disables the deadline.
+  int io_timeout_ms = 30000;
 };
 
 class PricingClient {

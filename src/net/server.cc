@@ -1,6 +1,7 @@
 #include "net/server.h"
 
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -19,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/tls_transport.h"
 #include "util/macros.h"
 #include "util/stringf.h"
 
@@ -30,17 +32,24 @@ Status Errno(const char* what) {
   return Status::Internal(StringF("%s: %s", what, std::strerror(errno)));
 }
 
-/// One TCP connection. The event-loop thread owns the fd, the read
-/// buffer, and all epoll state; `mu` guards the frame FIFO and the
-/// outgoing byte stream, which workers and the loop share. Held by
-/// shared_ptr so a worker mid-frame keeps the struct alive across a
-/// concurrent close.
+/// One connection. The event-loop thread owns the transport (and with
+/// it the fd), the read buffer, and all epoll state; `mu` guards the
+/// frame FIFO and the outgoing byte stream, which workers and the loop
+/// share. Held by shared_ptr so a worker mid-frame keeps the struct
+/// alive across a concurrent close.
 struct Conn {
   int fd = -1;
 
   // Event-loop thread only.
+  std::unique_ptr<Transport> transport;
   std::string in;
   bool write_armed = false;
+  /// TLS read/write can demand the opposite readiness (a key update
+  /// mid-read needs the socket writable, a flush mid-rekey needs it
+  /// readable); these flags tell the loop to re-drive the stalled
+  /// direction when the other edge fires.
+  bool read_wants_write = false;
+  bool write_wants_read = false;
 
   /// A well-formed hello with the right token landed on this connection.
   /// Atomic because consecutive frames of one connection may be drained
@@ -111,6 +120,7 @@ struct PricingServer::Impl {
   ServingSurface* surface = nullptr;
   std::unique_ptr<ServingSurface> owned_surface;  // set for map-backed servers
   ServerOptions options;
+  std::shared_ptr<TransportFactory> transport_factory;
 
   // --- run state (rebuilt by each Start) --------------------------------
   bool running = false;
@@ -146,11 +156,22 @@ struct PricingServer::Impl {
   std::atomic<uint64_t> decide_requests{0};
   std::atomic<uint64_t> control_ops{0};
   std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> tls_handshake_failures{0};
 
+  /// Nudges the event loop out of epoll_wait. A lost wake would strand
+  /// Stop() (or a queued flush) until the loop's next poll timeout, so
+  /// the write result is not ignored: EINTR retries, and EAGAIN --
+  /// eventfd counter saturation -- means the counter is already nonzero
+  /// and the fd already readable, so the wake this call wanted is
+  /// provably pending and nothing is lost.
   void Wake() {
-    uint64_t one = 1;
-    ssize_t n = write(wake_fd, &one, sizeof(one));
-    static_cast<void>(n);
+    const uint64_t one = 1;
+    for (;;) {
+      if (write(wake_fd, &one, sizeof(one)) >= 0) return;
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: a wake is already pending; anything else has
+               // no retry story beyond the loop's bounded poll timeout.
+    }
   }
 
   void EnqueueFlush(const std::shared_ptr<Conn>& conn) {
@@ -374,28 +395,38 @@ struct PricingServer::Impl {
       conn->out.clear();
       conn->out_pos = 0;
     }
-    close(fd);
+    if (conn->transport != nullptr) {
+      conn->transport->Shutdown();
+      conn->transport.reset();  // closes the fd
+    }
   }
 
-  /// Writes as much of conn->out as the socket takes. Loop thread only.
+  /// Writes as much of conn->out as the transport takes. Loop thread
+  /// only.
   void TryFlush(const std::shared_ptr<Conn>& conn) {
-    if (conn->fd < 0) return;
+    if (conn->transport == nullptr || !conn->transport->ready()) return;
     bool fatal = false;
     bool partial = false;
+    conn->write_wants_read = false;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->dead) return;
       while (conn->out_pos < conn->out.size()) {
-        const ssize_t n =
-            send(conn->fd, conn->out.data() + conn->out_pos,
-                 conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
-        if (n > 0) {
-          conn->out_pos += static_cast<size_t>(n);
-          bytes_unflushed.fetch_sub(n, std::memory_order_relaxed);
+        const IoResult result =
+            conn->transport->Write(conn->out.data() + conn->out_pos,
+                                   conn->out.size() - conn->out_pos);
+        if (result.outcome == IoOutcome::kOk) {
+          conn->out_pos += result.bytes;
+          bytes_unflushed.fetch_sub(static_cast<int64_t>(result.bytes),
+                                    std::memory_order_relaxed);
           continue;
         }
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (result.outcome == IoOutcome::kWantWrite) {
           partial = true;
+          break;
+        }
+        if (result.outcome == IoOutcome::kWantRead) {
+          conn->write_wants_read = true;
           break;
         }
         fatal = true;
@@ -410,7 +441,28 @@ struct PricingServer::Impl {
       CloseConn(conn->fd);
       return;
     }
-    ArmWrite(conn.get(), partial);
+    ArmWrite(conn.get(), partial || conn->read_wants_write);
+  }
+
+  /// Advances a connection's transport handshake one non-blocking step.
+  /// Returns false when the connection must close (the handshake failed
+  /// -- a plaintext client against TLS, a rejected certificate).
+  bool DriveHandshake(const std::shared_ptr<Conn>& conn) {
+    const IoResult result = conn->transport->Handshake();
+    switch (result.outcome) {
+      case IoOutcome::kOk:
+        ArmWrite(conn.get(), false);
+        return true;
+      case IoOutcome::kWantRead:
+        ArmWrite(conn.get(), false);
+        return true;
+      case IoOutcome::kWantWrite:
+        ArmWrite(conn.get(), true);
+        return true;
+      default:
+        tls_handshake_failures.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
   }
 
   void Accept() {
@@ -418,14 +470,18 @@ struct PricingServer::Impl {
       const int fd =
           accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) return;  // EAGAIN or a transient error; poll again later
+      const int nodelay = 1;
+      // Response frames are small; Nagle would hold them for the ACK.
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
       auto conn = std::make_shared<Conn>();
       conn->fd = fd;
+      conn->transport = transport_factory->Wrap(fd);
+      if (conn->transport == nullptr) continue;  // Wrap closed the fd.
       epoll_event event{};
       event.events = EPOLLIN;
       event.data.fd = fd;
       if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
-        close(fd);
-        continue;
+        continue;  // transport destructor closes the fd
       }
       conns.emplace(fd, std::move(conn));
       connections_accepted.fetch_add(1, std::memory_order_relaxed);
@@ -436,15 +492,20 @@ struct PricingServer::Impl {
   /// pool. Returns false when the connection should close.
   bool ReadFrames(const std::shared_ptr<Conn>& conn) {
     char buf[64 * 1024];
+    conn->read_wants_write = false;
     for (;;) {
-      const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
-      if (n > 0) {
-        conn->in.append(buf, static_cast<size_t>(n));
+      const IoResult result = conn->transport->Read(buf, sizeof(buf));
+      if (result.outcome == IoOutcome::kOk) {
+        conn->in.append(buf, result.bytes);
         continue;
       }
-      if (n == 0) return false;  // peer closed
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      return false;
+      if (result.outcome == IoOutcome::kWantRead) break;
+      if (result.outcome == IoOutcome::kWantWrite) {
+        conn->read_wants_write = true;
+        ArmWrite(conn.get(), true);
+        break;
+      }
+      return false;  // closed or transport error
     }
     bool enqueue = false;
     while (conn->in.size() >= kFrameHeaderBytes) {
@@ -505,12 +566,33 @@ struct PricingServer::Impl {
         auto it = conns.find(fd);
         if (it == conns.end()) continue;
         std::shared_ptr<Conn> conn = it->second;
-        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 ||
-            ((events[i].events & EPOLLIN) != 0 && !ReadFrames(conn))) {
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
           CloseConn(fd);
           continue;
         }
-        if ((events[i].events & EPOLLOUT) != 0) TryFlush(conn);
+        const bool readable = (events[i].events & EPOLLIN) != 0;
+        const bool writable = (events[i].events & EPOLLOUT) != 0;
+        bool just_ready = false;
+        if (!conn->transport->ready()) {
+          if (!DriveHandshake(conn)) {
+            CloseConn(fd);
+            continue;
+          }
+          if (!conn->transport->ready()) continue;  // still mid-handshake
+          // The handshake's final read may have pulled early application
+          // bytes into the transport's buffer, where epoll cannot see
+          // them -- read once unconditionally.
+          just_ready = true;
+        }
+        if ((readable || just_ready ||
+             (writable && conn->read_wants_write)) &&
+            !ReadFrames(conn)) {
+          CloseConn(fd);
+          continue;
+        }
+        if (writable || (readable && conn->write_wants_read)) {
+          TryFlush(conn);
+        }
       }
       // Flush responses workers queued since the last pass.
       std::vector<std::shared_ptr<Conn>> to_flush;
@@ -558,6 +640,14 @@ Status ValidateOptions(const ServerOptions& options) {
   return Status::OK();
 }
 
+/// Plain TCP unless options.tls carries material; bad material (missing
+/// key, unreadable files) fails here -- at Create -- not at Start.
+Result<std::shared_ptr<TransportFactory>> MakeServerTransportFactory(
+    const ServerOptions& options) {
+  if (!options.tls.enabled()) return MakePlainTransportFactory();
+  return MakeTlsServerTransportFactory(options.tls);
+}
+
 }  // namespace
 
 Result<PricingServer> PricingServer::Create(serving::CampaignShardMap* map,
@@ -571,6 +661,8 @@ Result<PricingServer> PricingServer::Create(serving::CampaignShardMap* map,
       std::make_unique<MapSurface>(map, options.pool_batch_threshold);
   impl->surface = impl->owned_surface.get();
   impl->options = options;
+  CP_ASSIGN_OR_RETURN(impl->transport_factory,
+                      MakeServerTransportFactory(options));
   return PricingServer(std::move(impl));
 }
 
@@ -583,6 +675,8 @@ Result<PricingServer> PricingServer::Create(ServingSurface* surface,
   auto impl = std::make_unique<Impl>();
   impl->surface = surface;
   impl->options = options;
+  CP_ASSIGN_OR_RETURN(impl->transport_factory,
+                      MakeServerTransportFactory(options));
   return PricingServer(std::move(impl));
 }
 
@@ -711,6 +805,8 @@ ServerStats PricingServer::stats() const {
   stats.control_ops = impl_->control_ops.load(std::memory_order_relaxed);
   stats.protocol_errors =
       impl_->protocol_errors.load(std::memory_order_relaxed);
+  stats.tls_handshake_failures =
+      impl_->tls_handshake_failures.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -34,6 +34,16 @@
 // worker drains its frame FIFO, so responses leave in request order per
 // connection while distinct connections spread across the pool.
 //
+// Transport: every connection's bytes cross a pluggable net::Transport
+// -- plain TCP by default, TLS (net/tls_transport.h) when
+// ServerOptions::tls carries cert material. The loop drives each TLS
+// handshake through its WANT_READ/WANT_WRITE states like any other
+// readiness edge, so one connection mid-handshake never blocks
+// another's traffic; a connection whose handshake fails (plaintext
+// client, bad certificate) is counted in tls_handshake_failures and
+// closed -- never a crash, and the peer sees a clean close rather than
+// a hang.
+//
 // Lifecycle: Start/Stop return Status (double start, double stop, and
 // socket errors are errors, never UB) and the pair may be repeated. Stop
 // is graceful: it stops accepting, waits up to drain_timeout_ms for
@@ -52,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "net/transport.h"
 #include "net/wire.h"
 #include "serving/campaign_shard_map.h"
 #include "util/result.h"
@@ -119,6 +130,10 @@ struct ServerOptions {
   /// connection must hello with exactly this token first (see the file
   /// comment).
   std::string auth_token;
+  /// TLS material (see net/transport.h): cert_file + key_file switch
+  /// the wire to TLS; ca_file additionally demands client certificates.
+  /// All-empty keeps plain TCP. Bad material fails Create, not Start.
+  TlsOptions tls;
 };
 
 /// Monotone counters over the server's lifetime (across restarts).
@@ -128,6 +143,9 @@ struct ServerStats {
   uint64_t decide_requests = 0;   ///< Individual decide requests answered.
   uint64_t control_ops = 0;       ///< Control frames applied to the map.
   uint64_t protocol_errors = 0;   ///< Unframeable streams + bad payloads.
+  /// Connections dropped because the transport handshake failed (a
+  /// plaintext client against a TLS server, a rejected certificate).
+  uint64_t tls_handshake_failures = 0;
 };
 
 class PricingServer {

@@ -1,0 +1,101 @@
+#include "net/transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/stringf.h"
+
+namespace crowdprice::net {
+
+Status ErrnoStatus(const char* what) {
+  const int err = errno;
+  const std::string message = StringF("%s: %s", what, std::strerror(err));
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ECONNABORTED:
+    case EPIPE:
+    case ETIMEDOUT:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case ENETDOWN:
+      return Status::Unavailable(message);
+    default:
+      return Status::Internal(message);
+  }
+}
+
+namespace {
+
+/// Plain TCP: recv/send with the non-blocking outcomes mapped onto
+/// IoResult. Ready from the first byte.
+class PlainTransport final : public Transport {
+ public:
+  explicit PlainTransport(int fd) : fd_(fd) {}
+
+  ~PlainTransport() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  IoResult Handshake() override { return {IoOutcome::kOk, 0, Status::OK()}; }
+
+  bool ready() const override { return true; }
+
+  IoResult Read(char* out, size_t capacity) override {
+    for (;;) {
+      const ssize_t n = recv(fd_, out, capacity, 0);
+      if (n > 0) {
+        return {IoOutcome::kOk, static_cast<size_t>(n), Status::OK()};
+      }
+      if (n == 0) return {IoOutcome::kClosed, 0, Status::OK()};
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return {IoOutcome::kWantRead, 0, Status::OK()};
+      }
+      return {IoOutcome::kError, 0, ErrnoStatus("recv")};
+    }
+  }
+
+  IoResult Write(const char* data, size_t size) override {
+    for (;;) {
+      const ssize_t n = send(fd_, data, size, MSG_NOSIGNAL);
+      if (n >= 0) {
+        return {IoOutcome::kOk, static_cast<size_t>(n), Status::OK()};
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return {IoOutcome::kWantWrite, 0, Status::OK()};
+      }
+      return {IoOutcome::kError, 0, ErrnoStatus("send")};
+    }
+  }
+
+  void Shutdown() override {}
+
+  int fd() const override { return fd_; }
+
+ private:
+  int fd_;
+};
+
+class PlainTransportFactory final : public TransportFactory {
+ public:
+  std::unique_ptr<Transport> Wrap(int fd) override {
+    return std::make_unique<PlainTransport>(fd);
+  }
+
+  const char* name() const override { return "tcp"; }
+};
+
+}  // namespace
+
+std::shared_ptr<TransportFactory> MakePlainTransportFactory() {
+  static const std::shared_ptr<TransportFactory> factory =
+      std::make_shared<PlainTransportFactory>();
+  return factory;
+}
+
+}  // namespace crowdprice::net

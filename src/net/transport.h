@@ -1,0 +1,129 @@
+// Pluggable byte transport under PricingClient / PricingServer.
+//
+// A Transport owns one connected socket and moves bytes over it with
+// non-blocking semantics: every call returns immediately with either
+// progress (kOk + bytes), a readiness requirement (kWantRead /
+// kWantWrite: retry the same call once the fd polls readable/writable),
+// or a terminal verdict (kClosed / kError). The server's epoll loop
+// consumes these outcomes directly; the blocking client wraps them in
+// poll(2) waits with deadlines.
+//
+// Two families exist: the plain TCP transport here (the default -- a
+// thin recv/send shim, ready the moment the socket connects) and the
+// TLS transport in net/tls_transport.h (OpenSSL; Handshake() drives the
+// TLS state machine through WANT_READ/WANT_WRITE so an epoll loop never
+// blocks one connection's handshake on another's traffic). A
+// TransportFactory bakes in the role (client/server) and the
+// credential material, so acceptors and dialers just Wrap(fd).
+//
+// Handshake failures are Status errors, never crashes: certificate
+// verification failures carry Unauthenticated, transport-level failures
+// Unavailable -- the same split the frame-layer auth story uses.
+
+#ifndef CROWDPRICE_NET_TRANSPORT_H_
+#define CROWDPRICE_NET_TRANSPORT_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace crowdprice::net {
+
+/// Cert/key/trust configuration for the TLS transport; every field is a
+/// PEM file path. All-empty means plain TCP. Servers need cert_file +
+/// key_file (ca_file additionally demands and verifies client
+/// certificates -- mutual TLS); clients need ca_file to verify the
+/// server (cert_file + key_file make the client present its own
+/// certificate). Peer identity is the CA: certificates are checked for
+/// chain, validity window, and purpose, not hostname -- deployments run
+/// a private CA per fleet, so possession of a CA-signed cert is the
+/// credential.
+struct TlsOptions {
+  std::string cert_file;
+  std::string key_file;
+  std::string ca_file;
+
+  bool enabled() const {
+    return !cert_file.empty() || !key_file.empty() || !ca_file.empty();
+  }
+};
+
+/// Outcome of one non-blocking Transport call.
+enum class IoOutcome {
+  kOk,         ///< Progress: `bytes` moved (or the handshake finished).
+  kWantRead,   ///< Retry the same call once the fd is readable.
+  kWantWrite,  ///< Retry the same call once the fd is writable.
+  kClosed,     ///< The peer closed the connection.
+  kError,      ///< Terminal failure; `status` says why.
+};
+
+struct IoResult {
+  IoOutcome outcome = IoOutcome::kOk;
+  size_t bytes = 0;  ///< Bytes moved; meaningful only for kOk.
+  Status status;     ///< Set when outcome == kError.
+};
+
+/// One connection's byte stream. Owns the fd (closed on destruction).
+/// Not thread-safe: one owner drives each transport (the server's loop
+/// thread, or the client's calling thread).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Drives the connection-establishment state machine. Plain TCP is
+  /// ready immediately; TLS advances SSL_do_handshake one step. Must be
+  /// repeated (honoring kWantRead/kWantWrite) until it returns kOk
+  /// before the first Read/Write; idempotent once ready. A kError with
+  /// an Unauthenticated status means the peer's certificate failed
+  /// verification.
+  virtual IoResult Handshake() = 0;
+
+  /// True once Handshake has returned kOk.
+  virtual bool ready() const = 0;
+
+  /// Reads up to `capacity` bytes into `out`. kOk reports at least one
+  /// byte; a clean EOF is kClosed.
+  virtual IoResult Read(char* out, size_t capacity) = 0;
+
+  /// Writes up to `size` bytes from `data`; kOk may report a partial
+  /// write.
+  virtual IoResult Write(const char* data, size_t size) = 0;
+
+  /// Best-effort, non-blocking teardown courtesy (TLS close_notify;
+  /// nothing for plain TCP). The fd still closes in the destructor.
+  virtual void Shutdown() = 0;
+
+  /// The underlying socket, for poll/epoll registration.
+  virtual int fd() const = 0;
+};
+
+/// Builds transports for one endpoint role. Factories are immutable and
+/// safe to share across threads (each Wrap returns an independent
+/// transport); a TLS factory holds the parsed certificate material so
+/// per-connection setup never re-reads files.
+class TransportFactory {
+ public:
+  virtual ~TransportFactory() = default;
+
+  /// Wraps a connected (client) or accepted (server) socket, taking
+  /// ownership of `fd`. The socket must already be non-blocking.
+  virtual std::unique_ptr<Transport> Wrap(int fd) = 0;
+
+  /// "tcp" or "tls"; shows up in logs and error messages.
+  virtual const char* name() const = 0;
+};
+
+/// The default transport: bytes pass through untouched.
+std::shared_ptr<TransportFactory> MakePlainTransportFactory();
+
+/// Maps a socket errno to a Status: connection-level failures -- the
+/// peer is gone or unreachable -- are Unavailable (the code failover
+/// keys on); anything else is Internal. Shared by the transports and
+/// the client's dial path.
+Status ErrnoStatus(const char* what);
+
+}  // namespace crowdprice::net
+
+#endif  // CROWDPRICE_NET_TRANSPORT_H_

@@ -169,11 +169,16 @@ struct BackendPool::Impl {
   }
 
   void ProbeNow() {
+    net::ClientOptions probe_options = options.client;
+    if (options.probe_timeout_ms > 0) {
+      probe_options.connect_timeout_ms = options.probe_timeout_ms;
+      probe_options.io_timeout_ms = options.probe_timeout_ms;
+    }
     for (const std::shared_ptr<Backend>& backend : SnapshotBackends()) {
       // A fresh connection per probe: a serving call mid-flight on the
       // leased connection never delays (or fails) the health verdict.
       auto client = net::PricingClient::Connect(backend->host, backend->port,
-                                                options.client);
+                                                probe_options);
       const Status status = client.ok() ? client->Ping() : client.status();
       if (status.ok()) {
         backend->NoteSuccess();

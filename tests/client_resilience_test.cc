@@ -76,10 +76,12 @@ uint16_t ReserveLoopbackPort() {
 /// a server dying mid-batch, as observed from the client's socket.
 class TrickleProxy {
  public:
-  TrickleProxy(uint16_t backend_port, int chunk, long cut_client_after = -1)
+  TrickleProxy(uint16_t backend_port, int chunk, long cut_client_after = -1,
+               int response_delay_ms = 0)
       : backend_port_(backend_port),
         chunk_(chunk),
-        cut_client_after_(cut_client_after) {}
+        cut_client_after_(cut_client_after),
+        response_delay_ms_(response_delay_ms) {}
 
   ~TrickleProxy() { Stop(); }
 
@@ -180,6 +182,12 @@ class TrickleProxy {
         }
         if (!SendAll(client, buffer.data(), static_cast<size_t>(n))) break;
         to_client += n;
+        if (response_delay_ms_ > 0) {
+          // A slow-but-alive server: every response chunk arrives after
+          // a pause shorter than the client's idle deadline.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(response_delay_ms_));
+        }
       }
     }
     ::close(client);
@@ -189,6 +197,7 @@ class TrickleProxy {
   uint16_t backend_port_;
   int chunk_;
   long cut_client_after_;
+  int response_delay_ms_;
   std::atomic<bool> stop_{false};
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -289,6 +298,199 @@ TEST(ClientResilienceTest, ConnectionRefusedIsUnavailable) {
   const auto client = PricingClient::Connect("127.0.0.1", dead_port);
   ASSERT_FALSE(client.ok());
   EXPECT_TRUE(client.status().IsUnavailable()) << client.status();
+}
+
+TEST(ClientResilienceTest, BlackholedConnectIsUnavailableAtTheDeadline) {
+  // A listener whose accept queue is full silently drops further SYNs
+  // (Linux default), so the dial gets no answer at all -- a local
+  // blackhole. (An unrouted remote address is no good here: sandboxed
+  // environments may intercept it.) Before the non-blocking connect,
+  // this dial blocked for the kernel's SYN-retry horizon (minutes);
+  // now only connect_timeout_ms ends it.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 0), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  // Fill the accept queue with connections nobody will ever accept.
+  std::vector<int> fillers;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    ASSERT_GE(fd, 0);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    fillers.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ClientOptions options;
+  options.connect_timeout_ms = 250;
+  const auto start = std::chrono::steady_clock::now();
+  const auto client = PricingClient::Connect(
+      "127.0.0.1", ntohs(addr.sin_port), options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(client.ok());
+  EXPECT_TRUE(client.status().IsUnavailable()) << client.status();
+  // Generous bound: the point is "the deadline, not the SYN horizon".
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+  for (const int fd : fillers) ::close(fd);
+  ::close(listener);
+}
+
+/// Accepts one connection, reads and discards everything, never writes
+/// a byte, and keeps the socket open -- a wedged server, as a probe
+/// sees it.
+class WedgedServer {
+ public:
+  ~WedgedServer() { Stop(); }
+
+  bool Start() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 1) != 0) {
+      ::close(listen_fd_);
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    drain_ = std::thread([this] {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) return;
+      char sink[4096];
+      while (::recv(conn, sink, sizeof(sink), 0) > 0) {
+      }
+      ::close(conn);
+    });
+    return true;
+  }
+
+  void Stop() {
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (drain_.joinable()) drain_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread drain_;
+};
+
+TEST(ClientResilienceTest, WedgedServerHitsTheIdleDeadlineNotForever) {
+  // Regression: the recv loop had no deadline, so a server that
+  // accepted a probe and then never answered wedged the caller (the
+  // router's probe thread) indefinitely.
+  WedgedServer wedged;
+  ASSERT_TRUE(wedged.Start());
+  ClientOptions options;
+  options.io_timeout_ms = 300;
+  auto client = PricingClient::Connect("127.0.0.1", wedged.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const auto start = std::chrono::steady_clock::now();
+  const Status pong = client->Ping();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(pong.ok());
+  EXPECT_TRUE(pong.IsUnavailable()) << pong;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+}
+
+TEST(ClientResilienceTest, TricklingButAliveIsNotATimeout) {
+  // The flip side of the idle deadline: a server whose response arrives
+  // one byte per pause -- each pause shorter than io_timeout_ms, the
+  // whole response far longer -- must succeed. The deadline is idle
+  // time, not call time.
+  auto map = serving::CampaignShardMap::Create(2);
+  ASSERT_TRUE(map.ok());
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  auto server = PricingServer::Create(&map.value(), options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->Start().ok());
+
+  TrickleProxy proxy(server->port(), /*chunk=*/1, /*cut_client_after=*/-1,
+                     /*response_delay_ms=*/60);
+  ASSERT_TRUE(proxy.Start());
+  ClientOptions client_options;
+  client_options.io_timeout_ms = 500;
+  auto client =
+      PricingClient::Connect("127.0.0.1", proxy.port(), client_options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client->Ping().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // The pong (header + payload) really did trickle: the call outlived
+  // several idle deadlines' worth of wall clock.
+  EXPECT_GT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            500);
+  proxy.Stop();
+  ASSERT_TRUE(server->Stop().ok());
+}
+
+TEST(ClientResilienceTest, StopUnderLoadNeverMissesItsWakeup) {
+  // Regression for the ignored eventfd write: under sustained load,
+  // Stop()'s wake could in principle be dropped, leaving Stop to ride
+  // poll timeouts. Stop must return promptly -- bounded by the drain
+  // timeout plus scheduling slack -- across repeated start/stop cycles
+  // with traffic in flight.
+  auto map = serving::CampaignShardMap::Create(2);
+  ASSERT_TRUE(map.ok());
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  options.drain_timeout_ms = 2000;
+  auto server = PricingServer::Create(&map.value(), options);
+  ASSERT_TRUE(server.ok());
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(server->Start().ok());
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> load;
+    for (int t = 0; t < 4; ++t) {
+      load.emplace_back([&stop, port = server->port()] {
+        ClientOptions client_options;
+        client_options.connect_timeout_ms = 2000;
+        client_options.io_timeout_ms = 2000;
+        auto client = PricingClient::Connect("127.0.0.1", port,
+                                             client_options);
+        while (!stop.load(std::memory_order_acquire)) {
+          if (!client.ok() || !client->Ping().ok()) break;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto start = std::chrono::steady_clock::now();
+    ASSERT_TRUE(server->Stop().ok());
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                  .count(),
+              options.drain_timeout_ms + 8000)
+        << "cycle " << cycle;
+    stop.store(true, std::memory_order_release);
+    for (std::thread& thread : load) thread.join();
+  }
 }
 
 TEST(ClientResilienceTest, ReconnectRidesOutAServerRestart) {

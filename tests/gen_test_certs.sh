@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Mints a throwaway CA plus server and client leaf certificates for
+# local TLS runs of crowdprice_serve / crowdprice_router and for the CI
+# TLS fixture. NOT for production use: 1-day validity, no hostname
+# constraints (the transport's identity model is CA possession -- see
+# src/net/transport.h).
+#
+#   tests/gen_test_certs.sh [OUT_DIR]    # default: ./test-certs
+#
+# Produces: ca.pem, server.pem/server.key, client.pem/client.key.
+set -euo pipefail
+
+out="${1:-test-certs}"
+mkdir -p "$out"
+
+openssl ecparam -name prime256v1 -genkey -noout -out "$out/ca.key"
+openssl req -new -x509 -key "$out/ca.key" -subj "/CN=crowdprice-test-ca" \
+    -days 1 -out "$out/ca.pem"
+
+for role in server client; do
+  openssl ecparam -name prime256v1 -genkey -noout -out "$out/$role.key"
+  openssl req -new -key "$out/$role.key" -subj "/CN=crowdprice-$role" \
+      -out "$out/$role.csr"
+  openssl x509 -req -in "$out/$role.csr" -CA "$out/ca.pem" \
+      -CAkey "$out/ca.key" -CAcreateserial -days 1 -out "$out/$role.pem"
+  rm -f "$out/$role.csr"
+done
+rm -f "$out/ca.srl"
+
+echo "wrote $out/{ca.pem,server.pem,server.key,client.pem,client.key}"

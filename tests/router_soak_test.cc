@@ -11,6 +11,11 @@
 // several seeds); bit-identity and the migration floor must hold for every
 // seed. The TSan CI job runs this binary to certify the routed decide
 // fan-out, control forwarding, probe loop, and drain barrier together.
+//
+// The soak runs twice: once over plain TCP and once with every hop --
+// client -> router front, router pool -> backends -- under TLS. The
+// transport sits below the frame protocol, so the TLS replay must be
+// bit-identical too (skipped cleanly on builds without OpenSSL).
 
 #include <algorithm>
 #include <cmath>
@@ -29,9 +34,11 @@
 #include "market/simulator.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "net/tls_transport.h"
 #include "pricing/fixed_price.h"
 #include "router/router.h"
 #include "serving/campaign_shard_map.h"
+#include "tls_test_util.h"
 #include "util/rng.h"
 
 namespace crowdprice::router {
@@ -111,7 +118,14 @@ void ExpectBitIdentical(const SimulationResult& got,
   }
 }
 
-TEST(RouterSoakTest, StreamingScheduleBitIdenticalThroughThreeBackends) {
+/// The full soak, parameterized over the wire: `server_tls` configures
+/// every server (the three backends and the router's front), and
+/// `client_tls` configures everything that dials one (the router's
+/// backend pool and the test's own client). Both empty runs plain TCP;
+/// the TLS variant must replay the identical bytes -- the transport is
+/// below the frame protocol, so the determinism contract cannot care.
+void RunStreamingSoak(const net::TlsOptions& server_tls,
+                      const net::TlsOptions& client_tls) {
   const auto rate =
       arrival::PiecewiseConstantRate::Create({40.0, 20.0, 60.0, 30.0, 50.0},
                                              0.5)
@@ -191,6 +205,7 @@ TEST(RouterSoakTest, StreamingScheduleBitIdenticalThroughThreeBackends) {
     ServerOptions options;
     options.port = 0;
     options.num_workers = 2;
+    options.tls = server_tls;
     backends.push_back(std::make_unique<PricingServer>(
         PricingServer::Create(maps.back().get(), options).value()));
     ASSERT_TRUE(backends.back()->Start().ok());
@@ -199,15 +214,20 @@ TEST(RouterSoakTest, StreamingScheduleBitIdenticalThroughThreeBackends) {
 
   RouterOptions router_options;
   router_options.pool.probe_interval_ms = 50;  // Probes run under traffic.
+  router_options.pool.client.tls = client_tls;
   auto router = CampaignRouter::Create(names, router_options);
   ASSERT_TRUE(router.ok()) << router.status();
   ServerOptions front_options;
   front_options.port = 0;
   front_options.num_workers = 4;
+  front_options.tls = server_tls;
   auto front = PricingServer::Create(&router.value(), front_options);
   ASSERT_TRUE(front.ok());
   ASSERT_TRUE(front->Start().ok());
-  auto client = PricingClient::Connect("127.0.0.1", front->port());
+  net::ClientOptions client_options;
+  client_options.tls = client_tls;
+  auto client =
+      PricingClient::Connect("127.0.0.1", front->port(), client_options);
   ASSERT_TRUE(client.ok());
 
   // Admit the whole fleet up front (each campaign anchored to its admit
@@ -352,6 +372,24 @@ TEST(RouterSoakTest, StreamingScheduleBitIdenticalThroughThreeBackends) {
   for (auto& backend : backends) {
     ASSERT_TRUE(backend->Stop().ok());
   }
+}
+
+TEST(RouterSoakTest, StreamingScheduleBitIdenticalThroughThreeBackends) {
+  RunStreamingSoak(net::TlsOptions{}, net::TlsOptions{});
+}
+
+TEST(RouterSoakTest, StreamingScheduleBitIdenticalOverTls) {
+  if (!net::TlsSupported()) GTEST_SKIP() << "no OpenSSL in this build";
+#if CROWDPRICE_HAVE_OPENSSL
+  tls_test::TestCa ca;
+  const tls_test::TestIdentity identity = ca.MintLeaf("soak");
+  net::TlsOptions server_tls;
+  server_tls.cert_file = identity.cert_file;
+  server_tls.key_file = identity.key_file;
+  net::TlsOptions client_tls;
+  client_tls.ca_file = ca.ca_file();
+  RunStreamingSoak(server_tls, client_tls);
+#endif
 }
 
 }  // namespace

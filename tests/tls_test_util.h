@@ -1,0 +1,137 @@
+// Hermetic TLS fixtures for the transport tests: a throwaway CA and
+// CA-signed leaf identities minted in-process with the OpenSSL X509 API
+// (no shelling out, no checked-in key material) and written as PEM
+// files under a fresh mkdtemp directory. An "expired" leaf is just one
+// whose validity window ended in the past; a "wrong CA" is a second
+// TestCa. Only compiled when the build has OpenSSL -- tests guard on
+// net::TlsSupported() first.
+
+#ifndef CROWDPRICE_TESTS_TLS_TEST_UTIL_H_
+#define CROWDPRICE_TESTS_TLS_TEST_UTIL_H_
+
+#if CROWDPRICE_HAVE_OPENSSL
+
+#include <openssl/evp.h>
+#include <openssl/pem.h>
+#include <openssl/x509.h>
+#include <openssl/x509v3.h>
+#include <stdlib.h>
+
+#include <cstdio>
+#include <string>
+
+namespace crowdprice::tls_test {
+
+/// A leaf identity: where the PEM cert and key landed.
+struct TestIdentity {
+  std::string cert_file;
+  std::string key_file;
+};
+
+/// One throwaway certificate authority. The constructor mints the CA
+/// keypair and self-signed certificate; MintLeaf signs leaves with it.
+/// Files live under a fresh temp directory for the process's lifetime.
+class TestCa {
+ public:
+  TestCa() : dir_(MakeTempDir()) {
+    key_ = EVP_EC_gen("P-256");
+    cert_ = MakeCert("crowdprice-test-ca", key_, /*issuer_cert=*/nullptr,
+                     /*issuer_key=*/nullptr, /*is_ca=*/true,
+                     /*not_before_secs=*/-3600, /*not_after_secs=*/36000);
+    ca_file_ = dir_ + "/ca.pem";
+    WriteCert(ca_file_, cert_);
+  }
+
+  ~TestCa() {
+    X509_free(cert_);
+    EVP_PKEY_free(key_);
+  }
+
+  TestCa(const TestCa&) = delete;
+  TestCa& operator=(const TestCa&) = delete;
+
+  const std::string& ca_file() const { return ca_file_; }
+
+  /// Mints a CA-signed leaf valid over [now + not_before_secs, now +
+  /// not_after_secs]; a window entirely in the past makes an expired
+  /// certificate.
+  TestIdentity MintLeaf(const std::string& name, long not_before_secs = -3600,
+                        long not_after_secs = 36000) {
+    EVP_PKEY* key = EVP_EC_gen("P-256");
+    X509* cert = MakeCert(name, key, cert_, key_, /*is_ca=*/false,
+                          not_before_secs, not_after_secs);
+    TestIdentity identity;
+    identity.cert_file = dir_ + "/" + name + ".pem";
+    identity.key_file = dir_ + "/" + name + ".key";
+    WriteCert(identity.cert_file, cert);
+    WriteKey(identity.key_file, key);
+    X509_free(cert);
+    EVP_PKEY_free(key);
+    return identity;
+  }
+
+ private:
+  static std::string MakeTempDir() {
+    char tmpl[] = "/tmp/crowdprice_tls_XXXXXX";
+    const char* dir = mkdtemp(tmpl);
+    return dir == nullptr ? "/tmp" : dir;
+  }
+
+  X509* MakeCert(const std::string& cn, EVP_PKEY* subject_key,
+                 X509* issuer_cert, EVP_PKEY* issuer_key, bool is_ca,
+                 long not_before_secs, long not_after_secs) {
+    X509* cert = X509_new();
+    X509_set_version(cert, 2);  // v3, zero-based
+    ASN1_INTEGER_set(X509_get_serialNumber(cert), ++serial_);
+    X509_gmtime_adj(X509_getm_notBefore(cert), not_before_secs);
+    X509_gmtime_adj(X509_getm_notAfter(cert), not_after_secs);
+    X509_set_pubkey(cert, subject_key);
+    X509_NAME* subject = X509_get_subject_name(cert);
+    X509_NAME_add_entry_by_txt(
+        subject, "CN", MBSTRING_ASC,
+        reinterpret_cast<const unsigned char*>(cn.c_str()), -1, -1, 0);
+    X509_set_issuer_name(cert, issuer_cert != nullptr
+                                   ? X509_get_subject_name(issuer_cert)
+                                   : subject);
+    if (is_ca) {
+      X509V3_CTX ctx;
+      X509V3_set_ctx(&ctx, cert, cert, nullptr, nullptr, 0);
+      X509_EXTENSION* ext = X509V3_EXT_conf_nid(nullptr, &ctx,
+                                                NID_basic_constraints,
+                                                "critical,CA:TRUE");
+      if (ext != nullptr) {
+        X509_add_ext(cert, ext, -1);
+        X509_EXTENSION_free(ext);
+      }
+    }
+    X509_sign(cert, issuer_key != nullptr ? issuer_key : subject_key,
+              EVP_sha256());
+    return cert;
+  }
+
+  static void WriteCert(const std::string& path, X509* cert) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return;
+    PEM_write_X509(file, cert);
+    std::fclose(file);
+  }
+
+  static void WriteKey(const std::string& path, EVP_PKEY* key) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return;
+    PEM_write_PrivateKey(file, key, nullptr, nullptr, 0, nullptr, nullptr);
+    std::fclose(file);
+  }
+
+  std::string dir_;
+  std::string ca_file_;
+  EVP_PKEY* key_ = nullptr;
+  X509* cert_ = nullptr;
+  long serial_ = 1;
+};
+
+}  // namespace crowdprice::tls_test
+
+#endif  // CROWDPRICE_HAVE_OPENSSL
+
+#endif  // CROWDPRICE_TESTS_TLS_TEST_UTIL_H_

@@ -5,6 +5,7 @@
 //                     [--port 7700] [--workers 4] [--max-frame-mb 64]
 //                     [--probe-interval-ms 250] [--stats-every 10]
 //                     [--auth-token TOKEN]
+//                     [--tls-cert PEM --tls-key PEM] [--tls-ca PEM]
 //
 // Speaks the same frame protocol on both sides: clients connect to the
 // router exactly as they would to a single crowdprice_serve, and the
@@ -13,6 +14,13 @@
 // fails over cleanly (Unavailable, never a crash) when one dies
 // (src/router/router.h). --auth-token applies to both sides: clients
 // must hello with it, and the router presents it to its backends.
+//
+// TLS also applies to both sides: --tls-cert/--tls-key terminate TLS on
+// the router's own port, and --tls-ca makes every backend connection
+// TLS (the cert/key pair, when given, is also presented to backends
+// that demand client certificates). Mixed fleets are possible -- a TLS
+// front over plain backends needs only --tls-cert/--tls-key, a plain
+// front over TLS backends only --tls-ca.
 //
 // --port 0 binds an ephemeral port; the first stdout line is the
 // machine-parseable `PORT <n>`, as with crowdprice_serve.
@@ -103,7 +111,9 @@ int main(int argc, char** argv) {
           "                         [--max-frame-mb N]\n"
           "                         [--probe-interval-ms N]\n"
           "                         [--stats-every SECS]\n"
-          "                         [--auth-token TOKEN]\n");
+          "                         [--auth-token TOKEN]\n"
+          "                         [--tls-cert PEM --tls-key PEM]\n"
+          "                         [--tls-ca PEM]\n");
       return 0;
     }
   }
@@ -113,6 +123,9 @@ int main(int argc, char** argv) {
   const long probe_ms = FlagValue(argc, argv, "--probe-interval-ms", 250);
   const long stats_every = FlagValue(argc, argv, "--stats-every", 10);
   const std::string auth_token = FlagString(argc, argv, "--auth-token", "");
+  const std::string tls_cert = FlagString(argc, argv, "--tls-cert", "");
+  const std::string tls_key = FlagString(argc, argv, "--tls-key", "");
+  const std::string tls_ca = FlagString(argc, argv, "--tls-ca", "");
   const std::vector<std::string> backends =
       SplitCommas(FlagString(argc, argv, "--backends", ""));
   if (port < 0 || port > 65535 || workers < 1 || max_frame_mb < 1) {
@@ -130,6 +143,13 @@ int main(int argc, char** argv) {
   router_options.pool.client.max_frame_bytes =
       static_cast<uint32_t>(max_frame_mb) * (1u << 20);
   router_options.pool.client.auth_token = auth_token;
+  if (!tls_ca.empty()) {
+    router_options.pool.client.tls.ca_file = tls_ca;
+    // Present the router's own identity to backends that demand client
+    // certificates.
+    router_options.pool.client.tls.cert_file = tls_cert;
+    router_options.pool.client.tls.key_file = tls_key;
+  }
   router_options.pool.probe_interval_ms = static_cast<int>(probe_ms);
   auto router =
       crowdprice::router::CampaignRouter::Create(backends, router_options);
@@ -144,6 +164,11 @@ int main(int argc, char** argv) {
   options.num_workers = static_cast<int>(workers);
   options.max_frame_bytes = static_cast<uint32_t>(max_frame_mb) * (1u << 20);
   options.auth_token = auth_token;
+  // The router's own port terminates TLS with cert/key only; demanding
+  // client certificates of pricing clients is a frame-auth job
+  // (--auth-token), not a transport one.
+  options.tls.cert_file = tls_cert;
+  options.tls.key_file = tls_key;
   auto server =
       crowdprice::net::PricingServer::Create(&router.value(), options);
   if (!server.ok()) {
@@ -159,9 +184,12 @@ int main(int argc, char** argv) {
   }
   std::printf("PORT %u\n", server->port());
   std::printf(
-      "crowdprice_router listening on port %u (%zu backends, %ld workers%s)\n",
+      "crowdprice_router listening on port %u (%zu backends, %ld "
+      "workers%s%s%s)\n",
       server->port(), backends.size(), workers,
-      auth_token.empty() ? "" : ", auth required");
+      auth_token.empty() ? "" : ", auth required",
+      options.tls.enabled() ? ", tls front" : "",
+      tls_ca.empty() ? "" : ", tls backends");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

@@ -3,6 +3,7 @@
 //   crowdprice_serve [--port 7710] [--shards 8] [--workers 4]
 //                    [--max-frame-mb 64] [--stats-every 10]
 //                    [--auth-token TOKEN]
+//                    [--tls-cert PEM --tls-key PEM [--tls-ca PEM]]
 //
 // Serves the DecisionRequest -> OfferSheet surface of an (initially
 // empty) serving::CampaignShardMap over TCP: clients admit, swap, and
@@ -11,6 +12,9 @@
 // until SIGINT/SIGTERM, then drains in-flight batches and exits.
 // --stats-every N prints serving counters every N seconds (0 disables).
 // --auth-token requires every connection to hello with the token first.
+// --tls-cert/--tls-key switch the wire to TLS; --tls-ca additionally
+// demands client certificates (mutual TLS). See net/transport.h for the
+// identity model (private CA per fleet, no hostname checks).
 //
 // --port 0 binds an ephemeral port. Whatever the port, the first stdout
 // line is the machine-parseable `PORT <n>` -- launchers (the router's
@@ -77,7 +81,9 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: crowdprice_serve [--port N] [--shards N] [--workers N]\n"
           "                        [--max-frame-mb N] [--stats-every SECS]\n"
-          "                        [--auth-token TOKEN]\n");
+          "                        [--auth-token TOKEN]\n"
+          "                        [--tls-cert PEM --tls-key PEM "
+          "[--tls-ca PEM]]\n");
       return 0;
     }
   }
@@ -87,6 +93,9 @@ int main(int argc, char** argv) {
   const long max_frame_mb = FlagValue(argc, argv, "--max-frame-mb", 64);
   const long stats_every = FlagValue(argc, argv, "--stats-every", 10);
   const std::string auth_token = FlagString(argc, argv, "--auth-token", "");
+  const std::string tls_cert = FlagString(argc, argv, "--tls-cert", "");
+  const std::string tls_key = FlagString(argc, argv, "--tls-key", "");
+  const std::string tls_ca = FlagString(argc, argv, "--tls-ca", "");
   if (port < 0 || port > 65535 || shards < 1 || workers < 1 ||
       max_frame_mb < 1) {
     std::fprintf(stderr, "crowdprice_serve: bad flag value\n");
@@ -106,6 +115,9 @@ int main(int argc, char** argv) {
   options.num_workers = static_cast<int>(workers);
   options.max_frame_bytes = static_cast<uint32_t>(max_frame_mb) * (1u << 20);
   options.auth_token = auth_token;
+  options.tls.cert_file = tls_cert;
+  options.tls.key_file = tls_key;
+  options.tls.ca_file = tls_ca;
   auto server = crowdprice::net::PricingServer::Create(&map.value(), options);
   if (!server.ok()) {
     std::fprintf(stderr, "crowdprice_serve: %s\n",
@@ -120,9 +132,10 @@ int main(int argc, char** argv) {
   }
   std::printf("PORT %u\n", server->port());
   std::printf(
-      "crowdprice_serve listening on port %u (%ld shards, %ld workers%s)\n",
+      "crowdprice_serve listening on port %u (%ld shards, %ld workers%s%s)\n",
       server->port(), shards, workers,
-      auth_token.empty() ? "" : ", auth required");
+      auth_token.empty() ? "" : ", auth required",
+      options.tls.enabled() ? ", tls" : "");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
